@@ -1,0 +1,104 @@
+// Shared utilities for the per-figure/table benchmark binaries. Every
+// binary regenerates one table or figure of the paper's evaluation
+// (Sec 6): it prints the same rows/series the paper reports, at a dataset
+// scale controlled by AION_BENCH_SCALE (default 0.001 of the paper's
+// sizes — the shapes, not the absolute numbers, are the reproduction
+// target; see EXPERIMENTS.md).
+#ifndef AION_BENCH_BENCH_COMMON_H_
+#define AION_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aion.h"
+#include "storage/file.h"
+#include "util/logging.h"
+#include "workload/generator.h"
+
+namespace aion::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII temp directory for a benchmark run.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix) {
+    auto dir = storage::MakeTempDir(prefix);
+    AION_CHECK(dir.ok());
+    path_ = *dir;
+  }
+  ~TempDir() { (void)storage::RemoveDirRecursively(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// An Aion instance populated with a workload (direct ingestion; all
+/// background work drained).
+struct LoadedAion {
+  std::unique_ptr<TempDir> dir;
+  std::unique_ptr<core::AionStore> aion;
+  workload::Workload workload;
+  double ingest_seconds = 0;
+};
+
+inline LoadedAion LoadAion(const workload::Workload& workload,
+                           core::AionStore::Options options = {},
+                           const std::string& dir_prefix = "aion_bench_") {
+  LoadedAion loaded;
+  loaded.dir = std::make_unique<TempDir>(dir_prefix);
+  options.dir = loaded.dir->path() + "/aion";
+  auto aion = core::AionStore::Open(options);
+  AION_CHECK(aion.ok());
+  loaded.aion = std::move(*aion);
+  loaded.workload = workload;
+  Timer timer;
+  for (const graph::GraphUpdate& u : workload.updates) {
+    AION_CHECK_OK(loaded.aion->Ingest(u.ts, {u}));
+  }
+  loaded.aion->DrainBackground();
+  loaded.ingest_seconds = timer.Seconds();
+  return loaded;
+}
+
+inline void PrintHeader(const std::string& figure,
+                        const std::string& description, double scale) {
+  printf("==============================================================\n");
+  printf("%s — %s\n", figure.c_str(), description.c_str());
+  printf("dataset scale: %g of the paper's sizes (AION_BENCH_SCALE)\n",
+         scale);
+  printf("==============================================================\n");
+}
+
+inline void PrintFooter() {
+  printf("--------------------------------------------------------------\n");
+}
+
+/// Iterations helper: benchmarks pick operation counts relative to dataset
+/// size, bounded for single-core runs.
+inline size_t OpsFor(size_t entities, size_t lo, size_t hi) {
+  size_t ops = entities / 4;
+  if (ops < lo) ops = lo;
+  if (ops > hi) ops = hi;
+  return ops;
+}
+
+}  // namespace aion::bench
+
+#endif  // AION_BENCH_BENCH_COMMON_H_

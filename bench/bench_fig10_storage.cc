@@ -1,0 +1,72 @@
+// Fig 10 — Temporal storage overhead: disk footprint of the host database
+// (graph payload + WAL retained for recovery, the dominant fragment in the
+// paper) versus the additional space used by TimeStore (log + time index +
+// snapshots) and LineageStore (four entity-keyed indexes).
+//
+// Paper shape: Aion adds 29-41% on top of the host database's total disk
+// cost, despite nominally storing updates twice — the variable-size
+// records, deltas, and 4-byte string references keep the overhead modest.
+#include "bench/bench_common.h"
+#include "txn/graphdb.h"
+
+using namespace aion;  // NOLINT
+
+int main() {
+  const double scale = workload::BenchScaleFromEnv(0.001);
+  bench::PrintHeader("Fig 10", "temporal storage overhead on disk (MB)",
+                     scale);
+  printf("%-12s %12s %12s %14s %12s\n", "Dataset", "Host (MB)",
+         "TimeStore", "LineageStore", "overhead");
+
+  const std::vector<workload::DatasetSpec> datasets = {
+      workload::Dblp(scale), workload::WikiTalk(scale),
+      workload::Pokec(scale), workload::LiveJournal(scale)};
+
+  for (const workload::DatasetSpec& spec : datasets) {
+    workload::Workload w = workload::Generate(spec);
+
+    bench::TempDir dir("aion_fig10_");
+    // Host database with a real WAL on disk.
+    txn::GraphDatabase::Options db_options;
+    db_options.data_dir = dir.path() + "/db";
+    auto db = txn::GraphDatabase::Open(db_options);
+    AION_CHECK(db.ok());
+    core::AionStore::Options options;
+    options.dir = dir.path() + "/aion";
+    options.lineage_mode = core::AionStore::LineageMode::kSync;
+    options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kOperationBased;
+    options.snapshot_policy.every = w.updates.size() / 4 + 1;
+    auto aion = core::AionStore::Open(options);
+    AION_CHECK(aion.ok());
+    (*db)->RegisterListener(aion->get());
+
+    constexpr size_t kBatch = 1000;
+    size_t i = 0;
+    while (i < w.updates.size()) {
+      auto txn = (*db)->Begin();
+      const size_t end = std::min(i + kBatch, w.updates.size());
+      for (; i < end; ++i) txn->Add(w.updates[i]);
+      AION_CHECK(txn->Commit().ok());
+    }
+    (*aion)->DrainBackground();
+    AION_CHECK_OK((*aion)->Flush());
+    // Host footprint = fixed-size record store files (Neo4j-style
+    // checkpoint) + transaction logs retained for recovery (the paper's
+    // dominant fragment).
+    AION_CHECK_OK((*db)->Checkpoint());
+
+    const double mb = 1024.0 * 1024.0;
+    const double host_mb = static_cast<double>((*db)->TotalDiskBytes()) / mb;
+    const double ts_mb =
+        static_cast<double>((*aion)->time_store()->SizeBytes()) / mb;
+    const double ls_mb =
+        static_cast<double>((*aion)->lineage_store()->SizeBytes()) / mb;
+    printf("%-12s %12.2f %12.2f %14.2f %11.0f%%\n", spec.name.c_str(),
+           host_mb, ts_mb, ls_mb, (ts_mb + ls_mb) / host_mb * 100.0);
+  }
+  bench::PrintFooter();
+  printf("Paper shape: temporal stores add a modest fraction relative to\n"
+         "the host's total footprint (29-41%% in the paper, where Neo4j's\n"
+         "indexes+txn logs inflate the base by 6-9x the raw graph).\n");
+  return 0;
+}

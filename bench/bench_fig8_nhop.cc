@@ -1,0 +1,106 @@
+// Fig 8 — N-hop graph accesses: throughput of n-hop expansion queries from
+// random roots, comparing the Raphtory-like baseline, LineageStore (Alg 1
+// over the neighbourhood indexes), and TimeStore (full snapshot
+// materialization + traversal).
+//
+// Paper shape: for 1–2 hops the fine-grained stores beat TimeStore by
+// orders of magnitude; around 4 hops (>30% of the graph accessed) TimeStore
+// catches up; at 8 hops the fine-grained stores collapse (nodes re-accessed
+// ~9x) and TimeStore wins — motivating the 30% planner heuristic (Sec 6.3).
+#include <set>
+
+#include "baselines/raphtory_like.h"
+#include "bench/bench_common.h"
+#include "util/random.h"
+
+using namespace aion;  // NOLINT
+
+int main() {
+  const double scale = workload::BenchScaleFromEnv(0.001);
+  bench::PrintHeader("Fig 8",
+                     "n-hop expansion throughput (ops/s) by store", scale);
+  printf("%-18s %14s %14s %14s %9s\n", "Dataset(hops)", "Raphtory",
+         "LineageStore", "TimeStore", "choice");
+
+  const std::vector<workload::DatasetSpec> datasets = {
+      workload::Dblp(scale), workload::WikiTalk(scale),
+      workload::Pokec(scale), workload::LiveJournal(scale)};
+  const uint32_t hop_counts[] = {1, 2, 4, 8};
+
+  for (const workload::DatasetSpec& spec : datasets) {
+    workload::Workload w = workload::Generate(spec);
+
+    core::AionStore::Options options;
+    options.lineage_mode = core::AionStore::LineageMode::kSync;
+    options.snapshot_policy.kind =
+        core::SnapshotPolicy::Kind::kOperationBased;
+    options.snapshot_policy.every = w.updates.size() / 4 + 1;
+    bench::LoadedAion loaded = bench::LoadAion(w, options);
+
+    baselines::RaphtoryLike raphtory;
+    AION_CHECK_OK(raphtory.IngestAll(w.updates));
+
+    for (uint32_t hops : hop_counts) {
+      // Single-core budget: fewer runs for deeper expansions.
+      const size_t runs = hops <= 2 ? 60 : (hops == 4 ? 10 : 3);
+      util::Random rng(13 + hops);
+      std::vector<std::pair<graph::NodeId, graph::Timestamp>> probes(runs);
+      for (auto& [node, ts] : probes) {
+        node = rng.Uniform(w.num_nodes);
+        // Arbitrary historical instants: the TimeStore must construct each
+        // snapshot (Sec 6.3), the fine-grained stores filter by timestamp.
+        ts = w.max_ts / 2 + rng.Uniform(w.max_ts / 2);
+      }
+
+      bench::Timer timer;
+      for (const auto& [node, ts] : probes) {
+        raphtory.Expand(node, graph::Direction::kOutgoing, hops, ts);
+      }
+      const double raph_tput = static_cast<double>(runs) / timer.Seconds();
+
+      timer.Reset();
+      for (const auto& [node, ts] : probes) {
+        auto result = loaded.aion->lineage_store()->Expand(
+            node, graph::Direction::kOutgoing, hops, ts);
+        AION_CHECK(result.ok());
+      }
+      const double lineage_tput =
+          static_cast<double>(runs) / timer.Seconds();
+
+      timer.Reset();
+      for (const auto& [node, ts] : probes) {
+        auto view = loaded.aion->GetGraphAt(ts);
+        AION_CHECK(view.ok());
+        // Traverse hops over the materialized snapshot.
+        std::vector<graph::NodeId> frontier = {node};
+        for (uint32_t h = 0; h < hops && !frontier.empty(); ++h) {
+          std::vector<graph::NodeId> next;
+          std::set<graph::NodeId> seen;
+          for (graph::NodeId u : frontier) {
+            (*view)->ForEachRel(
+                u, graph::Direction::kOutgoing, [&](graph::RelId rel_id) {
+                  const graph::Relationship* rel =
+                      (*view)->GetRelationship(rel_id);
+                  if (rel != nullptr && seen.insert(rel->tgt).second) {
+                    next.push_back(rel->tgt);
+                  }
+                });
+          }
+          frontier = std::move(next);
+        }
+      }
+      const double time_tput = static_cast<double>(runs) / timer.Seconds();
+
+      const auto choice = loaded.aion->ChooseStoreForExpand(hops);
+      printf("%-12s(%u)   %14.2f %14.2f %14.2f %9s\n", spec.name.c_str(),
+             hops, raph_tput, lineage_tput, time_tput,
+             choice == core::AionStore::StoreChoice::kLineageStore
+                 ? "Lineage"
+                 : "Time");
+    }
+  }
+  bench::PrintFooter();
+  printf("Expected: fine-grained stores dominate at 1-2 hops; TimeStore\n"
+         "levels out for deep expansions, matching the 30%% heuristic.\n");
+  return 0;
+}

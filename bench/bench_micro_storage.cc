@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) for the storage substrate: B+Tree
+// point operations and range scans, log appends, temporal record
+// encode/decode, and page-cache hit paths. These are the primitives whose
+// costs the evaluation figures aggregate; useful for regression tracking.
+#include <benchmark/benchmark.h>
+
+#include "core/record.h"
+#include "storage/bptree.h"
+#include "util/logging.h"
+#include "storage/file.h"
+#include "storage/log_file.h"
+#include "storage/string_pool.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace aion;  // NOLINT
+
+std::string TempPath(const std::string& name) {
+  static std::string* dir = [] {
+    auto d = storage::MakeTempDir("aion_micro_");
+    AION_CHECK(d.ok());
+    return new std::string(*d);
+  }();
+  return *dir + "/" + name;
+}
+
+std::string Key(uint64_t a, uint64_t b) {
+  std::string key;
+  util::PutBigEndian64(&key, a);
+  util::PutBigEndian64(&key, b);
+  return key;
+}
+
+void BM_BpTreePut(benchmark::State& state) {
+  auto tree = storage::BpTree::Open(
+      TempPath("put_" + std::to_string(state.range(0))));
+  AION_CHECK(tree.ok());
+  util::Random rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    AION_CHECK_OK((*tree)->Put(Key(rng.Next(), i++), "value"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpTreePut)->Arg(0);
+
+void BM_BpTreeGet(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto tree = storage::BpTree::Open(TempPath("get_" + std::to_string(n)));
+  AION_CHECK(tree.ok());
+  for (int64_t i = 0; i < n; ++i) {
+    AION_CHECK_OK((*tree)->Put(Key(static_cast<uint64_t>(i), 0), "value"));
+  }
+  util::Random rng(2);
+  for (auto _ : state) {
+    auto v = (*tree)->Get(Key(rng.Uniform(static_cast<uint64_t>(n)), 0));
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpTreeGet)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BpTreeRangeScan(benchmark::State& state) {
+  const int64_t n = 50000;
+  auto tree = storage::BpTree::Open(TempPath("scan"));
+  AION_CHECK(tree.ok());
+  if ((*tree)->num_entries() == 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      AION_CHECK_OK((*tree)->Put(Key(static_cast<uint64_t>(i), 0), "value"));
+    }
+  }
+  util::Random rng(3);
+  const uint64_t span = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const uint64_t start = rng.Uniform(static_cast<uint64_t>(n) - span);
+    auto it = (*tree)->NewIterator();
+    size_t count = 0;
+    for (it.Seek(Key(start, 0)); it.Valid() && count < span; it.Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BpTreeRangeScan)->Arg(16)->Arg(256);
+
+void BM_LogAppend(benchmark::State& state) {
+  auto log = storage::LogFile::Open(TempPath("log"));
+  AION_CHECK(log.ok());
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    AION_CHECK((*log)->Append(payload).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LogAppend)->Arg(64)->Arg(1024);
+
+void BM_RecordEncodeDecode(benchmark::State& state) {
+  auto pool = storage::StringPool::InMemory();
+  core::RecordCodec codec(pool.get());
+  graph::Node node;
+  node.id = 42;
+  node.labels = {"Person", "Admin"};
+  for (int i = 0; i < state.range(0); ++i) {
+    node.props.Set("key" + std::to_string(i),
+                   graph::PropertyValue(static_cast<int64_t>(i)));
+  }
+  const core::TemporalRecord record = core::RecordCodec::FullNode(node, 7);
+  for (auto _ : state) {
+    std::string buf;
+    AION_CHECK_OK(codec.Encode(record, &buf));
+    util::Slice input(buf);
+    auto decoded = codec.Decode(&input);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RecordEncodeDecode)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_UpdateBatchCodec(benchmark::State& state) {
+  std::vector<graph::GraphUpdate> batch;
+  for (int i = 0; i < state.range(0); ++i) {
+    batch.push_back(graph::GraphUpdate::AddRelationship(
+        static_cast<graph::RelId>(i), 1, 2, "KNOWS"));
+  }
+  for (auto _ : state) {
+    std::string buf;
+    graph::EncodeUpdateBatch(batch, &buf);
+    auto decoded = graph::DecodeUpdateBatch(util::Slice(buf));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_UpdateBatchCodec)->Arg(1)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 3 — Evaluation datasets: generates the six dataset analogues and
+// reports |V|, |E|, average degree, directedness, and the in-memory sizes
+// of the host graph representation ("Neo4j" column analogue: MemoryGraph
+// with adjacency) versus Aion's compute representation (Sec 6.1 accounting:
+// ~60 B/node, ~68 B/rel, 4 B per neighbourhood entry).
+#include "bench/bench_common.h"
+#include "graph/memgraph.h"
+
+using namespace aion;  // NOLINT — benchmark binary
+
+int main() {
+  const double scale = workload::BenchScaleFromEnv(0.001);
+  bench::PrintHeader("Table 3", "evaluation datasets", scale);
+  printf("%-12s %-14s %10s %12s %8s %9s %14s %14s\n", "Dataset", "Domain",
+         "|V|", "|E|", "|E|/|V|", "Directed", "Host (MB)", "Aion (MB)");
+
+  const char* domains[] = {"citation", "communication", "social",
+                           "social",   "hyperlink",     "social"};
+  int i = 0;
+  for (const workload::DatasetSpec& spec : workload::AllDatasets(scale)) {
+    workload::Workload w = workload::Generate(spec);
+    graph::MemoryGraph g;
+    AION_CHECK_OK(g.ApplyAll(w.updates));
+
+    // Host representation: entities + adjacency + std::optional/vector
+    // overheads (the "Neo4j in-memory" analogue).
+    const double host_mb =
+        static_cast<double>(g.EstimateMemoryBytes() +
+                            g.NumNodes() * 16 /* record headers */) /
+        (1024.0 * 1024.0);
+    // Aion's compute representation (Sec 6.1): 60 B/node, 68 B/rel, 4 B per
+    // in/out neighbourhood entry.
+    const double aion_mb =
+        static_cast<double>(g.NumNodes() * 60 + g.NumRelationships() * 68 +
+                            2 * g.NumRelationships() * 4) /
+        (1024.0 * 1024.0);
+    printf("%-12s %-14s %10zu %12zu %8.1f %9s %14.2f %14.2f\n",
+           spec.name.c_str(), domains[i++], g.NumNodes(),
+           g.NumRelationships(),
+           static_cast<double>(g.NumRelationships()) /
+               static_cast<double>(g.NumNodes()),
+           spec.doubled_from_undirected ? "no" : "yes", host_mb, aion_mb);
+  }
+  bench::PrintFooter();
+  printf("Paper shape: Aion's in-memory sizes track the host's closely\n"
+         "(175 vs 180 MB on DBLP up to 17.2 vs 18.1 GB on Orkut).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Table 4 — Storage and retrieval costs: empirical validation of the
+// complexity table. Sweeps the history length |U| and measures how each
+// system's relationship point-lookup and snapshot-retrieval costs scale:
+//   Aion      rel lookup ~ log|U_R|        snapshot ~ |G| + delta(|U|)
+//   Raphtory  rel lookup ~ 2|U_R^n|        snapshot ~ |U|
+//   Gradoop   rel lookup ~ |U_R|           snapshot ~ |U|
+// The ratio between successive rows exposes the growth class: flat-ish for
+// logarithmic costs, ~2x per doubling for linear ones.
+#include "baselines/gradoop_like.h"
+#include "baselines/raphtory_like.h"
+#include "bench/bench_common.h"
+#include "util/random.h"
+
+using namespace aion;  // NOLINT
+
+int main() {
+  const double scale = workload::BenchScaleFromEnv(0.001);
+  bench::PrintHeader("Table 4",
+                     "cost scaling with history size (ns per operation)",
+                     scale);
+
+  // One hub relationship accumulates a long property-update history while
+  // the surrounding graph grows; |U| doubles per row.
+  printf("%-10s | %12s %12s %12s | %12s %12s %12s\n", "|U|", "Aion pt",
+         "Raph pt", "Grad pt", "Aion snap", "Raph snap", "Grad snap");
+
+  const size_t base_updates = 2000;
+  for (int doubling = 0; doubling < 4; ++doubling) {
+    const size_t num_updates = base_updates << doubling;
+
+    // Build the update stream: star graph around node 0 with property
+    // churn on relationship 0.
+    std::vector<graph::GraphUpdate> updates;
+    graph::Timestamp ts = 0;
+    {
+      graph::GraphUpdate u = graph::GraphUpdate::AddNode(0);
+      u.ts = ++ts;
+      updates.push_back(u);
+    }
+    util::Random rng(3);
+    graph::NodeId next_node = 1;
+    graph::RelId next_rel = 0;
+    while (updates.size() < num_updates) {
+      if (next_rel == 0 || rng.Bernoulli(0.5)) {
+        graph::GraphUpdate n = graph::GraphUpdate::AddNode(next_node);
+        n.ts = ++ts;
+        updates.push_back(n);
+        graph::GraphUpdate r = graph::GraphUpdate::AddRelationship(
+            next_rel++, 0, next_node++, "R");
+        r.ts = ++ts;
+        updates.push_back(r);
+      } else {
+        graph::GraphUpdate u = graph::GraphUpdate::SetRelationshipProperty(
+            0, "p", graph::PropertyValue(static_cast<int64_t>(ts)));
+        u.ts = ++ts;
+        updates.push_back(u);
+      }
+    }
+
+    core::AionStore::Options options;
+    options.lineage_mode = core::AionStore::LineageMode::kSync;
+    options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kOperationBased;
+    options.snapshot_policy.every = num_updates / 4;
+    workload::Workload w;
+    w.updates = updates;
+    w.max_ts = ts;
+    w.num_rels = next_rel;
+    w.num_nodes = next_node;
+    bench::LoadedAion loaded = bench::LoadAion(w, options);
+
+    baselines::RaphtoryLike raphtory;
+    AION_CHECK_OK(raphtory.IngestAll(updates));
+    baselines::GradoopLike gradoop;
+    AION_CHECK_OK(gradoop.IngestAll(updates));
+
+    // Point lookups on the hub relationship (longest history).
+    const size_t point_ops = 2000;
+    util::Random probe_rng(5);
+    auto measure_point = [&](auto&& lookup) -> double {
+      bench::Timer timer;
+      for (size_t i = 0; i < point_ops; ++i) {
+        lookup(graph::RelId{0}, 1 + probe_rng.Uniform(ts));
+      }
+      return timer.Seconds() * 1e9 / static_cast<double>(point_ops);
+    };
+    const double aion_pt =
+        measure_point([&](graph::RelId r, graph::Timestamp t) {
+          AION_CHECK(loaded.aion->lineage_store()
+                         ->GetRelationshipAt(r, t)
+                         .ok());
+        });
+    const double raph_pt =
+        measure_point([&](graph::RelId r, graph::Timestamp t) {
+          raphtory.GetRelationshipAt(r, t);
+        });
+    const double grad_pt =
+        measure_point([&](graph::RelId r, graph::Timestamp t) {
+          gradoop.GetRelationshipAt(r, t);
+        });
+
+    // Snapshots at random times.
+    const size_t snap_ops = 3;
+    auto measure_snap = [&](auto&& snap) -> double {
+      bench::Timer timer;
+      for (size_t i = 0; i < snap_ops; ++i) {
+        snap(1 + probe_rng.Uniform(ts));
+      }
+      return timer.Seconds() * 1e9 / static_cast<double>(snap_ops);
+    };
+    const double aion_snap = measure_snap([&](graph::Timestamp t) {
+      AION_CHECK(loaded.aion->GetGraphAt(t).ok());
+    });
+    const double raph_snap = measure_snap(
+        [&](graph::Timestamp t) { raphtory.SnapshotAt(t); });
+    const double grad_snap = measure_snap(
+        [&](graph::Timestamp t) { gradoop.SnapshotAt(t); });
+
+    printf("%-10zu | %12.0f %12.0f %12.0f | %12.0f %12.0f %12.0f\n",
+           num_updates, aion_pt, raph_pt, grad_pt, aion_snap, raph_snap,
+           grad_snap);
+  }
+  bench::PrintFooter();
+  printf("Expected per |U| doubling: Aion point cost ~flat (log);\n"
+         "Raphtory/Gradoop point cost ~2x (linear scans); snapshot costs\n"
+         "grow for everyone, Aion's bounded by snapshot + delta replay.\n");
+  return 0;
+}

@@ -1,0 +1,511 @@
+#include "algo/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace aion::algo {
+
+using graph::GraphUpdate;
+using graph::GraphView;
+using graph::NodeId;
+using graph::RelId;
+using graph::UpdateOp;
+
+// ---------------------------------------------------------------------------
+// IncrementalAverage
+// ---------------------------------------------------------------------------
+
+void IncrementalAverage::Contribute(RelId id,
+                                    const graph::PropertyValue* value) {
+  Retract(id);
+  if (value == nullptr || value->is_null()) return;
+  const double v = value->ToNumber();
+  contributions_[id] = v;
+  sum_ += v;
+  ++count_;
+}
+
+void IncrementalAverage::Retract(RelId id) {
+  auto it = contributions_.find(id);
+  if (it == contributions_.end()) return;
+  sum_ -= it->second;
+  --count_;
+  contributions_.erase(it);
+}
+
+void IncrementalAverage::ApplyDiff(const std::vector<GraphUpdate>& diff) {
+  for (const GraphUpdate& u : diff) {
+    switch (u.op) {
+      case UpdateOp::kAddRelationship:
+        Contribute(u.id, u.props.Get(key_));
+        break;
+      case UpdateOp::kDeleteRelationship:
+        Retract(u.id);
+        break;
+      case UpdateOp::kSetRelationshipProperty:
+        if (u.key == key_) Contribute(u.id, &u.value);
+        break;
+      case UpdateOp::kRemoveRelationshipProperty:
+        if (u.key == key_) Retract(u.id);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalBfs (tag and reset)
+// ---------------------------------------------------------------------------
+
+void IncrementalBfs::EnsureSize(size_t n) {
+  if (levels_.size() < n) levels_.resize(n, kUnreachable);
+}
+
+void IncrementalBfs::Recompute(const GraphView& g) {
+  levels_.assign(g.NodeCapacity(), kUnreachable);
+  if (g.GetNode(source_) == nullptr) return;
+  EnsureSize(source_ + 1);
+  levels_[source_] = 0;
+  PropagateFrom(g, {source_});
+}
+
+void IncrementalBfs::PropagateFrom(const GraphView& g,
+                                   std::vector<NodeId> frontier) {
+  std::deque<NodeId> queue(frontier.begin(), frontier.end());
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const uint32_t next_level = levels_[u] == kUnreachable
+                                    ? kUnreachable
+                                    : levels_[u] + 1;
+    if (next_level == kUnreachable) continue;
+    g.ForEachRel(u, graph::Direction::kOutgoing, [&](RelId rel_id) {
+      const graph::Relationship* rel = g.GetRelationship(rel_id);
+      if (rel == nullptr) return;
+      const NodeId v = rel->tgt;
+      EnsureSize(v + 1);
+      if (next_level < levels_[v]) {
+        levels_[v] = next_level;
+        queue.push_back(v);
+      }
+    });
+  }
+}
+
+void IncrementalBfs::ApplyDiff(const GraphView& g,
+                               const std::vector<GraphUpdate>& diff) {
+  EnsureSize(g.NodeCapacity());
+
+  // Classify the structural changes.
+  std::vector<std::pair<NodeId, NodeId>> inserted;  // (src, tgt)
+  bool has_deletions = false;
+  std::set<NodeId> deletion_targets;
+  for (const GraphUpdate& u : diff) {
+    switch (u.op) {
+      case UpdateOp::kAddRelationship:
+        inserted.emplace_back(u.src, u.tgt);
+        break;
+      case UpdateOp::kDeleteRelationship:
+        has_deletions = true;
+        if (u.tgt != graph::kInvalidNodeId) deletion_targets.insert(u.tgt);
+        break;
+      case UpdateOp::kDeleteNode:
+        has_deletions = true;
+        if (u.id < levels_.size()) deletion_targets.insert(u.id);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (has_deletions) {
+    // Tag and reset (Kickstarter-style): a deleted edge may have carried a
+    // node's shortest path. Tag every node whose level could transitively
+    // depend on a deletion target, reset the tagged region, then re-settle
+    // it from its untagged boundary.
+    std::set<NodeId> tagged;
+    std::deque<NodeId> work;
+    for (NodeId t : deletion_targets) {
+      if (t == source_) continue;
+      if (t < levels_.size() && levels_[t] != kUnreachable) {
+        tagged.insert(t);
+        work.push_back(t);
+      }
+    }
+    // Tag cascade: children whose level equals parent level + 1 may depend
+    // on the tagged parent.
+    while (!work.empty()) {
+      const NodeId u = work.front();
+      work.pop_front();
+      const uint32_t ul = levels_[u];
+      g.ForEachRel(u, graph::Direction::kOutgoing, [&](RelId rel_id) {
+        const graph::Relationship* rel = g.GetRelationship(rel_id);
+        if (rel == nullptr) return;
+        const NodeId v = rel->tgt;
+        if (v == source_ || v >= levels_.size()) return;
+        if (levels_[v] == ul + 1 && tagged.insert(v).second) {
+          work.push_back(v);
+        }
+      });
+    }
+    // Reset tagged values, then recompute them from untagged in-neighbours.
+    for (NodeId t : tagged) levels_[t] = kUnreachable;
+    std::vector<NodeId> frontier;
+    for (NodeId t : tagged) {
+      uint32_t best = kUnreachable;
+      g.ForEachRel(t, graph::Direction::kIncoming, [&](RelId rel_id) {
+        const graph::Relationship* rel = g.GetRelationship(rel_id);
+        if (rel == nullptr) return;
+        const NodeId p = rel->src;
+        if (p < levels_.size() && levels_[p] != kUnreachable) {
+          best = std::min(best, levels_[p] + 1);
+        }
+      });
+      if (best != kUnreachable) {
+        levels_[t] = best;
+        frontier.push_back(t);
+      }
+    }
+    PropagateFrom(g, std::move(frontier));
+  }
+
+  // Edge insertions only relax levels monotonically.
+  std::vector<NodeId> frontier;
+  for (const auto& [src, tgt] : inserted) {
+    if (src >= levels_.size() || levels_[src] == kUnreachable) continue;
+    EnsureSize(tgt + 1);
+    if (levels_[src] + 1 < levels_[tgt]) {
+      levels_[tgt] = levels_[src] + 1;
+      frontier.push_back(tgt);
+    }
+  }
+  if (!frontier.empty()) PropagateFrom(g, std::move(frontier));
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalPageRank (residual change propagation)
+// ---------------------------------------------------------------------------
+
+void IncrementalPageRank::EnsureSize(size_t n) {
+  if (p_.size() < n) {
+    p_.resize(n, 0.0);
+    r_.resize(n, 0.0);
+  }
+}
+
+void IncrementalPageRank::Recompute(const GraphView& g) {
+  const size_t capacity = g.NodeCapacity();
+  p_.assign(capacity, 0.0);
+  r_.assign(capacity, 0.0);
+  live_nodes_ = g.NumNodes();
+  initialized_ = true;
+  last_pushes_ = 0;
+  if (live_nodes_ == 0) {
+    last_iterations_ = 0;
+    return;
+  }
+  // Power iteration directly over the sparse id domain.
+  const double damping = options_.damping;
+  const double base = (1.0 - damping) / static_cast<double>(live_nodes_);
+  std::vector<NodeId> live;
+  live.reserve(live_nodes_);
+  g.ForEachNode([&](const graph::Node& node) { live.push_back(node.id); });
+  for (NodeId id : live) p_[id] = 1.0 / static_cast<double>(live_nodes_);
+  std::vector<double> next(capacity, 0.0);
+  uint32_t iterations = 0;
+  for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double dangling = 0;
+    for (NodeId u : live) {
+      if (g.Degree(u, graph::Direction::kOutgoing) == 0) dangling += p_[u];
+    }
+    const double dangling_share =
+        damping * dangling / static_cast<double>(live_nodes_);
+    for (NodeId u : live) next[u] = base + dangling_share;
+    for (NodeId u : live) {
+      const size_t degree = g.Degree(u, graph::Direction::kOutgoing);
+      if (degree == 0) continue;
+      const double share = damping * p_[u] / static_cast<double>(degree);
+      g.ForEachRel(u, graph::Direction::kOutgoing, [&](RelId rel_id) {
+        const graph::Relationship* rel = g.GetRelationship(rel_id);
+        if (rel != nullptr) next[rel->tgt] += share;
+      });
+    }
+    double delta = 0;
+    for (NodeId u : live) delta += std::fabs(next[u] - p_[u]);
+    for (NodeId u : live) p_[u] = next[u];
+    iterations = iter + 1;
+    if (delta < options_.epsilon) break;
+  }
+  last_iterations_ = iterations;
+  // Residuals start (approximately) settled: r = 0 within epsilon.
+  std::fill(r_.begin(), r_.end(), 0.0);
+}
+
+void IncrementalPageRank::FullResidualPass(const GraphView& g) {
+  const size_t capacity = g.NodeCapacity();
+  EnsureSize(capacity);
+  live_nodes_ = g.NumNodes();
+  if (live_nodes_ == 0) return;
+  const double damping = options_.damping;
+  const double base = (1.0 - damping) / static_cast<double>(live_nodes_);
+  std::vector<double> contrib(capacity, 0.0);
+  double dangling = 0;
+  g.ForEachNode([&](const graph::Node& node) {
+    const NodeId u = node.id;
+    const size_t degree = g.Degree(u, graph::Direction::kOutgoing);
+    if (degree == 0) {
+      dangling += p_[u];
+      return;
+    }
+    const double share = damping * p_[u] / static_cast<double>(degree);
+    g.ForEachRel(u, graph::Direction::kOutgoing, [&](RelId rel_id) {
+      const graph::Relationship* rel = g.GetRelationship(rel_id);
+      if (rel != nullptr) contrib[rel->tgt] += share;
+    });
+  });
+  const double dangling_share =
+      damping * dangling / static_cast<double>(live_nodes_);
+  g.ForEachNode([&](const graph::Node& node) {
+    const NodeId u = node.id;
+    r_[u] = base + dangling_share + contrib[u] - p_[u];
+  });
+}
+
+uint32_t IncrementalPageRank::PushUntilConverged(
+    const GraphView& g, std::vector<NodeId> seed_active) {
+  const double damping = options_.damping;
+  const size_t n = live_nodes_;
+  if (n == 0) return 0;
+  // Deduplicate the seed and compute the starting residual mass over it;
+  // residual outside the active set is below tolerance by construction.
+  std::sort(seed_active.begin(), seed_active.end());
+  seed_active.erase(std::unique(seed_active.begin(), seed_active.end()),
+                    seed_active.end());
+  std::vector<NodeId> active = std::move(seed_active);
+  double total_residual = 0;
+  for (NodeId u : active) total_residual += std::fabs(r_[u]);
+  double global_dangling_residual = 0;
+  uint64_t pushes = 0;
+  uint32_t sweeps = 0;
+  std::vector<bool> in_next(p_.size(), false);
+  while (total_residual > options_.epsilon &&
+         sweeps < options_.max_iterations) {
+    ++sweeps;
+    const double threshold =
+        total_residual / (2.0 * static_cast<double>(n));
+    std::vector<NodeId> next_active;
+    next_active.reserve(active.size());
+    for (NodeId u : active) in_next[u] = false;
+    for (NodeId u : active) {
+      const double ru = r_[u];
+      if (std::fabs(ru) <= threshold) {
+        if (ru != 0.0 && !in_next[u]) {
+          next_active.push_back(u);
+          in_next[u] = true;
+        }
+        continue;
+      }
+      ++pushes;
+      p_[u] += ru;
+      r_[u] = 0;
+      const size_t degree = g.Degree(u, graph::Direction::kOutgoing);
+      if (degree == 0) {
+        global_dangling_residual += ru;
+        continue;
+      }
+      const double share = damping * ru / static_cast<double>(degree);
+      g.ForEachRel(u, graph::Direction::kOutgoing, [&](RelId rel_id) {
+        const graph::Relationship* rel = g.GetRelationship(rel_id);
+        if (rel == nullptr) return;
+        const NodeId v = rel->tgt;
+        r_[v] += share;
+        if (!in_next[v]) {
+          next_active.push_back(v);
+          in_next[v] = true;
+        }
+      });
+    }
+    if (std::fabs(global_dangling_residual) * damping >
+        options_.epsilon / 4) {
+      // Flush accumulated dangling mass uniformly across live nodes.
+      const double add =
+          damping * global_dangling_residual / static_cast<double>(n);
+      global_dangling_residual = 0;
+      next_active.clear();
+      g.ForEachNode([&](const graph::Node& node) {
+        r_[node.id] += add;
+        if (r_[node.id] != 0.0) next_active.push_back(node.id);
+      });
+    }
+    active = std::move(next_active);
+    total_residual = std::fabs(global_dangling_residual);
+    for (NodeId u : active) total_residual += std::fabs(r_[u]);
+  }
+  last_pushes_ = pushes;
+  return sweeps;
+}
+
+uint32_t IncrementalPageRank::ApplyDiff(
+    const GraphView& g, const std::vector<GraphUpdate>& diff) {
+  if (!initialized_) {
+    Recompute(g);
+    return last_iterations_;
+  }
+  last_pushes_ = 0;
+  if (diff.empty()) {
+    last_iterations_ = 0;
+    return 0;
+  }
+
+  // Classify the diff. Node-count changes alter the teleport term for
+  // every node; fall back to a full residual pass in that case.
+  bool node_count_changed = false;
+  // Per changed source: counts of added/removed out-edges, and the removed
+  // targets (the post-diff adjacency no longer contains them).
+  struct ColumnChange {
+    int added = 0;
+    std::vector<NodeId> removed_targets;
+    std::vector<NodeId> added_targets;
+  };
+  std::map<NodeId, ColumnChange> changed;
+  for (const GraphUpdate& u : diff) {
+    switch (u.op) {
+      case UpdateOp::kAddNode:
+      case UpdateOp::kDeleteNode:
+        node_count_changed = true;
+        break;
+      case UpdateOp::kAddRelationship:
+        changed[u.src].added_targets.push_back(u.tgt);
+        break;
+      case UpdateOp::kDeleteRelationship:
+        if (u.src == graph::kInvalidNodeId) {
+          node_count_changed = true;  // unresolved endpoints: fall back
+        } else {
+          changed[u.src].removed_targets.push_back(u.tgt);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  EnsureSize(g.NodeCapacity());
+  std::vector<NodeId> touched;
+  if (node_count_changed || g.NumNodes() != live_nodes_) {
+    FullResidualPass(g);
+    g.ForEachNode([&](const graph::Node& node) {
+      if (r_[node.id] != 0.0) touched.push_back(node.id);
+    });
+  } else {
+    // Column adjustment: for each changed source u, the distribution of
+    // p(u) over its out-neighbours changed from deg_old to deg_new shares.
+    const double damping = options_.damping;
+    const double n = static_cast<double>(live_nodes_);
+    for (auto& [u, change] : changed) {
+      // An edge added and deleted within the same batch contributes to
+      // neither the old nor the new column: cancel matched pairs first.
+      std::sort(change.added_targets.begin(), change.added_targets.end());
+      std::sort(change.removed_targets.begin(),
+                change.removed_targets.end());
+      {
+        std::vector<NodeId> added_left, removed_left;
+        auto a = change.added_targets.begin();
+        auto r = change.removed_targets.begin();
+        while (a != change.added_targets.end() &&
+               r != change.removed_targets.end()) {
+          if (*a < *r) {
+            added_left.push_back(*a++);
+          } else if (*r < *a) {
+            removed_left.push_back(*r++);
+          } else {
+            ++a;  // cancel the pair
+            ++r;
+          }
+        }
+        added_left.insert(added_left.end(), a, change.added_targets.end());
+        removed_left.insert(removed_left.end(), r,
+                            change.removed_targets.end());
+        change.added_targets = std::move(added_left);
+        change.removed_targets = std::move(removed_left);
+      }
+      const size_t deg_new = g.Degree(u, graph::Direction::kOutgoing);
+      const size_t deg_old = deg_new + change.removed_targets.size() -
+                             change.added_targets.size();
+      const double pu = p_[u];
+      const double share_new =
+          deg_new == 0 ? 0.0 : damping * pu / static_cast<double>(deg_new);
+      const double share_old =
+          deg_old == 0 ? 0.0 : damping * pu / static_cast<double>(deg_old);
+      // Dangling transitions redistribute uniformly: apply the O(n) fix.
+      if (deg_old == 0 || deg_new == 0) {
+        const double uniform_old = deg_old == 0 ? damping * pu / n : 0.0;
+        const double uniform_new = deg_new == 0 ? damping * pu / n : 0.0;
+        const double delta = uniform_new - uniform_old;
+        if (delta != 0.0) {
+          g.ForEachNode([&](const graph::Node& node) {
+            r_[node.id] += delta;
+            touched.push_back(node.id);
+          });
+        }
+      }
+      // Current (post-diff) neighbours: added ones gain the new share; the
+      // rest shift from old share to new share.
+      std::sort(change.added_targets.begin(), change.added_targets.end());
+      std::map<NodeId, int> added_remaining;
+      for (NodeId t : change.added_targets) ++added_remaining[t];
+      g.ForEachRel(u, graph::Direction::kOutgoing, [&](RelId rel_id) {
+        const graph::Relationship* rel = g.GetRelationship(rel_id);
+        if (rel == nullptr) return;
+        const NodeId v = rel->tgt;
+        auto it = added_remaining.find(v);
+        if (it != added_remaining.end() && it->second > 0) {
+          --it->second;
+          r_[v] += share_new;
+        } else {
+          r_[v] += share_new - share_old;
+        }
+        touched.push_back(v);
+      });
+      // Removed neighbours lose the old share.
+      for (NodeId v : change.removed_targets) {
+        r_[v] -= share_old;
+        touched.push_back(v);
+      }
+    }
+  }
+
+  last_iterations_ = PushUntilConverged(g, std::move(touched));
+  return last_iterations_;
+}
+
+uint32_t IncrementalPageRank::Update(const GraphView& g) {
+  if (!initialized_) {
+    Recompute(g);
+    return last_iterations_;
+  }
+  EnsureSize(g.NodeCapacity());
+  FullResidualPass(g);
+  std::vector<NodeId> touched;
+  g.ForEachNode([&](const graph::Node& node) {
+    if (r_[node.id] != 0.0) touched.push_back(node.id);
+  });
+  last_iterations_ = 1 + PushUntilConverged(g, std::move(touched));
+  return last_iterations_;
+}
+
+std::vector<std::pair<NodeId, double>> IncrementalPageRank::Ranks(
+    const GraphView& g) const {
+  std::vector<std::pair<NodeId, double>> out;
+  out.reserve(live_nodes_);
+  g.ForEachNode([&](const graph::Node& node) {
+    out.emplace_back(node.id,
+                     node.id < p_.size() ? p_[node.id] : 0.0);
+  });
+  return out;
+}
+
+}  // namespace aion::algo

@@ -1,0 +1,147 @@
+// Incremental graph computations (Sec 5.2): algorithms that reuse prior
+// results across consecutive snapshots, fed by getDiff batches. Aion
+// supports three categories:
+//  (i)  non-holistic aggregations (running AVG over a property), using
+//       stream-processing-style sum/count maintenance;
+//  (ii) monotonic path-based algorithms (BFS) with the tag-and-reset
+//       technique of Kickstarter: nodes whose value depended on a deleted
+//       edge are tagged and reset before re-propagation;
+//  (iii) non-monotonic algorithms that converge independently of
+//       initialization (PageRank), warm-started from the previous result
+//       and iterated on the changed graph.
+//
+// All classes consume the *diff* (the updates between two snapshots) plus
+// access to the post-diff graph, and are verified against full recomputation
+// in the test suite.
+#ifndef AION_ALGO_INCREMENTAL_H_
+#define AION_ALGO_INCREMENTAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/static_algos.h"
+#include "graph/graph_view.h"
+#include "graph/update.h"
+
+namespace aion::algo {
+
+/// Category (i): running average of one relationship property. O(|diff|)
+/// per batch; deletions are handled by remembering each relationship's
+/// contribution (no dependency tracking required, Sec 6.6).
+class IncrementalAverage {
+ public:
+  explicit IncrementalAverage(std::string property_key)
+      : key_(std::move(property_key)) {}
+
+  /// Folds one diff batch into the aggregate.
+  void ApplyDiff(const std::vector<graph::GraphUpdate>& diff);
+
+  double Average() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double sum() const { return sum_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  void Contribute(graph::RelId id, const graph::PropertyValue* value);
+  void Retract(graph::RelId id);
+
+  std::string key_;
+  double sum_ = 0;
+  uint64_t count_ = 0;
+  std::unordered_map<graph::RelId, double> contributions_;
+};
+
+/// Category (ii): incremental BFS levels from a fixed source over the
+/// *sparse* node id domain, maintained across diffs with tag-and-reset.
+class IncrementalBfs {
+ public:
+  /// `source` is a sparse node id. The graph passed to each call must
+  /// reflect the state *after* the corresponding diff.
+  explicit IncrementalBfs(graph::NodeId source) : source_(source) {}
+
+  /// (Re)computes from scratch on `g` (initialization or fallback).
+  void Recompute(const graph::GraphView& g);
+
+  /// Applies one diff batch; `g` is the post-diff graph.
+  void ApplyDiff(const graph::GraphView& g,
+                 const std::vector<graph::GraphUpdate>& diff);
+
+  /// Level of sparse node `id`, or kUnreachable.
+  uint32_t LevelOf(graph::NodeId id) const {
+    return id < levels_.size() ? levels_[id] : kUnreachable;
+  }
+  const std::vector<uint32_t>& levels() const { return levels_; }
+  graph::NodeId source() const { return source_; }
+
+ private:
+  void EnsureSize(size_t n);
+  void PropagateFrom(const graph::GraphView& g,
+                     std::vector<graph::NodeId> frontier);
+
+  graph::NodeId source_;
+  std::vector<uint32_t> levels_;  // indexed by sparse node id
+};
+
+/// Category (iii): incremental PageRank via residual change propagation
+/// ("propagate changes based on dependencies between iterations", Vora et
+/// al. [77]). Ranks p and residuals r are maintained across diffs over the
+/// sparse node id domain. ApplyDiff adjusts residuals only for the changed
+/// adjacency columns (O(diff * degree)) and then pushes residual mass where
+/// it exceeds the tolerance — work proportional to the affected region.
+/// Structural changes the column adjustment cannot express (node additions/
+/// removals change the teleport term for everyone) fall back to one full
+/// residual pass before pushing.
+class IncrementalPageRank {
+ public:
+  explicit IncrementalPageRank(PageRankOptions options = {})
+      : options_(options) {}
+
+  /// Full recomputation (cold start / fallback): power iteration over the
+  /// view; seeds p and r.
+  void Recompute(const graph::GraphView& g);
+
+  /// Folds one diff batch; `g` is the post-diff graph. Returns the number
+  /// of push sweeps executed.
+  uint32_t ApplyDiff(const graph::GraphView& g,
+                     const std::vector<graph::GraphUpdate>& diff);
+
+  /// Convenience: Recompute on first use, full-residual refresh + push on
+  /// subsequent calls (when the caller has no diff at hand).
+  uint32_t Update(const graph::GraphView& g);
+
+  /// Rank of sparse node `id` (0 when unknown/dead).
+  double RankOf(graph::NodeId id) const {
+    return id < p_.size() ? p_[id] : 0.0;
+  }
+  /// Live ranks as (sparse id, rank) pairs.
+  std::vector<std::pair<graph::NodeId, double>> Ranks(
+      const graph::GraphView& g) const;
+
+  uint32_t last_iterations() const { return last_iterations_; }
+
+  /// Residual pushes performed by the last incremental call (0 for cold
+  /// starts); the measure of dependency-propagation work.
+  uint64_t last_pushes() const { return last_pushes_; }
+
+ private:
+  /// Recomputes r = b + d*M(p) - p with one full pass over `g`.
+  void FullResidualPass(const graph::GraphView& g);
+  /// Pushes residual mass until the L1 residual is below epsilon.
+  uint32_t PushUntilConverged(const graph::GraphView& g,
+                              std::vector<graph::NodeId> seed_active);
+  void EnsureSize(size_t n);
+
+  PageRankOptions options_;
+  bool initialized_ = false;
+  size_t live_nodes_ = 0;
+  std::vector<double> p_;  // indexed by sparse node id
+  std::vector<double> r_;
+  uint32_t last_iterations_ = 0;
+  uint64_t last_pushes_ = 0;
+};
+
+}  // namespace aion::algo
+
+#endif  // AION_ALGO_INCREMENTAL_H_

@@ -1,0 +1,73 @@
+// Static graph algorithms over CSR projections (the GDS-library substitute,
+// Sec 2.1/5.1): BFS, SSSP, PageRank, weakly connected components, triangle
+// counting, local clustering coefficient, and property aggregation. These
+// are the non-incremental baselines the evaluation compares incremental
+// execution against (Sec 6.6: AVG, BFS, PR).
+#ifndef AION_ALGO_STATIC_ALGOS_H_
+#define AION_ALGO_STATIC_ALGOS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/graph_view.h"
+
+namespace aion::algo {
+
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// BFS levels from `source` (dense id) following outgoing edges;
+/// kUnreachable where not reached.
+std::vector<uint32_t> Bfs(const graph::CsrGraph& g, uint32_t source);
+
+/// Single-source shortest paths (Dijkstra) using edge weights;
+/// +inf where unreachable. Negative weights are not supported.
+std::vector<double> Sssp(const graph::CsrGraph& g, uint32_t source);
+
+struct PageRankOptions {
+  double damping = 0.85;
+  uint32_t max_iterations = 100;
+  /// L1-convergence threshold (Sec 6.6 uses epsilon = 0.01).
+  double epsilon = 0.01;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  uint32_t iterations = 0;
+};
+
+/// Power-iteration PageRank with dangling-mass redistribution. When
+/// `initial` is non-empty it seeds the iteration (warm start — the basis of
+/// incremental execution for non-monotonic algorithms).
+PageRankResult PageRank(const graph::CsrGraph& g,
+                        const PageRankOptions& options = {},
+                        const std::vector<double>& initial = {});
+
+/// Weakly connected components: component id per dense node (smallest
+/// member id as representative).
+std::vector<uint32_t> ConnectedComponents(const graph::CsrGraph& g);
+
+/// Global triangle count (edges treated as undirected, deduplicated).
+uint64_t CountTriangles(const graph::CsrGraph& g);
+
+/// Local clustering coefficient per node (undirected neighbourhoods).
+std::vector<double> LocalClusteringCoefficient(const graph::CsrGraph& g);
+
+/// Streaming-style aggregate over one relationship property.
+struct AggregateResult {
+  double sum = 0;
+  uint64_t count = 0;
+  double Average() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Full scan of relationship property `key` (numeric coercion; missing
+/// properties are skipped).
+AggregateResult AggregateRelationshipProperty(const graph::GraphView& g,
+                                              const std::string& key);
+
+}  // namespace aion::algo
+
+#endif  // AION_ALGO_STATIC_ALGOS_H_

@@ -1,0 +1,133 @@
+#include "algo/temporal_paths.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace aion::algo {
+
+using graph::kInfiniteTime;
+using graph::NodeId;
+using graph::TemporalGraph;
+using graph::Timestamp;
+
+std::vector<TemporalEdge> CollectTemporalEdges(const TemporalGraph& g) {
+  std::vector<TemporalEdge> edges;
+  for (graph::RelId id = 0; id < g.RelCapacity(); ++id) {
+    for (const graph::RelationshipVersion& v :
+         g.RelationshipHistory(id, 0, kInfiniteTime)) {
+      if (v.interval.end == kInfiniteTime) continue;  // never arrives
+      edges.push_back({v.entity.src, v.entity.tgt, v.entity.id,
+                       v.interval.start, v.interval.end});
+    }
+  }
+  return edges;
+}
+
+std::vector<Timestamp> EarliestArrival(const TemporalGraph& g, NodeId source,
+                                       Timestamp t_start, Timestamp t_end) {
+  std::vector<Timestamp> ea(g.NodeCapacity(), kInfiniteTime);
+  if (source >= ea.size()) return ea;
+  ea[source] = t_start;
+  std::vector<TemporalEdge> edges = CollectTemporalEdges(g);
+  std::sort(edges.begin(), edges.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              return a.departure < b.departure;
+            });
+  // One pass in departure order (Wu et al. single-scan): an edge is usable
+  // once its source is reachable by its departure time.
+  for (const TemporalEdge& e : edges) {
+    if (e.departure < t_start || e.arrival > t_end) continue;
+    if (ea[e.src] <= e.departure && e.arrival < ea[e.tgt]) {
+      ea[e.tgt] = e.arrival;
+    }
+  }
+  return ea;
+}
+
+std::vector<Timestamp> LatestDeparture(const TemporalGraph& g, NodeId target,
+                                       Timestamp t_start, Timestamp t_end) {
+  // ld[v] = latest departure from v that still reaches target by t_end;
+  // 0 encodes "cannot reach" (the time domain is positive, Sec 3).
+  std::vector<Timestamp> ld(g.NodeCapacity(), 0);
+  if (target >= ld.size()) return ld;
+  ld[target] = t_end;
+  std::vector<TemporalEdge> edges = CollectTemporalEdges(g);
+  std::sort(edges.begin(), edges.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              return a.arrival > b.arrival;
+            });
+  // One pass in reverse arrival order: an edge is usable if the journey can
+  // continue from its target after arriving.
+  for (const TemporalEdge& e : edges) {
+    if (e.departure < t_start || e.arrival > t_end) continue;
+    if (e.arrival <= ld[e.tgt] && e.departure > ld[e.src]) {
+      ld[e.src] = e.departure;
+    }
+  }
+  return ld;
+}
+
+Timestamp FastestPathDuration(const TemporalGraph& g, NodeId source,
+                              NodeId target, Timestamp t_start,
+                              Timestamp t_end) {
+  if (source >= g.NodeCapacity() || target >= g.NodeCapacity()) {
+    return kInfiniteTime;
+  }
+  if (source == target) return 0;
+  // Try each distinct departure time of an edge leaving the source; the
+  // fastest journey starts exactly at one of them (Wu et al.).
+  std::vector<TemporalEdge> edges = CollectTemporalEdges(g);
+  std::vector<Timestamp> departures;
+  for (const TemporalEdge& e : edges) {
+    if (e.src == source && e.departure >= t_start && e.arrival <= t_end) {
+      departures.push_back(e.departure);
+    }
+  }
+  std::sort(departures.begin(), departures.end());
+  departures.erase(std::unique(departures.begin(), departures.end()),
+                   departures.end());
+  Timestamp best = kInfiniteTime;
+  for (Timestamp start : departures) {
+    const std::vector<Timestamp> ea = EarliestArrival(g, source, start, t_end);
+    if (ea[target] != kInfiniteTime) {
+      best = std::min(best, ea[target] - start);
+    }
+  }
+  return best;
+}
+
+uint32_t ShortestTemporalPathHops(const TemporalGraph& g, NodeId source,
+                                  NodeId target, Timestamp t_start,
+                                  Timestamp t_end) {
+  if (source >= g.NodeCapacity() || target >= g.NodeCapacity()) {
+    return std::numeric_limits<uint32_t>::max();
+  }
+  if (source == target) return 0;
+  // Hop-layered relaxation: arrive[v] = earliest arrival using <= h hops.
+  std::vector<TemporalEdge> edges = CollectTemporalEdges(g);
+  std::sort(edges.begin(), edges.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              return a.departure < b.departure;
+            });
+  std::vector<Timestamp> arrive(g.NodeCapacity(), kInfiniteTime);
+  arrive[source] = t_start;
+  const uint32_t max_hops =
+      static_cast<uint32_t>(std::min<size_t>(g.NodeCapacity(), edges.size()));
+  for (uint32_t hop = 1; hop <= max_hops; ++hop) {
+    bool changed = false;
+    std::vector<Timestamp> next = arrive;
+    for (const TemporalEdge& e : edges) {
+      if (e.departure < t_start || e.arrival > t_end) continue;
+      if (arrive[e.src] <= e.departure && e.arrival < next[e.tgt]) {
+        next[e.tgt] = e.arrival;
+        changed = true;
+      }
+    }
+    arrive.swap(next);
+    if (arrive[target] != kInfiniteTime) return hop;
+    if (!changed) break;
+  }
+  return std::numeric_limits<uint32_t>::max();
+}
+
+}  // namespace aion::algo

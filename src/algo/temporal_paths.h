@@ -1,0 +1,67 @@
+// Temporal path algorithms (Sec 4.1, Fig 2): single-scan algorithms over
+// the temporal graph representation, following Wu et al. [79] — "describing
+// temporal paths as a topological-optimum problem using a single scan
+// approach instead of performing expensive joins across snapshots".
+//
+// A relationship version with validity [dep, arr) is interpreted as a
+// connection departing its source at `dep` and arriving at its target at
+// `arr` (the aviation reading of Fig 2).
+#ifndef AION_ALGO_TEMPORAL_PATHS_H_
+#define AION_ALGO_TEMPORAL_PATHS_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace aion::algo {
+
+/// One time-respecting connection extracted from the temporal graph.
+struct TemporalEdge {
+  graph::NodeId src = graph::kInvalidNodeId;
+  graph::NodeId tgt = graph::kInvalidNodeId;
+  graph::RelId rel = graph::kInvalidRelId;
+  graph::Timestamp departure = 0;
+  graph::Timestamp arrival = 0;
+
+  bool operator==(const TemporalEdge&) const = default;
+};
+
+/// All finite-interval relationship versions as temporal edges (versions
+/// still open at infinity are skipped: they never "arrive").
+std::vector<TemporalEdge> CollectTemporalEdges(const graph::TemporalGraph& g);
+
+/// Earliest-arrival times from `source` within the window [t_start, t_end]:
+/// result[v] is the earliest time one can arrive at v having departed the
+/// source no earlier than t_start. kInfiniteTime = unreachable. Single
+/// forward scan over edges sorted by departure time.
+std::vector<graph::Timestamp> EarliestArrival(const graph::TemporalGraph& g,
+                                              graph::NodeId source,
+                                              graph::Timestamp t_start,
+                                              graph::Timestamp t_end);
+
+/// Latest-departure times towards `target`: result[v] is the latest time
+/// one can leave v and still reach `target` by t_end. 0 = cannot reach.
+/// Single backward scan over edges sorted by arrival time (descending).
+std::vector<graph::Timestamp> LatestDeparture(const graph::TemporalGraph& g,
+                                              graph::NodeId target,
+                                              graph::Timestamp t_start,
+                                              graph::Timestamp t_end);
+
+/// Minimum journey duration (arrival - departure) from source to `target`
+/// within the window, or kInfiniteTime when unreachable.
+graph::Timestamp FastestPathDuration(const graph::TemporalGraph& g,
+                                     graph::NodeId source,
+                                     graph::NodeId target,
+                                     graph::Timestamp t_start,
+                                     graph::Timestamp t_end);
+
+/// Minimum number of hops of any time-respecting journey source -> target
+/// within the window, or UINT32_MAX when unreachable.
+uint32_t ShortestTemporalPathHops(const graph::TemporalGraph& g,
+                                  graph::NodeId source, graph::NodeId target,
+                                  graph::Timestamp t_start,
+                                  graph::Timestamp t_end);
+
+}  // namespace aion::algo
+
+#endif  // AION_ALGO_TEMPORAL_PATHS_H_

@@ -1,0 +1,578 @@
+#include "core/aion.h"
+
+#include <algorithm>
+
+#include "graph/cow_graph.h"
+#include "storage/file.h"
+#include "util/logging.h"
+
+namespace aion::core {
+
+using graph::GraphUpdate;
+using graph::UpdateOp;
+using util::Status;
+using util::StatusOr;
+
+AionStore::~AionStore() {
+  if (background_ != nullptr) background_->Wait();
+}
+
+StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
+  AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
+  std::unique_ptr<AionStore> store(new AionStore());
+  store->options_ = options;
+  AION_ASSIGN_OR_RETURN(store->string_pool_,
+                        storage::StringPool::Open(options.dir + "/strings"));
+  store->graph_store_ =
+      std::make_unique<GraphStore>(options.graphstore_capacity_bytes);
+  if (options.enable_timestore) {
+    TimeStore::Options ts_options;
+    ts_options.dir = options.dir + "/timestore";
+    ts_options.policy = options.snapshot_policy;
+    ts_options.index_cache_pages = options.index_cache_pages;
+    AION_ASSIGN_OR_RETURN(store->time_store_,
+                          TimeStore::Open(ts_options, store->graph_store_.get()));
+  }
+  if (options.lineage_mode != LineageMode::kDisabled) {
+    LineageStore::Options ls_options;
+    ls_options.dir = options.dir + "/lineagestore";
+    ls_options.materialization_threshold = options.materialization_threshold;
+    ls_options.index_cache_pages = options.index_cache_pages;
+    AION_ASSIGN_OR_RETURN(
+        store->lineage_store_,
+        LineageStore::Open(ls_options, store->string_pool_.get()));
+  }
+  // A single background worker keeps the cascade ordered (Sec 5.1).
+  store->background_ = std::make_unique<util::ThreadPool>(1);
+  // Rebuild the latest replica from history after a restart.
+  if (store->time_store_ != nullptr && store->time_store_->last_ts() > 0) {
+    AION_ASSIGN_OR_RETURN(
+        auto latest,
+        store->time_store_->MaterializeGraphAt(store->time_store_->last_ts()));
+    store->graph_store_->SeedLatest(std::move(latest),
+                                    store->time_store_->last_ts());
+    store->last_ingested_ts_ = store->time_store_->last_ts();
+    // Statistics are in-memory only: rebuild them from the recovered state.
+    store->graph_store_->WithLatest([&](const graph::MemoryGraph& g) {
+      g.ForEachNode([&](const graph::Node& n) {
+        store->stats_.Observe(GraphUpdate::AddNode(n.id, n.labels));
+      });
+      g.ForEachRelationship([&](const graph::Relationship& r) {
+        GraphUpdate u =
+            GraphUpdate::AddRelationship(r.id, r.src, r.tgt, r.type);
+        if (const graph::Node* src = g.GetNode(r.src); src != nullptr) {
+          u.labels = src->labels;
+        }
+        store->stats_.Observe(u);
+      });
+    });
+  } else if (store->lineage_store_ != nullptr) {
+    store->last_ingested_ts_ = store->lineage_store_->applied_ts();
+  }
+  return store;
+}
+
+void AionStore::AfterCommit(const txn::TransactionData& data) {
+  // Fail-stop on the commit path: a temporal-storage failure here would
+  // silently lose history otherwise.
+  AION_CHECK_OK(Ingest(data.commit_ts, data.updates));
+}
+
+Status AionStore::Ingest(Timestamp ts,
+                         const std::vector<GraphUpdate>& updates) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  // Stamp defensively (direct-ingest callers may pass unstamped updates).
+  std::vector<GraphUpdate> stamped = updates;
+  for (GraphUpdate& u : stamped) u.ts = ts;
+
+  // Latest replica + statistics are maintained synchronously (HTAP-style
+  // snapshot replication, Sec 5.1). Endpoint labels enrich pattern stats,
+  // and relationship deletions get their endpoints resolved from the
+  // pre-delete state so every downstream consumer (TimeStore log diffs,
+  // LineageStore neighbourhood indexes, incremental algorithms) sees them.
+  for (GraphUpdate& u : stamped) {
+    if (u.op == UpdateOp::kAddRelationship) {
+      GraphUpdate annotated = u;
+      graph_store_->WithLatest([&](const graph::MemoryGraph& latest) {
+        if (const graph::Node* src = latest.GetNode(u.src); src != nullptr) {
+          annotated.labels = src->labels;
+        }
+      });
+      stats_.Observe(annotated);
+    } else if (u.op == UpdateOp::kDeleteRelationship &&
+               u.src == graph::kInvalidNodeId) {
+      // Resolve endpoints from the pre-delete state so the LineageStore's
+      // neighbourhood indexes can record the removal without a lookup.
+      graph_store_->WithLatest([&](const graph::MemoryGraph& latest) {
+        if (const graph::Relationship* rel = latest.GetRelationship(u.id);
+            rel != nullptr) {
+          u.src = rel->src;
+          u.tgt = rel->tgt;
+        }
+      });
+      stats_.Observe(u);
+    } else {
+      stats_.Observe(u);
+    }
+    AION_RETURN_IF_ERROR(graph_store_->ApplyToLatest(u));
+  }
+  bool snapshot_due = false;
+  if (time_store_ != nullptr) {
+    AION_RETURN_IF_ERROR(time_store_->Append(ts, stamped, &snapshot_due));
+  }
+  last_ingested_ts_ = std::max(last_ingested_ts_, ts);
+
+  if (lineage_store_ != nullptr) {
+    if (options_.lineage_mode == LineageMode::kSync) {
+      AION_RETURN_IF_ERROR(lineage_store_->ApplyAll(stamped));
+    } else {
+      background_->Submit([this, batch = stamped]() {
+        AION_CHECK_OK(lineage_store_->ApplyAll(batch));
+      });
+    }
+  }
+  if (snapshot_due && time_store_ != nullptr &&
+      !snapshot_pending_.exchange(true)) {
+    // One snapshot task at a time: the policy counter only resets when the
+    // background write completes, so without this guard every commit in
+    // the window would enqueue another snapshot.
+    background_->Submit([this]() { MaybeSnapshot(true); });
+  }
+  return Status::OK();
+}
+
+void AionStore::MaybeSnapshot(bool due) {
+  if (!due || time_store_ == nullptr) return;
+  const auto latest = graph_store_->Latest();
+  const Timestamp ts = graph_store_->latest_ts();
+  AION_CHECK_OK(time_store_->WriteSnapshot(ts, *latest));
+  graph_store_->Put(ts, latest);
+  snapshot_pending_.store(false);
+}
+
+void AionStore::DrainBackground() { background_->Wait(); }
+
+Status AionStore::RecoverFrom(const txn::GraphDatabase& db) {
+  const Timestamp have =
+      time_store_ != nullptr ? time_store_->last_ts() : last_ingested_ts_;
+  Status status = Status::OK();
+  AION_RETURN_IF_ERROR(db.ReplayUpdatesSince(
+      have, [this, &status](const txn::TransactionData& data) {
+        if (!status.ok()) return;
+        status = Ingest(data.commit_ts, data.updates);
+      }));
+  return status;
+}
+
+Status AionStore::Flush() {
+  DrainBackground();
+  if (time_store_ != nullptr) AION_RETURN_IF_ERROR(time_store_->Flush());
+  if (lineage_store_ != nullptr) {
+    AION_RETURN_IF_ERROR(lineage_store_->Flush());
+  }
+  return Status::OK();
+}
+
+uint64_t AionStore::SizeBytes() const {
+  uint64_t total = string_pool_->SizeBytes();
+  if (time_store_ != nullptr) total += time_store_->SizeBytes();
+  if (lineage_store_ != nullptr) total += lineage_store_->SizeBytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Planner support
+// ---------------------------------------------------------------------------
+
+bool AionStore::LineageCanServe(Timestamp ts) const {
+  if (lineage_store_ == nullptr) return false;
+  if (options_.lineage_mode == LineageMode::kSync) return true;
+  return lineage_store_->applied_ts() >= std::min(ts, last_ingested_ts_);
+}
+
+AionStore::StoreChoice AionStore::ChooseStoreForExpand(uint32_t hops) const {
+  if (lineage_store_ == nullptr) return StoreChoice::kTimeStore;
+  if (time_store_ == nullptr) return StoreChoice::kLineageStore;
+  const double fraction = stats_.EstimateExpandFraction(hops);
+  return fraction < options_.lineage_fraction_threshold
+             ? StoreChoice::kLineageStore
+             : StoreChoice::kTimeStore;
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 API
+// ---------------------------------------------------------------------------
+
+StatusOr<std::vector<NodeVersion>> AionStore::GetNode(graph::NodeId id,
+                                                      Timestamp start,
+                                                      Timestamp end) {
+  if (LineageCanServe(std::max(start, end))) {
+    return lineage_store_->GetNode(id, start, end);
+  }
+  if (lineage_store_ != nullptr &&
+      options_.lineage_mode == LineageMode::kAsync) {
+    // Lagging cascade: rare case, fall back to the TimeStore (Sec 5.1).
+    return NodeHistoryViaTimeStore(id, start, end);
+  }
+  if (time_store_ != nullptr) return NodeHistoryViaTimeStore(id, start, end);
+  return Status::FailedPrecondition("no temporal store can serve the query");
+}
+
+StatusOr<std::vector<RelationshipVersion>> AionStore::GetRelationship(
+    graph::RelId id, Timestamp start, Timestamp end) {
+  if (LineageCanServe(std::max(start, end))) {
+    return lineage_store_->GetRelationship(id, start, end);
+  }
+  if (time_store_ != nullptr) return RelHistoryViaTimeStore(id, start, end);
+  return Status::FailedPrecondition("no temporal store can serve the query");
+}
+
+StatusOr<std::vector<std::vector<RelationshipVersion>>>
+AionStore::GetRelationships(graph::NodeId id, Direction direction,
+                            Timestamp start, Timestamp end) {
+  if (LineageCanServe(std::max(start, end))) {
+    return lineage_store_->GetRelationships(id, direction, start, end);
+  }
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition("no temporal store can serve the query");
+  }
+  // TimeStore fallback: filter the update log for relationships incident to
+  // the node (expensive; the documented penalty of the lagging cascade).
+  const Timestamp window_end =
+      end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
+                   : end;
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
+                        time_store_->GetDiff(0, window_end));
+  std::vector<graph::RelId> order;
+  std::vector<std::vector<RelationshipVersion>> result;
+  // Track incident relationship ids.
+  std::map<graph::RelId, bool> incident;
+  for (const GraphUpdate& u : all) {
+    if (u.op == UpdateOp::kAddRelationship &&
+        (u.src == id || u.tgt == id)) {
+      const bool matches =
+          direction == Direction::kBoth ||
+          (direction == Direction::kOutgoing && u.src == id) ||
+          (direction == Direction::kIncoming && u.tgt == id);
+      if (matches && incident.emplace(u.id, true).second) {
+        order.push_back(u.id);
+      }
+    }
+  }
+  for (graph::RelId rel : order) {
+    AION_ASSIGN_OR_RETURN(std::vector<RelationshipVersion> history,
+                          RelHistoryViaTimeStore(rel, start, end));
+    if (!history.empty()) result.push_back(std::move(history));
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::vector<graph::Node>>> AionStore::Expand(
+    graph::NodeId id, Direction direction, uint32_t hops, Timestamp t) {
+  const StoreChoice choice = ChooseStoreForExpand(hops);
+  if (choice == StoreChoice::kLineageStore && LineageCanServe(t)) {
+    return lineage_store_->Expand(id, direction, hops, t);
+  }
+  if (time_store_ != nullptr) {
+    return ExpandViaTimeStore(id, direction, hops, t);
+  }
+  if (lineage_store_ != nullptr) {
+    return lineage_store_->Expand(id, direction, hops, t);
+  }
+  return Status::FailedPrecondition("no temporal store can serve the query");
+}
+
+StatusOr<std::vector<AionStore::TimedExpansion>> AionStore::ExpandOverTime(
+    graph::NodeId id, Direction direction, uint32_t hops, Timestamp start,
+    Timestamp end, Timestamp step) {
+  if (step == 0) return Status::InvalidArgument("step must be positive");
+  if (end < start) return Status::InvalidArgument("end before start");
+  std::vector<TimedExpansion> out;
+  for (Timestamp t = start; t <= end;) {
+    TimedExpansion expansion;
+    expansion.at = t;
+    AION_ASSIGN_OR_RETURN(expansion.hops, Expand(id, direction, hops, t));
+    out.push_back(std::move(expansion));
+    if (end - t < step) break;  // overflow-safe advance
+    t += step;
+  }
+  return out;
+}
+
+StatusOr<std::vector<GraphUpdate>> AionStore::GetDiff(Timestamp start,
+                                                      Timestamp end) {
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition("getDiff requires the TimeStore");
+  }
+  return time_store_->GetDiff(start, end);
+}
+
+StatusOr<std::shared_ptr<const graph::GraphView>> AionStore::GetGraphAt(
+    Timestamp t) {
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition("global queries require the TimeStore");
+  }
+  return time_store_->GetGraphAt(t);
+}
+
+StatusOr<std::vector<std::shared_ptr<const graph::GraphView>>>
+AionStore::GetGraph(Timestamp start, Timestamp end, Timestamp step) {
+  if (step == 0) return Status::InvalidArgument("step must be positive");
+  if (end < start) return Status::InvalidArgument("end before start");
+  std::vector<std::shared_ptr<const graph::GraphView>> out;
+  for (Timestamp t = start; t <= end;) {
+    AION_ASSIGN_OR_RETURN(auto view, GetGraphAt(t));
+    out.push_back(std::move(view));
+    if (end - t < step) break;  // overflow-safe advance
+    t += step;
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<graph::MemoryGraph>> AionStore::GetWindow(
+    Timestamp start, Timestamp end) {
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition("getWindow requires the TimeStore");
+  }
+  AION_ASSIGN_OR_RETURN(auto window, time_store_->MaterializeGraphAt(start));
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
+                        time_store_->GetDiff(start, end));
+  // All entities present in the window are kept: additions and
+  // modifications apply, deletions are ignored (Sec 4.1).
+  for (const GraphUpdate& u : diff) {
+    switch (u.op) {
+      case UpdateOp::kDeleteNode:
+      case UpdateOp::kDeleteRelationship:
+        break;
+      case UpdateOp::kAddNode:
+        if (window->GetNode(u.id) == nullptr) {
+          AION_RETURN_IF_ERROR(window->Apply(u));
+        }
+        break;
+      case UpdateOp::kAddRelationship:
+        if (window->GetRelationship(u.id) == nullptr) {
+          AION_RETURN_IF_ERROR(window->Apply(u));
+        }
+        break;
+      default: {
+        // Property/label changes apply when the entity is present.
+        const Status s = window->Apply(u);
+        if (!s.ok() && !s.IsFailedPrecondition()) return s;
+        break;
+      }
+    }
+  }
+  return window;
+}
+
+StatusOr<std::unique_ptr<graph::TemporalGraph>> AionStore::GetTemporalGraph(
+    Timestamp start, Timestamp end) {
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "getTemporalGraph requires the TimeStore");
+  }
+  AION_ASSIGN_OR_RETURN(auto base, time_store_->MaterializeGraphAt(start));
+  auto temporal = std::make_unique<graph::TemporalGraph>();
+  Status status = Status::OK();
+  base->ForEachNode([&](const graph::Node& n) {
+    if (!status.ok()) return;
+    GraphUpdate u = GraphUpdate::AddNode(n.id, n.labels, n.props);
+    u.ts = start;
+    status = temporal->Apply(u);
+  });
+  AION_RETURN_IF_ERROR(status);
+  base->ForEachRelationship([&](const graph::Relationship& r) {
+    if (!status.ok()) return;
+    GraphUpdate u =
+        GraphUpdate::AddRelationship(r.id, r.src, r.tgt, r.type, r.props);
+    u.ts = start;
+    status = temporal->Apply(u);
+  });
+  AION_RETURN_IF_ERROR(status);
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
+                        time_store_->GetDiff(start, end));
+  AION_RETURN_IF_ERROR(temporal->ApplyAll(diff));
+  return temporal;
+}
+
+// ---------------------------------------------------------------------------
+// TimeStore fallbacks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Folds an entity's update stream into versions overlapping [start, end).
+template <typename Entity, typename Matches, typename Fold>
+std::vector<graph::Versioned<Entity>> FoldUpdates(
+    const std::vector<GraphUpdate>& updates, Timestamp start, Timestamp end,
+    Matches&& matches, Fold&& fold) {
+  if (end <= start) end = start == graph::kInfiniteTime ? start : start + 1;
+  std::vector<graph::Versioned<Entity>> out;
+  Entity state{};
+  bool live = false;
+  bool have_cur = false;
+  graph::Versioned<Entity> cur;
+  for (const GraphUpdate& u : updates) {
+    if (!matches(u)) continue;
+    if (u.ts >= end) {
+      if (have_cur) {
+        cur.interval.end = u.ts;
+        if (cur.interval.start < cur.interval.end &&
+            cur.interval.Overlaps(start, end)) {
+          out.push_back(cur);
+        }
+        have_cur = false;
+      }
+      break;
+    }
+    const bool was_live = live;
+    fold(u, &state, &live);
+    if (have_cur && u.ts == cur.interval.start) {
+      if (!live) {
+        have_cur = false;
+      } else {
+        cur.entity = state;
+      }
+      continue;
+    }
+    if (have_cur) {
+      cur.interval.end = u.ts;
+      if (cur.interval.start < cur.interval.end &&
+          cur.interval.Overlaps(start, end)) {
+        out.push_back(cur);
+      }
+      have_cur = false;
+    }
+    if (live) {
+      cur = {{u.ts, graph::kInfiniteTime}, state};
+      have_cur = true;
+    }
+    (void)was_live;
+  }
+  if (have_cur && cur.interval.Overlaps(start, end)) {
+    cur.interval.end = graph::kInfiniteTime;
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<NodeVersion>> AionStore::NodeHistoryViaTimeStore(
+    graph::NodeId id, Timestamp start, Timestamp end) {
+  const Timestamp scan_end =
+      end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
+                   : end;
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
+                        time_store_->GetDiff(0, scan_end));
+  return FoldUpdates<graph::Node>(
+      all, start, end,
+      [id](const GraphUpdate& u) {
+        return graph::IsNodeOp(u.op) && u.id == id;
+      },
+      [](const GraphUpdate& u, graph::Node* node, bool* live) {
+        switch (u.op) {
+          case UpdateOp::kAddNode:
+            node->id = u.id;
+            node->labels = u.labels;
+            node->props = u.props;
+            *live = true;
+            break;
+          case UpdateOp::kDeleteNode:
+            *live = false;
+            *node = graph::Node{};
+            break;
+          case UpdateOp::kSetNodeProperty:
+            node->props.Set(u.key, u.value);
+            break;
+          case UpdateOp::kRemoveNodeProperty:
+            node->props.Remove(u.key);
+            break;
+          case UpdateOp::kAddNodeLabel:
+            node->AddLabel(u.label);
+            break;
+          case UpdateOp::kRemoveNodeLabel:
+            node->RemoveLabel(u.label);
+            break;
+          default:
+            break;
+        }
+      });
+}
+
+StatusOr<std::vector<RelationshipVersion>> AionStore::RelHistoryViaTimeStore(
+    graph::RelId id, Timestamp start, Timestamp end) {
+  const Timestamp scan_end =
+      end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
+                   : end;
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
+                        time_store_->GetDiff(0, scan_end));
+  return FoldUpdates<graph::Relationship>(
+      all, start, end,
+      [id](const GraphUpdate& u) {
+        return !graph::IsNodeOp(u.op) && u.id == id;
+      },
+      [](const GraphUpdate& u, graph::Relationship* rel, bool* live) {
+        switch (u.op) {
+          case UpdateOp::kAddRelationship:
+            rel->id = u.id;
+            rel->src = u.src;
+            rel->tgt = u.tgt;
+            rel->type = u.type;
+            rel->props = u.props;
+            *live = true;
+            break;
+          case UpdateOp::kDeleteRelationship:
+            *live = false;
+            *rel = graph::Relationship{};
+            break;
+          case UpdateOp::kSetRelationshipProperty:
+            rel->props.Set(u.key, u.value);
+            break;
+          case UpdateOp::kRemoveRelationshipProperty:
+            rel->props.Remove(u.key);
+            break;
+          default:
+            break;
+        }
+      });
+}
+
+StatusOr<std::vector<std::vector<graph::Node>>> AionStore::ExpandViaTimeStore(
+    graph::NodeId id, Direction direction, uint32_t hops, Timestamp t) {
+  // Full snapshot materialization followed by traversal (Sec 4.3: "Point or
+  // subgraph queries require the creation of a snapshot, ... an expensive
+  // operation with graph retrieval outweighing traversal costs").
+  AION_ASSIGN_OR_RETURN(auto view, time_store_->GetGraphAt(t));
+  std::vector<std::vector<graph::Node>> result;
+  std::vector<graph::NodeId> queue = {id};
+  for (uint32_t hop = 1; hop <= hops; ++hop) {
+    std::vector<graph::Node> level;
+    std::map<graph::NodeId, bool> visited_this_hop;
+    std::vector<graph::NodeId> next;
+    for (graph::NodeId cid : queue) {
+      view->ForEachRel(cid, direction, [&](graph::RelId rel_id) {
+        const graph::Relationship* rel = view->GetRelationship(rel_id);
+        if (rel == nullptr) return;
+        const graph::NodeId nbr =
+            direction == Direction::kOutgoing
+                ? rel->tgt
+                : (direction == Direction::kIncoming ? rel->src
+                                                     : rel->Other(cid));
+        if (!visited_this_hop.emplace(nbr, true).second) return;
+        const graph::Node* node = view->GetNode(nbr);
+        if (node != nullptr) {
+          level.push_back(*node);
+          next.push_back(nbr);
+        }
+      });
+    }
+    result.push_back(std::move(level));
+    queue = std::move(next);
+    if (queue.empty()) break;
+  }
+  result.resize(hops);
+  return result;
+}
+
+}  // namespace aion::core

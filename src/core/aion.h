@@ -1,0 +1,200 @@
+// AionStore: the temporal graph system of the paper (Fig 4). It combines
+//   * GraphStore    — LRU snapshot cache + synchronously maintained latest
+//                     graph replica,
+//   * TimeStore     — time-indexed update log + snapshots (global queries),
+//   * LineageStore  — entity-indexed history (point/subgraph queries),
+// behind the temporal graph API of Table 1, and plugs into the host
+// database as an after-commit TransactionEventListener.
+//
+// Commit path (Sec 5.1 stage 2): only the TimeStore (and the latest-graph
+// replica) are updated synchronously; background workers cascade updates to
+// the LineageStore and create snapshots under the policy. When the
+// LineageStore lags behind a query's timestamp, Aion transparently falls
+// back to the TimeStore at a performance penalty.
+//
+// Store selection (Sec 5.1/6.3): queries estimated to touch less than 30%
+// of the graph use the LineageStore; otherwise a full snapshot is
+// constructed with the TimeStore.
+#ifndef AION_CORE_AION_H_
+#define AION_CORE_AION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/graphstore.h"
+#include "core/lineagestore.h"
+#include "core/statistics.h"
+#include "core/timestore.h"
+#include "graph/graph_view.h"
+#include "graph/temporal_graph.h"
+#include "txn/graphdb.h"
+#include "txn/listener.h"
+#include "util/thread_pool.h"
+
+namespace aion::core {
+
+class AionStore : public txn::TransactionEventListener {
+ public:
+  /// How LineageStore updates reach disk (Fig 9 compares these modes).
+  enum class LineageMode {
+    kAsync,     // default: background cascade off the commit path
+    kSync,      // updated inside the commit path (TS+LS of Fig 9)
+    kDisabled,  // TimeStore only
+  };
+
+  struct Options {
+    std::string dir;
+    LineageMode lineage_mode = LineageMode::kAsync;
+    bool enable_timestore = true;  // off = LineageStore-only (Fig 9 "LS")
+    SnapshotPolicy snapshot_policy;
+    uint32_t materialization_threshold = 4;
+    size_t graphstore_capacity_bytes = size_t{1} << 30;
+    /// LineageStore is chosen when the estimated accessed fraction is below
+    /// this threshold (Sec 6.3 fixes it at 30%).
+    double lineage_fraction_threshold = 0.3;
+    size_t index_cache_pages = 512;
+  };
+
+  static util::StatusOr<std::unique_ptr<AionStore>> Open(
+      const Options& options);
+
+  ~AionStore() override;
+
+  AionStore(const AionStore&) = delete;
+  AionStore& operator=(const AionStore&) = delete;
+
+  // -------------------------------------------------------------------
+  // Ingestion
+  // -------------------------------------------------------------------
+
+  /// TransactionEventListener: called by the host database after commit.
+  /// Storage failures on this path are fail-stop (checked).
+  void AfterCommit(const txn::TransactionData& data) override;
+
+  /// Direct ingestion for embedded use without a host database. Timestamps
+  /// must be monotonic.
+  util::Status Ingest(Timestamp ts,
+                      const std::vector<graph::GraphUpdate>& updates);
+
+  /// Blocks until the background cascade (LineageStore, snapshots) caught
+  /// up with everything ingested so far.
+  void DrainBackground();
+
+  /// Re-ingests updates committed after Aion's persisted watermark from the
+  /// host database's WAL (Sec 5.1 fault tolerance).
+  util::Status RecoverFrom(const txn::GraphDatabase& db);
+
+  util::Status Flush();
+
+  // -------------------------------------------------------------------
+  // Temporal graph API (Table 1)
+  // -------------------------------------------------------------------
+
+  /// Node history between the given timestamps ([start, end); start == end
+  /// means the instant state).
+  util::StatusOr<std::vector<NodeVersion>> GetNode(graph::NodeId id,
+                                                   Timestamp start,
+                                                   Timestamp end);
+
+  /// Relationship history between the given timestamps.
+  util::StatusOr<std::vector<RelationshipVersion>> GetRelationship(
+      graph::RelId id, Timestamp start, Timestamp end);
+
+  /// A node's (in/out) relationship history.
+  util::StatusOr<std::vector<std::vector<RelationshipVersion>>>
+  GetRelationships(graph::NodeId id, Direction direction, Timestamp start,
+                   Timestamp end);
+
+  /// A node's n-hop neighbourhood at time t (result[h] = nodes at hop h+1).
+  /// Chooses LineageStore or TimeStore via the cardinality heuristic.
+  util::StatusOr<std::vector<std::vector<graph::Node>>> Expand(
+      graph::NodeId id, Direction direction, uint32_t hops, Timestamp t);
+
+  /// Table 1's full expand signature: the n-hop history over [start, end),
+  /// one expansion per `step` time units.
+  struct TimedExpansion {
+    Timestamp at = 0;
+    std::vector<std::vector<graph::Node>> hops;
+  };
+  util::StatusOr<std::vector<TimedExpansion>> ExpandOverTime(
+      graph::NodeId id, Direction direction, uint32_t hops, Timestamp start,
+      Timestamp end, Timestamp step);
+
+  /// The difference between two time instances: updates with
+  /// start < ts <= end.
+  util::StatusOr<std::vector<graph::GraphUpdate>> GetDiff(Timestamp start,
+                                                          Timestamp end);
+
+  /// The graph as of time t.
+  util::StatusOr<std::shared_ptr<const graph::GraphView>> GetGraphAt(
+      Timestamp t);
+
+  /// The history of the graph between two timestamps, one snapshot per
+  /// `step` time units (Table 1 getGraph).
+  util::StatusOr<std::vector<std::shared_ptr<const graph::GraphView>>>
+  GetGraph(Timestamp start, Timestamp end, Timestamp step);
+
+  /// Graph window (Sec 4.1): all entities present within [start, end),
+  /// including connections of present nodes valid at start.
+  util::StatusOr<std::unique_ptr<graph::MemoryGraph>> GetWindow(
+      Timestamp start, Timestamp end);
+
+  /// Temporal LPG over [start, end).
+  util::StatusOr<std::unique_ptr<graph::TemporalGraph>> GetTemporalGraph(
+      Timestamp start, Timestamp end);
+
+  // -------------------------------------------------------------------
+  // Planner support
+  // -------------------------------------------------------------------
+
+  enum class StoreChoice { kLineageStore, kTimeStore };
+
+  /// The store the heuristic picks for an n-hop expansion.
+  StoreChoice ChooseStoreForExpand(uint32_t hops) const;
+
+  /// Whether the LineageStore can serve a query up to `ts` right now
+  /// (false = lagging cascade or disabled; TimeStore fallback applies).
+  bool LineageCanServe(Timestamp ts) const;
+
+  const GraphStatistics& stats() const { return stats_; }
+  GraphStore& graph_store() { return *graph_store_; }
+  TimeStore* time_store() { return time_store_.get(); }
+  LineageStore* lineage_store() { return lineage_store_.get(); }
+
+  Timestamp last_ingested_ts() const { return last_ingested_ts_; }
+
+  /// Total temporal storage on disk.
+  uint64_t SizeBytes() const;
+
+ private:
+  AionStore() = default;
+
+  void ApplyToLineage(const std::vector<graph::GraphUpdate>& updates);
+  void MaybeSnapshot(bool due);
+
+  /// TimeStore-based fallbacks for fine-grained queries.
+  util::StatusOr<std::vector<NodeVersion>> NodeHistoryViaTimeStore(
+      graph::NodeId id, Timestamp start, Timestamp end);
+  util::StatusOr<std::vector<RelationshipVersion>> RelHistoryViaTimeStore(
+      graph::RelId id, Timestamp start, Timestamp end);
+  util::StatusOr<std::vector<std::vector<graph::Node>>> ExpandViaTimeStore(
+      graph::NodeId id, Direction direction, uint32_t hops, Timestamp t);
+
+  Options options_;
+  std::unique_ptr<storage::StringPool> string_pool_;
+  std::unique_ptr<GraphStore> graph_store_;
+  std::unique_ptr<TimeStore> time_store_;
+  std::unique_ptr<LineageStore> lineage_store_;
+  GraphStatistics stats_;
+  std::unique_ptr<util::ThreadPool> background_;  // 1 worker: ordered cascade
+  std::mutex ingest_mu_;
+  std::atomic<bool> snapshot_pending_{false};
+  Timestamp last_ingested_ts_ = 0;
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_AION_H_

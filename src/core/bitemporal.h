@@ -1,0 +1,65 @@
+// Bitemporal support (Sec 3 / 4.5): application (event) time is stored as
+// two ordinary graph properties — application start and end time — managed
+// by the user. Queries filter by application time *after* a system-time
+// valid (sub)graph has been retrieved; when the properties are absent, the
+// system-time interval is used as a fallback.
+#ifndef AION_CORE_BITEMPORAL_H_
+#define AION_CORE_BITEMPORAL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/entity.h"
+#include "graph/types.h"
+
+namespace aion::core {
+
+/// Property keys holding the user-managed application validity interval.
+inline constexpr const char* kApplicationStartKey = "app_start";
+inline constexpr const char* kApplicationEndKey = "app_end";
+
+/// Extracts the application-time interval of an entity's property set,
+/// falling back to `system_interval` when either bound is absent (Sec 4.5:
+/// "If the application time is not set as a property, we fall back to using
+/// the system time").
+inline graph::TimeInterval ApplicationInterval(
+    const graph::PropertySet& props, graph::TimeInterval system_interval) {
+  graph::TimeInterval out = system_interval;
+  if (const graph::PropertyValue* start = props.Get(kApplicationStartKey);
+      start != nullptr && start->type() == graph::PropertyType::kInt) {
+    out.start = static_cast<graph::Timestamp>(start->AsInt());
+  }
+  if (const graph::PropertyValue* end = props.Get(kApplicationEndKey);
+      end != nullptr && end->type() == graph::PropertyType::kInt) {
+    out.end = static_cast<graph::Timestamp>(end->AsInt());
+  }
+  return out;
+}
+
+/// CONTAINED IN (lo, hi): the application interval lies within [lo, hi].
+inline bool ApplicationTimeContainedIn(const graph::PropertySet& props,
+                                       graph::TimeInterval system_interval,
+                                       graph::Timestamp lo,
+                                       graph::Timestamp hi) {
+  const graph::TimeInterval app = ApplicationInterval(props, system_interval);
+  return app.start >= lo && app.end <= hi;
+}
+
+/// Filters versioned entities by application-time containment.
+template <typename Entity>
+std::vector<graph::Versioned<Entity>> FilterByApplicationTime(
+    std::vector<graph::Versioned<Entity>> versions, graph::Timestamp lo,
+    graph::Timestamp hi) {
+  std::vector<graph::Versioned<Entity>> out;
+  out.reserve(versions.size());
+  for (auto& v : versions) {
+    if (ApplicationTimeContainedIn(v.entity.props, v.interval, lo, hi)) {
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_BITEMPORAL_H_

@@ -1,0 +1,134 @@
+#include "core/graphstore.h"
+
+#include <algorithm>
+
+namespace aion::core {
+
+using graph::MemoryGraph;
+using graph::Timestamp;
+
+GraphStore::GraphStore(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      latest_(std::make_shared<MemoryGraph>()) {}
+
+util::Status GraphStore::ApplyToLatest(const graph::GraphUpdate& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latest_.use_count() > 1) {
+    // A published view is still alive somewhere: clone once so the holder
+    // keeps its immutable snapshot (copy-on-write). Subsequent updates
+    // mutate the fresh copy in place until the next handout escapes.
+    latest_ = std::shared_ptr<MemoryGraph>(latest_->Clone());
+  }
+  AION_RETURN_IF_ERROR(latest_->Apply(update));
+  latest_ts_ = std::max(latest_ts_, update.ts);
+  return util::Status::OK();
+}
+
+void GraphStore::SeedLatest(std::unique_ptr<MemoryGraph> graph,
+                            Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_ = std::shared_ptr<MemoryGraph>(std::move(graph));
+  latest_ts_ = ts;
+}
+
+std::shared_ptr<const MemoryGraph> GraphStore::Latest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+void GraphStore::Put(Timestamp ts,
+                     std::shared_ptr<const MemoryGraph> snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.bytes = snapshot->EstimateMemoryBytes();
+  entry.snapshot = std::move(snapshot);
+  entry.last_used = ++use_clock_;
+  auto it = snapshots_.find(ts);
+  if (it != snapshots_.end()) {
+    total_bytes_ -= it->second.bytes;
+    it->second = std::move(entry);
+    total_bytes_ += it->second.bytes;
+  } else {
+    total_bytes_ += entry.bytes;
+    snapshots_.emplace(ts, std::move(entry));
+  }
+  EvictIfNeeded();
+}
+
+std::shared_ptr<const MemoryGraph> GraphStore::Get(Timestamp ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = snapshots_.find(ts);
+  if (it == snapshots_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second.last_used = ++use_clock_;
+  return it->second.snapshot;
+}
+
+std::shared_ptr<const MemoryGraph> GraphStore::ClosestAtOrBefore(
+    Timestamp t, Timestamp* snapshot_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Candidate from the snapshot cache: largest key <= t.
+  auto it = snapshots_.upper_bound(t);
+  std::shared_ptr<const MemoryGraph> best;
+  Timestamp best_ts = 0;
+  if (it != snapshots_.begin()) {
+    --it;
+    best = it->second.snapshot;
+    best_ts = it->first;
+  }
+  // The latest replica also counts when it is old enough.
+  if (latest_ts_ <= t && latest_ts_ >= best_ts) {
+    *snapshot_ts = latest_ts_;
+    ++hits_;
+    return latest_;
+  }
+  if (best != nullptr) {
+    it->second.last_used = ++use_clock_;
+    *snapshot_ts = best_ts;
+    ++hits_;
+    return best;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+size_t GraphStore::cached_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_.size();
+}
+
+size_t GraphStore::cached_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+void GraphStore::PutResult(const std::string& name,
+                           std::vector<double> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  results_[name] = std::move(values);
+}
+
+std::optional<std::vector<double>> GraphStore::GetResult(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(name);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+void GraphStore::EvictIfNeeded() {
+  while (total_bytes_ > capacity_bytes_ && snapshots_.size() > 1) {
+    // Evict the least-recently-used snapshot.
+    auto victim = snapshots_.begin();
+    for (auto it = snapshots_.begin(); it != snapshots_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    total_bytes_ -= victim->second.bytes;
+    snapshots_.erase(victim);
+  }
+}
+
+}  // namespace aion::core

@@ -1,0 +1,125 @@
+// GraphStore (Sec 5.1/5.2): an in-memory LRU cache of graph snapshots plus
+// the always-current latest graph, maintained synchronously from committed
+// updates (the HTAP-style replication that avoids Neo4j's expensive
+// backup-based snapshot path). Snapshots are handed out as shared immutable
+// pointers; callers layer CowGraph overlays on top instead of copying
+// (Sec 5.2 optimization ii). It also keeps named algorithm results so
+// incremental procedures can reuse prior computations (Sec 5.2).
+#ifndef AION_CORE_GRAPHSTORE_H_
+#define AION_CORE_GRAPHSTORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/memgraph.h"
+#include "graph/types.h"
+#include "graph/update.h"
+#include "util/status.h"
+
+namespace aion::core {
+
+class GraphStore {
+ public:
+  /// `capacity_bytes` bounds the estimated memory of cached snapshots
+  /// (the latest graph is excluded from the budget: it is the HTAP replica,
+  /// not a cache entry).
+  explicit GraphStore(size_t capacity_bytes);
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  // -------------------------------------------------------------------
+  // Latest graph (synchronous replica of the host database)
+  // -------------------------------------------------------------------
+
+  /// Applies one committed update to the latest graph.
+  util::Status ApplyToLatest(const graph::GraphUpdate& update);
+
+  /// The latest graph as an immutable shared snapshot at `latest_ts`.
+  /// Cheap when unchanged since the last call (the replica is published
+  /// copy-on-write: mutation after a handout clones first).
+  std::shared_ptr<const graph::MemoryGraph> Latest();
+
+  /// Replaces the latest replica wholesale (recovery: the state at `ts` was
+  /// rebuilt from the TimeStore after a restart).
+  void SeedLatest(std::unique_ptr<graph::MemoryGraph> graph,
+                  graph::Timestamp ts);
+
+  graph::Timestamp latest_ts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_ts_;
+  }
+
+  /// Runs `fn` on the latest graph without publishing it (no copy-on-write
+  /// cost on the next ApplyToLatest). Used for cheap lookups on the ingest
+  /// path.
+  void WithLatest(
+      const std::function<void(const graph::MemoryGraph&)>& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn(*latest_);
+  }
+
+  // -------------------------------------------------------------------
+  // Snapshot cache (LRU by estimated bytes)
+  // -------------------------------------------------------------------
+
+  /// Caches `snapshot` as the graph state at `ts`.
+  void Put(graph::Timestamp ts, std::shared_ptr<const graph::MemoryGraph> snapshot);
+
+  /// Exact-timestamp lookup.
+  std::shared_ptr<const graph::MemoryGraph> Get(graph::Timestamp ts);
+
+  /// The cached snapshot with the largest timestamp <= t (including the
+  /// latest replica when latest_ts <= t). Returns nullptr if none.
+  /// `snapshot_ts` receives the snapshot's timestamp.
+  std::shared_ptr<const graph::MemoryGraph> ClosestAtOrBefore(
+      graph::Timestamp t, graph::Timestamp* snapshot_ts);
+
+  size_t cached_snapshots() const;
+  size_t cached_bytes() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // -------------------------------------------------------------------
+  // Algorithm result store (Sec 5.2: intermediate and final results can be
+  // stored in GraphStore for efficient access by subsequent queries)
+  // -------------------------------------------------------------------
+
+  void PutResult(const std::string& name, std::vector<double> values);
+  std::optional<std::vector<double>> GetResult(const std::string& name) const;
+
+ private:
+  void EvictIfNeeded();  // callers hold mu_
+
+  mutable std::mutex mu_;
+  size_t capacity_bytes_;
+
+  // Latest replica, held as a shared pointer so published views are plain
+  // copies: a mutation clones only when someone still holds a view
+  // (use-count copy-on-write).
+  std::shared_ptr<graph::MemoryGraph> latest_;
+  graph::Timestamp latest_ts_ = 0;
+
+  struct Entry {
+    std::shared_ptr<const graph::MemoryGraph> snapshot;
+    size_t bytes = 0;
+    uint64_t last_used = 0;
+  };
+  std::map<graph::Timestamp, Entry> snapshots_;  // ordered for floor lookup
+  size_t total_bytes_ = 0;
+  uint64_t use_clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  std::unordered_map<std::string, std::vector<double>> results_;
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_GRAPHSTORE_H_

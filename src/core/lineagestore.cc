@@ -1,0 +1,613 @@
+#include "core/lineagestore.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "storage/file.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace aion::core {
+
+using graph::GraphUpdate;
+using graph::UpdateOp;
+using storage::BpTree;
+using util::DecodeBigEndian64;
+using util::PutBigEndian64;
+using util::Slice;
+
+namespace {
+
+constexpr uint64_t kMaxSeq = ~0ULL;
+constexpr char kNbrAdded = 0;
+constexpr char kNbrRemoved = 1;
+
+std::string EntityKey(uint64_t id, Timestamp ts, uint64_t seq) {
+  std::string key;
+  PutBigEndian64(&key, id);
+  PutBigEndian64(&key, ts);
+  PutBigEndian64(&key, seq);
+  return key;
+}
+
+std::string NbrKey(uint64_t a, uint64_t b, Timestamp ts, uint64_t rel) {
+  std::string key;
+  PutBigEndian64(&key, a);
+  PutBigEndian64(&key, b);
+  PutBigEndian64(&key, ts);
+  PutBigEndian64(&key, rel);
+  return key;
+}
+
+uint64_t KeyId(Slice key) { return DecodeBigEndian64(key.data()); }
+
+}  // namespace
+
+StatusOr<std::unique_ptr<LineageStore>> LineageStore::Open(
+    const Options& options, storage::StringPool* pool) {
+  AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
+  std::unique_ptr<LineageStore> store(new LineageStore());
+  store->options_ = options;
+  if (store->options_.materialization_threshold == 0) {
+    store->options_.materialization_threshold = 1;
+  }
+  store->codec_ = std::make_unique<RecordCodec>(pool);
+  BpTree::Options tree_options;
+  tree_options.cache_pages = options.index_cache_pages;
+  AION_ASSIGN_OR_RETURN(
+      store->nodes_, BpTree::Open(options.dir + "/nodes.bpt", tree_options));
+  AION_ASSIGN_OR_RETURN(
+      store->rels_, BpTree::Open(options.dir + "/rels.bpt", tree_options));
+  AION_ASSIGN_OR_RETURN(
+      store->out_, BpTree::Open(options.dir + "/out_nbrs.bpt", tree_options));
+  AION_ASSIGN_OR_RETURN(
+      store->in_, BpTree::Open(options.dir + "/in_nbrs.bpt", tree_options));
+  // Watermark + sequence meta (16 bytes, overwritten on Flush).
+  const std::string meta_path = options.dir + "/meta";
+  if (storage::FileExists(meta_path)) {
+    AION_ASSIGN_OR_RETURN(auto meta, storage::RandomAccessFile::Open(meta_path));
+    if (meta->size() >= 16) {
+      char buf[16];
+      AION_RETURN_IF_ERROR(meta->Read(0, 16, buf));
+      store->seq_ = util::DecodeFixed64(buf);
+      store->applied_ts_.store(util::DecodeFixed64(buf + 8));
+    }
+  }
+  return store;
+}
+
+Status LineageStore::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  AION_RETURN_IF_ERROR(nodes_->Flush());
+  AION_RETURN_IF_ERROR(rels_->Flush());
+  AION_RETURN_IF_ERROR(out_->Flush());
+  AION_RETURN_IF_ERROR(in_->Flush());
+  AION_ASSIGN_OR_RETURN(auto meta,
+                        storage::RandomAccessFile::Open(options_.dir + "/meta"));
+  char buf[16];
+  util::EncodeFixed64(buf, seq_);
+  util::EncodeFixed64(buf + 8, applied_ts_.load());
+  return meta->Write(0, buf, 16);
+}
+
+uint64_t LineageStore::SizeBytes() const {
+  return nodes_->SizeBytes() + rels_->SizeBytes() + out_->SizeBytes() +
+         in_->SizeBytes();
+}
+
+Status LineageStore::PutRecord(BpTree* tree, const TemporalRecord& record) {
+  util::PooledBuffer value(&buffers_);
+  AION_RETURN_IF_ERROR(codec_->Encode(record, value.get()));
+  return tree->Put(EntityKey(record.id, record.ts, seq_++), *value);
+}
+
+StatusOr<uint32_t> LineageStore::CountChain(BpTree* tree,
+                                            uint64_t id) const {
+  uint32_t count = 0;
+  Status decode_status = Status::OK();
+  AION_RETURN_IF_ERROR(tree->ScanBackward(
+      EntityKey(id, graph::kInfiniteTime, kMaxSeq),
+      [&](Slice key, Slice value) {
+        if (KeyId(key) == id && count < options_.materialization_threshold) {
+          auto rec = codec_->Decode(&value);
+          if (!rec.ok()) {
+            decode_status = rec.status();
+            return false;
+          }
+          if (!rec->delta) return false;
+          ++count;
+          return true;
+        }
+        return false;
+      }));
+  AION_RETURN_IF_ERROR(decode_status);
+  return count;
+}
+
+template <typename Entity>
+Status LineageStore::ReconstructAt(BpTree* tree, uint64_t id, Timestamp t,
+                                   Entity* entity, bool* live,
+                                   Timestamp* version_start) const {
+  *live = false;
+  *version_start = 0;
+  std::vector<TemporalRecord> chain;  // newest first
+  Status decode_status = Status::OK();
+  AION_RETURN_IF_ERROR(tree->ScanBackward(
+      EntityKey(id, t, kMaxSeq), [&](Slice key, Slice value) {
+        if (KeyId(key) != id) return false;
+        auto rec = codec_->Decode(&value);
+        if (!rec.ok()) {
+          decode_status = rec.status();
+          return false;
+        }
+        const bool is_base = !rec->delta;
+        chain.push_back(std::move(*rec));
+        return !is_base;  // stop at the last full record / tombstone
+      }));
+  AION_RETURN_IF_ERROR(decode_status);
+  if (chain.empty()) return Status::OK();  // never existed at or before t
+  if (chain.back().delta) {
+    return Status::Corruption("delta chain without a base record for id " +
+                              std::to_string(id));
+  }
+  *version_start = chain.front().ts;
+  for (auto rec = chain.rbegin(); rec != chain.rend(); ++rec) {
+    if constexpr (std::is_same_v<Entity, graph::Node>) {
+      AION_RETURN_IF_ERROR(RecordCodec::FoldNode(*rec, entity, live));
+    } else {
+      AION_RETURN_IF_ERROR(RecordCodec::FoldRelationship(*rec, entity, live));
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Entity>
+StatusOr<std::vector<graph::Versioned<Entity>>> LineageStore::History(
+    BpTree* tree, uint64_t id, Timestamp start, Timestamp end) const {
+  // Normalize a point query [t, t] to the window [t, t+1).
+  if (end <= start) {
+    end = start == graph::kInfiniteTime ? start : start + 1;
+  }
+  std::vector<graph::Versioned<Entity>> out;
+
+  Entity state{};
+  bool live = false;
+  Timestamp vstart = 0;
+  AION_RETURN_IF_ERROR(
+      ReconstructAt(tree, id, start, &state, &live, &vstart));
+
+  bool have_cur = live;
+  graph::Versioned<Entity> cur{{vstart, graph::kInfiniteTime}, state};
+
+  auto emit = [&](Timestamp version_end) {
+    cur.interval.end = version_end;
+    if (cur.interval.start < cur.interval.end &&
+        cur.interval.Overlaps(start, end)) {
+      out.push_back(cur);
+    }
+  };
+
+  std::vector<TemporalRecord> records;
+  Status decode_status = Status::OK();
+  bool saw_past_end = false;
+  AION_RETURN_IF_ERROR(tree->ScanForward(
+      EntityKey(id, start, kMaxSeq), [&](Slice key, Slice value) {
+        if (KeyId(key) != id) return false;
+        auto rec = codec_->Decode(&value);
+        if (!rec.ok()) {
+          decode_status = rec.status();
+          return false;
+        }
+        const bool past_end = rec->ts >= end;
+        records.push_back(std::move(*rec));
+        if (past_end) {
+          saw_past_end = true;
+          return false;  // one record past the window closes the version
+        }
+        return true;
+      }));
+  AION_RETURN_IF_ERROR(decode_status);
+  (void)saw_past_end;
+  for (TemporalRecord& rec : records) {
+    if (rec.ts >= end) {
+      // The record past the window closes the open version with its true
+      // end time.
+      if (have_cur) {
+        emit(rec.ts);
+        have_cur = false;
+      }
+      break;
+    }
+    if (have_cur && rec.ts == cur.interval.start) {
+      // Same-timestamp change (multiple updates in one transaction, or a
+      // replayed batch): collapse into the current version.
+      if (rec.deleted) {
+        have_cur = false;
+        live = false;
+      } else {
+        bool live2 = true;
+        if constexpr (std::is_same_v<Entity, graph::Node>) {
+          AION_RETURN_IF_ERROR(RecordCodec::FoldNode(rec, &cur.entity, &live2));
+        } else {
+          AION_RETURN_IF_ERROR(
+              RecordCodec::FoldRelationship(rec, &cur.entity, &live2));
+        }
+        state = cur.entity;
+      }
+      continue;
+    }
+    if (have_cur) emit(rec.ts);
+    if (rec.deleted) {
+      live = false;
+      have_cur = false;
+      continue;
+    }
+    if constexpr (std::is_same_v<Entity, graph::Node>) {
+      AION_RETURN_IF_ERROR(RecordCodec::FoldNode(rec, &state, &live));
+    } else {
+      AION_RETURN_IF_ERROR(RecordCodec::FoldRelationship(rec, &state, &live));
+    }
+    cur = {{rec.ts, graph::kInfiniteTime}, state};
+    have_cur = true;
+  }
+  if (have_cur) emit(graph::kInfiniteTime);
+  return out;
+}
+
+StatusOr<std::vector<NodeVersion>> LineageStore::GetNode(
+    graph::NodeId id, Timestamp start, Timestamp end) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return History<graph::Node>(nodes_.get(), id, start, end);
+}
+
+StatusOr<std::vector<RelationshipVersion>> LineageStore::GetRelationship(
+    graph::RelId id, Timestamp start, Timestamp end) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return History<graph::Relationship>(rels_.get(), id, start, end);
+}
+
+StatusOr<std::vector<RelationshipVersion>>
+LineageStore::GetRelationshipUnlocked(graph::RelId id, Timestamp start,
+                                      Timestamp end) const {
+  return History<graph::Relationship>(rels_.get(), id, start, end);
+}
+
+StatusOr<std::optional<graph::Node>> LineageStore::GetNodeAt(
+    graph::NodeId id, Timestamp t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetNodeAtUnlocked(id, t);
+}
+
+StatusOr<std::optional<graph::Node>> LineageStore::GetNodeAtUnlocked(
+    graph::NodeId id, Timestamp t) const {
+  graph::Node node;
+  bool live = false;
+  Timestamp vstart;
+  AION_RETURN_IF_ERROR(
+      ReconstructAt(nodes_.get(), id, t, &node, &live, &vstart));
+  if (!live) return std::optional<graph::Node>();
+  return std::optional<graph::Node>(std::move(node));
+}
+
+StatusOr<std::optional<graph::Relationship>> LineageStore::GetRelationshipAt(
+    graph::RelId id, Timestamp t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetRelationshipAtUnlocked(id, t);
+}
+
+StatusOr<std::optional<graph::Relationship>>
+LineageStore::GetRelationshipAtUnlocked(graph::RelId id, Timestamp t) const {
+  graph::Relationship rel;
+  bool live = false;
+  Timestamp vstart;
+  AION_RETURN_IF_ERROR(
+      ReconstructAt(rels_.get(), id, t, &rel, &live, &vstart));
+  if (!live) return std::optional<graph::Relationship>();
+  return std::optional<graph::Relationship>(std::move(rel));
+}
+
+StatusOr<std::vector<std::vector<RelationshipVersion>>>
+LineageStore::GetRelationships(graph::NodeId node, Direction direction,
+                               Timestamp start, Timestamp end) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (end <= start) {
+    end = start == graph::kInfiniteTime ? start : start + 1;
+  }
+  // Scan adjacency events and find relationships whose adjacency interval
+  // overlaps the window.
+  struct RelEvents {
+    std::vector<std::pair<Timestamp, bool>> events;  // (ts, removed)
+  };
+  std::map<graph::RelId, RelEvents> by_rel;
+  std::vector<graph::RelId> order;
+
+  auto scan = [&](BpTree* tree) -> Status {
+    return tree->ScanForward(
+        NbrKey(node, 0, 0, 0), [&](Slice key, Slice value) {
+          if (KeyId(key) != node) return false;
+          const Timestamp ts = DecodeBigEndian64(key.data() + 16);
+          const graph::RelId rel = DecodeBigEndian64(key.data() + 24);
+          const bool removed = !value.empty() && value[0] == kNbrRemoved;
+          auto ins = by_rel.emplace(rel, RelEvents{});
+          if (ins.second) order.push_back(rel);
+          ins.first->second.events.emplace_back(ts, removed);
+          return true;
+        });
+  };
+  if (direction == Direction::kOutgoing || direction == Direction::kBoth) {
+    AION_RETURN_IF_ERROR(scan(out_.get()));
+  }
+  if (direction == Direction::kIncoming || direction == Direction::kBoth) {
+    AION_RETURN_IF_ERROR(scan(in_.get()));
+  }
+
+  std::vector<std::vector<RelationshipVersion>> result;
+  for (graph::RelId rel : order) {
+    auto& info = by_rel[rel];
+    std::sort(info.events.begin(), info.events.end());
+    // Adjacency intervals: [add, remove) pairs; open tail = infinity.
+    bool overlaps = false;
+    Timestamp open_start = 0;
+    bool open = false;
+    for (const auto& [ts, removed] : info.events) {
+      if (!removed) {
+        open = true;
+        open_start = ts;
+      } else if (open) {
+        if (graph::TimeInterval{open_start, ts}.Overlaps(start, end)) {
+          overlaps = true;
+        }
+        open = false;
+      }
+    }
+    if (open &&
+        graph::TimeInterval{open_start, graph::kInfiniteTime}.Overlaps(start,
+                                                                       end)) {
+      overlaps = true;
+    }
+    if (!overlaps) continue;
+    AION_ASSIGN_OR_RETURN(std::vector<RelationshipVersion> history,
+                          GetRelationshipUnlocked(rel, start, end));
+    if (!history.empty()) result.push_back(std::move(history));
+  }
+  return result;
+}
+
+StatusOr<std::vector<LineageStore::LiveNeighbour>>
+LineageStore::GetLiveNeighbours(graph::NodeId node, Direction direction,
+                                Timestamp t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetLiveNeighboursUnlocked(node, direction, t);
+}
+
+StatusOr<std::vector<LineageStore::LiveNeighbour>>
+LineageStore::GetLiveNeighboursUnlocked(graph::NodeId node,
+                                        Direction direction,
+                                        Timestamp t) const {
+  // For each incident relationship, the last adjacency event at or before t
+  // decides liveness; the neighbour id comes straight from the key.
+  struct LastEvent {
+    Timestamp ts = 0;
+    bool removed = true;
+    graph::NodeId neighbour = graph::kInvalidNodeId;
+  };
+  std::map<graph::RelId, LastEvent> last;
+  std::vector<graph::RelId> order;
+
+  auto scan = [&](BpTree* tree) -> Status {
+    return tree->ScanForward(
+        NbrKey(node, 0, 0, 0), [&](Slice key, Slice value) {
+          if (KeyId(key) != node) return false;
+          const Timestamp ts = DecodeBigEndian64(key.data() + 16);
+          if (ts > t) return true;  // grouped by neighbour, not time
+          const graph::NodeId nbr = DecodeBigEndian64(key.data() + 8);
+          const graph::RelId rel = DecodeBigEndian64(key.data() + 24);
+          const bool removed = !value.empty() && value[0] == kNbrRemoved;
+          auto ins = last.emplace(rel, LastEvent{});
+          if (ins.second) order.push_back(rel);
+          LastEvent& e = ins.first->second;
+          if (ts >= e.ts) {
+            e.ts = ts;
+            e.removed = removed;
+            e.neighbour = nbr;
+          }
+          return true;
+        });
+  };
+  if (direction == Direction::kOutgoing || direction == Direction::kBoth) {
+    AION_RETURN_IF_ERROR(scan(out_.get()));
+  }
+  if (direction == Direction::kIncoming || direction == Direction::kBoth) {
+    AION_RETURN_IF_ERROR(scan(in_.get()));
+  }
+
+  std::vector<LiveNeighbour> result;
+  result.reserve(order.size());
+  for (graph::RelId rel : order) {
+    const LastEvent& e = last[rel];
+    if (!e.removed) result.push_back({rel, e.neighbour});
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::vector<graph::Node>>> LineageStore::Expand(
+    graph::NodeId id, Direction direction, uint32_t hops,
+    Timestamp t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Alg 1: per-hop visited set S; the frontier queue Q carries repeats
+  // across hops (nodes reachable via multiple paths are re-expanded, which
+  // is exactly the behaviour Sec 6.3 measures for large hop counts).
+  std::vector<std::vector<graph::Node>> result;
+  std::deque<graph::NodeId> queue;
+  queue.push_back(id);
+  for (uint32_t hop = 1; hop <= hops; ++hop) {
+    std::vector<graph::Node> level;
+    std::map<graph::NodeId, bool> visited_this_hop;
+    const size_t qsize = queue.size();
+    for (size_t i = 0; i < qsize; ++i) {
+      const graph::NodeId cid = queue.front();
+      queue.pop_front();
+      AION_ASSIGN_OR_RETURN(std::vector<LiveNeighbour> nbrs,
+                            GetLiveNeighboursUnlocked(cid, direction, t));
+      for (const LiveNeighbour& nbr : nbrs) {
+        auto [it, fresh] = visited_this_hop.emplace(nbr.neighbour, true);
+        if (!fresh) continue;
+        AION_ASSIGN_OR_RETURN(std::optional<graph::Node> node,
+                              GetNodeAtUnlocked(nbr.neighbour, t));
+        if (node.has_value()) {
+          level.push_back(std::move(*node));
+          queue.push_back(nbr.neighbour);
+        }
+      }
+    }
+    result.push_back(std::move(level));
+    if (queue.empty()) break;
+  }
+  result.resize(hops);
+  return result;
+}
+
+Status LineageStore::ApplyEntityChange(
+    BpTree* tree, std::unordered_map<uint64_t, uint32_t>* chains,
+    const GraphUpdate& u) {
+  AION_ASSIGN_OR_RETURN(TemporalRecord delta, RecordCodec::DeltaFromUpdate(u));
+  auto chain_it = chains->find(u.id);
+  uint32_t chain;
+  if (chain_it == chains->end()) {
+    AION_ASSIGN_OR_RETURN(chain, CountChain(tree, u.id));
+  } else {
+    chain = chain_it->second;
+  }
+  if (chain + 1 >= options_.materialization_threshold) {
+    // Materialize: reconstruct the current state, fold the new change, and
+    // write a full record (Sec 6.5).
+    if (tree == nodes_.get()) {
+      graph::Node node;
+      bool live = false;
+      Timestamp vstart;
+      AION_RETURN_IF_ERROR(
+          ReconstructAt(tree, u.id, u.ts, &node, &live, &vstart));
+      if (!live) {
+        return Status::FailedPrecondition("update to dead node " +
+                                          std::to_string(u.id));
+      }
+      AION_RETURN_IF_ERROR(RecordCodec::FoldNode(delta, &node, &live));
+      AION_RETURN_IF_ERROR(
+          PutRecord(tree, RecordCodec::FullNode(node, u.ts)));
+    } else {
+      graph::Relationship rel;
+      bool live = false;
+      Timestamp vstart;
+      AION_RETURN_IF_ERROR(
+          ReconstructAt(tree, u.id, u.ts, &rel, &live, &vstart));
+      if (!live) {
+        return Status::FailedPrecondition("update to dead relationship " +
+                                          std::to_string(u.id));
+      }
+      AION_RETURN_IF_ERROR(RecordCodec::FoldRelationship(delta, &rel, &live));
+      AION_RETURN_IF_ERROR(
+          PutRecord(tree, RecordCodec::FullRelationship(rel, u.ts)));
+    }
+    (*chains)[u.id] = 0;
+  } else {
+    AION_RETURN_IF_ERROR(PutRecord(tree, delta));
+    (*chains)[u.id] = chain + 1;
+  }
+  return Status::OK();
+}
+
+Status LineageStore::Apply(const GraphUpdate& u) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return ApplyUnlocked(u);
+}
+
+Status LineageStore::ApplyUnlocked(const GraphUpdate& u) {
+  switch (u.op) {
+    case UpdateOp::kAddNode: {
+      graph::Node node;
+      node.id = u.id;
+      node.labels = u.labels;
+      node.props = u.props;
+      AION_RETURN_IF_ERROR(
+          PutRecord(nodes_.get(), RecordCodec::FullNode(node, u.ts)));
+      node_chains_[u.id] = 0;
+      break;
+    }
+    case UpdateOp::kDeleteNode: {
+      AION_RETURN_IF_ERROR(PutRecord(
+          nodes_.get(),
+          RecordCodec::Tombstone(graph::EntityType::kNode, u.id, u.ts)));
+      node_chains_[u.id] = 0;
+      break;
+    }
+    case UpdateOp::kAddRelationship: {
+      graph::Relationship rel;
+      rel.id = u.id;
+      rel.src = u.src;
+      rel.tgt = u.tgt;
+      rel.type = u.type;
+      rel.props = u.props;
+      AION_RETURN_IF_ERROR(
+          PutRecord(rels_.get(), RecordCodec::FullRelationship(rel, u.ts)));
+      rel_chains_[u.id] = 0;
+      const char added = kNbrAdded;
+      AION_RETURN_IF_ERROR(out_->Put(NbrKey(u.src, u.tgt, u.ts, u.id),
+                                     Slice(&added, 1)));
+      AION_RETURN_IF_ERROR(
+          in_->Put(NbrKey(u.tgt, u.src, u.ts, u.id), Slice(&added, 1)));
+      break;
+    }
+    case UpdateOp::kDeleteRelationship: {
+      graph::NodeId src = u.src;
+      graph::NodeId tgt = u.tgt;
+      if (src == graph::kInvalidNodeId || tgt == graph::kInvalidNodeId) {
+        // Endpoints not provided: reconstruct the latest version.
+        AION_ASSIGN_OR_RETURN(std::optional<graph::Relationship> rel,
+                              GetRelationshipAtUnlocked(u.id, u.ts));
+        if (!rel.has_value()) {
+          return Status::FailedPrecondition(
+              "deleting unknown relationship " + std::to_string(u.id));
+        }
+        src = rel->src;
+        tgt = rel->tgt;
+      }
+      AION_RETURN_IF_ERROR(
+          PutRecord(rels_.get(), RecordCodec::Tombstone(
+                                     graph::EntityType::kRelationship, u.id,
+                                     u.ts)));
+      rel_chains_[u.id] = 0;
+      const char removed = kNbrRemoved;
+      AION_RETURN_IF_ERROR(
+          out_->Put(NbrKey(src, tgt, u.ts, u.id), Slice(&removed, 1)));
+      AION_RETURN_IF_ERROR(
+          in_->Put(NbrKey(tgt, src, u.ts, u.id), Slice(&removed, 1)));
+      break;
+    }
+    case UpdateOp::kSetNodeProperty:
+    case UpdateOp::kRemoveNodeProperty:
+    case UpdateOp::kAddNodeLabel:
+    case UpdateOp::kRemoveNodeLabel:
+      AION_RETURN_IF_ERROR(
+          ApplyEntityChange(nodes_.get(), &node_chains_, u));
+      break;
+    case UpdateOp::kSetRelationshipProperty:
+    case UpdateOp::kRemoveRelationshipProperty:
+      AION_RETURN_IF_ERROR(ApplyEntityChange(rels_.get(), &rel_chains_, u));
+      break;
+  }
+  if (u.ts > applied_ts_.load()) applied_ts_.store(u.ts);
+  return Status::OK();
+}
+
+Status LineageStore::ApplyAll(const std::vector<GraphUpdate>& updates) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const GraphUpdate& u : updates) {
+    AION_RETURN_IF_ERROR(ApplyUnlocked(u));
+  }
+  return Status::OK();
+}
+
+}  // namespace aion::core

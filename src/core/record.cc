@@ -1,0 +1,415 @@
+#include "core/record.h"
+
+#include "util/coding.h"
+
+namespace aion::core {
+
+using graph::PropertyType;
+using graph::PropertyValue;
+using storage::StringRef;
+using util::DecodeFixed32;
+using util::GetVarint64;
+using util::PutFixed32;
+using util::PutVarint64;
+using util::Slice;
+
+namespace {
+
+// Header byte: bits 0-1 entity type, bit 2 deleted, bit 3 delta.
+constexpr uint8_t kTypeMask = 0x03;
+constexpr uint8_t kDeletedBit = 0x04;
+constexpr uint8_t kDeltaBit = 0x08;
+
+// Label reference: MSB = removed.
+constexpr uint32_t kLabelRemovedBit = 0x80000000u;
+// Property key reference: bit 31 = removed, bits 30..28 = PropertyType.
+constexpr uint32_t kPropRemovedBit = 0x80000000u;
+constexpr uint32_t kPropTypeShift = 28;
+constexpr uint32_t kPropRefMask = 0x0fffffffu;
+
+}  // namespace
+
+StatusOr<uint32_t> RecordCodec::InternChecked(const std::string& s) const {
+  AION_ASSIGN_OR_RETURN(StringRef ref, pool_->Intern(s));
+  if (ref > kPropRefMask) {
+    return Status::Internal("string pool overflow: ref exceeds 28 bits");
+  }
+  return ref;
+}
+
+Status RecordCodec::Encode(const TemporalRecord& r, std::string* dst) const {
+  uint8_t header = static_cast<uint8_t>(r.entity_type) & kTypeMask;
+  if (r.deleted) header |= kDeletedBit;
+  if (r.delta) header |= kDeltaBit;
+  dst->push_back(static_cast<char>(header));
+  PutVarint64(dst, r.id);
+  PutVarint64(dst, r.ts);
+
+  if (r.entity_type == EntityType::kRelationship ||
+      r.entity_type == EntityType::kNeighbourhood) {
+    PutVarint64(dst, r.src);
+    PutVarint64(dst, r.tgt);
+  }
+  if (r.deleted) return Status::OK();  // id + timestamp only
+  if (r.entity_type == EntityType::kNeighbourhood) return Status::OK();
+
+  if (r.entity_type == EntityType::kRelationship) {
+    AION_ASSIGN_OR_RETURN(uint32_t type_ref, InternChecked(r.rel_type));
+    PutFixed32(dst, type_ref);
+  }
+
+  if (r.entity_type == EntityType::kNode) {
+    // Label count first, then label references (Sec 4.2).
+    PutVarint64(dst, r.labels.size());
+    for (const LabelEntry& l : r.labels) {
+      AION_ASSIGN_OR_RETURN(uint32_t ref, InternChecked(l.label));
+      if (l.removed) ref |= kLabelRemovedBit;
+      PutFixed32(dst, ref);
+    }
+  }
+
+  PutVarint64(dst, r.props.size());
+  for (const PropEntry& p : r.props) {
+    AION_ASSIGN_OR_RETURN(uint32_t key_ref, InternChecked(p.key));
+    const PropertyType type =
+        p.removed ? PropertyType::kNull : p.value.type();
+    uint32_t tagged = key_ref |
+                      (static_cast<uint32_t>(type) << kPropTypeShift);
+    if (p.removed) tagged |= kPropRemovedBit;
+    PutFixed32(dst, tagged);
+    if (p.removed) continue;
+    switch (type) {
+      case PropertyType::kNull:
+        break;
+      case PropertyType::kBool:
+        dst->push_back(p.value.AsBool() ? 1 : 0);
+        break;
+      case PropertyType::kInt:
+        PutVarint64(dst, util::ZigZagEncode(p.value.AsInt()));
+        break;
+      case PropertyType::kDouble:
+        util::PutDouble(dst, p.value.AsDouble());
+        break;
+      case PropertyType::kString: {
+        AION_ASSIGN_OR_RETURN(uint32_t ref, InternChecked(p.value.AsString()));
+        PutFixed32(dst, ref);
+        break;
+      }
+      case PropertyType::kIntArray:
+        PutVarint64(dst, p.value.AsIntArray().size());
+        for (int64_t v : p.value.AsIntArray()) {
+          PutVarint64(dst, util::ZigZagEncode(v));
+        }
+        break;
+      case PropertyType::kDoubleArray:
+        PutVarint64(dst, p.value.AsDoubleArray().size());
+        for (double v : p.value.AsDoubleArray()) util::PutDouble(dst, v);
+        break;
+      case PropertyType::kStringArray: {
+        PutVarint64(dst, p.value.AsStringArray().size());
+        for (const std::string& s : p.value.AsStringArray()) {
+          AION_ASSIGN_OR_RETURN(uint32_t ref, InternChecked(s));
+          PutFixed32(dst, ref);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<TemporalRecord> RecordCodec::Decode(Slice* input) const {
+  if (input->empty()) return Status::Corruption("empty record");
+  TemporalRecord r;
+  const uint8_t header = static_cast<uint8_t>((*input)[0]);
+  input->RemovePrefix(1);
+  r.entity_type = static_cast<EntityType>(header & kTypeMask);
+  r.deleted = (header & kDeletedBit) != 0;
+  r.delta = (header & kDeltaBit) != 0;
+  if (!GetVarint64(input, &r.id) || !GetVarint64(input, &r.ts)) {
+    return Status::Corruption("truncated record header");
+  }
+  if (r.entity_type == EntityType::kRelationship ||
+      r.entity_type == EntityType::kNeighbourhood) {
+    if (!GetVarint64(input, &r.src) || !GetVarint64(input, &r.tgt)) {
+      return Status::Corruption("truncated record endpoints");
+    }
+  }
+  if (r.deleted) return r;
+  if (r.entity_type == EntityType::kNeighbourhood) return r;
+
+  if (r.entity_type == EntityType::kRelationship) {
+    if (input->size() < 4) return Status::Corruption("truncated type ref");
+    const uint32_t type_ref = DecodeFixed32(input->data());
+    input->RemovePrefix(4);
+    AION_ASSIGN_OR_RETURN(r.rel_type, pool_->Lookup(type_ref));
+  }
+
+  if (r.entity_type == EntityType::kNode) {
+    uint64_t nlabels;
+    if (!GetVarint64(input, &nlabels)) {
+      return Status::Corruption("truncated label count");
+    }
+    r.labels.reserve(nlabels);
+    for (uint64_t i = 0; i < nlabels; ++i) {
+      if (input->size() < 4) return Status::Corruption("truncated label ref");
+      const uint32_t tagged = DecodeFixed32(input->data());
+      input->RemovePrefix(4);
+      LabelEntry entry;
+      entry.removed = (tagged & kLabelRemovedBit) != 0;
+      AION_ASSIGN_OR_RETURN(entry.label,
+                            pool_->Lookup(tagged & ~kLabelRemovedBit));
+      r.labels.push_back(std::move(entry));
+    }
+  }
+
+  uint64_t nprops;
+  if (!GetVarint64(input, &nprops)) {
+    return Status::Corruption("truncated prop count");
+  }
+  r.props.reserve(nprops);
+  for (uint64_t i = 0; i < nprops; ++i) {
+    if (input->size() < 4) return Status::Corruption("truncated prop ref");
+    const uint32_t tagged = DecodeFixed32(input->data());
+    input->RemovePrefix(4);
+    PropEntry entry;
+    entry.removed = (tagged & kPropRemovedBit) != 0;
+    const auto type = static_cast<PropertyType>(
+        (tagged >> kPropTypeShift) & 0x7);
+    AION_ASSIGN_OR_RETURN(entry.key, pool_->Lookup(tagged & kPropRefMask));
+    if (!entry.removed) {
+      switch (type) {
+        case PropertyType::kNull:
+          entry.value = PropertyValue();
+          break;
+        case PropertyType::kBool: {
+          if (input->empty()) return Status::Corruption("truncated bool");
+          entry.value = PropertyValue((*input)[0] != 0);
+          input->RemovePrefix(1);
+          break;
+        }
+        case PropertyType::kInt: {
+          uint64_t zz;
+          if (!GetVarint64(input, &zz)) {
+            return Status::Corruption("truncated int");
+          }
+          entry.value = PropertyValue(util::ZigZagDecode(zz));
+          break;
+        }
+        case PropertyType::kDouble: {
+          if (input->size() < 8) return Status::Corruption("truncated double");
+          entry.value = PropertyValue(util::DecodeDouble(input->data()));
+          input->RemovePrefix(8);
+          break;
+        }
+        case PropertyType::kString: {
+          if (input->size() < 4) {
+            return Status::Corruption("truncated string ref");
+          }
+          const uint32_t ref = DecodeFixed32(input->data());
+          input->RemovePrefix(4);
+          AION_ASSIGN_OR_RETURN(std::string s, pool_->Lookup(ref));
+          entry.value = PropertyValue(std::move(s));
+          break;
+        }
+        case PropertyType::kIntArray: {
+          uint64_t n;
+          if (!GetVarint64(input, &n)) {
+            return Status::Corruption("truncated array");
+          }
+          std::vector<int64_t> values;
+          values.reserve(n);
+          for (uint64_t j = 0; j < n; ++j) {
+            uint64_t zz;
+            if (!GetVarint64(input, &zz)) {
+              return Status::Corruption("truncated int array");
+            }
+            values.push_back(util::ZigZagDecode(zz));
+          }
+          entry.value = PropertyValue(std::move(values));
+          break;
+        }
+        case PropertyType::kDoubleArray: {
+          uint64_t n;
+          if (!GetVarint64(input, &n)) {
+            return Status::Corruption("truncated array");
+          }
+          std::vector<double> values;
+          values.reserve(n);
+          for (uint64_t j = 0; j < n; ++j) {
+            if (input->size() < 8) {
+              return Status::Corruption("truncated double array");
+            }
+            values.push_back(util::DecodeDouble(input->data()));
+            input->RemovePrefix(8);
+          }
+          entry.value = PropertyValue(std::move(values));
+          break;
+        }
+        case PropertyType::kStringArray: {
+          uint64_t n;
+          if (!GetVarint64(input, &n)) {
+            return Status::Corruption("truncated array");
+          }
+          std::vector<std::string> values;
+          values.reserve(n);
+          for (uint64_t j = 0; j < n; ++j) {
+            if (input->size() < 4) {
+              return Status::Corruption("truncated string array ref");
+            }
+            const uint32_t ref = DecodeFixed32(input->data());
+            input->RemovePrefix(4);
+            AION_ASSIGN_OR_RETURN(std::string s, pool_->Lookup(ref));
+            values.push_back(std::move(s));
+          }
+          entry.value = PropertyValue(std::move(values));
+          break;
+        }
+      }
+    }
+    r.props.push_back(std::move(entry));
+  }
+  return r;
+}
+
+TemporalRecord RecordCodec::FullNode(const graph::Node& node, Timestamp ts) {
+  TemporalRecord r;
+  r.entity_type = EntityType::kNode;
+  r.id = node.id;
+  r.ts = ts;
+  r.labels.reserve(node.labels.size());
+  for (const std::string& l : node.labels) r.labels.push_back({l, false});
+  r.props.reserve(node.props.size());
+  for (const auto& [k, v] : node.props) r.props.push_back({k, false, v});
+  return r;
+}
+
+TemporalRecord RecordCodec::FullRelationship(const graph::Relationship& rel,
+                                             Timestamp ts) {
+  TemporalRecord r;
+  r.entity_type = EntityType::kRelationship;
+  r.id = rel.id;
+  r.ts = ts;
+  r.src = rel.src;
+  r.tgt = rel.tgt;
+  r.rel_type = rel.type;
+  r.props.reserve(rel.props.size());
+  for (const auto& [k, v] : rel.props) r.props.push_back({k, false, v});
+  return r;
+}
+
+TemporalRecord RecordCodec::Tombstone(EntityType type, uint64_t id,
+                                      Timestamp ts) {
+  TemporalRecord r;
+  r.entity_type = type;
+  r.deleted = true;
+  r.id = id;
+  r.ts = ts;
+  return r;
+}
+
+StatusOr<TemporalRecord> RecordCodec::DeltaFromUpdate(
+    const graph::GraphUpdate& u) {
+  using graph::UpdateOp;
+  TemporalRecord r;
+  r.delta = true;
+  r.id = u.id;
+  r.ts = u.ts;
+  switch (u.op) {
+    case UpdateOp::kSetNodeProperty:
+      r.entity_type = EntityType::kNode;
+      r.props.push_back({u.key, false, u.value});
+      return r;
+    case UpdateOp::kRemoveNodeProperty:
+      r.entity_type = EntityType::kNode;
+      r.props.push_back({u.key, true, {}});
+      return r;
+    case UpdateOp::kAddNodeLabel:
+      r.entity_type = EntityType::kNode;
+      r.labels.push_back({u.label, false});
+      return r;
+    case UpdateOp::kRemoveNodeLabel:
+      r.entity_type = EntityType::kNode;
+      r.labels.push_back({u.label, true});
+      return r;
+    case UpdateOp::kSetRelationshipProperty:
+      r.entity_type = EntityType::kRelationship;
+      r.props.push_back({u.key, false, u.value});
+      return r;
+    case UpdateOp::kRemoveRelationshipProperty:
+      r.entity_type = EntityType::kRelationship;
+      r.props.push_back({u.key, true, {}});
+      return r;
+    default:
+      return Status::InvalidArgument(
+          "structural updates are not deltas: " + u.ToString());
+  }
+}
+
+Status RecordCodec::FoldNode(const TemporalRecord& record, graph::Node* node,
+                             bool* live) {
+  if (record.entity_type != EntityType::kNode) {
+    return Status::InvalidArgument("record is not a node record");
+  }
+  if (record.deleted) {
+    *live = false;
+    return Status::OK();
+  }
+  if (!record.delta) {
+    // Full materialization replaces the state.
+    node->id = record.id;
+    node->labels.clear();
+    node->props.Clear();
+    *live = true;
+  } else if (!*live) {
+    return Status::Corruption("delta record for dead node " +
+                              std::to_string(record.id));
+  }
+  for (const LabelEntry& l : record.labels) {
+    if (l.removed) {
+      node->RemoveLabel(l.label);
+    } else {
+      node->AddLabel(l.label);
+    }
+  }
+  for (const PropEntry& p : record.props) {
+    if (p.removed) {
+      node->props.Remove(p.key);
+    } else {
+      node->props.Set(p.key, p.value);
+    }
+  }
+  return Status::OK();
+}
+
+Status RecordCodec::FoldRelationship(const TemporalRecord& record,
+                                     graph::Relationship* rel, bool* live) {
+  if (record.entity_type != EntityType::kRelationship) {
+    return Status::InvalidArgument("record is not a relationship record");
+  }
+  if (record.deleted) {
+    *live = false;
+    return Status::OK();
+  }
+  if (!record.delta) {
+    rel->id = record.id;
+    rel->src = record.src;
+    rel->tgt = record.tgt;
+    rel->type = record.rel_type;
+    rel->props.Clear();
+    *live = true;
+  } else if (!*live) {
+    return Status::Corruption("delta record for dead relationship " +
+                              std::to_string(record.id));
+  }
+  for (const PropEntry& p : record.props) {
+    if (p.removed) {
+      rel->props.Remove(p.key);
+    } else {
+      rel->props.Set(p.key, p.value);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aion::core

@@ -1,0 +1,121 @@
+// Temporal record codec (Sec 4.2, Fig 3): variable-size records with two
+// record types — fully materialized graph entities and deltas from the last
+// update. The first byte (header) carries the entity type (node /
+// relationship / neighbourhood) and state (deleted / delta). Strings (labels,
+// relationship types, property keys, string property values) are replaced by
+// 4-byte references into a string store; a reference's most significant bit
+// marks label removal, and the three most significant bits of a property
+// key reference carry its state (deleted) and the value's data type.
+// Deleted entities require space only for their id and deletion timestamp.
+#ifndef AION_CORE_RECORD_H_
+#define AION_CORE_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/entity.h"
+#include "graph/types.h"
+#include "graph/update.h"
+#include "storage/string_pool.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace aion::core {
+
+using graph::EntityType;
+using graph::NodeId;
+using graph::RelId;
+using graph::Timestamp;
+using util::Status;
+using util::StatusOr;
+
+/// One label change inside a record: the label string and, for deltas,
+/// whether it was added or removed.
+struct LabelEntry {
+  std::string label;
+  bool removed = false;
+
+  bool operator==(const LabelEntry&) const = default;
+};
+
+/// One property change inside a record.
+struct PropEntry {
+  std::string key;
+  bool removed = false;
+  graph::PropertyValue value;  // null when removed
+
+  bool operator==(const PropEntry&) const = default;
+};
+
+/// A decoded temporal record. `delta == false` records carry the complete
+/// entity state at `ts`; `delta == true` records carry only the changes
+/// since the previous record of the same entity.
+struct TemporalRecord {
+  EntityType entity_type = EntityType::kNode;
+  bool deleted = false;
+  bool delta = false;
+  uint64_t id = 0;
+  Timestamp ts = 0;
+
+  // Relationship / neighbourhood records only.
+  NodeId src = graph::kInvalidNodeId;
+  NodeId tgt = graph::kInvalidNodeId;
+  std::string rel_type;
+
+  // Node records: labels; relationship records: unused.
+  std::vector<LabelEntry> labels;
+  std::vector<PropEntry> props;
+
+  bool operator==(const TemporalRecord&) const = default;
+};
+
+/// Encodes/decodes TemporalRecords against a string pool. Not thread-safe
+/// beyond the pool's own guarantees.
+class RecordCodec {
+ public:
+  explicit RecordCodec(storage::StringPool* pool) : pool_(pool) {}
+
+  /// Serializes `record`, interning all strings.
+  Status Encode(const TemporalRecord& record, std::string* dst) const;
+
+  /// Parses one record from the front of `input`, resolving string refs.
+  StatusOr<TemporalRecord> Decode(util::Slice* input) const;
+
+  // -------------------------------------------------------------------
+  // Record construction
+  // -------------------------------------------------------------------
+
+  /// Fully materialized node state at `ts`.
+  static TemporalRecord FullNode(const graph::Node& node, Timestamp ts);
+
+  /// Fully materialized relationship state at `ts`.
+  static TemporalRecord FullRelationship(const graph::Relationship& rel,
+                                         Timestamp ts);
+
+  /// Tombstone: entity deleted at `ts` (id + timestamp only on disk).
+  static TemporalRecord Tombstone(EntityType type, uint64_t id, Timestamp ts);
+
+  /// Delta record from a property/label update (Sec 4.2 record type ii).
+  /// Fails for structural ops (add/delete), which map to Full*/Tombstone.
+  static StatusOr<TemporalRecord> DeltaFromUpdate(const graph::GraphUpdate& u);
+
+  // -------------------------------------------------------------------
+  // Reconstruction: fold a record onto an entity state
+  // -------------------------------------------------------------------
+
+  /// Applies `record` (full, delta, or tombstone) onto `*node`. For full
+  /// records the node is replaced; for tombstones `*live` is set false.
+  static Status FoldNode(const TemporalRecord& record, graph::Node* node,
+                         bool* live);
+  static Status FoldRelationship(const TemporalRecord& record,
+                                 graph::Relationship* rel, bool* live);
+
+ private:
+  StatusOr<uint32_t> InternChecked(const std::string& s) const;
+
+  storage::StringPool* pool_;
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_RECORD_H_

@@ -1,0 +1,126 @@
+#include "core/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aion::core {
+
+using graph::GraphUpdate;
+using graph::UpdateOp;
+
+namespace {
+
+std::string PatternKey(const std::string& label, const std::string& type) {
+  return label + "|" + type;
+}
+
+}  // namespace
+
+void GraphStatistics::Observe(const GraphUpdate& u) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (u.op) {
+    case UpdateOp::kAddNode:
+      ++num_nodes_;
+      for (const std::string& l : u.labels) label_counts_.Add(l);
+      break;
+    case UpdateOp::kDeleteNode:
+      --num_nodes_;
+      // Per-label decrements arrive via the kRemoveNodeLabel events that
+      // well-behaved clients issue; without them label counts stay an
+      // upper-bound estimate.
+      break;
+    case UpdateOp::kAddRelationship:
+      ++num_rels_;
+      type_counts_.Add(u.type);
+      // Pattern counts keyed by the endpoint labels recorded on the update
+      // stream (populated by the facade when the latest graph is at hand).
+      for (const std::string& l : u.labels) {
+        out_pattern_counts_.Add(PatternKey(l, u.type));
+      }
+      break;
+    case UpdateOp::kDeleteRelationship:
+      --num_rels_;
+      break;
+    case UpdateOp::kAddNodeLabel:
+      label_counts_.Add(u.label);
+      break;
+    case UpdateOp::kRemoveNodeLabel:
+      label_counts_.Add(u.label, -1);
+      break;
+    default:
+      break;
+  }
+}
+
+int64_t GraphStatistics::num_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_nodes_;
+}
+
+int64_t GraphStatistics::num_relationships() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_rels_;
+}
+
+int64_t GraphStatistics::CountWithLabel(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return label_counts_.Get(label);
+}
+
+int64_t GraphStatistics::CountWithType(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return type_counts_.Get(type);
+}
+
+int64_t GraphStatistics::CountPattern(const std::string& src_label,
+                                      const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (src_label.empty() && type.empty()) return num_rels_;
+  if (src_label.empty()) return type_counts_.Get(type);
+  return out_pattern_counts_.Get(PatternKey(src_label, type));
+}
+
+int64_t GraphStatistics::EstimatePattern(const std::string& src_label,
+                                         const std::string& type,
+                                         const std::string& tgt_label) const {
+  // min(#((:A)-[:R]->()), #(()-[:R]->(:B))) with the available base stats;
+  // when the target-side count is unknown, fall back to the type count.
+  const int64_t src_side = CountPattern(src_label, type);
+  const int64_t tgt_side =
+      tgt_label.empty() ? src_side : CountWithType(type);
+  return std::min(src_side, tgt_side);
+}
+
+double GraphStatistics::AverageDegree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_nodes_ <= 0) return 0.0;
+  return static_cast<double>(num_rels_) / static_cast<double>(num_nodes_);
+}
+
+double GraphStatistics::EstimateExpandFraction(uint32_t hops) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_nodes_ <= 0) return 0.0;
+  const double degree =
+      static_cast<double>(num_rels_) / static_cast<double>(num_nodes_);
+  // Reached nodes grow geometrically until saturation.
+  double reached = 1.0;
+  double frontier = 1.0;
+  for (uint32_t h = 0; h < hops; ++h) {
+    frontier *= degree;
+    reached += frontier;
+    if (reached >= static_cast<double>(num_nodes_)) {
+      return 1.0;
+    }
+  }
+  return std::min(1.0, reached / static_cast<double>(num_nodes_));
+}
+
+double GraphStatistics::EstimateLabelFraction(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_nodes_ <= 0) return 0.0;
+  return std::min(
+      1.0, static_cast<double>(label_counts_.Get(label)) /
+               static_cast<double>(num_nodes_));
+}
+
+}  // namespace aion::core

@@ -1,0 +1,66 @@
+// Cardinality estimation (Sec 5.1): Aion tracks base statistics with
+// histograms — node/relationship counts, counts per label, per relationship
+// type, and per basic pattern (:Label)-[:Type]->() — and derives the
+// cardinality of complex patterns as e.g.
+//   #((:A)-[:R]->(:B)) = min(#((:A)-[:R]->()), #(()-[:R]->(:B))).
+// The planner uses the estimated fraction of the graph accessed to choose
+// between LineageStore (< 30%) and TimeStore.
+//
+// Counts are maintained from the committed update stream. Label counts are
+// maintained incrementally from label add/remove events and node additions;
+// node deletion decrements totals (per-label counts on delete follow the
+// delete-requires-prior-label-removal convention loosely, so per-label
+// figures are estimates, as in production optimizers).
+#ifndef AION_CORE_STATISTICS_H_
+#define AION_CORE_STATISTICS_H_
+
+#include <mutex>
+#include <string>
+
+#include "graph/update.h"
+#include "util/histogram.h"
+
+namespace aion::core {
+
+class GraphStatistics {
+ public:
+  /// Folds one committed update into the statistics.
+  void Observe(const graph::GraphUpdate& update);
+
+  int64_t num_nodes() const;
+  int64_t num_relationships() const;
+  int64_t CountWithLabel(const std::string& label) const;
+  int64_t CountWithType(const std::string& type) const;
+
+  /// #((:label)-[:type]->()) — source-side pattern count; empty strings act
+  /// as wildcards.
+  int64_t CountPattern(const std::string& src_label,
+                       const std::string& type) const;
+
+  /// Derived cardinality of (:a)-[:r]->(:b) via the min() rule.
+  int64_t EstimatePattern(const std::string& src_label,
+                          const std::string& type,
+                          const std::string& tgt_label) const;
+
+  double AverageDegree() const;
+
+  /// Estimated fraction of the graph reached by an n-hop expansion from one
+  /// node: min(1, avg_degree^hops / num_nodes). Drives the 30% heuristic.
+  double EstimateExpandFraction(uint32_t hops) const;
+
+  /// Estimated fraction selected by a label scan.
+  double EstimateLabelFraction(const std::string& label) const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t num_nodes_ = 0;
+  int64_t num_rels_ = 0;
+  util::CountTable label_counts_;
+  util::CountTable type_counts_;
+  util::CountTable out_pattern_counts_;  // "label|type" -> count
+  util::CountTable in_pattern_counts_;   // "type|label" -> count
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_STATISTICS_H_

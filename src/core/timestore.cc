@@ -1,0 +1,241 @@
+#include "core/timestore.h"
+
+#include <algorithm>
+
+#include "storage/file.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace aion::core {
+
+using storage::BpTree;
+using storage::LogFile;
+using util::DecodeBigEndian64;
+using util::DecodeFixed64;
+using util::PutBigEndian64;
+using util::PutFixed64;
+using util::Slice;
+
+namespace {
+
+std::string TimeKey(Timestamp ts, uint64_t seq) {
+  std::string key;
+  PutBigEndian64(&key, ts);
+  PutBigEndian64(&key, seq);
+  return key;
+}
+
+std::string SnapshotKey(Timestamp ts) {
+  std::string key;
+  PutBigEndian64(&key, ts);
+  return key;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
+                                                     GraphStore* graph_store) {
+  AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
+  AION_RETURN_IF_ERROR(
+      storage::CreateDirIfMissing(options.dir + "/snapshots"));
+  std::unique_ptr<TimeStore> store(new TimeStore());
+  store->options_ = options;
+  store->graph_store_ = graph_store;
+  AION_ASSIGN_OR_RETURN(store->log_,
+                        LogFile::Open(options.dir + "/updates.log"));
+  BpTree::Options tree_options;
+  tree_options.cache_pages = options.index_cache_pages;
+  AION_ASSIGN_OR_RETURN(
+      store->time_index_,
+      BpTree::Open(options.dir + "/time_index.bpt", tree_options));
+  AION_ASSIGN_OR_RETURN(
+      store->snapshot_index_,
+      BpTree::Open(options.dir + "/snapshot_index.bpt", tree_options));
+
+  // Recover clock/sequence from the tail of the time index.
+  auto it = store->time_index_->NewIterator();
+  it.SeekToLast();
+  if (it.Valid()) {
+    store->last_ts_ = DecodeBigEndian64(it.key().data());
+    store->seq_ = DecodeBigEndian64(it.key().data() + 8) + 1;
+  }
+  AION_RETURN_IF_ERROR(it.status());
+  // Recover snapshot accounting.
+  auto snap_it = store->snapshot_index_->NewIterator();
+  for (snap_it.SeekToFirst(); snap_it.Valid(); snap_it.Next()) {
+    store->last_snapshot_ts_ = DecodeBigEndian64(snap_it.key().data());
+    auto size = storage::FileSize(snap_it.value().ToString());
+    if (size.ok()) store->snapshot_bytes_ += *size;
+    ++store->snapshot_counter_;
+  }
+  AION_RETURN_IF_ERROR(snap_it.status());
+  return store;
+}
+
+Status TimeStore::Append(Timestamp ts,
+                         const std::vector<GraphUpdate>& updates,
+                         bool* snapshot_due) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ts < last_ts_) {
+    return Status::InvalidArgument("timestamps must be monotonic");
+  }
+  std::string payload;
+  graph::EncodeUpdateBatch(updates, &payload);
+  AION_ASSIGN_OR_RETURN(uint64_t offset, log_->Append(payload));
+  std::string value;
+  PutFixed64(&value, offset);
+  AION_RETURN_IF_ERROR(time_index_->Put(TimeKey(ts, seq_), value));
+  ++seq_;
+  last_ts_ = ts;
+  num_updates_ += updates.size();
+  ops_since_snapshot_ += updates.size();
+  if (snapshot_due != nullptr) {
+    switch (options_.policy.kind) {
+      case SnapshotPolicy::Kind::kOperationBased:
+        *snapshot_due = ops_since_snapshot_ >= options_.policy.every;
+        break;
+      case SnapshotPolicy::Kind::kTimeBased:
+        *snapshot_due = ts - last_snapshot_ts_ >= options_.policy.every;
+        break;
+      case SnapshotPolicy::Kind::kDisabled:
+        *snapshot_due = false;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TimeStore::WriteSnapshot(Timestamp ts,
+                                const graph::MemoryGraph& graph) {
+  std::string payload;
+  graph.EncodeTo(&payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = options_.dir + "/snapshots/snap_" +
+                           std::to_string(ts) + "_" +
+                           std::to_string(snapshot_counter_++);
+  AION_ASSIGN_OR_RETURN(auto file, storage::RandomAccessFile::Open(path));
+  AION_RETURN_IF_ERROR(file->Write(0, payload.data(), payload.size()));
+  AION_RETURN_IF_ERROR(snapshot_index_->Put(SnapshotKey(ts), path));
+  snapshot_bytes_ += payload.size();
+  last_snapshot_ts_ = ts;
+  ops_since_snapshot_ = 0;
+  return Status::OK();
+}
+
+StatusOr<std::vector<GraphUpdate>> TimeStore::GetDiff(Timestamp start,
+                                                      Timestamp end) const {
+  std::vector<GraphUpdate> diff;
+  if (end <= start) return diff;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = time_index_->NewIterator();
+  std::string probe = TimeKey(start == graph::kInfiniteTime
+                                  ? graph::kInfiniteTime
+                                  : start + 1,
+                              0);
+  std::string record;
+  for (it.Seek(probe); it.Valid(); it.Next()) {
+    const Timestamp ts = DecodeBigEndian64(it.key().data());
+    if (ts > end) break;
+    const uint64_t offset = DecodeFixed64(it.value().data());
+    AION_RETURN_IF_ERROR(log_->Read(offset, &record));
+    AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> batch,
+                          graph::DecodeUpdateBatch(record));
+    diff.insert(diff.end(), std::make_move_iterator(batch.begin()),
+                std::make_move_iterator(batch.end()));
+  }
+  AION_RETURN_IF_ERROR(it.status());
+  return diff;
+}
+
+StatusOr<std::shared_ptr<const graph::MemoryGraph>> TimeStore::FindBase(
+    Timestamp t, Timestamp* base_ts) {
+  // Memory first.
+  Timestamp mem_ts = 0;
+  std::shared_ptr<const graph::MemoryGraph> mem =
+      graph_store_->ClosestAtOrBefore(t, &mem_ts);
+
+  // Disk: largest snapshot timestamp <= t.
+  Timestamp disk_ts = 0;
+  std::string disk_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = snapshot_index_->NewIterator();
+    it.SeekForPrev(SnapshotKey(t));
+    if (it.Valid()) {
+      disk_ts = DecodeBigEndian64(it.key().data());
+      disk_path = it.value().ToString();
+    }
+    AION_RETURN_IF_ERROR(it.status());
+  }
+
+  if (mem != nullptr && (disk_path.empty() || mem_ts >= disk_ts)) {
+    *base_ts = mem_ts;
+    return mem;
+  }
+  if (!disk_path.empty()) {
+    AION_ASSIGN_OR_RETURN(auto snapshot, LoadSnapshotFile(disk_path));
+    *base_ts = disk_ts;
+    // Cache the loaded snapshot for subsequent queries.
+    graph_store_->Put(disk_ts, snapshot);
+    return snapshot;
+  }
+  *base_ts = 0;
+  return std::shared_ptr<const graph::MemoryGraph>(nullptr);
+}
+
+StatusOr<std::shared_ptr<const graph::MemoryGraph>>
+TimeStore::LoadSnapshotFile(const std::string& path) const {
+  AION_ASSIGN_OR_RETURN(auto file, storage::RandomAccessFile::Open(path));
+  std::string payload(file->size(), '\0');
+  AION_RETURN_IF_ERROR(file->Read(0, payload.size(), payload.data()));
+  AION_ASSIGN_OR_RETURN(auto graph,
+                        graph::MemoryGraph::DecodeFrom(Slice(payload)));
+  return std::shared_ptr<const graph::MemoryGraph>(std::move(graph));
+}
+
+StatusOr<std::shared_ptr<const graph::GraphView>> TimeStore::GetGraphAt(
+    Timestamp t) {
+  Timestamp base_ts = 0;
+  AION_ASSIGN_OR_RETURN(auto base, FindBase(t, &base_ts));
+  if (base == nullptr) {
+    base = std::make_shared<const graph::MemoryGraph>();
+    base_ts = 0;
+  }
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff, GetDiff(base_ts, t));
+  if (diff.empty()) {
+    return std::static_pointer_cast<const graph::GraphView>(base);
+  }
+  auto cow = std::make_shared<graph::CowGraph>(base);
+  AION_RETURN_IF_ERROR(cow->ApplyAll(diff));
+  return std::static_pointer_cast<const graph::GraphView>(cow);
+}
+
+StatusOr<std::unique_ptr<graph::MemoryGraph>> TimeStore::MaterializeGraphAt(
+    Timestamp t) {
+  Timestamp base_ts = 0;
+  AION_ASSIGN_OR_RETURN(auto base, FindBase(t, &base_ts));
+  std::unique_ptr<graph::MemoryGraph> graph;
+  if (base == nullptr) {
+    graph = std::make_unique<graph::MemoryGraph>();
+    base_ts = 0;
+  } else {
+    graph = base->Clone();
+  }
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff, GetDiff(base_ts, t));
+  AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
+  return graph;
+}
+
+uint64_t TimeStore::SizeBytes() const {
+  return log_->SizeBytes() + time_index_->SizeBytes() +
+         snapshot_index_->SizeBytes() + snapshot_bytes_;
+}
+
+Status TimeStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AION_RETURN_IF_ERROR(time_index_->Flush());
+  AION_RETURN_IF_ERROR(snapshot_index_->Flush());
+  return Status::OK();
+}
+
+}  // namespace aion::core

@@ -1,0 +1,142 @@
+// TimeStore (Sec 4.3): snapshot-based temporal storage indexing graph
+// updates by time. Components:
+//  * a single append-only log of all graph changes, ordered by monotonically
+//    increasing transaction timestamps (a WAL with no retention policy);
+//  * a B+Tree indexing log entries by (timestamp, sequence) -> log offset,
+//    giving O(log n) time-based lookups and range scans (Table 2 row 1);
+//  * eagerly created snapshots on disk under a user-defined policy
+//    (operation-based by default), indexed by a second B+Tree
+//    timestamp -> snapshot file (Table 2 row 2);
+//  * the GraphStore LRU cache to avoid snapshot I/O where possible.
+//
+// Retrieval at time t: fetch the closest snapshot at or before t (GraphStore
+// first, then disk) and replay the forward changes from the log (Copy+Log).
+#ifndef AION_CORE_TIMESTORE_H_
+#define AION_CORE_TIMESTORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/graphstore.h"
+#include "graph/cow_graph.h"
+#include "graph/graph_view.h"
+#include "graph/memgraph.h"
+#include "graph/update.h"
+#include "storage/bptree.h"
+#include "storage/log_file.h"
+#include "util/status.h"
+
+namespace aion::core {
+
+using graph::GraphUpdate;
+using graph::Timestamp;
+using util::Status;
+using util::StatusOr;
+
+/// When to eagerly materialize snapshots (Sec 4.3: "time-based or
+/// operation-based, with the default being operation-based").
+struct SnapshotPolicy {
+  enum class Kind { kOperationBased, kTimeBased, kDisabled };
+  Kind kind = Kind::kOperationBased;
+  /// kOperationBased: snapshot every N updates; kTimeBased: every N ticks.
+  uint64_t every = 100000;
+};
+
+class TimeStore {
+ public:
+  struct Options {
+    std::string dir;
+    SnapshotPolicy policy;
+    size_t index_cache_pages = 512;
+  };
+
+  /// Opens (creating if missing) a TimeStore rooted at options.dir.
+  /// `graph_store` provides the snapshot cache and latest replica; it is
+  /// shared with the owning AionStore and must outlive the TimeStore.
+  static StatusOr<std::unique_ptr<TimeStore>> Open(const Options& options,
+                                                   GraphStore* graph_store);
+
+  TimeStore(const TimeStore&) = delete;
+  TimeStore& operator=(const TimeStore&) = delete;
+
+  // -------------------------------------------------------------------
+  // Ingestion (synchronous on the commit path, Sec 5.1 stage 2)
+  // -------------------------------------------------------------------
+
+  /// Appends one committed transaction's updates (all stamped `ts`) as a
+  /// single log record and indexes it by time. Also signals whether the
+  /// snapshot policy asks for a new snapshot.
+  Status Append(Timestamp ts, const std::vector<GraphUpdate>& updates,
+                bool* snapshot_due);
+
+  /// Writes `graph` to disk as the snapshot at `ts` and indexes it.
+  Status WriteSnapshot(Timestamp ts, const graph::MemoryGraph& graph);
+
+  // -------------------------------------------------------------------
+  // Retrieval
+  // -------------------------------------------------------------------
+
+  /// All updates with start < ts <= end in timestamp order — the difference
+  /// between the two time instances (Table 1 getDiff): applying the result
+  /// onto the graph at `start` yields the graph at `end`.
+  StatusOr<std::vector<GraphUpdate>> GetDiff(Timestamp start,
+                                             Timestamp end) const;
+
+  /// The graph as of time t (Copy+Log): closest snapshot + forward replay.
+  /// Returns a CoW view when replay was needed, or the cached snapshot
+  /// itself when it matched exactly.
+  StatusOr<std::shared_ptr<const graph::GraphView>> GetGraphAt(Timestamp t);
+
+  /// As GetGraphAt but always materializes an independent MemoryGraph
+  /// (snapshot insertion into GraphStore, window queries).
+  StatusOr<std::unique_ptr<graph::MemoryGraph>> MaterializeGraphAt(
+      Timestamp t);
+
+  /// Largest update timestamp appended so far.
+  Timestamp last_ts() const { return last_ts_; }
+
+  /// Updates appended since the last snapshot (policy bookkeeping).
+  uint64_t ops_since_snapshot() const { return ops_since_snapshot_; }
+
+  /// Total updates appended.
+  uint64_t num_updates() const { return num_updates_; }
+
+  /// On-disk footprint: log + indexes + snapshot files.
+  uint64_t SizeBytes() const;
+  uint64_t LogBytes() const { return log_->SizeBytes(); }
+  uint64_t SnapshotBytes() const { return snapshot_bytes_; }
+
+  Status Flush();
+
+ private:
+  TimeStore() = default;
+
+  /// Finds the best base snapshot at or before t. Prefers the GraphStore;
+  /// falls back to disk. Returns nullptr when none exists (base = empty
+  /// graph at ts 0).
+  StatusOr<std::shared_ptr<const graph::MemoryGraph>> FindBase(
+      Timestamp t, Timestamp* base_ts);
+
+  StatusOr<std::shared_ptr<const graph::MemoryGraph>> LoadSnapshotFile(
+      const std::string& path) const;
+
+  Options options_;
+  GraphStore* graph_store_ = nullptr;
+  std::unique_ptr<storage::LogFile> log_;
+  std::unique_ptr<storage::BpTree> time_index_;      // (ts, seq) -> offset
+  std::unique_ptr<storage::BpTree> snapshot_index_;  // ts -> file path
+  mutable std::mutex mu_;  // serializes appends and index structure changes
+  Timestamp last_ts_ = 0;
+  Timestamp last_snapshot_ts_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t num_updates_ = 0;
+  uint64_t ops_since_snapshot_ = 0;
+  uint64_t snapshot_bytes_ = 0;
+  uint64_t snapshot_counter_ = 0;
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_TIMESTORE_H_

@@ -1,0 +1,289 @@
+#include "graph/cow_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aion::graph {
+
+using util::Status;
+
+CowGraph::CowGraph(std::shared_ptr<const MemoryGraph> base)
+    : base_(std::move(base)),
+      num_nodes_(base_->NumNodes()),
+      num_rels_(base_->NumRelationships()),
+      node_capacity_(base_->NodeCapacity()),
+      rel_capacity_(base_->RelCapacity()) {
+  AION_CHECK(base_->has_neighbourhoods());
+}
+
+bool CowGraph::NodeExists(NodeId id) const {
+  auto it = node_overlay_.find(id);
+  if (it != node_overlay_.end()) return it->second.has_value();
+  return BaseNode(id) != nullptr;
+}
+
+bool CowGraph::RelExists(RelId id) const {
+  auto it = rel_overlay_.find(id);
+  if (it != rel_overlay_.end()) return it->second.has_value();
+  return BaseRel(id) != nullptr;
+}
+
+Node* CowGraph::MutableNode(NodeId id) {
+  auto it = node_overlay_.find(id);
+  if (it != node_overlay_.end()) {
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  const Node* base = BaseNode(id);
+  if (base == nullptr) return nullptr;
+  auto [ins, _] = node_overlay_.emplace(id, *base);
+  return &*ins->second;
+}
+
+Relationship* CowGraph::MutableRel(RelId id) {
+  auto it = rel_overlay_.find(id);
+  if (it != rel_overlay_.end()) {
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  const Relationship* base = BaseRel(id);
+  if (base == nullptr) return nullptr;
+  auto [ins, _] = rel_overlay_.emplace(id, *base);
+  return &*ins->second;
+}
+
+CowGraph::Adjacency* CowGraph::MutableAdjacency(NodeId id) {
+  auto it = adj_overlay_.find(id);
+  if (it != adj_overlay_.end()) return &it->second;
+  Adjacency adj;
+  if (id < base_->NodeCapacity()) {
+    adj.out = base_->OutRels(id);
+    adj.in = base_->InRels(id);
+  }
+  auto [ins, _] = adj_overlay_.emplace(id, std::move(adj));
+  return &ins->second;
+}
+
+Status CowGraph::Apply(const GraphUpdate& u) {
+  switch (u.op) {
+    case UpdateOp::kAddNode: {
+      if (NodeExists(u.id)) {
+        return Status::AlreadyExists("node " + std::to_string(u.id));
+      }
+      Node node;
+      node.id = u.id;
+      node.labels = u.labels;
+      node.props = u.props;
+      node_overlay_[u.id] = std::move(node);
+      adj_overlay_[u.id] = Adjacency{};
+      ++num_nodes_;
+      node_capacity_ = std::max(node_capacity_, u.id + 1);
+      return Status::OK();
+    }
+    case UpdateOp::kDeleteNode: {
+      if (!NodeExists(u.id)) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " does not exist");
+      }
+      Adjacency* adj = MutableAdjacency(u.id);
+      if (!adj->out.empty() || !adj->in.empty()) {
+        return Status::FailedPrecondition(
+            "node " + std::to_string(u.id) + " still has relationships");
+      }
+      node_overlay_[u.id] = std::nullopt;
+      --num_nodes_;
+      return Status::OK();
+    }
+    case UpdateOp::kAddRelationship: {
+      if (!NodeExists(u.src)) {
+        return Status::FailedPrecondition("node " + std::to_string(u.src) +
+                                          " does not exist");
+      }
+      if (!NodeExists(u.tgt)) {
+        return Status::FailedPrecondition("node " + std::to_string(u.tgt) +
+                                          " does not exist");
+      }
+      if (RelExists(u.id)) {
+        return Status::AlreadyExists("relationship " + std::to_string(u.id));
+      }
+      Relationship rel;
+      rel.id = u.id;
+      rel.src = u.src;
+      rel.tgt = u.tgt;
+      rel.type = u.type;
+      rel.props = u.props;
+      rel_overlay_[u.id] = std::move(rel);
+      MutableAdjacency(u.src)->out.push_back(u.id);
+      MutableAdjacency(u.tgt)->in.push_back(u.id);
+      ++num_rels_;
+      rel_capacity_ = std::max(rel_capacity_, u.id + 1);
+      return Status::OK();
+    }
+    case UpdateOp::kDeleteRelationship: {
+      const Relationship* rel = GetRelationship(u.id);
+      if (rel == nullptr) {
+        return Status::FailedPrecondition("relationship " +
+                                          std::to_string(u.id) +
+                                          " does not exist");
+      }
+      const NodeId src = rel->src;
+      const NodeId tgt = rel->tgt;
+      Adjacency* src_adj = MutableAdjacency(src);
+      auto out_it = std::find(src_adj->out.begin(), src_adj->out.end(), u.id);
+      if (out_it != src_adj->out.end()) src_adj->out.erase(out_it);
+      Adjacency* tgt_adj = MutableAdjacency(tgt);
+      auto in_it = std::find(tgt_adj->in.begin(), tgt_adj->in.end(), u.id);
+      if (in_it != tgt_adj->in.end()) tgt_adj->in.erase(in_it);
+      rel_overlay_[u.id] = std::nullopt;
+      --num_rels_;
+      return Status::OK();
+    }
+    case UpdateOp::kSetNodeProperty: {
+      Node* node = MutableNode(u.id);
+      if (node == nullptr) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " does not exist");
+      }
+      node->props.Set(u.key, u.value);
+      return Status::OK();
+    }
+    case UpdateOp::kRemoveNodeProperty: {
+      Node* node = MutableNode(u.id);
+      if (node == nullptr) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " does not exist");
+      }
+      node->props.Remove(u.key);
+      return Status::OK();
+    }
+    case UpdateOp::kAddNodeLabel: {
+      Node* node = MutableNode(u.id);
+      if (node == nullptr) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " does not exist");
+      }
+      node->AddLabel(u.label);
+      return Status::OK();
+    }
+    case UpdateOp::kRemoveNodeLabel: {
+      Node* node = MutableNode(u.id);
+      if (node == nullptr) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " does not exist");
+      }
+      node->RemoveLabel(u.label);
+      return Status::OK();
+    }
+    case UpdateOp::kSetRelationshipProperty: {
+      Relationship* rel = MutableRel(u.id);
+      if (rel == nullptr) {
+        return Status::FailedPrecondition("relationship " +
+                                          std::to_string(u.id) +
+                                          " does not exist");
+      }
+      rel->props.Set(u.key, u.value);
+      return Status::OK();
+    }
+    case UpdateOp::kRemoveRelationshipProperty: {
+      Relationship* rel = MutableRel(u.id);
+      if (rel == nullptr) {
+        return Status::FailedPrecondition("relationship " +
+                                          std::to_string(u.id) +
+                                          " does not exist");
+      }
+      rel->props.Remove(u.key);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown update op");
+}
+
+Status CowGraph::ApplyAll(const std::vector<GraphUpdate>& updates) {
+  for (const GraphUpdate& u : updates) {
+    AION_RETURN_IF_ERROR(Apply(u));
+  }
+  return Status::OK();
+}
+
+const Node* CowGraph::GetNode(NodeId id) const {
+  auto it = node_overlay_.find(id);
+  if (it != node_overlay_.end()) {
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  return BaseNode(id);
+}
+
+const Relationship* CowGraph::GetRelationship(RelId id) const {
+  auto it = rel_overlay_.find(id);
+  if (it != rel_overlay_.end()) {
+    return it->second.has_value() ? &*it->second : nullptr;
+  }
+  return BaseRel(id);
+}
+
+void CowGraph::ForEachNode(
+    const std::function<void(const Node&)>& fn) const {
+  base_->ForEachNode([&](const Node& n) {
+    auto it = node_overlay_.find(n.id);
+    if (it == node_overlay_.end()) {
+      fn(n);
+    } else if (it->second.has_value()) {
+      fn(*it->second);
+    }
+    // tombstone: skip
+  });
+  // Overlay-only nodes (added after the base snapshot).
+  for (const auto& [id, node] : node_overlay_) {
+    if (node.has_value() && BaseNode(id) == nullptr) fn(*node);
+  }
+}
+
+void CowGraph::ForEachRelationship(
+    const std::function<void(const Relationship&)>& fn) const {
+  base_->ForEachRelationship([&](const Relationship& r) {
+    auto it = rel_overlay_.find(r.id);
+    if (it == rel_overlay_.end()) {
+      fn(r);
+    } else if (it->second.has_value()) {
+      fn(*it->second);
+    }
+  });
+  for (const auto& [id, rel] : rel_overlay_) {
+    if (rel.has_value() && BaseRel(id) == nullptr) fn(*rel);
+  }
+}
+
+void CowGraph::ForEachRel(NodeId node, Direction direction,
+                          const std::function<void(RelId)>& fn) const {
+  auto it = adj_overlay_.find(node);
+  if (it != adj_overlay_.end()) {
+    if (direction == Direction::kOutgoing || direction == Direction::kBoth) {
+      for (RelId id : it->second.out) fn(id);
+    }
+    if (direction == Direction::kIncoming || direction == Direction::kBoth) {
+      for (RelId id : it->second.in) fn(id);
+    }
+    return;
+  }
+  base_->ForEachRel(node, direction, fn);
+}
+
+NodeId CowGraph::NodeCapacity() const { return node_capacity_; }
+RelId CowGraph::RelCapacity() const { return rel_capacity_; }
+
+std::unique_ptr<MemoryGraph> CowGraph::Materialize() const {
+  auto graph = std::make_unique<MemoryGraph>();
+  // Replay as updates in dependency order: nodes, then relationships, so
+  // MemoryGraph's constraints hold.
+  ForEachNode([&](const Node& n) {
+    GraphUpdate u = GraphUpdate::AddNode(n.id, n.labels, n.props);
+    AION_CHECK_OK(graph->Apply(u));
+  });
+  ForEachRelationship([&](const Relationship& r) {
+    GraphUpdate u =
+        GraphUpdate::AddRelationship(r.id, r.src, r.tgt, r.type, r.props);
+    AION_CHECK_OK(graph->Apply(u));
+  });
+  return graph;
+}
+
+}  // namespace aion::graph

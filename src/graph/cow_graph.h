@@ -1,0 +1,92 @@
+// Copy-on-write graph overlay (Sec 5.2: "when copying large graphs from the
+// GraphStore, Aion uses Copy-on-Write similar to Tegra to avoid unnecessary
+// data duplication"). A CowGraph shares an immutable base snapshot and keeps
+// modifications in small overlay maps; reads consult the overlay first and
+// fall back to the base. Materialize() produces an independent MemoryGraph
+// when a caller needs one.
+#ifndef AION_GRAPH_COW_GRAPH_H_
+#define AION_GRAPH_COW_GRAPH_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "graph/memgraph.h"
+#include "graph/update.h"
+#include "util/status.h"
+
+namespace aion::graph {
+
+class CowGraph final : public GraphView {
+ public:
+  /// Wraps an immutable base snapshot. The base must have neighbourhoods
+  /// built (GraphStore rebuilds them on retrieval).
+  explicit CowGraph(std::shared_ptr<const MemoryGraph> base);
+
+  /// Applies one update to the overlay (the base is never touched).
+  util::Status Apply(const GraphUpdate& update);
+  util::Status ApplyAll(const std::vector<GraphUpdate>& updates);
+
+  // GraphView -----------------------------------------------------------
+  const Node* GetNode(NodeId id) const override;
+  const Relationship* GetRelationship(RelId id) const override;
+  void ForEachNode(const std::function<void(const Node&)>& fn) const override;
+  void ForEachRelationship(
+      const std::function<void(const Relationship&)>& fn) const override;
+  void ForEachRel(NodeId node, Direction direction,
+                  const std::function<void(RelId)>& fn) const override;
+  size_t NumNodes() const override { return num_nodes_; }
+  size_t NumRelationships() const override { return num_rels_; }
+  NodeId NodeCapacity() const override;
+  RelId RelCapacity() const override;
+
+  /// Copies base + overlay into a standalone MemoryGraph.
+  std::unique_ptr<MemoryGraph> Materialize() const;
+
+  /// Number of overlay entries (tests/diagnostics: verifies no full copy
+  /// happened).
+  size_t OverlaySize() const {
+    return node_overlay_.size() + rel_overlay_.size();
+  }
+
+  const std::shared_ptr<const MemoryGraph>& base() const { return base_; }
+
+ private:
+  // Overlay adjacency for a touched node: base list is copied once on first
+  // structural change around that node, then mutated in place.
+  struct Adjacency {
+    std::vector<RelId> out;
+    std::vector<RelId> in;
+  };
+
+  /// Node/Relationship lookup helpers honouring overlay tombstones.
+  const Node* BaseNode(NodeId id) const { return base_->GetNode(id); }
+  const Relationship* BaseRel(RelId id) const {
+    return base_->GetRelationship(id);
+  }
+
+  /// Returns a mutable copy of `id`'s node in the overlay (copying from the
+  /// base on first touch), or nullptr if the node does not exist.
+  Node* MutableNode(NodeId id);
+  Relationship* MutableRel(RelId id);
+  Adjacency* MutableAdjacency(NodeId id);
+
+  bool NodeExists(NodeId id) const;
+  bool RelExists(RelId id) const;
+
+  std::shared_ptr<const MemoryGraph> base_;
+  // nullopt value = tombstone (deleted in the overlay).
+  std::unordered_map<NodeId, std::optional<Node>> node_overlay_;
+  std::unordered_map<RelId, std::optional<Relationship>> rel_overlay_;
+  std::unordered_map<NodeId, Adjacency> adj_overlay_;
+  size_t num_nodes_;
+  size_t num_rels_;
+  NodeId node_capacity_;
+  RelId rel_capacity_;
+};
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_COW_GRAPH_H_

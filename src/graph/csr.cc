@@ -1,0 +1,60 @@
+#include "graph/csr.h"
+
+#include "graph/property.h"
+#include "util/logging.h"
+
+namespace aion::graph {
+
+CsrGraph CsrGraph::Build(const GraphView& view,
+                         const std::string& weight_property) {
+  CsrGraph csr;
+
+  // Dense mapping over live nodes.
+  DenseIdMap& map = csr.map_;
+  map.sparse_to_dense.assign(view.NodeCapacity(), DenseIdMap::kUnmapped);
+  map.dense_to_sparse.reserve(view.NumNodes());
+  view.ForEachNode([&](const Node& n) {
+    map.sparse_to_dense[n.id] =
+        static_cast<uint32_t>(map.dense_to_sparse.size());
+    map.dense_to_sparse.push_back(n.id);
+  });
+  const size_t n = map.dense_to_sparse.size();
+
+  // Counting pass.
+  std::vector<uint64_t> out_count(n, 0), in_count(n, 0);
+  view.ForEachRelationship([&](const Relationship& r) {
+    ++out_count[map.sparse_to_dense[r.src]];
+    ++in_count[map.sparse_to_dense[r.tgt]];
+  });
+
+  csr.offsets_.assign(n + 1, 0);
+  csr.in_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    csr.offsets_[i + 1] = csr.offsets_[i] + out_count[i];
+    csr.in_offsets_[i + 1] = csr.in_offsets_[i] + in_count[i];
+  }
+  const size_t m = csr.offsets_[n];
+  csr.targets_.resize(m);
+  csr.in_targets_.resize(m);
+  const bool weighted = !weight_property.empty();
+  if (weighted) csr.weights_.resize(m, 1.0);
+
+  // Fill pass.
+  std::vector<uint64_t> out_pos(csr.offsets_.begin(), csr.offsets_.end() - 1);
+  std::vector<uint64_t> in_pos(csr.in_offsets_.begin(),
+                               csr.in_offsets_.end() - 1);
+  view.ForEachRelationship([&](const Relationship& r) {
+    const uint32_t src = map.sparse_to_dense[r.src];
+    const uint32_t tgt = map.sparse_to_dense[r.tgt];
+    const uint64_t opos = out_pos[src]++;
+    csr.targets_[opos] = tgt;
+    csr.in_targets_[in_pos[tgt]++] = src;
+    if (weighted) {
+      const PropertyValue* w = r.props.Get(weight_property);
+      if (w != nullptr) csr.weights_[opos] = w->ToNumber();
+    }
+  });
+  return csr;
+}
+
+}  // namespace aion::graph

@@ -1,0 +1,66 @@
+// Static CSR projection (Sec 2.1 / 5.1): Aion extracts graph history into
+// "GDS projections" — Compressed Sparse Row structures over the dense node
+// id domain — for efficient parallel analytics. CsrGraph is immutable after
+// Build.
+#ifndef AION_GRAPH_CSR_H_
+#define AION_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "graph/memgraph.h"
+
+namespace aion::graph {
+
+class CsrGraph {
+ public:
+  /// Projects `view` into CSR form over dense node ids. If `weight_property`
+  /// is non-empty, per-edge weights are read from that relationship property
+  /// (missing/non-numeric values default to 1.0).
+  static CsrGraph Build(const GraphView& view,
+                        const std::string& weight_property = "");
+
+  size_t num_nodes() const { return offsets_.size() - 1; }
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Outgoing neighbours of dense node `u` as dense ids.
+  const uint32_t* Neighbors(uint32_t u, size_t* count) const {
+    *count = offsets_[u + 1] - offsets_[u];
+    return targets_.data() + offsets_[u];
+  }
+
+  /// Incoming neighbours (reverse CSR).
+  const uint32_t* InNeighbors(uint32_t u, size_t* count) const {
+    *count = in_offsets_[u + 1] - in_offsets_[u];
+    return in_targets_.data() + in_offsets_[u];
+  }
+
+  double Weight(uint32_t u, size_t edge_index) const {
+    return weights_.empty() ? 1.0 : weights_[offsets_[u] + edge_index];
+  }
+
+  size_t OutDegree(uint32_t u) const { return offsets_[u + 1] - offsets_[u]; }
+  size_t InDegree(uint32_t u) const {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+  const DenseIdMap& dense_map() const { return map_; }
+  NodeId ToSparse(uint32_t dense) const { return map_.dense_to_sparse[dense]; }
+  uint32_t ToDense(NodeId sparse) const {
+    return map_.sparse_to_dense[sparse];
+  }
+
+ private:
+  DenseIdMap map_;
+  std::vector<uint64_t> offsets_;     // size num_nodes + 1
+  std::vector<uint32_t> targets_;     // dense target ids
+  std::vector<double> weights_;       // empty if unweighted
+  std::vector<uint64_t> in_offsets_;  // reverse CSR
+  std::vector<uint32_t> in_targets_;
+};
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_CSR_H_

@@ -1,0 +1,74 @@
+// LPG graph entities (Sec 3): nodes v = (nid, l, p) with a set of labels,
+// relationships e = (rid, src, tgt, l, p) with a single (or empty) type.
+// Versioned<T> adds the validity interval of the temporal LPG:
+// v = (tau_s, tau_e, nid, l, p).
+#ifndef AION_GRAPH_ENTITY_H_
+#define AION_GRAPH_ENTITY_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/property.h"
+#include "graph/types.h"
+
+namespace aion::graph {
+
+/// A node of the labeled property graph.
+struct Node {
+  NodeId id = kInvalidNodeId;
+  std::vector<std::string> labels;  // sorted, unique
+  PropertySet props;
+
+  bool HasLabel(const std::string& label) const {
+    return std::binary_search(labels.begin(), labels.end(), label);
+  }
+
+  /// Adds `label`; returns false if already present.
+  bool AddLabel(const std::string& label) {
+    auto it = std::lower_bound(labels.begin(), labels.end(), label);
+    if (it != labels.end() && *it == label) return false;
+    labels.insert(it, label);
+    return true;
+  }
+
+  /// Removes `label`; returns false if absent.
+  bool RemoveLabel(const std::string& label) {
+    auto it = std::lower_bound(labels.begin(), labels.end(), label);
+    if (it == labels.end() || *it != label) return false;
+    labels.erase(it);
+    return true;
+  }
+
+  bool operator==(const Node&) const = default;
+};
+
+/// A directed relationship of the labeled property graph.
+struct Relationship {
+  RelId id = kInvalidRelId;
+  NodeId src = kInvalidNodeId;
+  NodeId tgt = kInvalidNodeId;
+  std::string type;  // single (or empty) label
+  PropertySet props;
+
+  /// The endpoint opposite to `node` (for undirected expansion).
+  NodeId Other(NodeId node) const { return node == src ? tgt : src; }
+
+  bool operator==(const Relationship&) const = default;
+};
+
+/// An entity version with its validity interval [valid_from, valid_to).
+template <typename T>
+struct Versioned {
+  TimeInterval interval;
+  T entity;
+
+  bool operator==(const Versioned&) const = default;
+};
+
+using NodeVersion = Versioned<Node>;
+using RelationshipVersion = Versioned<Relationship>;
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_ENTITY_H_

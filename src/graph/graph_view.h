@@ -1,0 +1,64 @@
+// Read-only view over a graph at one point in time. Implemented by
+// MemoryGraph (materialized snapshots) and CowGraph (copy-on-write overlays
+// handed out by the GraphStore, Sec 5.2). Algorithms and the query executor
+// program against this interface; heavy analytics first project to CsrGraph.
+#ifndef AION_GRAPH_GRAPH_VIEW_H_
+#define AION_GRAPH_GRAPH_VIEW_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/entity.h"
+#include "graph/types.h"
+
+namespace aion::graph {
+
+class GraphView {
+ public:
+  virtual ~GraphView() = default;
+
+  /// Returns the node or nullptr if absent. The pointer is valid until the
+  /// next mutation of the underlying graph.
+  virtual const Node* GetNode(NodeId id) const = 0;
+
+  /// Returns the relationship or nullptr if absent.
+  virtual const Relationship* GetRelationship(RelId id) const = 0;
+
+  /// Invokes fn for every live node / relationship.
+  virtual void ForEachNode(
+      const std::function<void(const Node&)>& fn) const = 0;
+  virtual void ForEachRelationship(
+      const std::function<void(const Relationship&)>& fn) const = 0;
+
+  /// Invokes fn(rel_id) for each relationship incident to `node` in the
+  /// given direction. kBoth visits outgoing first, then incoming; self-loops
+  /// therefore appear twice under kBoth (matching adjacency storage).
+  virtual void ForEachRel(
+      NodeId node, Direction direction,
+      const std::function<void(RelId)>& fn) const = 0;
+
+  virtual size_t NumNodes() const = 0;
+  virtual size_t NumRelationships() const = 0;
+
+  /// One past the largest id ever observed (vector sizing bound).
+  virtual NodeId NodeCapacity() const = 0;
+  virtual RelId RelCapacity() const = 0;
+
+  /// Collects incident relationship ids into a vector (convenience).
+  std::vector<RelId> RelIds(NodeId node, Direction direction) const {
+    std::vector<RelId> ids;
+    ForEachRel(node, direction, [&ids](RelId id) { ids.push_back(id); });
+    return ids;
+  }
+
+  /// Out-degree + in-degree shortcut.
+  size_t Degree(NodeId node, Direction direction) const {
+    size_t n = 0;
+    ForEachRel(node, direction, [&n](RelId) { ++n; });
+    return n;
+  }
+};
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_GRAPH_VIEW_H_

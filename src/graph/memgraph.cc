@@ -1,0 +1,381 @@
+#include "graph/memgraph.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace aion::graph {
+
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+Status NodeMissing(NodeId id) {
+  return Status::FailedPrecondition("node " + std::to_string(id) +
+                                    " does not exist");
+}
+Status RelMissing(RelId id) {
+  return Status::FailedPrecondition("relationship " + std::to_string(id) +
+                                    " does not exist");
+}
+
+}  // namespace
+
+void MemoryGraph::EnsureNodeCapacity(NodeId id) {
+  if (id >= nodes_.size()) {
+    nodes_.resize(id + 1);
+    if (has_neighbourhoods_) {
+      out_.resize(id + 1);
+      in_.resize(id + 1);
+    }
+  }
+}
+
+void MemoryGraph::EnsureRelCapacity(RelId id) {
+  if (id >= rels_.size()) rels_.resize(id + 1);
+}
+
+void MemoryGraph::RemoveRelId(std::vector<RelId>* vec, RelId id) {
+  auto it = std::find(vec->begin(), vec->end(), id);
+  if (it != vec->end()) vec->erase(it);
+}
+
+Status MemoryGraph::Apply(const GraphUpdate& u) {
+  switch (u.op) {
+    case UpdateOp::kAddNode: {
+      EnsureNodeCapacity(u.id);
+      if (nodes_[u.id].has_value()) {
+        return Status::AlreadyExists("node " + std::to_string(u.id) +
+                                     " already exists");
+      }
+      Node node;
+      node.id = u.id;
+      node.labels = u.labels;
+      node.props = u.props;
+      nodes_[u.id] = std::move(node);
+      ++num_nodes_;
+      return Status::OK();
+    }
+    case UpdateOp::kDeleteNode: {
+      if (u.id >= nodes_.size() || !nodes_[u.id].has_value()) {
+        return NodeMissing(u.id);
+      }
+      if (has_neighbourhoods_ &&
+          (!out_[u.id].empty() || !in_[u.id].empty())) {
+        return Status::FailedPrecondition(
+            "node " + std::to_string(u.id) +
+            " still has relationships; delete them first");
+      }
+      nodes_[u.id].reset();
+      --num_nodes_;
+      return Status::OK();
+    }
+    case UpdateOp::kAddRelationship: {
+      if (u.src >= nodes_.size() || !nodes_[u.src].has_value()) {
+        return NodeMissing(u.src);
+      }
+      if (u.tgt >= nodes_.size() || !nodes_[u.tgt].has_value()) {
+        return NodeMissing(u.tgt);
+      }
+      EnsureRelCapacity(u.id);
+      if (rels_[u.id].has_value()) {
+        return Status::AlreadyExists("relationship " + std::to_string(u.id) +
+                                     " already exists");
+      }
+      Relationship rel;
+      rel.id = u.id;
+      rel.src = u.src;
+      rel.tgt = u.tgt;
+      rel.type = u.type;
+      rel.props = u.props;
+      rels_[u.id] = std::move(rel);
+      if (has_neighbourhoods_) {
+        out_[u.src].push_back(u.id);
+        in_[u.tgt].push_back(u.id);
+      }
+      ++num_rels_;
+      return Status::OK();
+    }
+    case UpdateOp::kDeleteRelationship: {
+      if (u.id >= rels_.size() || !rels_[u.id].has_value()) {
+        return RelMissing(u.id);
+      }
+      const Relationship& rel = *rels_[u.id];
+      if (has_neighbourhoods_) {
+        RemoveRelId(&out_[rel.src], u.id);
+        RemoveRelId(&in_[rel.tgt], u.id);
+      }
+      rels_[u.id].reset();
+      --num_rels_;
+      return Status::OK();
+    }
+    case UpdateOp::kSetNodeProperty: {
+      if (u.id >= nodes_.size() || !nodes_[u.id].has_value()) {
+        return NodeMissing(u.id);
+      }
+      nodes_[u.id]->props.Set(u.key, u.value);
+      return Status::OK();
+    }
+    case UpdateOp::kRemoveNodeProperty: {
+      if (u.id >= nodes_.size() || !nodes_[u.id].has_value()) {
+        return NodeMissing(u.id);
+      }
+      nodes_[u.id]->props.Remove(u.key);
+      return Status::OK();
+    }
+    case UpdateOp::kAddNodeLabel: {
+      if (u.id >= nodes_.size() || !nodes_[u.id].has_value()) {
+        return NodeMissing(u.id);
+      }
+      nodes_[u.id]->AddLabel(u.label);
+      return Status::OK();
+    }
+    case UpdateOp::kRemoveNodeLabel: {
+      if (u.id >= nodes_.size() || !nodes_[u.id].has_value()) {
+        return NodeMissing(u.id);
+      }
+      nodes_[u.id]->RemoveLabel(u.label);
+      return Status::OK();
+    }
+    case UpdateOp::kSetRelationshipProperty: {
+      if (u.id >= rels_.size() || !rels_[u.id].has_value()) {
+        return RelMissing(u.id);
+      }
+      rels_[u.id]->props.Set(u.key, u.value);
+      return Status::OK();
+    }
+    case UpdateOp::kRemoveRelationshipProperty: {
+      if (u.id >= rels_.size() || !rels_[u.id].has_value()) {
+        return RelMissing(u.id);
+      }
+      rels_[u.id]->props.Remove(u.key);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown update op");
+}
+
+Status MemoryGraph::ApplyAll(const std::vector<GraphUpdate>& updates) {
+  for (const GraphUpdate& u : updates) {
+    AION_RETURN_IF_ERROR(Apply(u));
+  }
+  return Status::OK();
+}
+
+const Node* MemoryGraph::GetNode(NodeId id) const {
+  if (id >= nodes_.size() || !nodes_[id].has_value()) return nullptr;
+  return &*nodes_[id];
+}
+
+const Relationship* MemoryGraph::GetRelationship(RelId id) const {
+  if (id >= rels_.size() || !rels_[id].has_value()) return nullptr;
+  return &*rels_[id];
+}
+
+void MemoryGraph::ForEachNode(
+    const std::function<void(const Node&)>& fn) const {
+  for (const auto& n : nodes_) {
+    if (n.has_value()) fn(*n);
+  }
+}
+
+void MemoryGraph::ForEachRelationship(
+    const std::function<void(const Relationship&)>& fn) const {
+  for (const auto& r : rels_) {
+    if (r.has_value()) fn(*r);
+  }
+}
+
+void MemoryGraph::ForEachRel(NodeId node, Direction direction,
+                             const std::function<void(RelId)>& fn) const {
+  AION_CHECK(has_neighbourhoods_);
+  if (node >= nodes_.size()) return;
+  if (direction == Direction::kOutgoing || direction == Direction::kBoth) {
+    for (RelId id : out_[node]) fn(id);
+  }
+  if (direction == Direction::kIncoming || direction == Direction::kBoth) {
+    for (RelId id : in_[node]) fn(id);
+  }
+}
+
+const std::vector<RelId>& MemoryGraph::OutRels(NodeId id) const {
+  static const std::vector<RelId> kEmpty;
+  AION_CHECK(has_neighbourhoods_);
+  return id < out_.size() ? out_[id] : kEmpty;
+}
+
+const std::vector<RelId>& MemoryGraph::InRels(NodeId id) const {
+  static const std::vector<RelId> kEmpty;
+  AION_CHECK(has_neighbourhoods_);
+  return id < in_.size() ? in_[id] : kEmpty;
+}
+
+std::unique_ptr<MemoryGraph> MemoryGraph::Clone() const {
+  auto copy = std::make_unique<MemoryGraph>();
+  copy->nodes_ = nodes_;
+  copy->rels_ = rels_;
+  copy->out_ = out_;
+  copy->in_ = in_;
+  copy->num_nodes_ = num_nodes_;
+  copy->num_rels_ = num_rels_;
+  copy->has_neighbourhoods_ = has_neighbourhoods_;
+  return copy;
+}
+
+DenseIdMap MemoryGraph::BuildDenseMap() const {
+  DenseIdMap map;
+  map.sparse_to_dense.assign(nodes_.size(), DenseIdMap::kUnmapped);
+  map.dense_to_sparse.reserve(num_nodes_);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].has_value()) {
+      map.sparse_to_dense[id] = static_cast<uint32_t>(
+          map.dense_to_sparse.size());
+      map.dense_to_sparse.push_back(id);
+    }
+  }
+  return map;
+}
+
+size_t MemoryGraph::EstimateMemoryBytes() const {
+  // Table 3 accounting: ~60 B per node, ~68 B per relationship, 4 B per
+  // neighbourhood entry; labels and property payloads added on top.
+  size_t total = num_nodes_ * 60 + num_rels_ * 68;
+  if (has_neighbourhoods_) total += 2 * num_rels_ * 4;
+  for (const auto& n : nodes_) {
+    if (!n.has_value()) continue;
+    for (const std::string& l : n->labels) total += l.size();
+    total += n->props.EstimateBytes();
+  }
+  for (const auto& r : rels_) {
+    if (!r.has_value()) continue;
+    total += r->type.size();
+    total += r->props.EstimateBytes();
+  }
+  return total;
+}
+
+void MemoryGraph::EncodeTo(std::string* dst) const {
+  using util::PutLengthPrefixedSlice;
+  using util::PutVarint64;
+  PutVarint64(dst, nodes_.size());
+  PutVarint64(dst, rels_.size());
+  PutVarint64(dst, num_nodes_);
+  PutVarint64(dst, num_rels_);
+  // Live nodes: id, labels, props.
+  for (const auto& n : nodes_) {
+    if (!n.has_value()) continue;
+    PutVarint64(dst, n->id);
+    PutVarint64(dst, n->labels.size());
+    for (const std::string& l : n->labels) PutLengthPrefixedSlice(dst, l);
+    n->props.EncodeTo(dst);
+  }
+  // Live relationships: id, src, tgt, type, props.
+  for (const auto& r : rels_) {
+    if (!r.has_value()) continue;
+    PutVarint64(dst, r->id);
+    PutVarint64(dst, r->src);
+    PutVarint64(dst, r->tgt);
+    PutLengthPrefixedSlice(dst, r->type);
+    r->props.EncodeTo(dst);
+  }
+  // Neighbourhoods are intentionally not serialized (Sec 5.2: recomputed on
+  // retrieval).
+}
+
+StatusOr<std::unique_ptr<MemoryGraph>> MemoryGraph::DecodeFrom(
+    util::Slice input) {
+  using util::GetLengthPrefixedSlice;
+  using util::GetVarint64;
+  auto graph = std::make_unique<MemoryGraph>();
+  uint64_t node_cap, rel_cap, num_nodes, num_rels;
+  if (!GetVarint64(&input, &node_cap) || !GetVarint64(&input, &rel_cap) ||
+      !GetVarint64(&input, &num_nodes) || !GetVarint64(&input, &num_rels)) {
+    return Status::Corruption("truncated graph header");
+  }
+  graph->nodes_.resize(node_cap);
+  graph->rels_.resize(rel_cap);
+  graph->out_.resize(node_cap);
+  graph->in_.resize(node_cap);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    uint64_t nlabels;
+    if (!GetVarint64(&input, &node.id) || !GetVarint64(&input, &nlabels)) {
+      return Status::Corruption("truncated node record");
+    }
+    node.labels.reserve(nlabels);
+    util::Slice s;
+    for (uint64_t j = 0; j < nlabels; ++j) {
+      if (!GetLengthPrefixedSlice(&input, &s)) {
+        return Status::Corruption("truncated node label");
+      }
+      node.labels.push_back(s.ToString());
+    }
+    AION_ASSIGN_OR_RETURN(node.props, PropertySet::DecodeFrom(&input));
+    if (node.id >= node_cap) return Status::Corruption("node id out of range");
+    graph->nodes_[node.id] = std::move(node);
+  }
+  for (uint64_t i = 0; i < num_rels; ++i) {
+    Relationship rel;
+    if (!GetVarint64(&input, &rel.id) || !GetVarint64(&input, &rel.src) ||
+        !GetVarint64(&input, &rel.tgt)) {
+      return Status::Corruption("truncated rel record");
+    }
+    util::Slice s;
+    if (!GetLengthPrefixedSlice(&input, &s)) {
+      return Status::Corruption("truncated rel type");
+    }
+    rel.type = s.ToString();
+    AION_ASSIGN_OR_RETURN(rel.props, PropertySet::DecodeFrom(&input));
+    if (rel.id >= rel_cap) return Status::Corruption("rel id out of range");
+    if (rel.src >= node_cap || rel.tgt >= node_cap) {
+      return Status::Corruption("rel endpoint out of range");
+    }
+    graph->out_[rel.src].push_back(rel.id);
+    graph->in_[rel.tgt].push_back(rel.id);
+    graph->rels_[rel.id] = std::move(rel);
+  }
+  graph->num_nodes_ = num_nodes;
+  graph->num_rels_ = num_rels;
+  return graph;
+}
+
+void MemoryGraph::DropNeighbourhoods() {
+  out_.clear();
+  out_.shrink_to_fit();
+  in_.clear();
+  in_.shrink_to_fit();
+  has_neighbourhoods_ = false;
+}
+
+void MemoryGraph::RebuildNeighbourhoods() {
+  out_.assign(nodes_.size(), {});
+  in_.assign(nodes_.size(), {});
+  for (const auto& r : rels_) {
+    if (!r.has_value()) continue;
+    out_[r->src].push_back(r->id);
+    in_[r->tgt].push_back(r->id);
+  }
+  has_neighbourhoods_ = true;
+}
+
+bool MemoryGraph::SameGraphAs(const GraphView& other) const {
+  if (NumNodes() != other.NumNodes() ||
+      NumRelationships() != other.NumRelationships()) {
+    return false;
+  }
+  bool same = true;
+  ForEachNode([&](const Node& n) {
+    const Node* o = other.GetNode(n.id);
+    if (o == nullptr || !(*o == n)) same = false;
+  });
+  if (!same) return false;
+  ForEachRelationship([&](const Relationship& r) {
+    const Relationship* o = other.GetRelationship(r.id);
+    if (o == nullptr || !(*o == r)) same = false;
+  });
+  return same;
+}
+
+}  // namespace aion::graph

@@ -1,0 +1,270 @@
+#include "graph/property.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+
+namespace aion::graph {
+
+using util::GetLengthPrefixedSlice;
+using util::GetVarint64;
+using util::PutLengthPrefixedSlice;
+using util::PutVarint64;
+using util::Slice;
+using util::Status;
+using util::StatusOr;
+
+double PropertyValue::ToNumber() const {
+  switch (type()) {
+    case PropertyType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case PropertyType::kInt:
+      return static_cast<double>(AsInt());
+    case PropertyType::kDouble:
+      return AsDouble();
+    default:
+      return 0.0;
+  }
+}
+
+std::string PropertyValue::ToString() const {
+  switch (type()) {
+    case PropertyType::kNull:
+      return "null";
+    case PropertyType::kBool:
+      return AsBool() ? "true" : "false";
+    case PropertyType::kInt:
+      return std::to_string(AsInt());
+    case PropertyType::kDouble:
+      return std::to_string(AsDouble());
+    case PropertyType::kString:
+      return "\"" + AsString() + "\"";
+    case PropertyType::kIntArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < AsIntArray().size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(AsIntArray()[i]);
+      }
+      return out + "]";
+    }
+    case PropertyType::kDoubleArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < AsDoubleArray().size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(AsDoubleArray()[i]);
+      }
+      return out + "]";
+    }
+    case PropertyType::kStringArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < AsStringArray().size(); ++i) {
+        if (i) out += ", ";
+        out += "\"" + AsStringArray()[i] + "\"";
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+void PropertyValue::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case PropertyType::kNull:
+      break;
+    case PropertyType::kBool:
+      dst->push_back(AsBool() ? 1 : 0);
+      break;
+    case PropertyType::kInt:
+      PutVarint64(dst, util::ZigZagEncode(AsInt()));
+      break;
+    case PropertyType::kDouble:
+      util::PutDouble(dst, AsDouble());
+      break;
+    case PropertyType::kString:
+      PutLengthPrefixedSlice(dst, AsString());
+      break;
+    case PropertyType::kIntArray:
+      PutVarint64(dst, AsIntArray().size());
+      for (int64_t v : AsIntArray()) PutVarint64(dst, util::ZigZagEncode(v));
+      break;
+    case PropertyType::kDoubleArray:
+      PutVarint64(dst, AsDoubleArray().size());
+      for (double v : AsDoubleArray()) util::PutDouble(dst, v);
+      break;
+    case PropertyType::kStringArray:
+      PutVarint64(dst, AsStringArray().size());
+      for (const std::string& v : AsStringArray()) {
+        PutLengthPrefixedSlice(dst, v);
+      }
+      break;
+  }
+}
+
+StatusOr<PropertyValue> PropertyValue::DecodeFrom(Slice* input) {
+  if (input->empty()) return Status::Corruption("empty property value");
+  const auto type = static_cast<PropertyType>((*input)[0]);
+  input->RemovePrefix(1);
+  switch (type) {
+    case PropertyType::kNull:
+      return PropertyValue();
+    case PropertyType::kBool: {
+      if (input->empty()) return Status::Corruption("truncated bool");
+      const bool v = (*input)[0] != 0;
+      input->RemovePrefix(1);
+      return PropertyValue(v);
+    }
+    case PropertyType::kInt: {
+      uint64_t zz;
+      if (!GetVarint64(input, &zz)) return Status::Corruption("truncated int");
+      return PropertyValue(util::ZigZagDecode(zz));
+    }
+    case PropertyType::kDouble: {
+      if (input->size() < 8) return Status::Corruption("truncated double");
+      const double v = util::DecodeDouble(input->data());
+      input->RemovePrefix(8);
+      return PropertyValue(v);
+    }
+    case PropertyType::kString: {
+      Slice s;
+      if (!GetLengthPrefixedSlice(input, &s)) {
+        return Status::Corruption("truncated string");
+      }
+      return PropertyValue(s.ToString());
+    }
+    case PropertyType::kIntArray: {
+      uint64_t n;
+      if (!GetVarint64(input, &n)) return Status::Corruption("truncated array");
+      std::vector<int64_t> values;
+      values.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t zz;
+        if (!GetVarint64(input, &zz)) {
+          return Status::Corruption("truncated int array");
+        }
+        values.push_back(util::ZigZagDecode(zz));
+      }
+      return PropertyValue(std::move(values));
+    }
+    case PropertyType::kDoubleArray: {
+      uint64_t n;
+      if (!GetVarint64(input, &n)) return Status::Corruption("truncated array");
+      std::vector<double> values;
+      values.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        if (input->size() < 8) {
+          return Status::Corruption("truncated double array");
+        }
+        values.push_back(util::DecodeDouble(input->data()));
+        input->RemovePrefix(8);
+      }
+      return PropertyValue(std::move(values));
+    }
+    case PropertyType::kStringArray: {
+      uint64_t n;
+      if (!GetVarint64(input, &n)) return Status::Corruption("truncated array");
+      std::vector<std::string> values;
+      values.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        Slice s;
+        if (!GetLengthPrefixedSlice(input, &s)) {
+          return Status::Corruption("truncated string array");
+        }
+        values.push_back(s.ToString());
+      }
+      return PropertyValue(std::move(values));
+    }
+  }
+  return Status::Corruption("unknown property type tag");
+}
+
+void PropertySet::Set(const std::string& key, PropertyValue value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {key, std::move(value)});
+  }
+}
+
+const PropertyValue* PropertySet::Get(const std::string& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+bool PropertySet::Remove(const std::string& key) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, const std::string& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void PropertySet::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, entries_.size());
+  for (const Entry& e : entries_) {
+    PutLengthPrefixedSlice(dst, e.first);
+    e.second.EncodeTo(dst);
+  }
+}
+
+StatusOr<PropertySet> PropertySet::DecodeFrom(Slice* input) {
+  uint64_t n;
+  if (!GetVarint64(input, &n)) {
+    return Status::Corruption("truncated property set");
+  }
+  PropertySet set;
+  set.entries_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Slice key;
+    if (!GetLengthPrefixedSlice(input, &key)) {
+      return Status::Corruption("truncated property key");
+    }
+    AION_ASSIGN_OR_RETURN(PropertyValue value,
+                          PropertyValue::DecodeFrom(input));
+    // Input encodings are sorted (we produce them); keep append fast but
+    // fall back to Set for safety on unordered input.
+    if (set.entries_.empty() || set.entries_.back().first < key.ToString()) {
+      set.entries_.emplace_back(key.ToString(), std::move(value));
+    } else {
+      set.Set(key.ToString(), std::move(value));
+    }
+  }
+  return set;
+}
+
+size_t PropertySet::EstimateBytes() const {
+  size_t total = sizeof(*this) + entries_.capacity() * sizeof(Entry);
+  for (const Entry& e : entries_) {
+    total += e.first.size();
+    switch (e.second.type()) {
+      case PropertyType::kString:
+        total += e.second.AsString().size();
+        break;
+      case PropertyType::kIntArray:
+        total += e.second.AsIntArray().size() * 8;
+        break;
+      case PropertyType::kDoubleArray:
+        total += e.second.AsDoubleArray().size() * 8;
+        break;
+      case PropertyType::kStringArray:
+        for (const std::string& s : e.second.AsStringArray()) {
+          total += s.size() + sizeof(std::string);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace aion::graph

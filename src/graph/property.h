@@ -1,0 +1,131 @@
+// Property values and property sets of the LPG model (Sec 3): "The
+// properties' key is a string; the value can be a string, a primitive data
+// type, or an array type."
+#ifndef AION_GRAPH_PROPERTY_H_
+#define AION_GRAPH_PROPERTY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace aion::graph {
+
+/// Tag identifying the dynamic type of a PropertyValue. Values fit in the
+/// 3-bit type field of a property reference (Sec 4.2).
+enum class PropertyType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kIntArray = 5,
+  kDoubleArray = 6,
+  kStringArray = 7,
+};
+
+/// A single property value: null, primitive, string, or array.
+class PropertyValue {
+ public:
+  using Variant =
+      std::variant<std::monostate, bool, int64_t, double, std::string,
+                   std::vector<int64_t>, std::vector<double>,
+                   std::vector<std::string>>;
+
+  PropertyValue() = default;
+  PropertyValue(bool v) : value_(v) {}                        // NOLINT
+  PropertyValue(int64_t v) : value_(v) {}                     // NOLINT
+  PropertyValue(int v) : value_(static_cast<int64_t>(v)) {}   // NOLINT
+  PropertyValue(double v) : value_(v) {}                      // NOLINT
+  PropertyValue(std::string v) : value_(std::move(v)) {}      // NOLINT
+  PropertyValue(const char* v) : value_(std::string(v)) {}    // NOLINT
+  PropertyValue(std::vector<int64_t> v) : value_(std::move(v)) {}      // NOLINT
+  PropertyValue(std::vector<double> v) : value_(std::move(v)) {}       // NOLINT
+  PropertyValue(std::vector<std::string> v) : value_(std::move(v)) {}  // NOLINT
+
+  PropertyType type() const {
+    return static_cast<PropertyType>(value_.index());
+  }
+  bool is_null() const { return type() == PropertyType::kNull; }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const std::vector<int64_t>& AsIntArray() const {
+    return std::get<std::vector<int64_t>>(value_);
+  }
+  const std::vector<double>& AsDoubleArray() const {
+    return std::get<std::vector<double>>(value_);
+  }
+  const std::vector<std::string>& AsStringArray() const {
+    return std::get<std::vector<std::string>>(value_);
+  }
+
+  /// Numeric coercion for aggregates: ints and doubles convert; everything
+  /// else yields 0.
+  double ToNumber() const;
+
+  bool operator==(const PropertyValue& other) const {
+    return value_ == other.value_;
+  }
+
+  std::string ToString() const;
+
+  /// Appends a self-delimiting encoding (tag byte + payload) to `dst`.
+  void EncodeTo(std::string* dst) const;
+
+  /// Parses a value from the front of `input`, advancing it.
+  static util::StatusOr<PropertyValue> DecodeFrom(util::Slice* input);
+
+ private:
+  Variant value_;
+};
+
+/// A set of key-value properties, stored as a sorted flat vector (entity
+/// property counts are small; flat storage beats node-based maps on both
+/// memory and scan speed — Sec 5.3 "replaces maps with custom array
+/// implementations").
+class PropertySet {
+ public:
+  using Entry = std::pair<std::string, PropertyValue>;
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  /// Inserts or replaces `key`.
+  void Set(const std::string& key, PropertyValue value);
+
+  /// Returns the value for `key` or nullptr.
+  const PropertyValue* Get(const std::string& key) const;
+
+  /// Removes `key`; returns true if it was present.
+  bool Remove(const std::string& key);
+
+  bool Has(const std::string& key) const { return Get(key) != nullptr; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  bool operator==(const PropertySet& other) const {
+    return entries_ == other.entries_;
+  }
+
+  void EncodeTo(std::string* dst) const;
+  static util::StatusOr<PropertySet> DecodeFrom(util::Slice* input);
+
+  /// Rough in-memory footprint for cache accounting.
+  size_t EstimateBytes() const;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by key
+};
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_PROPERTY_H_

@@ -1,0 +1,305 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aion::graph {
+
+using util::Status;
+using util::StatusOr;
+
+template <typename T>
+void TemporalGraph::VersionChain<T>::Append(Timestamp t, T entity) {
+  if (!versions.empty() && versions.back().interval.end == kInfiniteTime) {
+    if (versions.back().interval.start == t) {
+      // Same-timestamp modification: collapse into the open version so the
+      // invariant tau_s < tau_e holds.
+      versions.back().entity = std::move(entity);
+      return;
+    }
+    versions.back().interval.end = t;
+  }
+  versions.push_back({TimeInterval{t, kInfiniteTime}, std::move(entity)});
+}
+
+template <typename T>
+void TemporalGraph::VersionChain<T>::Close(Timestamp t) {
+  if (!versions.empty() && versions.back().interval.end == kInfiniteTime) {
+    if (versions.back().interval.start == t) {
+      // Created and deleted at the same timestamp: drop the version.
+      versions.pop_back();
+    } else {
+      versions.back().interval.end = t;
+    }
+  }
+}
+
+template <typename T>
+const Versioned<T>* TemporalGraph::VersionChain<T>::At(Timestamp t) const {
+  // Binary search: last version with start <= t.
+  size_t lo = 0, hi = versions.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (versions[mid].interval.start <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return nullptr;
+  const Versioned<T>& v = versions[lo - 1];
+  return v.interval.Contains(t) ? &v : nullptr;
+}
+
+template <typename T>
+Versioned<T>* TemporalGraph::VersionChain<T>::OpenVersion() {
+  if (!versions.empty() && versions.back().interval.end == kInfiniteTime) {
+    return &versions.back();
+  }
+  return nullptr;
+}
+
+Status TemporalGraph::Apply(const GraphUpdate& u) {
+  if (u.ts < last_ts_) {
+    return Status::InvalidArgument(
+        "updates must be ordered by timestamp (got " + std::to_string(u.ts) +
+        " after " + std::to_string(last_ts_) + ")");
+  }
+  last_ts_ = u.ts;
+  switch (u.op) {
+    case UpdateOp::kAddNode: {
+      if (u.id >= nodes_.size()) {
+        nodes_.resize(u.id + 1);
+        out_.resize(u.id + 1);
+        in_.resize(u.id + 1);
+      }
+      if (nodes_[u.id].OpenVersion() != nullptr) {
+        return Status::AlreadyExists("node " + std::to_string(u.id) +
+                                     " is live");
+      }
+      Node node;
+      node.id = u.id;
+      node.labels = u.labels;
+      node.props = u.props;
+      nodes_[u.id].Append(u.ts, std::move(node));
+      ++num_node_versions_;
+      return Status::OK();
+    }
+    case UpdateOp::kDeleteNode: {
+      if (u.id >= nodes_.size() || nodes_[u.id].OpenVersion() == nullptr) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " is not live");
+      }
+      nodes_[u.id].Close(u.ts);
+      return Status::OK();
+    }
+    case UpdateOp::kAddRelationship: {
+      if (u.src >= nodes_.size() || nodes_[u.src].OpenVersion() == nullptr) {
+        return Status::FailedPrecondition("src node not live");
+      }
+      if (u.tgt >= nodes_.size() || nodes_[u.tgt].OpenVersion() == nullptr) {
+        return Status::FailedPrecondition("tgt node not live");
+      }
+      if (u.id >= rels_.size()) rels_.resize(u.id + 1);
+      if (rels_[u.id].OpenVersion() != nullptr) {
+        return Status::AlreadyExists("relationship " + std::to_string(u.id) +
+                                     " is live");
+      }
+      Relationship rel;
+      rel.id = u.id;
+      rel.src = u.src;
+      rel.tgt = u.tgt;
+      rel.type = u.type;
+      rel.props = u.props;
+      // First appearance of this rel id around these endpoints goes into
+      // the all-history neighbourhood vectors.
+      auto& out_vec = out_[u.src];
+      if (std::find(out_vec.begin(), out_vec.end(), u.id) == out_vec.end()) {
+        out_vec.push_back(u.id);
+      }
+      auto& in_vec = in_[u.tgt];
+      if (std::find(in_vec.begin(), in_vec.end(), u.id) == in_vec.end()) {
+        in_vec.push_back(u.id);
+      }
+      rels_[u.id].Append(u.ts, std::move(rel));
+      ++num_rel_versions_;
+      return Status::OK();
+    }
+    case UpdateOp::kDeleteRelationship: {
+      if (u.id >= rels_.size() || rels_[u.id].OpenVersion() == nullptr) {
+        return Status::FailedPrecondition("relationship " +
+                                          std::to_string(u.id) +
+                                          " is not live");
+      }
+      rels_[u.id].Close(u.ts);
+      return Status::OK();
+    }
+    case UpdateOp::kSetNodeProperty:
+    case UpdateOp::kRemoveNodeProperty:
+    case UpdateOp::kAddNodeLabel:
+    case UpdateOp::kRemoveNodeLabel: {
+      if (u.id >= nodes_.size() || nodes_[u.id].OpenVersion() == nullptr) {
+        return Status::FailedPrecondition("node " + std::to_string(u.id) +
+                                          " is not live");
+      }
+      // Modification = deletion followed by insertion of the new state.
+      Node next = nodes_[u.id].OpenVersion()->entity;
+      switch (u.op) {
+        case UpdateOp::kSetNodeProperty:
+          next.props.Set(u.key, u.value);
+          break;
+        case UpdateOp::kRemoveNodeProperty:
+          next.props.Remove(u.key);
+          break;
+        case UpdateOp::kAddNodeLabel:
+          next.AddLabel(u.label);
+          break;
+        case UpdateOp::kRemoveNodeLabel:
+          next.RemoveLabel(u.label);
+          break;
+        default:
+          break;
+      }
+      nodes_[u.id].Append(u.ts, std::move(next));
+      ++num_node_versions_;
+      return Status::OK();
+    }
+    case UpdateOp::kSetRelationshipProperty:
+    case UpdateOp::kRemoveRelationshipProperty: {
+      if (u.id >= rels_.size() || rels_[u.id].OpenVersion() == nullptr) {
+        return Status::FailedPrecondition("relationship " +
+                                          std::to_string(u.id) +
+                                          " is not live");
+      }
+      Relationship next = rels_[u.id].OpenVersion()->entity;
+      if (u.op == UpdateOp::kSetRelationshipProperty) {
+        next.props.Set(u.key, u.value);
+      } else {
+        next.props.Remove(u.key);
+      }
+      rels_[u.id].Append(u.ts, std::move(next));
+      ++num_rel_versions_;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown update op");
+}
+
+Status TemporalGraph::ApplyAll(const std::vector<GraphUpdate>& updates) {
+  for (const GraphUpdate& u : updates) {
+    AION_RETURN_IF_ERROR(Apply(u));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<TemporalGraph>> TemporalGraph::Build(
+    const std::vector<GraphUpdate>& updates) {
+  auto graph = std::make_unique<TemporalGraph>();
+  AION_RETURN_IF_ERROR(graph->ApplyAll(updates));
+  return graph;
+}
+
+const Node* TemporalGraph::NodeAt(NodeId id, Timestamp t) const {
+  if (id >= nodes_.size()) return nullptr;
+  const NodeVersion* v = nodes_[id].At(t);
+  return v == nullptr ? nullptr : &v->entity;
+}
+
+const Relationship* TemporalGraph::RelationshipAt(RelId id,
+                                                  Timestamp t) const {
+  if (id >= rels_.size()) return nullptr;
+  const RelationshipVersion* v = rels_[id].At(t);
+  return v == nullptr ? nullptr : &v->entity;
+}
+
+TimeInterval TemporalGraph::NodeIntervalAt(NodeId id, Timestamp t) const {
+  const NodeVersion* v = id < nodes_.size() ? nodes_[id].At(t) : nullptr;
+  return v == nullptr ? TimeInterval{0, 0} : v->interval;
+}
+
+TimeInterval TemporalGraph::RelationshipIntervalAt(RelId id,
+                                                   Timestamp t) const {
+  const RelationshipVersion* v =
+      id < rels_.size() ? rels_[id].At(t) : nullptr;
+  return v == nullptr ? TimeInterval{0, 0} : v->interval;
+}
+
+std::vector<NodeVersion> TemporalGraph::NodeHistory(NodeId id,
+                                                    Timestamp start,
+                                                    Timestamp end) const {
+  std::vector<NodeVersion> out;
+  if (id >= nodes_.size()) return out;
+  for (const NodeVersion& v : nodes_[id].versions) {
+    if (v.interval.Overlaps(start, end)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<RelationshipVersion> TemporalGraph::RelationshipHistory(
+    RelId id, Timestamp start, Timestamp end) const {
+  std::vector<RelationshipVersion> out;
+  if (id >= rels_.size()) return out;
+  for (const RelationshipVersion& v : rels_[id].versions) {
+    if (v.interval.Overlaps(start, end)) out.push_back(v);
+  }
+  return out;
+}
+
+void TemporalGraph::ForEachRelVersion(
+    NodeId node, Direction direction,
+    const std::function<void(const RelationshipVersion&)>& fn) const {
+  if (node >= out_.size()) return;
+  if (direction == Direction::kOutgoing || direction == Direction::kBoth) {
+    for (RelId id : out_[node]) {
+      for (const RelationshipVersion& v : rels_[id].versions) fn(v);
+    }
+  }
+  if (direction == Direction::kIncoming || direction == Direction::kBoth) {
+    for (RelId id : in_[node]) {
+      for (const RelationshipVersion& v : rels_[id].versions) fn(v);
+    }
+  }
+}
+
+void TemporalGraph::ForEachNodeInWindow(
+    Timestamp start, Timestamp end,
+    const std::function<void(const NodeVersion&)>& fn) const {
+  for (const auto& chain : nodes_) {
+    const NodeVersion* latest = nullptr;
+    for (const NodeVersion& v : chain.versions) {
+      if (v.interval.Overlaps(start, end)) latest = &v;
+    }
+    if (latest != nullptr) fn(*latest);
+  }
+}
+
+std::unique_ptr<MemoryGraph> TemporalGraph::SnapshotAt(Timestamp t) const {
+  auto graph = std::make_unique<MemoryGraph>();
+  for (const auto& chain : nodes_) {
+    const NodeVersion* v = chain.At(t);
+    if (v != nullptr) {
+      AION_CHECK_OK(graph->Apply(GraphUpdate::AddNode(
+          v->entity.id, v->entity.labels, v->entity.props)));
+    }
+  }
+  for (const auto& chain : rels_) {
+    const RelationshipVersion* v = chain.At(t);
+    if (v != nullptr) {
+      AION_CHECK_OK(graph->Apply(GraphUpdate::AddRelationship(
+          v->entity.id, v->entity.src, v->entity.tgt, v->entity.type,
+          v->entity.props)));
+    }
+  }
+  return graph;
+}
+
+util::Status TemporalGraph::RequireNodeAt(NodeId id, Timestamp t) {
+  if (id >= nodes_.size() || nodes_[id].At(t) == nullptr) {
+    return Status::FailedPrecondition("node " + std::to_string(id) +
+                                      " not live at " + std::to_string(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace aion::graph

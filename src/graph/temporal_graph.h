@@ -1,0 +1,116 @@
+// Temporal in-memory LPG (Sec 5.2, temporal variant of Fig 5): the node and
+// relationship vectors store *lists of entity versions* instead of single
+// objects, and the neighbourhood vectors keep all history. Every
+// modification appends at the tail of the respective list, so data is
+// ordered by timestamp and history access costs O(log n) by binary search.
+//
+// This is the TGraph representation returned by getTemporalGraph (Table 1),
+// and the substrate for single-scan temporal path algorithms (Fig 2).
+#ifndef AION_GRAPH_TEMPORAL_GRAPH_H_
+#define AION_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/entity.h"
+#include "graph/memgraph.h"
+#include "graph/update.h"
+#include "util/status.h"
+
+namespace aion::graph {
+
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  TemporalGraph(const TemporalGraph&) = delete;
+  TemporalGraph& operator=(const TemporalGraph&) = delete;
+  TemporalGraph(TemporalGraph&&) = default;
+  TemporalGraph& operator=(TemporalGraph&&) = default;
+
+  /// Applies one timestamped update. Updates must arrive in non-decreasing
+  /// timestamp order (the ordered sequence S of Sec 3).
+  util::Status Apply(const GraphUpdate& update);
+  util::Status ApplyAll(const std::vector<GraphUpdate>& updates);
+
+  /// Builds a temporal graph from an ordered update stream.
+  static util::StatusOr<std::unique_ptr<TemporalGraph>> Build(
+      const std::vector<GraphUpdate>& updates);
+
+  // -------------------------------------------------------------------
+  // Point-in-time access
+  // -------------------------------------------------------------------
+
+  /// The version of `id` valid at time `t`, or nullptr.
+  const Node* NodeAt(NodeId id, Timestamp t) const;
+  const Relationship* RelationshipAt(RelId id, Timestamp t) const;
+
+  /// The validity interval of the version at `t` (entity must exist at t).
+  TimeInterval NodeIntervalAt(NodeId id, Timestamp t) const;
+  TimeInterval RelationshipIntervalAt(RelId id, Timestamp t) const;
+
+  // -------------------------------------------------------------------
+  // History access
+  // -------------------------------------------------------------------
+
+  /// All versions of `id` overlapping [start, end).
+  std::vector<NodeVersion> NodeHistory(NodeId id, Timestamp start,
+                                       Timestamp end) const;
+  std::vector<RelationshipVersion> RelationshipHistory(RelId id,
+                                                       Timestamp start,
+                                                       Timestamp end) const;
+
+  /// Visits every relationship version incident to `node` (all history).
+  /// fn(version) — the full interval-annotated relationship, used by the
+  /// single-scan temporal path algorithms.
+  void ForEachRelVersion(
+      NodeId node, Direction direction,
+      const std::function<void(const RelationshipVersion&)>& fn) const;
+
+  /// Visits every node that has at least one version overlapping
+  /// [start, end); fn receives the latest version in the window.
+  void ForEachNodeInWindow(
+      Timestamp start, Timestamp end,
+      const std::function<void(const NodeVersion&)>& fn) const;
+
+  /// Materializes the regular LPG valid at time `t`.
+  std::unique_ptr<MemoryGraph> SnapshotAt(Timestamp t) const;
+
+  size_t NumNodeVersions() const { return num_node_versions_; }
+  size_t NumRelVersions() const { return num_rel_versions_; }
+  NodeId NodeCapacity() const { return nodes_.size(); }
+  RelId RelCapacity() const { return rels_.size(); }
+
+  /// Timestamp of the most recently applied update.
+  Timestamp LastTimestamp() const { return last_ts_; }
+
+ private:
+  template <typename T>
+  struct VersionChain {
+    std::vector<Versioned<T>> versions;  // ordered by interval.start
+
+    /// Closes the currently open version (if any) at time `t` and appends a
+    /// new open version starting at `t`.
+    void Append(Timestamp t, T entity);
+    /// Closes the open version at `t` without starting a new one.
+    void Close(Timestamp t);
+    const Versioned<T>* At(Timestamp t) const;
+    Versioned<T>* OpenVersion();
+  };
+
+  util::Status RequireNodeAt(NodeId id, Timestamp t);
+
+  std::vector<VersionChain<Node>> nodes_;
+  std::vector<VersionChain<Relationship>> rels_;
+  // All-history neighbourhoods: relationship ids in first-seen order.
+  std::vector<std::vector<RelId>> out_;
+  std::vector<std::vector<RelId>> in_;
+  size_t num_node_versions_ = 0;
+  size_t num_rel_versions_ = 0;
+  Timestamp last_ts_ = 0;
+};
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_TEMPORAL_GRAPH_H_

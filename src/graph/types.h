@@ -1,0 +1,53 @@
+// Fundamental identifier and time types of the temporal LPG model (Sec 3).
+#ifndef AION_GRAPH_TYPES_H_
+#define AION_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace aion::graph {
+
+/// Unique node identifier (nid in the paper).
+using NodeId = uint64_t;
+/// Unique relationship identifier (rid in the paper).
+using RelId = uint64_t;
+
+/// Transaction (system) time: "an ordered time domain of discrete positive
+/// integer values" (Sec 3). Commit timestamps are assigned monotonically.
+using Timestamp = uint64_t;
+
+/// tau_e for live entities: insertion sets the end time to infinity.
+inline constexpr Timestamp kInfiniteTime = ~0ULL;
+
+inline constexpr NodeId kInvalidNodeId = ~0ULL;
+inline constexpr RelId kInvalidRelId = ~0ULL;
+
+/// Relationship traversal direction for point/subgraph queries (Table 1).
+enum class Direction : uint8_t {
+  kOutgoing = 0,
+  kIncoming = 1,
+  kBoth = 2,
+};
+
+/// Storage-layer entity tag (Fig 3 header).
+enum class EntityType : uint8_t {
+  kNode = 0,
+  kRelationship = 1,
+  kNeighbourhood = 2,
+};
+
+/// Validity interval [start, end): start inclusive, end exclusive (Sec 3).
+struct TimeInterval {
+  Timestamp start = 0;
+  Timestamp end = kInfiniteTime;
+
+  bool Contains(Timestamp t) const { return t >= start && t < end; }
+  bool Overlaps(Timestamp lo, Timestamp hi) const {
+    // Overlap of [start, end) with [lo, hi).
+    return start < hi && lo < end;
+  }
+  bool operator==(const TimeInterval&) const = default;
+};
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_TYPES_H_

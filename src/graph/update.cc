@@ -1,0 +1,288 @@
+#include "graph/update.h"
+
+#include "util/coding.h"
+
+namespace aion::graph {
+
+using util::GetLengthPrefixedSlice;
+using util::GetVarint64;
+using util::PutLengthPrefixedSlice;
+using util::PutVarint64;
+using util::Slice;
+using util::Status;
+using util::StatusOr;
+
+bool IsNodeOp(UpdateOp op) {
+  switch (op) {
+    case UpdateOp::kAddNode:
+    case UpdateOp::kDeleteNode:
+    case UpdateOp::kSetNodeProperty:
+    case UpdateOp::kRemoveNodeProperty:
+    case UpdateOp::kAddNodeLabel:
+    case UpdateOp::kRemoveNodeLabel:
+      return true;
+    default:
+      return false;
+  }
+}
+
+GraphUpdate GraphUpdate::AddNode(NodeId id, std::vector<std::string> labels,
+                                 PropertySet props) {
+  GraphUpdate u;
+  u.op = UpdateOp::kAddNode;
+  u.id = id;
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  u.labels = std::move(labels);
+  u.props = std::move(props);
+  return u;
+}
+
+GraphUpdate GraphUpdate::DeleteNode(NodeId id) {
+  GraphUpdate u;
+  u.op = UpdateOp::kDeleteNode;
+  u.id = id;
+  return u;
+}
+
+GraphUpdate GraphUpdate::AddRelationship(RelId id, NodeId src, NodeId tgt,
+                                         std::string type,
+                                         PropertySet props) {
+  GraphUpdate u;
+  u.op = UpdateOp::kAddRelationship;
+  u.id = id;
+  u.src = src;
+  u.tgt = tgt;
+  u.type = std::move(type);
+  u.props = std::move(props);
+  return u;
+}
+
+GraphUpdate GraphUpdate::DeleteRelationship(RelId id) {
+  GraphUpdate u;
+  u.op = UpdateOp::kDeleteRelationship;
+  u.id = id;
+  return u;
+}
+
+GraphUpdate GraphUpdate::SetNodeProperty(NodeId id, std::string key,
+                                         PropertyValue value) {
+  GraphUpdate u;
+  u.op = UpdateOp::kSetNodeProperty;
+  u.id = id;
+  u.key = std::move(key);
+  u.value = std::move(value);
+  return u;
+}
+
+GraphUpdate GraphUpdate::RemoveNodeProperty(NodeId id, std::string key) {
+  GraphUpdate u;
+  u.op = UpdateOp::kRemoveNodeProperty;
+  u.id = id;
+  u.key = std::move(key);
+  return u;
+}
+
+GraphUpdate GraphUpdate::AddNodeLabel(NodeId id, std::string label) {
+  GraphUpdate u;
+  u.op = UpdateOp::kAddNodeLabel;
+  u.id = id;
+  u.label = std::move(label);
+  return u;
+}
+
+GraphUpdate GraphUpdate::RemoveNodeLabel(NodeId id, std::string label) {
+  GraphUpdate u;
+  u.op = UpdateOp::kRemoveNodeLabel;
+  u.id = id;
+  u.label = std::move(label);
+  return u;
+}
+
+GraphUpdate GraphUpdate::SetRelationshipProperty(RelId id, std::string key,
+                                                 PropertyValue value) {
+  GraphUpdate u;
+  u.op = UpdateOp::kSetRelationshipProperty;
+  u.id = id;
+  u.key = std::move(key);
+  u.value = std::move(value);
+  return u;
+}
+
+GraphUpdate GraphUpdate::RemoveRelationshipProperty(RelId id,
+                                                    std::string key) {
+  GraphUpdate u;
+  u.op = UpdateOp::kRemoveRelationshipProperty;
+  u.id = id;
+  u.key = std::move(key);
+  return u;
+}
+
+std::string GraphUpdate::ToString() const {
+  std::string out = "u(ts=" + std::to_string(ts) + ", ";
+  switch (op) {
+    case UpdateOp::kAddNode:
+      out += "AddNode " + std::to_string(id);
+      break;
+    case UpdateOp::kDeleteNode:
+      out += "DeleteNode " + std::to_string(id);
+      break;
+    case UpdateOp::kAddRelationship:
+      out += "AddRel " + std::to_string(id) + ": " + std::to_string(src) +
+             "-[" + type + "]->" + std::to_string(tgt);
+      break;
+    case UpdateOp::kDeleteRelationship:
+      out += "DeleteRel " + std::to_string(id);
+      break;
+    case UpdateOp::kSetNodeProperty:
+      out += "SetNodeProp " + std::to_string(id) + "." + key + "=" +
+             value.ToString();
+      break;
+    case UpdateOp::kRemoveNodeProperty:
+      out += "RemoveNodeProp " + std::to_string(id) + "." + key;
+      break;
+    case UpdateOp::kAddNodeLabel:
+      out += "AddLabel " + std::to_string(id) + ":" + label;
+      break;
+    case UpdateOp::kRemoveNodeLabel:
+      out += "RemoveLabel " + std::to_string(id) + ":" + label;
+      break;
+    case UpdateOp::kSetRelationshipProperty:
+      out += "SetRelProp " + std::to_string(id) + "." + key + "=" +
+             value.ToString();
+      break;
+    case UpdateOp::kRemoveRelationshipProperty:
+      out += "RemoveRelProp " + std::to_string(id) + "." + key;
+      break;
+  }
+  return out + ")";
+}
+
+void GraphUpdate::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(op));
+  PutVarint64(dst, ts);
+  PutVarint64(dst, id);
+  switch (op) {
+    case UpdateOp::kAddNode:
+      PutVarint64(dst, labels.size());
+      for (const std::string& l : labels) PutLengthPrefixedSlice(dst, l);
+      props.EncodeTo(dst);
+      break;
+    case UpdateOp::kDeleteNode:
+    case UpdateOp::kDeleteRelationship:
+      break;
+    case UpdateOp::kAddRelationship:
+      PutVarint64(dst, src);
+      PutVarint64(dst, tgt);
+      PutLengthPrefixedSlice(dst, type);
+      props.EncodeTo(dst);
+      break;
+    case UpdateOp::kSetNodeProperty:
+    case UpdateOp::kSetRelationshipProperty:
+      PutLengthPrefixedSlice(dst, key);
+      value.EncodeTo(dst);
+      break;
+    case UpdateOp::kRemoveNodeProperty:
+    case UpdateOp::kRemoveRelationshipProperty:
+      PutLengthPrefixedSlice(dst, key);
+      break;
+    case UpdateOp::kAddNodeLabel:
+    case UpdateOp::kRemoveNodeLabel:
+      PutLengthPrefixedSlice(dst, label);
+      break;
+  }
+}
+
+StatusOr<GraphUpdate> GraphUpdate::DecodeFrom(Slice* input) {
+  if (input->empty()) return Status::Corruption("empty update");
+  GraphUpdate u;
+  u.op = static_cast<UpdateOp>((*input)[0]);
+  if (static_cast<uint8_t>(u.op) >
+      static_cast<uint8_t>(UpdateOp::kRemoveRelationshipProperty)) {
+    return Status::Corruption("unknown update op");
+  }
+  input->RemovePrefix(1);
+  if (!GetVarint64(input, &u.ts) || !GetVarint64(input, &u.id)) {
+    return Status::Corruption("truncated update header");
+  }
+  Slice s;
+  switch (u.op) {
+    case UpdateOp::kAddNode: {
+      uint64_t n;
+      if (!GetVarint64(input, &n)) {
+        return Status::Corruption("truncated label count");
+      }
+      u.labels.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        if (!GetLengthPrefixedSlice(input, &s)) {
+          return Status::Corruption("truncated label");
+        }
+        u.labels.push_back(s.ToString());
+      }
+      AION_ASSIGN_OR_RETURN(u.props, PropertySet::DecodeFrom(input));
+      break;
+    }
+    case UpdateOp::kDeleteNode:
+    case UpdateOp::kDeleteRelationship:
+      break;
+    case UpdateOp::kAddRelationship: {
+      if (!GetVarint64(input, &u.src) || !GetVarint64(input, &u.tgt)) {
+        return Status::Corruption("truncated rel endpoints");
+      }
+      if (!GetLengthPrefixedSlice(input, &s)) {
+        return Status::Corruption("truncated rel type");
+      }
+      u.type = s.ToString();
+      AION_ASSIGN_OR_RETURN(u.props, PropertySet::DecodeFrom(input));
+      break;
+    }
+    case UpdateOp::kSetNodeProperty:
+    case UpdateOp::kSetRelationshipProperty: {
+      if (!GetLengthPrefixedSlice(input, &s)) {
+        return Status::Corruption("truncated property key");
+      }
+      u.key = s.ToString();
+      AION_ASSIGN_OR_RETURN(u.value, PropertyValue::DecodeFrom(input));
+      break;
+    }
+    case UpdateOp::kRemoveNodeProperty:
+    case UpdateOp::kRemoveRelationshipProperty: {
+      if (!GetLengthPrefixedSlice(input, &s)) {
+        return Status::Corruption("truncated property key");
+      }
+      u.key = s.ToString();
+      break;
+    }
+    case UpdateOp::kAddNodeLabel:
+    case UpdateOp::kRemoveNodeLabel: {
+      if (!GetLengthPrefixedSlice(input, &s)) {
+        return Status::Corruption("truncated label");
+      }
+      u.label = s.ToString();
+      break;
+    }
+  }
+  return u;
+}
+
+void EncodeUpdateBatch(const std::vector<GraphUpdate>& updates,
+                       std::string* dst) {
+  PutVarint64(dst, updates.size());
+  for (const GraphUpdate& u : updates) u.EncodeTo(dst);
+}
+
+StatusOr<std::vector<GraphUpdate>> DecodeUpdateBatch(Slice input) {
+  uint64_t n;
+  if (!GetVarint64(&input, &n)) {
+    return Status::Corruption("truncated batch header");
+  }
+  std::vector<GraphUpdate> updates;
+  updates.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    AION_ASSIGN_OR_RETURN(GraphUpdate u, GraphUpdate::DecodeFrom(&input));
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+}  // namespace aion::graph

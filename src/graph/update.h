@@ -1,0 +1,95 @@
+// Graph updates (Sec 3): the universe U of insert/delete/update operations,
+// forming the ordered sequence S = <u1, u2, ...> with commit timestamps.
+// GraphUpdate is the currency flowing from the transaction layer into Aion
+// (TimeStore log entries, LineageStore index entries, getDiff results,
+// incremental algorithm deltas).
+#ifndef AION_GRAPH_UPDATE_H_
+#define AION_GRAPH_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/entity.h"
+#include "graph/property.h"
+#include "graph/types.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace aion::graph {
+
+enum class UpdateOp : uint8_t {
+  kAddNode = 0,
+  kDeleteNode = 1,
+  kAddRelationship = 2,
+  kDeleteRelationship = 3,
+  kSetNodeProperty = 4,
+  kRemoveNodeProperty = 5,
+  kAddNodeLabel = 6,
+  kRemoveNodeLabel = 7,
+  kSetRelationshipProperty = 8,
+  kRemoveRelationshipProperty = 9,
+};
+
+/// True for operations whose id field is a NodeId.
+bool IsNodeOp(UpdateOp op);
+
+/// A single graph update u = (tau, id, op). Fields beyond (ts, op, id) are
+/// populated per operation kind; unused fields stay default.
+struct GraphUpdate {
+  Timestamp ts = 0;
+  UpdateOp op = UpdateOp::kAddNode;
+  uint64_t id = 0;  // NodeId or RelId depending on op
+
+  // kAddRelationship
+  NodeId src = kInvalidNodeId;
+  NodeId tgt = kInvalidNodeId;
+  std::string type;  // relationship type
+
+  // kAdd*Label / kRemove*Label
+  std::string label;
+
+  // k*Property
+  std::string key;
+  PropertyValue value;
+
+  // kAddNode / kAddRelationship initial state
+  std::vector<std::string> labels;
+  PropertySet props;
+
+  // -------------------------------------------------------------------
+  // Convenience factories (timestamps are assigned at commit time by the
+  // transaction layer; factories default ts to 0).
+  // -------------------------------------------------------------------
+  static GraphUpdate AddNode(NodeId id, std::vector<std::string> labels = {},
+                             PropertySet props = {});
+  static GraphUpdate DeleteNode(NodeId id);
+  static GraphUpdate AddRelationship(RelId id, NodeId src, NodeId tgt,
+                                     std::string type,
+                                     PropertySet props = {});
+  static GraphUpdate DeleteRelationship(RelId id);
+  static GraphUpdate SetNodeProperty(NodeId id, std::string key,
+                                     PropertyValue value);
+  static GraphUpdate RemoveNodeProperty(NodeId id, std::string key);
+  static GraphUpdate AddNodeLabel(NodeId id, std::string label);
+  static GraphUpdate RemoveNodeLabel(NodeId id, std::string label);
+  static GraphUpdate SetRelationshipProperty(RelId id, std::string key,
+                                             PropertyValue value);
+  static GraphUpdate RemoveRelationshipProperty(RelId id, std::string key);
+
+  bool operator==(const GraphUpdate&) const = default;
+
+  std::string ToString() const;
+
+  /// Appends a self-delimiting encoding to `dst` (WAL / TimeStore log).
+  void EncodeTo(std::string* dst) const;
+  static util::StatusOr<GraphUpdate> DecodeFrom(util::Slice* input);
+};
+
+/// Encodes a batch of updates (one committed transaction) into `dst`.
+void EncodeUpdateBatch(const std::vector<GraphUpdate>& updates,
+                       std::string* dst);
+util::StatusOr<std::vector<GraphUpdate>> DecodeUpdateBatch(util::Slice input);
+
+}  // namespace aion::graph
+
+#endif  // AION_GRAPH_UPDATE_H_

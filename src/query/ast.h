@@ -1,0 +1,176 @@
+// Abstract syntax for the temporal Cypher subset (Sec 3, Fig 1):
+//   [USE db FOR SYSTEM_TIME <spec>] MATCH <pattern> [WHERE ...] RETURN ...
+//   CREATE <pattern>
+//   MATCH ... SET/DELETE ...
+//   CALL proc(args) [YIELD cols]
+#ifndef AION_QUERY_AST_H_
+#define AION_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/property.h"
+#include "graph/types.h"
+
+namespace aion::query {
+
+/// FOR SYSTEM_TIME interval specifier (Sec 3): the four interval forms with
+/// their inclusivity conventions.
+struct TimeSpec {
+  enum class Kind {
+    kLatest,       // no USE clause: current graph
+    kAsOf,         // AS OF t           -> point [t]
+    kFromTo,       // FROM a TO b       -> (a, b) exclusive both
+    kBetween,      // BETWEEN a AND b   -> [a, b) inclusive-exclusive
+    kContainedIn,  // CONTAINED IN (a, b) -> [a, b] inclusive both
+  };
+  Kind kind = Kind::kLatest;
+  graph::Timestamp a = 0;
+  graph::Timestamp b = 0;
+
+  /// Normalizes to a half-open system-time window [start, end); kAsOf gives
+  /// [t, t] as (t, t) with start == end which the stores treat as a point.
+  void ToWindow(graph::Timestamp* start, graph::Timestamp* end) const {
+    switch (kind) {
+      case Kind::kLatest:
+      case Kind::kAsOf:
+        *start = a;
+        *end = a;
+        break;
+      case Kind::kFromTo:
+        *start = a + 1;
+        *end = b;
+        break;
+      case Kind::kBetween:
+        *start = a;
+        *end = b;
+        break;
+      case Kind::kContainedIn:
+        *start = a;
+        *end = b == graph::kInfiniteTime ? b : b + 1;
+        break;
+    }
+  }
+};
+
+/// Literal values appearing in queries.
+struct Literal {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+
+  graph::PropertyValue ToProperty() const {
+    switch (kind) {
+      case Kind::kNull:
+        return graph::PropertyValue();
+      case Kind::kBool:
+        return graph::PropertyValue(bool_value);
+      case Kind::kInt:
+        return graph::PropertyValue(int_value);
+      case Kind::kDouble:
+        return graph::PropertyValue(double_value);
+      case Kind::kString:
+        return graph::PropertyValue(string_value);
+    }
+    return graph::PropertyValue();
+  }
+};
+
+/// (var:Label {key: literal, ...})
+struct NodePattern {
+  std::string variable;  // may be empty
+  std::string label;     // may be empty
+  std::vector<std::pair<std::string, Literal>> properties;
+};
+
+/// -[var:TYPE*hops]-> / <-[...]- / -[...]-
+struct RelPattern {
+  enum class Direction { kRight, kLeft, kUndirected };
+  std::string variable;
+  std::string type;  // may be empty
+  uint32_t hops = 1;
+  Direction direction = Direction::kRight;
+};
+
+/// Linear path pattern: n0 r0 n1 r1 n2 ...
+struct PathPattern {
+  std::vector<NodePattern> nodes;
+  std::vector<RelPattern> rels;
+};
+
+/// WHERE predicates (conjunctive only).
+struct Predicate {
+  enum class Kind {
+    kIdEquals,          // id(var) = int
+    kPropertyCompare,   // var.key OP literal
+    kApplicationTime,   // APPLICATION_TIME CONTAINED IN (a, b)
+  };
+  enum class Op { kEq, kNeq, kLt, kLte, kGt, kGte };
+  Kind kind = Kind::kIdEquals;
+  std::string variable;
+  std::string key;
+  Op op = Op::kEq;
+  Literal literal;
+  graph::Timestamp app_a = 0;
+  graph::Timestamp app_b = 0;
+};
+
+/// RETURN item: variable, variable.property, id(variable), or count(*).
+struct ReturnItem {
+  enum class Kind { kVariable, kProperty, kId, kCountStar };
+  Kind kind = Kind::kVariable;
+  std::string variable;
+  std::string key;
+  std::string alias;  // output column name
+
+  std::string ColumnName() const {
+    if (!alias.empty()) return alias;
+    switch (kind) {
+      case Kind::kVariable:
+        return variable;
+      case Kind::kProperty:
+        return variable + "." + key;
+      case Kind::kId:
+        return "id(" + variable + ")";
+      case Kind::kCountStar:
+        return "count(*)";
+    }
+    return "?";
+  }
+};
+
+/// SET var.key = literal
+struct SetClause {
+  std::string variable;
+  std::string key;
+  Literal literal;
+};
+
+/// A parsed statement.
+struct Statement {
+  enum class Kind { kMatch, kCreate, kMatchSet, kMatchDelete, kCall };
+  Kind kind = Kind::kMatch;
+
+  TimeSpec time;                 // USE ... FOR SYSTEM_TIME
+  std::vector<PathPattern> patterns;   // MATCH or CREATE patterns
+  std::vector<Predicate> predicates;   // WHERE (conjunction)
+  std::vector<ReturnItem> returns;     // RETURN
+  std::optional<size_t> limit;
+
+  std::vector<SetClause> sets;          // MATCH-SET
+  std::vector<std::string> deletes;     // MATCH-DELETE variables
+  bool detach = false;                  // DETACH DELETE
+
+  std::string procedure;                // CALL name
+  std::vector<Literal> arguments;       // CALL args
+  std::vector<std::string> yields;      // YIELD columns (empty = all)
+};
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_AST_H_

@@ -1,0 +1,568 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/bitemporal.h"
+#include "query/parser.h"
+#include "query/procedures.h"
+
+namespace aion::query {
+
+using graph::GraphView;
+using graph::Node;
+using graph::NodeId;
+using graph::Relationship;
+using util::Status;
+using util::StatusOr;
+
+QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
+    : db_(db), aion_(aion) {
+  RegisterBuiltinProcedures();
+}
+
+void QueryEngine::RegisterProcedure(const std::string& name, ProcedureFn fn) {
+  procedures_[name] = std::move(fn);
+}
+
+void QueryEngine::RegisterBuiltinProcedures() {
+  RegisterBuiltinAionProcedures(this);
+}
+
+StatusOr<QueryResult> QueryEngine::Execute(const std::string& text) {
+  AION_ASSIGN_OR_RETURN(Statement stmt, Parse(text));
+  return Execute(stmt);
+}
+
+StatusOr<QueryResult> QueryEngine::Execute(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kMatch:
+      return ExecuteMatch(stmt);
+    case Statement::Kind::kCreate:
+      return ExecuteCreate(stmt);
+    case Statement::Kind::kMatchSet:
+      return ExecuteMatchSet(stmt);
+    case Statement::Kind::kMatchDelete:
+      return ExecuteMatchDelete(stmt);
+    case Statement::Kind::kCall:
+      return ExecuteCall(stmt);
+  }
+  return Status::InvalidArgument("unknown statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// Views and point-history plans
+// ---------------------------------------------------------------------------
+
+StatusOr<std::shared_ptr<const GraphView>> QueryEngine::ViewAt(
+    const TimeSpec& time) {
+  if (time.kind == TimeSpec::Kind::kLatest) {
+    // Current graph: a cheap CoW publication of the latest replica when
+    // Aion is attached, else a clone of the host's graph.
+    if (aion_ != nullptr) {
+      return std::static_pointer_cast<const GraphView>(
+          aion_->graph_store().Latest());
+    }
+    return std::static_pointer_cast<const GraphView>(
+        std::shared_ptr<const graph::MemoryGraph>(db_->CloneCurrent()));
+  }
+  if (aion_ == nullptr) {
+    return Status::FailedPrecondition(
+        "temporal queries require Aion to be attached");
+  }
+  return aion_->GetGraphAt(time.a);
+}
+
+StatusOr<QueryResult> QueryEngine::ExecutePointHistory(const Statement& stmt,
+                                                       const PlanInfo& plan) {
+  graph::Timestamp start, end;
+  stmt.time.ToWindow(&start, &end);
+  AION_ASSIGN_OR_RETURN(std::vector<graph::NodeVersion> versions,
+                        aion_->GetNode(plan.anchor_id, start, end));
+  // Bitemporal filter (Sec 4.5): system-time-valid results first, then the
+  // application-time predicate.
+  for (const Predicate& pred : stmt.predicates) {
+    if (pred.kind == Predicate::Kind::kApplicationTime) {
+      versions = core::FilterByApplicationTime(std::move(versions),
+                                               pred.app_a, pred.app_b);
+    }
+  }
+  // Label / property predicates still apply per version.
+  const PathPattern& path = stmt.patterns.front();
+  std::vector<Binding> bindings;
+  for (graph::NodeVersion& v : versions) {
+    if (!NodeMatches(path.nodes.front(), v.entity)) continue;
+    Binding binding;
+    binding.values[path.nodes.front().variable] = Value(std::move(v.entity));
+    if (PredicatesHold(stmt, binding)) bindings.push_back(std::move(binding));
+  }
+  return Project(stmt, bindings);
+}
+
+// ---------------------------------------------------------------------------
+// MATCH
+// ---------------------------------------------------------------------------
+
+bool QueryEngine::NodeMatches(const NodePattern& pattern,
+                              const Node& node) const {
+  if (!pattern.label.empty() && !node.HasLabel(pattern.label)) return false;
+  for (const auto& [key, literal] : pattern.properties) {
+    const graph::PropertyValue* actual = node.props.Get(key);
+    if (actual == nullptr || !(*actual == literal.ToProperty())) return false;
+  }
+  return true;
+}
+
+bool QueryEngine::PredicatesHold(const Statement& stmt,
+                                 const Binding& binding) const {
+  for (const Predicate& pred : stmt.predicates) {
+    auto it = binding.values.find(pred.variable);
+    switch (pred.kind) {
+      case Predicate::Kind::kIdEquals: {
+        if (it == binding.values.end()) continue;  // not bound yet
+        const uint64_t id = it->second.is_node()
+                                ? it->second.AsNode().id
+                                : it->second.is_relationship()
+                                      ? it->second.AsRelationship().id
+                                      : graph::kInvalidNodeId;
+        if (id != static_cast<uint64_t>(pred.literal.int_value)) return false;
+        break;
+      }
+      case Predicate::Kind::kPropertyCompare: {
+        if (it == binding.values.end()) continue;
+        const graph::PropertySet* props = nullptr;
+        if (it->second.is_node()) {
+          props = &it->second.AsNode().props;
+        } else if (it->second.is_relationship()) {
+          props = &it->second.AsRelationship().props;
+        } else {
+          return false;
+        }
+        const graph::PropertyValue* actual = props->Get(pred.key);
+        if (actual == nullptr) return false;
+        const graph::PropertyValue expected = pred.literal.ToProperty();
+        switch (pred.op) {
+          case Predicate::Op::kEq:
+            if (!(*actual == expected)) return false;
+            break;
+          case Predicate::Op::kNeq:
+            if (*actual == expected) return false;
+            break;
+          default: {
+            const double a = actual->ToNumber();
+            const double b = expected.ToNumber();
+            if (pred.op == Predicate::Op::kLt && !(a < b)) return false;
+            if (pred.op == Predicate::Op::kLte && !(a <= b)) return false;
+            if (pred.op == Predicate::Op::kGt && !(a > b)) return false;
+            if (pred.op == Predicate::Op::kGte && !(a >= b)) return false;
+            break;
+          }
+        }
+        break;
+      }
+      case Predicate::Kind::kApplicationTime:
+        // Handled in point-history plans; over snapshots, application time
+        // is checked against each bound node's properties with the system
+        // interval unknown -> property-only check.
+        for (const auto& [var, value] : binding.values) {
+          if (value.is_node()) {
+            if (!core::ApplicationTimeContainedIn(
+                    value.AsNode().props,
+                    graph::TimeInterval{0, graph::kInfiniteTime}, pred.app_a,
+                    pred.app_b)) {
+              return false;
+            }
+          }
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+Status QueryEngine::MatchPath(const PathPattern& path, const GraphView& view,
+                              const Statement& stmt,
+                              std::vector<Binding>* out) {
+  // Seed candidates for the first node.
+  std::vector<Node> seeds;
+  NodeId anchor = graph::kInvalidNodeId;
+  for (const Predicate& pred : stmt.predicates) {
+    if (pred.kind == Predicate::Kind::kIdEquals &&
+        pred.variable == path.nodes.front().variable) {
+      anchor = static_cast<NodeId>(pred.literal.int_value);
+    }
+  }
+  if (anchor != graph::kInvalidNodeId) {
+    const Node* node = view.GetNode(anchor);
+    if (node != nullptr && NodeMatches(path.nodes.front(), *node)) {
+      seeds.push_back(*node);
+    }
+  } else {
+    view.ForEachNode([&](const Node& node) {
+      if (NodeMatches(path.nodes.front(), node)) seeds.push_back(node);
+    });
+  }
+
+  // Depth-first extension along the path.
+  struct Frame {
+    Binding binding;
+    NodeId current;
+    size_t next_rel;
+  };
+  std::vector<Frame> stack;
+  for (Node& seed : seeds) {
+    Frame frame;
+    const NodeId id = seed.id;
+    if (!path.nodes.front().variable.empty()) {
+      frame.binding.values[path.nodes.front().variable] =
+          Value(std::move(seed));
+    }
+    frame.current = id;
+    frame.next_rel = 0;
+    stack.push_back(std::move(frame));
+  }
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.next_rel == path.rels.size()) {
+      if (PredicatesHold(stmt, frame.binding)) {
+        out->push_back(std::move(frame.binding));
+      }
+      continue;
+    }
+    const RelPattern& rel_pattern = path.rels[frame.next_rel];
+    const NodePattern& node_pattern = path.nodes[frame.next_rel + 1];
+    const graph::Direction direction =
+        rel_pattern.direction == RelPattern::Direction::kRight
+            ? graph::Direction::kOutgoing
+            : rel_pattern.direction == RelPattern::Direction::kLeft
+                  ? graph::Direction::kIncoming
+                  : graph::Direction::kBoth;
+
+    // Expand exactly rel_pattern.hops steps; bind the relationship variable
+    // only for single-hop patterns.
+    struct HopState {
+      NodeId node;
+      uint32_t depth;
+      const Relationship* via;
+    };
+    std::vector<HopState> frontier = {{frame.current, 0, nullptr}};
+    std::vector<std::pair<NodeId, const Relationship*>> reached;
+    std::set<std::pair<NodeId, uint32_t>> seen;
+    while (!frontier.empty()) {
+      HopState state = frontier.back();
+      frontier.pop_back();
+      if (state.depth == rel_pattern.hops) {
+        reached.emplace_back(state.node, state.via);
+        continue;
+      }
+      view.ForEachRel(state.node, direction, [&](graph::RelId rel_id) {
+        const Relationship* rel = view.GetRelationship(rel_id);
+        if (rel == nullptr) return;
+        if (!rel_pattern.type.empty() && rel->type != rel_pattern.type) {
+          return;
+        }
+        const NodeId nbr =
+            direction == graph::Direction::kOutgoing
+                ? rel->tgt
+                : direction == graph::Direction::kIncoming
+                      ? rel->src
+                      : rel->Other(state.node);
+        if (rel_pattern.hops > 1 &&
+            !seen.insert({nbr, state.depth + 1}).second) {
+          return;
+        }
+        frontier.push_back({nbr, state.depth + 1, rel});
+      });
+    }
+
+    for (const auto& [nbr, via] : reached) {
+      const Node* node = view.GetNode(nbr);
+      if (node == nullptr || !NodeMatches(node_pattern, *node)) continue;
+      Frame next = frame;
+      if (!node_pattern.variable.empty()) {
+        // Re-binding an existing variable must agree (cycles).
+        auto existing = next.binding.values.find(node_pattern.variable);
+        if (existing != next.binding.values.end()) {
+          if (!existing->second.is_node() ||
+              existing->second.AsNode().id != node->id) {
+            continue;
+          }
+        } else {
+          next.binding.values[node_pattern.variable] = Value(*node);
+        }
+      }
+      if (!rel_pattern.variable.empty() && rel_pattern.hops == 1 &&
+          via != nullptr) {
+        next.binding.values[rel_pattern.variable] = Value(*via);
+      }
+      next.current = nbr;
+      next.next_rel = frame.next_rel + 1;
+      stack.push_back(std::move(next));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<QueryEngine::Binding>> QueryEngine::MatchPatterns(
+    const Statement& stmt, const GraphView& view) {
+  // Cartesian product across comma-separated patterns (small arity).
+  std::vector<Binding> bindings = {Binding{}};
+  for (const PathPattern& path : stmt.patterns) {
+    std::vector<Binding> path_bindings;
+    AION_RETURN_IF_ERROR(MatchPath(path, view, stmt, &path_bindings));
+    std::vector<Binding> merged;
+    for (const Binding& left : bindings) {
+      for (const Binding& right : path_bindings) {
+        Binding combined = left;
+        bool compatible = true;
+        for (const auto& [var, value] : right.values) {
+          auto it = combined.values.find(var);
+          if (it != combined.values.end() && !(it->second == value)) {
+            compatible = false;
+            break;
+          }
+          combined.values[var] = value;
+        }
+        if (compatible) merged.push_back(std::move(combined));
+      }
+    }
+    bindings = std::move(merged);
+  }
+  return bindings;
+}
+
+StatusOr<QueryResult> QueryEngine::Project(
+    const Statement& stmt, const std::vector<Binding>& bindings) {
+  QueryResult result;
+  for (const ReturnItem& item : stmt.returns) {
+    result.columns.push_back(item.ColumnName());
+  }
+  // count(*) aggregates the whole binding set.
+  if (stmt.returns.size() == 1 &&
+      stmt.returns[0].kind == ReturnItem::Kind::kCountStar) {
+    result.rows.push_back({Value(static_cast<int64_t>(bindings.size()))});
+    return result;
+  }
+  for (const Binding& binding : bindings) {
+    std::vector<Value> row;
+    for (const ReturnItem& item : stmt.returns) {
+      auto it = binding.values.find(item.variable);
+      switch (item.kind) {
+        case ReturnItem::Kind::kVariable:
+          row.push_back(it == binding.values.end() ? Value() : it->second);
+          break;
+        case ReturnItem::Kind::kProperty: {
+          if (it == binding.values.end()) {
+            row.push_back(Value());
+            break;
+          }
+          const graph::PropertyValue* p =
+              it->second.is_node()
+                  ? it->second.AsNode().props.Get(item.key)
+                  : it->second.is_relationship()
+                        ? it->second.AsRelationship().props.Get(item.key)
+                        : nullptr;
+          row.push_back(p == nullptr ? Value() : Value::FromProperty(*p));
+          break;
+        }
+        case ReturnItem::Kind::kId: {
+          if (it == binding.values.end()) {
+            row.push_back(Value());
+          } else if (it->second.is_node()) {
+            row.push_back(
+                Value(static_cast<int64_t>(it->second.AsNode().id)));
+          } else if (it->second.is_relationship()) {
+            row.push_back(Value(
+                static_cast<int64_t>(it->second.AsRelationship().id)));
+          } else {
+            row.push_back(Value());
+          }
+          break;
+        }
+        case ReturnItem::Kind::kCountStar:
+          row.push_back(Value(static_cast<int64_t>(bindings.size())));
+          break;
+      }
+    }
+    result.rows.push_back(std::move(row));
+    if (stmt.limit.has_value() && result.rows.size() >= *stmt.limit) break;
+  }
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
+  if (stmt.patterns.empty() || stmt.returns.empty()) {
+    return Status::InvalidArgument("MATCH requires a pattern and RETURN");
+  }
+  const PlanInfo plan = PlanStatement(stmt, aion_);
+  if (plan.access == PlanInfo::Access::kPointHistory && aion_ != nullptr) {
+    return ExecutePointHistory(stmt, plan);
+  }
+  if (plan.access == PlanInfo::Access::kPointLookup && aion_ != nullptr &&
+      stmt.time.kind == TimeSpec::Kind::kAsOf) {
+    // LineageStore point read without snapshot materialization.
+    return ExecutePointHistory(stmt, plan);
+  }
+  // Snapshot (or latest) execution.
+  AION_ASSIGN_OR_RETURN(auto view, ViewAt(stmt.time));
+  if (stmt.time.kind != TimeSpec::Kind::kLatest &&
+      stmt.time.kind != TimeSpec::Kind::kAsOf) {
+    return Status::Unimplemented(
+        "range queries over patterns: use AS OF per instant or the "
+        "temporal procedures (aion.*)");
+  }
+  AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
+                        MatchPatterns(stmt, *view));
+  return Project(stmt, bindings);
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryResult> QueryEngine::ExecuteCreate(const Statement& stmt) {
+  auto txn = db_->Begin();
+  std::map<std::string, NodeId> created;
+  for (const PathPattern& path : stmt.patterns) {
+    std::vector<NodeId> node_ids;
+    for (const NodePattern& node : path.nodes) {
+      auto it = created.find(node.variable);
+      if (!node.variable.empty() && it != created.end()) {
+        node_ids.push_back(it->second);
+        continue;
+      }
+      graph::PropertySet props;
+      for (const auto& [key, literal] : node.properties) {
+        props.Set(key, literal.ToProperty());
+      }
+      std::vector<std::string> labels;
+      if (!node.label.empty()) labels.push_back(node.label);
+      const NodeId id = txn->CreateNode(std::move(labels), std::move(props));
+      if (!node.variable.empty()) created[node.variable] = id;
+      node_ids.push_back(id);
+    }
+    for (size_t i = 0; i < path.rels.size(); ++i) {
+      const RelPattern& rel = path.rels[i];
+      if (rel.hops != 1) {
+        return Status::InvalidArgument("CREATE cannot use variable-length");
+      }
+      const NodeId a = node_ids[i];
+      const NodeId b = node_ids[i + 1];
+      const NodeId src =
+          rel.direction == RelPattern::Direction::kLeft ? b : a;
+      const NodeId tgt =
+          rel.direction == RelPattern::Direction::kLeft ? a : b;
+      txn->CreateRelationship(src, tgt, rel.type.empty() ? "RELATED" : rel.type);
+    }
+  }
+  AION_ASSIGN_OR_RETURN(graph::Timestamp ts, txn->Commit());
+  QueryResult result;
+  result.columns = {"created", "commit_ts"};
+  result.rows.push_back({Value(static_cast<int64_t>(created.size())),
+                         Value(static_cast<int64_t>(ts))});
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteMatchSet(const Statement& stmt) {
+  AION_ASSIGN_OR_RETURN(auto view, ViewAt(TimeSpec{}));
+  AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
+                        MatchPatterns(stmt, *view));
+  // Release the latest-view handle before committing so the replica can be
+  // mutated in place instead of copy-on-write cloning.
+  view.reset();
+  auto txn = db_->Begin();
+  size_t changes = 0;
+  for (const Binding& binding : bindings) {
+    for (const SetClause& set : stmt.sets) {
+      auto it = binding.values.find(set.variable);
+      if (it == binding.values.end()) continue;
+      if (it->second.is_node()) {
+        txn->SetNodeProperty(it->second.AsNode().id, set.key,
+                             set.literal.ToProperty());
+        ++changes;
+      } else if (it->second.is_relationship()) {
+        txn->SetRelationshipProperty(it->second.AsRelationship().id, set.key,
+                                     set.literal.ToProperty());
+        ++changes;
+      }
+    }
+  }
+  QueryResult result;
+  result.columns = {"properties_set"};
+  if (changes > 0) {
+    AION_RETURN_IF_ERROR(txn->Commit().status());
+  }
+  result.rows.push_back({Value(static_cast<int64_t>(changes))});
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteMatchDelete(const Statement& stmt) {
+  AION_ASSIGN_OR_RETURN(auto view, ViewAt(TimeSpec{}));
+  AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
+                        MatchPatterns(stmt, *view));
+  auto txn = db_->Begin();
+  std::set<NodeId> nodes_to_delete;
+  std::set<graph::RelId> rels_to_delete;
+  for (const Binding& binding : bindings) {
+    for (const std::string& var : stmt.deletes) {
+      auto it = binding.values.find(var);
+      if (it == binding.values.end()) continue;
+      if (it->second.is_node()) {
+        nodes_to_delete.insert(it->second.AsNode().id);
+      } else if (it->second.is_relationship()) {
+        rels_to_delete.insert(it->second.AsRelationship().id);
+      }
+    }
+  }
+  if (stmt.detach) {
+    // DETACH DELETE: delete incident relationships first (Sec 3 constraint).
+    for (NodeId id : nodes_to_delete) {
+      view->ForEachRel(id, graph::Direction::kBoth,
+                       [&](graph::RelId rel_id) {
+                         rels_to_delete.insert(rel_id);
+                       });
+    }
+  }
+  for (graph::RelId id : rels_to_delete) txn->DeleteRelationship(id);
+  for (NodeId id : nodes_to_delete) txn->DeleteNode(id);
+  QueryResult result;
+  result.columns = {"nodes_deleted", "relationships_deleted"};
+  if (!nodes_to_delete.empty() || !rels_to_delete.empty()) {
+    AION_RETURN_IF_ERROR(txn->Commit().status());
+  }
+  result.rows.push_back(
+      {Value(static_cast<int64_t>(nodes_to_delete.size())),
+       Value(static_cast<int64_t>(rels_to_delete.size()))});
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteCall(const Statement& stmt) {
+  auto it = procedures_.find(stmt.procedure);
+  if (it == procedures_.end()) {
+    return Status::NotFound("unknown procedure " + stmt.procedure);
+  }
+  AION_ASSIGN_OR_RETURN(QueryResult result, it->second(*this, stmt.arguments));
+  if (stmt.yields.empty()) return result;
+  // Column projection per YIELD.
+  std::vector<size_t> indices;
+  for (const std::string& col : stmt.yields) {
+    auto found = std::find(result.columns.begin(), result.columns.end(), col);
+    if (found == result.columns.end()) {
+      return Status::InvalidArgument("YIELD column not produced: " + col);
+    }
+    indices.push_back(
+        static_cast<size_t>(found - result.columns.begin()));
+  }
+  QueryResult projected;
+  projected.columns = stmt.yields;
+  for (const auto& row : result.rows) {
+    std::vector<Value> out;
+    for (size_t idx : indices) out.push_back(row[idx]);
+    projected.rows.push_back(std::move(out));
+  }
+  return projected;
+}
+
+}  // namespace aion::query

@@ -1,0 +1,88 @@
+// QueryEngine: parses, plans, and executes temporal Cypher against the host
+// database (latest graph) and Aion (historical graphs) — stage 3 of Fig 4.
+// Reads route through the planner's store choice; writes run as host
+// transactions (flowing back into Aion via the commit listener); CALL
+// dispatches to registered temporal procedures (Sec 5.1).
+#ifndef AION_QUERY_ENGINE_H_
+#define AION_QUERY_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aion.h"
+#include "query/ast.h"
+#include "query/planner.h"
+#include "query/value.h"
+#include "txn/graphdb.h"
+#include "util/status.h"
+
+namespace aion::query {
+
+class QueryEngine;
+
+/// A temporal procedure: name -> handler(arguments) -> table.
+using ProcedureFn = std::function<util::StatusOr<QueryResult>(
+    QueryEngine&, const std::vector<Literal>&)>;
+
+class QueryEngine {
+ public:
+  /// `db` is required; `aion` may be null (non-temporal engine, used to
+  /// measure the baseline in the ingestion experiments).
+  QueryEngine(txn::GraphDatabase* db, core::AionStore* aion);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Parses and executes one statement.
+  util::StatusOr<QueryResult> Execute(const std::string& text);
+  util::StatusOr<QueryResult> Execute(const Statement& stmt);
+
+  /// Registers a procedure under `name` (dots allowed). Replaces existing.
+  void RegisterProcedure(const std::string& name, ProcedureFn fn);
+
+  txn::GraphDatabase* db() { return db_; }
+  core::AionStore* aion() { return aion_; }
+
+ private:
+  struct Binding {
+    std::map<std::string, Value> values;
+  };
+
+  util::StatusOr<QueryResult> ExecuteMatch(const Statement& stmt);
+  util::StatusOr<QueryResult> ExecuteCreate(const Statement& stmt);
+  util::StatusOr<QueryResult> ExecuteMatchSet(const Statement& stmt);
+  util::StatusOr<QueryResult> ExecuteMatchDelete(const Statement& stmt);
+  util::StatusOr<QueryResult> ExecuteCall(const Statement& stmt);
+
+  /// Point-history plan (Fig 1a): one node's versions over the window.
+  util::StatusOr<QueryResult> ExecutePointHistory(const Statement& stmt,
+                                                  const PlanInfo& plan);
+
+  /// Pattern matching against a single graph view.
+  util::StatusOr<std::vector<Binding>> MatchPatterns(
+      const Statement& stmt, const graph::GraphView& view);
+  util::Status MatchPath(const PathPattern& path, const graph::GraphView& view,
+                         const Statement& stmt, std::vector<Binding>* out);
+  bool NodeMatches(const NodePattern& pattern, const graph::Node& node) const;
+  bool PredicatesHold(const Statement& stmt, const Binding& binding) const;
+
+  util::StatusOr<QueryResult> Project(const Statement& stmt,
+                                      const std::vector<Binding>& bindings);
+
+  /// Resolves the graph view for an instant (AsOf via Aion, Latest via db).
+  util::StatusOr<std::shared_ptr<const graph::GraphView>> ViewAt(
+      const TimeSpec& time);
+
+  void RegisterBuiltinProcedures();
+
+  txn::GraphDatabase* db_;
+  core::AionStore* aion_;
+  std::map<std::string, ProcedureFn> procedures_;
+};
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_ENGINE_H_

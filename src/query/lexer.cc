@@ -1,0 +1,221 @@
+#include "query/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace aion::query {
+
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "USE",   "FOR",     "SYSTEM_TIME", "AS",     "OF",       "FROM",
+      "TO",    "BETWEEN", "AND",         "OR",     "NOT",      "CONTAINED",
+      "IN",    "MATCH",   "WHERE",       "RETURN", "LIMIT",    "CREATE",
+      "SET",   "DELETE",  "CALL",        "YIELD",  "COUNT",    "ID",
+      "APPLICATION_TIME", "ORDER", "BY",  "DESC",  "ASC",      "TRUE",
+      "FALSE", "NULL",    "DETACH"};
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper_word) {
+  return Keywords().count(upper_word) > 0;
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenType type, std::string text = "") {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = i;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      bool is_float = false;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      Token t;
+      t.position = start;
+      const std::string text = input.substr(start, i - start);
+      if (is_float) {
+        t.type = TokenType::kFloat;
+        t.float_value = std::stod(text);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::stoll(text);
+      }
+      t.text = text;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return toupper(ch); });
+      Token t;
+      t.position = start;
+      if (IsKeyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+        t.raw = std::move(word);
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          text.push_back(input[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (input[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      push(TokenType::kString, std::move(text));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen);
+        ++i;
+        break;
+      case '[':
+        push(TokenType::kLBracket);
+        ++i;
+        break;
+      case ']':
+        push(TokenType::kRBracket);
+        ++i;
+        break;
+      case '{':
+        push(TokenType::kLBrace);
+        ++i;
+        break;
+      case '}':
+        push(TokenType::kRBrace);
+        ++i;
+        break;
+      case ':':
+        push(TokenType::kColon);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus);
+        ++i;
+        break;
+      case '$':
+        push(TokenType::kDollar);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq);
+        ++i;
+        break;
+      case '-':
+        if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kArrowRight);
+          i += 2;
+        } else {
+          push(TokenType::kDash);
+          ++i;
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '-') {
+          push(TokenType::kArrowLeft);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLte);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNeq);
+          i += 2;
+        } else {
+          push(TokenType::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGte);
+          i += 2;
+        } else {
+          push(TokenType::kGt);
+          ++i;
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(i));
+    }
+  }
+  push(TokenType::kEnd);
+  return tokens;
+}
+
+}  // namespace aion::query

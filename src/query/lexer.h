@@ -1,0 +1,61 @@
+// Tokenizer for the temporal Cypher subset (Sec 3, Fig 1). Keywords are
+// case-insensitive, identifiers and strings case-sensitive.
+#ifndef AION_QUERY_LEXER_H_
+#define AION_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aion::query {
+
+enum class TokenType {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kKeyword,   // normalized upper-case in `text`
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLBrace,    // {
+  kRBrace,    // }
+  kColon,
+  kComma,
+  kDot,
+  kDash,       // -
+  kArrowRight, // ->
+  kArrowLeft,  // <-
+  kStar,
+  kEq,
+  kNeq,   // <>
+  kLt,
+  kLte,
+  kGt,
+  kGte,
+  kPlus,
+  kDollar,  // $param
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/keyword/string payload (keywords upper)
+  std::string raw;    // original spelling (keywords only)
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset for error messages
+};
+
+/// Tokenizes `input`. Fails with InvalidArgument on malformed input.
+util::StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True when `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_LEXER_H_

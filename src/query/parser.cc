@@ -1,0 +1,416 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace aion::query {
+
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    Statement stmt;
+    if (PeekKeyword("USE")) {
+      AION_RETURN_IF_ERROR(ParseUseClause(&stmt));
+    }
+    if (PeekKeyword("MATCH")) {
+      AION_RETURN_IF_ERROR(ParseMatch(&stmt));
+    } else if (PeekKeyword("CREATE")) {
+      AION_RETURN_IF_ERROR(ParseCreate(&stmt));
+    } else if (PeekKeyword("CALL")) {
+      AION_RETURN_IF_ERROR(ParseCall(&stmt));
+    } else {
+      return Error("expected MATCH, CREATE, or CALL");
+    }
+    if (!AtEnd()) return Error("trailing input after statement");
+    return stmt;
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type) {
+    if (!Check(type)) return false;
+    ++pos_;
+    return true;
+  }
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    return Peek(ahead).type == TokenType::kKeyword && Peek(ahead).text == kw;
+  }
+  bool MatchKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " (near offset " +
+                                   std::to_string(Peek().position) + ")");
+  }
+  Status Expect(TokenType type, const std::string& what) {
+    if (!Match(type)) return Error("expected " + what);
+    return Status::OK();
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) return Error("expected " + kw);
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdentifier(const std::string& what) {
+    if (!Check(TokenType::kIdentifier)) return Error("expected " + what);
+    return Advance().text;
+  }
+
+  /// Accepts an identifier or a keyword in name position (property keys and
+  /// labels may collide with reserved words, e.g. `n.id`).
+  StatusOr<std::string> ExpectName(const std::string& what) {
+    if (Check(TokenType::kIdentifier)) return Advance().text;
+    if (Check(TokenType::kKeyword)) return Advance().raw;
+    return Error("expected " + what);
+  }
+
+  StatusOr<graph::Timestamp> ExpectTimestamp() {
+    if (!Check(TokenType::kInteger)) return Error("expected timestamp");
+    return static_cast<graph::Timestamp>(Advance().int_value);
+  }
+
+  StatusOr<Literal> ParseLiteral() {
+    Literal lit;
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+        lit.kind = Literal::Kind::kInt;
+        lit.int_value = t.int_value;
+        Advance();
+        return lit;
+      case TokenType::kFloat:
+        lit.kind = Literal::Kind::kDouble;
+        lit.double_value = t.float_value;
+        Advance();
+        return lit;
+      case TokenType::kString:
+        lit.kind = Literal::Kind::kString;
+        lit.string_value = t.text;
+        Advance();
+        return lit;
+      case TokenType::kKeyword:
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          lit.kind = Literal::Kind::kBool;
+          lit.bool_value = t.text == "TRUE";
+          Advance();
+          return lit;
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return lit;
+        }
+        break;
+      default:
+        break;
+    }
+    return Error("expected literal");
+  }
+
+  // --- clauses -----------------------------------------------------------
+
+  Status ParseUseClause(Statement* stmt) {
+    AION_RETURN_IF_ERROR(ExpectKeyword("USE"));
+    // Database name, e.g. GDB; currently informational.
+    AION_RETURN_IF_ERROR(ExpectIdentifier("database name").status());
+    AION_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+    AION_RETURN_IF_ERROR(ExpectKeyword("SYSTEM_TIME"));
+    if (MatchKeyword("AS")) {
+      AION_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      AION_ASSIGN_OR_RETURN(stmt->time.a, ExpectTimestamp());
+      stmt->time.kind = TimeSpec::Kind::kAsOf;
+      return Status::OK();
+    }
+    if (MatchKeyword("FROM")) {
+      AION_ASSIGN_OR_RETURN(stmt->time.a, ExpectTimestamp());
+      AION_RETURN_IF_ERROR(ExpectKeyword("TO"));
+      AION_ASSIGN_OR_RETURN(stmt->time.b, ExpectTimestamp());
+      stmt->time.kind = TimeSpec::Kind::kFromTo;
+      return Status::OK();
+    }
+    if (MatchKeyword("BETWEEN")) {
+      AION_ASSIGN_OR_RETURN(stmt->time.a, ExpectTimestamp());
+      AION_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      AION_ASSIGN_OR_RETURN(stmt->time.b, ExpectTimestamp());
+      stmt->time.kind = TimeSpec::Kind::kBetween;
+      return Status::OK();
+    }
+    if (MatchKeyword("CONTAINED")) {
+      AION_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      AION_ASSIGN_OR_RETURN(stmt->time.a, ExpectTimestamp());
+      AION_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+      AION_ASSIGN_OR_RETURN(stmt->time.b, ExpectTimestamp());
+      AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      stmt->time.kind = TimeSpec::Kind::kContainedIn;
+      return Status::OK();
+    }
+    return Error("expected AS OF / FROM / BETWEEN / CONTAINED IN");
+  }
+
+  StatusOr<NodePattern> ParseNodePattern() {
+    NodePattern node;
+    AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (Check(TokenType::kIdentifier)) node.variable = Advance().text;
+    if (Match(TokenType::kColon)) {
+      AION_ASSIGN_OR_RETURN(node.label, ExpectName("label"));
+    }
+    if (Match(TokenType::kLBrace)) {
+      while (!Check(TokenType::kRBrace)) {
+        AION_ASSIGN_OR_RETURN(std::string key,
+                              ExpectName("property key"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kColon, "':'"));
+        AION_ASSIGN_OR_RETURN(Literal value, ParseLiteral());
+        node.properties.emplace_back(std::move(key), std::move(value));
+        if (!Match(TokenType::kComma)) break;
+      }
+      AION_RETURN_IF_ERROR(Expect(TokenType::kRBrace, "'}'"));
+    }
+    AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return node;
+  }
+
+  /// Parses the relationship between two node patterns; `direction_in` is
+  /// true when the pattern started with '<-'.
+  StatusOr<RelPattern> ParseRelPattern() {
+    RelPattern rel;
+    bool left = false;
+    if (Match(TokenType::kArrowLeft)) {
+      left = true;
+    } else if (!Match(TokenType::kDash)) {
+      return Error("expected relationship pattern");
+    }
+    if (Match(TokenType::kLBracket)) {
+      if (Check(TokenType::kIdentifier)) rel.variable = Advance().text;
+      if (Match(TokenType::kColon)) {
+        AION_ASSIGN_OR_RETURN(rel.type,
+                              ExpectIdentifier("relationship type"));
+      }
+      if (Match(TokenType::kStar)) {
+        if (!Check(TokenType::kInteger)) {
+          return Error("expected hop count after '*'");
+        }
+        rel.hops = static_cast<uint32_t>(Advance().int_value);
+        if (rel.hops == 0) return Error("hop count must be positive");
+      }
+      AION_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "']'"));
+    }
+    if (Match(TokenType::kArrowRight)) {
+      if (left) return Error("bidirectional arrows not supported");
+      rel.direction = RelPattern::Direction::kRight;
+    } else if (Match(TokenType::kDash)) {
+      rel.direction = left ? RelPattern::Direction::kLeft
+                           : RelPattern::Direction::kUndirected;
+    } else {
+      return Error("expected '->' or '-'");
+    }
+    return rel;
+  }
+
+  StatusOr<PathPattern> ParsePathPattern() {
+    PathPattern path;
+    AION_ASSIGN_OR_RETURN(NodePattern first, ParseNodePattern());
+    path.nodes.push_back(std::move(first));
+    while (Check(TokenType::kDash) || Check(TokenType::kArrowLeft)) {
+      AION_ASSIGN_OR_RETURN(RelPattern rel, ParseRelPattern());
+      AION_ASSIGN_OR_RETURN(NodePattern node, ParseNodePattern());
+      path.rels.push_back(std::move(rel));
+      path.nodes.push_back(std::move(node));
+    }
+    return path;
+  }
+
+  Status ParsePatternList(Statement* stmt) {
+    do {
+      AION_ASSIGN_OR_RETURN(PathPattern path, ParsePathPattern());
+      stmt->patterns.push_back(std::move(path));
+    } while (Match(TokenType::kComma));
+    return Status::OK();
+  }
+
+  StatusOr<Predicate::Op> ParseCompareOp() {
+    if (Match(TokenType::kEq)) return Predicate::Op::kEq;
+    if (Match(TokenType::kNeq)) return Predicate::Op::kNeq;
+    if (Match(TokenType::kLte)) return Predicate::Op::kLte;
+    if (Match(TokenType::kLt)) return Predicate::Op::kLt;
+    if (Match(TokenType::kGte)) return Predicate::Op::kGte;
+    if (Match(TokenType::kGt)) return Predicate::Op::kGt;
+    return Error("expected comparison operator");
+  }
+
+  Status ParseWhere(Statement* stmt) {
+    AION_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    do {
+      Predicate pred;
+      if (MatchKeyword("ID")) {
+        AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        AION_ASSIGN_OR_RETURN(pred.variable, ExpectIdentifier("variable"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+        // $param placeholders accept a literal in this implementation.
+        if (Match(TokenType::kDollar)) {
+          AION_RETURN_IF_ERROR(ExpectName("parameter name").status());
+          return Error("positional parameters are not supported; inline the id");
+        }
+        if (!Check(TokenType::kInteger)) return Error("expected id literal");
+        pred.kind = Predicate::Kind::kIdEquals;
+        pred.literal.kind = Literal::Kind::kInt;
+        pred.literal.int_value = Advance().int_value;
+      } else if (MatchKeyword("APPLICATION_TIME")) {
+        AION_RETURN_IF_ERROR(ExpectKeyword("CONTAINED"));
+        AION_RETURN_IF_ERROR(ExpectKeyword("IN"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        AION_ASSIGN_OR_RETURN(pred.app_a, ExpectTimestamp());
+        AION_RETURN_IF_ERROR(Expect(TokenType::kComma, "','"));
+        AION_ASSIGN_OR_RETURN(pred.app_b, ExpectTimestamp());
+        AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        pred.kind = Predicate::Kind::kApplicationTime;
+      } else if (Check(TokenType::kIdentifier)) {
+        pred.variable = Advance().text;
+        AION_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.'"));
+        AION_ASSIGN_OR_RETURN(pred.key, ExpectName("property key"));
+        AION_ASSIGN_OR_RETURN(pred.op, ParseCompareOp());
+        AION_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+        pred.kind = Predicate::Kind::kPropertyCompare;
+      } else {
+        return Error("expected predicate");
+      }
+      stmt->predicates.push_back(std::move(pred));
+    } while (MatchKeyword("AND"));
+    return Status::OK();
+  }
+
+  Status ParseReturn(Statement* stmt) {
+    AION_RETURN_IF_ERROR(ExpectKeyword("RETURN"));
+    do {
+      ReturnItem item;
+      if (MatchKeyword("COUNT")) {
+        AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kStar, "'*'"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        item.kind = ReturnItem::Kind::kCountStar;
+      } else if (MatchKeyword("ID")) {
+        AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        AION_ASSIGN_OR_RETURN(item.variable, ExpectIdentifier("variable"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        item.kind = ReturnItem::Kind::kId;
+      } else {
+        AION_ASSIGN_OR_RETURN(item.variable, ExpectIdentifier("variable"));
+        if (Match(TokenType::kDot)) {
+          AION_ASSIGN_OR_RETURN(item.key, ExpectName("property key"));
+          item.kind = ReturnItem::Kind::kProperty;
+        } else {
+          item.kind = ReturnItem::Kind::kVariable;
+        }
+      }
+      if (MatchKeyword("AS")) {
+        AION_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      }
+      stmt->returns.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+    if (MatchKeyword("LIMIT")) {
+      if (!Check(TokenType::kInteger)) return Error("expected limit");
+      stmt->limit = static_cast<size_t>(Advance().int_value);
+    }
+    return Status::OK();
+  }
+
+  Status ParseMatch(Statement* stmt) {
+    AION_RETURN_IF_ERROR(ExpectKeyword("MATCH"));
+    AION_RETURN_IF_ERROR(ParsePatternList(stmt));
+    if (PeekKeyword("WHERE")) AION_RETURN_IF_ERROR(ParseWhere(stmt));
+    if (PeekKeyword("SET")) {
+      AION_RETURN_IF_ERROR(ExpectKeyword("SET"));
+      stmt->kind = Statement::Kind::kMatchSet;
+      do {
+        SetClause set;
+        AION_ASSIGN_OR_RETURN(set.variable, ExpectIdentifier("variable"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kDot, "'.'"));
+        AION_ASSIGN_OR_RETURN(set.key, ExpectName("property key"));
+        AION_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+        AION_ASSIGN_OR_RETURN(set.literal, ParseLiteral());
+        stmt->sets.push_back(std::move(set));
+      } while (Match(TokenType::kComma));
+      if (PeekKeyword("RETURN")) AION_RETURN_IF_ERROR(ParseReturn(stmt));
+      return Status::OK();
+    }
+    if (PeekKeyword("DETACH") || PeekKeyword("DELETE")) {
+      stmt->detach = MatchKeyword("DETACH");
+      AION_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+      stmt->kind = Statement::Kind::kMatchDelete;
+      do {
+        AION_ASSIGN_OR_RETURN(std::string var,
+                              ExpectIdentifier("variable"));
+        stmt->deletes.push_back(std::move(var));
+      } while (Match(TokenType::kComma));
+      return Status::OK();
+    }
+    stmt->kind = Statement::Kind::kMatch;
+    AION_RETURN_IF_ERROR(ParseReturn(stmt));
+    return Status::OK();
+  }
+
+  Status ParseCreate(Statement* stmt) {
+    AION_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    stmt->kind = Statement::Kind::kCreate;
+    AION_RETURN_IF_ERROR(ParsePatternList(stmt));
+    if (PeekKeyword("RETURN")) AION_RETURN_IF_ERROR(ParseReturn(stmt));
+    return Status::OK();
+  }
+
+  Status ParseCall(Statement* stmt) {
+    AION_RETURN_IF_ERROR(ExpectKeyword("CALL"));
+    stmt->kind = Statement::Kind::kCall;
+    AION_ASSIGN_OR_RETURN(std::string name,
+                          ExpectIdentifier("procedure name"));
+    while (Match(TokenType::kDot)) {
+      AION_ASSIGN_OR_RETURN(std::string part,
+                            ExpectIdentifier("procedure name part"));
+      name += "." + part;
+    }
+    stmt->procedure = std::move(name);
+    AION_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (!Check(TokenType::kRParen)) {
+      do {
+        AION_ASSIGN_OR_RETURN(Literal arg, ParseLiteral());
+        stmt->arguments.push_back(std::move(arg));
+      } while (Match(TokenType::kComma));
+    }
+    AION_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (MatchKeyword("YIELD")) {
+      do {
+        AION_ASSIGN_OR_RETURN(std::string col,
+                              ExpectIdentifier("yield column"));
+        stmt->yields.push_back(std::move(col));
+      } while (Match(TokenType::kComma));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> Parse(const std::string& text) {
+  AION_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace aion::query

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the temporal Cypher subset. Stands in for
+// the javaCC-generated frontend of the paper (Sec 5.1).
+#ifndef AION_QUERY_PARSER_H_
+#define AION_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace aion::query {
+
+/// Parses one statement. Returns InvalidArgument with a message pointing at
+/// the offending token on syntax errors.
+util::StatusOr<Statement> Parse(const std::string& text);
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_PARSER_H_

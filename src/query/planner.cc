@@ -1,0 +1,56 @@
+#include "query/planner.h"
+
+namespace aion::query {
+
+PlanInfo PlanStatement(const Statement& stmt, const core::AionStore* aion) {
+  PlanInfo plan;
+  if (stmt.patterns.empty()) return plan;
+  const PathPattern& path = stmt.patterns.front();
+
+  for (const RelPattern& rel : path.rels) plan.hops += rel.hops;
+
+  // Anchoring: WHERE id(first-node-var) = N.
+  const std::string& first_var = path.nodes.front().variable;
+  for (const Predicate& pred : stmt.predicates) {
+    if (pred.kind == Predicate::Kind::kIdEquals &&
+        pred.variable == first_var && !first_var.empty()) {
+      plan.anchored_by_id = true;
+      plan.anchor_id = static_cast<graph::NodeId>(pred.literal.int_value);
+    }
+  }
+
+  const bool range_query = stmt.time.kind == TimeSpec::Kind::kBetween ||
+                           stmt.time.kind == TimeSpec::Kind::kFromTo ||
+                           stmt.time.kind == TimeSpec::Kind::kContainedIn;
+
+  if (plan.anchored_by_id && plan.hops == 0) {
+    plan.access = range_query ? PlanInfo::Access::kPointHistory
+                              : PlanInfo::Access::kPointLookup;
+    plan.estimated_fraction = 0.0;
+  } else if (plan.anchored_by_id) {
+    plan.access = PlanInfo::Access::kExpand;
+    plan.estimated_fraction =
+        aion != nullptr ? aion->stats().EstimateExpandFraction(plan.hops)
+                        : 1.0;
+  } else {
+    plan.access = PlanInfo::Access::kGlobalScan;
+    // Label selectivity bounds the scan fraction; an unlabeled scan touches
+    // everything.
+    const std::string& label = path.nodes.front().label;
+    plan.estimated_fraction =
+        aion != nullptr && !label.empty()
+            ? aion->stats().EstimateLabelFraction(label)
+            : 1.0;
+  }
+
+  if (aion != nullptr) {
+    plan.store = plan.access == PlanInfo::Access::kGlobalScan
+                     ? core::AionStore::StoreChoice::kTimeStore
+                 : plan.access == PlanInfo::Access::kExpand
+                     ? aion->ChooseStoreForExpand(plan.hops)
+                     : core::AionStore::StoreChoice::kLineageStore;
+  }
+  return plan;
+}
+
+}  // namespace aion::query

@@ -1,0 +1,40 @@
+// Query planning (Sec 5.1): Aion parses temporal Cypher into an operator
+// plan and, based on cardinality estimation, selects between the two
+// temporal stores — LineageStore when less than 30% of the graph is
+// accessed, TimeStore (full snapshot construction) otherwise.
+#ifndef AION_QUERY_PLANNER_H_
+#define AION_QUERY_PLANNER_H_
+
+#include "core/aion.h"
+#include "query/ast.h"
+
+namespace aion::query {
+
+struct PlanInfo {
+  /// Shape of the access, per the taxonomy of Sec 3.
+  enum class Access {
+    kPointHistory,  // single entity over a time range
+    kPointLookup,   // single entity at one instant
+    kExpand,        // id-anchored n-hop neighbourhood
+    kGlobalScan,    // label/property scan or unanchored pattern
+  };
+  Access access = Access::kGlobalScan;
+  /// Total pattern hops.
+  uint32_t hops = 0;
+  /// Anchored by WHERE id(x) = ... on the first pattern node.
+  bool anchored_by_id = false;
+  graph::NodeId anchor_id = graph::kInvalidNodeId;
+  /// Estimated fraction of the graph touched (cardinality estimation).
+  double estimated_fraction = 1.0;
+  /// The chosen temporal store for non-latest queries.
+  core::AionStore::StoreChoice store =
+      core::AionStore::StoreChoice::kTimeStore;
+};
+
+/// Classifies a read statement and picks the store. `aion` may be null
+/// (latest-only execution), in which case the choice defaults to TimeStore.
+PlanInfo PlanStatement(const Statement& stmt, const core::AionStore* aion);
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_PLANNER_H_

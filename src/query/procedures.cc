@@ -1,0 +1,399 @@
+#include "query/procedures.h"
+
+#include <string>
+#include <vector>
+
+#include "algo/incremental.h"
+#include "algo/temporal_paths.h"
+#include "query/engine.h"
+
+namespace aion::query {
+
+using graph::Timestamp;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+Status RequireArgs(const std::vector<Literal>& args, size_t n,
+                   const std::string& name) {
+  if (args.size() != n) {
+    return Status::InvalidArgument(name + " expects " + std::to_string(n) +
+                                   " arguments");
+  }
+  return Status::OK();
+}
+
+StatusOr<int64_t> IntArg(const std::vector<Literal>& args, size_t i) {
+  if (args[i].kind != Literal::Kind::kInt) {
+    return Status::InvalidArgument("argument " + std::to_string(i + 1) +
+                                   " must be an integer");
+  }
+  return args[i].int_value;
+}
+
+StatusOr<std::string> StringArg(const std::vector<Literal>& args, size_t i) {
+  if (args[i].kind != Literal::Kind::kString) {
+    return Status::InvalidArgument("argument " + std::to_string(i + 1) +
+                                   " must be a string");
+  }
+  return args[i].string_value;
+}
+
+Status RequireAion(QueryEngine& engine) {
+  if (engine.aion() == nullptr) {
+    return Status::FailedPrecondition("Aion is not attached to this engine");
+  }
+  return Status::OK();
+}
+
+StatusOr<graph::Direction> DirectionArg(const std::vector<Literal>& args,
+                                        size_t i) {
+  AION_ASSIGN_OR_RETURN(std::string dir, StringArg(args, i));
+  if (dir == "out" || dir == "outgoing") return graph::Direction::kOutgoing;
+  if (dir == "in" || dir == "incoming") return graph::Direction::kIncoming;
+  if (dir == "both") return graph::Direction::kBoth;
+  return Status::InvalidArgument("direction must be out/in/both");
+}
+
+StatusOr<QueryResult> NodeHistory(QueryEngine& engine,
+                                  const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 3, "aion.nodeHistory"));
+  AION_ASSIGN_OR_RETURN(int64_t id, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(
+      std::vector<graph::NodeVersion> versions,
+      engine.aion()->GetNode(static_cast<graph::NodeId>(id),
+                             static_cast<Timestamp>(start),
+                             static_cast<Timestamp>(end)));
+  QueryResult result;
+  result.columns = {"ts_start", "ts_end", "node"};
+  for (graph::NodeVersion& v : versions) {
+    result.rows.push_back({Value(static_cast<int64_t>(v.interval.start)),
+                           Value(static_cast<int64_t>(v.interval.end)),
+                           Value(std::move(v.entity))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Expand(QueryEngine& engine,
+                             const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 4, "aion.expand"));
+  AION_ASSIGN_OR_RETURN(int64_t id, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(graph::Direction direction, DirectionArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t hops, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(int64_t t, IntArg(args, 3));
+  AION_ASSIGN_OR_RETURN(
+      auto levels,
+      engine.aion()->Expand(static_cast<graph::NodeId>(id), direction,
+                            static_cast<uint32_t>(hops),
+                            static_cast<Timestamp>(t)));
+  QueryResult result;
+  result.columns = {"hop", "node_id"};
+  for (size_t hop = 0; hop < levels.size(); ++hop) {
+    for (const graph::Node& node : levels[hop]) {
+      result.rows.push_back({Value(static_cast<int64_t>(hop + 1)),
+                             Value(static_cast<int64_t>(node.id))});
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Relationships(QueryEngine& engine,
+                                    const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 4, "aion.relationships"));
+  AION_ASSIGN_OR_RETURN(int64_t id, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(graph::Direction direction, DirectionArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 3));
+  AION_ASSIGN_OR_RETURN(
+      auto histories,
+      engine.aion()->GetRelationships(static_cast<graph::NodeId>(id),
+                                      direction,
+                                      static_cast<Timestamp>(start),
+                                      static_cast<Timestamp>(end)));
+  QueryResult result;
+  result.columns = {"rel_id", "ts_start", "ts_end", "relationship"};
+  for (auto& history : histories) {
+    for (graph::RelationshipVersion& v : history) {
+      result.rows.push_back(
+          {Value(static_cast<int64_t>(v.entity.id)),
+           Value(static_cast<int64_t>(v.interval.start)),
+           Value(static_cast<int64_t>(v.interval.end)),
+           Value(std::move(v.entity))});
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Diff(QueryEngine& engine,
+                           const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 2, "aion.diff"));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(
+      std::vector<graph::GraphUpdate> diff,
+      engine.aion()->GetDiff(static_cast<Timestamp>(start),
+                             static_cast<Timestamp>(end)));
+  QueryResult result;
+  result.columns = {"ts", "op", "id"};
+  for (const graph::GraphUpdate& u : diff) {
+    result.rows.push_back({Value(static_cast<int64_t>(u.ts)),
+                           Value(u.ToString()),
+                           Value(static_cast<int64_t>(u.id))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> DiffCount(QueryEngine& engine,
+                                const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 2, "aion.diffCount"));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(
+      std::vector<graph::GraphUpdate> diff,
+      engine.aion()->GetDiff(static_cast<Timestamp>(start),
+                             static_cast<Timestamp>(end)));
+  QueryResult result;
+  result.columns = {"updates"};
+  result.rows.push_back({Value(static_cast<int64_t>(diff.size()))});
+  return result;
+}
+
+StatusOr<QueryResult> GraphStats(QueryEngine& engine,
+                                 const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 1, "aion.graphStats"));
+  AION_ASSIGN_OR_RETURN(int64_t t, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(auto view,
+                        engine.aion()->GetGraphAt(static_cast<Timestamp>(t)));
+  QueryResult result;
+  result.columns = {"nodes", "relationships"};
+  result.rows.push_back({Value(static_cast<int64_t>(view->NumNodes())),
+                         Value(static_cast<int64_t>(view->NumRelationships()))});
+  return result;
+}
+
+StatusOr<QueryResult> Window(QueryEngine& engine,
+                             const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 2, "aion.window"));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(auto window,
+                        engine.aion()->GetWindow(
+                            static_cast<Timestamp>(start),
+                            static_cast<Timestamp>(end)));
+  QueryResult result;
+  result.columns = {"nodes", "relationships"};
+  result.rows.push_back(
+      {Value(static_cast<int64_t>(window->NumNodes())),
+       Value(static_cast<int64_t>(window->NumRelationships()))});
+  return result;
+}
+
+// --- incremental procedures (Sec 5.2: "incremental algorithms are
+// implemented as temporal procedures that materialize intermediate results
+// and call the getDiff method between iterations") -----------------------
+
+StatusOr<QueryResult> IncrementalAvg(QueryEngine& engine,
+                                     const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 4, "aion.incremental.avg"));
+  AION_ASSIGN_OR_RETURN(std::string key, StringArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(int64_t step, IntArg(args, 3));
+  if (step <= 0) return Status::InvalidArgument("step must be positive");
+
+  algo::IncrementalAverage avg(key);
+  // Seed with everything up to `start`.
+  AION_ASSIGN_OR_RETURN(auto seed, engine.aion()->GetDiff(
+                                       0, static_cast<Timestamp>(start)));
+  avg.ApplyDiff(seed);
+  QueryResult result;
+  result.columns = {"t", "avg", "count"};
+  for (int64_t t = start; t < end; t += step) {
+    const int64_t next = std::min<int64_t>(t + step, end);
+    AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
+                                         static_cast<Timestamp>(t),
+                                         static_cast<Timestamp>(next)));
+    avg.ApplyDiff(diff);
+    result.rows.push_back({Value(next), Value(avg.Average()),
+                           Value(static_cast<int64_t>(avg.count()))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> IncrementalBfsProc(QueryEngine& engine,
+                                         const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 4, "aion.incremental.bfs"));
+  AION_ASSIGN_OR_RETURN(int64_t source, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(int64_t step, IntArg(args, 3));
+  if (step <= 0) return Status::InvalidArgument("step must be positive");
+
+  AION_ASSIGN_OR_RETURN(auto graph, engine.aion()->time_store() != nullptr
+                                        ? engine.aion()
+                                              ->time_store()
+                                              ->MaterializeGraphAt(
+                                                  static_cast<Timestamp>(start))
+                                        : util::StatusOr<std::unique_ptr<
+                                              graph::MemoryGraph>>(
+                                              Status::FailedPrecondition(
+                                                  "TimeStore required")));
+  algo::IncrementalBfs bfs(static_cast<graph::NodeId>(source));
+  bfs.Recompute(*graph);
+  QueryResult result;
+  result.columns = {"t", "reached"};
+  auto count_reached = [&bfs]() {
+    int64_t reached = 0;
+    for (uint32_t level : bfs.levels()) {
+      if (level != algo::kUnreachable) ++reached;
+    }
+    return reached;
+  };
+  result.rows.push_back({Value(start), Value(count_reached())});
+  for (int64_t t = start; t < end; t += step) {
+    const int64_t next = std::min<int64_t>(t + step, end);
+    AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
+                                         static_cast<Timestamp>(t),
+                                         static_cast<Timestamp>(next)));
+    AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
+    bfs.ApplyDiff(*graph, diff);
+    result.rows.push_back({Value(next), Value(count_reached())});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> IncrementalPageRankProc(
+    QueryEngine& engine, const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  if (args.size() != 3 && args.size() != 4) {
+    return Status::InvalidArgument(
+        "aion.incremental.pagerank expects (start, end, step [, epsilon])");
+  }
+  AION_ASSIGN_OR_RETURN(int64_t start, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t end, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t step, IntArg(args, 2));
+  algo::PageRankOptions pr_options;
+  if (args.size() == 4) {
+    if (args[3].kind != Literal::Kind::kDouble) {
+      return Status::InvalidArgument("epsilon must be a float literal");
+    }
+    pr_options.epsilon = args[3].double_value;
+  }
+  if (step <= 0) return Status::InvalidArgument("step must be positive");
+  if (engine.aion()->time_store() == nullptr) {
+    return Status::FailedPrecondition("TimeStore required");
+  }
+  AION_ASSIGN_OR_RETURN(auto graph,
+                        engine.aion()->time_store()->MaterializeGraphAt(
+                            static_cast<Timestamp>(start)));
+  algo::IncrementalPageRank pr(pr_options);
+  pr.Recompute(*graph);
+  QueryResult result;
+  result.columns = {"t", "iterations", "pushes"};
+  result.rows.push_back(
+      {Value(start), Value(static_cast<int64_t>(pr.last_iterations())),
+       Value(int64_t{0})});
+  for (int64_t t = start; t < end; t += step) {
+    const int64_t next = std::min<int64_t>(t + step, end);
+    AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
+                                         static_cast<Timestamp>(t),
+                                         static_cast<Timestamp>(next)));
+    AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
+    pr.ApplyDiff(*graph, diff);
+    result.rows.push_back(
+        {Value(next), Value(static_cast<int64_t>(pr.last_iterations())),
+         Value(static_cast<int64_t>(pr.last_pushes()))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> EarliestArrivalProc(QueryEngine& engine,
+                                          const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 4, "aion.paths.earliestArrival"));
+  AION_ASSIGN_OR_RETURN(int64_t src, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t tgt, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t t1, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(int64_t t2, IntArg(args, 3));
+  AION_ASSIGN_OR_RETURN(auto temporal,
+                        engine.aion()->GetTemporalGraph(
+                            static_cast<Timestamp>(t1),
+                            static_cast<Timestamp>(t2)));
+  const auto ea = algo::EarliestArrival(*temporal,
+                                        static_cast<graph::NodeId>(src),
+                                        static_cast<Timestamp>(t1),
+                                        static_cast<Timestamp>(t2));
+  QueryResult result;
+  result.columns = {"arrival"};
+  const graph::NodeId target = static_cast<graph::NodeId>(tgt);
+  const Timestamp arrival =
+      target < ea.size() ? ea[target] : graph::kInfiniteTime;
+  if (arrival == graph::kInfiniteTime) {
+    result.rows.push_back({Value()});
+  } else {
+    result.rows.push_back({Value(static_cast<int64_t>(arrival))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> LatestDepartureProc(QueryEngine& engine,
+                                          const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 4, "aion.paths.latestDeparture"));
+  AION_ASSIGN_OR_RETURN(int64_t src, IntArg(args, 0));
+  AION_ASSIGN_OR_RETURN(int64_t tgt, IntArg(args, 1));
+  AION_ASSIGN_OR_RETURN(int64_t t1, IntArg(args, 2));
+  AION_ASSIGN_OR_RETURN(int64_t t2, IntArg(args, 3));
+  AION_ASSIGN_OR_RETURN(auto temporal,
+                        engine.aion()->GetTemporalGraph(
+                            static_cast<Timestamp>(t1),
+                            static_cast<Timestamp>(t2)));
+  const auto ld = algo::LatestDeparture(*temporal,
+                                        static_cast<graph::NodeId>(tgt),
+                                        static_cast<Timestamp>(t1),
+                                        static_cast<Timestamp>(t2));
+  QueryResult result;
+  result.columns = {"departure"};
+  const graph::NodeId source = static_cast<graph::NodeId>(src);
+  const Timestamp departure = source < ld.size() ? ld[source] : 0;
+  if (departure == 0) {
+    result.rows.push_back({Value()});
+  } else {
+    result.rows.push_back({Value(static_cast<int64_t>(departure))});
+  }
+  return result;
+}
+
+}  // namespace
+
+void RegisterBuiltinAionProcedures(QueryEngine* engine) {
+  engine->RegisterProcedure("aion.nodeHistory", NodeHistory);
+  engine->RegisterProcedure("aion.expand", Expand);
+  engine->RegisterProcedure("aion.relationships", Relationships);
+  engine->RegisterProcedure("aion.diff", Diff);
+  engine->RegisterProcedure("aion.diffCount", DiffCount);
+  engine->RegisterProcedure("aion.graphStats", GraphStats);
+  engine->RegisterProcedure("aion.window", Window);
+  engine->RegisterProcedure("aion.incremental.avg", IncrementalAvg);
+  engine->RegisterProcedure("aion.incremental.bfs", IncrementalBfsProc);
+  engine->RegisterProcedure("aion.incremental.pagerank",
+                            IncrementalPageRankProc);
+  engine->RegisterProcedure("aion.paths.earliestArrival",
+                            EarliestArrivalProc);
+  engine->RegisterProcedure("aion.paths.latestDeparture",
+                            LatestDepartureProc);
+}
+
+}  // namespace aion::query

@@ -1,0 +1,29 @@
+// Temporal procedures (Sec 5.1: "Aion wraps the functionality exposed in
+// Table 1 with temporal procedures — functions invoked from Cypher"), plus
+// the incremental-algorithm procedures of Sec 5.2/6.7.
+//
+// Built-ins (all callable as `CALL name(args) [YIELD cols]`):
+//   aion.nodeHistory(id, start, end)          -> ts_start, ts_end, node
+//   aion.expand(id, direction, hops, t)       -> hop, node_id
+//   aion.diff(start, end)                     -> op, id, ts
+//   aion.diffCount(start, end)                -> updates
+//   aion.graphStats(t)                        -> nodes, relationships
+//   aion.window(start, end)                   -> nodes, relationships
+//   aion.incremental.avg(key, start, end, step)      -> t, avg, count
+//   aion.incremental.bfs(source, start, end, step)   -> t, reached
+//   aion.incremental.pagerank(start, end, step)      -> t, iterations
+//   aion.paths.earliestArrival(src, tgt, t1, t2)     -> arrival
+//   aion.paths.latestDeparture(src, tgt, t1, t2)     -> departure
+#ifndef AION_QUERY_PROCEDURES_H_
+#define AION_QUERY_PROCEDURES_H_
+
+namespace aion::query {
+
+class QueryEngine;
+
+/// Registers the built-in aion.* procedures on `engine`.
+void RegisterBuiltinAionProcedures(QueryEngine* engine);
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_PROCEDURES_H_

@@ -1,0 +1,73 @@
+#include "query/value.h"
+
+namespace aion::query {
+
+Value Value::FromProperty(const graph::PropertyValue& p) {
+  switch (p.type()) {
+    case graph::PropertyType::kBool:
+      return Value(p.AsBool());
+    case graph::PropertyType::kInt:
+      return Value(p.AsInt());
+    case graph::PropertyType::kDouble:
+      return Value(p.AsDouble());
+    case graph::PropertyType::kString:
+      return Value(p.AsString());
+    default:
+      // Arrays and null render through their property ToString.
+      if (p.is_null()) return Value();
+      return Value(p.ToString());
+  }
+}
+
+double Value::ToNumber() const {
+  if (is_int()) return static_cast<double>(AsInt());
+  if (is_double()) return AsDouble();
+  if (is_bool()) return AsBool() ? 1 : 0;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) return std::to_string(AsDouble());
+  if (is_string()) return AsString();
+  if (is_node()) {
+    const graph::Node& n = AsNode();
+    std::string out = "(" + std::to_string(n.id);
+    for (const std::string& l : n.labels) out += ":" + l;
+    if (!n.props.empty()) {
+      out += " {";
+      bool first = true;
+      for (const auto& [k, v] : n.props) {
+        if (!first) out += ", ";
+        out += k + ": " + v.ToString();
+        first = false;
+      }
+      out += "}";
+    }
+    return out + ")";
+  }
+  const graph::Relationship& r = AsRelationship();
+  return "[" + std::to_string(r.id) + ":" + r.type + " " +
+         std::to_string(r.src) + "->" + std::to_string(r.tgt) + "]";
+}
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += " | ";
+    out += columns[i];
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace aion::query

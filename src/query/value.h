@@ -1,0 +1,76 @@
+// Runtime values flowing through query execution and over the wire
+// protocol: scalars, graph entities, and entity versions.
+#ifndef AION_QUERY_VALUE_H_
+#define AION_QUERY_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/entity.h"
+
+namespace aion::query {
+
+/// A query result cell.
+class Value {
+ public:
+  using Variant = std::variant<std::monostate, bool, int64_t, double,
+                               std::string, graph::Node, graph::Relationship>;
+
+  Value() = default;
+  Value(bool v) : value_(v) {}                      // NOLINT
+  Value(int64_t v) : value_(v) {}                   // NOLINT
+  Value(double v) : value_(v) {}                    // NOLINT
+  Value(std::string v) : value_(std::move(v)) {}    // NOLINT
+  Value(graph::Node v) : value_(std::move(v)) {}    // NOLINT
+  Value(graph::Relationship v) : value_(std::move(v)) {}  // NOLINT
+
+  static Value FromProperty(const graph::PropertyValue& p);
+
+  bool is_null() const { return value_.index() == 0; }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  bool is_node() const { return std::holds_alternative<graph::Node>(value_); }
+  bool is_relationship() const {
+    return std::holds_alternative<graph::Relationship>(value_);
+  }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsDouble() const { return std::get<double>(value_); }
+  const std::string& AsString() const {
+    return std::get<std::string>(value_);
+  }
+  const graph::Node& AsNode() const { return std::get<graph::Node>(value_); }
+  const graph::Relationship& AsRelationship() const {
+    return std::get<graph::Relationship>(value_);
+  }
+
+  /// Numeric coercion (0 for non-numerics).
+  double ToNumber() const;
+
+  bool operator==(const Value& other) const { return value_ == other.value_; }
+
+  std::string ToString() const;
+
+ private:
+  Variant value_;
+};
+
+/// A tabular query result: column names plus rows of cells.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  size_t NumRows() const { return rows.size(); }
+  std::string ToString() const;
+};
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_VALUE_H_

@@ -1,0 +1,177 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/coding.h"
+
+namespace aion::server {
+
+using query::Value;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a peer closing mid-write surfaces as EPIPE, not SIGPIPE.
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + strerror(errno));
+    }
+    if (w == 0) return Status::IOError("peer closed during write");
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, data + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + strerror(errno));
+    }
+    if (r == 0) return Status::IOError("peer closed during read");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// Cell tags.
+constexpr uint8_t kNullTag = 0;
+constexpr uint8_t kBoolTag = 1;
+constexpr uint8_t kIntTag = 2;
+constexpr uint8_t kDoubleTag = 3;
+constexpr uint8_t kStringTag = 4;
+constexpr uint8_t kEntityTag = 5;  // nodes/relationships travel rendered
+
+}  // namespace
+
+Status WriteMessage(int fd, const Message& message) {
+  std::string framed;
+  framed.reserve(5 + message.payload.size());
+  util::PutFixed32(&framed, static_cast<uint32_t>(message.payload.size()));
+  framed.push_back(static_cast<char>(message.type));
+  framed.append(message.payload);
+  return WriteAll(fd, framed.data(), framed.size());
+}
+
+StatusOr<Message> ReadMessage(int fd) {
+  char header[5];
+  AION_RETURN_IF_ERROR(ReadAll(fd, header, 5));
+  Message message;
+  const uint32_t length = util::DecodeFixed32(header);
+  message.type = static_cast<MessageType>(header[4]);
+  message.payload.resize(length);
+  if (length > 0) {
+    AION_RETURN_IF_ERROR(ReadAll(fd, message.payload.data(), length));
+  }
+  return message;
+}
+
+void EncodeRow(const std::vector<Value>& row, std::string* dst) {
+  util::PutFixed32(dst, static_cast<uint32_t>(row.size()));
+  for (const Value& cell : row) {
+    if (cell.is_null()) {
+      dst->push_back(static_cast<char>(kNullTag));
+    } else if (cell.is_bool()) {
+      dst->push_back(static_cast<char>(kBoolTag));
+      dst->push_back(cell.AsBool() ? 1 : 0);
+    } else if (cell.is_int()) {
+      dst->push_back(static_cast<char>(kIntTag));
+      util::PutVarint64(dst, util::ZigZagEncode(cell.AsInt()));
+    } else if (cell.is_double()) {
+      dst->push_back(static_cast<char>(kDoubleTag));
+      util::PutDouble(dst, cell.AsDouble());
+    } else if (cell.is_string()) {
+      dst->push_back(static_cast<char>(kStringTag));
+      util::PutLengthPrefixedSlice(dst, cell.AsString());
+    } else {
+      dst->push_back(static_cast<char>(kEntityTag));
+      util::PutLengthPrefixedSlice(dst, cell.ToString());
+    }
+  }
+}
+
+StatusOr<std::vector<Value>> DecodeRow(util::Slice payload) {
+  if (payload.size() < 4) return Status::Corruption("short row payload");
+  const uint32_t count = util::DecodeFixed32(payload.data());
+  payload.RemovePrefix(4);
+  std::vector<Value> row;
+  row.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.empty()) return Status::Corruption("truncated row");
+    const uint8_t tag = static_cast<uint8_t>(payload[0]);
+    payload.RemovePrefix(1);
+    switch (tag) {
+      case kNullTag:
+        row.emplace_back();
+        break;
+      case kBoolTag: {
+        if (payload.empty()) return Status::Corruption("truncated bool");
+        row.emplace_back(payload[0] != 0);
+        payload.RemovePrefix(1);
+        break;
+      }
+      case kIntTag: {
+        uint64_t zz;
+        if (!util::GetVarint64(&payload, &zz)) {
+          return Status::Corruption("truncated int");
+        }
+        row.emplace_back(util::ZigZagDecode(zz));
+        break;
+      }
+      case kDoubleTag: {
+        if (payload.size() < 8) return Status::Corruption("truncated double");
+        row.emplace_back(util::DecodeDouble(payload.data()));
+        payload.RemovePrefix(8);
+        break;
+      }
+      case kStringTag:
+      case kEntityTag: {
+        util::Slice s;
+        if (!util::GetLengthPrefixedSlice(&payload, &s)) {
+          return Status::Corruption("truncated string");
+        }
+        row.emplace_back(s.ToString());
+        break;
+      }
+      default:
+        return Status::Corruption("unknown cell tag");
+    }
+  }
+  return row;
+}
+
+void EncodeColumns(const std::vector<std::string>& columns,
+                   std::string* dst) {
+  util::PutFixed32(dst, static_cast<uint32_t>(columns.size()));
+  for (const std::string& c : columns) {
+    util::PutLengthPrefixedSlice(dst, c);
+  }
+}
+
+StatusOr<std::vector<std::string>> DecodeColumns(util::Slice payload) {
+  if (payload.size() < 4) return Status::Corruption("short columns payload");
+  const uint32_t count = util::DecodeFixed32(payload.data());
+  payload.RemovePrefix(4);
+  std::vector<std::string> columns;
+  columns.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    util::Slice s;
+    if (!util::GetLengthPrefixedSlice(&payload, &s)) {
+      return Status::Corruption("truncated column name");
+    }
+    columns.push_back(s.ToString());
+  }
+  return columns;
+}
+
+}  // namespace aion::server

@@ -1,0 +1,46 @@
+// Wire protocol for the client-server experiments (Sec 6.7): a compact
+// length-prefixed binary message protocol in the spirit of Neo4j's Bolt —
+// queries travel as RUN messages; results stream back as RECORD messages
+// terminated by SUCCESS (or FAILURE). See DESIGN.md substitutions.
+//
+// Framing: [u32 payload length][u8 message type][payload bytes].
+// RECORD payload: u32 column count, then per cell a type tag + value.
+#ifndef AION_SERVER_PROTOCOL_H_
+#define AION_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/value.h"
+#include "util/status.h"
+
+namespace aion::server {
+
+enum class MessageType : uint8_t {
+  kRun = 1,      // client -> server: query text
+  kRecord = 2,   // server -> client: one row
+  kSuccess = 3,  // server -> client: end of results (payload: columns)
+  kFailure = 4,  // server -> client: error message
+  kGoodbye = 5,  // client -> server: close
+};
+
+struct Message {
+  MessageType type = MessageType::kRun;
+  std::string payload;
+};
+
+/// Blocking exact-size socket I/O. Return IOError on closed peers.
+util::Status WriteMessage(int fd, const Message& message);
+util::StatusOr<Message> ReadMessage(int fd);
+
+/// Row <-> RECORD payload.
+void EncodeRow(const std::vector<query::Value>& row, std::string* dst);
+util::StatusOr<std::vector<query::Value>> DecodeRow(util::Slice payload);
+
+/// Column list <-> SUCCESS payload.
+void EncodeColumns(const std::vector<std::string>& columns, std::string* dst);
+util::StatusOr<std::vector<std::string>> DecodeColumns(util::Slice payload);
+
+}  // namespace aion::server
+
+#endif  // AION_SERVER_PROTOCOL_H_

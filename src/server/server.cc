@@ -1,0 +1,181 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/protocol.h"
+
+namespace aion::server {
+
+using util::Status;
+using util::StatusOr;
+
+BoltLikeServer::~BoltLikeServer() { Stop(); }
+
+StatusOr<uint16_t> BoltLikeServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind: ") + strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IOError(std::string("listen: ") + strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void BoltLikeServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    workers.swap(connection_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void BoltLikeServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back(
+        [this, fd] { ServeConnection(fd); });
+  }
+}
+
+void BoltLikeServer::ServeConnection(int fd) {
+  while (running_.load()) {
+    auto message = ReadMessage(fd);
+    if (!message.ok()) break;  // peer gone
+    if (message->type == MessageType::kGoodbye) break;
+    if (message->type != MessageType::kRun) {
+      Message failure;
+      failure.type = MessageType::kFailure;
+      failure.payload = "protocol error: expected RUN";
+      (void)WriteMessage(fd, failure);
+      break;
+    }
+    auto result = engine_->Execute(message->payload);
+    if (!result.ok()) {
+      Message failure;
+      failure.type = MessageType::kFailure;
+      failure.payload = result.status().ToString();
+      if (!WriteMessage(fd, failure).ok()) break;
+      continue;
+    }
+    queries_served_.fetch_add(1);
+    bool io_ok = true;
+    for (const auto& row : result->rows) {
+      Message record;
+      record.type = MessageType::kRecord;
+      EncodeRow(row, &record.payload);
+      if (!WriteMessage(fd, record).ok()) {
+        io_ok = false;
+        break;
+      }
+    }
+    if (!io_ok) break;
+    Message success;
+    success.type = MessageType::kSuccess;
+    EncodeColumns(result->columns, &success.payload);
+    if (!WriteMessage(fd, success).ok()) break;
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<BoltLikeClient>> BoltLikeClient::Connect(
+    uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::IOError(std::string("connect: ") + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<BoltLikeClient>(new BoltLikeClient(fd));
+}
+
+BoltLikeClient::~BoltLikeClient() {
+  Message goodbye;
+  goodbye.type = MessageType::kGoodbye;
+  (void)WriteMessage(fd_, goodbye);
+  ::close(fd_);
+}
+
+StatusOr<query::QueryResult> BoltLikeClient::Run(const std::string& text) {
+  Message run;
+  run.type = MessageType::kRun;
+  run.payload = text;
+  AION_RETURN_IF_ERROR(WriteMessage(fd_, run));
+  query::QueryResult result;
+  for (;;) {
+    AION_ASSIGN_OR_RETURN(Message message, ReadMessage(fd_));
+    switch (message.type) {
+      case MessageType::kRecord: {
+        AION_ASSIGN_OR_RETURN(auto row, DecodeRow(message.payload));
+        result.rows.push_back(std::move(row));
+        break;
+      }
+      case MessageType::kSuccess: {
+        AION_ASSIGN_OR_RETURN(result.columns,
+                              DecodeColumns(message.payload));
+        return result;
+      }
+      case MessageType::kFailure:
+        return Status::Aborted("server: " + message.payload);
+      default:
+        return Status::Corruption("unexpected message type");
+    }
+  }
+}
+
+}  // namespace aion::server

@@ -1,0 +1,76 @@
+// BoltLikeServer: the client-server arrangement of Sec 6.7 — a TCP listener
+// on localhost whose connections are served by a dedicated worker pool, each
+// running temporal Cypher through a shared QueryEngine. Exercises the
+// systemic overheads (framing, copies, scheduling) the paper measures
+// against embedded mode.
+#ifndef AION_SERVER_SERVER_H_
+#define AION_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "query/engine.h"
+#include "util/status.h"
+
+namespace aion::server {
+
+class BoltLikeServer {
+ public:
+  /// `engine` must outlive the server. Query execution is shared-state
+  /// thread-safe (reads via internal store latches, writes via commit
+  /// serialization).
+  explicit BoltLikeServer(query::QueryEngine* engine) : engine_(engine) {}
+  ~BoltLikeServer();
+
+  BoltLikeServer(const BoltLikeServer&) = delete;
+  BoltLikeServer& operator=(const BoltLikeServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting. Returns
+  /// the bound port.
+  util::StatusOr<uint16_t> Start(uint16_t port = 0);
+
+  /// Stops accepting, closes the listener, and joins all workers.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t queries_served() const { return queries_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  query::QueryEngine* engine_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mu_;
+  std::atomic<uint64_t> queries_served_{0};
+};
+
+/// Client side: connects and runs queries synchronously.
+class BoltLikeClient {
+ public:
+  static util::StatusOr<std::unique_ptr<BoltLikeClient>> Connect(
+      uint16_t port);
+
+  ~BoltLikeClient();
+
+  BoltLikeClient(const BoltLikeClient&) = delete;
+  BoltLikeClient& operator=(const BoltLikeClient&) = delete;
+
+  /// Sends RUN and collects RECORDs until SUCCESS/FAILURE.
+  util::StatusOr<query::QueryResult> Run(const std::string& text);
+
+ private:
+  explicit BoltLikeClient(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace aion::server
+
+#endif  // AION_SERVER_SERVER_H_

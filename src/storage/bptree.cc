@@ -1,0 +1,856 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace aion::storage {
+
+using util::GetVarint64;
+using util::PutVarint64;
+using util::Status;
+using util::VarintLength;
+
+namespace {
+
+// Page layout
+// -----------
+// byte 0        : page type ('L' leaf, 'I' internal)
+// bytes 1..2    : uint16 entry count
+// bytes 3..4    : uint16 cells end offset
+// bytes 8..15   : leaf: next-leaf page id; internal: leftmost child page id
+// bytes 16..23  : leaf only: prev-leaf page id
+// cells         : leaf at byte 24, internal at byte 16
+//   leaf cell     : varint klen, varint vlen, key, value
+//   internal cell : varint klen, key, fixed64 child
+//
+// Meta page (page 0)
+// ------------------
+// bytes 0..7   : magic
+// bytes 8..15  : root page id
+// bytes 16..19 : height
+// bytes 24..31 : entry count
+
+constexpr uint64_t kMagic = 0x41494f4e42505432ULL;  // "AIONBPT2"
+constexpr size_t kInternalHeaderSize = 16;
+constexpr size_t kLeafHeaderSize = 24;
+constexpr char kLeafType = 'L';
+constexpr char kInternalType = 'I';
+// Shared budget for both page kinds (sized for the larger leaf header).
+constexpr size_t kPagePayload = kPageSize - kLeafHeaderSize;
+
+uint16_t ReadU16(const char* p) {
+  uint16_t v;
+  memcpy(&v, p, 2);
+  return v;
+}
+void WriteU16(char* p, uint16_t v) { memcpy(p, &v, 2); }
+
+uint64_t ReadU64(const char* p) { return util::DecodeFixed64(p); }
+void WriteU64(char* p, uint64_t v) { util::EncodeFixed64(p, v); }
+
+}  // namespace
+
+size_t BpTree::LeafImage::EncodedSize() const {
+  size_t total = 0;
+  for (const LeafEntry& e : entries) {
+    total += VarintLength(e.key.size()) + VarintLength(e.value.size()) +
+             e.key.size() + e.value.size();
+  }
+  return total;
+}
+
+size_t BpTree::InternalImage::EncodedSize() const {
+  size_t total = 0;
+  for (const InternalEntry& e : entries) {
+    total += VarintLength(e.key.size()) + e.key.size() + 8;
+  }
+  return total;
+}
+
+BpTree::BpTree(std::unique_ptr<PageCache> cache) : cache_(std::move(cache)) {}
+
+BpTree::~BpTree() { (void)Flush(); }
+
+StatusOr<std::unique_ptr<BpTree>> BpTree::Open(const std::string& path,
+                                               const Options& options) {
+  AION_ASSIGN_OR_RETURN(auto cache, PageCache::Open(path, options.cache_pages));
+  std::unique_ptr<BpTree> tree(new BpTree(std::move(cache)));
+  if (tree->cache_->num_pages() == 0) {
+    AION_RETURN_IF_ERROR(tree->InitNew());
+  } else {
+    AION_RETURN_IF_ERROR(tree->LoadMeta());
+  }
+  return tree;
+}
+
+Status BpTree::InitNew() {
+  // Page 0: meta. Page 1: empty root leaf.
+  PageId meta_id;
+  AION_ASSIGN_OR_RETURN(PageHandle meta, cache_->Allocate(&meta_id));
+  if (meta_id != 0) return Status::Internal("meta page must be page 0");
+
+  PageId root_id;
+  AION_ASSIGN_OR_RETURN(PageHandle root, cache_->Allocate(&root_id));
+  LeafImage empty;
+  EncodeLeaf(empty, root.data());
+  root.MarkDirty();
+
+  root_ = root_id;
+  height_ = 1;
+  num_entries_ = 0;
+  meta_dirty_ = true;
+  AION_RETURN_IF_ERROR(StoreMeta());
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+Status BpTree::LoadMeta() {
+  AION_ASSIGN_OR_RETURN(PageHandle meta, cache_->Fetch(0));
+  if (ReadU64(meta.data()) != kMagic) {
+    return Status::Corruption("bad B+Tree magic");
+  }
+  root_ = ReadU64(meta.data() + 8);
+  height_ = util::DecodeFixed32(meta.data() + 16);
+  num_entries_ = ReadU64(meta.data() + 24);
+  return Status::OK();
+}
+
+Status BpTree::StoreMeta() {
+  AION_ASSIGN_OR_RETURN(PageHandle meta, cache_->Fetch(0));
+  WriteU64(meta.data(), kMagic);
+  WriteU64(meta.data() + 8, root_);
+  util::EncodeFixed32(meta.data() + 16, height_);
+  WriteU64(meta.data() + 24, num_entries_);
+  meta.MarkDirty();
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+Status BpTree::DecodeLeaf(const char* page, LeafImage* image) {
+  if (page[0] != kLeafType) return Status::Corruption("expected leaf page");
+  const uint16_t count = ReadU16(page + 1);
+  const uint16_t end = ReadU16(page + 3);
+  image->next = ReadU64(page + 8);
+  image->prev = ReadU64(page + 16);
+  image->entries.clear();
+  image->entries.reserve(count);
+  Slice cells(page + kLeafHeaderSize, end);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t klen, vlen;
+    if (!GetVarint64(&cells, &klen) || !GetVarint64(&cells, &vlen) ||
+        cells.size() < klen + vlen) {
+      return Status::Corruption("truncated leaf cell");
+    }
+    LeafEntry entry;
+    entry.key.assign(cells.data(), klen);
+    entry.value.assign(cells.data() + klen, vlen);
+    cells.RemovePrefix(klen + vlen);
+    image->entries.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status BpTree::DecodeInternal(const char* page, InternalImage* image) {
+  if (page[0] != kInternalType) {
+    return Status::Corruption("expected internal page");
+  }
+  const uint16_t count = ReadU16(page + 1);
+  const uint16_t end = ReadU16(page + 3);
+  image->leftmost = ReadU64(page + 8);
+  image->entries.clear();
+  image->entries.reserve(count);
+  Slice cells(page + kInternalHeaderSize, end);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t klen;
+    if (!GetVarint64(&cells, &klen) || cells.size() < klen + 8) {
+      return Status::Corruption("truncated internal cell");
+    }
+    InternalEntry entry;
+    entry.key.assign(cells.data(), klen);
+    entry.child = ReadU64(cells.data() + klen);
+    cells.RemovePrefix(klen + 8);
+    image->entries.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+void BpTree::EncodeLeaf(const LeafImage& image, char* page) {
+  page[0] = kLeafType;
+  WriteU16(page + 1, static_cast<uint16_t>(image.entries.size()));
+  WriteU64(page + 8, image.next);
+  WriteU64(page + 16, image.prev);
+  std::string cells;
+  cells.reserve(image.EncodedSize());
+  for (const LeafEntry& e : image.entries) {
+    PutVarint64(&cells, e.key.size());
+    PutVarint64(&cells, e.value.size());
+    cells.append(e.key);
+    cells.append(e.value);
+  }
+  AION_CHECK(cells.size() <= kPagePayload);
+  WriteU16(page + 3, static_cast<uint16_t>(cells.size()));
+  memcpy(page + kLeafHeaderSize, cells.data(), cells.size());
+}
+
+void BpTree::EncodeInternal(const InternalImage& image, char* page) {
+  page[0] = kInternalType;
+  WriteU16(page + 1, static_cast<uint16_t>(image.entries.size()));
+  WriteU64(page + 8, image.leftmost);
+  std::string cells;
+  cells.reserve(image.EncodedSize());
+  for (const InternalEntry& e : image.entries) {
+    PutVarint64(&cells, e.key.size());
+    cells.append(e.key);
+    util::PutFixed64(&cells, e.child);
+  }
+  AION_CHECK(cells.size() <= kPagePayload);
+  WriteU16(page + 3, static_cast<uint16_t>(cells.size()));
+  memcpy(page + kInternalHeaderSize, cells.data(), cells.size());
+}
+
+StatusOr<PageId> BpTree::DescendToLeaf(Slice key,
+                                       std::vector<PageId>* path) const {
+  // Hot path: decode internal cells as slices over the pinned page (no
+  // string copies), binary search, descend.
+  std::vector<std::pair<Slice, PageId>> entries;
+  PageId current = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    if (path != nullptr) path->push_back(current);
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(current));
+    const char* data = page.data();
+    if (data[0] != kInternalType) {
+      return Status::Corruption("expected internal page");
+    }
+    const uint16_t count = ReadU16(data + 1);
+    const uint16_t end = ReadU16(data + 3);
+    const PageId leftmost = ReadU64(data + 8);
+    entries.clear();
+    entries.reserve(count);
+    Slice cells(data + kInternalHeaderSize, end);
+    for (uint16_t i = 0; i < count; ++i) {
+      uint64_t klen;
+      if (!GetVarint64(&cells, &klen) || cells.size() < klen + 8) {
+        return Status::Corruption("truncated internal cell");
+      }
+      entries.emplace_back(Slice(cells.data(), klen),
+                           ReadU64(cells.data() + klen));
+      cells.RemovePrefix(klen + 8);
+    }
+    // Child for `key`: the child of the last entry with entry.key <= key,
+    // or leftmost if key < all entry keys.
+    PageId child = leftmost;
+    size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (entries[mid].first.Compare(key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo > 0) child = entries[lo - 1].second;
+    current = child;
+  }
+  return current;
+}
+
+StatusOr<std::string> BpTree::Get(Slice key) const {
+  AION_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key, nullptr));
+  AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+  // Scan cells without materializing the whole leaf.
+  const char* data = page.data();
+  if (data[0] != kLeafType) return Status::Corruption("expected leaf page");
+  const uint16_t count = ReadU16(data + 1);
+  const uint16_t end = ReadU16(data + 3);
+  Slice cells(data + kLeafHeaderSize, end);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t klen, vlen;
+    if (!GetVarint64(&cells, &klen) || !GetVarint64(&cells, &vlen) ||
+        cells.size() < klen + vlen) {
+      return Status::Corruption("truncated leaf cell");
+    }
+    const Slice entry_key(cells.data(), klen);
+    const int cmp = entry_key.Compare(key);
+    if (cmp == 0) {
+      return std::string(cells.data() + klen, vlen);
+    }
+    if (cmp > 0) break;  // sorted; key absent
+    cells.RemovePrefix(klen + vlen);
+  }
+  return Status::NotFound("key not in tree");
+}
+
+Status BpTree::Put(Slice key, Slice value) {
+  if (key.size() + value.size() > kMaxEntrySize) {
+    return Status::InvalidArgument("entry too large for B+Tree page");
+  }
+  std::vector<PageId> path;
+  AION_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key, &path));
+
+  // Fast path: insert or same-size-overwrite directly in the page buffer
+  // (no leaf materialization). Falls through to the image-based slow path
+  // on overflow or value-size change.
+  {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    char* data = page.data();
+    const uint16_t count = ReadU16(data + 1);
+    const uint16_t end = ReadU16(data + 3);
+    char* cells = data + kLeafHeaderSize;
+    // Locate the insertion offset (cells are key-sorted).
+    size_t offset = 0;
+    bool found = false;
+    size_t found_value_offset = 0, found_value_len = 0;
+    Slice cursor(cells, end);
+    while (!cursor.empty()) {
+      const size_t cell_start = static_cast<size_t>(cursor.data() - cells);
+      uint64_t klen, vlen;
+      if (!GetVarint64(&cursor, &klen) || !GetVarint64(&cursor, &vlen) ||
+          cursor.size() < klen + vlen) {
+        return Status::Corruption("truncated leaf cell");
+      }
+      const Slice entry_key(cursor.data(), klen);
+      const int cmp = entry_key.Compare(key);
+      if (cmp >= 0) {
+        offset = cell_start;
+        if (cmp == 0) {
+          found = true;
+          found_value_offset =
+              static_cast<size_t>(cursor.data() - cells) + klen;
+          found_value_len = vlen;
+        }
+        break;
+      }
+      cursor.RemovePrefix(klen + vlen);
+      offset = static_cast<size_t>(cursor.data() - cells);
+    }
+    if (found && found_value_len == value.size()) {
+      memcpy(cells + found_value_offset, value.data(), value.size());
+      page.MarkDirty();
+      return Status::OK();
+    }
+    if (!found) {
+      const size_t cell_size = static_cast<size_t>(
+          VarintLength(key.size()) + VarintLength(value.size())) +
+          key.size() + value.size();
+      if (end + cell_size <= kPagePayload) {
+        memmove(cells + offset + cell_size, cells + offset, end - offset);
+        char* out = cells + offset;
+        // Encode varints directly.
+        std::string header;
+        PutVarint64(&header, key.size());
+        PutVarint64(&header, value.size());
+        memcpy(out, header.data(), header.size());
+        out += header.size();
+        memcpy(out, key.data(), key.size());
+        out += key.size();
+        memcpy(out, value.data(), value.size());
+        WriteU16(data + 1, static_cast<uint16_t>(count + 1));
+        WriteU16(data + 3, static_cast<uint16_t>(end + cell_size));
+        page.MarkDirty();
+        ++num_entries_;
+        meta_dirty_ = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  LeafImage image;
+  {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    AION_RETURN_IF_ERROR(DecodeLeaf(page.data(), &image));
+  }
+
+  // Insert or replace, keeping sorted order.
+  auto it = std::lower_bound(
+      image.entries.begin(), image.entries.end(), key,
+      [](const LeafEntry& e, const Slice& k) {
+        return Slice(e.key).Compare(k) < 0;
+      });
+  bool replaced = false;
+  if (it != image.entries.end() && Slice(it->key) == key) {
+    it->value.assign(value.data(), value.size());
+    replaced = true;
+  } else {
+    LeafEntry entry;
+    entry.key.assign(key.data(), key.size());
+    entry.value.assign(value.data(), value.size());
+    image.entries.insert(it, std::move(entry));
+  }
+
+  if (image.EncodedSize() <= kPagePayload) {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    EncodeLeaf(image, page.data());
+    page.MarkDirty();
+  } else {
+    // Split: move the upper half (by encoded size, so skewed entry sizes
+    // cannot overflow either side) into a new leaf to the right. When the
+    // overflow was caused by a rightmost append (monotonic keys — the
+    // common pattern for time- and id-ordered indexes), split at the tail
+    // instead, leaving the left leaf ~full (B-link append optimization).
+    const bool append_pattern =
+        !replaced && Slice(image.entries.back().key) == key;
+    size_t split;
+    if (append_pattern) {
+      split = image.entries.size() - 1;
+    } else {
+      const size_t total = image.EncodedSize();
+      split = 0;
+      size_t prefix = 0;
+      while (split + 1 < image.entries.size() && prefix < total / 2) {
+        const LeafEntry& e = image.entries[split];
+        prefix += VarintLength(e.key.size()) + VarintLength(e.value.size()) +
+                  e.key.size() + e.value.size();
+        ++split;
+      }
+      if (split == 0) split = 1;
+    }
+    LeafImage right;
+    right.next = image.next;
+    right.prev = leaf_id;
+    right.entries.assign(std::make_move_iterator(image.entries.begin() +
+                                                 static_cast<long>(split)),
+                         std::make_move_iterator(image.entries.end()));
+    image.entries.resize(split);
+
+    PageId right_id;
+    {
+      AION_ASSIGN_OR_RETURN(PageHandle right_page,
+                            cache_->Allocate(&right_id));
+      EncodeLeaf(right, right_page.data());
+      right_page.MarkDirty();
+    }
+    if (right.next != kInvalidPageId) {
+      // Maintain the doubly-linked leaf chain: the old successor's prev
+      // pointer now refers to the new right leaf.
+      AION_ASSIGN_OR_RETURN(PageHandle succ, cache_->Fetch(right.next));
+      WriteU64(succ.data() + 16, right_id);
+      succ.MarkDirty();
+    }
+    image.next = right_id;
+    {
+      AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+      EncodeLeaf(image, page.data());
+      page.MarkDirty();
+    }
+    AION_RETURN_IF_ERROR(
+        InsertIntoParents(&path, right.entries.front().key, right_id));
+  }
+
+  if (!replaced) ++num_entries_;
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+Status BpTree::InsertIntoParents(std::vector<PageId>* path,
+                                 std::string sep_key, PageId new_child) {
+  while (true) {
+    if (path->empty()) {
+      // Split reached the root: grow the tree by one level.
+      PageId old_root = root_;
+      InternalImage new_root;
+      new_root.leftmost = old_root;
+      new_root.entries.push_back({std::move(sep_key), new_child});
+      PageId new_root_id;
+      AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Allocate(&new_root_id));
+      EncodeInternal(new_root, page.data());
+      page.MarkDirty();
+      root_ = new_root_id;
+      ++height_;
+      meta_dirty_ = true;
+      return Status::OK();
+    }
+
+    const PageId parent_id = path->back();
+    path->pop_back();
+
+    InternalImage image;
+    {
+      AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(parent_id));
+      AION_RETURN_IF_ERROR(DecodeInternal(page.data(), &image));
+    }
+    auto it = std::lower_bound(
+        image.entries.begin(), image.entries.end(), Slice(sep_key),
+        [](const InternalEntry& e, const Slice& k) {
+          return Slice(e.key).Compare(k) < 0;
+        });
+    image.entries.insert(it, {std::move(sep_key), new_child});
+
+    if (image.EncodedSize() <= kPagePayload) {
+      AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(parent_id));
+      EncodeInternal(image, page.data());
+      page.MarkDirty();
+      return Status::OK();
+    }
+
+    // Split internal node: the separator key moves up; its child becomes
+    // the leftmost child of the right node. The split point is chosen by
+    // accumulated encoded size so neither side can overflow.
+    const size_t total = image.EncodedSize();
+    size_t mid = 0;
+    size_t prefix = 0;
+    while (mid + 1 < image.entries.size() && prefix < total / 2) {
+      const InternalEntry& e = image.entries[mid];
+      prefix += VarintLength(e.key.size()) + e.key.size() + 8;
+      ++mid;
+    }
+    if (mid == 0) mid = 1;
+    std::string up_key = std::move(image.entries[mid].key);
+    InternalImage right;
+    right.leftmost = image.entries[mid].child;
+    right.entries.assign(
+        std::make_move_iterator(image.entries.begin() +
+                                static_cast<long>(mid) + 1),
+        std::make_move_iterator(image.entries.end()));
+    image.entries.resize(mid);
+
+    PageId right_id;
+    {
+      AION_ASSIGN_OR_RETURN(PageHandle right_page,
+                            cache_->Allocate(&right_id));
+      EncodeInternal(right, right_page.data());
+      right_page.MarkDirty();
+    }
+    {
+      AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(parent_id));
+      EncodeInternal(image, page.data());
+      page.MarkDirty();
+    }
+    sep_key = std::move(up_key);
+    new_child = right_id;
+    // Loop continues to insert (sep_key, new_child) into the next parent.
+  }
+}
+
+Status BpTree::Delete(Slice key) {
+  AION_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key, nullptr));
+  LeafImage image;
+  {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    AION_RETURN_IF_ERROR(DecodeLeaf(page.data(), &image));
+  }
+  auto it = std::lower_bound(
+      image.entries.begin(), image.entries.end(), key,
+      [](const LeafEntry& e, const Slice& k) {
+        return Slice(e.key).Compare(k) < 0;
+      });
+  if (it == image.entries.end() || Slice(it->key) != key) {
+    return Status::NotFound("key not in tree");
+  }
+  image.entries.erase(it);
+  {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    EncodeLeaf(image, page.data());
+    page.MarkDirty();
+  }
+  --num_entries_;
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+Status BpTree::Flush() {
+  if (meta_dirty_) AION_RETURN_IF_ERROR(StoreMeta());
+  return cache_->FlushAll();
+}
+
+Status BpTree::Sync() {
+  if (meta_dirty_) AION_RETURN_IF_ERROR(StoreMeta());
+  return cache_->Sync();
+}
+
+namespace {
+
+/// Decodes a leaf's cells into slices over the page buffer (no copies).
+Status DecodeLeafSlices(const char* page,
+                        std::vector<std::pair<Slice, Slice>>* entries,
+                        PageId* next, PageId* prev) {
+  if (page[0] != kLeafType) return Status::Corruption("expected leaf page");
+  const uint16_t count = ReadU16(page + 1);
+  const uint16_t end = ReadU16(page + 3);
+  *next = ReadU64(page + 8);
+  *prev = ReadU64(page + 16);
+  entries->clear();
+  entries->reserve(count);
+  Slice cells(page + kLeafHeaderSize, end);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t klen, vlen;
+    if (!GetVarint64(&cells, &klen) || !GetVarint64(&cells, &vlen) ||
+        cells.size() < klen + vlen) {
+      return Status::Corruption("truncated leaf cell");
+    }
+    entries->emplace_back(Slice(cells.data(), klen),
+                          Slice(cells.data() + klen, vlen));
+    cells.RemovePrefix(klen + vlen);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BpTree::ScanForward(
+    Slice target, const std::function<bool(Slice, Slice)>& fn) const {
+  AION_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(target, nullptr));
+  std::vector<std::pair<Slice, Slice>> entries;
+  bool first_leaf = true;
+  while (leaf != kInvalidPageId) {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf));
+    PageId next, prev;
+    AION_RETURN_IF_ERROR(DecodeLeafSlices(page.data(), &entries, &next,
+                                          &prev));
+    size_t begin = 0;
+    if (first_leaf) {
+      // Binary search for the first key >= target.
+      size_t lo = 0, hi = entries.size();
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (entries[mid].first.Compare(target) < 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      begin = lo;
+      first_leaf = false;
+    }
+    for (size_t i = begin; i < entries.size(); ++i) {
+      if (!fn(entries[i].first, entries[i].second)) return Status::OK();
+    }
+    leaf = next;
+  }
+  return Status::OK();
+}
+
+Status BpTree::ScanBackward(
+    Slice target, const std::function<bool(Slice, Slice)>& fn) const {
+  AION_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(target, nullptr));
+  std::vector<std::pair<Slice, Slice>> entries;
+  bool first_leaf = true;
+  while (leaf != kInvalidPageId) {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf));
+    PageId next, prev;
+    AION_RETURN_IF_ERROR(DecodeLeafSlices(page.data(), &entries, &next,
+                                          &prev));
+    size_t end = entries.size();
+    if (first_leaf) {
+      // Binary search for one past the last key <= target.
+      size_t lo = 0, hi = entries.size();
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (entries[mid].first.Compare(target) <= 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      end = lo;
+      first_leaf = false;
+    }
+    for (size_t i = end; i > 0; --i) {
+      if (!fn(entries[i - 1].first, entries[i - 1].second)) {
+        return Status::OK();
+      }
+    }
+    leaf = prev;
+  }
+  return Status::OK();
+}
+
+Status BpTree::ScanRange(
+    Slice low, Slice high,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  Iterator it = NewIterator();
+  for (it.Seek(low); it.Valid(); it.Next()) {
+    if (!high.empty() && it.key().Compare(high) >= 0) break;
+    out->emplace_back(it.key().ToString(), it.value().ToString());
+  }
+  return it.status();
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+void BpTree::Iterator::LoadLeaf(PageId leaf) {
+  keys_.clear();
+  values_.clear();
+  index_ = 0;
+  next_leaf_ = kInvalidPageId;
+  prev_leaf_ = kInvalidPageId;
+  auto page_or = tree_->cache_->Fetch(leaf);
+  if (!page_or.ok()) {
+    status_ = page_or.status();
+    valid_ = false;
+    return;
+  }
+  LeafImage image;
+  const Status s = DecodeLeaf(page_or->data(), &image);
+  if (!s.ok()) {
+    status_ = s;
+    valid_ = false;
+    return;
+  }
+  next_leaf_ = image.next;
+  prev_leaf_ = image.prev;
+  keys_.reserve(image.entries.size());
+  values_.reserve(image.entries.size());
+  for (LeafEntry& e : image.entries) {
+    keys_.push_back(std::move(e.key));
+    values_.push_back(std::move(e.value));
+  }
+  valid_ = !keys_.empty();
+}
+
+void BpTree::Iterator::AdvanceLeaf() {
+  while (next_leaf_ != kInvalidPageId) {
+    const PageId next = next_leaf_;
+    LoadLeaf(next);
+    if (!status_.ok()) return;
+    if (valid_) return;  // non-empty leaf
+    // Empty leaf (possible after deletions): keep following the chain.
+  }
+  valid_ = false;
+}
+
+void BpTree::Iterator::RetreatLeaf() {
+  while (prev_leaf_ != kInvalidPageId) {
+    const PageId prev = prev_leaf_;
+    LoadLeaf(prev);
+    if (!status_.ok()) return;
+    if (valid_) {
+      index_ = keys_.size() - 1;
+      return;
+    }
+  }
+  valid_ = false;
+}
+
+void BpTree::Iterator::Seek(Slice target) {
+  status_ = Status::OK();
+  auto leaf_or = tree_->DescendToLeaf(target, nullptr);
+  if (!leaf_or.ok()) {
+    status_ = leaf_or.status();
+    valid_ = false;
+    return;
+  }
+  LoadLeaf(*leaf_or);
+  if (!status_.ok()) return;
+  // Position at first key >= target within the leaf.
+  size_t lo = 0, hi = keys_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Slice(keys_[mid]).Compare(target) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  index_ = lo;
+  if (index_ >= keys_.size()) {
+    AdvanceLeaf();
+  } else {
+    valid_ = true;
+  }
+}
+
+void BpTree::Iterator::SeekToFirst() {
+  status_ = Status::OK();
+  // Descend along leftmost children.
+  PageId current = tree_->root_;
+  for (uint32_t level = tree_->height_; level > 1; --level) {
+    auto page_or = tree_->cache_->Fetch(current);
+    if (!page_or.ok()) {
+      status_ = page_or.status();
+      valid_ = false;
+      return;
+    }
+    InternalImage image;
+    const Status s = DecodeInternal(page_or->data(), &image);
+    if (!s.ok()) {
+      status_ = s;
+      valid_ = false;
+      return;
+    }
+    current = image.leftmost;
+  }
+  LoadLeaf(current);
+  if (valid_ || !status_.ok()) return;
+  AdvanceLeaf();
+}
+
+void BpTree::Iterator::Next() {
+  AION_DCHECK(valid_);
+  ++index_;
+  if (index_ >= keys_.size()) AdvanceLeaf();
+}
+
+void BpTree::Iterator::Prev() {
+  AION_DCHECK(valid_);
+  if (index_ == 0) {
+    RetreatLeaf();
+  } else {
+    --index_;
+  }
+}
+
+void BpTree::Iterator::SeekForPrev(Slice target) {
+  status_ = Status::OK();
+  auto leaf_or = tree_->DescendToLeaf(target, nullptr);
+  if (!leaf_or.ok()) {
+    status_ = leaf_or.status();
+    valid_ = false;
+    return;
+  }
+  LoadLeaf(*leaf_or);
+  if (!status_.ok()) return;
+  // Position at the last key <= target: find the first key > target and
+  // step back one.
+  size_t lo = 0, hi = keys_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (Slice(keys_[mid]).Compare(target) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    RetreatLeaf();
+  } else {
+    index_ = lo - 1;
+    valid_ = true;
+  }
+}
+
+void BpTree::Iterator::SeekToLast() {
+  status_ = Status::OK();
+  // Descend along rightmost children.
+  PageId current = tree_->root_;
+  for (uint32_t level = tree_->height_; level > 1; --level) {
+    auto page_or = tree_->cache_->Fetch(current);
+    if (!page_or.ok()) {
+      status_ = page_or.status();
+      valid_ = false;
+      return;
+    }
+    InternalImage image;
+    const Status s = DecodeInternal(page_or->data(), &image);
+    if (!s.ok()) {
+      status_ = s;
+      valid_ = false;
+      return;
+    }
+    current =
+        image.entries.empty() ? image.leftmost : image.entries.back().child;
+  }
+  LoadLeaf(current);
+  if (!status_.ok()) return;
+  if (valid_) {
+    index_ = keys_.size() - 1;
+  } else {
+    RetreatLeaf();
+  }
+}
+
+}  // namespace aion::storage

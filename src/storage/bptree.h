@@ -1,0 +1,195 @@
+// A disk-backed B+Tree over byte-string keys and values, standing in for
+// Neo4j's GBPTree (Sec 5: "Backing Aion's storage with Neo4j's B+Tree
+// implementation offers sortedness, scalable accesses, out-of-core storage,
+// and seamless integration with the page cache").
+//
+// Properties the temporal stores rely on:
+//  * keys compare bytewise, so composite big-endian-encoded keys (entity id,
+//    timestamp) sort by (id, ts) — see util/coding.h;
+//  * O(log n) point lookups;
+//  * ordered range scans via Iterator::Seek + Next, with leaf chaining;
+//  * out-of-core operation through the bounded PageCache.
+//
+// Concurrency: single-writer / multi-reader, serialized externally by the
+// owning store (LineageStore / TimeStore hold a shared_mutex). Iterators are
+// invalidated by writes.
+//
+// Deletions remove entries without rebalancing (pages may become underfull
+// but never corrupt). Aion's history stores are append-only; deletion exists
+// for completeness and for the host database's needs.
+#ifndef AION_STORAGE_BPTREE_H_
+#define AION_STORAGE_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page_cache.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace aion::storage {
+
+using util::Slice;
+
+class BpTree {
+ public:
+  struct Options {
+    /// Resident frames for this tree's page cache. 8 KiB each.
+    size_t cache_pages = 1024;
+  };
+
+  /// Largest accepted key + value size; guarantees >= 4 entries per page.
+  static constexpr size_t kMaxEntrySize = (kPageSize - 64) / 4;
+
+  /// Opens (creating if missing) a tree stored in the single file `path`.
+  static StatusOr<std::unique_ptr<BpTree>> Open(const std::string& path,
+                                                const Options& options);
+  static StatusOr<std::unique_ptr<BpTree>> Open(const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  ~BpTree();
+
+  BpTree(const BpTree&) = delete;
+  BpTree& operator=(const BpTree&) = delete;
+
+  /// Inserts `key` -> `value`, replacing any existing value for `key`.
+  Status Put(Slice key, Slice value);
+
+  /// Returns the value stored under `key`, or NotFound.
+  StatusOr<std::string> Get(Slice key) const;
+
+  /// Removes `key`. Returns NotFound if absent.
+  Status Delete(Slice key);
+
+  /// Total live entries.
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Tree height (1 = root is a leaf).
+  uint32_t height() const { return height_; }
+
+  /// Persists all dirty pages and the meta page.
+  Status Flush();
+
+  /// Flush + fdatasync.
+  Status Sync();
+
+  /// On-disk footprint in bytes.
+  uint64_t SizeBytes() const { return cache_->SizeBytes(); }
+
+  const PageCache& cache() const { return *cache_; }
+
+  /// Forward iterator over entries in key order. Snapshot-per-leaf: each
+  /// leaf's content is copied out when entered, so holding an Iterator does
+  /// not pin pages, but concurrent writes still invalidate it logically.
+  class Iterator {
+   public:
+    explicit Iterator(const BpTree* tree) : tree_(tree) {}
+
+    /// Positions at the first entry with key >= target.
+    void Seek(Slice target);
+    /// Positions at the last entry with key <= target (backward lower
+    /// bound); invalid if no such entry exists.
+    void SeekForPrev(Slice target);
+    void SeekToFirst();
+    void SeekToLast();
+
+    bool Valid() const { return valid_; }
+    void Next();
+    void Prev();
+
+    /// Valid() must be true.
+    Slice key() const { return Slice(keys_[index_]); }
+    Slice value() const { return Slice(values_[index_]); }
+
+    /// Non-OK if an I/O error interrupted iteration (Valid() goes false).
+    util::Status status() const { return status_; }
+
+   private:
+    void LoadLeaf(PageId leaf);
+    void AdvanceLeaf();
+    void RetreatLeaf();
+
+    const BpTree* tree_;
+    bool valid_ = false;
+    util::Status status_;
+    PageId next_leaf_ = kInvalidPageId;
+    PageId prev_leaf_ = kInvalidPageId;
+    std::vector<std::string> keys_;
+    std::vector<std::string> values_;
+    size_t index_ = 0;
+  };
+
+  /// Iterators see the tree as of creation-time content; create after writes
+  /// settle.
+  Iterator NewIterator() const { return Iterator(this); }
+
+  /// Collects all values with low <= key < high (half-open scan).
+  Status ScanRange(Slice low, Slice high,
+                   std::vector<std::pair<std::string, std::string>>* out) const;
+
+  /// Zero-copy ordered scans for hot read paths: visits (key, value) pairs
+  /// whose slices point into pinned page memory — valid only during the
+  /// callback. `fn` returns false to stop. ScanForward starts at the first
+  /// key >= target (ascending); ScanBackward at the last key <= target
+  /// (descending). No tree mutation may happen during the scan.
+  Status ScanForward(Slice target,
+                     const std::function<bool(Slice, Slice)>& fn) const;
+  Status ScanBackward(Slice target,
+                      const std::function<bool(Slice, Slice)>& fn) const;
+
+ private:
+  friend class Iterator;
+
+  // Decoded in-memory image of one page, used for mutations.
+  struct LeafEntry {
+    std::string key;
+    std::string value;
+  };
+  struct InternalEntry {
+    std::string key;
+    PageId child;
+  };
+  struct LeafImage {
+    PageId next = kInvalidPageId;
+    PageId prev = kInvalidPageId;
+    std::vector<LeafEntry> entries;
+    size_t EncodedSize() const;
+  };
+  struct InternalImage {
+    PageId leftmost = kInvalidPageId;
+    std::vector<InternalEntry> entries;
+    size_t EncodedSize() const;
+  };
+
+  explicit BpTree(std::unique_ptr<PageCache> cache);
+
+  Status InitNew();
+  Status LoadMeta();
+  Status StoreMeta();
+
+  StatusOr<PageId> DescendToLeaf(Slice key,
+                                 std::vector<PageId>* path) const;
+
+  static Status DecodeLeaf(const char* page, LeafImage* image);
+  static Status DecodeInternal(const char* page, InternalImage* image);
+  static void EncodeLeaf(const LeafImage& image, char* page);
+  static void EncodeInternal(const InternalImage& image, char* page);
+
+  /// Inserts (key, child) into the parent chain after a child split.
+  Status InsertIntoParents(std::vector<PageId>* path, std::string sep_key,
+                           PageId new_child);
+
+  std::unique_ptr<PageCache> cache_;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 1;
+  uint64_t num_entries_ = 0;
+  bool meta_dirty_ = false;
+};
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_BPTREE_H_

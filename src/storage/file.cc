@@ -1,0 +1,142 @@
+#include "storage/file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+
+namespace aion::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = ErrnoStatus("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<RandomAccessFile>(new RandomAccessFile(
+      path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, char* scratch) const {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd_, scratch + done, n - done,
+                              static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread " + path_);
+    }
+    if (r == 0) {
+      return Status::IOError("short read at offset " + std::to_string(offset) +
+                             " in " + path_);
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status RandomAccessFile::Write(uint64_t offset, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd_, data + done, n - done,
+                               static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite " + path_);
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (offset + n > size_) size_ = offset + n;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> RandomAccessFile::Append(const char* data, size_t n) {
+  const uint64_t offset = size_;
+  AION_RETURN_IF_ERROR(Write(offset, data, n));
+  return offset;
+}
+
+Status RandomAccessFile::Sync() {
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+  return Status::OK();
+}
+
+Status RandomAccessFile::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("ftruncate " + path_);
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) return Status::IOError("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveDirRecursively(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+  if (ec) return Status::IOError("remove_all " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("file_size " + path + ": " + ec.message());
+  return size;
+}
+
+StatusOr<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string base =
+      std::filesystem::temp_directory_path().string() + "/" + prefix;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const std::string candidate =
+        base + std::to_string(::getpid()) + "_" +
+        std::to_string(counter.fetch_add(1));
+    std::error_code ec;
+    if (std::filesystem::create_directories(candidate, ec) && !ec) {
+      return candidate;
+    }
+  }
+  return Status::IOError("could not create temp dir with prefix " + prefix);
+}
+
+}  // namespace aion::storage

@@ -1,0 +1,72 @@
+// Thin POSIX wrappers for random-access file I/O (pread/pwrite) plus small
+// filesystem helpers. Everything in the storage layer goes through these so
+// failures surface as Status, never exceptions.
+#ifndef AION_STORAGE_FILE_H_
+#define AION_STORAGE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace aion::storage {
+
+using util::Status;
+using util::StatusOr;
+
+/// A file opened for random-access reads and writes. Thread-compatible:
+/// concurrent pread/pwrite to disjoint ranges are safe (POSIX), but callers
+/// must serialize Truncate/Sync against writers themselves.
+class RandomAccessFile {
+ public:
+  /// Opens `path`, creating it if missing.
+  static StatusOr<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+
+  ~RandomAccessFile();
+
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Reads exactly `n` bytes at `offset` into `scratch`. Fails with IOError
+  /// on short reads (reading past EOF is a short read).
+  Status Read(uint64_t offset, size_t n, char* scratch) const;
+
+  /// Writes exactly `n` bytes at `offset`.
+  Status Write(uint64_t offset, const char* data, size_t n);
+
+  /// Appends `n` bytes at the current logical end, returning the offset the
+  /// data was written at.
+  StatusOr<uint64_t> Append(const char* data, size_t n);
+
+  Status Sync();
+  Status Truncate(uint64_t size);
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;  // logical size; Append maintains it
+};
+
+/// Filesystem helpers.
+Status CreateDirIfMissing(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+Status RemoveDirRecursively(const std::string& path);
+bool FileExists(const std::string& path);
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+/// Creates a fresh unique directory under the system temp dir with the given
+/// prefix; used by tests and benchmarks.
+StatusOr<std::string> MakeTempDir(const std::string& prefix);
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_FILE_H_

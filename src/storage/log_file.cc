@@ -1,0 +1,73 @@
+#include "storage/log_file.h"
+
+#include <array>
+
+#include "util/coding.h"
+
+namespace aion::storage {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ (0x82f63b78u & (~(crc & 1) + 1));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const char* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+StatusOr<std::unique_ptr<LogFile>> LogFile::Open(const std::string& path) {
+  AION_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  return std::unique_ptr<LogFile>(new LogFile(std::move(file)));
+}
+
+StatusOr<uint64_t> LogFile::Append(util::Slice payload) {
+  std::string framed;
+  framed.reserve(8 + payload.size());
+  util::PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  util::PutFixed32(&framed, Crc32c(payload.data(), payload.size()));
+  framed.append(payload.data(), payload.size());
+  return file_->Append(framed.data(), framed.size());
+}
+
+Status LogFile::Read(uint64_t offset, std::string* payload) const {
+  return ReadNext(offset, payload).status();
+}
+
+StatusOr<uint64_t> LogFile::ReadNext(uint64_t offset,
+                                     std::string* payload) const {
+  char header[8];
+  AION_RETURN_IF_ERROR(file_->Read(offset, 8, header));
+  const uint32_t length = util::DecodeFixed32(header);
+  const uint32_t expected_crc = util::DecodeFixed32(header + 4);
+  if (offset + 8 + length > file_->size()) {
+    return Status::Corruption("log record extends past end of file");
+  }
+  payload->resize(length);
+  if (length > 0) {
+    AION_RETURN_IF_ERROR(file_->Read(offset + 8, length, payload->data()));
+  }
+  if (Crc32c(payload->data(), length) != expected_crc) {
+    return Status::Corruption("log record checksum mismatch at offset " +
+                              std::to_string(offset));
+  }
+  return offset + 8 + length;
+}
+
+}  // namespace aion::storage

@@ -1,0 +1,74 @@
+// Append-only record log with CRC-protected framing. TimeStore's single
+// update log (Sec 4.3, "similar to a DB write-ahead log with no retention
+// policy") and the host database's WAL are both built on this.
+//
+// Record framing: [u32 payload length][u32 crc32(payload)][payload bytes].
+// Append returns the record's starting offset, which callers index in a
+// B+Tree keyed by timestamp.
+#ifndef AION_STORAGE_LOG_FILE_H_
+#define AION_STORAGE_LOG_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/file.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace aion::storage {
+
+/// CRC-32 (Castagnoli polynomial, software table) over `data`.
+uint32_t Crc32c(const char* data, size_t n);
+
+class LogFile {
+ public:
+  /// Opens (creating if missing) the log at `path`. Appends resume at the
+  /// current end of file.
+  static StatusOr<std::unique_ptr<LogFile>> Open(const std::string& path);
+
+  LogFile(const LogFile&) = delete;
+  LogFile& operator=(const LogFile&) = delete;
+
+  /// Appends one record; returns the offset to pass to Read later.
+  StatusOr<uint64_t> Append(util::Slice payload);
+
+  /// Reads the record at `offset` into `*payload`. Verifies the checksum.
+  Status Read(uint64_t offset, std::string* payload) const;
+
+  /// Reads the record at `offset` and returns the offset just past it, so
+  /// callers can scan forward: `offset = ReadNext(offset, &rec)`.
+  StatusOr<uint64_t> ReadNext(uint64_t offset, std::string* payload) const;
+
+  Status Sync() { return file_->Sync(); }
+
+  /// Offset one past the last appended record (== file size).
+  uint64_t end_offset() const { return file_->size(); }
+
+  uint64_t SizeBytes() const { return file_->size(); }
+
+  /// Iterates records from `start_offset` until `end_offset` (exclusive;
+  /// pass end_offset() for "to the end"), invoking fn(offset, payload).
+  /// Stops early if fn returns false.
+  template <typename Fn>
+  Status Scan(uint64_t start_offset, uint64_t end, Fn&& fn) const {
+    uint64_t offset = start_offset;
+    std::string payload;
+    while (offset < end) {
+      AION_ASSIGN_OR_RETURN(uint64_t next, ReadNext(offset, &payload));
+      if (!fn(offset, util::Slice(payload))) break;
+      offset = next;
+    }
+    return Status::OK();
+  }
+
+ private:
+  explicit LogFile(std::unique_ptr<RandomAccessFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<RandomAccessFile> file_;
+};
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_LOG_FILE_H_

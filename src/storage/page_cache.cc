@@ -1,0 +1,240 @@
+#include "storage/page_cache.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace aion::storage {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+// ---------------------------------------------------------------------------
+
+PageHandle::PageHandle(PageCache* cache, size_t frame_index)
+    : cache_(cache), frame_index_(frame_index) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : cache_(other.cache_), frame_index_(other.frame_index_) {
+  other.cache_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    frame_index_ = other.frame_index_;
+    other.cache_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::data() {
+  AION_DCHECK(valid());
+  return cache_->frames_[frame_index_].data.get();
+}
+
+const char* PageHandle::data() const {
+  AION_DCHECK(valid());
+  return cache_->frames_[frame_index_].data.get();
+}
+
+PageId PageHandle::page_id() const {
+  AION_DCHECK(valid());
+  return cache_->frames_[frame_index_].page_id;
+}
+
+void PageHandle::MarkDirty() {
+  AION_DCHECK(valid());
+  cache_->frames_[frame_index_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(frame_index_);
+    cache_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PageCache
+// ---------------------------------------------------------------------------
+
+PageCache::PageCache(std::unique_ptr<RandomAccessFile> file, size_t capacity)
+    : file_(std::move(file)), capacity_(capacity) {
+  num_pages_ = file_->size() / kPageSize;
+  // Preallocate every frame slot: PageHandles read frames_[i] without the
+  // mutex, so the vector must never reallocate. Page buffers themselves are
+  // allocated lazily.
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+PageCache::~PageCache() {
+  // Best effort write-back; errors are already surfaced on explicit Sync.
+  (void)FlushAll();
+}
+
+StatusOr<std::unique_ptr<PageCache>> PageCache::Open(const std::string& path,
+                                                     size_t capacity_pages) {
+  if (capacity_pages < 8) capacity_pages = 8;
+  AION_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  return std::unique_ptr<PageCache>(
+      new PageCache(std::move(file), capacity_pages));
+}
+
+StatusOr<PageHandle> PageCache::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " beyond end of file");
+  }
+  AION_ASSIGN_OR_RETURN(size_t frame, GetFrameFor(id, /*read_from_disk=*/true));
+  return PageHandle(this, frame);
+}
+
+StatusOr<PageHandle> PageCache::Allocate(PageId* id_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId id;
+  if (!free_pages_.empty()) {
+    id = free_pages_.back();
+    free_pages_.pop_back();
+  } else {
+    id = num_pages_++;
+  }
+  AION_ASSIGN_OR_RETURN(size_t frame,
+                        GetFrameFor(id, /*read_from_disk=*/false));
+  memset(frames_[frame].data.get(), 0, kPageSize);
+  frames_[frame].dirty = true;
+  *id_out = id;
+  return PageHandle(this, frame);
+}
+
+Status PageCache::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count > 0) {
+      return Status::FailedPrecondition("freeing a pinned page");
+    }
+    frame.dirty = false;  // dropped, no write-back needed
+    frame.page_id = kInvalidPageId;
+    lru_.erase(lru_pos_[it->second]);
+    lru_pos_.erase(it->second);
+    free_frames_.push_back(it->second);
+    page_table_.erase(it);
+  }
+  free_pages_.push_back(id);
+  return Status::OK();
+}
+
+StatusOr<size_t> PageCache::GetFrameFor(PageId id, bool read_from_disk) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Touch(it->second);
+    ++frames_[it->second].pin_count;
+    return it->second;
+  }
+  ++misses_;
+
+  // Find a frame: a recycled free frame, a brand-new frame if under
+  // capacity, else evict the LRU victim.
+  size_t frame_index;
+  if (!free_frames_.empty()) {
+    frame_index = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    AION_RETURN_IF_ERROR(EvictOne());
+    if (free_frames_.empty()) {
+      return Status::Internal("eviction did not produce a free frame");
+    }
+    frame_index = free_frames_.back();
+    free_frames_.pop_back();
+  }
+
+  Frame& frame = frames_[frame_index];
+  if (frame.data == nullptr) frame.data = std::make_unique<char[]>(kPageSize);
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  if (read_from_disk) {
+    const uint64_t offset = id * kPageSize;
+    if (offset + kPageSize <= file_->size()) {
+      AION_RETURN_IF_ERROR(file_->Read(offset, kPageSize, frame.data.get()));
+    } else {
+      // Page was allocated but never written back (fresh tail page).
+      memset(frame.data.get(), 0, kPageSize);
+    }
+  }
+  page_table_[id] = frame_index;
+  lru_.push_front(frame_index);
+  lru_pos_[frame_index] = lru_.begin();
+  return frame_index;
+}
+
+Status PageCache::EvictOne() {
+  // Scan from least-recently-used end for an unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Frame& frame = frames_[*it];
+    if (frame.pin_count == 0) {
+      AION_RETURN_IF_ERROR(WriteBack(&frame));
+      page_table_.erase(frame.page_id);
+      const size_t frame_index = *it;
+      lru_.erase(std::next(it).base());
+      lru_pos_.erase(frame_index);
+      frame.page_id = kInvalidPageId;
+      free_frames_.push_back(frame_index);
+      ++evictions_;
+      return Status::OK();
+    }
+  }
+  return Status::FailedPrecondition(
+      "page cache exhausted: all frames pinned");
+}
+
+Status PageCache::WriteBack(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  AION_RETURN_IF_ERROR(
+      file_->Write(frame->page_id * kPageSize, frame->data.get(), kPageSize));
+  frame->dirty = false;
+  return Status::OK();
+}
+
+Status PageCache::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId) {
+      AION_RETURN_IF_ERROR(WriteBack(&frame));
+    }
+  }
+  return Status::OK();
+}
+
+Status PageCache::Sync() {
+  AION_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_->Sync();
+}
+
+void PageCache::Touch(size_t frame_index) {
+  auto pos = lru_pos_.find(frame_index);
+  if (pos != lru_pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, pos->second);
+  } else {
+    lru_.push_front(frame_index);
+    lru_pos_[frame_index] = lru_.begin();
+  }
+}
+
+void PageCache::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& frame = frames_[frame_index];
+  AION_DCHECK(frame.pin_count > 0);
+  --frame.pin_count;
+}
+
+}  // namespace aion::storage

@@ -1,0 +1,134 @@
+// A fixed-size-page buffer manager over one file, standing in for Neo4j's
+// page cache (Sec 5): B+Trees and snapshot files read/write through it, and
+// it provides the out-of-core property — only a bounded number of frames are
+// resident, with LRU eviction of unpinned pages and write-back of dirty ones.
+//
+// Thread-safe: an internal mutex serializes frame management (fetch,
+// allocate, evict, write-back), so concurrent B+Tree *readers* are safe;
+// structural tree mutation still requires the owning store's exclusive
+// latch, as with Neo4j's GBPTree.
+#ifndef AION_STORAGE_PAGE_CACHE_H_
+#define AION_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/file.h"
+#include "util/status.h"
+
+namespace aion::storage {
+
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~0ULL;
+inline constexpr size_t kPageSize = 8192;
+
+class PageCache;
+
+/// RAII pin over a cached page frame. While a PageHandle is live the frame
+/// cannot be evicted. Call MarkDirty() after mutating data().
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageCache* cache, size_t frame_index);
+  ~PageHandle();
+
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return cache_ != nullptr; }
+  char* data();
+  const char* data() const;
+  PageId page_id() const;
+  void MarkDirty();
+
+  /// Releases the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  PageCache* cache_ = nullptr;
+  size_t frame_index_ = 0;
+};
+
+/// Buffer manager for one file divided into kPageSize pages.
+class PageCache {
+ public:
+  /// Opens (creating if missing) the file at `path` with room for
+  /// `capacity_pages` resident frames.
+  static StatusOr<std::unique_ptr<PageCache>> Open(const std::string& path,
+                                                   size_t capacity_pages);
+
+  ~PageCache();
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Pins the given page, reading it from disk if not resident.
+  StatusOr<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh zeroed page at the end of the file (or reuses a freed
+  /// page) and returns it pinned.
+  StatusOr<PageHandle> Allocate(PageId* id_out);
+
+  /// Returns a page to the freelist for reuse. The page must be unpinned.
+  Status Free(PageId id);
+
+  /// Writes all dirty frames back to the file (no fsync).
+  Status FlushAll();
+
+  /// FlushAll + fdatasync.
+  Status Sync();
+
+  /// Number of pages in the file (including meta/freed pages).
+  uint64_t num_pages() const { return num_pages_; }
+
+  size_t capacity_pages() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// On-disk footprint in bytes.
+  uint64_t SizeBytes() const { return num_pages_ * kPageSize; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  PageCache(std::unique_ptr<RandomAccessFile> file, size_t capacity);
+
+  StatusOr<size_t> GetFrameFor(PageId id, bool read_from_disk);
+  Status EvictOne();
+  Status WriteBack(Frame* frame);
+  void Touch(size_t frame_index);
+  void Unpin(size_t frame_index);
+
+  mutable std::mutex mu_;
+  std::unique_ptr<RandomAccessFile> file_;
+  size_t capacity_;
+  uint64_t num_pages_ = 0;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;  // page id -> frame index
+  std::list<size_t> lru_;  // front = most recently used, unpinned+pinned
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<PageId> free_pages_;
+  std::vector<size_t> free_frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_PAGE_CACHE_H_

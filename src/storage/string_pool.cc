@@ -1,0 +1,71 @@
+#include "storage/string_pool.h"
+
+#include <mutex>
+
+#include "util/coding.h"
+
+namespace aion::storage {
+
+StatusOr<std::unique_ptr<StringPool>> StringPool::Open(
+    const std::string& path) {
+  AION_ASSIGN_OR_RETURN(auto log, LogFile::Open(path));
+  std::unique_ptr<StringPool> pool(new StringPool(std::move(log)));
+  AION_RETURN_IF_ERROR(pool->ReplayLog());
+  return pool;
+}
+
+std::unique_ptr<StringPool> StringPool::InMemory() {
+  return std::unique_ptr<StringPool>(new StringPool(nullptr));
+}
+
+Status StringPool::ReplayLog() {
+  return log_->Scan(0, log_->end_offset(),
+                    [this](uint64_t /*offset*/, util::Slice payload) {
+                      // Entry layout: the interned string itself; ids are
+                      // assigned in append order.
+                      by_id_.push_back(payload.ToString());
+                      by_string_[by_id_.back()] =
+                          static_cast<StringRef>(by_id_.size());
+                      return true;
+                    });
+}
+
+StatusOr<StringRef> StringPool::Intern(const std::string& s) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = by_string_.find(s);
+    if (it != by_string_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = by_string_.find(s);
+  if (it != by_string_.end()) return it->second;
+  if (log_ != nullptr) {
+    AION_RETURN_IF_ERROR(log_->Append(s).status());
+  }
+  by_id_.push_back(s);
+  const StringRef ref = static_cast<StringRef>(by_id_.size());
+  by_string_[s] = ref;
+  return ref;
+}
+
+StatusOr<std::string> StringPool::Lookup(StringRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (ref == kInvalidStringRef || ref > by_id_.size()) {
+    return Status::InvalidArgument("unknown string ref " +
+                                   std::to_string(ref));
+  }
+  return by_id_[ref - 1];
+}
+
+StringRef StringPool::Find(const std::string& s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_string_.find(s);
+  return it == by_string_.end() ? kInvalidStringRef : it->second;
+}
+
+size_t StringPool::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return by_id_.size();
+}
+
+}  // namespace aion::storage

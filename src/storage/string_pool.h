@@ -1,0 +1,68 @@
+// Persistent string interning (Sec 4.2: "Instead of storing the strings
+// directly in disk records, we replace them with a reference (4 bytes) to a
+// string store"). Labels, relationship types and property keys/values all go
+// through this pool, substantially shrinking temporal records.
+//
+// Storage: an append-only log of (id, string) entries replayed at open into
+// two in-memory maps. Ids are dense uint32 starting at 1 (0 is reserved so
+// flag bits in record references can never alias a real id of 0).
+//
+// Thread-safe: interning takes a mutex; lookups are lock-free after the
+// pointer snapshot (reads only touch append-only storage guarded by the same
+// mutex — kept simple with a shared_mutex).
+#ifndef AION_STORAGE_STRING_POOL_H_
+#define AION_STORAGE_STRING_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/log_file.h"
+#include "util/status.h"
+
+namespace aion::storage {
+
+using StringRef = uint32_t;
+inline constexpr StringRef kInvalidStringRef = 0;
+
+class StringPool {
+ public:
+  /// Opens (creating if missing) a pool persisted at `path`, replaying any
+  /// existing entries.
+  static StatusOr<std::unique_ptr<StringPool>> Open(const std::string& path);
+
+  /// Purely in-memory pool (tests, baselines).
+  static std::unique_ptr<StringPool> InMemory();
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the ref for `s`, assigning and persisting a new one if needed.
+  StatusOr<StringRef> Intern(const std::string& s);
+
+  /// Returns the string for `ref`, or InvalidArgument for unknown refs.
+  StatusOr<std::string> Lookup(StringRef ref) const;
+
+  /// Ref for `s` if already interned, else kInvalidStringRef.
+  StringRef Find(const std::string& s) const;
+
+  size_t size() const;
+  uint64_t SizeBytes() const { return log_ ? log_->SizeBytes() : 0; }
+
+ private:
+  explicit StringPool(std::unique_ptr<LogFile> log) : log_(std::move(log)) {}
+
+  Status ReplayLog();
+
+  std::unique_ptr<LogFile> log_;  // null for in-memory pools
+  mutable std::shared_mutex mu_;
+  std::vector<std::string> by_id_;  // index = ref - 1
+  std::unordered_map<std::string, StringRef> by_string_;
+};
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_STRING_POOL_H_

@@ -1,0 +1,283 @@
+#include "txn/graphdb.h"
+
+#include <algorithm>
+
+#include "graph/cow_graph.h"
+#include "txn/record_store.h"
+#include "storage/file.h"
+#include "util/logging.h"
+
+namespace aion::txn {
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Transaction::~Transaction() = default;
+
+NodeId Transaction::CreateNode(std::vector<std::string> labels,
+                               graph::PropertySet props) {
+  const NodeId id = db_->AllocateNodeId();
+  updates_.push_back(
+      GraphUpdate::AddNode(id, std::move(labels), std::move(props)));
+  return id;
+}
+
+RelId Transaction::CreateRelationship(NodeId src, NodeId tgt,
+                                      std::string type,
+                                      graph::PropertySet props) {
+  const RelId id = db_->AllocateRelId();
+  updates_.push_back(GraphUpdate::AddRelationship(id, src, tgt,
+                                                  std::move(type),
+                                                  std::move(props)));
+  return id;
+}
+
+void Transaction::DeleteNode(NodeId id) {
+  updates_.push_back(GraphUpdate::DeleteNode(id));
+}
+void Transaction::DeleteRelationship(RelId id) {
+  updates_.push_back(GraphUpdate::DeleteRelationship(id));
+}
+void Transaction::SetNodeProperty(NodeId id, std::string key,
+                                  graph::PropertyValue v) {
+  updates_.push_back(
+      GraphUpdate::SetNodeProperty(id, std::move(key), std::move(v)));
+}
+void Transaction::RemoveNodeProperty(NodeId id, std::string key) {
+  updates_.push_back(GraphUpdate::RemoveNodeProperty(id, std::move(key)));
+}
+void Transaction::AddNodeLabel(NodeId id, std::string label) {
+  updates_.push_back(GraphUpdate::AddNodeLabel(id, std::move(label)));
+}
+void Transaction::RemoveNodeLabel(NodeId id, std::string label) {
+  updates_.push_back(GraphUpdate::RemoveNodeLabel(id, std::move(label)));
+}
+void Transaction::SetRelationshipProperty(RelId id, std::string key,
+                                          graph::PropertyValue v) {
+  updates_.push_back(
+      GraphUpdate::SetRelationshipProperty(id, std::move(key), std::move(v)));
+}
+void Transaction::RemoveRelationshipProperty(RelId id, std::string key) {
+  updates_.push_back(
+      GraphUpdate::RemoveRelationshipProperty(id, std::move(key)));
+}
+
+void Transaction::Add(GraphUpdate update) {
+  updates_.push_back(std::move(update));
+}
+
+StatusOr<Timestamp> Transaction::Commit() {
+  if (done_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  done_ = true;
+  return db_->CommitBatch(&updates_);
+}
+
+void Transaction::Abort() {
+  updates_.clear();
+  done_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// GraphDatabase
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
+    const Options& options) {
+  std::unique_ptr<GraphDatabase> db(new GraphDatabase());
+  db->options_ = options;
+  if (!options.data_dir.empty()) {
+    AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.data_dir));
+    AION_ASSIGN_OR_RETURN(db->wal_,
+                          storage::LogFile::Open(options.data_dir + "/wal"));
+    // Recovery: load the checkpoint (if any), then replay the WAL tail.
+    Timestamp checkpoint_ts = 0;
+    const std::string store_dir = options.data_dir + "/store";
+    if (RecordStore::Exists(store_dir)) {
+      AION_ASSIGN_OR_RETURN(db->current_,
+                            RecordStore::Read(store_dir, &checkpoint_ts));
+    }
+    Timestamp max_ts = checkpoint_ts;
+    NodeId max_node = db->current_->NodeCapacity();
+    RelId max_rel = db->current_->RelCapacity();
+    Status replay_status = Status::OK();
+    AION_RETURN_IF_ERROR(db->wal_->Scan(
+        0, db->wal_->end_offset(),
+        [&](uint64_t /*offset*/, util::Slice payload) {
+          auto batch = graph::DecodeUpdateBatch(payload);
+          if (!batch.ok()) {
+            replay_status = batch.status();
+            return false;
+          }
+          for (const GraphUpdate& u : *batch) {
+            if (u.ts <= checkpoint_ts) {
+              // Already reflected in the checkpoint; only track id bounds.
+              max_ts = std::max(max_ts, u.ts);
+              if (graph::IsNodeOp(u.op)) {
+                max_node = std::max(max_node, u.id + 1);
+              } else {
+                max_rel = std::max(max_rel, u.id + 1);
+                max_node = std::max({max_node, u.src + 1, u.tgt + 1});
+              }
+              continue;
+            }
+            const Status s = db->current_->Apply(u);
+            if (!s.ok()) {
+              replay_status = s;
+              return false;
+            }
+            max_ts = std::max(max_ts, u.ts);
+            if (graph::IsNodeOp(u.op)) {
+              max_node = std::max(max_node, u.id + 1);
+            } else {
+              max_rel = std::max(max_rel, u.id + 1);
+              max_node = std::max({max_node, u.src + 1, u.tgt + 1});
+            }
+          }
+          return true;
+        }));
+    AION_RETURN_IF_ERROR(replay_status);
+    db->clock_.store(max_ts);
+    db->next_node_id_.store(max_node);
+    db->next_rel_id_.store(max_rel);
+  }
+  return db;
+}
+
+StatusOr<Timestamp> GraphDatabase::CommitBatch(
+    std::vector<GraphUpdate>* updates) {
+  if (updates->empty()) {
+    return Status::InvalidArgument("empty transaction");
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  const Timestamp ts = clock_.load() + 1;
+  for (GraphUpdate& u : *updates) u.ts = ts;
+
+  // Validate against the current graph through a CoW overlay: either the
+  // whole batch is applicable, or the commit fails with the graph untouched.
+  {
+    // Non-owning aliasing pointer; safe because commits are serialized and
+    // writers are the only mutators.
+    std::shared_ptr<const graph::MemoryGraph> current_view(
+        std::shared_ptr<void>(), current_.get());
+    graph::CowGraph validation(current_view);
+    AION_RETURN_IF_ERROR(validation.ApplyAll(*updates));
+  }
+
+  // Durability before visibility.
+  if (wal_ != nullptr) {
+    std::string payload;
+    graph::EncodeUpdateBatch(*updates, &payload);
+    AION_RETURN_IF_ERROR(wal_->Append(payload).status());
+    if (options_.sync_commits) {
+      AION_RETURN_IF_ERROR(wal_->Sync());
+    }
+  }
+
+  // Apply (validated above, so failures here are invariant violations).
+  {
+    std::unique_lock<std::shared_mutex> write_lock(mu_);
+    for (const GraphUpdate& u : *updates) {
+      AION_CHECK_OK(current_->Apply(u));
+    }
+  }
+  clock_.store(ts);
+
+  // Raw updates (loaders that manage ids themselves) must advance the id
+  // allocators so later CreateNode/CreateRelationship calls don't collide.
+  auto raise_to = [](std::atomic<uint64_t>* counter, uint64_t floor) {
+    uint64_t current = counter->load();
+    while (current < floor &&
+           !counter->compare_exchange_weak(current, floor)) {
+    }
+  };
+  for (const GraphUpdate& u : *updates) {
+    if (graph::IsNodeOp(u.op)) {
+      raise_to(&next_node_id_, u.id + 1);
+    } else {
+      raise_to(&next_rel_id_, u.id + 1);
+      if (u.src != graph::kInvalidNodeId) raise_to(&next_node_id_, u.src + 1);
+      if (u.tgt != graph::kInvalidNodeId) raise_to(&next_node_id_, u.tgt + 1);
+    }
+  }
+
+  // After-commit phase: listeners observe transactions in commit order.
+  TransactionData data{ts, *updates};
+  for (TransactionEventListener* l : listeners_) {
+    l->AfterCommit(data);
+  }
+  return ts;
+}
+
+Status GraphDatabase::Checkpoint() {
+  if (options_.data_dir.empty()) {
+    return Status::FailedPrecondition("in-memory database cannot checkpoint");
+  }
+  // Serialize against commits so the checkpoint is a committed state.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  return RecordStore::Write(*current_, clock_.load(),
+                            options_.data_dir + "/store");
+}
+
+uint64_t GraphDatabase::CheckpointBytes() const {
+  if (options_.data_dir.empty()) return 0;
+  return RecordStore::SizeBytes(options_.data_dir + "/store");
+}
+
+std::optional<graph::Node> GraphDatabase::GetNode(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const graph::Node* n = current_->GetNode(id);
+  return n == nullptr ? std::nullopt : std::optional<graph::Node>(*n);
+}
+
+std::optional<graph::Relationship> GraphDatabase::GetRelationship(
+    RelId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const graph::Relationship* r = current_->GetRelationship(id);
+  return r == nullptr ? std::nullopt
+                      : std::optional<graph::Relationship>(*r);
+}
+
+size_t GraphDatabase::NumNodes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return current_->NumNodes();
+}
+
+size_t GraphDatabase::NumRelationships() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return current_->NumRelationships();
+}
+
+std::unique_ptr<graph::MemoryGraph> GraphDatabase::CloneCurrent() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return current_->Clone();
+}
+
+Status GraphDatabase::ReplayUpdatesSince(
+    Timestamp after_ts,
+    const std::function<void(const TransactionData&)>& fn) const {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("in-memory database has no WAL");
+  }
+  Status replay_status = Status::OK();
+  AION_RETURN_IF_ERROR(
+      wal_->Scan(0, wal_->end_offset(),
+                 [&](uint64_t /*offset*/, util::Slice payload) {
+                   auto batch = graph::DecodeUpdateBatch(payload);
+                   if (!batch.ok()) {
+                     replay_status = batch.status();
+                     return false;
+                   }
+                   if (!batch->empty() && batch->front().ts > after_ts) {
+                     TransactionData data{batch->front().ts, *batch};
+                     fn(data);
+                   }
+                   return true;
+                 }));
+  return replay_status;
+}
+
+}  // namespace aion::txn

@@ -1,0 +1,197 @@
+// GraphDatabase: the host transactional graph DBMS that Aion extends — a
+// standalone stand-in for the Neo4j kernel (see DESIGN.md substitutions).
+// It owns the *current* graph only; history is Aion's job, which is exactly
+// the decoupling the paper argues for ("decouples temporal storage from the
+// current working graph", Sec 4).
+//
+// Semantics:
+//  * write transactions buffer updates and validate + apply atomically at
+//    Commit() under the commit latch (read-committed isolation, like
+//    Neo4j's default);
+//  * commit timestamps come from a monotonic logical clock; every update in
+//    a transaction carries the same timestamp;
+//  * committed batches are appended to a write-ahead log before listeners
+//    fire; recovery replays the WAL (Sec 5.1 fault tolerance);
+//  * after-commit listeners observe transactions in commit order.
+#ifndef AION_TXN_GRAPHDB_H_
+#define AION_TXN_GRAPHDB_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "graph/memgraph.h"
+#include "graph/update.h"
+#include "storage/log_file.h"
+#include "txn/listener.h"
+#include "util/status.h"
+
+namespace aion::txn {
+
+using graph::GraphUpdate;
+using graph::NodeId;
+using graph::RelId;
+using graph::Timestamp;
+using util::Status;
+using util::StatusOr;
+
+class GraphDatabase;
+
+/// A buffered write transaction. Updates are validated and applied
+/// atomically at Commit(); before that, nothing is visible to readers.
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Creates a node with a db-assigned id; returns the id immediately (ids
+  /// are reserved even if the transaction later aborts, like Neo4j).
+  NodeId CreateNode(std::vector<std::string> labels = {},
+                    graph::PropertySet props = {});
+
+  /// Creates a relationship with a db-assigned id.
+  RelId CreateRelationship(NodeId src, NodeId tgt, std::string type,
+                           graph::PropertySet props = {});
+
+  void DeleteNode(NodeId id);
+  void DeleteRelationship(RelId id);
+  void SetNodeProperty(NodeId id, std::string key, graph::PropertyValue v);
+  void RemoveNodeProperty(NodeId id, std::string key);
+  void AddNodeLabel(NodeId id, std::string label);
+  void RemoveNodeLabel(NodeId id, std::string label);
+  void SetRelationshipProperty(RelId id, std::string key,
+                               graph::PropertyValue v);
+  void RemoveRelationshipProperty(RelId id, std::string key);
+
+  /// Appends a raw update (used by loaders that manage ids themselves).
+  void Add(GraphUpdate update);
+
+  size_t num_updates() const { return updates_.size(); }
+
+  /// Validates and applies the buffered updates atomically. On failure the
+  /// graph is untouched and the transaction may be retried or dropped.
+  /// Returns the commit timestamp.
+  StatusOr<Timestamp> Commit();
+
+  /// Discards the buffer. Also implied by destruction without Commit.
+  void Abort();
+
+ private:
+  friend class GraphDatabase;
+  explicit Transaction(GraphDatabase* db) : db_(db) {}
+
+  GraphDatabase* db_;
+  std::vector<GraphUpdate> updates_;
+  bool done_ = false;
+};
+
+class GraphDatabase {
+ public:
+  struct Options {
+    /// Directory for the WAL. Empty = in-memory database (no durability).
+    std::string data_dir;
+    /// fdatasync the WAL on every commit (off by default; group commit and
+    /// OS page cache semantics are fine for the experiments).
+    bool sync_commits = false;
+  };
+
+  /// Opens the database, replaying any existing WAL (crash recovery).
+  static StatusOr<std::unique_ptr<GraphDatabase>> Open(const Options& options);
+  static StatusOr<std::unique_ptr<GraphDatabase>> OpenInMemory() {
+    return Open(Options{});
+  }
+
+  GraphDatabase(const GraphDatabase&) = delete;
+  GraphDatabase& operator=(const GraphDatabase&) = delete;
+
+  /// Starts a write transaction.
+  std::unique_ptr<Transaction> Begin() {
+    return std::unique_ptr<Transaction>(new Transaction(this));
+  }
+
+  /// Registers an after-commit listener (e.g. Aion). Not thread-safe with
+  /// concurrent commits; register during setup.
+  void RegisterListener(TransactionEventListener* listener) {
+    listeners_.push_back(listener);
+  }
+
+  // -------------------------------------------------------------------
+  // Reads (read-committed: shared lock over the current graph)
+  // -------------------------------------------------------------------
+
+  /// Runs `fn` with shared access to the current graph.
+  void WithReadLock(
+      const std::function<void(const graph::MemoryGraph&)>& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    fn(*current_);
+  }
+
+  /// Copying point reads.
+  std::optional<graph::Node> GetNode(NodeId id) const;
+  std::optional<graph::Relationship> GetRelationship(RelId id) const;
+  size_t NumNodes() const;
+  size_t NumRelationships() const;
+
+  /// Deep copy of the current graph (snapshot replication seed).
+  std::unique_ptr<graph::MemoryGraph> CloneCurrent() const;
+
+  /// Last committed transaction timestamp (0 = none).
+  Timestamp LastCommitTimestamp() const { return clock_.load(); }
+
+  /// Replays committed update batches with commit_ts > `after_ts` from the
+  /// WAL in commit order (Aion recovery: "replaying the transaction log from
+  /// the last persisted transaction time"). In-memory databases have no WAL
+  /// and return FailedPrecondition.
+  Status ReplayUpdatesSince(
+      Timestamp after_ts,
+      const std::function<void(const TransactionData&)>& fn) const;
+
+  /// Persists the current graph as a fixed-size-record checkpoint
+  /// (Neo4j-style store files; see txn/record_store.h). Subsequent Open()
+  /// loads the checkpoint and replays only the WAL tail. Requires a
+  /// data_dir.
+  Status Checkpoint();
+
+  /// WAL size on disk (0 for in-memory).
+  uint64_t WalBytes() const { return wal_ ? wal_->SizeBytes() : 0; }
+
+  /// Checkpoint store files size on disk (0 if never checkpointed).
+  uint64_t CheckpointBytes() const;
+
+  /// Total on-disk footprint: store files + transaction log.
+  uint64_t TotalDiskBytes() const { return WalBytes() + CheckpointBytes(); }
+
+  /// Next ids (diagnostics / loaders).
+  NodeId PeekNextNodeId() const { return next_node_id_.load(); }
+  RelId PeekNextRelId() const { return next_rel_id_.load(); }
+
+ private:
+  friend class Transaction;
+
+  GraphDatabase() : current_(std::make_unique<graph::MemoryGraph>()) {}
+
+  StatusOr<Timestamp> CommitBatch(std::vector<GraphUpdate>* updates);
+
+  NodeId AllocateNodeId() { return next_node_id_.fetch_add(1); }
+  RelId AllocateRelId() { return next_rel_id_.fetch_add(1); }
+
+  Options options_;
+  mutable std::shared_mutex mu_;  // guards current_
+  std::unique_ptr<graph::MemoryGraph> current_;
+  std::mutex commit_mu_;  // serializes commits (WAL + listener ordering)
+  std::unique_ptr<storage::LogFile> wal_;
+  std::vector<TransactionEventListener*> listeners_;
+  std::atomic<Timestamp> clock_{0};
+  std::atomic<NodeId> next_node_id_{0};
+  std::atomic<RelId> next_rel_id_{0};
+};
+
+}  // namespace aion::txn
+
+#endif  // AION_TXN_GRAPHDB_H_

@@ -1,0 +1,36 @@
+// Transaction event listeners (Sec 5.1): "Graph updates are passed to Aion
+// from Neo4j via an event listener that is registered with the database
+// management service. The event listener is triggered in the after-commit
+// phase of each write transaction" — guaranteeing valid transaction times
+// and a consistent LPG after every commit.
+#ifndef AION_TXN_LISTENER_H_
+#define AION_TXN_LISTENER_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/update.h"
+
+namespace aion::txn {
+
+/// The after-commit payload: every update applied by one transaction, all
+/// carrying the same commit timestamp.
+struct TransactionData {
+  graph::Timestamp commit_ts = 0;
+  const std::vector<graph::GraphUpdate>& updates;
+};
+
+class TransactionEventListener {
+ public:
+  virtual ~TransactionEventListener() = default;
+
+  /// Invoked after a write transaction commits, in commit order. Called
+  /// under the database commit latch: implementations must be fast on this
+  /// path (Aion appends to the TimeStore synchronously and defers the
+  /// LineageStore cascade to background workers).
+  virtual void AfterCommit(const TransactionData& data) = 0;
+};
+
+}  // namespace aion::txn
+
+#endif  // AION_TXN_LISTENER_H_

@@ -1,0 +1,318 @@
+#include "txn/record_store.h"
+
+#include <cstring>
+
+#include "storage/file.h"
+#include "storage/string_pool.h"
+#include "util/coding.h"
+
+namespace aion::txn {
+
+using graph::MemoryGraph;
+using graph::Node;
+using graph::Relationship;
+using graph::Timestamp;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+// Record formats. Every record is fixed-size so record id * size gives the
+// file offset (Neo4j-style).
+constexpr size_t kNodeRecordSize = 64;
+constexpr size_t kRelRecordSize = 64;
+constexpr uint8_t kInUse = 1;
+// Inline label slots per node record; the overflow goes to props.store.
+constexpr size_t kInlineLabels = 4;
+
+// Node record:
+//   [0]      in_use
+//   [1]      inline label count (<= kInlineLabels; 0xff = overflowed)
+//   [4..19]  4 x u32 label refs
+//   [24..31] property pointer into props.store (u64; ~0 = none)
+//   [32..39] label overflow pointer (u64; ~0 = none)
+// Relationship record:
+//   [0]      in_use
+//   [8..15]  src, [16..23] tgt (u64)
+//   [24..27] type ref (u32)
+//   [32..39] property pointer (u64; ~0 = none)
+//   [40..55] reserved chain pointers (next-out/next-in, unused here but
+//            part of the doubly-linked-list format the paper describes)
+constexpr uint64_t kNoPointer = ~0ULL;
+
+struct Files {
+  std::unique_ptr<storage::RandomAccessFile> nodes;
+  std::unique_ptr<storage::RandomAccessFile> rels;
+  std::unique_ptr<storage::RandomAccessFile> props;
+  std::unique_ptr<storage::StringPool> strings;
+};
+
+StatusOr<Files> OpenFiles(const std::string& dir) {
+  AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(dir));
+  Files files;
+  AION_ASSIGN_OR_RETURN(files.nodes,
+                        storage::RandomAccessFile::Open(dir + "/nodes.store"));
+  AION_ASSIGN_OR_RETURN(files.rels,
+                        storage::RandomAccessFile::Open(dir + "/rels.store"));
+  AION_ASSIGN_OR_RETURN(files.props,
+                        storage::RandomAccessFile::Open(dir + "/props.store"));
+  AION_ASSIGN_OR_RETURN(files.strings,
+                        storage::StringPool::Open(dir + "/strings"));
+  return files;
+}
+
+/// Appends a property-set payload to props.store; returns its pointer.
+StatusOr<uint64_t> AppendProps(Files* files, const graph::PropertySet& props) {
+  if (props.empty()) return kNoPointer;
+  std::string payload;
+  util::PutVarint64(&payload, props.size());
+  for (const auto& [key, value] : props) {
+    AION_ASSIGN_OR_RETURN(storage::StringRef key_ref,
+                          files->strings->Intern(key));
+    util::PutFixed32(&payload, key_ref);
+    value.EncodeTo(&payload);
+  }
+  std::string framed;
+  util::PutVarint64(&framed, payload.size());
+  framed += payload;
+  return files->props->Append(framed.data(), framed.size());
+}
+
+StatusOr<graph::PropertySet> ReadProps(const Files& files, uint64_t pointer) {
+  graph::PropertySet props;
+  if (pointer == kNoPointer) return props;
+  // Read the varint length (up to 10 bytes) then the payload.
+  char len_buf[10];
+  const size_t probe =
+      std::min<uint64_t>(10, files.props->size() - pointer);
+  AION_RETURN_IF_ERROR(files.props->Read(pointer, probe, len_buf));
+  util::Slice len_slice(len_buf, probe);
+  uint64_t length;
+  if (!util::GetVarint64(&len_slice, &length)) {
+    return Status::Corruption("bad props length");
+  }
+  const size_t header = probe - len_slice.size();
+  std::string payload(length, '\0');
+  AION_RETURN_IF_ERROR(
+      files.props->Read(pointer + header, length, payload.data()));
+  util::Slice input(payload);
+  uint64_t count;
+  if (!util::GetVarint64(&input, &count)) {
+    return Status::Corruption("bad props count");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (input.size() < 4) return Status::Corruption("bad prop key ref");
+    const uint32_t key_ref = util::DecodeFixed32(input.data());
+    input.RemovePrefix(4);
+    AION_ASSIGN_OR_RETURN(std::string key, files.strings->Lookup(key_ref));
+    AION_ASSIGN_OR_RETURN(graph::PropertyValue value,
+                          graph::PropertyValue::DecodeFrom(&input));
+    props.Set(key, std::move(value));
+  }
+  return props;
+}
+
+/// Appends an overflow label list; returns its pointer.
+StatusOr<uint64_t> AppendLabels(Files* files,
+                                const std::vector<std::string>& labels) {
+  std::string payload;
+  util::PutVarint64(&payload, labels.size());
+  for (const std::string& label : labels) {
+    AION_ASSIGN_OR_RETURN(storage::StringRef ref,
+                          files->strings->Intern(label));
+    util::PutFixed32(&payload, ref);
+  }
+  std::string framed;
+  util::PutVarint64(&framed, payload.size());
+  framed += payload;
+  return files->props->Append(framed.data(), framed.size());
+}
+
+StatusOr<std::vector<std::string>> ReadLabels(const Files& files,
+                                              uint64_t pointer) {
+  char len_buf[10];
+  const size_t probe =
+      std::min<uint64_t>(10, files.props->size() - pointer);
+  AION_RETURN_IF_ERROR(files.props->Read(pointer, probe, len_buf));
+  util::Slice len_slice(len_buf, probe);
+  uint64_t length;
+  if (!util::GetVarint64(&len_slice, &length)) {
+    return Status::Corruption("bad labels length");
+  }
+  const size_t header = probe - len_slice.size();
+  std::string payload(length, '\0');
+  AION_RETURN_IF_ERROR(
+      files.props->Read(pointer + header, length, payload.data()));
+  util::Slice input(payload);
+  uint64_t count;
+  if (!util::GetVarint64(&input, &count)) {
+    return Status::Corruption("bad labels count");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (input.size() < 4) return Status::Corruption("bad label ref");
+    AION_ASSIGN_OR_RETURN(std::string label,
+                          files.strings->Lookup(util::DecodeFixed32(input.data())));
+    input.RemovePrefix(4);
+    labels.push_back(std::move(label));
+  }
+  return labels;
+}
+
+}  // namespace
+
+Status RecordStore::Write(const MemoryGraph& graph, Timestamp ts,
+                          const std::string& dir) {
+  // Start fresh: a checkpoint fully replaces the previous one.
+  AION_RETURN_IF_ERROR(storage::RemoveDirRecursively(dir));
+  AION_ASSIGN_OR_RETURN(Files files, OpenFiles(dir));
+
+  // Pre-size the fixed files (zeroed records read as not-in-use).
+  AION_RETURN_IF_ERROR(
+      files.nodes->Truncate(graph.NodeCapacity() * kNodeRecordSize));
+  AION_RETURN_IF_ERROR(
+      files.rels->Truncate(graph.RelCapacity() * kRelRecordSize));
+
+  Status status = Status::OK();
+  graph.ForEachNode([&](const Node& node) {
+    if (!status.ok()) return;
+    char record[kNodeRecordSize] = {0};
+    record[0] = kInUse;
+    if (node.labels.size() <= kInlineLabels) {
+      record[1] = static_cast<char>(node.labels.size());
+      for (size_t i = 0; i < node.labels.size(); ++i) {
+        auto ref = files.strings->Intern(node.labels[i]);
+        if (!ref.ok()) {
+          status = ref.status();
+          return;
+        }
+        util::EncodeFixed32(record + 4 + i * 4, *ref);
+      }
+      util::EncodeFixed64(record + 32, kNoPointer);
+    } else {
+      record[1] = static_cast<char>(0xff);
+      auto pointer = AppendLabels(&files, node.labels);
+      if (!pointer.ok()) {
+        status = pointer.status();
+        return;
+      }
+      util::EncodeFixed64(record + 32, *pointer);
+    }
+    auto props = AppendProps(&files, node.props);
+    if (!props.ok()) {
+      status = props.status();
+      return;
+    }
+    util::EncodeFixed64(record + 24, *props);
+    status = files.nodes->Write(node.id * kNodeRecordSize, record,
+                                kNodeRecordSize);
+  });
+  AION_RETURN_IF_ERROR(status);
+
+  graph.ForEachRelationship([&](const Relationship& rel) {
+    if (!status.ok()) return;
+    char record[kRelRecordSize] = {0};
+    record[0] = kInUse;
+    util::EncodeFixed64(record + 8, rel.src);
+    util::EncodeFixed64(record + 16, rel.tgt);
+    auto type_ref = files.strings->Intern(rel.type);
+    if (!type_ref.ok()) {
+      status = type_ref.status();
+      return;
+    }
+    util::EncodeFixed32(record + 24, *type_ref);
+    auto props = AppendProps(&files, rel.props);
+    if (!props.ok()) {
+      status = props.status();
+      return;
+    }
+    util::EncodeFixed64(record + 32, *props);
+    status =
+        files.rels->Write(rel.id * kRelRecordSize, record, kRelRecordSize);
+  });
+  AION_RETURN_IF_ERROR(status);
+
+  // Meta: checkpoint timestamp.
+  AION_ASSIGN_OR_RETURN(auto meta,
+                        storage::RandomAccessFile::Open(dir + "/meta"));
+  char buf[8];
+  util::EncodeFixed64(buf, ts);
+  AION_RETURN_IF_ERROR(meta->Write(0, buf, 8));
+  AION_RETURN_IF_ERROR(meta->Sync());
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<MemoryGraph>> RecordStore::Read(
+    const std::string& dir, Timestamp* ts) {
+  if (!Exists(dir)) return Status::NotFound("no checkpoint in " + dir);
+  AION_ASSIGN_OR_RETURN(Files files, OpenFiles(dir));
+  AION_ASSIGN_OR_RETURN(auto meta,
+                        storage::RandomAccessFile::Open(dir + "/meta"));
+  char buf[8];
+  AION_RETURN_IF_ERROR(meta->Read(0, 8, buf));
+  *ts = util::DecodeFixed64(buf);
+
+  auto graph = std::make_unique<MemoryGraph>();
+  const uint64_t num_node_records = files.nodes->size() / kNodeRecordSize;
+  std::string record(kNodeRecordSize, '\0');
+  for (uint64_t id = 0; id < num_node_records; ++id) {
+    AION_RETURN_IF_ERROR(files.nodes->Read(id * kNodeRecordSize,
+                                           kNodeRecordSize, record.data()));
+    if (record[0] != kInUse) continue;
+    std::vector<std::string> labels;
+    const uint8_t inline_count = static_cast<uint8_t>(record[1]);
+    if (inline_count == 0xff) {
+      AION_ASSIGN_OR_RETURN(
+          labels, ReadLabels(files, util::DecodeFixed64(record.data() + 32)));
+    } else {
+      for (uint8_t i = 0; i < inline_count; ++i) {
+        AION_ASSIGN_OR_RETURN(
+            std::string label,
+            files.strings->Lookup(
+                util::DecodeFixed32(record.data() + 4 + i * 4)));
+        labels.push_back(std::move(label));
+      }
+    }
+    AION_ASSIGN_OR_RETURN(
+        graph::PropertySet props,
+        ReadProps(files, util::DecodeFixed64(record.data() + 24)));
+    AION_RETURN_IF_ERROR(graph->Apply(
+        graph::GraphUpdate::AddNode(id, std::move(labels), std::move(props))));
+  }
+
+  const uint64_t num_rel_records = files.rels->size() / kRelRecordSize;
+  record.resize(kRelRecordSize);
+  for (uint64_t id = 0; id < num_rel_records; ++id) {
+    AION_RETURN_IF_ERROR(files.rels->Read(id * kRelRecordSize,
+                                          kRelRecordSize, record.data()));
+    if (record[0] != kInUse) continue;
+    AION_ASSIGN_OR_RETURN(
+        std::string type,
+        files.strings->Lookup(util::DecodeFixed32(record.data() + 24)));
+    AION_ASSIGN_OR_RETURN(
+        graph::PropertySet props,
+        ReadProps(files, util::DecodeFixed64(record.data() + 32)));
+    AION_RETURN_IF_ERROR(graph->Apply(graph::GraphUpdate::AddRelationship(
+        id, util::DecodeFixed64(record.data() + 8),
+        util::DecodeFixed64(record.data() + 16), std::move(type),
+        std::move(props))));
+  }
+  return graph;
+}
+
+uint64_t RecordStore::SizeBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const char* file :
+       {"/nodes.store", "/rels.store", "/props.store", "/strings", "/meta"}) {
+    auto size = storage::FileSize(dir + file);
+    if (size.ok()) total += *size;
+  }
+  return total;
+}
+
+bool RecordStore::Exists(const std::string& dir) {
+  return storage::FileExists(dir + "/meta");
+}
+
+}  // namespace aion::txn

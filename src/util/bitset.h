@@ -1,0 +1,76 @@
+// Dynamic bitset for visited/frontier sets in graph algorithms. Stand-in for
+// the roaring bitmaps the paper pools per worker thread (Sec 5.3): dense
+// word-packed storage with O(1) test/set and fast reset, reusable across
+// iterations via Reset() without reallocation.
+#ifndef AION_UTIL_BITSET_H_
+#define AION_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace aion::util {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t n) { Resize(n); }
+
+  void Resize(size_t n) {
+    size_ = n;
+    words_.resize((n + 63) / 64, 0);
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// Sets bit i; returns true if it was previously clear.
+  bool TestAndSet(size_t i) {
+    const uint64_t mask = 1ULL << (i & 63);
+    uint64_t& word = words_[i >> 6];
+    const bool was_clear = (word & mask) == 0;
+    word |= mask;
+    return was_clear;
+  }
+
+  /// Clears all bits, keeping capacity.
+  void Reset() {
+    if (!words_.empty()) {
+      memset(words_.data(), 0, words_.size() * sizeof(uint64_t));
+    }
+  }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// Calls fn(i) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_BITSET_H_

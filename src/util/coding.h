@@ -1,0 +1,143 @@
+// Byte-level encode/decode primitives shared by the storage layer and record
+// codecs: little-endian fixed-width integers for record fields, varints for
+// compact lengths, and big-endian ("order-preserving") integers for B+Tree
+// composite keys where byte order must match numeric order.
+#ifndef AION_UTIL_CODING_H_
+#define AION_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace aion::util {
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian encoding (record fields).
+// ---------------------------------------------------------------------------
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+inline void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+inline double DecodeDouble(const char* ptr) {
+  uint64_t bits = DecodeFixed64(ptr);
+  double value;
+  memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Varint encoding (compact lengths and ids).
+// ---------------------------------------------------------------------------
+
+/// Appends `value` as a LEB128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+
+/// Parses a varint from the front of `input`, advancing it. Returns false on
+/// truncated/overlong input.
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+
+/// Returns the encoded size of `value` as a varint.
+int VarintLength(uint64_t value);
+
+/// ZigZag maps signed integers to unsigned so small magnitudes stay short.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Length-prefixed slices.
+// ---------------------------------------------------------------------------
+
+inline void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+/// Parses a varint length followed by that many bytes; advances `input`.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// ---------------------------------------------------------------------------
+// Big-endian encoding for order-preserving composite keys. A sequence of
+// big-endian fields compares bytewise in the same order as the tuple of
+// numeric values, which is what the B+Tree needs.
+// ---------------------------------------------------------------------------
+
+inline void PutBigEndian64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(value & 0xff);
+    value >>= 8;
+  }
+  dst->append(buf, 8);
+}
+
+inline uint64_t DecodeBigEndian64(const char* ptr) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | static_cast<unsigned char>(ptr[i]);
+  }
+  return value;
+}
+
+inline void PutBigEndian32(std::string* dst, uint32_t value) {
+  char buf[4];
+  for (int i = 3; i >= 0; --i) {
+    buf[i] = static_cast<char>(value & 0xff);
+    value >>= 8;
+  }
+  dst->append(buf, 4);
+}
+
+inline uint32_t DecodeBigEndian32(const char* ptr) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value = (value << 8) | static_cast<unsigned char>(ptr[i]);
+  }
+  return value;
+}
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_CODING_H_

@@ -1,0 +1,90 @@
+// Simple count/frequency histograms. GraphStatistics (cardinality
+// estimation, Sec 5.1) tracks label/type frequencies with CountTable;
+// benchmarks report latency distributions with LatencyHistogram.
+#ifndef AION_UTIL_HISTOGRAM_H_
+#define AION_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aion::util {
+
+/// Frequency table over string keys (labels, relationship types, patterns).
+class CountTable {
+ public:
+  void Add(const std::string& key, int64_t delta = 1) {
+    int64_t& v = counts_[key];
+    v += delta;
+    if (v <= 0) counts_.erase(key);
+  }
+
+  int64_t Get(const std::string& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  int64_t Total() const {
+    int64_t total = 0;
+    for (const auto& [k, v] : counts_) total += v;
+    return total;
+  }
+
+  size_t distinct() const { return counts_.size(); }
+  void Clear() { counts_.clear(); }
+
+  const std::unordered_map<std::string, int64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::string, int64_t> counts_;
+};
+
+/// Records raw samples (e.g. nanoseconds) and reports percentiles.
+class LatencyHistogram {
+ public:
+  void Add(double sample) { samples_.push_back(sample); }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// p in [0, 100]. Sorts lazily on call.
+  double Percentile(double p) {
+    if (samples_.empty()) return 0;
+    std::sort(samples_.begin(), samples_.end());
+    const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  double Min() {
+    return samples_.empty()
+               ? 0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double Max() {
+    return samples_.empty()
+               ? 0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_HISTOGRAM_H_

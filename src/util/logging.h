@@ -1,0 +1,47 @@
+// Minimal assertion/check macros. AION_CHECK* abort with a message on
+// violation in all build modes; AION_DCHECK* compile away in NDEBUG builds.
+#ifndef AION_UTIL_LOGGING_H_
+#define AION_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aion::util::logging_internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  fprintf(stderr, "AION_CHECK failed at %s:%d: %s\n", file, line, expr);
+  fflush(stderr);
+  abort();
+}
+
+}  // namespace aion::util::logging_internal
+
+#define AION_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::aion::util::logging_internal::CheckFailed(__FILE__, __LINE__,   \
+                                                  #expr);               \
+    }                                                                   \
+  } while (0)
+
+#define AION_CHECK_OK(status_expr)                                      \
+  do {                                                                  \
+    auto _aion_chk = (status_expr);                                     \
+    if (!_aion_chk.ok()) {                                              \
+      fprintf(stderr, "AION_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+              __LINE__, _aion_chk.ToString().c_str());                  \
+      fflush(stderr);                                                   \
+      abort();                                                          \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define AION_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define AION_DCHECK(expr) AION_CHECK(expr)
+#endif
+
+#endif  // AION_UTIL_LOGGING_H_

@@ -1,0 +1,114 @@
+// A cost-aware LRU cache used by the GraphStore (snapshot cache). Entries
+// carry an explicit cost (e.g. estimated bytes); the cache evicts
+// least-recently-used entries until total cost fits the capacity.
+//
+// Not thread-safe; callers synchronize externally (GraphStore holds a mutex,
+// matching the paper's coarse-grained snapshot handout).
+#ifndef AION_UTIL_LRU_CACHE_H_
+#define AION_UTIL_LRU_CACHE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace aion::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// `capacity` is the maximum total cost held before eviction kicks in.
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Inserts or replaces `key`, evicting LRU entries to fit. An entry whose
+  /// cost alone exceeds the capacity is still admitted (it simply becomes
+  /// the only entry), so oversized snapshots remain retrievable.
+  void Put(const Key& key, Value value, size_t cost = 1) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      total_cost_ -= it->second->cost;
+      entries_.erase(it->second);
+      index_.erase(it);
+    }
+    entries_.push_front(Entry{key, std::move(value), cost});
+    index_[key] = entries_.begin();
+    total_cost_ += cost;
+    EvictIfNeeded();
+  }
+
+  /// Returns the value and marks the entry most-recently-used.
+  std::optional<Value> Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().value;
+  }
+
+  /// Lookup without promoting the entry.
+  std::optional<Value> Peek(const Key& key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    return it->second->value;
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) > 0; }
+
+  void Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    total_cost_ -= it->second->cost;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    total_cost_ = 0;
+  }
+
+  /// Visits entries from most- to least-recently-used; `fn(key, value)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.key, e.value);
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t total_cost() const { return total_cost_; }
+  size_t capacity() const { return capacity_; }
+
+  void set_capacity(size_t capacity) {
+    capacity_ = capacity;
+    EvictIfNeeded();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    size_t cost;
+  };
+
+  void EvictIfNeeded() {
+    while (total_cost_ > capacity_ && entries_.size() > 1) {
+      const Entry& victim = entries_.back();
+      total_cost_ -= victim.cost;
+      index_.erase(victim.key);
+      entries_.pop_back();
+    }
+  }
+
+  size_t capacity_;
+  size_t total_cost_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_LRU_CACHE_H_

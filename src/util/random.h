@@ -1,0 +1,116 @@
+// Deterministic pseudo-random utilities used by workload generators and
+// benchmarks. Deliberately not std::mt19937-based on hot paths: Xorshift128+
+// is a few cycles per draw and completely reproducible across platforms.
+#ifndef AION_UTIL_RANDOM_H_
+#define AION_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace aion::util {
+
+/// Xorshift128+ generator. Deterministic for a given seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding so nearby seeds give unrelated streams.
+    auto splitmix = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = splitmix();
+    s1_ = splitmix();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi). hi must be > lo.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(hi > lo);
+    return lo + Uniform(hi - lo);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed sampler over [0, n) with skew `theta` (0 = uniform).
+/// Uses the standard rejection-free inverse-CDF approximation (Gray et al.).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// In-place Fisher-Yates shuffle driven by the given generator.
+template <typename T>
+void Shuffle(std::vector<T>* v, Random* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j = rng->Uniform(i);
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_RANDOM_H_

@@ -1,0 +1,161 @@
+// Status and StatusOr<T>: exception-free error handling for all library
+// paths, following the RocksDB/Arrow idiom. Functions that can fail return a
+// Status (or StatusOr<T> when they also produce a value); callers must check
+// ok() before using the result.
+#ifndef AION_UTIL_STATUS_H_
+#define AION_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aion::util {
+
+/// Error category for a failed operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kOutOfRange = 5,
+  kAlreadyExists = 6,
+  kFailedPrecondition = 7,
+  kUnimplemented = 8,
+  kAborted = 9,
+  kInternal = 10,
+};
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (empty message); carries a human-readable message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg = "") {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+/// Either a value of type T or an error Status. Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error; `status.ok()` must be false.
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace aion::util
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define AION_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::aion::util::Status _aion_status = (expr);    \
+    if (!_aion_status.ok()) return _aion_status;   \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else assigns `lhs`.
+#define AION_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto AION_CONCAT_(_aion_sor_, __LINE__) = (expr);       \
+  if (!AION_CONCAT_(_aion_sor_, __LINE__).ok())           \
+    return AION_CONCAT_(_aion_sor_, __LINE__).status();   \
+  lhs = std::move(AION_CONCAT_(_aion_sor_, __LINE__)).value()
+
+#define AION_CONCAT_IMPL_(a, b) a##b
+#define AION_CONCAT_(a, b) AION_CONCAT_IMPL_(a, b)
+
+#endif  // AION_UTIL_STATUS_H_

@@ -1,0 +1,58 @@
+// Fixed-size worker pool. Used for Aion's background LineageStore cascade
+// (Sec 5.1) and for parallel neighbourhood construction / analytics
+// (Sec 5.2). Tasks are plain std::function<void()>; Wait() drains the queue,
+// which the tests use to make the asynchronous cascade deterministic.
+#ifndef AION_UTIL_THREAD_POOL_H_
+#define AION_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aion::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted while
+  /// waiting) has finished executing.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n), partitioned across the pool, and waits.
+  /// Falls back to inline execution for tiny ranges or a 1-thread pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  size_t pending_tasks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() + active_;
+  }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_THREAD_POOL_H_

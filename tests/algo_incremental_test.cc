@@ -1,0 +1,402 @@
+#include "algo/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/memgraph.h"
+#include "util/random.h"
+
+namespace aion::algo {
+namespace {
+
+using graph::GraphUpdate;
+using graph::MemoryGraph;
+using graph::NodeId;
+using graph::RelId;
+
+TEST(IncrementalAverageTest, AddsAndUpdates) {
+  IncrementalAverage avg("amount");
+  graph::PropertySet p10;
+  p10.Set("amount", graph::PropertyValue(10));
+  GraphUpdate add = GraphUpdate::AddRelationship(0, 0, 1, "R", p10);
+  avg.ApplyDiff({add});
+  EXPECT_DOUBLE_EQ(avg.Average(), 10.0);
+  EXPECT_EQ(avg.count(), 1u);
+
+  avg.ApplyDiff({GraphUpdate::SetRelationshipProperty(
+      0, "amount", graph::PropertyValue(20))});
+  EXPECT_DOUBLE_EQ(avg.Average(), 20.0);
+  EXPECT_EQ(avg.count(), 1u);  // replaced, not added
+
+  graph::PropertySet p30;
+  p30.Set("amount", graph::PropertyValue(30));
+  avg.ApplyDiff({GraphUpdate::AddRelationship(1, 1, 0, "R", p30)});
+  EXPECT_DOUBLE_EQ(avg.Average(), 25.0);
+}
+
+TEST(IncrementalAverageTest, DeletionsRetract) {
+  IncrementalAverage avg("v");
+  graph::PropertySet p1, p2;
+  p1.Set("v", graph::PropertyValue(4));
+  p2.Set("v", graph::PropertyValue(8));
+  avg.ApplyDiff({GraphUpdate::AddRelationship(0, 0, 1, "R", p1),
+                 GraphUpdate::AddRelationship(1, 0, 1, "R", p2)});
+  EXPECT_DOUBLE_EQ(avg.Average(), 6.0);
+  avg.ApplyDiff({GraphUpdate::DeleteRelationship(0)});
+  EXPECT_DOUBLE_EQ(avg.Average(), 8.0);
+  EXPECT_EQ(avg.count(), 1u);
+  avg.ApplyDiff({GraphUpdate::RemoveRelationshipProperty(1, "v")});
+  EXPECT_EQ(avg.count(), 0u);
+  EXPECT_DOUBLE_EQ(avg.Average(), 0.0);
+}
+
+TEST(IncrementalAverageTest, IgnoresOtherKeysAndMissingProps) {
+  IncrementalAverage avg("v");
+  avg.ApplyDiff({GraphUpdate::AddRelationship(0, 0, 1, "R"),
+                 GraphUpdate::SetRelationshipProperty(
+                     0, "other", graph::PropertyValue(99))});
+  EXPECT_EQ(avg.count(), 0u);
+}
+
+TEST(IncrementalAverageTest, MatchesFullScanOnRandomStream) {
+  util::Random rng(17);
+  MemoryGraph g;
+  IncrementalAverage avg("w");
+  for (NodeId i = 0; i < 20; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  std::vector<RelId> live;
+  RelId next = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<GraphUpdate> batch;
+    for (int i = 0; i < 10; ++i) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.5 || live.empty()) {
+        graph::PropertySet p;
+        if (rng.Bernoulli(0.8)) {
+          p.Set("w", graph::PropertyValue(
+                         static_cast<double>(rng.Uniform(100))));
+        }
+        batch.push_back(GraphUpdate::AddRelationship(
+            next, rng.Uniform(20), rng.Uniform(20), "R", p));
+        live.push_back(next++);
+      } else if (dice < 0.75) {
+        const RelId r = live[rng.Uniform(live.size())];
+        batch.push_back(GraphUpdate::SetRelationshipProperty(
+            r, "w", graph::PropertyValue(static_cast<double>(
+                        rng.Uniform(100)))));
+      } else {
+        const size_t idx = rng.Uniform(live.size());
+        batch.push_back(GraphUpdate::DeleteRelationship(live[idx]));
+        live.erase(live.begin() + static_cast<long>(idx));
+      }
+    }
+    ASSERT_TRUE(g.ApplyAll(batch).ok());
+    avg.ApplyDiff(batch);
+    const AggregateResult full = AggregateRelationshipProperty(g, "w");
+    EXPECT_EQ(avg.count(), full.count) << "round " << round;
+    EXPECT_NEAR(avg.sum(), full.sum, 1e-9) << "round " << round;
+  }
+}
+
+TEST(IncrementalBfsTest, InsertionsRelaxLevels) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 1, 2, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(2, 2, 3, "R")).ok());
+  IncrementalBfs bfs(0);
+  bfs.Recompute(g);
+  EXPECT_EQ(bfs.LevelOf(3), 3u);
+  EXPECT_EQ(bfs.LevelOf(4), kUnreachable);
+
+  // Shortcut 0 -> 3 drops node 3 to level 1.
+  std::vector<GraphUpdate> diff = {GraphUpdate::AddRelationship(3, 0, 3, "R")};
+  ASSERT_TRUE(g.ApplyAll(diff).ok());
+  bfs.ApplyDiff(g, diff);
+  EXPECT_EQ(bfs.LevelOf(3), 1u);
+  EXPECT_EQ(bfs.LevelOf(2), 2u);  // unchanged
+
+  // Attach node 4 downstream of 3.
+  diff = {GraphUpdate::AddRelationship(4, 3, 4, "R")};
+  ASSERT_TRUE(g.ApplyAll(diff).ok());
+  bfs.ApplyDiff(g, diff);
+  EXPECT_EQ(bfs.LevelOf(4), 2u);
+}
+
+TEST(IncrementalBfsTest, DeletionsTagAndReset) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  // Diamond with long way round: 0->1->2->3 and 0->3 shortcut, 3->4.
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 1, 2, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(2, 2, 3, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(3, 0, 3, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(4, 3, 4, "R")).ok());
+  IncrementalBfs bfs(0);
+  bfs.Recompute(g);
+  EXPECT_EQ(bfs.LevelOf(3), 1u);
+  EXPECT_EQ(bfs.LevelOf(4), 2u);
+
+  // Remove the shortcut: 3 reverts to level 3, 4 to level 4.
+  GraphUpdate del = GraphUpdate::DeleteRelationship(3);
+  del.src = 0;
+  del.tgt = 3;
+  ASSERT_TRUE(g.Apply(del).ok());
+  bfs.ApplyDiff(g, {del});
+  EXPECT_EQ(bfs.LevelOf(3), 3u);
+  EXPECT_EQ(bfs.LevelOf(4), 4u);
+
+  // Disconnect 1: everything downstream of the deleted edge unreachable.
+  GraphUpdate del2 = GraphUpdate::DeleteRelationship(0);
+  del2.src = 0;
+  del2.tgt = 1;
+  ASSERT_TRUE(g.Apply(del2).ok());
+  bfs.ApplyDiff(g, {del2});
+  EXPECT_EQ(bfs.LevelOf(1), kUnreachable);
+  EXPECT_EQ(bfs.LevelOf(2), kUnreachable);
+  EXPECT_EQ(bfs.LevelOf(3), kUnreachable);
+  EXPECT_EQ(bfs.LevelOf(4), kUnreachable);
+  EXPECT_EQ(bfs.LevelOf(0), 0u);
+}
+
+// Property: incremental BFS equals full recomputation after every batch of
+// random insertions and deletions.
+class IncrementalBfsFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalBfsFuzzTest, MatchesFullRecompute) {
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 13 + 5);
+  MemoryGraph g;
+  constexpr NodeId kNodes = 40;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  IncrementalBfs bfs(0);
+  bfs.Recompute(g);
+  std::vector<RelId> live;
+  RelId next = 0;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<GraphUpdate> batch;
+    for (int i = 0; i < 6; ++i) {
+      if (rng.NextDouble() < 0.6 || live.empty()) {
+        const NodeId s = rng.Uniform(kNodes);
+        const NodeId t = rng.Uniform(kNodes);
+        batch.push_back(GraphUpdate::AddRelationship(next, s, t, "R"));
+        live.push_back(next++);
+      } else {
+        const size_t idx = rng.Uniform(live.size());
+        const RelId r = live[idx];
+        const graph::Relationship* rel = g.GetRelationship(r);
+        // The diff carries resolved endpoints (as Aion's Ingest ensures).
+        GraphUpdate del = GraphUpdate::DeleteRelationship(r);
+        // rel may already be scheduled for deletion in this batch.
+        bool already = rel == nullptr;
+        for (const GraphUpdate& b : batch) {
+          if (b.op == graph::UpdateOp::kDeleteRelationship && b.id == r) {
+            already = true;
+          }
+        }
+        if (already) continue;
+        del.src = rel->src;
+        del.tgt = rel->tgt;
+        batch.push_back(del);
+        live.erase(live.begin() + static_cast<long>(idx));
+      }
+    }
+    ASSERT_TRUE(g.ApplyAll(batch).ok());
+    bfs.ApplyDiff(g, batch);
+
+    IncrementalBfs reference(0);
+    reference.Recompute(g);
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ASSERT_EQ(bfs.LevelOf(n), reference.LevelOf(n))
+          << "node " << n << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalBfsFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IncrementalPageRankTest, DiffBasedMatchesColdRecompute) {
+  util::Random rng(23);
+  MemoryGraph g;
+  for (NodeId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  RelId next = 0;
+  std::vector<GraphUpdate> batch;
+  for (int i = 0; i < 400; ++i) {
+    batch.push_back(GraphUpdate::AddRelationship(next++, rng.Uniform(100),
+                                                 rng.Uniform(100), "R"));
+  }
+  ASSERT_TRUE(g.ApplyAll(batch).ok());
+
+  PageRankOptions options;
+  options.epsilon = 1e-9;
+  options.max_iterations = 1000;
+  IncrementalPageRank incremental(options);
+  incremental.Recompute(g);
+  EXPECT_EQ(incremental.last_pushes(), 0u);
+
+  // Small change: a handful of edge insertions, folded incrementally.
+  batch.clear();
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(GraphUpdate::AddRelationship(next++, rng.Uniform(100),
+                                                 rng.Uniform(100), "R"));
+  }
+  ASSERT_TRUE(g.ApplyAll(batch).ok());
+  incremental.ApplyDiff(g, batch);
+  EXPECT_GT(incremental.last_pushes(), 0u);
+
+  // Ranks equal a tightly-converged cold recomputation within tolerance.
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  PageRankOptions tight = options;
+  tight.epsilon = 1e-12;
+  auto cold = PageRank(csr, tight);
+  for (uint32_t d = 0; d < csr.num_nodes(); ++d) {
+    EXPECT_NEAR(incremental.RankOf(csr.ToSparse(d)), cold.ranks[d], 1e-4);
+  }
+}
+
+TEST(IncrementalPageRankTest, DeletionsPropagate) {
+  util::Random rng(29);
+  MemoryGraph g;
+  for (NodeId i = 0; i < 50; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  RelId next = 0;
+  std::vector<RelId> live;
+  std::vector<GraphUpdate> batch;
+  for (int i = 0; i < 200; ++i) {
+    batch.push_back(GraphUpdate::AddRelationship(next, rng.Uniform(50),
+                                                 rng.Uniform(50), "R"));
+    live.push_back(next++);
+  }
+  ASSERT_TRUE(g.ApplyAll(batch).ok());
+  PageRankOptions options;
+  options.epsilon = 1e-9;
+  options.max_iterations = 1000;
+  IncrementalPageRank incremental(options);
+  incremental.Recompute(g);
+
+  // Delete a handful of relationships; diffs carry resolved endpoints.
+  batch.clear();
+  for (int i = 0; i < 8; ++i) {
+    const size_t idx = rng.Uniform(live.size());
+    const RelId r = live[idx];
+    const graph::Relationship* rel = g.GetRelationship(r);
+    if (rel == nullptr) continue;
+    GraphUpdate del = GraphUpdate::DeleteRelationship(r);
+    del.src = rel->src;
+    del.tgt = rel->tgt;
+    ASSERT_TRUE(g.Apply(del).ok());
+    batch.push_back(del);
+    live.erase(live.begin() + static_cast<long>(idx));
+  }
+  incremental.ApplyDiff(g, batch);
+
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  PageRankOptions tight = options;
+  tight.epsilon = 1e-12;
+  auto cold = PageRank(csr, tight);
+  for (uint32_t d = 0; d < csr.num_nodes(); ++d) {
+    EXPECT_NEAR(incremental.RankOf(csr.ToSparse(d)), cold.ranks[d], 1e-4);
+  }
+}
+
+TEST(IncrementalPageRankTest, NodeChurnFallsBackToFullPass) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  PageRankOptions options;
+  options.epsilon = 1e-9;
+  options.max_iterations = 1000;
+  IncrementalPageRank pr(options);
+  pr.Recompute(g);
+  // New nodes change the teleport base for everyone: fallback path.
+  std::vector<GraphUpdate> batch;
+  for (NodeId i = 10; i < 20; ++i) {
+    batch.push_back(GraphUpdate::AddNode(i));
+  }
+  batch.push_back(GraphUpdate::AddRelationship(1, 15, 0, "R"));
+  ASSERT_TRUE(g.ApplyAll(batch).ok());
+  pr.ApplyDiff(g, batch);
+  double sum = 0;
+  for (const auto& [id, rank] : pr.Ranks(g)) sum += rank;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(pr.RankOf(1), 0.0);
+  // Accuracy against cold recompute.
+  graph::CsrGraph csr = graph::CsrGraph::Build(g);
+  PageRankOptions tight = options;
+  tight.epsilon = 1e-12;
+  auto cold = PageRank(csr, tight);
+  for (uint32_t d = 0; d < csr.num_nodes(); ++d) {
+    EXPECT_NEAR(pr.RankOf(csr.ToSparse(d)), cold.ranks[d], 1e-4);
+  }
+}
+
+// Property: diff-based PageRank equals cold recomputation after random
+// mixed batches (insertions and deletions).
+class IncrementalPrFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalPrFuzzTest, MatchesColdAfterRandomBatches) {
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 7 + 3);
+  MemoryGraph g;
+  constexpr NodeId kNodes = 60;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  PageRankOptions options;
+  options.epsilon = 1e-9;
+  options.max_iterations = 2000;
+  IncrementalPageRank pr(options);
+  pr.Recompute(g);
+  std::vector<RelId> live;
+  RelId next = 0;
+  for (int round = 0; round < 12; ++round) {
+    std::vector<GraphUpdate> batch;
+    for (int i = 0; i < 8; ++i) {
+      if (rng.NextDouble() < 0.7 || live.empty()) {
+        GraphUpdate add = GraphUpdate::AddRelationship(
+            next, rng.Uniform(kNodes), rng.Uniform(kNodes), "R");
+        ASSERT_TRUE(g.Apply(add).ok());
+        batch.push_back(add);
+        live.push_back(next++);
+      } else {
+        const size_t idx = rng.Uniform(live.size());
+        const RelId r = live[idx];
+        const graph::Relationship* rel = g.GetRelationship(r);
+        GraphUpdate del = GraphUpdate::DeleteRelationship(r);
+        del.src = rel->src;
+        del.tgt = rel->tgt;
+        ASSERT_TRUE(g.Apply(del).ok());
+        batch.push_back(del);
+        live.erase(live.begin() + static_cast<long>(idx));
+      }
+    }
+    pr.ApplyDiff(g, batch);
+    graph::CsrGraph csr = graph::CsrGraph::Build(g);
+    PageRankOptions tight = options;
+    tight.epsilon = 1e-12;
+    tight.max_iterations = 2000;
+    auto cold = PageRank(csr, tight);
+    for (uint32_t d = 0; d < csr.num_nodes(); ++d) {
+      ASSERT_NEAR(pr.RankOf(csr.ToSparse(d)), cold.ranks[d], 1e-4)
+          << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPrFuzzTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace aion::algo

@@ -1,0 +1,237 @@
+#include "algo/static_algos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/memgraph.h"
+#include "graph/update.h"
+#include "util/random.h"
+
+namespace aion::algo {
+namespace {
+
+using graph::CsrGraph;
+using graph::GraphUpdate;
+using graph::MemoryGraph;
+using graph::NodeId;
+using graph::RelId;
+
+MemoryGraph Chain(size_t n) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  for (RelId i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(i, i, i + 1, "R")).ok());
+  }
+  return g;
+}
+
+TEST(BfsTest, ChainLevels) {
+  MemoryGraph g = Chain(5);
+  CsrGraph csr = CsrGraph::Build(g);
+  auto levels = Bfs(csr, csr.ToDense(0));
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(levels[csr.ToDense(i)], i);
+  }
+  // From the tail nothing is reachable (directed).
+  auto from_tail = Bfs(csr, csr.ToDense(4));
+  EXPECT_EQ(from_tail[csr.ToDense(0)], kUnreachable);
+  EXPECT_EQ(from_tail[csr.ToDense(4)], 0u);
+}
+
+TEST(BfsTest, DisconnectedComponentsUnreachable) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 2, 3, "R")).ok());
+  CsrGraph csr = CsrGraph::Build(g);
+  auto levels = Bfs(csr, csr.ToDense(0));
+  EXPECT_EQ(levels[csr.ToDense(1)], 1u);
+  EXPECT_EQ(levels[csr.ToDense(2)], kUnreachable);
+}
+
+TEST(SsspTest, WeightedShortestPaths) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  graph::PropertySet w1, w5, w2;
+  w1.Set("w", graph::PropertyValue(1.0));
+  w5.Set("w", graph::PropertyValue(5.0));
+  w2.Set("w", graph::PropertyValue(2.0));
+  // 0->1 (1), 1->2 (2), 0->2 (5): best 0->2 is 3 via 1.
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R", w1)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 1, 2, "R", w2)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(2, 0, 2, "R", w5)).ok());
+  CsrGraph csr = CsrGraph::Build(g, "w");
+  auto dist = Sssp(csr, csr.ToDense(0));
+  EXPECT_DOUBLE_EQ(dist[csr.ToDense(2)], 3.0);
+  EXPECT_DOUBLE_EQ(dist[csr.ToDense(1)], 1.0);
+  EXPECT_TRUE(std::isinf(dist[csr.ToDense(3)]));
+}
+
+TEST(SsspTest, UnweightedMatchesBfs) {
+  util::Random rng(4);
+  MemoryGraph g;
+  for (NodeId i = 0; i < 60; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  for (RelId i = 0; i < 200; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(
+                            i, rng.Uniform(60), rng.Uniform(60), "R"))
+                    .ok());
+  }
+  CsrGraph csr = CsrGraph::Build(g);
+  auto levels = Bfs(csr, 0);
+  auto dist = Sssp(csr, 0);
+  for (size_t i = 0; i < csr.num_nodes(); ++i) {
+    if (levels[i] == kUnreachable) {
+      EXPECT_TRUE(std::isinf(dist[i]));
+    } else {
+      EXPECT_DOUBLE_EQ(dist[i], static_cast<double>(levels[i]));
+    }
+  }
+}
+
+TEST(PageRankTest, RanksSumToOne) {
+  MemoryGraph g = Chain(10);
+  CsrGraph csr = CsrGraph::Build(g);
+  PageRankOptions options;
+  options.epsilon = 1e-10;
+  auto result = PageRank(csr, options);
+  double sum = 0;
+  for (double r : result.ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(result.iterations, 1u);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 10; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  for (RelId i = 1; i < 10; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(i, i, 0, "R")).ok());
+  }
+  CsrGraph csr = CsrGraph::Build(g);
+  PageRankOptions options;
+  options.epsilon = 1e-10;
+  auto result = PageRank(csr, options);
+  const double center = result.ranks[csr.ToDense(0)];
+  for (NodeId i = 1; i < 10; ++i) {
+    EXPECT_GT(center, result.ranks[csr.ToDense(i)] * 3);
+  }
+}
+
+TEST(PageRankTest, WarmStartConvergesFaster) {
+  util::Random rng(8);
+  MemoryGraph g;
+  for (NodeId i = 0; i < 200; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  for (RelId i = 0; i < 800; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(
+                            i, rng.Uniform(200), rng.Uniform(200), "R"))
+                    .ok());
+  }
+  CsrGraph csr = CsrGraph::Build(g);
+  PageRankOptions options;
+  options.epsilon = 1e-8;
+  auto cold = PageRank(csr, options);
+  // Warm start from the converged answer: should finish almost immediately.
+  auto warm = PageRank(csr, options, cold.ranks);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  EXPECT_LE(warm.iterations, 2u);
+}
+
+TEST(ConnectedComponentsTest, TwoIslands) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 6; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 1, 2, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(2, 4, 3, "R")).ok());
+  CsrGraph csr = CsrGraph::Build(g);
+  auto comp = ConnectedComponents(csr);
+  EXPECT_EQ(comp[csr.ToDense(0)], comp[csr.ToDense(2)]);
+  EXPECT_EQ(comp[csr.ToDense(3)], comp[csr.ToDense(4)]);
+  EXPECT_NE(comp[csr.ToDense(0)], comp[csr.ToDense(3)]);
+  EXPECT_NE(comp[csr.ToDense(0)], comp[csr.ToDense(5)]);
+}
+
+TEST(TrianglesTest, CountsAndCoefficients) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  // Triangle 0-1-2 plus pendant edges 2-3, 3-4.
+  RelId rid = 0;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(rid++, 0, 1, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(rid++, 1, 2, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(rid++, 2, 0, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(rid++, 2, 3, "R")).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(rid++, 3, 4, "R")).ok());
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(CountTriangles(csr), 1u);
+  auto lcc = LocalClusteringCoefficient(csr);
+  EXPECT_DOUBLE_EQ(lcc[csr.ToDense(0)], 1.0);  // both neighbours connected
+  EXPECT_DOUBLE_EQ(lcc[csr.ToDense(1)], 1.0);
+  // Node 2 has neighbours {0, 1, 3}; one closed pair of three.
+  EXPECT_NEAR(lcc[csr.ToDense(2)], 1.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(lcc[csr.ToDense(4)], 0.0);
+}
+
+TEST(TrianglesTest, CompleteGraphK5) {
+  MemoryGraph g;
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  RelId rid = 0;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) {
+      ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(rid++, i, j, "R")).ok());
+    }
+  }
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(CountTriangles(csr), 10u);  // C(5,3)
+  auto lcc = LocalClusteringCoefficient(csr);
+  for (double c : lcc) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(AggregateTest, SumCountAverage) {
+  MemoryGraph g;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(0)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(1)).ok());
+  graph::PropertySet p1, p2, p_none;
+  p1.Set("amount", graph::PropertyValue(10));
+  p2.Set("amount", graph::PropertyValue(2.5));
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R", p1)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 0, 1, "R", p2)).ok());
+  ASSERT_TRUE(
+      g.Apply(GraphUpdate::AddRelationship(2, 1, 0, "R", p_none)).ok());
+  auto agg = AggregateRelationshipProperty(g, "amount");
+  EXPECT_DOUBLE_EQ(agg.sum, 12.5);
+  EXPECT_EQ(agg.count, 2u);
+  EXPECT_DOUBLE_EQ(agg.Average(), 6.25);
+  // Missing key everywhere.
+  auto none = AggregateRelationshipProperty(g, "absent");
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.Average(), 0.0);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  MemoryGraph g;
+  CsrGraph csr = CsrGraph::Build(g);
+  auto result = PageRank(csr);
+  EXPECT_TRUE(result.ranks.empty());
+  EXPECT_TRUE(Bfs(csr, 0).empty());
+  EXPECT_EQ(CountTriangles(csr), 0u);
+}
+
+}  // namespace
+}  // namespace aion::algo

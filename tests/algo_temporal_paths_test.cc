@@ -1,0 +1,170 @@
+#include "algo/temporal_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/update.h"
+
+namespace aion::algo {
+namespace {
+
+using graph::GraphUpdate;
+using graph::kInfiniteTime;
+using graph::NodeId;
+using graph::TemporalGraph;
+using graph::Timestamp;
+
+GraphUpdate At(Timestamp ts, GraphUpdate u) {
+  u.ts = ts;
+  return u;
+}
+
+/// The aviation network of Fig 2: nodes 0..4; flights as intervals
+/// [departure, arrival). Node/edge lifecycle approximates the figure:
+///   0 -> 2 : [0, 2)     0 -> 3 : [0, 4)    0 -> 4 : [5, 7)
+///   2 -> 1 : [4, 8)     3 -> 1 : [10, 13)  4 -> 1 : [10, 13)... simplified:
+/// we keep the earliest-arrival path 0->2->1 and the latest-departure path
+/// 0->4(5)->1 from the figure's shape.
+std::unique_ptr<TemporalGraph> AviationGraph() {
+  std::vector<GraphUpdate> updates;
+  for (NodeId i = 0; i < 5; ++i) {
+    updates.push_back(At(0, GraphUpdate::AddNode(i, {"Airport"})));
+  }
+  auto flight = [&](graph::RelId id, NodeId src, NodeId tgt, Timestamp dep,
+                    Timestamp arr) {
+    updates.push_back(At(dep, GraphUpdate::AddRelationship(id, src, tgt,
+                                                           "FLIGHT")));
+    updates.push_back(At(arr, GraphUpdate::DeleteRelationship(id)));
+  };
+  // Must be sorted by timestamp for the temporal graph builder; build the
+  // list then sort stably by ts.
+  flight(0, 0, 2, 1, 2);    // 0 -> 2 early hop
+  flight(1, 2, 1, 4, 8);    // 2 -> 1: earliest arrival at 8
+  flight(2, 0, 3, 1, 4);    // 0 -> 3
+  flight(3, 3, 1, 10, 13);  // 3 -> 1: arrival 13
+  flight(4, 0, 4, 5, 7);    // 0 -> 4: latest departure 5
+  flight(5, 4, 1, 10, 13);  // 4 -> 1
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const GraphUpdate& a, const GraphUpdate& b) {
+                     return a.ts < b.ts;
+                   });
+  auto g = TemporalGraph::Build(updates);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(*g);
+}
+
+TEST(TemporalPathsTest, CollectTemporalEdges) {
+  auto g = AviationGraph();
+  auto edges = CollectTemporalEdges(*g);
+  EXPECT_EQ(edges.size(), 6u);
+  // Edge intervals are (departure, arrival).
+  bool found = false;
+  for (const TemporalEdge& e : edges) {
+    if (e.rel == 1) {
+      EXPECT_EQ(e.departure, 4u);
+      EXPECT_EQ(e.arrival, 8u);
+      EXPECT_EQ(e.src, 2u);
+      EXPECT_EQ(e.tgt, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TemporalPathsTest, EarliestArrivalPath) {
+  auto g = AviationGraph();
+  auto ea = EarliestArrival(*g, 0, 0, kInfiniteTime);
+  // Earliest arrival at 1 is via 0->2 (arr 2) then 2->1 (dep 4, arr 8).
+  EXPECT_EQ(ea[1], 8u);
+  EXPECT_EQ(ea[2], 2u);
+  EXPECT_EQ(ea[3], 4u);
+  EXPECT_EQ(ea[4], 7u);
+  EXPECT_EQ(ea[0], 0u);
+}
+
+TEST(TemporalPathsTest, EarliestArrivalRespectsStartTime) {
+  auto g = AviationGraph();
+  // Starting at t=3: the 0->2 flight (dep 1) is gone; 0->4 (dep 5) works.
+  auto ea = EarliestArrival(*g, 0, 3, kInfiniteTime);
+  EXPECT_EQ(ea[2], kInfiniteTime);
+  EXPECT_EQ(ea[4], 7u);
+  EXPECT_EQ(ea[1], 13u);  // via 4 -> 1 (dep 10, arr 13)
+}
+
+TEST(TemporalPathsTest, LatestDeparturePath) {
+  auto g = AviationGraph();
+  auto ld = LatestDeparture(*g, 1, 0, kInfiniteTime);
+  // Latest departure from 0 reaching 1: take 0->4 at 5 (then 4->1 at 10).
+  EXPECT_EQ(ld[0], 5u);
+  EXPECT_EQ(ld[4], 10u);
+  EXPECT_EQ(ld[3], 10u);
+  EXPECT_EQ(ld[2], 4u);
+  // Unreachable towards the target: node 1 itself has t_end.
+  EXPECT_EQ(ld[1], kInfiniteTime);
+}
+
+TEST(TemporalPathsTest, LatestDepartureWithDeadline) {
+  auto g = AviationGraph();
+  // Deadline 9: only 0->2->1 (arrive 8) fits; latest departure from 0 is 1.
+  auto ld = LatestDeparture(*g, 1, 0, 9);
+  EXPECT_EQ(ld[0], 1u);
+  EXPECT_EQ(ld[2], 4u);
+  EXPECT_EQ(ld[4], 0u);  // cannot reach by 9 via 4
+}
+
+TEST(TemporalPathsTest, TimeRespectingOrderMatters) {
+  // Edge into 1 departs BEFORE the edge into the intermediate node arrives:
+  // no time-respecting path.
+  std::vector<GraphUpdate> updates;
+  for (NodeId i = 0; i < 3; ++i) {
+    updates.push_back(At(0, GraphUpdate::AddNode(i)));
+  }
+  updates.push_back(At(5, GraphUpdate::AddRelationship(0, 0, 1, "F")));
+  updates.push_back(At(7, GraphUpdate::DeleteRelationship(0)));  // 0->1 [5,7)
+  // 1->2 departs at 2, long before we can be at node 1.
+  std::vector<GraphUpdate> early = {
+      At(2, GraphUpdate::AddRelationship(1, 1, 2, "F")),
+      At(3, GraphUpdate::DeleteRelationship(1))};
+  updates.insert(updates.begin() + 3, early.begin(), early.end());
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const GraphUpdate& a, const GraphUpdate& b) {
+                     return a.ts < b.ts;
+                   });
+  auto g = TemporalGraph::Build(updates);
+  ASSERT_TRUE(g.ok());
+  auto ea = EarliestArrival(**g, 0, 0, kInfiniteTime);
+  EXPECT_EQ(ea[1], 7u);
+  EXPECT_EQ(ea[2], kInfiniteTime);  // static path exists, temporal does not
+}
+
+TEST(TemporalPathsTest, FastestPath) {
+  auto g = AviationGraph();
+  // Journeys 0->1: dep 1 arr 8 (duration 7); dep 5 arr 13 (duration 8);
+  // dep 1 arr 13 via 3 (duration 12). Fastest = 7.
+  EXPECT_EQ(FastestPathDuration(*g, 0, 1, 0, kInfiniteTime), 7u);
+  // Direct hop 0->2: duration 1.
+  EXPECT_EQ(FastestPathDuration(*g, 0, 2, 0, kInfiniteTime), 1u);
+  EXPECT_EQ(FastestPathDuration(*g, 0, 0, 0, kInfiniteTime), 0u);
+  EXPECT_EQ(FastestPathDuration(*g, 1, 0, 0, kInfiniteTime), kInfiniteTime);
+}
+
+TEST(TemporalPathsTest, ShortestTemporalPathHops) {
+  auto g = AviationGraph();
+  EXPECT_EQ(ShortestTemporalPathHops(*g, 0, 1, 0, kInfiniteTime), 2u);
+  EXPECT_EQ(ShortestTemporalPathHops(*g, 0, 4, 0, kInfiniteTime), 1u);
+  EXPECT_EQ(ShortestTemporalPathHops(*g, 0, 0, 0, kInfiniteTime), 0u);
+  EXPECT_EQ(ShortestTemporalPathHops(*g, 1, 3, 0, kInfiniteTime),
+            std::numeric_limits<uint32_t>::max());
+}
+
+TEST(TemporalPathsTest, WindowRestrictsEdges) {
+  auto g = AviationGraph();
+  // Window [0, 9]: flights arriving after 9 are unusable.
+  auto ea = EarliestArrival(*g, 0, 0, 9);
+  EXPECT_EQ(ea[1], 8u);
+  auto ea_tight = EarliestArrival(*g, 0, 0, 7);
+  EXPECT_EQ(ea_tight[1], kInfiniteTime);
+  EXPECT_EQ(ea_tight[4], 7u);
+}
+
+}  // namespace
+}  // namespace aion::algo

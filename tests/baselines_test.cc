@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/gradoop_like.h"
+#include "baselines/raphtory_like.h"
+#include "graph/temporal_graph.h"
+#include "util/random.h"
+
+namespace aion::baselines {
+namespace {
+
+using graph::Direction;
+using graph::GraphUpdate;
+using graph::NodeId;
+using graph::RelId;
+using graph::Timestamp;
+
+GraphUpdate At(Timestamp ts, GraphUpdate u) {
+  u.ts = ts;
+  return u;
+}
+
+std::vector<GraphUpdate> Timeline() {
+  return {
+      At(1, GraphUpdate::AddNode(0, {"A"})),
+      At(1, GraphUpdate::AddNode(1, {"B"})),
+      At(2, GraphUpdate::AddRelationship(0, 0, 1, "R")),
+      At(3, GraphUpdate::SetNodeProperty(0, "x", graph::PropertyValue(1))),
+      At(5, GraphUpdate::DeleteRelationship(0)),
+      At(6, GraphUpdate::DeleteNode(1)),
+      At(8, GraphUpdate::AddNode(1, {"Born again"})),
+  };
+}
+
+template <typename Baseline>
+class BaselineTest : public ::testing::Test {};
+
+using BaselineTypes = ::testing::Types<RaphtoryLike, GradoopLike>;
+TYPED_TEST_SUITE(BaselineTest, BaselineTypes);
+
+TYPED_TEST(BaselineTest, PointInTimeLookups) {
+  TypeParam store;
+  ASSERT_TRUE(store.IngestAll(Timeline()).ok());
+  // Node 0 property versioning.
+  auto n0_at_2 = store.GetNodeAt(0, 2);
+  ASSERT_TRUE(n0_at_2.has_value());
+  EXPECT_EQ(n0_at_2->props.Get("x"), nullptr);
+  auto n0_at_4 = store.GetNodeAt(0, 4);
+  ASSERT_TRUE(n0_at_4.has_value());
+  EXPECT_EQ(n0_at_4->props.Get("x")->AsInt(), 1);
+  // Node 1 lifecycle.
+  EXPECT_TRUE(store.GetNodeAt(1, 5).has_value());
+  EXPECT_FALSE(store.GetNodeAt(1, 7).has_value());
+  EXPECT_TRUE(store.GetNodeAt(1, 9).has_value());
+  // Relationship lifecycle.
+  EXPECT_FALSE(store.GetRelationshipAt(0, 1).has_value());
+  EXPECT_TRUE(store.GetRelationshipAt(0, 3).has_value());
+  EXPECT_FALSE(store.GetRelationshipAt(0, 5).has_value());
+}
+
+TYPED_TEST(BaselineTest, SnapshotMatchesReference) {
+  TypeParam store;
+  const auto updates = Timeline();
+  ASSERT_TRUE(store.IngestAll(updates).ok());
+  auto reference = graph::TemporalGraph::Build(updates);
+  ASSERT_TRUE(reference.ok());
+  for (Timestamp t : {0ULL, 1ULL, 2ULL, 4ULL, 5ULL, 6ULL, 7ULL, 8ULL, 9ULL}) {
+    auto expected = (*reference)->SnapshotAt(t);
+    auto actual = store.SnapshotAt(t);
+    EXPECT_TRUE(expected->SameGraphAs(*actual)) << "t=" << t;
+  }
+}
+
+TYPED_TEST(BaselineTest, NeighboursAtTime) {
+  TypeParam store;
+  ASSERT_TRUE(store.IngestAll(Timeline()).ok());
+  auto at3 = store.NeighboursAt(0, Direction::kOutgoing, 3);
+  ASSERT_EQ(at3.size(), 1u);
+  EXPECT_EQ(at3[0], 1u);
+  EXPECT_TRUE(store.NeighboursAt(0, Direction::kOutgoing, 5).empty());
+  EXPECT_TRUE(store.NeighboursAt(0, Direction::kOutgoing, 1).empty());
+  auto in_at_3 = store.NeighboursAt(1, Direction::kIncoming, 3);
+  ASSERT_EQ(in_at_3.size(), 1u);
+  EXPECT_EQ(in_at_3[0], 0u);
+}
+
+TEST(RaphtoryLikeTest, DropsParallelEdges) {
+  RaphtoryLike store;
+  ASSERT_TRUE(store.Ingest(At(1, GraphUpdate::AddNode(0))).ok());
+  ASSERT_TRUE(store.Ingest(At(1, GraphUpdate::AddNode(1))).ok());
+  ASSERT_TRUE(
+      store.Ingest(At(2, GraphUpdate::AddRelationship(0, 0, 1, "R"))).ok());
+  ASSERT_TRUE(
+      store.Ingest(At(3, GraphUpdate::AddRelationship(1, 0, 1, "R"))).ok());
+  EXPECT_EQ(store.dropped_parallel_edges(), 1u);
+  EXPECT_FALSE(store.GetRelationshipAt(1, 4).has_value());
+  // After deleting the live edge, a new parallel one is accepted.
+  ASSERT_TRUE(store.Ingest(At(4, GraphUpdate::DeleteRelationship(0))).ok());
+  ASSERT_TRUE(
+      store.Ingest(At(5, GraphUpdate::AddRelationship(2, 0, 1, "R"))).ok());
+  EXPECT_TRUE(store.GetRelationshipAt(2, 6).has_value());
+}
+
+TEST(RaphtoryLikeTest, ExpandPerHop) {
+  RaphtoryLike store;
+  for (NodeId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.Ingest(At(1, GraphUpdate::AddNode(i))).ok());
+  }
+  ASSERT_TRUE(
+      store.Ingest(At(2, GraphUpdate::AddRelationship(0, 0, 1, "R"))).ok());
+  ASSERT_TRUE(
+      store.Ingest(At(2, GraphUpdate::AddRelationship(1, 1, 2, "R"))).ok());
+  ASSERT_TRUE(
+      store.Ingest(At(2, GraphUpdate::AddRelationship(2, 2, 3, "R"))).ok());
+  auto hops = store.Expand(0, Direction::kOutgoing, 2, 2);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0], std::vector<NodeId>{1});
+  EXPECT_EQ(hops[1], std::vector<NodeId>{2});
+}
+
+TEST(GradoopLikeTest, RowCountsGrowWithHistory) {
+  GradoopLike store;
+  ASSERT_TRUE(store.Ingest(At(1, GraphUpdate::AddNode(0))).ok());
+  EXPECT_EQ(store.node_rows(), 1u);
+  // Each property change adds a row (temporal-table encoding).
+  ASSERT_TRUE(store
+                  .Ingest(At(2, GraphUpdate::SetNodeProperty(
+                                    0, "k", graph::PropertyValue(1))))
+                  .ok());
+  ASSERT_TRUE(store
+                  .Ingest(At(3, GraphUpdate::SetNodeProperty(
+                                    0, "k", graph::PropertyValue(2))))
+                  .ok());
+  EXPECT_EQ(store.node_rows(), 3u);
+}
+
+TEST(GradoopLikeTest, SnapshotDropsDanglingRels) {
+  GradoopLike store;
+  ASSERT_TRUE(store.Ingest(At(1, GraphUpdate::AddNode(0))).ok());
+  ASSERT_TRUE(store.Ingest(At(1, GraphUpdate::AddNode(1))).ok());
+  ASSERT_TRUE(
+      store.Ingest(At(2, GraphUpdate::AddRelationship(0, 0, 1, "R"))).ok());
+  // Delete rel then node (consistent stream).
+  ASSERT_TRUE(store.Ingest(At(3, GraphUpdate::DeleteRelationship(0))).ok());
+  ASSERT_TRUE(store.Ingest(At(3, GraphUpdate::DeleteNode(1))).ok());
+  auto at2 = store.SnapshotAt(2);
+  EXPECT_EQ(at2->NumRelationships(), 1u);
+  auto at3 = store.SnapshotAt(3);
+  EXPECT_EQ(at3->NumRelationships(), 0u);
+  EXPECT_EQ(at3->NumNodes(), 1u);
+}
+
+// Equivalence under a random (multigraph-free) update stream.
+TEST(BaselineEquivalenceTest, AllStoresAgreeOnRandomStream) {
+  util::Random rng(99);
+  RaphtoryLike raphtory;
+  GradoopLike gradoop;
+  graph::TemporalGraph reference;
+
+  std::vector<std::pair<NodeId, NodeId>> used_pairs;
+  std::vector<RelId> live;
+  NodeId next_node = 0;
+  RelId next_rel = 0;
+  Timestamp ts = 0;
+  std::set<std::pair<NodeId, NodeId>> pair_set;
+  for (int op = 0; op < 400; ++op) {
+    ++ts;
+    GraphUpdate u;
+    const double dice = rng.NextDouble();
+    if (dice < 0.3 || next_node < 2) {
+      u = GraphUpdate::AddNode(next_node++);
+    } else if (dice < 0.6) {
+      const NodeId s = rng.Uniform(next_node);
+      const NodeId t = rng.Uniform(next_node);
+      if (s == t || !pair_set.insert({s, t}).second) continue;  // simple graph
+      u = GraphUpdate::AddRelationship(next_rel, s, t, "R");
+      live.push_back(next_rel++);
+    } else if (dice < 0.85) {
+      const NodeId n = rng.Uniform(next_node);
+      u = GraphUpdate::SetNodeProperty(n, "p",
+                                       graph::PropertyValue(op));
+    } else if (!live.empty()) {
+      const size_t idx = rng.Uniform(live.size());
+      u = GraphUpdate::DeleteRelationship(live[idx]);
+      live.erase(live.begin() + static_cast<long>(idx));
+    } else {
+      continue;
+    }
+    u.ts = ts;
+    ASSERT_TRUE(reference.Apply(u).ok()) << u.ToString();
+    if (u.op == graph::UpdateOp::kDeleteRelationship) {
+      // Keep the pair bookkeeping consistent for re-adds.
+      const auto rel = gradoop.GetRelationshipAt(u.id, ts - 1);
+      if (rel.has_value()) pair_set.erase({rel->src, rel->tgt});
+    }
+    ASSERT_TRUE(raphtory.Ingest(u).ok()) << u.ToString();
+    ASSERT_TRUE(gradoop.Ingest(u).ok()) << u.ToString();
+  }
+  EXPECT_EQ(raphtory.dropped_parallel_edges(), 0u);
+  for (Timestamp t : {ts / 4, ts / 2, ts}) {
+    auto expected = reference.SnapshotAt(t);
+    EXPECT_TRUE(expected->SameGraphAs(*raphtory.SnapshotAt(t))) << t;
+    EXPECT_TRUE(expected->SameGraphAs(*gradoop.SnapshotAt(t))) << t;
+  }
+}
+
+}  // namespace
+}  // namespace aion::baselines

@@ -1,0 +1,78 @@
+#include "core/bitemporal.h"
+
+#include <gtest/gtest.h>
+
+namespace aion::core {
+namespace {
+
+using graph::kInfiniteTime;
+using graph::PropertySet;
+using graph::PropertyValue;
+using graph::TimeInterval;
+
+PropertySet WithAppTime(int64_t start, int64_t end) {
+  PropertySet props;
+  props.Set(kApplicationStartKey, PropertyValue(start));
+  props.Set(kApplicationEndKey, PropertyValue(end));
+  return props;
+}
+
+TEST(BitemporalTest, ApplicationIntervalFromProperties) {
+  const TimeInterval system{5, 50};
+  EXPECT_EQ(ApplicationInterval(WithAppTime(100, 200), system),
+            (TimeInterval{100, 200}));
+}
+
+TEST(BitemporalTest, FallsBackToSystemTime) {
+  // Sec 4.5: "If the application time is not set as a property, we fall
+  // back to using the system time."
+  const TimeInterval system{5, 50};
+  EXPECT_EQ(ApplicationInterval(PropertySet{}, system), system);
+}
+
+TEST(BitemporalTest, PartialPropertiesMix) {
+  const TimeInterval system{5, 50};
+  PropertySet only_start;
+  only_start.Set(kApplicationStartKey, PropertyValue(int64_t{10}));
+  EXPECT_EQ(ApplicationInterval(only_start, system), (TimeInterval{10, 50}));
+  PropertySet only_end;
+  only_end.Set(kApplicationEndKey, PropertyValue(int64_t{30}));
+  EXPECT_EQ(ApplicationInterval(only_end, system), (TimeInterval{5, 30}));
+}
+
+TEST(BitemporalTest, NonIntPropertiesIgnored) {
+  const TimeInterval system{5, 50};
+  PropertySet props;
+  props.Set(kApplicationStartKey, PropertyValue("not a time"));
+  props.Set(kApplicationEndKey, PropertyValue(3.5));
+  EXPECT_EQ(ApplicationInterval(props, system), system);
+}
+
+TEST(BitemporalTest, ContainedInBoundariesInclusive) {
+  const TimeInterval system{0, kInfiniteTime};
+  // CONTAINED IN (a, b): start >= a AND end <= b.
+  EXPECT_TRUE(
+      ApplicationTimeContainedIn(WithAppTime(100, 200), system, 100, 200));
+  EXPECT_TRUE(
+      ApplicationTimeContainedIn(WithAppTime(100, 200), system, 99, 201));
+  EXPECT_FALSE(
+      ApplicationTimeContainedIn(WithAppTime(100, 200), system, 101, 200));
+  EXPECT_FALSE(
+      ApplicationTimeContainedIn(WithAppTime(100, 200), system, 100, 199));
+}
+
+TEST(BitemporalTest, FilterVersionsKeepsMatchesOnly) {
+  std::vector<graph::NodeVersion> versions(3);
+  versions[0].entity.props = WithAppTime(100, 200);
+  versions[1].entity.props = WithAppTime(300, 400);
+  versions[2].interval = {10, 20};  // no app time: system fallback
+  auto filtered = FilterByApplicationTime(versions, 50, 250);
+  ASSERT_EQ(filtered.size(), 1u);  // only [100,200]; [10,20] starts too early
+  filtered = FilterByApplicationTime(versions, 250, 500);
+  EXPECT_EQ(filtered.size(), 1u);  // only [300,400]
+  filtered = FilterByApplicationTime(versions, 0, 30);
+  EXPECT_EQ(filtered.size(), 1u);  // only the system-time fallback
+}
+
+}  // namespace
+}  // namespace aion::core

@@ -1,0 +1,149 @@
+#include "core/graphstore.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/update.h"
+
+namespace aion::core {
+namespace {
+
+using graph::GraphUpdate;
+using graph::Timestamp;
+
+GraphUpdate At(Timestamp ts, GraphUpdate u) {
+  u.ts = ts;
+  return u;
+}
+
+std::shared_ptr<const graph::MemoryGraph> GraphWithNodes(size_t n) {
+  auto g = std::make_unique<graph::MemoryGraph>();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(g->Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  return g;
+}
+
+TEST(GraphStoreTest, LatestReplicaTracksUpdates) {
+  GraphStore store(1 << 20);
+  ASSERT_TRUE(store.ApplyToLatest(At(1, GraphUpdate::AddNode(0))).ok());
+  ASSERT_TRUE(store.ApplyToLatest(At(2, GraphUpdate::AddNode(1))).ok());
+  auto latest = store.Latest();
+  EXPECT_EQ(latest->NumNodes(), 2u);
+  EXPECT_EQ(store.latest_ts(), 2u);
+}
+
+TEST(GraphStoreTest, PublishedLatestIsImmutableSnapshot) {
+  GraphStore store(1 << 20);
+  ASSERT_TRUE(store.ApplyToLatest(At(1, GraphUpdate::AddNode(0))).ok());
+  auto snapshot = store.Latest();
+  EXPECT_EQ(snapshot->NumNodes(), 1u);
+  // Mutating after publication must not change the published snapshot
+  // (copy-on-write).
+  ASSERT_TRUE(store.ApplyToLatest(At(2, GraphUpdate::AddNode(1))).ok());
+  EXPECT_EQ(snapshot->NumNodes(), 1u);
+  EXPECT_EQ(store.Latest()->NumNodes(), 2u);
+}
+
+TEST(GraphStoreTest, WithLatestDoesNotPublish) {
+  GraphStore store(1 << 20);
+  ASSERT_TRUE(store.ApplyToLatest(At(1, GraphUpdate::AddNode(0))).ok());
+  size_t count = 0;
+  store.WithLatest([&](const graph::MemoryGraph& g) { count = g.NumNodes(); });
+  EXPECT_EQ(count, 1u);
+  ASSERT_TRUE(store.ApplyToLatest(At(2, GraphUpdate::AddNode(1))).ok());
+  store.WithLatest([&](const graph::MemoryGraph& g) { count = g.NumNodes(); });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(GraphStoreTest, PutGetExactTimestamp) {
+  GraphStore store(1 << 20);
+  store.Put(10, GraphWithNodes(3));
+  auto hit = store.Get(10);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->NumNodes(), 3u);
+  EXPECT_EQ(store.Get(11), nullptr);
+  EXPECT_GE(store.hits(), 1u);
+  EXPECT_GE(store.misses(), 1u);
+}
+
+TEST(GraphStoreTest, ClosestAtOrBeforeFloorSemantics) {
+  GraphStore store(1 << 30);
+  store.Put(10, GraphWithNodes(1));
+  store.Put(20, GraphWithNodes(2));
+  store.Put(30, GraphWithNodes(3));
+  Timestamp ts = 0;
+  auto s = store.ClosestAtOrBefore(25, &ts);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ts, 20u);
+  EXPECT_EQ(s->NumNodes(), 2u);
+  s = store.ClosestAtOrBefore(10, &ts);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ts, 10u);
+  // Before every cached snapshot, the (empty) latest replica at ts 0 still
+  // qualifies: the graph is empty until the first update.
+  s = store.ClosestAtOrBefore(5, &ts);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ts, 0u);
+  EXPECT_EQ(s->NumNodes(), 0u);
+}
+
+TEST(GraphStoreTest, ClosestPrefersLatestReplicaWhenNewer) {
+  GraphStore store(1 << 30);
+  store.Put(10, GraphWithNodes(1));
+  ASSERT_TRUE(store.ApplyToLatest(At(50, GraphUpdate::AddNode(0))).ok());
+  Timestamp ts = 0;
+  auto s = store.ClosestAtOrBefore(60, &ts);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ts, 50u);
+  // Queries before the replica's timestamp use the older snapshot.
+  s = store.ClosestAtOrBefore(20, &ts);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(ts, 10u);
+}
+
+TEST(GraphStoreTest, LruEvictionUnderMemoryPressure) {
+  // Capacity fits roughly one 100-node graph (~60B/node + overhead).
+  GraphStore store(100 * 70);
+  store.Put(1, GraphWithNodes(100));
+  store.Put(2, GraphWithNodes(100));
+  store.Put(3, GraphWithNodes(100));
+  // At most 2 snapshots retained (eviction keeps >= 1).
+  EXPECT_LE(store.cached_snapshots(), 2u);
+  EXPECT_LE(store.cached_bytes(), 100u * 70u * 2);
+}
+
+TEST(GraphStoreTest, EvictionPrefersLeastRecentlyUsed) {
+  // Capacity for exactly three 50-node graphs.
+  const size_t cost = GraphWithNodes(50)->EstimateMemoryBytes();
+  GraphStore store(3 * cost + cost / 2);
+  store.Put(1, GraphWithNodes(50));
+  store.Put(2, GraphWithNodes(50));
+  // Touch snapshot 1 so snapshot 2 is the LRU victim.
+  EXPECT_NE(store.Get(1), nullptr);
+  store.Put(3, GraphWithNodes(50));
+  store.Put(4, GraphWithNodes(50));  // exceeds capacity: evicts 2
+  EXPECT_NE(store.Get(1), nullptr);
+  EXPECT_EQ(store.Get(2), nullptr);
+}
+
+TEST(GraphStoreTest, ResultStore) {
+  GraphStore store(1 << 20);
+  EXPECT_FALSE(store.GetResult("pr").has_value());
+  store.PutResult("pr", {0.1, 0.2, 0.7});
+  auto r = store.GetResult("pr");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 3u);
+  store.PutResult("pr", {1.0});
+  EXPECT_EQ(store.GetResult("pr")->size(), 1u);
+}
+
+TEST(GraphStoreTest, PutReplacesSameTimestamp) {
+  GraphStore store(1 << 30);
+  store.Put(5, GraphWithNodes(1));
+  store.Put(5, GraphWithNodes(9));
+  EXPECT_EQ(store.Get(5)->NumNodes(), 9u);
+  EXPECT_EQ(store.cached_snapshots(), 1u);
+}
+
+}  // namespace
+}  // namespace aion::core

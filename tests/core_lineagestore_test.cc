@@ -1,0 +1,436 @@
+#include "core/lineagestore.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/temporal_graph.h"
+#include "storage/file.h"
+#include "util/random.h"
+
+namespace aion::core {
+namespace {
+
+using graph::Direction;
+using graph::GraphUpdate;
+using graph::kInfiniteTime;
+using graph::TimeInterval;
+
+GraphUpdate At(Timestamp ts, GraphUpdate u) {
+  u.ts = ts;
+  return u;
+}
+
+class LineageStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_ls_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    pool_ = storage::StringPool::InMemory();
+  }
+  void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<LineageStore> OpenStore(uint32_t threshold = 4) {
+    LineageStore::Options options;
+    options.dir = dir_ + "/ls" + std::to_string(++counter_);
+    options.materialization_threshold = threshold;
+    auto store = LineageStore::Open(options, pool_.get());
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return store.ok() ? std::move(*store) : nullptr;
+  }
+
+  std::string dir_;
+  std::unique_ptr<storage::StringPool> pool_;
+  int counter_ = 0;
+};
+
+// Timeline identical to the TemporalGraph test, serving as the reference.
+std::vector<GraphUpdate> Timeline() {
+  return {
+      At(1, GraphUpdate::AddNode(0, {"A"})),
+      At(1, GraphUpdate::AddNode(1, {"B"})),
+      At(2, GraphUpdate::AddRelationship(0, 0, 1, "R")),
+      At(3, GraphUpdate::SetNodeProperty(0, "x", graph::PropertyValue(1))),
+      At(5, GraphUpdate::DeleteRelationship(0)),
+      At(6, GraphUpdate::DeleteNode(1)),
+      At(8, GraphUpdate::AddNode(1, {"Born again"})),
+  };
+}
+
+TEST_F(LineageStoreTest, PointLookupAtTime) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll(Timeline()).ok());
+  auto n0_at_2 = store->GetNodeAt(0, 2);
+  ASSERT_TRUE(n0_at_2.ok());
+  ASSERT_TRUE(n0_at_2->has_value());
+  EXPECT_TRUE((*n0_at_2)->HasLabel("A"));
+  EXPECT_EQ((*n0_at_2)->props.Get("x"), nullptr);
+
+  auto n0_at_3 = store->GetNodeAt(0, 3);
+  ASSERT_TRUE(n0_at_3.ok());
+  EXPECT_EQ((*n0_at_3)->props.Get("x")->AsInt(), 1);
+
+  EXPECT_FALSE(store->GetNodeAt(0, 0)->has_value());   // before creation
+  EXPECT_FALSE(store->GetNodeAt(1, 7)->has_value());   // deleted window
+  EXPECT_TRUE(store->GetNodeAt(1, 8)->has_value());    // re-added
+  EXPECT_FALSE(store->GetNodeAt(42, 5)->has_value());  // never existed
+}
+
+TEST_F(LineageStoreTest, RelationshipLookupAndHistory) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll(Timeline()).ok());
+  auto at3 = store->GetRelationshipAt(0, 3);
+  ASSERT_TRUE(at3.ok());
+  ASSERT_TRUE(at3->has_value());
+  EXPECT_EQ((*at3)->src, 0u);
+  EXPECT_FALSE(store->GetRelationshipAt(0, 5)->has_value());
+
+  auto history = store->GetRelationship(0, 0, kInfiniteTime);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].interval, (TimeInterval{2, 5}));
+}
+
+TEST_F(LineageStoreTest, NodeHistoryMatchesTemporalGraphReference) {
+  auto store = OpenStore();
+  const auto updates = Timeline();
+  ASSERT_TRUE(store->ApplyAll(updates).ok());
+  auto reference = graph::TemporalGraph::Build(updates);
+  ASSERT_TRUE(reference.ok());
+  for (graph::NodeId id : {0ULL, 1ULL}) {
+    auto got = store->GetNode(id, 0, kInfiniteTime);
+    ASSERT_TRUE(got.ok());
+    const auto expected = (*reference)->NodeHistory(id, 0, kInfiniteTime);
+    ASSERT_EQ(got->size(), expected.size()) << "node " << id;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*got)[i].interval, expected[i].interval);
+      EXPECT_EQ((*got)[i].entity, expected[i].entity);
+    }
+  }
+}
+
+TEST_F(LineageStoreTest, HistoryWindowClipping) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll(Timeline()).ok());
+  // Node 0 versions: [1,3), [3,inf). Window [2,3) only sees the first.
+  auto w = store->GetNode(0, 2, 3);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), 1u);
+  EXPECT_EQ((*w)[0].interval, (TimeInterval{1, 3}));
+  // Window [4, 9): only the second.
+  w = store->GetNode(0, 4, 9);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), 1u);
+  EXPECT_EQ((*w)[0].interval.start, 3u);
+  // Node 1 in dead window [6, 8): empty.
+  EXPECT_TRUE(store->GetNode(1, 6, 8)->empty());
+}
+
+TEST_F(LineageStoreTest, SameTimestampUpdatesCollapse) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll({
+      At(1, GraphUpdate::AddNode(0)),
+      At(1, GraphUpdate::SetNodeProperty(0, "a", graph::PropertyValue(1))),
+      At(1, GraphUpdate::SetNodeProperty(0, "b", graph::PropertyValue(2))),
+  }).ok());
+  auto history = store->GetNode(0, 0, kInfiniteTime);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->size(), 1u);
+  EXPECT_EQ((*history)[0].entity.props.Get("a")->AsInt(), 1);
+  EXPECT_EQ((*history)[0].entity.props.Get("b")->AsInt(), 2);
+}
+
+TEST_F(LineageStoreTest, GetRelationshipsByDirection) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll({
+      At(1, GraphUpdate::AddNode(0)),
+      At(1, GraphUpdate::AddNode(1)),
+      At(1, GraphUpdate::AddNode(2)),
+      At(2, GraphUpdate::AddRelationship(0, 0, 1, "R")),
+      At(3, GraphUpdate::AddRelationship(1, 2, 0, "R")),
+      At(4, GraphUpdate::AddRelationship(2, 0, 0, "SELF")),
+  }).ok());
+  auto out = store->GetRelationships(0, Direction::kOutgoing, 4, 4);
+  ASSERT_TRUE(out.ok());
+  std::set<graph::RelId> out_ids;
+  for (const auto& h : *out) out_ids.insert(h.front().entity.id);
+  EXPECT_EQ(out_ids, (std::set<graph::RelId>{0, 2}));
+
+  auto in = store->GetRelationships(0, Direction::kIncoming, 4, 4);
+  ASSERT_TRUE(in.ok());
+  std::set<graph::RelId> in_ids;
+  for (const auto& h : *in) in_ids.insert(h.front().entity.id);
+  EXPECT_EQ(in_ids, (std::set<graph::RelId>{1, 2}));
+
+  auto both = store->GetRelationships(0, Direction::kBoth, 4, 4);
+  ASSERT_TRUE(both.ok());
+  std::set<graph::RelId> both_ids;
+  for (const auto& h : *both) both_ids.insert(h.front().entity.id);
+  EXPECT_EQ(both_ids, (std::set<graph::RelId>{0, 1, 2}));
+}
+
+TEST_F(LineageStoreTest, GetRelationshipsRespectsTimeWindow) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll(Timeline()).ok());
+  // Rel 0 lives [2, 5). At t=1: nothing; at t=2..4: present; at t=5: gone.
+  EXPECT_TRUE(store->GetRelationships(0, Direction::kOutgoing, 1, 1)->empty());
+  EXPECT_EQ(store->GetRelationships(0, Direction::kOutgoing, 3, 3)->size(), 1u);
+  EXPECT_TRUE(store->GetRelationships(0, Direction::kOutgoing, 5, 5)->empty());
+  // Window [0, 10) overlaps its lifetime.
+  EXPECT_EQ(store->GetRelationships(0, Direction::kOutgoing, 0, 10)->size(),
+            1u);
+}
+
+TEST_F(LineageStoreTest, LiveNeighboursAtTime) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll(Timeline()).ok());
+  auto at3 = store->GetLiveNeighbours(0, Direction::kOutgoing, 3);
+  ASSERT_TRUE(at3.ok());
+  ASSERT_EQ(at3->size(), 1u);
+  EXPECT_EQ((*at3)[0].neighbour, 1u);
+  EXPECT_EQ((*at3)[0].rel, 0u);
+  EXPECT_TRUE(store->GetLiveNeighbours(0, Direction::kOutgoing, 5)->empty());
+  EXPECT_TRUE(store->GetLiveNeighbours(0, Direction::kOutgoing, 1)->empty());
+}
+
+TEST_F(LineageStoreTest, ExpandMultiHop) {
+  auto store = OpenStore();
+  // Chain 0 -> 1 -> 2 -> 3 plus shortcut 0 -> 2.
+  ASSERT_TRUE(store->ApplyAll({
+      At(1, GraphUpdate::AddNode(0)),
+      At(1, GraphUpdate::AddNode(1)),
+      At(1, GraphUpdate::AddNode(2)),
+      At(1, GraphUpdate::AddNode(3)),
+      At(2, GraphUpdate::AddRelationship(0, 0, 1, "R")),
+      At(2, GraphUpdate::AddRelationship(1, 1, 2, "R")),
+      At(2, GraphUpdate::AddRelationship(2, 2, 3, "R")),
+      At(2, GraphUpdate::AddRelationship(3, 0, 2, "R")),
+  }).ok());
+  auto hops = store->Expand(0, Direction::kOutgoing, 2, 2);
+  ASSERT_TRUE(hops.ok());
+  ASSERT_EQ(hops->size(), 2u);
+  std::set<graph::NodeId> hop1, hop2;
+  for (const auto& n : (*hops)[0]) hop1.insert(n.id);
+  for (const auto& n : (*hops)[1]) hop2.insert(n.id);
+  EXPECT_EQ(hop1, (std::set<graph::NodeId>{1, 2}));
+  EXPECT_EQ(hop2, (std::set<graph::NodeId>{2, 3}));  // per-hop dedup only
+}
+
+TEST_F(LineageStoreTest, ExpandRespectsTime) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll(Timeline()).ok());
+  auto before = store->Expand(0, Direction::kOutgoing, 1, 1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE((*before)[0].empty());
+  auto during = store->Expand(0, Direction::kOutgoing, 1, 3);
+  ASSERT_TRUE(during.ok());
+  ASSERT_EQ((*during)[0].size(), 1u);
+  EXPECT_EQ((*during)[0][0].id, 1u);
+  EXPECT_TRUE((*during)[0][0].HasLabel("B"));
+}
+
+TEST_F(LineageStoreTest, MaterializationThresholdBoundsChains) {
+  // threshold=1: every update is a full record; threshold=100: all deltas.
+  for (uint32_t threshold : {1u, 2u, 4u, 100u}) {
+    auto store = OpenStore(threshold);
+    std::vector<GraphUpdate> updates = {At(1, GraphUpdate::AddNode(0))};
+    for (int i = 0; i < 20; ++i) {
+      updates.push_back(At(static_cast<Timestamp>(i + 2),
+                           GraphUpdate::SetNodeProperty(
+                               0, "v", graph::PropertyValue(i))));
+    }
+    ASSERT_TRUE(store->ApplyAll(updates).ok());
+    // Regardless of threshold, reconstruction is identical.
+    for (Timestamp t : {1ULL, 5ULL, 13ULL, 21ULL}) {
+      auto node = store->GetNodeAt(0, t);
+      ASSERT_TRUE(node.ok());
+      ASSERT_TRUE(node->has_value()) << "threshold " << threshold;
+      if (t >= 2) {
+        EXPECT_EQ((*node)->props.Get("v")->AsInt(),
+                  static_cast<int64_t>(t - 2))
+            << "threshold " << threshold << " t " << t;
+      }
+    }
+  }
+}
+
+TEST_F(LineageStoreTest, SmallerThresholdUsesMoreStorage) {
+  uint64_t bytes_threshold_1 = 0, bytes_threshold_16 = 0;
+  for (uint32_t threshold : {1u, 16u}) {
+    auto store = OpenStore(threshold);
+    std::vector<GraphUpdate> updates = {At(1, GraphUpdate::AddNode(0))};
+    // Wide node: many properties so materialized records are large.
+    for (int i = 0; i < 16; ++i) {
+      updates.push_back(
+          At(1, GraphUpdate::SetNodeProperty(0, "init" + std::to_string(i),
+                                             graph::PropertyValue(i))));
+    }
+    for (int i = 0; i < 64; ++i) {
+      updates.push_back(At(static_cast<Timestamp>(i + 2),
+                           GraphUpdate::SetNodeProperty(
+                               0, "v", graph::PropertyValue(i))));
+    }
+    ASSERT_TRUE(store->ApplyAll(updates).ok());
+    ASSERT_TRUE(store->Flush().ok());
+    if (threshold == 1) {
+      bytes_threshold_1 = store->num_records();
+      bytes_threshold_1 = store->SizeBytes();
+    } else {
+      bytes_threshold_16 = store->SizeBytes();
+    }
+  }
+  // Full materialization on every update must cost strictly more pages than
+  // mostly-delta chains. (Page-granular, so compare sizes loosely.)
+  EXPECT_GE(bytes_threshold_1, bytes_threshold_16);
+}
+
+TEST_F(LineageStoreTest, DeleteRelationshipWithoutEndpointsReconstructs) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->ApplyAll({
+      At(1, GraphUpdate::AddNode(0)),
+      At(1, GraphUpdate::AddNode(1)),
+      At(2, GraphUpdate::AddRelationship(0, 0, 1, "R")),
+  }).ok());
+  // Delete update without populated endpoints.
+  GraphUpdate del = At(3, GraphUpdate::DeleteRelationship(0));
+  ASSERT_EQ(del.src, graph::kInvalidNodeId);
+  ASSERT_TRUE(store->Apply(del).ok());
+  EXPECT_FALSE(store->GetRelationshipAt(0, 3)->has_value());
+  EXPECT_TRUE(store->GetLiveNeighbours(0, Direction::kOutgoing, 3)->empty());
+}
+
+TEST_F(LineageStoreTest, AppliedWatermarkAdvances) {
+  auto store = OpenStore();
+  EXPECT_EQ(store->applied_ts(), 0u);
+  ASSERT_TRUE(store->Apply(At(7, GraphUpdate::AddNode(0))).ok());
+  EXPECT_EQ(store->applied_ts(), 7u);
+}
+
+TEST_F(LineageStoreTest, PersistsAcrossReopen) {
+  LineageStore::Options options;
+  options.dir = dir_ + "/persist";
+  {
+    auto store = LineageStore::Open(options, pool_.get());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->ApplyAll(Timeline()).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto store = LineageStore::Open(options, pool_.get());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->applied_ts(), 8u);
+  auto node = (*store)->GetNodeAt(0, 10);
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(node->has_value());
+  EXPECT_EQ((*node)->props.Get("x")->AsInt(), 1);
+  // Continue applying after reopen.
+  ASSERT_TRUE(
+      (*store)
+          ->Apply(At(9, GraphUpdate::SetNodeProperty(
+                            0, "x", graph::PropertyValue(2))))
+          .ok());
+  EXPECT_EQ((*(*store)->GetNodeAt(0, 9))->props.Get("x")->AsInt(), 2);
+}
+
+// Property sweep: random update streams checked against the TemporalGraph
+// reference model across materialization thresholds.
+struct FuzzParams {
+  int seed;
+  uint32_t threshold;
+};
+
+class LineageFuzzTest
+    : public LineageStoreTest,
+      public ::testing::WithParamInterface<std::tuple<int, uint32_t>> {};
+
+TEST_P(LineageFuzzTest, MatchesTemporalGraphReference) {
+  const auto [seed, threshold] = GetParam();
+  util::Random rng(static_cast<uint64_t>(seed) * 31 + 7);
+  auto store = OpenStore(threshold);
+  graph::TemporalGraph reference;
+
+  std::vector<graph::NodeId> live_nodes;
+  std::vector<graph::RelId> live_rels;
+  graph::NodeId next_node = 0;
+  graph::RelId next_rel = 0;
+  Timestamp ts = 0;
+  std::vector<GraphUpdate> all;
+  for (int op = 0; op < 800; ++op) {
+    if (rng.Bernoulli(0.7)) ++ts;
+    GraphUpdate u;
+    const double dice = rng.NextDouble();
+    if (dice < 0.25 || live_nodes.empty()) {
+      u = GraphUpdate::AddNode(next_node, {"L" + std::to_string(op % 3)});
+      live_nodes.push_back(next_node++);
+    } else if (dice < 0.45) {
+      const graph::NodeId s = live_nodes[rng.Uniform(live_nodes.size())];
+      const graph::NodeId t = live_nodes[rng.Uniform(live_nodes.size())];
+      u = GraphUpdate::AddRelationship(next_rel, s, t, "R");
+      live_rels.push_back(next_rel++);
+    } else if (dice < 0.75) {
+      const graph::NodeId n = live_nodes[rng.Uniform(live_nodes.size())];
+      u = GraphUpdate::SetNodeProperty(
+          n, "p" + std::to_string(op % 4),
+          graph::PropertyValue(static_cast<int>(op)));
+    } else if (dice < 0.85 && !live_rels.empty()) {
+      const graph::RelId r = live_rels[rng.Uniform(live_rels.size())];
+      u = GraphUpdate::SetRelationshipProperty(
+          r, "w", graph::PropertyValue(static_cast<double>(op)));
+    } else if (!live_rels.empty()) {
+      const size_t idx = rng.Uniform(live_rels.size());
+      u = GraphUpdate::DeleteRelationship(live_rels[idx]);
+      live_rels.erase(live_rels.begin() + static_cast<long>(idx));
+    } else {
+      continue;
+    }
+    u.ts = ts;
+    ASSERT_TRUE(reference.Apply(u).ok()) << u.ToString();
+    ASSERT_TRUE(store->Apply(u).ok()) << u.ToString();
+    all.push_back(u);
+  }
+
+  // Point-in-time equivalence at sampled times for sampled entities.
+  for (int check = 0; check < 60; ++check) {
+    const Timestamp t = rng.Uniform(ts + 2);
+    const graph::NodeId n = rng.Uniform(next_node);
+    auto got = store->GetNodeAt(n, t);
+    ASSERT_TRUE(got.ok());
+    const graph::Node* expected = reference.NodeAt(n, t);
+    ASSERT_EQ(got->has_value(), expected != nullptr)
+        << "node " << n << " at " << t;
+    if (expected != nullptr) {
+      EXPECT_EQ(**got, *expected);
+    }
+    if (next_rel > 0) {
+      const graph::RelId r = rng.Uniform(next_rel);
+      auto rel_got = store->GetRelationshipAt(r, t);
+      ASSERT_TRUE(rel_got.ok());
+      const graph::Relationship* rel_expected = reference.RelationshipAt(r, t);
+      ASSERT_EQ(rel_got->has_value(), rel_expected != nullptr);
+      if (rel_expected != nullptr) {
+        EXPECT_EQ(**rel_got, *rel_expected);
+      }
+    }
+  }
+
+  // Full-history equivalence for sampled nodes.
+  for (int check = 0; check < 20; ++check) {
+    const graph::NodeId n = rng.Uniform(next_node);
+    auto got = store->GetNode(n, 0, kInfiniteTime);
+    ASSERT_TRUE(got.ok());
+    const auto expected = reference.NodeHistory(n, 0, kInfiniteTime);
+    ASSERT_EQ(got->size(), expected.size()) << "node " << n;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*got)[i].interval, expected[i].interval);
+      EXPECT_EQ((*got)[i].entity, expected[i].entity);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThresholds, LineageFuzzTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1u, 4u, 32u)));
+
+}  // namespace
+}  // namespace aion::core

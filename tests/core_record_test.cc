@@ -1,0 +1,222 @@
+#include "core/record.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/string_pool.h"
+
+namespace aion::core {
+namespace {
+
+class RecordTest : public ::testing::Test {
+ protected:
+  RecordTest() : pool_(storage::StringPool::InMemory()), codec_(pool_.get()) {}
+
+  TemporalRecord RoundTrip(const TemporalRecord& record) {
+    std::string buf;
+    EXPECT_TRUE(codec_.Encode(record, &buf).ok());
+    util::Slice input(buf);
+    auto decoded = codec_.Decode(&input);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(input.empty());
+    return decoded.ok() ? *decoded : TemporalRecord{};
+  }
+
+  std::unique_ptr<storage::StringPool> pool_;
+  RecordCodec codec_;
+};
+
+graph::Node SampleNode() {
+  graph::Node node;
+  node.id = 42;
+  node.labels = {"Admin", "Person"};
+  node.props.Set("name", graph::PropertyValue("ada"));
+  node.props.Set("age", graph::PropertyValue(36));
+  node.props.Set("score", graph::PropertyValue(0.5));
+  node.props.Set("tags", graph::PropertyValue(
+                             std::vector<std::string>{"a", "b"}));
+  return node;
+}
+
+graph::Relationship SampleRel() {
+  graph::Relationship rel;
+  rel.id = 7;
+  rel.src = 1;
+  rel.tgt = 2;
+  rel.type = "KNOWS";
+  rel.props.Set("since", graph::PropertyValue(1999));
+  return rel;
+}
+
+TEST_F(RecordTest, FullNodeRoundTrip) {
+  const TemporalRecord record = RecordCodec::FullNode(SampleNode(), 5);
+  EXPECT_EQ(record.entity_type, EntityType::kNode);
+  EXPECT_FALSE(record.delta);
+  EXPECT_FALSE(record.deleted);
+  const TemporalRecord decoded = RoundTrip(record);
+  EXPECT_EQ(decoded, record);
+}
+
+TEST_F(RecordTest, FullRelationshipRoundTrip) {
+  const TemporalRecord record = RecordCodec::FullRelationship(SampleRel(), 9);
+  const TemporalRecord decoded = RoundTrip(record);
+  EXPECT_EQ(decoded, record);
+  EXPECT_EQ(decoded.src, 1u);
+  EXPECT_EQ(decoded.tgt, 2u);
+  EXPECT_EQ(decoded.rel_type, "KNOWS");
+}
+
+TEST_F(RecordTest, TombstoneIsTiny) {
+  const TemporalRecord record =
+      RecordCodec::Tombstone(EntityType::kNode, 1234, 999);
+  std::string buf;
+  ASSERT_TRUE(codec_.Encode(record, &buf).ok());
+  // Header + varint id + varint ts: "deleted entities require space only
+  // for their ID and timestamp" (Sec 4.2).
+  EXPECT_LE(buf.size(), 6u);
+  const TemporalRecord decoded = RoundTrip(record);
+  EXPECT_TRUE(decoded.deleted);
+  EXPECT_EQ(decoded.id, 1234u);
+  EXPECT_EQ(decoded.ts, 999u);
+}
+
+TEST_F(RecordTest, DeltaFromPropertyUpdate) {
+  graph::GraphUpdate u =
+      graph::GraphUpdate::SetNodeProperty(3, "k", graph::PropertyValue(1));
+  u.ts = 11;
+  auto delta = RecordCodec::DeltaFromUpdate(u);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->delta);
+  EXPECT_EQ(delta->props.size(), 1u);
+  EXPECT_EQ(RoundTrip(*delta), *delta);
+}
+
+TEST_F(RecordTest, DeltaFromLabelRemove) {
+  graph::GraphUpdate u = graph::GraphUpdate::RemoveNodeLabel(3, "Old");
+  u.ts = 12;
+  auto delta = RecordCodec::DeltaFromUpdate(u);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->labels.size(), 1u);
+  EXPECT_TRUE(delta->labels[0].removed);
+  EXPECT_EQ(RoundTrip(*delta), *delta);
+}
+
+TEST_F(RecordTest, DeltaRejectsStructuralOps) {
+  EXPECT_FALSE(
+      RecordCodec::DeltaFromUpdate(graph::GraphUpdate::AddNode(1)).ok());
+  EXPECT_FALSE(
+      RecordCodec::DeltaFromUpdate(graph::GraphUpdate::DeleteNode(1)).ok());
+}
+
+TEST_F(RecordTest, StringsAreInternedOnce) {
+  const TemporalRecord a = RecordCodec::FullNode(SampleNode(), 1);
+  std::string buf1, buf2;
+  ASSERT_TRUE(codec_.Encode(a, &buf1).ok());
+  const size_t pool_size = pool_->size();
+  ASSERT_TRUE(codec_.Encode(a, &buf2).ok());
+  EXPECT_EQ(pool_->size(), pool_size);  // no new strings on re-encode
+  EXPECT_EQ(buf1, buf2);
+}
+
+TEST_F(RecordTest, RecordsAreCompactViaRefs) {
+  // A node with one long repeated string property: the record stores a
+  // 4-byte reference, not the string.
+  graph::Node node;
+  node.id = 1;
+  node.props.Set("description", graph::PropertyValue(std::string(500, 'x')));
+  std::string buf;
+  ASSERT_TRUE(codec_.Encode(RecordCodec::FullNode(node, 1), &buf).ok());
+  EXPECT_LT(buf.size(), 32u);
+}
+
+TEST_F(RecordTest, FoldFullThenDeltas) {
+  graph::Node node;
+  bool live = false;
+  ASSERT_TRUE(RecordCodec::FoldNode(RecordCodec::FullNode(SampleNode(), 1),
+                                    &node, &live)
+                  .ok());
+  EXPECT_TRUE(live);
+  EXPECT_EQ(node.props.Get("age")->AsInt(), 36);
+
+  graph::GraphUpdate set =
+      graph::GraphUpdate::SetNodeProperty(42, "age", graph::PropertyValue(37));
+  set.ts = 2;
+  ASSERT_TRUE(RecordCodec::FoldNode(*RecordCodec::DeltaFromUpdate(set), &node,
+                                    &live)
+                  .ok());
+  EXPECT_EQ(node.props.Get("age")->AsInt(), 37);
+
+  graph::GraphUpdate rm = graph::GraphUpdate::RemoveNodeProperty(42, "name");
+  rm.ts = 3;
+  ASSERT_TRUE(RecordCodec::FoldNode(*RecordCodec::DeltaFromUpdate(rm), &node,
+                                    &live)
+                  .ok());
+  EXPECT_EQ(node.props.Get("name"), nullptr);
+
+  ASSERT_TRUE(
+      RecordCodec::FoldNode(RecordCodec::Tombstone(EntityType::kNode, 42, 4),
+                            &node, &live)
+          .ok());
+  EXPECT_FALSE(live);
+}
+
+TEST_F(RecordTest, FoldDeltaOnDeadNodeFails) {
+  graph::Node node;
+  bool live = false;
+  graph::GraphUpdate set =
+      graph::GraphUpdate::SetNodeProperty(1, "k", graph::PropertyValue(1));
+  EXPECT_TRUE(RecordCodec::FoldNode(*RecordCodec::DeltaFromUpdate(set), &node,
+                                    &live)
+                  .IsCorruption());
+}
+
+TEST_F(RecordTest, FoldRelationship) {
+  graph::Relationship rel;
+  bool live = false;
+  ASSERT_TRUE(
+      RecordCodec::FoldRelationship(
+          RecordCodec::FullRelationship(SampleRel(), 1), &rel, &live)
+          .ok());
+  EXPECT_TRUE(live);
+  graph::GraphUpdate set = graph::GraphUpdate::SetRelationshipProperty(
+      7, "since", graph::PropertyValue(2000));
+  ASSERT_TRUE(RecordCodec::FoldRelationship(*RecordCodec::DeltaFromUpdate(set),
+                                            &rel, &live)
+                  .ok());
+  EXPECT_EQ(rel.props.Get("since")->AsInt(), 2000);
+}
+
+TEST_F(RecordTest, FoldTypeMismatchFails) {
+  graph::Node node;
+  bool live = false;
+  EXPECT_FALSE(RecordCodec::FoldNode(
+                   RecordCodec::FullRelationship(SampleRel(), 1), &node, &live)
+                   .ok());
+}
+
+TEST_F(RecordTest, DecodeTruncatedFails) {
+  std::string buf;
+  ASSERT_TRUE(codec_.Encode(RecordCodec::FullNode(SampleNode(), 1), &buf).ok());
+  for (size_t keep = 0; keep + 1 < buf.size(); keep += 3) {
+    util::Slice input(buf.data(), keep);
+    EXPECT_FALSE(codec_.Decode(&input).ok()) << keep;
+  }
+}
+
+TEST_F(RecordTest, AllPropertyTypesSurvive) {
+  graph::Node node;
+  node.id = 5;
+  node.props.Set("null", graph::PropertyValue());
+  node.props.Set("bool", graph::PropertyValue(true));
+  node.props.Set("int", graph::PropertyValue(int64_t{-99}));
+  node.props.Set("double", graph::PropertyValue(1.25));
+  node.props.Set("str", graph::PropertyValue("text"));
+  node.props.Set("ints", graph::PropertyValue(std::vector<int64_t>{1, -2}));
+  node.props.Set("doubles", graph::PropertyValue(std::vector<double>{0.5}));
+  node.props.Set("strs",
+                 graph::PropertyValue(std::vector<std::string>{"x", "y"}));
+  const TemporalRecord record = RecordCodec::FullNode(node, 3);
+  EXPECT_EQ(RoundTrip(record), record);
+}
+
+}  // namespace
+}  // namespace aion::core

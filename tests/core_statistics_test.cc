@@ -1,0 +1,117 @@
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace aion::core {
+namespace {
+
+using graph::GraphUpdate;
+
+TEST(StatisticsTest, NodeAndRelCounts) {
+  GraphStatistics stats;
+  stats.Observe(GraphUpdate::AddNode(0, {"A"}));
+  stats.Observe(GraphUpdate::AddNode(1, {"A", "B"}));
+  stats.Observe(GraphUpdate::AddRelationship(0, 0, 1, "R"));
+  EXPECT_EQ(stats.num_nodes(), 2);
+  EXPECT_EQ(stats.num_relationships(), 1);
+  EXPECT_EQ(stats.CountWithLabel("A"), 2);
+  EXPECT_EQ(stats.CountWithLabel("B"), 1);
+  EXPECT_EQ(stats.CountWithType("R"), 1);
+  stats.Observe(GraphUpdate::DeleteRelationship(0));
+  EXPECT_EQ(stats.num_relationships(), 0);
+  stats.Observe(GraphUpdate::DeleteNode(0));
+  EXPECT_EQ(stats.num_nodes(), 1);
+}
+
+TEST(StatisticsTest, LabelEventsAdjustCounts) {
+  GraphStatistics stats;
+  stats.Observe(GraphUpdate::AddNode(0));
+  stats.Observe(GraphUpdate::AddNodeLabel(0, "X"));
+  EXPECT_EQ(stats.CountWithLabel("X"), 1);
+  stats.Observe(GraphUpdate::RemoveNodeLabel(0, "X"));
+  EXPECT_EQ(stats.CountWithLabel("X"), 0);
+}
+
+TEST(StatisticsTest, PatternCountsFromAnnotatedRelAdds) {
+  GraphStatistics stats;
+  GraphUpdate rel = GraphUpdate::AddRelationship(0, 0, 1, "KNOWS");
+  rel.labels = {"Person"};  // source labels annotation
+  stats.Observe(rel);
+  EXPECT_EQ(stats.CountPattern("Person", "KNOWS"), 1);
+  EXPECT_EQ(stats.CountPattern("", "KNOWS"), 1);   // wildcard label
+  EXPECT_EQ(stats.CountPattern("", ""), 1);        // all rels
+  EXPECT_EQ(stats.CountPattern("City", "KNOWS"), 0);
+}
+
+TEST(StatisticsTest, EstimatePatternUsesMinRule) {
+  GraphStatistics stats;
+  for (int i = 0; i < 10; ++i) {
+    GraphUpdate rel = GraphUpdate::AddRelationship(
+        static_cast<graph::RelId>(i), 0, 1, "R");
+    rel.labels = {"A"};
+    stats.Observe(rel);
+  }
+  GraphUpdate other = GraphUpdate::AddRelationship(100, 2, 3, "R");
+  other.labels = {"B"};
+  stats.Observe(other);
+  // #((:A)-[:R]->()) = 10, #(()-[:R]->(:B)) approximated by type count 11.
+  EXPECT_EQ(stats.EstimatePattern("A", "R", "B"), 10);
+  EXPECT_EQ(stats.EstimatePattern("B", "R", ""), 1);
+}
+
+TEST(StatisticsTest, ExpandFractionGrowsWithHops) {
+  GraphStatistics stats;
+  // 100 nodes, 300 rels -> degree 3.
+  for (int i = 0; i < 100; ++i) {
+    stats.Observe(GraphUpdate::AddNode(static_cast<graph::NodeId>(i)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    stats.Observe(GraphUpdate::AddRelationship(
+        static_cast<graph::RelId>(i), 0, 1, "R"));
+  }
+  EXPECT_DOUBLE_EQ(stats.AverageDegree(), 3.0);
+  const double f1 = stats.EstimateExpandFraction(1);
+  const double f2 = stats.EstimateExpandFraction(2);
+  const double f5 = stats.EstimateExpandFraction(5);
+  EXPECT_LT(f1, f2);
+  EXPECT_LT(f2, f5);
+  EXPECT_NEAR(f1, 4.0 / 100, 1e-9);          // 1 + 3 reached
+  EXPECT_NEAR(f2, 13.0 / 100, 1e-9);         // 1 + 3 + 9
+  EXPECT_DOUBLE_EQ(f5, 1.0);                 // saturates
+}
+
+TEST(StatisticsTest, ThirtyPercentHeuristicBoundary) {
+  GraphStatistics stats;
+  for (int i = 0; i < 100; ++i) {
+    stats.Observe(GraphUpdate::AddNode(static_cast<graph::NodeId>(i)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    stats.Observe(GraphUpdate::AddRelationship(
+        static_cast<graph::RelId>(i), 0, 1, "R"));
+  }
+  // hops=2 -> 13% < 30% (LineageStore); hops=3 -> 40% > 30% (TimeStore).
+  EXPECT_LT(stats.EstimateExpandFraction(2), 0.3);
+  EXPECT_GT(stats.EstimateExpandFraction(3), 0.3);
+}
+
+TEST(StatisticsTest, EmptyGraphEdgeCases) {
+  GraphStatistics stats;
+  EXPECT_DOUBLE_EQ(stats.AverageDegree(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateExpandFraction(3), 0.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateLabelFraction("X"), 0.0);
+  EXPECT_EQ(stats.EstimatePattern("A", "R", "B"), 0);
+}
+
+TEST(StatisticsTest, LabelFraction) {
+  GraphStatistics stats;
+  for (int i = 0; i < 10; ++i) {
+    stats.Observe(GraphUpdate::AddNode(static_cast<graph::NodeId>(i),
+                                       i < 3 ? std::vector<std::string>{"Hot"}
+                                             : std::vector<std::string>{}));
+  }
+  EXPECT_DOUBLE_EQ(stats.EstimateLabelFraction("Hot"), 0.3);
+  EXPECT_DOUBLE_EQ(stats.EstimateLabelFraction("Cold"), 0.0);
+}
+
+}  // namespace
+}  // namespace aion::core

@@ -1,0 +1,222 @@
+#include "core/timestore.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/file.h"
+
+namespace aion::core {
+namespace {
+
+using graph::GraphUpdate;
+
+GraphUpdate At(Timestamp ts, GraphUpdate u) {
+  u.ts = ts;
+  return u;
+}
+
+class TimeStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_ts_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    graph_store_ = std::make_unique<GraphStore>(size_t{1} << 26);
+  }
+  void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<TimeStore> OpenStore(SnapshotPolicy policy = {}) {
+    TimeStore::Options options;
+    options.dir = dir_ + "/ts";
+    options.policy = policy;
+    auto store = TimeStore::Open(options, graph_store_.get());
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return store.ok() ? std::move(*store) : nullptr;
+  }
+
+  /// Appends a batch and mirrors it into the GraphStore latest replica,
+  /// like AionStore::Ingest does.
+  void IngestBatch(TimeStore* store, Timestamp ts,
+                   std::vector<GraphUpdate> updates, bool* due = nullptr) {
+    for (GraphUpdate& u : updates) u.ts = ts;
+    bool snapshot_due = false;
+    ASSERT_TRUE(store->Append(ts, updates, &snapshot_due).ok());
+    for (const GraphUpdate& u : updates) {
+      ASSERT_TRUE(graph_store_->ApplyToLatest(u).ok());
+    }
+    if (due != nullptr) *due = snapshot_due;
+  }
+
+  std::string dir_;
+  std::unique_ptr<GraphStore> graph_store_;
+};
+
+TEST_F(TimeStoreTest, GetDiffReturnsHalfOpenExclusiveInclusive) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+  IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+  IngestBatch(store.get(), 3, {GraphUpdate::AddNode(2)});
+  auto diff = store->GetDiff(1, 3);  // (1, 3]: ts 2 and 3
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->size(), 2u);
+  EXPECT_EQ((*diff)[0].ts, 2u);
+  EXPECT_EQ((*diff)[1].ts, 3u);
+  // Empty and full ranges.
+  EXPECT_TRUE(store->GetDiff(3, 3)->empty());
+  EXPECT_EQ(store->GetDiff(0, 100)->size(), 3u);
+  EXPECT_TRUE(store->GetDiff(5, 2)->empty());
+}
+
+TEST_F(TimeStoreTest, MultipleUpdatesPerTransaction) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1,
+              {GraphUpdate::AddNode(0), GraphUpdate::AddNode(1),
+               GraphUpdate::AddRelationship(0, 0, 1, "R")});
+  auto diff = store->GetDiff(0, 1);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 3u);
+  EXPECT_EQ(store->num_updates(), 3u);
+}
+
+TEST_F(TimeStoreTest, GetGraphAtReconstructsFromEmptyBase) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+  IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+  IngestBatch(store.get(), 3,
+              {GraphUpdate::AddRelationship(0, 0, 1, "R")});
+  IngestBatch(store.get(), 4, {GraphUpdate::DeleteRelationship(0)});
+
+  // Use a cold GraphStore path by querying times before the replica.
+  auto at2 = store->GetGraphAt(2);
+  ASSERT_TRUE(at2.ok()) << at2.status().ToString();
+  EXPECT_EQ((*at2)->NumNodes(), 2u);
+  EXPECT_EQ((*at2)->NumRelationships(), 0u);
+
+  auto at3 = store->GetGraphAt(3);
+  ASSERT_TRUE(at3.ok());
+  EXPECT_EQ((*at3)->NumRelationships(), 1u);
+
+  auto at4 = store->GetGraphAt(4);
+  ASSERT_TRUE(at4.ok());
+  EXPECT_EQ((*at4)->NumRelationships(), 0u);
+  EXPECT_EQ((*at4)->NumNodes(), 2u);
+}
+
+TEST_F(TimeStoreTest, GetGraphAtUsesLatestReplicaWithoutReplay) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+  IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+  auto view = store->GetGraphAt(2);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->NumNodes(), 2u);
+  // The result should be the shared replica itself (no CoW wrapper):
+  // compare against GraphStore::Latest().
+  EXPECT_EQ(view->get(),
+            static_cast<const graph::GraphView*>(graph_store_->Latest().get()));
+}
+
+TEST_F(TimeStoreTest, SnapshotWriteAndReload) {
+  {
+    auto store = OpenStore();
+    IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+    IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+    // Persist the current state as the snapshot at ts 2.
+    auto latest = graph_store_->Latest();
+    ASSERT_TRUE(store->WriteSnapshot(2, *latest).ok());
+    EXPECT_GT(store->SnapshotBytes(), 0u);
+    IngestBatch(store.get(), 3, {GraphUpdate::AddNode(2)});
+    ASSERT_TRUE(store->Flush().ok());
+  }
+
+  // Fresh GraphStore (simulate restart): retrieval must hit the disk
+  // snapshot and replay ts 3 on top.
+  graph_store_ = std::make_unique<GraphStore>(size_t{1} << 26);
+  TimeStore::Options options;
+  options.dir = dir_ + "/ts";
+  auto reopened = TimeStore::Open(options, graph_store_.get());
+  ASSERT_TRUE(reopened.ok());
+  auto at3 = (*reopened)->GetGraphAt(3);
+  ASSERT_TRUE(at3.ok());
+  EXPECT_EQ((*at3)->NumNodes(), 3u);
+  auto at2 = (*reopened)->GetGraphAt(2);
+  ASSERT_TRUE(at2.ok());
+  EXPECT_EQ((*at2)->NumNodes(), 2u);
+}
+
+TEST_F(TimeStoreTest, OperationBasedSnapshotPolicy) {
+  SnapshotPolicy policy;
+  policy.kind = SnapshotPolicy::Kind::kOperationBased;
+  policy.every = 5;
+  auto store = OpenStore(policy);
+  bool due = false;
+  for (int i = 0; i < 4; ++i) {
+    IngestBatch(store.get(), static_cast<Timestamp>(i + 1),
+                {GraphUpdate::AddNode(static_cast<graph::NodeId>(i))}, &due);
+    EXPECT_FALSE(due) << i;
+  }
+  IngestBatch(store.get(), 5, {GraphUpdate::AddNode(4)}, &due);
+  EXPECT_TRUE(due);
+  // Writing the snapshot resets the counter.
+  ASSERT_TRUE(store->WriteSnapshot(5, *graph_store_->Latest()).ok());
+  EXPECT_EQ(store->ops_since_snapshot(), 0u);
+  IngestBatch(store.get(), 6, {GraphUpdate::AddNode(5)}, &due);
+  EXPECT_FALSE(due);
+}
+
+TEST_F(TimeStoreTest, TimeBasedSnapshotPolicy) {
+  SnapshotPolicy policy;
+  policy.kind = SnapshotPolicy::Kind::kTimeBased;
+  policy.every = 10;
+  auto store = OpenStore(policy);
+  bool due = false;
+  IngestBatch(store.get(), 5, {GraphUpdate::AddNode(0)}, &due);
+  EXPECT_FALSE(due);
+  IngestBatch(store.get(), 10, {GraphUpdate::AddNode(1)}, &due);
+  EXPECT_TRUE(due);
+}
+
+TEST_F(TimeStoreTest, MonotonicityEnforced) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 5, {GraphUpdate::AddNode(0)});
+  bool due;
+  auto u = At(3, GraphUpdate::AddNode(1));
+  EXPECT_TRUE(store->Append(3, {u}, &due).IsInvalidArgument());
+}
+
+TEST_F(TimeStoreTest, PersistsAcrossReopen) {
+  {
+    auto store = OpenStore();
+    IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+    IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  graph_store_ = std::make_unique<GraphStore>(size_t{1} << 26);
+  TimeStore::Options options;
+  options.dir = dir_ + "/ts";
+  auto store = TimeStore::Open(options, graph_store_.get());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->last_ts(), 2u);
+  auto diff = (*store)->GetDiff(0, 10);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->size(), 2u);
+  // Appends continue with the recovered sequence.
+  bool due;
+  auto u = At(3, GraphUpdate::AddNode(2));
+  ASSERT_TRUE((*store)->Append(3, {u}, &due).ok());
+  EXPECT_EQ((*store)->GetDiff(0, 10)->size(), 3u);
+}
+
+TEST_F(TimeStoreTest, MaterializeGraphAtIsIndependent) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+  auto materialized = store->MaterializeGraphAt(1);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ((*materialized)->NumNodes(), 1u);
+  // Mutating the materialized copy must not affect the replica.
+  ASSERT_TRUE((*materialized)
+                  ->Apply(At(99, GraphUpdate::AddNode(50)))
+                  .ok());
+  EXPECT_EQ(graph_store_->Latest()->NumNodes(), 1u);
+}
+
+}  // namespace
+}  // namespace aion::core

@@ -1,0 +1,184 @@
+#include "graph/cow_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "graph/memgraph.h"
+#include "util/random.h"
+
+namespace aion::graph {
+namespace {
+
+std::shared_ptr<const MemoryGraph> BaseGraph() {
+  auto g = std::make_unique<MemoryGraph>();
+  // 0 -> 1 -> 2, 0 -> 2
+  EXPECT_TRUE(g->Apply(GraphUpdate::AddNode(0, {"A"})).ok());
+  EXPECT_TRUE(g->Apply(GraphUpdate::AddNode(1, {"B"})).ok());
+  EXPECT_TRUE(g->Apply(GraphUpdate::AddNode(2, {"A", "B"})).ok());
+  EXPECT_TRUE(g->Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  EXPECT_TRUE(g->Apply(GraphUpdate::AddRelationship(1, 1, 2, "R")).ok());
+  EXPECT_TRUE(g->Apply(GraphUpdate::AddRelationship(2, 0, 2, "S")).ok());
+  return g;
+}
+
+TEST(CowGraphTest, ReadsThroughToBase) {
+  CowGraph cow(BaseGraph());
+  EXPECT_EQ(cow.NumNodes(), 3u);
+  EXPECT_EQ(cow.NumRelationships(), 3u);
+  ASSERT_NE(cow.GetNode(1), nullptr);
+  EXPECT_TRUE(cow.GetNode(1)->HasLabel("B"));
+  EXPECT_EQ(cow.RelIds(0, Direction::kOutgoing), (std::vector<RelId>{0, 2}));
+  EXPECT_EQ(cow.OverlaySize(), 0u);
+}
+
+TEST(CowGraphTest, MutationDoesNotTouchBase) {
+  auto base = BaseGraph();
+  CowGraph cow(base);
+  ASSERT_TRUE(
+      cow.Apply(GraphUpdate::SetNodeProperty(0, "x", PropertyValue(1))).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(2)).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::AddNode(3)).ok());
+  // Base unchanged.
+  EXPECT_EQ(base->GetNode(0)->props.Get("x"), nullptr);
+  EXPECT_NE(base->GetRelationship(2), nullptr);
+  EXPECT_EQ(base->NumNodes(), 3u);
+  // Overlay visible through the CowGraph.
+  EXPECT_EQ(cow.GetNode(0)->props.Get("x")->AsInt(), 1);
+  EXPECT_EQ(cow.GetRelationship(2), nullptr);
+  EXPECT_EQ(cow.NumNodes(), 4u);
+  EXPECT_EQ(cow.NumRelationships(), 2u);
+}
+
+TEST(CowGraphTest, OverlayStaysSmall) {
+  CowGraph cow(BaseGraph());
+  ASSERT_TRUE(
+      cow.Apply(GraphUpdate::SetNodeProperty(1, "k", PropertyValue(9))).ok());
+  // Only the touched node is copied.
+  EXPECT_EQ(cow.OverlaySize(), 1u);
+}
+
+TEST(CowGraphTest, ConstraintsEnforced) {
+  CowGraph cow(BaseGraph());
+  EXPECT_TRUE(cow.Apply(GraphUpdate::AddNode(0)).IsAlreadyExists());
+  EXPECT_TRUE(cow.Apply(GraphUpdate::DeleteNode(0)).IsFailedPrecondition());
+  EXPECT_TRUE(cow.Apply(GraphUpdate::AddRelationship(9, 0, 42, "R"))
+                  .IsFailedPrecondition());
+  // Delete rels around node 0, then node delete succeeds.
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(0)).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(2)).ok());
+  EXPECT_TRUE(cow.Apply(GraphUpdate::DeleteNode(0)).ok());
+  EXPECT_EQ(cow.GetNode(0), nullptr);
+}
+
+TEST(CowGraphTest, DeletedNodeCanBeReadded) {
+  CowGraph cow(BaseGraph());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(1)).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(0)).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteNode(1)).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::AddNode(1, {"Fresh"})).ok());
+  ASSERT_NE(cow.GetNode(1), nullptr);
+  EXPECT_TRUE(cow.GetNode(1)->HasLabel("Fresh"));
+  EXPECT_FALSE(cow.GetNode(1)->HasLabel("B"));
+  // Re-added node has empty adjacency.
+  EXPECT_TRUE(cow.RelIds(1, Direction::kBoth).empty());
+}
+
+TEST(CowGraphTest, ForEachMergesBaseAndOverlay) {
+  CowGraph cow(BaseGraph());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::AddNode(7, {"New"})).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::AddRelationship(9, 7, 0, "T")).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(1)).ok());
+  std::set<NodeId> nodes;
+  cow.ForEachNode([&](const Node& n) { nodes.insert(n.id); });
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2, 7}));
+  std::set<RelId> rels;
+  cow.ForEachRelationship([&](const Relationship& r) { rels.insert(r.id); });
+  EXPECT_EQ(rels, (std::set<RelId>{0, 2, 9}));
+  // New relationship visible in adjacency of both endpoints.
+  EXPECT_EQ(cow.RelIds(7, Direction::kOutgoing), (std::vector<RelId>{9}));
+  std::vector<RelId> in0 = cow.RelIds(0, Direction::kIncoming);
+  EXPECT_EQ(in0, (std::vector<RelId>{9}));
+}
+
+TEST(CowGraphTest, MaterializeEqualsOverlayView) {
+  CowGraph cow(BaseGraph());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::AddNode(5, {"C"})).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::AddRelationship(10, 5, 2, "T")).ok());
+  ASSERT_TRUE(cow.Apply(GraphUpdate::DeleteRelationship(0)).ok());
+  ASSERT_TRUE(
+      cow.Apply(GraphUpdate::SetNodeProperty(2, "p", PropertyValue(3))).ok());
+  auto materialized = cow.Materialize();
+  EXPECT_TRUE(materialized->SameGraphAs(cow));
+  EXPECT_EQ(materialized->NumNodes(), cow.NumNodes());
+  EXPECT_EQ(materialized->NumRelationships(), cow.NumRelationships());
+}
+
+// Property: a CowGraph receiving a random update stream is equivalent to a
+// MemoryGraph receiving the same stream.
+class CowEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CowEquivalenceTest, MatchesMemoryGraph) {
+  util::Random rng(static_cast<uint64_t>(GetParam()) * 17 + 1);
+  auto base_mut = std::make_unique<MemoryGraph>();
+  std::vector<NodeId> nodes;
+  std::vector<RelId> rels;
+  NodeId next_node = 0;
+  RelId next_rel = 0;
+  // Build a random base.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(base_mut->Apply(GraphUpdate::AddNode(next_node)).ok());
+    nodes.push_back(next_node++);
+  }
+  for (int i = 0; i < 400; ++i) {
+    const NodeId s = nodes[rng.Uniform(nodes.size())];
+    const NodeId t = nodes[rng.Uniform(nodes.size())];
+    ASSERT_TRUE(
+        base_mut->Apply(GraphUpdate::AddRelationship(next_rel, s, t, "R")).ok());
+    rels.push_back(next_rel++);
+  }
+  auto reference = base_mut->Clone();
+  std::shared_ptr<const MemoryGraph> base = std::move(base_mut);
+  CowGraph cow(base);
+
+  for (int op = 0; op < 500; ++op) {
+    GraphUpdate u;
+    const double dice = rng.NextDouble();
+    if (dice < 0.2) {
+      u = GraphUpdate::AddNode(next_node);
+      nodes.push_back(next_node++);
+    } else if (dice < 0.5) {
+      const NodeId s = nodes[rng.Uniform(nodes.size())];
+      const NodeId t = nodes[rng.Uniform(nodes.size())];
+      u = GraphUpdate::AddRelationship(next_rel, s, t, "R");
+      rels.push_back(next_rel++);
+    } else if (dice < 0.7 && !rels.empty()) {
+      const size_t idx = rng.Uniform(rels.size());
+      u = GraphUpdate::DeleteRelationship(rels[idx]);
+      rels.erase(rels.begin() + static_cast<long>(idx));
+    } else {
+      const NodeId n = nodes[rng.Uniform(nodes.size())];
+      u = GraphUpdate::SetNodeProperty(n, "p",
+                                       PropertyValue(static_cast<int>(op)));
+    }
+    const auto cow_status = cow.Apply(u);
+    const auto ref_status = reference->Apply(u);
+    ASSERT_EQ(cow_status.ok(), ref_status.ok()) << u.ToString();
+  }
+  EXPECT_TRUE(reference->SameGraphAs(cow));
+  // Adjacency equivalence for a sample of nodes.
+  for (int i = 0; i < 50; ++i) {
+    const NodeId n = nodes[rng.Uniform(nodes.size())];
+    std::multiset<RelId> cow_out, ref_out;
+    for (RelId r : cow.RelIds(n, Direction::kBoth)) cow_out.insert(r);
+    for (RelId r : reference->RelIds(n, Direction::kBoth)) ref_out.insert(r);
+    EXPECT_EQ(cow_out, ref_out) << "node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace aion::graph

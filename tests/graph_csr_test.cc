@@ -1,0 +1,105 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/memgraph.h"
+#include "graph/update.h"
+
+namespace aion::graph {
+namespace {
+
+MemoryGraph Diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 with sparse ids (holes at 4..9).
+  MemoryGraph g;
+  for (NodeId id : {0, 1, 2, 3, 10}) {
+    EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(id)).ok());
+  }
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 0, 2, "R")).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(2, 1, 3, "R")).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(3, 2, 3, "R")).ok());
+  return g;
+}
+
+TEST(CsrTest, StructureMatchesGraph) {
+  MemoryGraph g = Diamond();
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(csr.num_nodes(), 5u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  const uint32_t d0 = csr.ToDense(0);
+  size_t count;
+  const uint32_t* nbrs = csr.Neighbors(d0, &count);
+  ASSERT_EQ(count, 2u);
+  std::set<NodeId> targets = {csr.ToSparse(nbrs[0]), csr.ToSparse(nbrs[1])};
+  EXPECT_EQ(targets, (std::set<NodeId>{1, 2}));
+  EXPECT_EQ(csr.OutDegree(csr.ToDense(10)), 0u);
+  EXPECT_EQ(csr.OutDegree(csr.ToDense(3)), 0u);
+}
+
+TEST(CsrTest, ReverseCsr) {
+  MemoryGraph g = Diamond();
+  CsrGraph csr = CsrGraph::Build(g);
+  const uint32_t d3 = csr.ToDense(3);
+  size_t count;
+  const uint32_t* in = csr.InNeighbors(d3, &count);
+  ASSERT_EQ(count, 2u);
+  std::set<NodeId> sources = {csr.ToSparse(in[0]), csr.ToSparse(in[1])};
+  EXPECT_EQ(sources, (std::set<NodeId>{1, 2}));
+  EXPECT_EQ(csr.InDegree(csr.ToDense(0)), 0u);
+}
+
+TEST(CsrTest, DenseMapRoundTrip) {
+  MemoryGraph g = Diamond();
+  CsrGraph csr = CsrGraph::Build(g);
+  for (NodeId sparse : {0ULL, 1ULL, 2ULL, 3ULL, 10ULL}) {
+    EXPECT_EQ(csr.ToSparse(csr.ToDense(sparse)), sparse);
+  }
+}
+
+TEST(CsrTest, WeightsFromProperty) {
+  MemoryGraph g;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(0)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(1)).ok());
+  PropertySet p;
+  p.Set("w", PropertyValue(2.5));
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R", p)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 0, 1, "R")).ok());
+  CsrGraph csr = CsrGraph::Build(g, "w");
+  const uint32_t d0 = csr.ToDense(0);
+  size_t count;
+  csr.Neighbors(d0, &count);
+  ASSERT_EQ(count, 2u);
+  // One edge has weight 2.5, the other defaults to 1.0.
+  std::multiset<double> weights = {csr.Weight(d0, 0), csr.Weight(d0, 1)};
+  EXPECT_EQ(weights, (std::multiset<double>{1.0, 2.5}));
+}
+
+TEST(CsrTest, UnweightedDefaultsToOne) {
+  MemoryGraph g = Diamond();
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_DOUBLE_EQ(csr.Weight(csr.ToDense(0), 0), 1.0);
+}
+
+TEST(CsrTest, EmptyGraph) {
+  MemoryGraph g;
+  CsrGraph csr = CsrGraph::Build(g);
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(CsrTest, EdgeConservation) {
+  MemoryGraph g = Diamond();
+  CsrGraph csr = CsrGraph::Build(g);
+  size_t out_total = 0, in_total = 0;
+  for (uint32_t u = 0; u < csr.num_nodes(); ++u) {
+    out_total += csr.OutDegree(u);
+    in_total += csr.InDegree(u);
+  }
+  EXPECT_EQ(out_total, csr.num_edges());
+  EXPECT_EQ(in_total, csr.num_edges());
+}
+
+}  // namespace
+}  // namespace aion::graph

@@ -1,0 +1,247 @@
+#include "graph/memgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/update.h"
+#include "util/random.h"
+
+namespace aion::graph {
+namespace {
+
+MemoryGraph SmallGraph() {
+  // 0 -> 1 -> 2, 0 -> 2
+  MemoryGraph g;
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(0, {"A"})).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(1, {"B"})).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(2, {"A", "B"})).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 1, "R")).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(1, 1, 2, "R")).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(2, 0, 2, "S")).ok());
+  return g;
+}
+
+TEST(MemoryGraphTest, AddAndGetEntities) {
+  MemoryGraph g = SmallGraph();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumRelationships(), 3u);
+  ASSERT_NE(g.GetNode(0), nullptr);
+  EXPECT_TRUE(g.GetNode(0)->HasLabel("A"));
+  EXPECT_FALSE(g.GetNode(0)->HasLabel("B"));
+  ASSERT_NE(g.GetRelationship(1), nullptr);
+  EXPECT_EQ(g.GetRelationship(1)->src, 1u);
+  EXPECT_EQ(g.GetRelationship(1)->tgt, 2u);
+  EXPECT_EQ(g.GetNode(99), nullptr);
+  EXPECT_EQ(g.GetRelationship(99), nullptr);
+}
+
+TEST(MemoryGraphTest, DuplicateInsertRejected) {
+  MemoryGraph g = SmallGraph();
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(0)).IsAlreadyExists());
+  EXPECT_TRUE(
+      g.Apply(GraphUpdate::AddRelationship(0, 1, 2, "X")).IsAlreadyExists());
+}
+
+TEST(MemoryGraphTest, RelationshipRequiresLiveEndpoints) {
+  MemoryGraph g;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(0)).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 7, "R"))
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 7, 0, "R"))
+                  .IsFailedPrecondition());
+}
+
+TEST(MemoryGraphTest, SelfLoopAllowed) {
+  MemoryGraph g;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(0)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(0, 0, 0, "SELF")).ok());
+  EXPECT_EQ(g.OutRels(0).size(), 1u);
+  EXPECT_EQ(g.InRels(0).size(), 1u);
+}
+
+TEST(MemoryGraphTest, NodeDeleteRequiresNoRelationships) {
+  MemoryGraph g = SmallGraph();
+  EXPECT_TRUE(g.Apply(GraphUpdate::DeleteNode(0)).IsFailedPrecondition());
+  ASSERT_TRUE(g.Apply(GraphUpdate::DeleteRelationship(0)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::DeleteRelationship(2)).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::DeleteNode(0)).ok());
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.GetNode(0), nullptr);
+}
+
+TEST(MemoryGraphTest, DeleteMissingFails) {
+  MemoryGraph g;
+  EXPECT_TRUE(g.Apply(GraphUpdate::DeleteNode(3)).IsFailedPrecondition());
+  EXPECT_TRUE(
+      g.Apply(GraphUpdate::DeleteRelationship(3)).IsFailedPrecondition());
+}
+
+TEST(MemoryGraphTest, AdjacencyMaintainedOnDelete) {
+  MemoryGraph g = SmallGraph();
+  ASSERT_TRUE(g.Apply(GraphUpdate::DeleteRelationship(0)).ok());
+  EXPECT_EQ(g.OutRels(0), (std::vector<RelId>{2}));
+  EXPECT_EQ(g.InRels(1), std::vector<RelId>{});
+  EXPECT_EQ(g.NumRelationships(), 2u);
+}
+
+TEST(MemoryGraphTest, PropertyAndLabelUpdates) {
+  MemoryGraph g = SmallGraph();
+  ASSERT_TRUE(
+      g.Apply(GraphUpdate::SetNodeProperty(0, "x", PropertyValue(5))).ok());
+  EXPECT_EQ(g.GetNode(0)->props.Get("x")->AsInt(), 5);
+  ASSERT_TRUE(g.Apply(GraphUpdate::RemoveNodeProperty(0, "x")).ok());
+  EXPECT_EQ(g.GetNode(0)->props.Get("x"), nullptr);
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNodeLabel(0, "New")).ok());
+  EXPECT_TRUE(g.GetNode(0)->HasLabel("New"));
+  ASSERT_TRUE(g.Apply(GraphUpdate::RemoveNodeLabel(0, "New")).ok());
+  EXPECT_FALSE(g.GetNode(0)->HasLabel("New"));
+  ASSERT_TRUE(
+      g.Apply(GraphUpdate::SetRelationshipProperty(0, "w", PropertyValue(2.0)))
+          .ok());
+  EXPECT_DOUBLE_EQ(g.GetRelationship(0)->props.Get("w")->AsDouble(), 2.0);
+}
+
+TEST(MemoryGraphTest, PropertyUpdateOnMissingEntityFails) {
+  MemoryGraph g;
+  EXPECT_TRUE(g.Apply(GraphUpdate::SetNodeProperty(5, "k", PropertyValue(1)))
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(
+      g.Apply(GraphUpdate::SetRelationshipProperty(5, "k", PropertyValue(1)))
+          .IsFailedPrecondition());
+}
+
+TEST(MemoryGraphTest, ForEachRelDirections) {
+  MemoryGraph g = SmallGraph();
+  EXPECT_EQ(g.RelIds(0, Direction::kOutgoing), (std::vector<RelId>{0, 2}));
+  EXPECT_EQ(g.RelIds(0, Direction::kIncoming), std::vector<RelId>{});
+  EXPECT_EQ(g.RelIds(2, Direction::kIncoming), (std::vector<RelId>{1, 2}));
+  EXPECT_EQ(g.RelIds(1, Direction::kBoth), (std::vector<RelId>{1, 0}));
+  EXPECT_EQ(g.Degree(1, Direction::kBoth), 2u);
+}
+
+TEST(MemoryGraphTest, ForEachVisitsLiveOnly) {
+  MemoryGraph g = SmallGraph();
+  ASSERT_TRUE(g.Apply(GraphUpdate::DeleteRelationship(1)).ok());
+  std::set<NodeId> nodes;
+  g.ForEachNode([&](const Node& n) { nodes.insert(n.id); });
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2}));
+  std::set<RelId> rels;
+  g.ForEachRelationship([&](const Relationship& r) { rels.insert(r.id); });
+  EXPECT_EQ(rels, (std::set<RelId>{0, 2}));
+}
+
+TEST(MemoryGraphTest, CloneIsDeepAndEqual) {
+  MemoryGraph g = SmallGraph();
+  auto copy = g.Clone();
+  EXPECT_TRUE(g.SameGraphAs(*copy));
+  ASSERT_TRUE(copy->Apply(GraphUpdate::DeleteRelationship(0)).ok());
+  EXPECT_FALSE(g.SameGraphAs(*copy));
+  EXPECT_EQ(g.NumRelationships(), 3u);  // original untouched
+}
+
+TEST(MemoryGraphTest, DenseMapSkipsHoles) {
+  MemoryGraph g;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(2)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(5)).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(9)).ok());
+  DenseIdMap map = g.BuildDenseMap();
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.dense_to_sparse, (std::vector<NodeId>{2, 5, 9}));
+  EXPECT_TRUE(map.IsMapped(5));
+  EXPECT_FALSE(map.IsMapped(3));
+  EXPECT_EQ(map.sparse_to_dense[9], 2u);
+}
+
+TEST(MemoryGraphTest, EncodeDecodeRoundTrip) {
+  MemoryGraph g = SmallGraph();
+  ASSERT_TRUE(
+      g.Apply(GraphUpdate::SetNodeProperty(1, "k", PropertyValue("v"))).ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::DeleteRelationship(1)).ok());
+  std::string buf;
+  g.EncodeTo(&buf);
+  auto decoded = MemoryGraph::DecodeFrom(util::Slice(buf));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(g.SameGraphAs(**decoded));
+  // Adjacency is rebuilt by decode.
+  EXPECT_EQ((*decoded)->OutRels(0), g.OutRels(0));
+}
+
+TEST(MemoryGraphTest, DropAndRebuildNeighbourhoods) {
+  MemoryGraph g = SmallGraph();
+  const auto before = g.OutRels(0);
+  g.DropNeighbourhoods();
+  EXPECT_FALSE(g.has_neighbourhoods());
+  g.RebuildNeighbourhoods();
+  EXPECT_TRUE(g.has_neighbourhoods());
+  EXPECT_EQ(g.OutRels(0), before);
+}
+
+TEST(MemoryGraphTest, EstimateMemoryTracksSize) {
+  MemoryGraph small = SmallGraph();
+  MemoryGraph big;
+  for (NodeId i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(big.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  for (RelId i = 0; i + 1 < 1000; ++i) {
+    ASSERT_TRUE(big.Apply(GraphUpdate::AddRelationship(i, i, i + 1, "R")).ok());
+  }
+  EXPECT_GT(big.EstimateMemoryBytes(), small.EstimateMemoryBytes() * 10);
+}
+
+TEST(MemoryGraphTest, SparseIdsGrowCapacity) {
+  MemoryGraph g;
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(1000000)).ok());
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_EQ(g.NodeCapacity(), 1000001u);
+  EXPECT_NE(g.GetNode(1000000), nullptr);
+}
+
+// Randomized consistency: adjacency vectors always agree with the
+// relationship vector.
+class MemGraphFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemGraphFuzzTest, AdjacencyConsistentUnderRandomOps) {
+  util::Random rng(static_cast<uint64_t>(GetParam()));
+  MemoryGraph g;
+  std::vector<NodeId> live_nodes;
+  std::vector<RelId> live_rels;
+  NodeId next_node = 0;
+  RelId next_rel = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.3 || live_nodes.empty()) {
+      ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(next_node)).ok());
+      live_nodes.push_back(next_node++);
+    } else if (dice < 0.7) {
+      const NodeId s = live_nodes[rng.Uniform(live_nodes.size())];
+      const NodeId t = live_nodes[rng.Uniform(live_nodes.size())];
+      ASSERT_TRUE(g.Apply(GraphUpdate::AddRelationship(next_rel, s, t, "R")).ok());
+      live_rels.push_back(next_rel++);
+    } else if (!live_rels.empty()) {
+      const size_t idx = rng.Uniform(live_rels.size());
+      ASSERT_TRUE(g.Apply(GraphUpdate::DeleteRelationship(live_rels[idx])).ok());
+      live_rels.erase(live_rels.begin() + static_cast<long>(idx));
+    }
+  }
+  EXPECT_EQ(g.NumRelationships(), live_rels.size());
+  // Invariant: every live rel appears in exactly its endpoints' vectors.
+  size_t adjacency_total = 0;
+  for (NodeId n : live_nodes) {
+    for (RelId r : g.OutRels(n)) {
+      ASSERT_NE(g.GetRelationship(r), nullptr);
+      EXPECT_EQ(g.GetRelationship(r)->src, n);
+      ++adjacency_total;
+    }
+    for (RelId r : g.InRels(n)) {
+      ASSERT_NE(g.GetRelationship(r), nullptr);
+      EXPECT_EQ(g.GetRelationship(r)->tgt, n);
+    }
+  }
+  EXPECT_EQ(adjacency_total, live_rels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemGraphFuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace aion::graph

@@ -1,0 +1,146 @@
+#include "graph/property.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/slice.h"
+
+namespace aion::graph {
+namespace {
+
+TEST(PropertyValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(PropertyValue().is_null());
+  EXPECT_EQ(PropertyValue(true).type(), PropertyType::kBool);
+  EXPECT_EQ(PropertyValue(int64_t{42}).AsInt(), 42);
+  EXPECT_EQ(PropertyValue(7).AsInt(), 7);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(PropertyValue(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(PropertyValue("str").AsString(), "str");
+  EXPECT_EQ(PropertyValue(std::vector<int64_t>{1, 2}).AsIntArray().size(), 2u);
+}
+
+TEST(PropertyValueTest, ToNumberCoercion) {
+  EXPECT_DOUBLE_EQ(PropertyValue(true).ToNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(PropertyValue(int64_t{-3}).ToNumber(), -3.0);
+  EXPECT_DOUBLE_EQ(PropertyValue(1.5).ToNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(PropertyValue("nope").ToNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(PropertyValue().ToNumber(), 0.0);
+}
+
+TEST(PropertyValueTest, Equality) {
+  EXPECT_EQ(PropertyValue(5), PropertyValue(int64_t{5}));
+  EXPECT_FALSE(PropertyValue(5) == PropertyValue(5.0));  // type-sensitive
+  EXPECT_EQ(PropertyValue("a"), PropertyValue(std::string("a")));
+}
+
+TEST(PropertyValueTest, EncodeDecodeAllTypes) {
+  const std::vector<PropertyValue> values = {
+      PropertyValue(),
+      PropertyValue(true),
+      PropertyValue(false),
+      PropertyValue(int64_t{0}),
+      PropertyValue(int64_t{-1234567}),
+      PropertyValue(int64_t{1} << 60),
+      PropertyValue(3.14159),
+      PropertyValue(""),
+      PropertyValue("hello world"),
+      PropertyValue(std::vector<int64_t>{}),
+      PropertyValue(std::vector<int64_t>{1, -2, 3}),
+      PropertyValue(std::vector<double>{0.5, -1.25}),
+      PropertyValue(std::vector<std::string>{"a", "", "ccc"}),
+  };
+  std::string buf;
+  for (const PropertyValue& v : values) v.EncodeTo(&buf);
+  util::Slice input(buf);
+  for (const PropertyValue& expected : values) {
+    auto decoded = PropertyValue::DecodeFrom(&input);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(PropertyValueTest, DecodeTruncatedFails) {
+  std::string buf;
+  PropertyValue("somewhat long string").EncodeTo(&buf);
+  for (size_t keep = 0; keep + 1 < buf.size(); ++keep) {
+    util::Slice input(buf.data(), keep);
+    EXPECT_FALSE(PropertyValue::DecodeFrom(&input).ok());
+  }
+}
+
+TEST(PropertyValueTest, ToStringFormats) {
+  EXPECT_EQ(PropertyValue().ToString(), "null");
+  EXPECT_EQ(PropertyValue(true).ToString(), "true");
+  EXPECT_EQ(PropertyValue(int64_t{5}).ToString(), "5");
+  EXPECT_EQ(PropertyValue("x").ToString(), "\"x\"");
+  EXPECT_EQ(PropertyValue(std::vector<int64_t>{1, 2}).ToString(), "[1, 2]");
+}
+
+TEST(PropertySetTest, SetGetRemove) {
+  PropertySet props;
+  EXPECT_TRUE(props.empty());
+  props.Set("name", PropertyValue("alice"));
+  props.Set("age", PropertyValue(30));
+  EXPECT_EQ(props.size(), 2u);
+  ASSERT_NE(props.Get("name"), nullptr);
+  EXPECT_EQ(props.Get("name")->AsString(), "alice");
+  EXPECT_EQ(props.Get("missing"), nullptr);
+  EXPECT_TRUE(props.Has("age"));
+  EXPECT_TRUE(props.Remove("age"));
+  EXPECT_FALSE(props.Remove("age"));
+  EXPECT_EQ(props.size(), 1u);
+}
+
+TEST(PropertySetTest, SetReplaces) {
+  PropertySet props;
+  props.Set("k", PropertyValue(1));
+  props.Set("k", PropertyValue(2));
+  EXPECT_EQ(props.size(), 1u);
+  EXPECT_EQ(props.Get("k")->AsInt(), 2);
+}
+
+TEST(PropertySetTest, IterationIsKeySorted) {
+  PropertySet props;
+  props.Set("zebra", PropertyValue(1));
+  props.Set("apple", PropertyValue(2));
+  props.Set("mango", PropertyValue(3));
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : props) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(PropertySetTest, EncodeDecodeRoundTrip) {
+  PropertySet props;
+  props.Set("s", PropertyValue("text"));
+  props.Set("i", PropertyValue(99));
+  props.Set("d", PropertyValue(-2.5));
+  props.Set("arr", PropertyValue(std::vector<int64_t>{4, 5}));
+  std::string buf;
+  props.EncodeTo(&buf);
+  util::Slice input(buf);
+  auto decoded = PropertySet::DecodeFrom(&input);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, props);
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(PropertySetTest, EmptySetRoundTrip) {
+  PropertySet props;
+  std::string buf;
+  props.EncodeTo(&buf);
+  util::Slice input(buf);
+  auto decoded = PropertySet::DecodeFrom(&input);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PropertySetTest, EstimateBytesGrowsWithContent) {
+  PropertySet small, large;
+  small.Set("k", PropertyValue(1));
+  large.Set("k", PropertyValue(std::string(1000, 'x')));
+  EXPECT_GT(large.EstimateBytes(), small.EstimateBytes() + 900);
+}
+
+}  // namespace
+}  // namespace aion::graph

@@ -1,0 +1,169 @@
+#include "graph/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/update.h"
+
+namespace aion::graph {
+namespace {
+
+GraphUpdate At(Timestamp ts, GraphUpdate u) {
+  u.ts = ts;
+  return u;
+}
+
+// Timeline:
+//  t=1: add node 0, node 1
+//  t=2: add rel 0: 0->1
+//  t=3: set node 0 prop x=1
+//  t=5: delete rel 0
+//  t=6: delete node 1
+//  t=8: re-add node 1
+std::unique_ptr<TemporalGraph> Timeline() {
+  auto g = TemporalGraph::Build({
+      At(1, GraphUpdate::AddNode(0, {"A"})),
+      At(1, GraphUpdate::AddNode(1, {"B"})),
+      At(2, GraphUpdate::AddRelationship(0, 0, 1, "R")),
+      At(3, GraphUpdate::SetNodeProperty(0, "x", PropertyValue(1))),
+      At(5, GraphUpdate::DeleteRelationship(0)),
+      At(6, GraphUpdate::DeleteNode(1)),
+      At(8, GraphUpdate::AddNode(1, {"Born again"})),
+  });
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(*g);
+}
+
+TEST(TemporalGraphTest, PointInTimeNodeLookup) {
+  auto g = Timeline();
+  EXPECT_EQ(g->NodeAt(0, 0), nullptr);  // before creation
+  ASSERT_NE(g->NodeAt(0, 1), nullptr);
+  ASSERT_NE(g->NodeAt(1, 5), nullptr);
+  EXPECT_EQ(g->NodeAt(1, 6), nullptr);  // deleted
+  EXPECT_EQ(g->NodeAt(1, 7), nullptr);
+  ASSERT_NE(g->NodeAt(1, 8), nullptr);  // re-added
+  EXPECT_TRUE(g->NodeAt(1, 8)->HasLabel("Born again"));
+  EXPECT_TRUE(g->NodeAt(1, 5)->HasLabel("B"));
+}
+
+TEST(TemporalGraphTest, PropertyVersioning) {
+  auto g = Timeline();
+  EXPECT_EQ(g->NodeAt(0, 2)->props.Get("x"), nullptr);
+  ASSERT_NE(g->NodeAt(0, 3), nullptr);
+  EXPECT_EQ(g->NodeAt(0, 3)->props.Get("x")->AsInt(), 1);
+  EXPECT_EQ(g->NodeAt(0, 100)->props.Get("x")->AsInt(), 1);
+}
+
+TEST(TemporalGraphTest, RelationshipIntervals) {
+  auto g = Timeline();
+  EXPECT_EQ(g->RelationshipAt(0, 1), nullptr);
+  ASSERT_NE(g->RelationshipAt(0, 2), nullptr);
+  ASSERT_NE(g->RelationshipAt(0, 4), nullptr);
+  EXPECT_EQ(g->RelationshipAt(0, 5), nullptr);
+  EXPECT_EQ(g->RelationshipIntervalAt(0, 3), (TimeInterval{2, 5}));
+}
+
+TEST(TemporalGraphTest, NodeHistoryWindows) {
+  auto g = Timeline();
+  // Node 0 versions: [1,3) without x, [3, inf) with x.
+  auto all = g->NodeHistory(0, 0, kInfiniteTime);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].interval, (TimeInterval{1, 3}));
+  EXPECT_EQ(all[1].interval, (TimeInterval{3, kInfiniteTime}));
+  // Window [1, 2) catches only the first version.
+  EXPECT_EQ(g->NodeHistory(0, 1, 2).size(), 1u);
+  // Window [4, 10): only the second version overlaps.
+  auto late = g->NodeHistory(0, 4, 10);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].interval.start, 3u);
+  // Node 1: [1,6) and [8, inf).
+  EXPECT_EQ(g->NodeHistory(1, 0, kInfiniteTime).size(), 2u);
+  EXPECT_EQ(g->NodeHistory(1, 6, 8).size(), 0u);
+}
+
+TEST(TemporalGraphTest, OutOfOrderUpdatesRejected) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.Apply(At(5, GraphUpdate::AddNode(0))).ok());
+  EXPECT_TRUE(g.Apply(At(4, GraphUpdate::AddNode(1))).IsInvalidArgument());
+  EXPECT_TRUE(g.Apply(At(5, GraphUpdate::AddNode(1))).ok());  // equal ts ok
+}
+
+TEST(TemporalGraphTest, ConstraintsAgainstLiveState) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.Apply(At(1, GraphUpdate::AddNode(0))).ok());
+  EXPECT_TRUE(g.Apply(At(2, GraphUpdate::AddNode(0))).IsAlreadyExists());
+  EXPECT_TRUE(g.Apply(At(2, GraphUpdate::AddRelationship(0, 0, 9, "R")))
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(g.Apply(At(3, GraphUpdate::DeleteNode(0))).ok());
+  EXPECT_TRUE(g.Apply(At(4, GraphUpdate::DeleteNode(0))).IsFailedPrecondition());
+  // Re-add after delete works.
+  EXPECT_TRUE(g.Apply(At(5, GraphUpdate::AddNode(0))).ok());
+}
+
+TEST(TemporalGraphTest, SameTimestampModificationCollapses) {
+  TemporalGraph g;
+  ASSERT_TRUE(g.Apply(At(1, GraphUpdate::AddNode(0))).ok());
+  ASSERT_TRUE(
+      g.Apply(At(1, GraphUpdate::SetNodeProperty(0, "a", PropertyValue(1))))
+          .ok());
+  // Still a single version (tau_s < tau_e invariant).
+  EXPECT_EQ(g.NodeHistory(0, 0, kInfiniteTime).size(), 1u);
+  EXPECT_EQ(g.NodeAt(0, 1)->props.Get("a")->AsInt(), 1);
+}
+
+TEST(TemporalGraphTest, SnapshotAtMatchesTimeline) {
+  auto g = Timeline();
+  auto at4 = g->SnapshotAt(4);
+  EXPECT_EQ(at4->NumNodes(), 2u);
+  EXPECT_EQ(at4->NumRelationships(), 1u);
+  EXPECT_EQ(at4->GetNode(0)->props.Get("x")->AsInt(), 1);
+
+  auto at7 = g->SnapshotAt(7);
+  EXPECT_EQ(at7->NumNodes(), 1u);  // node 1 deleted, not yet re-added
+  EXPECT_EQ(at7->NumRelationships(), 0u);
+
+  auto at9 = g->SnapshotAt(9);
+  EXPECT_EQ(at9->NumNodes(), 2u);
+}
+
+TEST(TemporalGraphTest, ForEachRelVersionScansHistory) {
+  auto g = Timeline();
+  int count = 0;
+  g->ForEachRelVersion(0, Direction::kOutgoing,
+                       [&](const RelationshipVersion& v) {
+                         ++count;
+                         EXPECT_EQ(v.interval, (TimeInterval{2, 5}));
+                       });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  g->ForEachRelVersion(1, Direction::kIncoming,
+                       [&](const RelationshipVersion&) { ++count; });
+  EXPECT_EQ(count, 1);
+  g->ForEachRelVersion(1, Direction::kOutgoing,
+                       [&](const RelationshipVersion&) { FAIL(); });
+}
+
+TEST(TemporalGraphTest, ForEachNodeInWindow) {
+  auto g = Timeline();
+  std::set<NodeId> seen;
+  g->ForEachNodeInWindow(6, 8, [&](const NodeVersion& v) {
+    seen.insert(v.entity.id);
+  });
+  EXPECT_EQ(seen, std::set<NodeId>{0});  // node 1 is dead during [6,8)
+  seen.clear();
+  g->ForEachNodeInWindow(0, kInfiniteTime,
+                         [&](const NodeVersion& v) { seen.insert(v.entity.id); });
+  EXPECT_EQ(seen, (std::set<NodeId>{0, 1}));
+}
+
+TEST(TemporalGraphTest, VersionCountersTrack) {
+  auto g = Timeline();
+  // Node versions: node0 x2, node1 x2 = 4; rel versions: 1.
+  EXPECT_EQ(g->NumNodeVersions(), 4u);
+  EXPECT_EQ(g->NumRelVersions(), 1u);
+  EXPECT_EQ(g->LastTimestamp(), 8u);
+}
+
+}  // namespace
+}  // namespace aion::graph

@@ -1,0 +1,120 @@
+#include "graph/update.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aion::graph {
+namespace {
+
+std::vector<GraphUpdate> SampleUpdates() {
+  PropertySet props;
+  props.Set("name", PropertyValue("ada"));
+  std::vector<GraphUpdate> updates = {
+      GraphUpdate::AddNode(1, {"Person"}, props),
+      GraphUpdate::AddNode(2, {"Person", "Admin"}),
+      GraphUpdate::AddRelationship(10, 1, 2, "KNOWS"),
+      GraphUpdate::SetNodeProperty(1, "age", PropertyValue(36)),
+      GraphUpdate::RemoveNodeProperty(1, "name"),
+      GraphUpdate::AddNodeLabel(2, "Owner"),
+      GraphUpdate::RemoveNodeLabel(2, "Admin"),
+      GraphUpdate::SetRelationshipProperty(10, "since", PropertyValue(1999)),
+      GraphUpdate::RemoveRelationshipProperty(10, "since"),
+      GraphUpdate::DeleteRelationship(10),
+      GraphUpdate::DeleteNode(2),
+  };
+  Timestamp ts = 1;
+  for (GraphUpdate& u : updates) u.ts = ts++;
+  return updates;
+}
+
+TEST(GraphUpdateTest, FactoriesPopulateFields) {
+  GraphUpdate u = GraphUpdate::AddRelationship(5, 1, 2, "LIKES");
+  EXPECT_EQ(u.op, UpdateOp::kAddRelationship);
+  EXPECT_EQ(u.id, 5u);
+  EXPECT_EQ(u.src, 1u);
+  EXPECT_EQ(u.tgt, 2u);
+  EXPECT_EQ(u.type, "LIKES");
+}
+
+TEST(GraphUpdateTest, AddNodeSortsAndDedupsLabels) {
+  GraphUpdate u = GraphUpdate::AddNode(1, {"b", "a", "b", "c", "a"});
+  EXPECT_EQ(u.labels, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(GraphUpdateTest, IsNodeOpClassification) {
+  EXPECT_TRUE(IsNodeOp(UpdateOp::kAddNode));
+  EXPECT_TRUE(IsNodeOp(UpdateOp::kDeleteNode));
+  EXPECT_TRUE(IsNodeOp(UpdateOp::kSetNodeProperty));
+  EXPECT_TRUE(IsNodeOp(UpdateOp::kAddNodeLabel));
+  EXPECT_FALSE(IsNodeOp(UpdateOp::kAddRelationship));
+  EXPECT_FALSE(IsNodeOp(UpdateOp::kDeleteRelationship));
+  EXPECT_FALSE(IsNodeOp(UpdateOp::kSetRelationshipProperty));
+}
+
+TEST(GraphUpdateTest, EncodeDecodeEveryOp) {
+  for (const GraphUpdate& u : SampleUpdates()) {
+    std::string buf;
+    u.EncodeTo(&buf);
+    util::Slice input(buf);
+    auto decoded = GraphUpdate::DecodeFrom(&input);
+    ASSERT_TRUE(decoded.ok()) << u.ToString();
+    EXPECT_EQ(*decoded, u) << u.ToString();
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(GraphUpdateTest, BatchRoundTrip) {
+  const std::vector<GraphUpdate> updates = SampleUpdates();
+  std::string buf;
+  EncodeUpdateBatch(updates, &buf);
+  auto decoded = DecodeUpdateBatch(util::Slice(buf));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, updates);
+}
+
+TEST(GraphUpdateTest, EmptyBatchRoundTrip) {
+  std::string buf;
+  EncodeUpdateBatch({}, &buf);
+  auto decoded = DecodeUpdateBatch(util::Slice(buf));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(GraphUpdateTest, DecodeRejectsGarbage) {
+  util::Slice garbage("\xff\x01\x02", 3);
+  EXPECT_FALSE(GraphUpdate::DecodeFrom(&garbage).ok());
+  util::Slice empty("", 0);
+  EXPECT_FALSE(GraphUpdate::DecodeFrom(&empty).ok());
+}
+
+TEST(GraphUpdateTest, DecodeTruncatedBatchFails) {
+  std::string buf;
+  EncodeUpdateBatch(SampleUpdates(), &buf);
+  EXPECT_FALSE(DecodeUpdateBatch(util::Slice(buf.data(), buf.size() / 2)).ok());
+}
+
+TEST(GraphUpdateTest, ToStringMentionsOpAndId) {
+  const GraphUpdate u = GraphUpdate::DeleteNode(77);
+  EXPECT_NE(u.ToString().find("DeleteNode"), std::string::npos);
+  EXPECT_NE(u.ToString().find("77"), std::string::npos);
+}
+
+TEST(TimeIntervalTest, ContainsAndOverlaps) {
+  const TimeInterval iv{10, 20};
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_TRUE(iv.Overlaps(0, 11));
+  EXPECT_TRUE(iv.Overlaps(19, 100));
+  EXPECT_FALSE(iv.Overlaps(20, 100));
+  EXPECT_FALSE(iv.Overlaps(0, 10));
+  EXPECT_TRUE(iv.Overlaps(12, 15));
+  const TimeInterval open{5, kInfiniteTime};
+  EXPECT_TRUE(open.Contains(1ULL << 62));
+  EXPECT_TRUE(open.Overlaps(100, 101));
+}
+
+}  // namespace
+}  // namespace aion::graph

@@ -1,0 +1,309 @@
+#include "query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/file.h"
+
+namespace aion::query {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_qe_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    auto db = txn::GraphDatabase::OpenInMemory();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    core::AionStore::Options options;
+    options.dir = dir_ + "/aion";
+    options.lineage_mode = core::AionStore::LineageMode::kSync;
+    auto aion = core::AionStore::Open(options);
+    ASSERT_TRUE(aion.ok());
+    aion_ = std::move(*aion);
+    db_->RegisterListener(aion_.get());
+    engine_ = std::make_unique<QueryEngine>(db_.get(), aion_.get());
+  }
+  void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
+
+  QueryResult Run(const std::string& q) {
+    auto result = engine_->Execute(q);
+    EXPECT_TRUE(result.ok()) << q << " -> " << result.status().ToString();
+    return result.ok() ? *result : QueryResult{};
+  }
+
+  std::string dir_;
+  std::unique_ptr<txn::GraphDatabase> db_;
+  std::unique_ptr<core::AionStore> aion_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(QueryEngineTest, CreateAndMatchLatest) {
+  Run("CREATE (a:Person {name: 'ada', age: 36})");
+  Run("CREATE (b:Person {name: 'bob', age: 17})");
+  Run("CREATE (c:City {name: 'berlin'})");
+
+  QueryResult people = Run("MATCH (p:Person) RETURN p.name");
+  EXPECT_EQ(people.NumRows(), 2u);
+  QueryResult adults =
+      Run("MATCH (p:Person) WHERE p.age >= 18 RETURN p.name");
+  ASSERT_EQ(adults.NumRows(), 1u);
+  EXPECT_EQ(adults.rows[0][0].AsString(), "ada");
+  QueryResult count = Run("MATCH (n) RETURN count(*)");
+  EXPECT_EQ(count.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(QueryEngineTest, CreateRelationshipAndTraverse) {
+  Run("CREATE (a:Person {name: 'ada'})-[:KNOWS]->(b:Person {name: 'bob'})");
+  QueryResult friends = Run(
+      "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a.name, b.name");
+  ASSERT_EQ(friends.NumRows(), 1u);
+  EXPECT_EQ(friends.rows[0][0].AsString(), "ada");
+  EXPECT_EQ(friends.rows[0][1].AsString(), "bob");
+  // Reverse direction matches nothing.
+  EXPECT_EQ(Run("MATCH (a {name: 'bob'})-[:KNOWS]->(b) RETURN b").NumRows(),
+            0u);
+  // Undirected matches both ways.
+  EXPECT_EQ(Run("MATCH (a {name: 'bob'})-[:KNOWS]-(b) RETURN b").NumRows(),
+            1u);
+}
+
+TEST_F(QueryEngineTest, MultiHopPattern) {
+  Run("CREATE (a {name: 'a'})-[:R]->(b {name: 'b'})-[:R]->(c {name: 'c'})");
+  QueryResult two_hop = Run("MATCH (x {name: 'a'})-[*2]->(y) RETURN y.name");
+  ASSERT_EQ(two_hop.NumRows(), 1u);
+  EXPECT_EQ(two_hop.rows[0][0].AsString(), "c");
+}
+
+TEST_F(QueryEngineTest, IdPredicateAndProjection) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  QueryResult ids = Run("MATCH (n:Person) RETURN id(n)");
+  ASSERT_EQ(ids.NumRows(), 1u);
+  const int64_t id = ids.rows[0][0].AsInt();
+  QueryResult by_id = Run("MATCH (n) WHERE id(n) = " + std::to_string(id) +
+                          " RETURN n.name");
+  ASSERT_EQ(by_id.NumRows(), 1u);
+  EXPECT_EQ(by_id.rows[0][0].AsString(), "ada");
+}
+
+TEST_F(QueryEngineTest, SetUpdatesProperties) {
+  Run("CREATE (a:Person {name: 'ada', age: 36})");
+  QueryResult set = Run("MATCH (n:Person) SET n.age = 37");
+  EXPECT_EQ(set.rows[0][0].AsInt(), 1);
+  QueryResult check = Run("MATCH (n:Person) RETURN n.age");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 37);
+}
+
+TEST_F(QueryEngineTest, DeleteRemovesEntities) {
+  Run("CREATE (a:Person {name: 'ada'})-[:KNOWS]->(b:Person {name: 'bob'})");
+  // Deleting a connected node without DETACH fails (Sec 3 constraint).
+  auto bad = engine_->Execute("MATCH (n:Person {name: 'ada'}) DELETE n");
+  EXPECT_FALSE(bad.ok());
+  QueryResult detach =
+      Run("MATCH (n:Person {name: 'ada'}) DETACH DELETE n");
+  EXPECT_EQ(detach.rows[0][0].AsInt(), 1);  // nodes deleted
+  EXPECT_EQ(detach.rows[0][1].AsInt(), 1);  // rels deleted
+  EXPECT_EQ(Run("MATCH (n:Person) RETURN count(*)").rows[0][0].AsInt(), 1);
+}
+
+TEST_F(QueryEngineTest, AsOfTimeTravel) {
+  Run("CREATE (a:Person {name: 'ada'})");                      // ts 1
+  Run("MATCH (n:Person) SET n.name = 'lovelace'");             // ts 2
+  Run("CREATE (b:City {name: 'london'})");                     // ts 3
+
+  QueryResult at1 =
+      Run("USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n:Person) RETURN n.name");
+  ASSERT_EQ(at1.NumRows(), 1u);
+  EXPECT_EQ(at1.rows[0][0].AsString(), "ada");
+
+  QueryResult at2 =
+      Run("USE gdb FOR SYSTEM_TIME AS OF 2 MATCH (n:Person) RETURN n.name");
+  EXPECT_EQ(at2.rows[0][0].AsString(), "lovelace");
+
+  EXPECT_EQ(Run("USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) RETURN count(*)")
+                .rows[0][0]
+                .AsInt(),
+            1);
+  EXPECT_EQ(Run("USE gdb FOR SYSTEM_TIME AS OF 3 MATCH (n) RETURN count(*)")
+                .rows[0][0]
+                .AsInt(),
+            2);
+}
+
+TEST_F(QueryEngineTest, HistoryRangeQuery) {
+  Run("CREATE (a:Doc {v: 1})");                    // ts 1
+  Run("MATCH (n:Doc) SET n.v = 2");                // ts 2
+  Run("MATCH (n:Doc) SET n.v = 3");                // ts 3
+  QueryResult ids = Run("MATCH (n:Doc) RETURN id(n)");
+  const int64_t id = ids.rows[0][0].AsInt();
+
+  // Fig 1a shape: BETWEEN returns one row per version in [1, 3).
+  QueryResult history =
+      Run("USE gdb FOR SYSTEM_TIME BETWEEN 1 AND 3 MATCH (n:Doc) "
+          "WHERE id(n) = " + std::to_string(id) + " RETURN n.v");
+  ASSERT_EQ(history.NumRows(), 2u);
+  EXPECT_EQ(history.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(history.rows[1][0].AsInt(), 2);
+
+  // CONTAINED IN includes the right endpoint.
+  QueryResult all =
+      Run("USE gdb FOR SYSTEM_TIME CONTAINED IN (1, 3) MATCH (n:Doc) "
+          "WHERE id(n) = " + std::to_string(id) + " RETURN n.v");
+  EXPECT_EQ(all.NumRows(), 3u);
+}
+
+TEST_F(QueryEngineTest, BitemporalFilter) {
+  Run("CREATE (e:Event {app_start: 100, app_end: 200})");
+  Run("CREATE (f:Event {app_start: 300, app_end: 400})");
+  QueryResult ids = Run("MATCH (e:Event) WHERE e.app_start = 100 RETURN id(e)");
+  const int64_t id = ids.rows[0][0].AsInt();
+  QueryResult in_range = Run(
+      "USE gdb FOR SYSTEM_TIME AS OF 2 MATCH (e:Event) WHERE id(e) = " +
+      std::to_string(id) + " AND APPLICATION_TIME CONTAINED IN (50, 250) "
+      "RETURN e");
+  EXPECT_EQ(in_range.NumRows(), 1u);
+  QueryResult out_of_range = Run(
+      "USE gdb FOR SYSTEM_TIME AS OF 2 MATCH (e:Event) WHERE id(e) = " +
+      std::to_string(id) + " AND APPLICATION_TIME CONTAINED IN (150, 250) "
+      "RETURN e");
+  EXPECT_EQ(out_of_range.NumRows(), 0u);
+}
+
+TEST_F(QueryEngineTest, ProceduresEndToEnd) {
+  Run("CREATE (a {name: 'a'})-[:R]->(b {name: 'b'})-[:R]->(c {name: 'c'})");
+  QueryResult ids = Run("MATCH (n {name: 'a'}) RETURN id(n)");
+  const int64_t a = ids.rows[0][0].AsInt();
+
+  QueryResult expand = Run("CALL aion.expand(" + std::to_string(a) +
+                           ", 'out', 2, 1)");
+  EXPECT_EQ(expand.NumRows(), 2u);
+
+  QueryResult stats = Run("CALL aion.graphStats(1)");
+  EXPECT_EQ(stats.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(stats.rows[0][1].AsInt(), 2);
+
+  QueryResult diff = Run("CALL aion.diffCount(0, 10)");
+  EXPECT_EQ(diff.rows[0][0].AsInt(), 5);  // 3 nodes + 2 rels
+
+  QueryResult history = Run("CALL aion.nodeHistory(" + std::to_string(a) +
+                            ", 0, 100) YIELD ts_start");
+  EXPECT_EQ(history.NumRows(), 1u);
+  EXPECT_EQ(history.columns, std::vector<std::string>{"ts_start"});
+}
+
+TEST_F(QueryEngineTest, UnknownProcedureFails) {
+  auto result = engine_->Execute("CALL no.such.proc()");
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(QueryEngineTest, CustomProcedureRegistration) {
+  engine_->RegisterProcedure(
+      "test.answer", [](QueryEngine&, const std::vector<Literal>&)
+          -> util::StatusOr<QueryResult> {
+        QueryResult r;
+        r.columns = {"answer"};
+        r.rows.push_back({Value(int64_t{42})});
+        return r;
+      });
+  QueryResult result = Run("CALL test.answer()");
+  EXPECT_EQ(result.rows[0][0].AsInt(), 42);
+}
+
+TEST_F(QueryEngineTest, LimitCapsRows) {
+  for (int i = 0; i < 10; ++i) {
+    Run("CREATE (n:Many {i: " + std::to_string(i) + "})");
+  }
+  EXPECT_EQ(Run("MATCH (n:Many) RETURN n LIMIT 3").NumRows(), 3u);
+}
+
+TEST_F(QueryEngineTest, CyclePatternRequiresSameBinding) {
+  Run("CREATE (a {name: 'a'})-[:R]->(b {name: 'b'})");
+  Run("MATCH (x {name: 'b'}), (y {name: 'a'}) RETURN x");  // warm-up parse
+  // (a)-[:R]->(b)-[:R]->(a) requires a cycle; none exists.
+  EXPECT_EQ(Run("MATCH (a)-[:R]->(b)-[:R]->(a) RETURN a").NumRows(), 0u);
+}
+
+TEST_F(QueryEngineTest, IncrementalAvgProcedure) {
+  // Relationship property stream over 4 commits.
+  Run("CREATE (a {name: 'a'})");
+  Run("CREATE (b {name: 'b'})");
+  for (int i = 1; i <= 4; ++i) {
+    auto txn = db_->Begin();
+    graph::PropertySet props;
+    props.Set("w", graph::PropertyValue(i * 10));
+    txn->CreateRelationship(0, 1, "R", props);
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  QueryResult result = Run("CALL aion.incremental.avg('w', 2, 6, 2)");
+  // Rows at t=4 and t=6: averages over rels committed by then.
+  ASSERT_EQ(result.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(result.rows[0][1].AsDouble(), 15.0);  // (10+20)/2
+  EXPECT_DOUBLE_EQ(result.rows[1][1].AsDouble(), 25.0);  // all four
+}
+
+}  // namespace
+}  // namespace aion::query
+namespace aion::query {
+namespace {
+
+TEST_F(QueryEngineTest, RelationshipsProcedure) {
+  Run("CREATE (a {name: 'hub'})");                                   // ts 1
+  Run("CREATE (b {name: 'x'})");                                     // ts 2
+  QueryResult ids = Run("MATCH (n {name: 'hub'}) RETURN id(n)");
+  const int64_t hub = ids.rows[0][0].AsInt();
+  ids = Run("MATCH (n {name: 'x'}) RETURN id(n)");
+  const int64_t x = ids.rows[0][0].AsInt();
+  // ts 3: hub -> x; ts 4: x -> hub.
+  {
+    auto txn = db_->Begin();
+    txn->CreateRelationship(static_cast<graph::NodeId>(hub),
+                            static_cast<graph::NodeId>(x), "OUT_REL");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    auto txn = db_->Begin();
+    txn->CreateRelationship(static_cast<graph::NodeId>(x),
+                            static_cast<graph::NodeId>(hub), "IN_REL");
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  QueryResult out = Run("CALL aion.relationships(" + std::to_string(hub) +
+                        ", 'out', 4, 4)");
+  ASSERT_EQ(out.NumRows(), 1u);
+  QueryResult both = Run("CALL aion.relationships(" + std::to_string(hub) +
+                         ", 'both', 4, 4)");
+  EXPECT_EQ(both.NumRows(), 2u);
+  // Before either relationship existed: empty.
+  QueryResult early = Run("CALL aion.relationships(" + std::to_string(hub) +
+                          ", 'both', 2, 2)");
+  EXPECT_EQ(early.NumRows(), 0u);
+  // History window covers both validity intervals.
+  QueryResult window = Run("CALL aion.relationships(" + std::to_string(hub) +
+                           ", 'both', 0, 100)");
+  EXPECT_EQ(window.NumRows(), 2u);
+}
+
+TEST_F(QueryEngineTest, RelationshipVariableBindingAndPredicates) {
+  Run("CREATE (a {name: 'a'})");
+  Run("CREATE (b {name: 'b'})");
+  {
+    auto txn = db_->Begin();
+    graph::PropertySet p1, p2;
+    p1.Set("since", graph::PropertyValue(1999));
+    p2.Set("since", graph::PropertyValue(2020));
+    txn->CreateRelationship(0, 1, "KNOWS", p1);
+    txn->CreateRelationship(0, 1, "KNOWS", p2);
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  QueryResult old_rels = Run(
+      "MATCH (a)-[r:KNOWS]->(b) WHERE r.since < 2000 RETURN r.since, id(r)");
+  ASSERT_EQ(old_rels.NumRows(), 1u);
+  EXPECT_EQ(old_rels.rows[0][0].AsInt(), 1999);
+  QueryResult all = Run("MATCH (a)-[r:KNOWS]->(b) RETURN r");
+  EXPECT_EQ(all.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace aion::query

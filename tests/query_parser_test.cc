@@ -1,0 +1,212 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace aion::query {
+namespace {
+
+TEST(LexerParserTest, Fig1aHistoryLookup) {
+  // Fig 1a: history lookup between t1 and t2 (exclusive).
+  auto stmt = Parse(
+      "USE GDB FOR SYSTEM_TIME BETWEEN 10 AND 20 "
+      "MATCH (n: Node) WHERE id(n) = 7 RETURN n");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kMatch);
+  EXPECT_EQ(stmt->time.kind, TimeSpec::Kind::kBetween);
+  EXPECT_EQ(stmt->time.a, 10u);
+  EXPECT_EQ(stmt->time.b, 20u);
+  ASSERT_EQ(stmt->patterns.size(), 1u);
+  EXPECT_EQ(stmt->patterns[0].nodes[0].variable, "n");
+  EXPECT_EQ(stmt->patterns[0].nodes[0].label, "Node");
+  ASSERT_EQ(stmt->predicates.size(), 1u);
+  EXPECT_EQ(stmt->predicates[0].kind, Predicate::Kind::kIdEquals);
+  EXPECT_EQ(stmt->predicates[0].literal.int_value, 7);
+  ASSERT_EQ(stmt->returns.size(), 1u);
+  EXPECT_EQ(stmt->returns[0].kind, ReturnItem::Kind::kVariable);
+}
+
+TEST(LexerParserTest, Fig1bNeighbourhoodLookup) {
+  auto stmt = Parse(
+      "USE GDB FOR SYSTEM_TIME AS OF 5 "
+      "MATCH (n)-[*3]->(m) WHERE id(n) = 2 RETURN m");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->time.kind, TimeSpec::Kind::kAsOf);
+  EXPECT_EQ(stmt->time.a, 5u);
+  ASSERT_EQ(stmt->patterns[0].rels.size(), 1u);
+  EXPECT_EQ(stmt->patterns[0].rels[0].hops, 3u);
+  EXPECT_EQ(stmt->patterns[0].rels[0].direction,
+            RelPattern::Direction::kRight);
+  EXPECT_EQ(stmt->patterns[0].nodes[1].variable, "m");
+}
+
+TEST(LexerParserTest, Fig1cBitemporalLookup) {
+  auto stmt = Parse(
+      "USE GDB FOR SYSTEM_TIME AS OF 5 "
+      "MATCH (n: Node) WHERE id(n) = 1 "
+      "AND APPLICATION_TIME CONTAINED IN (100, 200) RETURN n");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->predicates.size(), 2u);
+  EXPECT_EQ(stmt->predicates[1].kind, Predicate::Kind::kApplicationTime);
+  EXPECT_EQ(stmt->predicates[1].app_a, 100u);
+  EXPECT_EQ(stmt->predicates[1].app_b, 200u);
+}
+
+TEST(LexerParserTest, AllTimeSpecForms) {
+  EXPECT_EQ(Parse("USE g FOR SYSTEM_TIME AS OF 3 MATCH (n) RETURN n")
+                ->time.kind,
+            TimeSpec::Kind::kAsOf);
+  EXPECT_EQ(Parse("USE g FOR SYSTEM_TIME FROM 1 TO 9 MATCH (n) RETURN n")
+                ->time.kind,
+            TimeSpec::Kind::kFromTo);
+  EXPECT_EQ(
+      Parse("USE g FOR SYSTEM_TIME BETWEEN 1 AND 9 MATCH (n) RETURN n")
+          ->time.kind,
+      TimeSpec::Kind::kBetween);
+  EXPECT_EQ(
+      Parse("USE g FOR SYSTEM_TIME CONTAINED IN (1, 9) MATCH (n) RETURN n")
+          ->time.kind,
+      TimeSpec::Kind::kContainedIn);
+}
+
+TEST(LexerParserTest, TimeSpecWindows) {
+  graph::Timestamp start, end;
+  Parse("USE g FOR SYSTEM_TIME FROM 5 TO 9 MATCH (n) RETURN n")
+      ->time.ToWindow(&start, &end);
+  EXPECT_EQ(start, 6u);  // FROM..TO is exclusive on both ends
+  EXPECT_EQ(end, 9u);
+  Parse("USE g FOR SYSTEM_TIME BETWEEN 5 AND 9 MATCH (n) RETURN n")
+      ->time.ToWindow(&start, &end);
+  EXPECT_EQ(start, 5u);  // BETWEEN..AND is [a, b)
+  EXPECT_EQ(end, 9u);
+  Parse("USE g FOR SYSTEM_TIME CONTAINED IN (5, 9) MATCH (n) RETURN n")
+      ->time.ToWindow(&start, &end);
+  EXPECT_EQ(start, 5u);  // CONTAINED IN is [a, b]
+  EXPECT_EQ(end, 10u);
+}
+
+TEST(LexerParserTest, DirectionsAndTypes) {
+  auto stmt = Parse("MATCH (a)<-[r:KNOWS]-(b)-[s]-(c) RETURN a, b, c");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->patterns[0].rels.size(), 2u);
+  EXPECT_EQ(stmt->patterns[0].rels[0].direction, RelPattern::Direction::kLeft);
+  EXPECT_EQ(stmt->patterns[0].rels[0].type, "KNOWS");
+  EXPECT_EQ(stmt->patterns[0].rels[0].variable, "r");
+  EXPECT_EQ(stmt->patterns[0].rels[1].direction,
+            RelPattern::Direction::kUndirected);
+}
+
+TEST(LexerParserTest, NodePropertiesInPattern) {
+  auto stmt = Parse(
+      "MATCH (p:Person {name: 'ada', age: 36, score: 1.5, ok: true}) "
+      "RETURN p.name AS who");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const NodePattern& node = stmt->patterns[0].nodes[0];
+  ASSERT_EQ(node.properties.size(), 4u);
+  EXPECT_EQ(node.properties[0].first, "name");
+  EXPECT_EQ(node.properties[0].second.string_value, "ada");
+  EXPECT_EQ(node.properties[1].second.int_value, 36);
+  EXPECT_DOUBLE_EQ(node.properties[2].second.double_value, 1.5);
+  EXPECT_TRUE(node.properties[3].second.bool_value);
+  EXPECT_EQ(stmt->returns[0].alias, "who");
+  EXPECT_EQ(stmt->returns[0].ColumnName(), "who");
+}
+
+TEST(LexerParserTest, PropertyComparisonsInWhere) {
+  auto stmt = Parse(
+      "MATCH (n) WHERE n.age >= 18 AND n.name <> 'bob' AND n.score < 2.5 "
+      "RETURN count(*)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->predicates.size(), 3u);
+  EXPECT_EQ(stmt->predicates[0].op, Predicate::Op::kGte);
+  EXPECT_EQ(stmt->predicates[1].op, Predicate::Op::kNeq);
+  EXPECT_EQ(stmt->predicates[2].op, Predicate::Op::kLt);
+  EXPECT_EQ(stmt->returns[0].kind, ReturnItem::Kind::kCountStar);
+}
+
+TEST(LexerParserTest, CreateStatement) {
+  auto stmt = Parse(
+      "CREATE (a:Person {name: 'x'})-[:KNOWS]->(b:Person), (c:City)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kCreate);
+  ASSERT_EQ(stmt->patterns.size(), 2u);
+  EXPECT_EQ(stmt->patterns[0].rels[0].type, "KNOWS");
+}
+
+TEST(LexerParserTest, SetAndDelete) {
+  auto set = Parse("MATCH (n) WHERE id(n) = 3 SET n.age = 40, n.x = 'y'");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->kind, Statement::Kind::kMatchSet);
+  ASSERT_EQ(set->sets.size(), 2u);
+  EXPECT_EQ(set->sets[0].key, "age");
+
+  auto del = Parse("MATCH (n)-[r]->(m) WHERE id(n) = 1 DELETE r");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del->kind, Statement::Kind::kMatchDelete);
+  EXPECT_EQ(del->deletes, std::vector<std::string>{"r"});
+  EXPECT_FALSE(del->detach);
+
+  auto detach = Parse("MATCH (n) WHERE id(n) = 1 DETACH DELETE n");
+  ASSERT_TRUE(detach.ok());
+  EXPECT_TRUE(detach->detach);
+}
+
+TEST(LexerParserTest, CallWithYield) {
+  auto stmt = Parse(
+      "CALL aion.incremental.avg('w', 0, 100, 10) YIELD t, avg");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kCall);
+  EXPECT_EQ(stmt->procedure, "aion.incremental.avg");
+  ASSERT_EQ(stmt->arguments.size(), 4u);
+  EXPECT_EQ(stmt->arguments[0].string_value, "w");
+  EXPECT_EQ(stmt->yields, (std::vector<std::string>{"t", "avg"}));
+}
+
+TEST(LexerParserTest, KeywordsAsPropertyKeys) {
+  auto stmt = Parse("MATCH (n) WHERE n.id = 5 RETURN n.count, n.id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->predicates[0].key, "id");
+  EXPECT_EQ(stmt->returns[0].key, "count");
+}
+
+TEST(LexerParserTest, LimitClause) {
+  auto stmt = Parse("MATCH (n) RETURN n LIMIT 5");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 5u);
+}
+
+TEST(LexerParserTest, CaseInsensitiveKeywords) {
+  auto stmt = Parse("match (n) return n");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, Statement::Kind::kMatch);
+}
+
+TEST(LexerParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("MATCH n RETURN n").ok());           // missing parens
+  EXPECT_FALSE(Parse("MATCH (n) RETURN").ok());           // missing items
+  EXPECT_FALSE(Parse("MATCH (n) RETURN n extra").ok());   // trailing
+  EXPECT_FALSE(Parse("USE g FOR SYSTEM_TIME MATCH (n) RETURN n").ok());
+  EXPECT_FALSE(Parse("MATCH (n)-[*0]->(m) RETURN m").ok());  // zero hops
+  EXPECT_FALSE(Parse("MATCH (n) WHERE RETURN n").ok());
+  EXPECT_FALSE(Parse("CALL ()").ok());
+  EXPECT_FALSE(Parse("MATCH (n {k: })").ok());
+  EXPECT_FALSE(Parse("MATCH (n) WHERE id(n) = 'text' RETURN n").ok());
+}
+
+TEST(LexerParserTest, StringEscapes) {
+  auto stmt = Parse("MATCH (n {name: 'it\\'s'}) RETURN n");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->patterns[0].nodes[0].properties[0].second.string_value,
+            "it's");
+  EXPECT_FALSE(Parse("MATCH (n {name: 'unterminated}) RETURN n").ok());
+}
+
+TEST(LexerParserTest, ParametersRejectedWithHint) {
+  auto stmt = Parse("MATCH (n) WHERE id(n) = $id RETURN n");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_NE(stmt.status().message().find("inline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aion::query

@@ -1,0 +1,120 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "storage/file.h"
+
+namespace aion::query {
+namespace {
+
+using core::AionStore;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_plan_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    AionStore::Options options;
+    options.dir = dir_ + "/aion";
+    options.lineage_mode = AionStore::LineageMode::kSync;
+    auto aion = AionStore::Open(options);
+    ASSERT_TRUE(aion.ok());
+    aion_ = std::move(*aion);
+    // 100 nodes (30 labelled Hot), ring of 100 rels -> avg degree 1.
+    std::vector<graph::GraphUpdate> updates;
+    for (graph::NodeId i = 0; i < 100; ++i) {
+      updates.push_back(graph::GraphUpdate::AddNode(
+          i, i < 30 ? std::vector<std::string>{"Hot"}
+                    : std::vector<std::string>{}));
+    }
+    ASSERT_TRUE(aion_->Ingest(1, updates).ok());
+    updates.clear();
+    for (graph::RelId i = 0; i < 100; ++i) {
+      updates.push_back(
+          graph::GraphUpdate::AddRelationship(i, i, (i + 1) % 100, "R"));
+    }
+    ASSERT_TRUE(aion_->Ingest(2, updates).ok());
+  }
+  void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
+
+  PlanInfo PlanOf(const std::string& text) {
+    auto stmt = Parse(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return PlanStatement(*stmt, aion_.get());
+  }
+
+  std::string dir_;
+  std::unique_ptr<AionStore> aion_;
+};
+
+TEST_F(PlannerTest, IdAnchoredPointLookup) {
+  PlanInfo plan = PlanOf(
+      "USE g FOR SYSTEM_TIME AS OF 2 MATCH (n) WHERE id(n) = 7 RETURN n");
+  EXPECT_EQ(plan.access, PlanInfo::Access::kPointLookup);
+  EXPECT_TRUE(plan.anchored_by_id);
+  EXPECT_EQ(plan.anchor_id, 7u);
+  EXPECT_EQ(plan.store, AionStore::StoreChoice::kLineageStore);
+  EXPECT_DOUBLE_EQ(plan.estimated_fraction, 0.0);
+}
+
+TEST_F(PlannerTest, RangeQueryIsPointHistory) {
+  PlanInfo plan = PlanOf(
+      "USE g FOR SYSTEM_TIME BETWEEN 1 AND 9 MATCH (n) WHERE id(n) = 7 "
+      "RETURN n");
+  EXPECT_EQ(plan.access, PlanInfo::Access::kPointHistory);
+  EXPECT_EQ(plan.store, AionStore::StoreChoice::kLineageStore);
+}
+
+TEST_F(PlannerTest, ShallowExpandUsesLineage) {
+  PlanInfo plan = PlanOf(
+      "USE g FOR SYSTEM_TIME AS OF 2 MATCH (n)-[*2]->(m) WHERE id(n) = 7 "
+      "RETURN m");
+  EXPECT_EQ(plan.access, PlanInfo::Access::kExpand);
+  EXPECT_EQ(plan.hops, 2u);
+  // Avg degree 1: 2 hops reach ~3/100 of the graph, far below 30%.
+  EXPECT_LT(plan.estimated_fraction, 0.3);
+  EXPECT_EQ(plan.store, AionStore::StoreChoice::kLineageStore);
+}
+
+TEST_F(PlannerTest, DeepExpandSwitchesToTimeStore) {
+  PlanInfo plan = PlanOf(
+      "USE g FOR SYSTEM_TIME AS OF 2 MATCH (n)-[*80]->(m) WHERE id(n) = 7 "
+      "RETURN m");
+  EXPECT_EQ(plan.access, PlanInfo::Access::kExpand);
+  EXPECT_GT(plan.estimated_fraction, 0.3);
+  EXPECT_EQ(plan.store, AionStore::StoreChoice::kTimeStore);
+}
+
+TEST_F(PlannerTest, UnanchoredScanIsGlobal) {
+  PlanInfo plan = PlanOf("MATCH (n) RETURN count(*)");
+  EXPECT_EQ(plan.access, PlanInfo::Access::kGlobalScan);
+  EXPECT_FALSE(plan.anchored_by_id);
+  EXPECT_EQ(plan.store, AionStore::StoreChoice::kTimeStore);
+  EXPECT_DOUBLE_EQ(plan.estimated_fraction, 1.0);
+}
+
+TEST_F(PlannerTest, LabelScanUsesLabelSelectivity) {
+  PlanInfo plan = PlanOf("MATCH (n:Hot) RETURN n");
+  EXPECT_EQ(plan.access, PlanInfo::Access::kGlobalScan);
+  EXPECT_NEAR(plan.estimated_fraction, 0.3, 1e-9);
+}
+
+TEST_F(PlannerTest, MultiSegmentHopsAccumulate) {
+  PlanInfo plan = PlanOf(
+      "MATCH (a)-[*2]->(b)-[:R]->(c) WHERE id(a) = 1 RETURN c");
+  EXPECT_EQ(plan.hops, 3u);
+  EXPECT_EQ(plan.access, PlanInfo::Access::kExpand);
+}
+
+TEST_F(PlannerTest, NullAionDefaultsSafely) {
+  auto stmt = Parse("MATCH (n) WHERE id(n) = 3 RETURN n");
+  ASSERT_TRUE(stmt.ok());
+  PlanInfo plan = PlanStatement(*stmt, nullptr);
+  EXPECT_TRUE(plan.anchored_by_id);
+  EXPECT_EQ(plan.store, AionStore::StoreChoice::kTimeStore);
+}
+
+}  // namespace
+}  // namespace aion::query

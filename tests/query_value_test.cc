@@ -1,0 +1,78 @@
+#include "query/value.h"
+
+#include <gtest/gtest.h>
+
+namespace aion::query {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(std::string("s")).is_string());
+  graph::Node node;
+  EXPECT_TRUE(Value(node).is_node());
+  graph::Relationship rel;
+  EXPECT_TRUE(Value(rel).is_relationship());
+}
+
+TEST(ValueTest, FromPropertyMapsTypes) {
+  EXPECT_TRUE(Value::FromProperty(graph::PropertyValue()).is_null());
+  EXPECT_EQ(Value::FromProperty(graph::PropertyValue(7)).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::FromProperty(graph::PropertyValue(1.5)).AsDouble(),
+                   1.5);
+  EXPECT_EQ(Value::FromProperty(graph::PropertyValue("x")).AsString(), "x");
+  EXPECT_TRUE(Value::FromProperty(graph::PropertyValue(true)).AsBool());
+  // Arrays render to their string form.
+  const Value arr = Value::FromProperty(
+      graph::PropertyValue(std::vector<int64_t>{1, 2}));
+  ASSERT_TRUE(arr.is_string());
+  EXPECT_EQ(arr.AsString(), "[1, 2]");
+}
+
+TEST(ValueTest, ToNumberCoercion) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).ToNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(0.5).ToNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(Value(std::string("nope")).ToNumber(), 0.0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  graph::Node node;
+  node.id = 4;
+  node.labels = {"A"};
+  node.props.Set("k", graph::PropertyValue(1));
+  const std::string rendered = Value(node).ToString();
+  EXPECT_NE(rendered.find("(4:A"), std::string::npos);
+  EXPECT_NE(rendered.find("k: 1"), std::string::npos);
+  graph::Relationship rel;
+  rel.id = 9;
+  rel.src = 1;
+  rel.tgt = 2;
+  rel.type = "KNOWS";
+  EXPECT_EQ(Value(rel).ToString(), "[9:KNOWS 1->2]");
+}
+
+TEST(ValueTest, EqualityIsTypeSensitive) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(QueryResultTest, TableRendering) {
+  QueryResult result;
+  result.columns = {"a", "b"};
+  result.rows.push_back({Value(int64_t{1}), Value(std::string("x"))});
+  result.rows.push_back({Value(int64_t{2}), Value()});
+  const std::string table = result.ToString();
+  EXPECT_NE(table.find("a | b"), std::string::npos);
+  EXPECT_NE(table.find("1 | x"), std::string::npos);
+  EXPECT_NE(table.find("2 | null"), std::string::npos);
+  EXPECT_EQ(result.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace aion::query

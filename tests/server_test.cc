@@ -1,0 +1,173 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "server/protocol.h"
+#include "storage/file.h"
+
+namespace aion::server {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_srv_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    auto db = txn::GraphDatabase::OpenInMemory();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    core::AionStore::Options options;
+    options.dir = dir_ + "/aion";
+    options.lineage_mode = core::AionStore::LineageMode::kSync;
+    auto aion = core::AionStore::Open(options);
+    ASSERT_TRUE(aion.ok());
+    aion_ = std::move(*aion);
+    db_->RegisterListener(aion_.get());
+    engine_ = std::make_unique<query::QueryEngine>(db_.get(), aion_.get());
+    server_ = std::make_unique<BoltLikeServer>(engine_.get());
+    auto port = server_->Start();
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+  }
+  void TearDown() override {
+    server_->Stop();
+    (void)storage::RemoveDirRecursively(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<txn::GraphDatabase> db_;
+  std::unique_ptr<core::AionStore> aion_;
+  std::unique_ptr<query::QueryEngine> engine_;
+  std::unique_ptr<BoltLikeServer> server_;
+  uint16_t port_ = 0;
+};
+
+TEST(ProtocolTest, RowRoundTrip) {
+  using query::Value;
+  std::vector<Value> row = {Value(), Value(true), Value(int64_t{-42}),
+                            Value(2.5), Value(std::string("hello"))};
+  std::string payload;
+  EncodeRow(row, &payload);
+  auto decoded = DecodeRow(util::Slice(payload));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(ProtocolTest, EntityCellsTravelRendered) {
+  graph::Node node;
+  node.id = 3;
+  node.labels = {"X"};
+  std::vector<query::Value> row = {query::Value(node)};
+  std::string payload;
+  EncodeRow(row, &payload);
+  auto decoded = DecodeRow(util::Slice(payload));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE((*decoded)[0].is_string());
+  EXPECT_NE((*decoded)[0].AsString().find(":X"), std::string::npos);
+}
+
+TEST(ProtocolTest, ColumnsRoundTrip) {
+  std::string payload;
+  EncodeColumns({"a", "b.c", "count(*)"}, &payload);
+  auto decoded = DecodeColumns(util::Slice(payload));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, (std::vector<std::string>{"a", "b.c", "count(*)"}));
+}
+
+TEST(ProtocolTest, DecodeCorruptPayloadsFail) {
+  EXPECT_FALSE(DecodeRow(util::Slice("xx", 2)).ok());
+  std::string payload;
+  EncodeColumns({"a"}, &payload);
+  EXPECT_FALSE(
+      DecodeColumns(util::Slice(payload.data(), payload.size() - 1)).ok());
+}
+
+TEST_F(ServerTest, WriteThenReadOverWire) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto created =
+      (*client)->Run("CREATE (a:Person {name: 'ada'})");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  auto people = (*client)->Run("MATCH (p:Person) RETURN p.name");
+  ASSERT_TRUE(people.ok());
+  ASSERT_EQ(people->NumRows(), 1u);
+  EXPECT_EQ(people->rows[0][0].AsString(), "ada");
+  EXPECT_EQ(people->columns, std::vector<std::string>{"p.name"});
+  EXPECT_GE(server_->queries_served(), 2u);
+}
+
+TEST_F(ServerTest, TemporalQueryOverWire) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Run("CREATE (a:Doc {v: 1})").ok());       // ts 1
+  ASSERT_TRUE((*client)->Run("MATCH (n:Doc) SET n.v = 2").ok());   // ts 2
+  auto at1 = (*client)->Run(
+      "USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n:Doc) RETURN n.v");
+  ASSERT_TRUE(at1.ok()) << at1.status().ToString();
+  ASSERT_EQ(at1->NumRows(), 1u);
+  EXPECT_EQ(at1->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ServerTest, FailureDoesNotKillConnection) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  auto bad = (*client)->Run("THIS IS NOT CYPHER");
+  EXPECT_TRUE(bad.status().IsAborted());
+  // Connection still usable.
+  auto good = (*client)->Run("CREATE (n:X)");
+  EXPECT_TRUE(good.ok());
+}
+
+TEST_F(ServerTest, ConcurrentClients) {
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = BoltLikeClient::Connect(port_);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        auto result = (*client)->Run("CREATE (n:Load {c: " +
+                                     std::to_string(c) + "})");
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  auto count = (*client)->Run("MATCH (n:Load) RETURN count(*)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), kClients * kQueriesPerClient);
+}
+
+TEST_F(ServerTest, ProcedureOverWire) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Run("CREATE (a {x: 1})").ok());
+  auto stats = (*client)->Run("CALL aion.graphStats(1)");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(ServerTest, StopUnblocksCleanly) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  server_->Stop();
+  // Further queries fail with an I/O error rather than hanging.
+  auto result = (*client)->Run("MATCH (n) RETURN count(*)");
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace aion::server

@@ -1,0 +1,433 @@
+#include "storage/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/file.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace aion::storage {
+namespace {
+
+class BpTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("aion_bpt_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<BpTree> OpenTree(const std::string& name,
+                                   size_t cache_pages = 64) {
+    BpTree::Options options;
+    options.cache_pages = cache_pages;
+    auto tree = BpTree::Open(dir_ + "/" + name, options);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return tree.ok() ? std::move(*tree) : nullptr;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BpTreeTest, EmptyTreeGetNotFound) {
+  auto tree = OpenTree("t");
+  ASSERT_NE(tree, nullptr);
+  EXPECT_TRUE(tree->Get("missing").status().IsNotFound());
+  EXPECT_EQ(tree->num_entries(), 0u);
+}
+
+TEST_F(BpTreeTest, PutGetSingle) {
+  auto tree = OpenTree("t");
+  ASSERT_TRUE(tree->Put("key", "value").ok());
+  auto v = tree->Get("key");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "value");
+  EXPECT_EQ(tree->num_entries(), 1u);
+}
+
+TEST_F(BpTreeTest, PutReplacesExisting) {
+  auto tree = OpenTree("t");
+  ASSERT_TRUE(tree->Put("k", "v1").ok());
+  ASSERT_TRUE(tree->Put("k", "v2").ok());
+  EXPECT_EQ(*tree->Get("k"), "v2");
+  EXPECT_EQ(tree->num_entries(), 1u);
+}
+
+TEST_F(BpTreeTest, EmptyKeyAndValue) {
+  auto tree = OpenTree("t");
+  ASSERT_TRUE(tree->Put("", "empty-key").ok());
+  ASSERT_TRUE(tree->Put("empty-val", "").ok());
+  EXPECT_EQ(*tree->Get(""), "empty-key");
+  EXPECT_EQ(*tree->Get("empty-val"), "");
+}
+
+TEST_F(BpTreeTest, RejectsOversizedEntry) {
+  auto tree = OpenTree("t");
+  const std::string huge(BpTree::kMaxEntrySize + 1, 'x');
+  EXPECT_TRUE(tree->Put(huge, "").IsInvalidArgument());
+  EXPECT_TRUE(tree->Put("k", huge).IsInvalidArgument());
+}
+
+TEST_F(BpTreeTest, ManyInsertionsForceSplits) {
+  auto tree = OpenTree("t");
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, static_cast<uint64_t>(i * 7 % n));
+    ASSERT_TRUE(tree->Put(key, "v" + std::to_string(i * 7 % n)).ok());
+  }
+  EXPECT_EQ(tree->num_entries(), static_cast<uint64_t>(n));
+  EXPECT_GT(tree->height(), 1u);
+  for (int i = 0; i < n; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, static_cast<uint64_t>(i));
+    auto v = tree->Get(key);
+    ASSERT_TRUE(v.ok()) << "key " << i;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(BpTreeTest, IteratorFullScanIsSorted) {
+  auto tree = OpenTree("t");
+  util::Random rng(11);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, rng.Next());
+    model[key] = std::to_string(i);
+    ASSERT_TRUE(tree->Put(key, std::to_string(i)).ok());
+  }
+  auto it = tree->NewIterator();
+  auto model_it = model.begin();
+  size_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++model_it, ++count) {
+    ASSERT_NE(model_it, model.end());
+    EXPECT_EQ(it.key().ToString(), model_it->first);
+    EXPECT_EQ(it.value().ToString(), model_it->second);
+  }
+  EXPECT_TRUE(it.status().ok());
+  EXPECT_EQ(count, model.size());
+}
+
+TEST_F(BpTreeTest, SeekPositionsAtLowerBound) {
+  auto tree = OpenTree("t");
+  for (uint64_t i = 0; i < 100; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i * 10);  // keys 0,10,...,990
+    ASSERT_TRUE(tree->Put(key, std::to_string(i * 10)).ok());
+  }
+  std::string target;
+  util::PutBigEndian64(&target, 55);
+  auto it = tree->NewIterator();
+  it.Seek(target);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), 60u);
+
+  // Seek to exact key.
+  std::string exact;
+  util::PutBigEndian64(&exact, 500);
+  it.Seek(exact);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), 500u);
+
+  // Seek past the end.
+  std::string beyond;
+  util::PutBigEndian64(&beyond, 100000);
+  it.Seek(beyond);
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(it.status().ok());
+}
+
+TEST_F(BpTreeTest, ScanRangeHalfOpen) {
+  auto tree = OpenTree("t");
+  for (uint64_t i = 0; i < 1000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    ASSERT_TRUE(tree->Put(key, "v").ok());
+  }
+  std::string low, high;
+  util::PutBigEndian64(&low, 100);
+  util::PutBigEndian64(&high, 200);
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree->ScanRange(low, high, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(util::DecodeBigEndian64(out.front().first.data()), 100u);
+  EXPECT_EQ(util::DecodeBigEndian64(out.back().first.data()), 199u);
+}
+
+TEST_F(BpTreeTest, DeleteRemovesKey) {
+  auto tree = OpenTree("t");
+  for (uint64_t i = 0; i < 2000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    ASSERT_TRUE(tree->Put(key, "v").ok());
+  }
+  for (uint64_t i = 0; i < 2000; i += 2) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    ASSERT_TRUE(tree->Delete(key).ok());
+  }
+  EXPECT_EQ(tree->num_entries(), 1000u);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    EXPECT_EQ(tree->Get(key).ok(), i % 2 == 1) << i;
+  }
+  // Iterator skips deleted entries and possibly-empty leaves.
+  auto it = tree->NewIterator();
+  size_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST_F(BpTreeTest, DeleteMissingReturnsNotFound) {
+  auto tree = OpenTree("t");
+  ASSERT_TRUE(tree->Put("a", "1").ok());
+  EXPECT_TRUE(tree->Delete("b").IsNotFound());
+  EXPECT_EQ(tree->num_entries(), 1u);
+}
+
+TEST_F(BpTreeTest, PersistsAcrossReopen) {
+  {
+    auto tree = OpenTree("t");
+    for (uint64_t i = 0; i < 3000; ++i) {
+      std::string key;
+      util::PutBigEndian64(&key, i);
+      ASSERT_TRUE(tree->Put(key, "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(tree->Sync().ok());
+  }
+  auto tree = OpenTree("t");
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->num_entries(), 3000u);
+  for (uint64_t i = 0; i < 3000; i += 137) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    auto v = tree->Get(key);
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(BpTreeTest, OutOfCoreWithTinyCache) {
+  // 16-frame cache forces constant eviction while building a multi-level
+  // tree — exercises write-back and re-read of every page type.
+  auto tree = OpenTree("t", /*cache_pages=*/16);
+  const int n = 10000;
+  util::Random rng(5);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < n; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, rng.Next() % 100000);
+    const std::string value = std::to_string(i);
+    model[key] = value;
+    ASSERT_TRUE(tree->Put(key, value).ok());
+  }
+  EXPECT_EQ(tree->num_entries(), model.size());
+  EXPECT_GT(tree->cache().evictions(), 0u);
+  for (const auto& [k, v] : model) {
+    auto got = tree->Get(k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST_F(BpTreeTest, SkewedEntrySizesSplitSafely) {
+  // Mix tiny and near-maximum entries so count-based splits would overflow.
+  auto tree = OpenTree("t");
+  util::Random rng(9);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, rng.Next());
+    const size_t vsize = rng.Bernoulli(0.2) ? BpTree::kMaxEntrySize - 16 : 8;
+    std::string value(vsize, static_cast<char>('a' + (i % 26)));
+    model[key] = value;
+    ASSERT_TRUE(tree->Put(key, value).ok());
+  }
+  for (const auto& [k, v] : model) {
+    auto got = tree->Get(k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  // Full scan still sorted & complete.
+  auto it = tree->NewIterator();
+  size_t count = 0;
+  std::string prev;
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++count) {
+    if (count > 0) EXPECT_LT(util::Slice(prev).Compare(it.key()), 0);
+    prev = it.key().ToString();
+  }
+  EXPECT_EQ(count, model.size());
+}
+
+// Property sweep: random workloads against a std::map reference model.
+class BpTreeModelTest : public BpTreeTest,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(BpTreeModelTest, MatchesReferenceModel) {
+  const int seed = GetParam();
+  auto tree = OpenTree("t" + std::to_string(seed), 32);
+  util::Random rng(static_cast<uint64_t>(seed));
+  std::map<std::string, std::string> model;
+  for (int op = 0; op < 6000; ++op) {
+    const double dice = rng.NextDouble();
+    std::string key;
+    util::PutBigEndian64(&key, rng.Next() % 500);
+    if (dice < 0.6) {
+      const std::string value = std::to_string(rng.Next() % 1000000);
+      model[key] = value;
+      ASSERT_TRUE(tree->Put(key, value).ok());
+    } else if (dice < 0.8) {
+      const bool in_model = model.erase(key) > 0;
+      const Status s = tree->Delete(key);
+      EXPECT_EQ(s.ok(), in_model);
+    } else {
+      auto got = tree->Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound());
+      } else {
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree->num_entries(), model.size());
+  // Final full-scan equivalence.
+  auto it = tree->NewIterator();
+  auto mit = model.begin();
+  for (it.SeekToFirst(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key().ToString(), mit->first);
+    EXPECT_EQ(it.value().ToString(), mit->second);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BpTreeModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace aion::storage
+namespace aion::storage {
+namespace {
+
+TEST_F(BpTreeTest, SeekForPrevFindsFloorKey) {
+  auto tree = OpenTree("rev");
+  for (uint64_t i = 0; i < 100; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i * 10);  // 0,10,...,990
+    ASSERT_TRUE(tree->Put(key, std::to_string(i * 10)).ok());
+  }
+  auto it = tree->NewIterator();
+  std::string target;
+  util::PutBigEndian64(&target, 55);
+  it.SeekForPrev(target);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), 50u);
+
+  // Exact key.
+  target.clear();
+  util::PutBigEndian64(&target, 500);
+  it.SeekForPrev(target);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), 500u);
+
+  // Before all keys -> invalid... but key 0 exists, so use empty-ish target.
+  it.SeekForPrev(std::string(1, '\0'));
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(it.status().ok());
+
+  // Past the end -> last key.
+  target.clear();
+  util::PutBigEndian64(&target, 999999);
+  it.SeekForPrev(target);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), 990u);
+}
+
+TEST_F(BpTreeTest, PrevWalksBackwardAcrossLeaves) {
+  auto tree = OpenTree("rev2");
+  const uint64_t n = 5000;  // multiple leaves
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    ASSERT_TRUE(tree->Put(key, "v").ok());
+  }
+  auto it = tree->NewIterator();
+  it.SeekToLast();
+  ASSERT_TRUE(it.Valid());
+  uint64_t expected = n - 1;
+  size_t count = 0;
+  while (it.Valid()) {
+    EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), expected);
+    --expected;
+    ++count;
+    it.Prev();
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_TRUE(it.status().ok());
+}
+
+TEST_F(BpTreeTest, PrevSkipsEmptiedLeaves) {
+  auto tree = OpenTree("rev3");
+  for (uint64_t i = 0; i < 3000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    ASSERT_TRUE(tree->Put(key, "v").ok());
+  }
+  // Empty out a middle band entirely.
+  for (uint64_t i = 1000; i < 2000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, i);
+    ASSERT_TRUE(tree->Delete(key).ok());
+  }
+  std::string target;
+  util::PutBigEndian64(&target, 1500);
+  auto it = tree->NewIterator();
+  it.SeekForPrev(target);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(util::DecodeBigEndian64(it.key().data()), 999u);
+}
+
+TEST_F(BpTreeTest, SeekToLastOnEmptyTree) {
+  auto tree = OpenTree("rev4");
+  auto it = tree->NewIterator();
+  it.SeekToLast();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(it.status().ok());
+}
+
+TEST_F(BpTreeTest, ForwardBackwardRoundTrip) {
+  auto tree = OpenTree("rev5");
+  util::Random rng(77);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 4000; ++i) {
+    std::string key;
+    util::PutBigEndian64(&key, rng.Next());
+    model[key] = "v";
+    ASSERT_TRUE(tree->Put(key, "v").ok());
+  }
+  // Walk backward from the end, compare with reverse model order.
+  auto it = tree->NewIterator();
+  it.SeekToLast();
+  auto mit = model.rbegin();
+  size_t count = 0;
+  while (it.Valid()) {
+    ASSERT_NE(mit, model.rend());
+    EXPECT_EQ(it.key().ToString(), mit->first);
+    it.Prev();
+    ++mit;
+    ++count;
+  }
+  EXPECT_EQ(count, model.size());
+}
+
+}  // namespace
+}  // namespace aion::storage

@@ -1,0 +1,112 @@
+// Concurrency contracts of the storage layer: concurrent B+Tree readers
+// share one page cache safely (internal latch), and a writer excluded by a
+// store-level latch interleaves with reader phases without corruption.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+#include "storage/bptree.h"
+#include "storage/file.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace aion::storage {
+namespace {
+
+std::string Key(uint64_t k) {
+  std::string key;
+  util::PutBigEndian64(&key, k);
+  return key;
+}
+
+class StorageConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("aion_conc_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+  std::string dir_;
+};
+
+TEST_F(StorageConcurrencyTest, ConcurrentReadersShareTinyCache) {
+  BpTree::Options options;
+  options.cache_pages = 16;  // heavy eviction churn across threads
+  auto tree = BpTree::Open(dir_ + "/tree", options);
+  ASSERT_TRUE(tree.ok());
+  constexpr uint64_t kEntries = 20000;
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE((*tree)->Put(Key(i), "value" + std::to_string(i % 97)).ok());
+  }
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Random rng(50 + t);
+      for (int i = 0; i < 3000; ++i) {
+        const uint64_t k = rng.Uniform(kEntries);
+        auto v = (*tree)->Get(Key(k));
+        if (!v.ok() || *v != "value" + std::to_string(k % 97)) {
+          failures.fetch_add(1);
+        }
+      }
+      // Range scans concurrently with point reads.
+      auto it = (*tree)->NewIterator();
+      size_t count = 0;
+      for (it.Seek(Key(rng.Uniform(kEntries / 2))); it.Valid() && count < 500;
+           it.Next()) {
+        ++count;
+      }
+      if (!it.status().ok() || count != 500) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(StorageConcurrencyTest, WriterExcludedByLatchInterleavesWithReaders) {
+  auto tree = BpTree::Open(dir_ + "/tree2");
+  ASSERT_TRUE(tree.ok());
+  std::shared_mutex latch;  // the store-level latch the design prescribes
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> high_water{0};
+
+  // Bounded work on all sides: on a single-core host a free-spinning reader
+  // loop would starve the writer through the shared latch.
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < 4000; ++i) {
+      std::unique_lock<std::shared_mutex> lock(latch);
+      if (!(*tree)->Put(Key(i), "v").ok()) failures.fetch_add(1);
+      high_water.store(i + 1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      util::Random rng(80 + t);
+      for (int i = 0; i < 1500; ++i) {
+        const uint64_t hw = high_water.load();
+        if (hw == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        std::shared_lock<std::shared_mutex> lock(latch);
+        const uint64_t k = rng.Uniform(hw);
+        auto v = (*tree)->Get(Key(k));
+        // Everything below the observed high-water mark must exist.
+        if (!v.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*tree)->num_entries(), 4000u);
+}
+
+}  // namespace
+}  // namespace aion::storage

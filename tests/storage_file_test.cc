@@ -1,0 +1,125 @@
+#include "storage/file.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aion::storage {
+namespace {
+
+class FileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("aion_file_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FileTest, OpenCreatesFile) {
+  const std::string path = dir_ + "/f1";
+  EXPECT_FALSE(FileExists(path));
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_EQ((*file)->size(), 0u);
+}
+
+TEST_F(FileTest, WriteReadRoundTrip) {
+  auto file = RandomAccessFile::Open(dir_ + "/f2");
+  ASSERT_TRUE(file.ok());
+  const std::string data = "hello temporal graphs";
+  ASSERT_TRUE((*file)->Write(0, data.data(), data.size()).ok());
+  std::string buf(data.size(), '\0');
+  ASSERT_TRUE((*file)->Read(0, data.size(), buf.data()).ok());
+  EXPECT_EQ(buf, data);
+}
+
+TEST_F(FileTest, AppendReturnsOffsets) {
+  auto file = RandomAccessFile::Open(dir_ + "/f3");
+  ASSERT_TRUE(file.ok());
+  auto off1 = (*file)->Append("aaaa", 4);
+  auto off2 = (*file)->Append("bb", 2);
+  ASSERT_TRUE(off1.ok());
+  ASSERT_TRUE(off2.ok());
+  EXPECT_EQ(*off1, 0u);
+  EXPECT_EQ(*off2, 4u);
+  EXPECT_EQ((*file)->size(), 6u);
+}
+
+TEST_F(FileTest, ReadPastEofFails) {
+  auto file = RandomAccessFile::Open(dir_ + "/f4");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "xy", 2).ok());
+  char buf[8];
+  EXPECT_TRUE((*file)->Read(0, 8, buf).IsIOError());
+}
+
+TEST_F(FileTest, SparseWriteAtOffset) {
+  auto file = RandomAccessFile::Open(dir_ + "/f5");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(100, "z", 1).ok());
+  EXPECT_EQ((*file)->size(), 101u);
+  char c;
+  ASSERT_TRUE((*file)->Read(100, 1, &c).ok());
+  EXPECT_EQ(c, 'z');
+}
+
+TEST_F(FileTest, TruncateShrinks) {
+  auto file = RandomAccessFile::Open(dir_ + "/f6");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "0123456789", 10).ok());
+  ASSERT_TRUE((*file)->Truncate(4).ok());
+  EXPECT_EQ((*file)->size(), 4u);
+  char buf[5];
+  EXPECT_FALSE((*file)->Read(0, 5, buf).ok());
+}
+
+TEST_F(FileTest, SizePersistsAcrossReopen) {
+  const std::string path = dir_ + "/f7";
+  {
+    auto file = RandomAccessFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Write(0, "abc", 3).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->size(), 3u);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 3u);
+}
+
+TEST_F(FileTest, DirHelpers) {
+  const std::string sub = dir_ + "/a/b/c";
+  ASSERT_TRUE(CreateDirIfMissing(sub).ok());
+  EXPECT_TRUE(FileExists(sub));
+  ASSERT_TRUE(CreateDirIfMissing(sub).ok());  // idempotent
+  ASSERT_TRUE(RemoveDirRecursively(dir_ + "/a").ok());
+  EXPECT_FALSE(FileExists(sub));
+}
+
+TEST_F(FileTest, RemoveFileIfExistsIdempotent) {
+  const std::string path = dir_ + "/f8";
+  { auto f = RandomAccessFile::Open(path); ASSERT_TRUE(f.ok()); }
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+}
+
+TEST_F(FileTest, TempDirsAreUnique) {
+  auto a = MakeTempDir("aion_uniq_");
+  auto b = MakeTempDir("aion_uniq_");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  (void)RemoveDirRecursively(*a);
+  (void)RemoveDirRecursively(*b);
+}
+
+}  // namespace
+}  // namespace aion::storage

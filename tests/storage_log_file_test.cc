@@ -1,0 +1,201 @@
+#include "storage/log_file.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/file.h"
+
+namespace aion::storage {
+namespace {
+
+class LogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("aion_log_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+};
+
+TEST(Crc32cTest, KnownVectorsAndProperties) {
+  // CRC-32C of "123456789" is 0xE3069283 (well-known check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_NE(Crc32c("a", 1), Crc32c("b", 1));
+}
+
+TEST_F(LogFileTest, AppendReadRoundTrip) {
+  auto log = LogFile::Open(dir_ + "/log");
+  ASSERT_TRUE(log.ok());
+  auto off1 = (*log)->Append("first record");
+  auto off2 = (*log)->Append("second");
+  ASSERT_TRUE(off1.ok());
+  ASSERT_TRUE(off2.ok());
+  std::string payload;
+  ASSERT_TRUE((*log)->Read(*off1, &payload).ok());
+  EXPECT_EQ(payload, "first record");
+  ASSERT_TRUE((*log)->Read(*off2, &payload).ok());
+  EXPECT_EQ(payload, "second");
+}
+
+TEST_F(LogFileTest, EmptyRecord) {
+  auto log = LogFile::Open(dir_ + "/log");
+  ASSERT_TRUE(log.ok());
+  auto off = (*log)->Append("");
+  ASSERT_TRUE(off.ok());
+  std::string payload = "junk";
+  ASSERT_TRUE((*log)->Read(*off, &payload).ok());
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(LogFileTest, ReadNextChains) {
+  auto log = LogFile::Open(dir_ + "/log");
+  ASSERT_TRUE(log.ok());
+  const std::vector<std::string> records = {"a", "bb", "ccc", "dddd"};
+  for (const std::string& r : records) {
+    ASSERT_TRUE((*log)->Append(r).ok());
+  }
+  uint64_t offset = 0;
+  for (const std::string& expected : records) {
+    std::string payload;
+    auto next = (*log)->ReadNext(offset, &payload);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(payload, expected);
+    offset = *next;
+  }
+  EXPECT_EQ(offset, (*log)->end_offset());
+}
+
+TEST_F(LogFileTest, ScanVisitsAllRecords) {
+  auto log = LogFile::Open(dir_ + "/log");
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*log)->Append("rec" + std::to_string(i)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE((*log)
+                  ->Scan(0, (*log)->end_offset(),
+                         [&count](uint64_t, util::Slice payload) {
+                           EXPECT_EQ(payload.ToString(),
+                                     "rec" + std::to_string(count));
+                           ++count;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 100);
+}
+
+TEST_F(LogFileTest, ScanFromMidOffset) {
+  auto log = LogFile::Open(dir_ + "/log");
+  ASSERT_TRUE(log.ok());
+  uint64_t mid = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto off = (*log)->Append("rec" + std::to_string(i));
+    ASSERT_TRUE(off.ok());
+    if (i == 5) mid = *off;
+  }
+  std::vector<std::string> seen;
+  ASSERT_TRUE((*log)
+                  ->Scan(mid, (*log)->end_offset(),
+                         [&seen](uint64_t, util::Slice payload) {
+                           seen.push_back(payload.ToString());
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.front(), "rec5");
+  EXPECT_EQ(seen.back(), "rec9");
+}
+
+TEST_F(LogFileTest, ScanEarlyStop) {
+  auto log = LogFile::Open(dir_ + "/log");
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*log)->Append("r").ok());
+  }
+  int count = 0;
+  ASSERT_TRUE((*log)
+                  ->Scan(0, (*log)->end_offset(),
+                         [&count](uint64_t, util::Slice) {
+                           ++count;
+                           return count < 3;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(LogFileTest, PersistsAcrossReopen) {
+  const std::string path = dir_ + "/log";
+  uint64_t off1;
+  {
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto off = (*log)->Append("durable record");
+    ASSERT_TRUE(off.ok());
+    off1 = *off;
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  auto log = LogFile::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::string payload;
+  ASSERT_TRUE((*log)->Read(off1, &payload).ok());
+  EXPECT_EQ(payload, "durable record");
+  // Appends continue after the existing content.
+  auto off2 = (*log)->Append("post-reopen");
+  ASSERT_TRUE(off2.ok());
+  EXPECT_GT(*off2, off1);
+}
+
+TEST_F(LogFileTest, DetectsCorruption) {
+  const std::string path = dir_ + "/log";
+  uint64_t offset;
+  {
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto off = (*log)->Append("pristine payload");
+    ASSERT_TRUE(off.ok());
+    offset = *off;
+  }
+  // Flip a payload byte on disk.
+  {
+    auto file = RandomAccessFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    char byte;
+    ASSERT_TRUE((*file)->Read(offset + 8, 1, &byte).ok());
+    byte ^= 0x40;
+    ASSERT_TRUE((*file)->Write(offset + 8, &byte, 1).ok());
+  }
+  auto log = LogFile::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::string payload;
+  EXPECT_TRUE((*log)->Read(offset, &payload).IsCorruption());
+}
+
+TEST_F(LogFileTest, TruncatedTailDetected) {
+  const std::string path = dir_ + "/log";
+  uint64_t offset;
+  {
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto off = (*log)->Append("will be truncated");
+    ASSERT_TRUE(off.ok());
+    offset = *off;
+  }
+  {
+    auto file = RandomAccessFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Truncate((*file)->size() - 4).ok());
+  }
+  auto log = LogFile::Open(path);
+  ASSERT_TRUE(log.ok());
+  std::string payload;
+  EXPECT_FALSE((*log)->Read(offset, &payload).ok());
+}
+
+}  // namespace
+}  // namespace aion::storage

@@ -1,0 +1,142 @@
+#include "storage/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/file.h"
+
+namespace aion::storage {
+namespace {
+
+class StringPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("aion_sp_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(StringPoolTest, InternIsIdempotent) {
+  auto pool = StringPool::Open(dir_ + "/pool");
+  ASSERT_TRUE(pool.ok());
+  auto a = (*pool)->Intern("Person");
+  auto b = (*pool)->Intern("Person");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ((*pool)->size(), 1u);
+}
+
+TEST_F(StringPoolTest, DistinctStringsGetDistinctRefs) {
+  auto pool = StringPool::Open(dir_ + "/pool");
+  ASSERT_TRUE(pool.ok());
+  std::set<StringRef> refs;
+  for (int i = 0; i < 100; ++i) {
+    auto r = (*pool)->Intern("label" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(*r, kInvalidStringRef);
+    refs.insert(*r);
+  }
+  EXPECT_EQ(refs.size(), 100u);
+}
+
+TEST_F(StringPoolTest, LookupRoundTrip) {
+  auto pool = StringPool::Open(dir_ + "/pool");
+  ASSERT_TRUE(pool.ok());
+  auto ref = (*pool)->Intern("KNOWS");
+  ASSERT_TRUE(ref.ok());
+  auto s = (*pool)->Lookup(*ref);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "KNOWS");
+}
+
+TEST_F(StringPoolTest, LookupInvalidRefFails) {
+  auto pool = StringPool::Open(dir_ + "/pool");
+  ASSERT_TRUE(pool.ok());
+  EXPECT_FALSE((*pool)->Lookup(kInvalidStringRef).ok());
+  EXPECT_FALSE((*pool)->Lookup(9999).ok());
+}
+
+TEST_F(StringPoolTest, FindWithoutInterning) {
+  auto pool = StringPool::Open(dir_ + "/pool");
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ((*pool)->Find("absent"), kInvalidStringRef);
+  auto ref = (*pool)->Intern("present");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ((*pool)->Find("present"), *ref);
+}
+
+TEST_F(StringPoolTest, EmptyStringInternable) {
+  auto pool = StringPool::Open(dir_ + "/pool");
+  ASSERT_TRUE(pool.ok());
+  auto ref = (*pool)->Intern("");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_NE(*ref, kInvalidStringRef);
+  EXPECT_EQ(*(*pool)->Lookup(*ref), "");
+}
+
+TEST_F(StringPoolTest, PersistsAcrossReopen) {
+  const std::string path = dir_ + "/pool";
+  StringRef knows, person;
+  {
+    auto pool = StringPool::Open(path);
+    ASSERT_TRUE(pool.ok());
+    knows = *(*pool)->Intern("KNOWS");
+    person = *(*pool)->Intern("Person");
+  }
+  auto pool = StringPool::Open(path);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ((*pool)->size(), 2u);
+  EXPECT_EQ(*(*pool)->Lookup(knows), "KNOWS");
+  EXPECT_EQ(*(*pool)->Lookup(person), "Person");
+  // Re-interning returns the original refs.
+  EXPECT_EQ(*(*pool)->Intern("KNOWS"), knows);
+  // New strings continue numbering without collision.
+  auto fresh = (*pool)->Intern("City");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, knows);
+  EXPECT_NE(*fresh, person);
+}
+
+TEST_F(StringPoolTest, InMemoryPoolWorksWithoutDisk) {
+  auto pool = StringPool::InMemory();
+  auto ref = pool->Intern("volatile");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(*pool->Lookup(*ref), "volatile");
+  EXPECT_EQ(pool->SizeBytes(), 0u);
+}
+
+TEST_F(StringPoolTest, ConcurrentInterning) {
+  auto pool = StringPool::InMemory();
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 200;
+  std::vector<std::vector<StringRef>> refs(kThreads,
+                                           std::vector<StringRef>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        auto r = pool->Intern("shared" + std::to_string(i));
+        ASSERT_TRUE(r.ok());
+        refs[t][i] = *r;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every thread must have observed identical refs for identical strings.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(refs[t], refs[0]);
+  }
+  EXPECT_EQ(pool->size(), static_cast<size_t>(kStrings));
+}
+
+}  // namespace
+}  // namespace aion::storage

@@ -1,0 +1,252 @@
+#include "txn/graphdb.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "storage/file.h"
+
+namespace aion::txn {
+namespace {
+
+class RecordingListener : public TransactionEventListener {
+ public:
+  void AfterCommit(const TransactionData& data) override {
+    commit_timestamps.push_back(data.commit_ts);
+    for (const GraphUpdate& u : data.updates) updates.push_back(u);
+  }
+  std::vector<Timestamp> commit_timestamps;
+  std::vector<GraphUpdate> updates;
+};
+
+TEST(GraphDatabaseTest, CommitMakesUpdatesVisible) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  const NodeId a = txn->CreateNode({"Person"});
+  const NodeId b = txn->CreateNode({"Person"});
+  const RelId r = txn->CreateRelationship(a, b, "KNOWS");
+  EXPECT_EQ((*db)->NumNodes(), 0u);  // invisible before commit
+  auto ts = txn->Commit();
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1u);
+  EXPECT_EQ((*db)->NumNodes(), 2u);
+  EXPECT_EQ((*db)->NumRelationships(), 1u);
+  ASSERT_TRUE((*db)->GetNode(a).has_value());
+  EXPECT_TRUE((*db)->GetNode(a)->HasLabel("Person"));
+  EXPECT_EQ((*db)->GetRelationship(r)->src, a);
+}
+
+TEST(GraphDatabaseTest, FailedCommitLeavesGraphUntouched) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  auto setup = (*db)->Begin();
+  const NodeId a = setup->CreateNode();
+  ASSERT_TRUE(setup->Commit().ok());
+
+  auto txn = (*db)->Begin();
+  const NodeId b = txn->CreateNode();
+  txn->CreateRelationship(a, 424242, "BAD");  // missing endpoint
+  EXPECT_FALSE(txn->Commit().ok());
+  // Atomicity: node b (valid on its own) must not have been applied.
+  EXPECT_FALSE((*db)->GetNode(b).has_value());
+  EXPECT_EQ((*db)->NumNodes(), 1u);
+  EXPECT_EQ((*db)->LastCommitTimestamp(), 1u);
+}
+
+TEST(GraphDatabaseTest, EmptyCommitRejected) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  EXPECT_TRUE(txn->Commit().status().IsInvalidArgument());
+}
+
+TEST(GraphDatabaseTest, DoubleCommitRejected) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  txn->CreateNode();
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_TRUE(txn->Commit().status().IsFailedPrecondition());
+}
+
+TEST(GraphDatabaseTest, AbortDiscardsBuffer) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  txn->CreateNode();
+  txn->Abort();
+  EXPECT_EQ((*db)->NumNodes(), 0u);
+}
+
+TEST(GraphDatabaseTest, TimestampsMonotonicPerCommit) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  for (int i = 1; i <= 5; ++i) {
+    auto txn = (*db)->Begin();
+    txn->CreateNode();
+    txn->CreateNode();
+    auto ts = txn->Commit();
+    ASSERT_TRUE(ts.ok());
+    EXPECT_EQ(*ts, static_cast<Timestamp>(i));
+  }
+  EXPECT_EQ((*db)->LastCommitTimestamp(), 5u);
+}
+
+TEST(GraphDatabaseTest, ListenerSeesCommitsInOrderWithSharedTs) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  RecordingListener listener;
+  (*db)->RegisterListener(&listener);
+
+  auto t1 = (*db)->Begin();
+  const NodeId a = t1->CreateNode();
+  const NodeId b = t1->CreateNode();
+  t1->CreateRelationship(a, b, "R");
+  ASSERT_TRUE(t1->Commit().ok());
+  auto t2 = (*db)->Begin();
+  t2->SetNodeProperty(a, "k", graph::PropertyValue(1));
+  ASSERT_TRUE(t2->Commit().ok());
+
+  ASSERT_EQ(listener.commit_timestamps, (std::vector<Timestamp>{1, 2}));
+  ASSERT_EQ(listener.updates.size(), 4u);
+  EXPECT_EQ(listener.updates[0].ts, 1u);
+  EXPECT_EQ(listener.updates[2].ts, 1u);  // same txn, same ts
+  EXPECT_EQ(listener.updates[3].ts, 2u);
+}
+
+TEST(GraphDatabaseTest, ListenerNotCalledOnFailedCommit) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  RecordingListener listener;
+  (*db)->RegisterListener(&listener);
+  auto txn = (*db)->Begin();
+  txn->DeleteNode(999);
+  EXPECT_FALSE(txn->Commit().ok());
+  EXPECT_TRUE(listener.commit_timestamps.empty());
+}
+
+TEST(GraphDatabaseTest, ConcurrentCommitsSerialize) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto txn = (*db)->Begin();
+        txn->CreateNode();
+        if (!txn->Commit().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ((*db)->NumNodes(),
+            static_cast<size_t>(kThreads * kTxnsPerThread));
+  EXPECT_EQ((*db)->LastCommitTimestamp(),
+            static_cast<Timestamp>(kThreads * kTxnsPerThread));
+}
+
+TEST(GraphDatabaseTest, ReadersDuringWrites) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (*db)->WithReadLock([](const graph::MemoryGraph& g) {
+        // Graph must always be internally consistent.
+        size_t count = 0;
+        g.ForEachNode([&count](const graph::Node&) { ++count; });
+        ASSERT_EQ(count, g.NumNodes());
+      });
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto txn = (*db)->Begin();
+    txn->CreateNode();
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ((*db)->NumNodes(), 200u);
+}
+
+class GraphDatabaseDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_db_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
+  std::string dir_;
+};
+
+TEST_F(GraphDatabaseDurabilityTest, RecoversFromWal) {
+  GraphDatabase::Options options;
+  options.data_dir = dir_;
+  NodeId a, b;
+  RelId r;
+  {
+    auto db = GraphDatabase::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto txn = (*db)->Begin();
+    a = txn->CreateNode({"Person"});
+    b = txn->CreateNode();
+    r = txn->CreateRelationship(a, b, "KNOWS");
+    ASSERT_TRUE(txn->Commit().ok());
+    auto txn2 = (*db)->Begin();
+    txn2->SetNodeProperty(a, "name", graph::PropertyValue("ada"));
+    ASSERT_TRUE(txn2->Commit().ok());
+  }
+  // Reopen: full state recovered.
+  auto db = GraphDatabase::Open(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->NumNodes(), 2u);
+  EXPECT_EQ((*db)->NumRelationships(), 1u);
+  EXPECT_EQ((*db)->GetNode(a)->props.Get("name")->AsString(), "ada");
+  EXPECT_EQ((*db)->LastCommitTimestamp(), 2u);
+  // Id allocation continues beyond recovered ids.
+  auto txn = (*db)->Begin();
+  const NodeId fresh = txn->CreateNode();
+  EXPECT_GT(fresh, b);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ((*db)->LastCommitTimestamp(), 3u);
+  (void)r;
+}
+
+TEST_F(GraphDatabaseDurabilityTest, ReplayUpdatesSinceFiltersByTimestamp) {
+  GraphDatabase::Options options;
+  options.data_dir = dir_;
+  auto db = GraphDatabase::Open(options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto txn = (*db)->Begin();
+    txn->CreateNode();
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE((*db)
+                  ->ReplayUpdatesSince(
+                      2, [&seen](const TransactionData& d) {
+                        seen.push_back(d.commit_ts);
+                      })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Timestamp>{3, 4, 5}));
+}
+
+TEST_F(GraphDatabaseDurabilityTest, InMemoryHasNoWal) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->WalBytes(), 0u);
+  EXPECT_TRUE((*db)
+                  ->ReplayUpdatesSince(0, [](const TransactionData&) {})
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace aion::txn

@@ -1,0 +1,123 @@
+#include "txn/record_store.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/file.h"
+#include "txn/graphdb.h"
+
+namespace aion::txn {
+namespace {
+
+using graph::GraphUpdate;
+using graph::PropertyValue;
+
+class RecordStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_rs_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
+  std::string dir_;
+};
+
+graph::MemoryGraph SampleGraph() {
+  graph::MemoryGraph g;
+  graph::PropertySet props;
+  props.Set("name", PropertyValue("ada"));
+  props.Set("age", PropertyValue(36));
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(0, {"Person"}, props)).ok());
+  EXPECT_TRUE(g.Apply(GraphUpdate::AddNode(2, {"A", "B", "C", "D", "E"})).ok());
+  graph::PropertySet rel_props;
+  rel_props.Set("since", PropertyValue(1999));
+  EXPECT_TRUE(
+      g.Apply(GraphUpdate::AddRelationship(1, 0, 2, "KNOWS", rel_props)).ok());
+  return g;
+}
+
+TEST_F(RecordStoreTest, WriteReadRoundTrip) {
+  graph::MemoryGraph g = SampleGraph();
+  ASSERT_TRUE(RecordStore::Write(g, 42, dir_ + "/store").ok());
+  EXPECT_TRUE(RecordStore::Exists(dir_ + "/store"));
+  graph::Timestamp ts = 0;
+  auto loaded = RecordStore::Read(dir_ + "/store", &ts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ts, 42u);
+  EXPECT_TRUE(g.SameGraphAs(**loaded));
+  // Overflowed label list (5 labels > 4 inline slots) survives.
+  EXPECT_EQ((*loaded)->GetNode(2)->labels.size(), 5u);
+  // Sparse id 1 (hole in node ids) stays a hole.
+  EXPECT_EQ((*loaded)->GetNode(1), nullptr);
+}
+
+TEST_F(RecordStoreTest, MissingCheckpointIsNotFound) {
+  graph::Timestamp ts;
+  EXPECT_TRUE(RecordStore::Read(dir_ + "/none", &ts).status().IsNotFound());
+  EXPECT_FALSE(RecordStore::Exists(dir_ + "/none"));
+  EXPECT_EQ(RecordStore::SizeBytes(dir_ + "/none"), 0u);
+}
+
+TEST_F(RecordStoreTest, RewriteReplacesCheckpoint) {
+  graph::MemoryGraph g = SampleGraph();
+  ASSERT_TRUE(RecordStore::Write(g, 1, dir_ + "/store").ok());
+  ASSERT_TRUE(g.Apply(GraphUpdate::AddNode(7)).ok());
+  ASSERT_TRUE(RecordStore::Write(g, 2, dir_ + "/store").ok());
+  graph::Timestamp ts;
+  auto loaded = RecordStore::Read(dir_ + "/store", &ts);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(ts, 2u);
+  EXPECT_EQ((*loaded)->NumNodes(), 3u);
+}
+
+TEST_F(RecordStoreTest, SizeBytesScalesWithGraph) {
+  graph::MemoryGraph small = SampleGraph();
+  ASSERT_TRUE(RecordStore::Write(small, 1, dir_ + "/small").ok());
+  graph::MemoryGraph big;
+  for (graph::NodeId i = 0; i < 500; ++i) {
+    ASSERT_TRUE(big.Apply(GraphUpdate::AddNode(i)).ok());
+  }
+  ASSERT_TRUE(RecordStore::Write(big, 1, dir_ + "/big").ok());
+  EXPECT_GT(RecordStore::SizeBytes(dir_ + "/big"),
+            RecordStore::SizeBytes(dir_ + "/small") * 5);
+}
+
+TEST_F(RecordStoreTest, DatabaseCheckpointAndRecover) {
+  GraphDatabase::Options options;
+  options.data_dir = dir_ + "/db";
+  graph::NodeId a = 0, b = 0;
+  {
+    auto db = GraphDatabase::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto txn = (*db)->Begin();
+    a = txn->CreateNode({"X"});
+    ASSERT_TRUE(txn->Commit().ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_GT((*db)->CheckpointBytes(), 0u);
+    // A commit after the checkpoint lands only in the WAL.
+    auto txn2 = (*db)->Begin();
+    b = txn2->CreateNode({"Y"});
+    ASSERT_TRUE(txn2->Commit().ok());
+  }
+  // Recovery = checkpoint + WAL tail; ids and clock continue correctly.
+  auto db = GraphDatabase::Open(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->NumNodes(), 2u);
+  EXPECT_TRUE((*db)->GetNode(a)->HasLabel("X"));
+  EXPECT_TRUE((*db)->GetNode(b)->HasLabel("Y"));
+  EXPECT_EQ((*db)->LastCommitTimestamp(), 2u);
+  auto txn = (*db)->Begin();
+  EXPECT_GT(txn->CreateNode(), b);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_GT((*db)->TotalDiskBytes(), (*db)->CheckpointBytes());
+}
+
+TEST_F(RecordStoreTest, InMemoryDatabaseCannotCheckpoint) {
+  auto db = GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Checkpoint().IsFailedPrecondition());
+  EXPECT_EQ((*db)->CheckpointBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace aion::txn

@@ -1,0 +1,172 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+#include "util/slice.h"
+
+namespace aion::util {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  PutFixed32(&s, 0);
+  PutFixed32(&s, 12345);
+  PutFixed32(&s, std::numeric_limits<uint32_t>::max());
+  ASSERT_EQ(s.size(), 12u);
+  EXPECT_EQ(DecodeFixed32(s.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(s.data() + 4), 12345u);
+  EXPECT_EQ(DecodeFixed32(s.data() + 8), std::numeric_limits<uint32_t>::max());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  PutFixed64(&s, 0x0102030405060708ULL);
+  EXPECT_EQ(DecodeFixed64(s.data()), 0x0102030405060708ULL);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  std::string s;
+  PutDouble(&s, 3.14159);
+  PutDouble(&s, -0.0);
+  PutDouble(&s, std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(DecodeDouble(s.data()), 3.14159);
+  EXPECT_DOUBLE_EQ(DecodeDouble(s.data() + 8), -0.0);
+  EXPECT_DOUBLE_EQ(DecodeDouble(s.data() + 16),
+                   std::numeric_limits<double>::infinity());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const std::vector<uint64_t> values = {
+      0,    1,    127,  128,  255,   256,
+      (1ULL << 14) - 1, 1ULL << 14, (1ULL << 21) - 1, 1ULL << 21,
+      (1ULL << 28) - 1, 1ULL << 28, (1ULL << 35),     (1ULL << 42),
+      (1ULL << 49),     (1ULL << 56), (1ULL << 63),
+      std::numeric_limits<uint64_t>::max()};
+  std::string s;
+  for (uint64_t v : values) PutVarint64(&s, v);
+  Slice input(s);
+  for (uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128},
+                     uint64_t{1} << 20, uint64_t{1} << 40,
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string s;
+  PutVarint64(&s, 1ULL << 40);
+  for (size_t keep = 0; keep + 1 < s.size(); ++keep) {
+    Slice input(s.data(), keep);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&input, &v)) << "prefix len " << keep;
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOversized) {
+  std::string s;
+  PutVarint64(&s, 1ULL << 33);
+  Slice input(s);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, ZigZagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-64},
+                    int64_t{63}, std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes encode short.
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("hello"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice("world!"));
+  Slice input(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), "");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), "world!");
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));
+}
+
+TEST(CodingTest, BigEndianPreservesOrder) {
+  // Byte-wise comparison of big-endian encodings must match numeric order.
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.Next() >> (rng.Uniform(64));
+    const uint64_t b = rng.Next() >> (rng.Uniform(64));
+    std::string ea, eb;
+    PutBigEndian64(&ea, a);
+    PutBigEndian64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea).Compare(Slice(eb)) < 0);
+    EXPECT_EQ(DecodeBigEndian64(ea.data()), a);
+  }
+}
+
+TEST(CodingTest, BigEndian32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xffu, 0x1000u, 0xffffffffu}) {
+    std::string s;
+    PutBigEndian32(&s, v);
+    EXPECT_EQ(DecodeBigEndian32(s.data()), v);
+  }
+}
+
+TEST(CodingTest, CompositeKeyOrdering) {
+  // (id, ts) composite keys: sorting bytewise == sorting by (id, ts).
+  struct Pair {
+    uint64_t id, ts;
+  };
+  const std::vector<Pair> pairs = {{1, 5}, {1, 6}, {2, 0}, {2, 1}, {10, 0}};
+  std::vector<std::string> keys;
+  for (const Pair& p : pairs) {
+    std::string k;
+    PutBigEndian64(&k, p.id);
+    PutBigEndian64(&k, p.ts);
+    keys.push_back(k);
+  }
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    EXPECT_LT(Slice(keys[i]).Compare(Slice(keys[i + 1])), 0);
+  }
+}
+
+TEST(SliceTest, Basics) {
+  Slice s("abcdef");
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s[2], 'c');
+  EXPECT_TRUE(s.StartsWith("abc"));
+  EXPECT_FALSE(s.StartsWith("abd"));
+  s.RemovePrefix(3);
+  EXPECT_EQ(s.ToString(), "def");
+  EXPECT_TRUE(Slice("") == Slice(""));
+  EXPECT_TRUE(Slice("a") != Slice("b"));
+  EXPECT_LT(Slice("ab").Compare(Slice("b")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").Compare(Slice("ab")), 0);
+}
+
+}  // namespace
+}  // namespace aion::util

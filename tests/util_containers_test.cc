@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/bitset.h"
+#include "util/histogram.h"
+#include "util/lru_cache.h"
+#include "util/object_pool.h"
+#include "util/random.h"
+
+namespace aion::util {
+namespace {
+
+TEST(LruCacheTest, PutGetBasics) {
+  LruCache<int, std::string> cache(3);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_EQ(cache.Get(1).value(), "one");
+  EXPECT_EQ(cache.Get(2).value(), "two");
+  EXPECT_FALSE(cache.Get(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.Get(1).has_value());
+  cache.Put(4, 40);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LruCacheTest, CostAwareEviction) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 1, 40);
+  cache.Put(2, 2, 40);
+  cache.Put(3, 3, 40);  // exceeds 100: evicts key 1
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.total_cost(), 80u);
+}
+
+TEST(LruCacheTest, OversizedEntryStillAdmitted) {
+  LruCache<int, int> cache(10);
+  cache.Put(1, 1, 50);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Put(2, 2, 1);
+  // The oversized entry is evicted once something else arrives.
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, ReplaceUpdatesCost) {
+  LruCache<int, int> cache(100);
+  cache.Put(1, 1, 60);
+  cache.Put(1, 2, 30);
+  EXPECT_EQ(cache.total_cost(), 30u);
+  EXPECT_EQ(cache.Get(1).value(), 2);
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  LruCache<int, int> cache(10);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.total_cost(), 0u);
+}
+
+TEST(LruCacheTest, PeekDoesNotPromote) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Peek(1).value(), 10);  // no promotion
+  cache.Put(3, 30);                      // evicts 1 (still LRU)
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(200);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(199));
+  EXPECT_FALSE(bits.Test(100));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(BitsetTest, TestAndSet) {
+  Bitset bits(10);
+  EXPECT_TRUE(bits.TestAndSet(5));
+  EXPECT_FALSE(bits.TestAndSet(5));
+}
+
+TEST(BitsetTest, ForEachSetVisitsAscending) {
+  Bitset bits(300);
+  std::set<size_t> expected = {0, 1, 64, 65, 128, 255, 299};
+  for (size_t i : expected) bits.Set(i);
+  std::vector<size_t> visited;
+  bits.ForEachSet([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(std::vector<size_t>(expected.begin(), expected.end()), visited);
+}
+
+TEST(BitsetTest, ResetKeepsCapacity) {
+  Bitset bits(100);
+  for (size_t i = 0; i < 100; i += 3) bits.Set(i);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_EQ(bits.size(), 100u);
+}
+
+TEST(CountTableTest, AddGetTotal) {
+  CountTable t;
+  t.Add("Person", 5);
+  t.Add("Person", 3);
+  t.Add("City");
+  EXPECT_EQ(t.Get("Person"), 8);
+  EXPECT_EQ(t.Get("City"), 1);
+  EXPECT_EQ(t.Get("Absent"), 0);
+  EXPECT_EQ(t.Total(), 9);
+  EXPECT_EQ(t.distinct(), 2u);
+  t.Add("City", -1);
+  EXPECT_EQ(t.Get("City"), 0);
+  EXPECT_EQ(t.distinct(), 1u);
+}
+
+TEST(LatencyHistogramTest, Percentiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.51);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallIds) {
+  ZipfSampler zipf(1000, 0.99, 7);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // With theta=0.99 the first 10 ids should get far more than 1% of draws.
+  EXPECT_GT(low, total / 20);
+}
+
+TEST(ShuffleTest, PermutationPreserved) {
+  Random rng(3);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  Shuffle(&v, &rng);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(BufferPoolTest, RecyclesBuffers) {
+  BufferPool pool(2);
+  std::string b1 = pool.Acquire();
+  b1.reserve(4096);
+  b1 = "data";
+  pool.Release(std::move(b1));
+  EXPECT_EQ(pool.pooled(), 1u);
+  std::string b2 = pool.Acquire();
+  EXPECT_TRUE(b2.empty());          // cleared on acquire
+  EXPECT_GE(b2.capacity(), 4096u);  // capacity retained
+}
+
+TEST(BufferPoolTest, PooledBufferRaii) {
+  BufferPool pool(4);
+  {
+    PooledBuffer lease(&pool);
+    lease->append("xyz");
+  }
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(BufferPoolTest, CapsPooledCount) {
+  BufferPool pool(1);
+  pool.Release("a");
+  pool.Release("b");
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+}  // namespace
+}  // namespace aion::util

@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace aion::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeInline) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedDuringWaitComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace aion::util

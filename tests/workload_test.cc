@@ -1,0 +1,147 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "graph/memgraph.h"
+
+namespace aion::workload {
+namespace {
+
+TEST(GeneratorTest, TableThreeShapesScale) {
+  const auto datasets = AllDatasets(0.001);
+  ASSERT_EQ(datasets.size(), 6u);
+  EXPECT_EQ(datasets[0].name, "DBLP");
+  EXPECT_EQ(datasets[5].name, "ORKUT");
+  // Relative sizes preserved: Orkut has the most relationships.
+  for (const DatasetSpec& spec : datasets) {
+    EXPECT_LE(spec.num_rels, Orkut(0.001).num_rels);
+  }
+  // Average degree ordering roughly matches Table 3 (Orkut 78 > Pokec 18.8
+  // > DBLP 7).
+  const double dblp_deg = static_cast<double>(datasets[0].num_rels) /
+                          static_cast<double>(datasets[0].num_nodes);
+  const double orkut_deg = static_cast<double>(datasets[5].num_rels) /
+                           static_cast<double>(datasets[5].num_nodes);
+  EXPECT_GT(orkut_deg, dblp_deg * 5);
+}
+
+TEST(GeneratorTest, UpdatesApplyToConsistentGraph) {
+  Workload w = Generate(Dblp(0.001));
+  graph::MemoryGraph g;
+  ASSERT_TRUE(g.ApplyAll(w.updates).ok());
+  EXPECT_EQ(g.NumNodes(), w.num_nodes);
+  EXPECT_EQ(g.NumRelationships(), w.num_rels);
+  EXPECT_EQ(w.num_rels, Dblp(0.001).num_rels);
+}
+
+TEST(GeneratorTest, TimestampsMonotoneAndNodesPrecedeRels) {
+  Workload w = Generate(WikiTalk(0.001));
+  graph::Timestamp last = 0;
+  std::map<graph::NodeId, graph::Timestamp> node_created;
+  for (const graph::GraphUpdate& u : w.updates) {
+    EXPECT_GE(u.ts, last);
+    last = u.ts;
+    if (u.op == graph::UpdateOp::kAddNode) {
+      node_created[u.id] = u.ts;
+    } else if (u.op == graph::UpdateOp::kAddRelationship) {
+      ASSERT_TRUE(node_created.count(u.src));
+      ASSERT_TRUE(node_created.count(u.tgt));
+      EXPECT_LT(node_created[u.src], u.ts);
+      EXPECT_LT(node_created[u.tgt], u.ts);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Workload a = Generate(Pokec(0.0005));
+  Workload b = Generate(Pokec(0.0005));
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  EXPECT_EQ(a.updates, b.updates);
+}
+
+TEST(GeneratorTest, UndirectedDatasetsEmitBothDirections) {
+  Workload w = Generate(Dblp(0.001));
+  size_t mirrored = 0;
+  std::map<std::pair<graph::NodeId, graph::NodeId>, int> pairs;
+  for (const graph::GraphUpdate& u : w.updates) {
+    if (u.op == graph::UpdateOp::kAddRelationship) {
+      ++pairs[{u.src, u.tgt}];
+    }
+  }
+  for (const auto& [pair, count] : pairs) {
+    if (pairs.count({pair.second, pair.first}) > 0) ++mirrored;
+  }
+  // The overwhelming majority of edges have their mirror (the tail may be
+  // truncated to hit |E| exactly).
+  EXPECT_GT(mirrored * 10, pairs.size() * 9);
+}
+
+TEST(GeneratorTest, DegreeSkewFromPreferentialAttachment) {
+  Workload w = Generate(WikiTalk(0.002));
+  graph::MemoryGraph g;
+  ASSERT_TRUE(g.ApplyAll(w.updates).ok());
+  // Max in-degree should far exceed the average (power-law-ish skew).
+  size_t max_in = 0;
+  g.ForEachNode([&](const graph::Node& n) {
+    max_in = std::max(max_in, g.InRels(n.id).size());
+  });
+  const double avg = static_cast<double>(w.num_rels) /
+                     static_cast<double>(w.num_nodes);
+  EXPECT_GT(static_cast<double>(max_in), avg * 5);
+}
+
+TEST(GeneratorTest, RelationshipPropertyAttached) {
+  Workload w = Generate(Dblp(0.0005), "weight");
+  size_t with_prop = 0;
+  for (const graph::GraphUpdate& u : w.updates) {
+    if (u.op == graph::UpdateOp::kAddRelationship) {
+      ASSERT_NE(u.props.Get("weight"), nullptr);
+      ++with_prop;
+    }
+  }
+  EXPECT_EQ(with_prop, w.num_rels);
+}
+
+TEST(GeneratorTest, SplitUpdatesCoversAll) {
+  Workload w = Generate(Dblp(0.0005));
+  auto parts = SplitUpdates(w.updates, 10);
+  ASSERT_LE(parts.size(), 10u);
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  EXPECT_EQ(total, w.updates.size());
+  // Order preserved across parts.
+  EXPECT_EQ(parts.front().front(), w.updates.front());
+  EXPECT_EQ(parts.back().back(), w.updates.back());
+}
+
+TEST(GeneratorTest, BenchScaleFromEnv) {
+  unsetenv("AION_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.01), 0.01);
+  setenv("AION_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.01), 0.5);
+  setenv("AION_BENCH_SCALE", "7", 1);  // clamped
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.01), 1.0);
+  setenv("AION_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.01), 0.01);
+  unsetenv("AION_BENCH_SCALE");
+}
+
+TEST(GeneratorTest, MultigraphAllowsParallelEdges) {
+  DatasetSpec spec = WikiTalk(0.002);
+  Workload w = Generate(spec);
+  std::map<std::pair<graph::NodeId, graph::NodeId>, int> pairs;
+  for (const graph::GraphUpdate& u : w.updates) {
+    if (u.op == graph::UpdateOp::kAddRelationship) ++pairs[{u.src, u.tgt}];
+  }
+  int parallel = 0;
+  for (const auto& [pair, count] : pairs) {
+    if (count > 1) ++parallel;
+  }
+  EXPECT_GT(parallel, 0);  // multigraph produces parallel edges
+}
+
+}  // namespace
+}  // namespace aion::workload
