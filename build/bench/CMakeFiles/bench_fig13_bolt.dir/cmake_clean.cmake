@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bolt.dir/bench_fig13_bolt.cc.o"
+  "CMakeFiles/bench_fig13_bolt.dir/bench_fig13_bolt.cc.o.d"
+  "bench_fig13_bolt"
+  "bench_fig13_bolt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bolt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

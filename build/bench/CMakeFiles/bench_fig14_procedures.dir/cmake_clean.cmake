@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_procedures.dir/bench_fig14_procedures.cc.o"
+  "CMakeFiles/bench_fig14_procedures.dir/bench_fig14_procedures.cc.o.d"
+  "bench_fig14_procedures"
+  "bench_fig14_procedures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_procedures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_point_queries.dir/bench_fig6_point_queries.cc.o"
+  "CMakeFiles/bench_fig6_point_queries.dir/bench_fig6_point_queries.cc.o.d"
+  "bench_fig6_point_queries"
+  "bench_fig6_point_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_point_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nhop.dir/bench_fig8_nhop.cc.o"
+  "CMakeFiles/bench_fig8_nhop.dir/bench_fig8_nhop.cc.o.d"
+  "bench_fig8_nhop"
+  "bench_fig8_nhop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nhop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

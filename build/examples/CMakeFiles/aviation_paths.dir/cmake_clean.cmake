@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aviation_paths.dir/aviation_paths.cpp.o"
+  "CMakeFiles/aviation_paths.dir/aviation_paths.cpp.o.d"
+  "aviation_paths"
+  "aviation_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aviation_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

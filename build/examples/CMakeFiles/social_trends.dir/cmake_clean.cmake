@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_trends.dir/social_trends.cpp.o"
+  "CMakeFiles/social_trends.dir/social_trends.cpp.o.d"
+  "social_trends"
+  "social_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/incremental.cc" "src/algo/CMakeFiles/aion_algo.dir/incremental.cc.o" "gcc" "src/algo/CMakeFiles/aion_algo.dir/incremental.cc.o.d"
+  "/root/repo/src/algo/static_algos.cc" "src/algo/CMakeFiles/aion_algo.dir/static_algos.cc.o" "gcc" "src/algo/CMakeFiles/aion_algo.dir/static_algos.cc.o.d"
+  "/root/repo/src/algo/temporal_paths.cc" "src/algo/CMakeFiles/aion_algo.dir/temporal_paths.cc.o" "gcc" "src/algo/CMakeFiles/aion_algo.dir/temporal_paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/aion_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_algo.dir/incremental.cc.o"
+  "CMakeFiles/aion_algo.dir/incremental.cc.o.d"
+  "CMakeFiles/aion_algo.dir/static_algos.cc.o"
+  "CMakeFiles/aion_algo.dir/static_algos.cc.o.d"
+  "CMakeFiles/aion_algo.dir/temporal_paths.cc.o"
+  "CMakeFiles/aion_algo.dir/temporal_paths.cc.o.d"
+  "libaion_algo.a"
+  "libaion_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gradoop_like.cc" "src/baselines/CMakeFiles/aion_baselines.dir/gradoop_like.cc.o" "gcc" "src/baselines/CMakeFiles/aion_baselines.dir/gradoop_like.cc.o.d"
+  "/root/repo/src/baselines/raphtory_like.cc" "src/baselines/CMakeFiles/aion_baselines.dir/raphtory_like.cc.o" "gcc" "src/baselines/CMakeFiles/aion_baselines.dir/raphtory_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/aion_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_baselines.dir/gradoop_like.cc.o"
+  "CMakeFiles/aion_baselines.dir/gradoop_like.cc.o.d"
+  "CMakeFiles/aion_baselines.dir/raphtory_like.cc.o"
+  "CMakeFiles/aion_baselines.dir/raphtory_like.cc.o.d"
+  "libaion_baselines.a"
+  "libaion_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aion.cc" "src/core/CMakeFiles/aion_core.dir/aion.cc.o" "gcc" "src/core/CMakeFiles/aion_core.dir/aion.cc.o.d"
+  "/root/repo/src/core/graphstore.cc" "src/core/CMakeFiles/aion_core.dir/graphstore.cc.o" "gcc" "src/core/CMakeFiles/aion_core.dir/graphstore.cc.o.d"
+  "/root/repo/src/core/lineagestore.cc" "src/core/CMakeFiles/aion_core.dir/lineagestore.cc.o" "gcc" "src/core/CMakeFiles/aion_core.dir/lineagestore.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/core/CMakeFiles/aion_core.dir/record.cc.o" "gcc" "src/core/CMakeFiles/aion_core.dir/record.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/aion_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/aion_core.dir/statistics.cc.o.d"
+  "/root/repo/src/core/timestore.cc" "src/core/CMakeFiles/aion_core.dir/timestore.cc.o" "gcc" "src/core/CMakeFiles/aion_core.dir/timestore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/aion_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aion_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/aion_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_core.dir/aion.cc.o"
+  "CMakeFiles/aion_core.dir/aion.cc.o.d"
+  "CMakeFiles/aion_core.dir/graphstore.cc.o"
+  "CMakeFiles/aion_core.dir/graphstore.cc.o.d"
+  "CMakeFiles/aion_core.dir/lineagestore.cc.o"
+  "CMakeFiles/aion_core.dir/lineagestore.cc.o.d"
+  "CMakeFiles/aion_core.dir/record.cc.o"
+  "CMakeFiles/aion_core.dir/record.cc.o.d"
+  "CMakeFiles/aion_core.dir/statistics.cc.o"
+  "CMakeFiles/aion_core.dir/statistics.cc.o.d"
+  "CMakeFiles/aion_core.dir/timestore.cc.o"
+  "CMakeFiles/aion_core.dir/timestore.cc.o.d"
+  "libaion_core.a"
+  "libaion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

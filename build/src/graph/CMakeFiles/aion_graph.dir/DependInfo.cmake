@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/cow_graph.cc" "src/graph/CMakeFiles/aion_graph.dir/cow_graph.cc.o" "gcc" "src/graph/CMakeFiles/aion_graph.dir/cow_graph.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/aion_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/aion_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/memgraph.cc" "src/graph/CMakeFiles/aion_graph.dir/memgraph.cc.o" "gcc" "src/graph/CMakeFiles/aion_graph.dir/memgraph.cc.o.d"
+  "/root/repo/src/graph/property.cc" "src/graph/CMakeFiles/aion_graph.dir/property.cc.o" "gcc" "src/graph/CMakeFiles/aion_graph.dir/property.cc.o.d"
+  "/root/repo/src/graph/temporal_graph.cc" "src/graph/CMakeFiles/aion_graph.dir/temporal_graph.cc.o" "gcc" "src/graph/CMakeFiles/aion_graph.dir/temporal_graph.cc.o.d"
+  "/root/repo/src/graph/update.cc" "src/graph/CMakeFiles/aion_graph.dir/update.cc.o" "gcc" "src/graph/CMakeFiles/aion_graph.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_graph.dir/cow_graph.cc.o"
+  "CMakeFiles/aion_graph.dir/cow_graph.cc.o.d"
+  "CMakeFiles/aion_graph.dir/csr.cc.o"
+  "CMakeFiles/aion_graph.dir/csr.cc.o.d"
+  "CMakeFiles/aion_graph.dir/memgraph.cc.o"
+  "CMakeFiles/aion_graph.dir/memgraph.cc.o.d"
+  "CMakeFiles/aion_graph.dir/property.cc.o"
+  "CMakeFiles/aion_graph.dir/property.cc.o.d"
+  "CMakeFiles/aion_graph.dir/temporal_graph.cc.o"
+  "CMakeFiles/aion_graph.dir/temporal_graph.cc.o.d"
+  "CMakeFiles/aion_graph.dir/update.cc.o"
+  "CMakeFiles/aion_graph.dir/update.cc.o.d"
+  "libaion_graph.a"
+  "libaion_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

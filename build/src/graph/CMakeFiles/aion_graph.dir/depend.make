@@ -1,0 +1,2 @@
+# Empty dependencies file for aion_graph.
+# This may be replaced when dependencies are built.

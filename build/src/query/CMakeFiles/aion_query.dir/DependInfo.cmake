@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/aion_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/aion_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/aion_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/aion_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/aion_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/aion_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/aion_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/aion_query.dir/planner.cc.o.d"
+  "/root/repo/src/query/procedures.cc" "src/query/CMakeFiles/aion_query.dir/procedures.cc.o" "gcc" "src/query/CMakeFiles/aion_query.dir/procedures.cc.o.d"
+  "/root/repo/src/query/value.cc" "src/query/CMakeFiles/aion_query.dir/value.cc.o" "gcc" "src/query/CMakeFiles/aion_query.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/aion_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/aion_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aion_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aion_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

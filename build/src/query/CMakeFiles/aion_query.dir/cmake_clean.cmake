@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_query.dir/engine.cc.o"
+  "CMakeFiles/aion_query.dir/engine.cc.o.d"
+  "CMakeFiles/aion_query.dir/lexer.cc.o"
+  "CMakeFiles/aion_query.dir/lexer.cc.o.d"
+  "CMakeFiles/aion_query.dir/parser.cc.o"
+  "CMakeFiles/aion_query.dir/parser.cc.o.d"
+  "CMakeFiles/aion_query.dir/planner.cc.o"
+  "CMakeFiles/aion_query.dir/planner.cc.o.d"
+  "CMakeFiles/aion_query.dir/procedures.cc.o"
+  "CMakeFiles/aion_query.dir/procedures.cc.o.d"
+  "CMakeFiles/aion_query.dir/value.cc.o"
+  "CMakeFiles/aion_query.dir/value.cc.o.d"
+  "libaion_query.a"
+  "libaion_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/protocol.cc" "src/server/CMakeFiles/aion_server.dir/protocol.cc.o" "gcc" "src/server/CMakeFiles/aion_server.dir/protocol.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/aion_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/aion_server.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/aion_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/aion_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aion_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/aion_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aion_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

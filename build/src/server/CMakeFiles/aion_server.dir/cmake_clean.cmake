@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_server.dir/protocol.cc.o"
+  "CMakeFiles/aion_server.dir/protocol.cc.o.d"
+  "CMakeFiles/aion_server.dir/server.cc.o"
+  "CMakeFiles/aion_server.dir/server.cc.o.d"
+  "libaion_server.a"
+  "libaion_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bptree.cc" "src/storage/CMakeFiles/aion_storage.dir/bptree.cc.o" "gcc" "src/storage/CMakeFiles/aion_storage.dir/bptree.cc.o.d"
+  "/root/repo/src/storage/file.cc" "src/storage/CMakeFiles/aion_storage.dir/file.cc.o" "gcc" "src/storage/CMakeFiles/aion_storage.dir/file.cc.o.d"
+  "/root/repo/src/storage/log_file.cc" "src/storage/CMakeFiles/aion_storage.dir/log_file.cc.o" "gcc" "src/storage/CMakeFiles/aion_storage.dir/log_file.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/storage/CMakeFiles/aion_storage.dir/page_cache.cc.o" "gcc" "src/storage/CMakeFiles/aion_storage.dir/page_cache.cc.o.d"
+  "/root/repo/src/storage/string_pool.cc" "src/storage/CMakeFiles/aion_storage.dir/string_pool.cc.o" "gcc" "src/storage/CMakeFiles/aion_storage.dir/string_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

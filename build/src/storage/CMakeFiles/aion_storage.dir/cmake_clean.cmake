@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_storage.dir/bptree.cc.o"
+  "CMakeFiles/aion_storage.dir/bptree.cc.o.d"
+  "CMakeFiles/aion_storage.dir/file.cc.o"
+  "CMakeFiles/aion_storage.dir/file.cc.o.d"
+  "CMakeFiles/aion_storage.dir/log_file.cc.o"
+  "CMakeFiles/aion_storage.dir/log_file.cc.o.d"
+  "CMakeFiles/aion_storage.dir/page_cache.cc.o"
+  "CMakeFiles/aion_storage.dir/page_cache.cc.o.d"
+  "CMakeFiles/aion_storage.dir/string_pool.cc.o"
+  "CMakeFiles/aion_storage.dir/string_pool.cc.o.d"
+  "libaion_storage.a"
+  "libaion_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

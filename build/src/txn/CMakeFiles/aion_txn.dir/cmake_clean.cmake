@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_txn.dir/graphdb.cc.o"
+  "CMakeFiles/aion_txn.dir/graphdb.cc.o.d"
+  "CMakeFiles/aion_txn.dir/record_store.cc.o"
+  "CMakeFiles/aion_txn.dir/record_store.cc.o.d"
+  "libaion_txn.a"
+  "libaion_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

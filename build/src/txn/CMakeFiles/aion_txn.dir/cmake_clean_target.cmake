@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaion_txn.a"
+)

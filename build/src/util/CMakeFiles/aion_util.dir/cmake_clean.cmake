@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_util.dir/coding.cc.o"
+  "CMakeFiles/aion_util.dir/coding.cc.o.d"
+  "CMakeFiles/aion_util.dir/status.cc.o"
+  "CMakeFiles/aion_util.dir/status.cc.o.d"
+  "CMakeFiles/aion_util.dir/thread_pool.cc.o"
+  "CMakeFiles/aion_util.dir/thread_pool.cc.o.d"
+  "libaion_util.a"
+  "libaion_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

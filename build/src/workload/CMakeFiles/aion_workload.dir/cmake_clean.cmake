@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aion_workload.dir/generator.cc.o"
+  "CMakeFiles/aion_workload.dir/generator.cc.o.d"
+  "libaion_workload.a"
+  "libaion_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aion_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_incremental_test.dir/algo_incremental_test.cc.o"
+  "CMakeFiles/algo_incremental_test.dir/algo_incremental_test.cc.o.d"
+  "algo_incremental_test"
+  "algo_incremental_test.pdb"
+  "algo_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

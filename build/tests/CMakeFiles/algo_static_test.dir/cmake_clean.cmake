@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_static_test.dir/algo_static_test.cc.o"
+  "CMakeFiles/algo_static_test.dir/algo_static_test.cc.o.d"
+  "algo_static_test"
+  "algo_static_test.pdb"
+  "algo_static_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_static_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_temporal_paths_test.dir/algo_temporal_paths_test.cc.o"
+  "CMakeFiles/algo_temporal_paths_test.dir/algo_temporal_paths_test.cc.o.d"
+  "algo_temporal_paths_test"
+  "algo_temporal_paths_test.pdb"
+  "algo_temporal_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_temporal_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_aion_test.dir/core_aion_test.cc.o"
+  "CMakeFiles/core_aion_test.dir/core_aion_test.cc.o.d"
+  "core_aion_test"
+  "core_aion_test.pdb"
+  "core_aion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_aion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bitemporal_test.dir/core_bitemporal_test.cc.o"
+  "CMakeFiles/core_bitemporal_test.dir/core_bitemporal_test.cc.o.d"
+  "core_bitemporal_test"
+  "core_bitemporal_test.pdb"
+  "core_bitemporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bitemporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lineagestore_test.dir/core_lineagestore_test.cc.o"
+  "CMakeFiles/core_lineagestore_test.dir/core_lineagestore_test.cc.o.d"
+  "core_lineagestore_test"
+  "core_lineagestore_test.pdb"
+  "core_lineagestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lineagestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timestore_test.dir/core_timestore_test.cc.o"
+  "CMakeFiles/core_timestore_test.dir/core_timestore_test.cc.o.d"
+  "core_timestore_test"
+  "core_timestore_test.pdb"
+  "core_timestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

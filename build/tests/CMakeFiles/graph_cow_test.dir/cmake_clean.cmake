@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_cow_test.dir/graph_cow_test.cc.o"
+  "CMakeFiles/graph_cow_test.dir/graph_cow_test.cc.o.d"
+  "graph_cow_test"
+  "graph_cow_test.pdb"
+  "graph_cow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_cow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

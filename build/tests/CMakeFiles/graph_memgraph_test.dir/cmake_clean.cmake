@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_memgraph_test.dir/graph_memgraph_test.cc.o"
+  "CMakeFiles/graph_memgraph_test.dir/graph_memgraph_test.cc.o.d"
+  "graph_memgraph_test"
+  "graph_memgraph_test.pdb"
+  "graph_memgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_memgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

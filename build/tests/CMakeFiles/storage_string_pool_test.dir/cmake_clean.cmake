@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_string_pool_test.dir/storage_string_pool_test.cc.o"
+  "CMakeFiles/storage_string_pool_test.dir/storage_string_pool_test.cc.o.d"
+  "storage_string_pool_test"
+  "storage_string_pool_test.pdb"
+  "storage_string_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_string_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_graphdb_test.dir/txn_graphdb_test.cc.o"
+  "CMakeFiles/txn_graphdb_test.dir/txn_graphdb_test.cc.o.d"
+  "txn_graphdb_test"
+  "txn_graphdb_test.pdb"
+  "txn_graphdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_graphdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

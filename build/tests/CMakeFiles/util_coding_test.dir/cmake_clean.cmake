@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_coding_test.dir/util_coding_test.cc.o"
+  "CMakeFiles/util_coding_test.dir/util_coding_test.cc.o.d"
+  "util_coding_test"
+  "util_coding_test.pdb"
+  "util_coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
