@@ -48,8 +48,7 @@ int main() {
     const double ingest_seconds = total.Seconds();
     // Cascade lag right after the last commit (before draining).
     const graph::Timestamp lag =
-        (*aion)->last_ingested_ts() -
-        (*aion)->lineage_store()->applied_ts();
+        (*aion)->last_ingested_ts() - (*aion)->cascade_applied_ts();
     (*aion)->DrainBackground();
     printf("%-8s %18.1f %18.1f %18.1f %16llu\n",
            synchronous ? "sync" : "async", latency.Percentile(50),

@@ -55,11 +55,11 @@ int main() {
     }
     const double ms = timer.Seconds() * 1000 / runs;
     const double mb = 1024.0 * 1024.0;
+    const core::AionStore::Introspection info = loaded.aion->Introspect();
     printf("%-22s %16.2f %18.2f %14.2f\n", choice.name, ms,
-           static_cast<double>(loaded.aion->time_store()->SnapshotBytes()) /
-               mb,
-           static_cast<double>(loaded.aion->time_store()->SizeBytes() -
-                               loaded.aion->time_store()->SnapshotBytes()) /
+           static_cast<double>(info.timestore_snapshot_bytes) / mb,
+           static_cast<double>(info.timestore_size_bytes -
+                               info.timestore_snapshot_bytes) /
                mb);
   }
   bench::PrintFooter();

@@ -90,6 +90,14 @@ inline void PrintFooter() {
   printf("--------------------------------------------------------------\n");
 }
 
+/// Emits the store's full metrics registry (per-store counters, gauges, and
+/// latency histograms) as a single JSON line, prefixed with the dataset it
+/// describes, so runs can be scraped alongside the human-readable tables.
+inline void PrintMetricsJson(const core::AionStore& aion,
+                             const std::string& label) {
+  printf("metrics %s %s\n", label.c_str(), aion.metrics()->ToJson().c_str());
+}
+
 /// Iterations helper: benchmarks pick operation counts relative to dataset
 /// size, bounded for single-core runs.
 inline size_t OpsFor(size_t entities, size_t lo, size_t hi) {

@@ -56,11 +56,10 @@ int main() {
     AION_CHECK_OK((*db)->Checkpoint());
 
     const double mb = 1024.0 * 1024.0;
+    const core::AionStore::Introspection info = (*aion)->Introspect();
     const double host_mb = static_cast<double>((*db)->TotalDiskBytes()) / mb;
-    const double ts_mb =
-        static_cast<double>((*aion)->time_store()->SizeBytes()) / mb;
-    const double ls_mb =
-        static_cast<double>((*aion)->lineage_store()->SizeBytes()) / mb;
+    const double ts_mb = static_cast<double>(info.timestore_size_bytes) / mb;
+    const double ls_mb = static_cast<double>(info.lineage_size_bytes) / mb;
     printf("%-12s %12.2f %12.2f %14.2f %11.0f%%\n", spec.name.c_str(),
            host_mb, ts_mb, ls_mb, (ts_mb + ls_mb) / host_mb * 100.0);
   }

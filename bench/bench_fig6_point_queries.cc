@@ -42,7 +42,7 @@ int main() {
     bench::Timer timer;
     size_t aion_hits = 0;
     for (const auto& [rel, ts] : probes) {
-      auto result = loaded.aion->lineage_store()->GetRelationshipAt(rel, ts);
+      auto result = loaded.aion->GetRelationshipAt(rel, ts);
       AION_CHECK(result.ok());
       aion_hits += result->has_value() ? 1 : 0;
     }
@@ -60,6 +60,7 @@ int main() {
            raph_tput / aion_tput, aion_hits, raph_hits,
            static_cast<unsigned long long>(
                raphtory.dropped_parallel_edges()));
+    bench::PrintMetricsJson(*loaded.aion, spec.name);
   }
   bench::PrintFooter();
   printf("Expected: both systems within the same order of magnitude;\n"

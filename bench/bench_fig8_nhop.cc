@@ -60,8 +60,9 @@ int main() {
 
       timer.Reset();
       for (const auto& [node, ts] : probes) {
-        auto result = loaded.aion->lineage_store()->Expand(
-            node, graph::Direction::kOutgoing, hops, ts);
+        auto result = loaded.aion->ExpandUsing(
+            core::AionStore::StoreChoice::kLineageStore, node,
+            graph::Direction::kOutgoing, hops, ts);
         AION_CHECK(result.ok());
       }
       const double lineage_tput =

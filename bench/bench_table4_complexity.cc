@@ -85,9 +85,7 @@ int main() {
     };
     const double aion_pt =
         measure_point([&](graph::RelId r, graph::Timestamp t) {
-          AION_CHECK(loaded.aion->lineage_store()
-                         ->GetRelationshipAt(r, t)
-                         .ok());
+          AION_CHECK(loaded.aion->GetRelationshipAt(r, t).ok());
         });
     const double raph_pt =
         measure_point([&](graph::RelId r, graph::Timestamp t) {

@@ -90,7 +90,7 @@ int main() {
 
   // --- 2. What else happened from that moment on? -------------------------
   printf("\n== Everything committed from the attack onwards ==\n");
-  auto diff = aion.GetDiff(attack_ts - 1, kInfiniteTime);
+  auto diff = aion.GetDiff(attack_ts, kInfiniteTime);
   AION_CHECK(diff.ok());
   for (const auto& update : *diff) {
     printf("  %s\n", update.ToString().c_str());

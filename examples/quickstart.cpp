@@ -79,7 +79,7 @@ int main() {
 
   auto diff = (*aion_store)->GetDiff(1, 3);
   AION_CHECK(diff.ok());
-  printf("Updates between ts 1 and ts 3:\n");
+  printf("Updates in [ts 1, ts 3):\n");
   for (const auto& update : *diff) {
     printf("  %s\n", update.ToString().c_str());
   }

@@ -47,14 +47,15 @@ int main() {
 
   // --- Influence drift: incremental PageRank per day ----------------------
   printf("\n== Daily influence (incremental PageRank) ==\n");
-  AION_CHECK(aion.time_store() != nullptr);
-  auto graph = aion.time_store()->MaterializeGraphAt(day_ends[0]);
+  auto graph = aion.MaterializeGraphAt(day_ends[0]);
   AION_CHECK(graph.ok());
   IncrementalPageRank pagerank;
   pagerank.Recompute(**graph);
   Timestamp prev = day_ends[0];
   for (size_t day = 1; day < day_ends.size(); ++day) {
-    auto diff = aion.GetDiff(prev, day_ends[day]);
+    // The new day's events: everything after `prev` up to and including
+    // the day end, i.e. the half-open window [prev + 1, day_end + 1).
+    auto diff = aion.GetDiff(prev + 1, day_ends[day] + 1);
     AION_CHECK(diff.ok());
     AION_CHECK_OK((*graph)->ApplyAll(*diff));
     pagerank.ApplyDiff(**graph, *diff);

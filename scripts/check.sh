@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local gate: RelWithDebInfo build + tests, then an ASan/UBSan build +
+# tests. src/obs compiles with -Werror (see src/obs/CMakeLists.txt), so any
+# warning in the observability layer fails the build here.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer pass (RelWithDebInfo build + ctest only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== RelWithDebInfo build =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+
+echo "== ctest (RelWithDebInfo) =="
+ctest --preset default -j "${JOBS}"
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "check.sh: fast mode — sanitizer pass skipped."
+  exit 0
+fi
+
+echo "== ASan/UBSan build =="
+cmake --preset asan
+cmake --build --preset asan -j "${JOBS}"
+
+echo "== ctest (ASan/UBSan) =="
+ctest --preset asan -j "${JOBS}"
+
+echo "check.sh: all green."

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/cow_graph.h"
+#include "obs/trace.h"
 #include "storage/file.h"
 #include "util/logging.h"
 
@@ -18,18 +19,33 @@ AionStore::~AionStore() {
 }
 
 StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("AionStore options: dir must not be empty");
+  }
+  if (!(options.lineage_fraction_threshold > 0.0) ||
+      options.lineage_fraction_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "AionStore options: lineage_fraction_threshold must be in (0, 1]");
+  }
+  if (options.index_cache_pages == 0) {
+    return Status::InvalidArgument(
+        "AionStore options: index_cache_pages must be positive");
+  }
   AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
   std::unique_ptr<AionStore> store(new AionStore());
   store->options_ = options;
+  store->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  obs::MetricsRegistry* metrics = store->metrics_.get();
   AION_ASSIGN_OR_RETURN(store->string_pool_,
                         storage::StringPool::Open(options.dir + "/strings"));
-  store->graph_store_ =
-      std::make_unique<GraphStore>(options.graphstore_capacity_bytes);
+  store->graph_store_ = std::make_unique<GraphStore>(
+      options.graphstore_capacity_bytes, metrics);
   if (options.enable_timestore) {
     TimeStore::Options ts_options;
     ts_options.dir = options.dir + "/timestore";
     ts_options.policy = options.snapshot_policy;
     ts_options.index_cache_pages = options.index_cache_pages;
+    ts_options.metrics = metrics;
     AION_ASSIGN_OR_RETURN(store->time_store_,
                           TimeStore::Open(ts_options, store->graph_store_.get()));
   }
@@ -38,10 +54,18 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
     ls_options.dir = options.dir + "/lineagestore";
     ls_options.materialization_threshold = options.materialization_threshold;
     ls_options.index_cache_pages = options.index_cache_pages;
+    ls_options.metrics = metrics;
     AION_ASSIGN_OR_RETURN(
         store->lineage_store_,
         LineageStore::Open(ls_options, store->string_pool_.get()));
   }
+  store->metric_ingest_batches_ = metrics->counter("ingest.batches");
+  store->metric_ingest_updates_ = metrics->counter("ingest.updates");
+  store->metric_cascade_batches_ = metrics->counter("cascade.batches_applied");
+  store->metric_fallback_ = metrics->counter("fallback.timestore");
+  store->gauge_ingest_last_ts_ = metrics->gauge("ingest.last_ts");
+  store->gauge_cascade_applied_ = metrics->gauge("cascade.applied_ts");
+  store->metric_commit_latency_ = metrics->histogram("ingest.commit_nanos");
   // A single background worker keeps the cascade ordered (Sec 5.1).
   store->background_ = std::make_unique<util::ThreadPool>(1);
   // Rebuild the latest replica from history after a restart.
@@ -69,6 +93,10 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   } else if (store->lineage_store_ != nullptr) {
     store->last_ingested_ts_ = store->lineage_store_->applied_ts();
   }
+  store->gauge_ingest_last_ts_->Set(
+      static_cast<int64_t>(store->last_ingested_ts_));
+  store->gauge_cascade_applied_->Set(
+      static_cast<int64_t>(store->cascade_applied_ts()));
   return store;
 }
 
@@ -80,6 +108,8 @@ void AionStore::AfterCommit(const txn::TransactionData& data) {
 
 Status AionStore::Ingest(Timestamp ts,
                          const std::vector<GraphUpdate>& updates) {
+  AION_TRACE_SPAN("aion.ingest");
+  obs::ScopedLatency commit_latency(metric_commit_latency_);
   std::lock_guard<std::mutex> lock(ingest_mu_);
   // Stamp defensively (direct-ingest callers may pass unstamped updates).
   std::vector<GraphUpdate> stamped = updates;
@@ -121,13 +151,22 @@ Status AionStore::Ingest(Timestamp ts,
     AION_RETURN_IF_ERROR(time_store_->Append(ts, stamped, &snapshot_due));
   }
   last_ingested_ts_ = std::max(last_ingested_ts_, ts);
+  metric_ingest_batches_->Add();
+  metric_ingest_updates_->Add(stamped.size());
+  gauge_ingest_last_ts_->Set(static_cast<int64_t>(last_ingested_ts_));
 
   if (lineage_store_ != nullptr) {
     if (options_.lineage_mode == LineageMode::kSync) {
       AION_RETURN_IF_ERROR(lineage_store_->ApplyAll(stamped));
+      metric_cascade_batches_->Add();
+      gauge_cascade_applied_->Set(
+          static_cast<int64_t>(lineage_store_->applied_ts()));
     } else {
       background_->Submit([this, batch = stamped]() {
         AION_CHECK_OK(lineage_store_->ApplyAll(batch));
+        metric_cascade_batches_->Add();
+        gauge_cascade_applied_->Set(
+            static_cast<int64_t>(lineage_store_->applied_ts()));
       });
     }
   }
@@ -209,12 +248,12 @@ StatusOr<std::vector<NodeVersion>> AionStore::GetNode(graph::NodeId id,
   if (LineageCanServe(std::max(start, end))) {
     return lineage_store_->GetNode(id, start, end);
   }
-  if (lineage_store_ != nullptr &&
-      options_.lineage_mode == LineageMode::kAsync) {
-    // Lagging cascade: rare case, fall back to the TimeStore (Sec 5.1).
+  if (time_store_ != nullptr) {
+    // Lagging cascade or disabled LineageStore: fall back to the TimeStore
+    // at a performance penalty (Sec 5.1).
+    CountFallback();
     return NodeHistoryViaTimeStore(id, start, end);
   }
-  if (time_store_ != nullptr) return NodeHistoryViaTimeStore(id, start, end);
   return Status::FailedPrecondition("no temporal store can serve the query");
 }
 
@@ -223,7 +262,10 @@ StatusOr<std::vector<RelationshipVersion>> AionStore::GetRelationship(
   if (LineageCanServe(std::max(start, end))) {
     return lineage_store_->GetRelationship(id, start, end);
   }
-  if (time_store_ != nullptr) return RelHistoryViaTimeStore(id, start, end);
+  if (time_store_ != nullptr) {
+    CountFallback();
+    return RelHistoryViaTimeStore(id, start, end);
+  }
   return Status::FailedPrecondition("no temporal store can serve the query");
 }
 
@@ -238,11 +280,12 @@ AionStore::GetRelationships(graph::NodeId id, Direction direction,
   }
   // TimeStore fallback: filter the update log for relationships incident to
   // the node (expensive; the documented penalty of the lagging cascade).
-  const Timestamp window_end =
+  CountFallback();
+  const Timestamp scan_last =
       end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
                    : end;
   AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
-                        time_store_->GetDiff(0, window_end));
+                        time_store_->ReplayRange(0, scan_last));
   std::vector<graph::RelId> order;
   std::vector<std::vector<RelationshipVersion>> result;
   // Track incident relationship ids.
@@ -274,12 +317,30 @@ StatusOr<std::vector<std::vector<graph::Node>>> AionStore::Expand(
     return lineage_store_->Expand(id, direction, hops, t);
   }
   if (time_store_ != nullptr) {
+    // Either the heuristic picked the TimeStore or the cascade is lagging;
+    // only the latter counts as a fallback.
+    if (choice == StoreChoice::kLineageStore) CountFallback();
     return ExpandViaTimeStore(id, direction, hops, t);
   }
   if (lineage_store_ != nullptr) {
     return lineage_store_->Expand(id, direction, hops, t);
   }
   return Status::FailedPrecondition("no temporal store can serve the query");
+}
+
+StatusOr<std::vector<std::vector<graph::Node>>> AionStore::ExpandUsing(
+    StoreChoice store, graph::NodeId id, Direction direction, uint32_t hops,
+    Timestamp t) {
+  if (store == StoreChoice::kLineageStore) {
+    if (lineage_store_ == nullptr) {
+      return Status::FailedPrecondition("LineageStore is disabled");
+    }
+    return lineage_store_->Expand(id, direction, hops, t);
+  }
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition("TimeStore is disabled");
+  }
+  return ExpandViaTimeStore(id, direction, hops, t);
 }
 
 StatusOr<std::vector<AionStore::TimedExpansion>> AionStore::ExpandOverTime(
@@ -389,10 +450,95 @@ StatusOr<std::unique_ptr<graph::TemporalGraph>> AionStore::GetTemporalGraph(
     status = temporal->Apply(u);
   });
   AION_RETURN_IF_ERROR(status);
-  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
-                        time_store_->GetDiff(start, end));
-  AION_RETURN_IF_ERROR(temporal->ApplyAll(diff));
+  if (end > start) {
+    // The base already reflects every update at ts <= start, so replay the
+    // remainder of the half-open window: (start, end) = (start, end - 1].
+    AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
+                          time_store_->ReplayRange(start, end - 1));
+    AION_RETURN_IF_ERROR(temporal->ApplyAll(diff));
+  }
   return temporal;
+}
+
+// ---------------------------------------------------------------------------
+// Single-instant conveniences
+// ---------------------------------------------------------------------------
+
+StatusOr<std::optional<graph::Node>> AionStore::GetNodeAt(graph::NodeId id,
+                                                          Timestamp t) {
+  if (LineageCanServe(t)) return lineage_store_->GetNodeAt(id, t);
+  if (time_store_ != nullptr) {
+    CountFallback();
+    AION_ASSIGN_OR_RETURN(std::vector<NodeVersion> versions,
+                          NodeHistoryViaTimeStore(id, t, t));
+    if (versions.empty()) return std::optional<graph::Node>{};
+    return std::optional<graph::Node>(std::move(versions.front().entity));
+  }
+  return Status::FailedPrecondition("no temporal store can serve the query");
+}
+
+StatusOr<std::optional<graph::Relationship>> AionStore::GetRelationshipAt(
+    graph::RelId id, Timestamp t) {
+  if (LineageCanServe(t)) return lineage_store_->GetRelationshipAt(id, t);
+  if (time_store_ != nullptr) {
+    CountFallback();
+    AION_ASSIGN_OR_RETURN(std::vector<RelationshipVersion> versions,
+                          RelHistoryViaTimeStore(id, t, t));
+    if (versions.empty()) return std::optional<graph::Relationship>{};
+    return std::optional<graph::Relationship>(
+        std::move(versions.front().entity));
+  }
+  return Status::FailedPrecondition("no temporal store can serve the query");
+}
+
+StatusOr<std::unique_ptr<graph::MemoryGraph>> AionStore::MaterializeGraphAt(
+    Timestamp t) {
+  if (time_store_ == nullptr) {
+    return Status::FailedPrecondition("global queries require the TimeStore");
+  }
+  return time_store_->MaterializeGraphAt(t);
+}
+
+std::shared_ptr<const graph::MemoryGraph> AionStore::LatestGraph() {
+  return graph_store_->Latest();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+AionStore::Introspection AionStore::Introspect() const {
+  Introspection info;
+  info.last_ingested_ts = last_ingested_ts_;
+  info.total_bytes = SizeBytes();
+  info.latest_ts = graph_store_->latest_ts();
+  info.graphstore_cached_snapshots = graph_store_->cached_snapshots();
+  info.graphstore_cached_bytes = graph_store_->cached_bytes();
+  info.graphstore_hits = graph_store_->hits();
+  info.graphstore_misses = graph_store_->misses();
+  info.graphstore_cow_clones = graph_store_->cow_clones();
+  if (time_store_ != nullptr) {
+    info.timestore_enabled = true;
+    info.timestore_last_ts = time_store_->last_ts();
+    info.timestore_num_updates = time_store_->num_updates();
+    info.timestore_log_bytes = time_store_->LogBytes();
+    info.timestore_snapshot_bytes = time_store_->SnapshotBytes();
+    info.timestore_size_bytes = time_store_->SizeBytes();
+  }
+  if (lineage_store_ != nullptr) {
+    info.lineage_enabled = true;
+    info.lineage_applied_ts = lineage_store_->applied_ts();
+    info.lineage_num_records = lineage_store_->num_records();
+    info.lineage_size_bytes = lineage_store_->SizeBytes();
+  }
+  info.metrics = metrics_->Snapshot();
+  return info;
+}
+
+void AionStore::CountFallback() {
+  // Only a configured-but-lagging LineageStore counts: with the store
+  // disabled the TimeStore path is the plan, not a fallback.
+  if (lineage_store_ != nullptr) metric_fallback_->Add();
 }
 
 // ---------------------------------------------------------------------------
@@ -463,8 +609,10 @@ StatusOr<std::vector<NodeVersion>> AionStore::NodeHistoryViaTimeStore(
   const Timestamp scan_end =
       end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
                    : end;
+  // (0, scan_end]: the update at scan_end (= end) closes the last version's
+  // interval inside FoldUpdates, so the inclusive upper bound is deliberate.
   AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
-                        time_store_->GetDiff(0, scan_end));
+                        time_store_->ReplayRange(0, scan_end));
   return FoldUpdates<graph::Node>(
       all, start, end,
       [id](const GraphUpdate& u) {
@@ -506,7 +654,7 @@ StatusOr<std::vector<RelationshipVersion>> AionStore::RelHistoryViaTimeStore(
       end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
                    : end;
   AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
-                        time_store_->GetDiff(0, scan_end));
+                        time_store_->ReplayRange(0, scan_end));
   return FoldUpdates<graph::Relationship>(
       all, start, end,
       [id](const GraphUpdate& u) {

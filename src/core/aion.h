@@ -15,12 +15,22 @@
 // Store selection (Sec 5.1/6.3): queries estimated to touch less than 30%
 // of the graph use the LineageStore; otherwise a full snapshot is
 // constructed with the TimeStore.
+//
+// Interval convention: every (start, end) timestamp pair in this API is
+// half-open [start, end) — `start` included, `end` excluded — and
+// start == end denotes the instant state at `start`. This holds for the
+// history queries (GetNode / GetRelationship / GetRelationships), GetDiff,
+// GetWindow, GetTemporalGraph and the stepped variants (GetGraph,
+// ExpandOverTime). The stores' internal replay primitive
+// (TimeStore::ReplayRange) is the one deliberate exception and documents
+// its own bounds.
 #ifndef AION_CORE_AION_H_
 #define AION_CORE_AION_H_
 
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +40,7 @@
 #include "core/timestore.h"
 #include "graph/graph_view.h"
 #include "graph/temporal_graph.h"
+#include "obs/metrics.h"
 #include "txn/graphdb.h"
 #include "txn/listener.h"
 #include "util/thread_pool.h"
@@ -123,8 +134,9 @@ class AionStore : public txn::TransactionEventListener {
       graph::NodeId id, Direction direction, uint32_t hops, Timestamp start,
       Timestamp end, Timestamp step);
 
-  /// The difference between two time instances: updates with
-  /// start < ts <= end.
+  /// The difference between two time instances: all updates with
+  /// start <= ts < end, in timestamp order (half-open, see the interval
+  /// convention in the file header).
   util::StatusOr<std::vector<graph::GraphUpdate>> GetDiff(Timestamp start,
                                                           Timestamp end);
 
@@ -147,6 +159,27 @@ class AionStore : public txn::TransactionEventListener {
       Timestamp start, Timestamp end);
 
   // -------------------------------------------------------------------
+  // Single-instant conveniences
+  // -------------------------------------------------------------------
+
+  /// The state of one node / relationship at time t (nullopt = not alive).
+  /// Routed like the history queries: LineageStore when it can serve,
+  /// TimeStore fallback otherwise.
+  util::StatusOr<std::optional<graph::Node>> GetNodeAt(graph::NodeId id,
+                                                       Timestamp t);
+  util::StatusOr<std::optional<graph::Relationship>> GetRelationshipAt(
+      graph::RelId id, Timestamp t);
+
+  /// An independent mutable copy of the graph at time t (TimeStore
+  /// snapshot + replay; fails when the TimeStore is disabled).
+  util::StatusOr<std::unique_ptr<graph::MemoryGraph>> MaterializeGraphAt(
+      Timestamp t);
+
+  /// The synchronously maintained latest in-memory replica as an immutable
+  /// shared snapshot (cheap; copy-on-write on the next ingest).
+  std::shared_ptr<const graph::MemoryGraph> LatestGraph();
+
+  // -------------------------------------------------------------------
   // Planner support
   // -------------------------------------------------------------------
 
@@ -155,14 +188,64 @@ class AionStore : public txn::TransactionEventListener {
   /// The store the heuristic picks for an n-hop expansion.
   StoreChoice ChooseStoreForExpand(uint32_t hops) const;
 
+  /// Expand with an explicit store choice, bypassing the cardinality
+  /// heuristic and the lag fallback (benchmarks, plan pinning). Fails with
+  /// FailedPrecondition when the requested store is disabled.
+  util::StatusOr<std::vector<std::vector<graph::Node>>> ExpandUsing(
+      StoreChoice store, graph::NodeId id, Direction direction,
+      uint32_t hops, Timestamp t);
+
   /// Whether the LineageStore can serve a query up to `ts` right now
   /// (false = lagging cascade or disabled; TimeStore fallback applies).
   bool LineageCanServe(Timestamp ts) const;
 
   const GraphStatistics& stats() const { return stats_; }
-  GraphStore& graph_store() { return *graph_store_; }
-  TimeStore* time_store() { return time_store_.get(); }
-  LineageStore* lineage_store() { return lineage_store_.get(); }
+
+  // -------------------------------------------------------------------
+  // Introspection & observability
+  // -------------------------------------------------------------------
+
+  /// A read-only, self-describing view of the store's state: which stores
+  /// are enabled, their sizes and watermarks, and a point-in-time snapshot
+  /// of every registered metric. This replaces direct access to the
+  /// underlying stores — callers observe, they do not reach in.
+  struct Introspection {
+    // Facade.
+    Timestamp last_ingested_ts = 0;
+    uint64_t total_bytes = 0;  // on-disk footprint across all stores
+    // GraphStore (latest replica + snapshot cache).
+    Timestamp latest_ts = 0;
+    uint64_t graphstore_cached_snapshots = 0;
+    uint64_t graphstore_cached_bytes = 0;
+    uint64_t graphstore_hits = 0;
+    uint64_t graphstore_misses = 0;
+    uint64_t graphstore_cow_clones = 0;
+    // TimeStore.
+    bool timestore_enabled = false;
+    Timestamp timestore_last_ts = 0;
+    uint64_t timestore_num_updates = 0;
+    uint64_t timestore_log_bytes = 0;
+    uint64_t timestore_snapshot_bytes = 0;
+    uint64_t timestore_size_bytes = 0;
+    // LineageStore.
+    bool lineage_enabled = false;
+    Timestamp lineage_applied_ts = 0;  // cascade watermark
+    uint64_t lineage_num_records = 0;
+    uint64_t lineage_size_bytes = 0;
+    // Counters, gauges and latency histograms (see docs/observability.md).
+    obs::MetricsSnapshot metrics;
+  };
+  Introspection Introspect() const;
+
+  /// The store's metric registry. Valid for the store's lifetime; shared
+  /// with every layer underneath (page caches, B+Trees, the three stores).
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Cascade watermark: highest timestamp the LineageStore has applied
+  /// (0 when disabled). Cheap — a single atomic load.
+  Timestamp cascade_applied_ts() const {
+    return lineage_store_ != nullptr ? lineage_store_->applied_ts() : 0;
+  }
 
   Timestamp last_ingested_ts() const { return last_ingested_ts_; }
 
@@ -183,6 +266,13 @@ class AionStore : public txn::TransactionEventListener {
   util::StatusOr<std::vector<std::vector<graph::Node>>> ExpandViaTimeStore(
       graph::NodeId id, Direction direction, uint32_t hops, Timestamp t);
 
+  /// Counts one "fallback.timestore" when a query configured for the
+  /// LineageStore had to be served by the TimeStore (lagging cascade).
+  void CountFallback();
+
+  // Declared first: every store below holds raw instrument pointers into
+  // the registry, so it must outlive them during destruction.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   Options options_;
   std::unique_ptr<storage::StringPool> string_pool_;
   std::unique_ptr<GraphStore> graph_store_;
@@ -193,6 +283,15 @@ class AionStore : public txn::TransactionEventListener {
   std::mutex ingest_mu_;
   std::atomic<bool> snapshot_pending_{false};
   Timestamp last_ingested_ts_ = 0;
+
+  // Facade-level instruments (always valid after Open).
+  obs::Counter* metric_ingest_batches_ = nullptr;
+  obs::Counter* metric_ingest_updates_ = nullptr;
+  obs::Counter* metric_cascade_batches_ = nullptr;
+  obs::Counter* metric_fallback_ = nullptr;
+  obs::Gauge* gauge_ingest_last_ts_ = nullptr;
+  obs::Gauge* gauge_cascade_applied_ = nullptr;
+  obs::Histogram* metric_commit_latency_ = nullptr;
 };
 
 }  // namespace aion::core

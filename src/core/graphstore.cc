@@ -7,9 +7,16 @@ namespace aion::core {
 using graph::MemoryGraph;
 using graph::Timestamp;
 
-GraphStore::GraphStore(size_t capacity_bytes)
+GraphStore::GraphStore(size_t capacity_bytes, obs::MetricsRegistry* metrics)
     : capacity_bytes_(capacity_bytes),
-      latest_(std::make_shared<MemoryGraph>()) {}
+      latest_(std::make_shared<MemoryGraph>()) {
+  if (metrics != nullptr) {
+    metric_requests_ = metrics->counter("graphstore.requests");
+    metric_hits_ = metrics->counter("graphstore.hits");
+    metric_misses_ = metrics->counter("graphstore.misses");
+    metric_cow_clones_ = metrics->counter("graphstore.cow_clones");
+  }
+}
 
 util::Status GraphStore::ApplyToLatest(const graph::GraphUpdate& update) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -18,6 +25,8 @@ util::Status GraphStore::ApplyToLatest(const graph::GraphUpdate& update) {
     // keeps its immutable snapshot (copy-on-write). Subsequent updates
     // mutate the fresh copy in place until the next handout escapes.
     latest_ = std::shared_ptr<MemoryGraph>(latest_->Clone());
+    ++cow_clones_;
+    if (metric_cow_clones_ != nullptr) metric_cow_clones_->Add();
   }
   AION_RETURN_IF_ERROR(latest_->Apply(update));
   latest_ts_ = std::max(latest_ts_, update.ts);
@@ -57,12 +66,15 @@ void GraphStore::Put(Timestamp ts,
 
 std::shared_ptr<const MemoryGraph> GraphStore::Get(Timestamp ts) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (metric_requests_ != nullptr) metric_requests_->Add();
   auto it = snapshots_.find(ts);
   if (it == snapshots_.end()) {
     ++misses_;
+    if (metric_misses_ != nullptr) metric_misses_->Add();
     return nullptr;
   }
   ++hits_;
+  if (metric_hits_ != nullptr) metric_hits_->Add();
   it->second.last_used = ++use_clock_;
   return it->second.snapshot;
 }
@@ -70,6 +82,7 @@ std::shared_ptr<const MemoryGraph> GraphStore::Get(Timestamp ts) {
 std::shared_ptr<const MemoryGraph> GraphStore::ClosestAtOrBefore(
     Timestamp t, Timestamp* snapshot_ts) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (metric_requests_ != nullptr) metric_requests_->Add();
   // Candidate from the snapshot cache: largest key <= t.
   auto it = snapshots_.upper_bound(t);
   std::shared_ptr<const MemoryGraph> best;
@@ -83,15 +96,18 @@ std::shared_ptr<const MemoryGraph> GraphStore::ClosestAtOrBefore(
   if (latest_ts_ <= t && latest_ts_ >= best_ts) {
     *snapshot_ts = latest_ts_;
     ++hits_;
+    if (metric_hits_ != nullptr) metric_hits_->Add();
     return latest_;
   }
   if (best != nullptr) {
     it->second.last_used = ++use_clock_;
     *snapshot_ts = best_ts;
     ++hits_;
+    if (metric_hits_ != nullptr) metric_hits_->Add();
     return best;
   }
   ++misses_;
+  if (metric_misses_ != nullptr) metric_misses_->Add();
   return nullptr;
 }
 

@@ -20,6 +20,7 @@
 #include "graph/memgraph.h"
 #include "graph/types.h"
 #include "graph/update.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace aion::core {
@@ -28,8 +29,12 @@ class GraphStore {
  public:
   /// `capacity_bytes` bounds the estimated memory of cached snapshots
   /// (the latest graph is excluded from the budget: it is the HTAP replica,
-  /// not a cache entry).
-  explicit GraphStore(size_t capacity_bytes);
+  /// not a cache entry). `metrics`, when given, receives the
+  /// "graphstore.{requests,hits,misses,cow_clones}" counters; every lookup
+  /// (Get / ClosestAtOrBefore) counts one request and exactly one of
+  /// hit/miss, so requests == hits + misses always holds.
+  explicit GraphStore(size_t capacity_bytes,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
@@ -85,6 +90,7 @@ class GraphStore {
   size_t cached_bytes() const;
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t cow_clones() const { return cow_clones_; }
 
   // -------------------------------------------------------------------
   // Algorithm result store (Sec 5.2: intermediate and final results can be
@@ -116,6 +122,12 @@ class GraphStore {
   uint64_t use_clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t cow_clones_ = 0;
+  // Registry-shared counters (nullptr when metrics are not wired up).
+  obs::Counter* metric_requests_ = nullptr;
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_cow_clones_ = nullptr;
 
   std::unordered_map<std::string, std::vector<double>> results_;
 };

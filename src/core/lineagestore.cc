@@ -55,8 +55,20 @@ StatusOr<std::unique_ptr<LineageStore>> LineageStore::Open(
     store->options_.materialization_threshold = 1;
   }
   store->codec_ = std::make_unique<RecordCodec>(pool);
+  if (options.metrics != nullptr) {
+    store->metric_applies_ = options.metrics->counter("lineagestore.applies");
+    store->metric_probe_nodes_ =
+        options.metrics->counter("lineagestore.probes.nodes");
+    store->metric_probe_rels_ =
+        options.metrics->counter("lineagestore.probes.rels");
+    store->metric_probe_out_ =
+        options.metrics->counter("lineagestore.probes.out_nbrs");
+    store->metric_probe_in_ =
+        options.metrics->counter("lineagestore.probes.in_nbrs");
+  }
   BpTree::Options tree_options;
   tree_options.cache_pages = options.index_cache_pages;
+  tree_options.metrics = options.metrics;
   AION_ASSIGN_OR_RETURN(
       store->nodes_, BpTree::Open(options.dir + "/nodes.bpt", tree_options));
   AION_ASSIGN_OR_RETURN(
@@ -91,6 +103,20 @@ Status LineageStore::Flush() {
   util::EncodeFixed64(buf, seq_);
   util::EncodeFixed64(buf + 8, applied_ts_.load());
   return meta->Write(0, buf, 16);
+}
+
+void LineageStore::CountProbe(const BpTree* tree) const {
+  obs::Counter* counter = nullptr;
+  if (tree == nodes_.get()) {
+    counter = metric_probe_nodes_;
+  } else if (tree == rels_.get()) {
+    counter = metric_probe_rels_;
+  } else if (tree == out_.get()) {
+    counter = metric_probe_out_;
+  } else if (tree == in_.get()) {
+    counter = metric_probe_in_;
+  }
+  if (counter != nullptr) counter->Add();
 }
 
 uint64_t LineageStore::SizeBytes() const {
@@ -133,6 +159,7 @@ Status LineageStore::ReconstructAt(BpTree* tree, uint64_t id, Timestamp t,
                                    Timestamp* version_start) const {
   *live = false;
   *version_start = 0;
+  CountProbe(tree);
   std::vector<TemporalRecord> chain;  // newest first
   Status decode_status = Status::OK();
   AION_RETURN_IF_ERROR(tree->ScanBackward(
@@ -193,6 +220,7 @@ StatusOr<std::vector<graph::Versioned<Entity>>> LineageStore::History(
   std::vector<TemporalRecord> records;
   Status decode_status = Status::OK();
   bool saw_past_end = false;
+  CountProbe(tree);
   AION_RETURN_IF_ERROR(tree->ScanForward(
       EntityKey(id, start, kMaxSeq), [&](Slice key, Slice value) {
         if (KeyId(key) != id) return false;
@@ -325,6 +353,7 @@ LineageStore::GetRelationships(graph::NodeId node, Direction direction,
   std::vector<graph::RelId> order;
 
   auto scan = [&](BpTree* tree) -> Status {
+    CountProbe(tree);
     return tree->ScanForward(
         NbrKey(node, 0, 0, 0), [&](Slice key, Slice value) {
           if (KeyId(key) != node) return false;
@@ -398,6 +427,7 @@ LineageStore::GetLiveNeighboursUnlocked(graph::NodeId node,
   std::vector<graph::RelId> order;
 
   auto scan = [&](BpTree* tree) -> Status {
+    CountProbe(tree);
     return tree->ScanForward(
         NbrKey(node, 0, 0, 0), [&](Slice key, Slice value) {
           if (KeyId(key) != node) return false;
@@ -599,6 +629,7 @@ Status LineageStore::ApplyUnlocked(const GraphUpdate& u) {
       break;
   }
   if (u.ts > applied_ts_.load()) applied_ts_.store(u.ts);
+  if (metric_applies_ != nullptr) metric_applies_->Add();
   return Status::OK();
 }
 

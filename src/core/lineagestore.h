@@ -30,6 +30,7 @@
 #include "core/record.h"
 #include "graph/entity.h"
 #include "graph/update.h"
+#include "obs/metrics.h"
 #include "storage/bptree.h"
 #include "storage/string_pool.h"
 #include "util/object_pool.h"
@@ -50,6 +51,10 @@ class LineageStore {
     /// finds 4 the sweet spot for the DBLP workload.
     uint32_t materialization_threshold = 4;
     size_t index_cache_pages = 512;
+    /// Optional registry for the "lineagestore.*" instruments (applies and
+    /// per-index B+Tree probe counts) and the four page caches. Must
+    /// outlive the LineageStore.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Opens (creating if missing) a LineageStore rooted at options.dir.
@@ -176,6 +181,16 @@ class LineageStore {
   util::BufferPool buffers_;
   uint64_t seq_ = 0;
   std::atomic<Timestamp> applied_ts_{0};
+
+  /// One read descent into `tree` ("lineagestore.probes.<index>").
+  void CountProbe(const storage::BpTree* tree) const;
+
+  // Observability (nullptr when Options::metrics was not given).
+  obs::Counter* metric_applies_ = nullptr;
+  obs::Counter* metric_probe_nodes_ = nullptr;
+  obs::Counter* metric_probe_rels_ = nullptr;
+  obs::Counter* metric_probe_out_ = nullptr;
+  obs::Counter* metric_probe_in_ = nullptr;
 };
 
 }  // namespace aion::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "storage/file.h"
 #include "util/coding.h"
 #include "util/logging.h"
@@ -45,12 +46,26 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
                         LogFile::Open(options.dir + "/updates.log"));
   BpTree::Options tree_options;
   tree_options.cache_pages = options.index_cache_pages;
+  tree_options.metrics = options.metrics;
   AION_ASSIGN_OR_RETURN(
       store->time_index_,
       BpTree::Open(options.dir + "/time_index.bpt", tree_options));
   AION_ASSIGN_OR_RETURN(
       store->snapshot_index_,
       BpTree::Open(options.dir + "/snapshot_index.bpt", tree_options));
+  if (options.metrics != nullptr) {
+    store->metric_appends_ = options.metrics->counter("timestore.appends");
+    store->metric_snapshots_written_ =
+        options.metrics->counter("timestore.snapshots_written");
+    store->metric_snapshots_due_ =
+        options.metrics->counter("timestore.snapshot_policy_due");
+    store->metric_replayed_updates_ =
+        options.metrics->counter("timestore.replayed_updates");
+    store->metric_snapshot_build_ =
+        options.metrics->histogram("timestore.snapshot_build_nanos");
+    store->metric_replay_ =
+        options.metrics->histogram("timestore.replay_nanos");
+  }
 
   // Recover clock/sequence from the tail of the time index.
   auto it = store->time_index_->NewIterator();
@@ -89,6 +104,7 @@ Status TimeStore::Append(Timestamp ts,
   last_ts_ = ts;
   num_updates_ += updates.size();
   ops_since_snapshot_ += updates.size();
+  if (metric_appends_ != nullptr) metric_appends_->Add();
   if (snapshot_due != nullptr) {
     switch (options_.policy.kind) {
       case SnapshotPolicy::Kind::kOperationBased:
@@ -101,12 +117,17 @@ Status TimeStore::Append(Timestamp ts,
         *snapshot_due = false;
         break;
     }
+    if (*snapshot_due && metric_snapshots_due_ != nullptr) {
+      metric_snapshots_due_->Add();
+    }
   }
   return Status::OK();
 }
 
 Status TimeStore::WriteSnapshot(Timestamp ts,
                                 const graph::MemoryGraph& graph) {
+  AION_TRACE_SPAN("timestore.snapshot_build", metric_snapshot_build_);
+  if (metric_snapshots_written_ != nullptr) metric_snapshots_written_->Add();
   std::string payload;
   graph.EncodeTo(&payload);
   std::lock_guard<std::mutex> lock(mu_);
@@ -124,18 +145,29 @@ Status TimeStore::WriteSnapshot(Timestamp ts,
 
 StatusOr<std::vector<GraphUpdate>> TimeStore::GetDiff(Timestamp start,
                                                       Timestamp end) const {
+  // Half-open [start, end): the common interval convention of the temporal
+  // API. end is exclusive, so the last included timestamp is end - 1.
+  if (end <= start) return std::vector<GraphUpdate>{};
+  return ScanUpdates(start, end - 1);
+}
+
+StatusOr<std::vector<GraphUpdate>> TimeStore::ReplayRange(Timestamp base_ts,
+                                                          Timestamp t) const {
+  // (base_ts, t]: forward replay from a base snapshot *at* base_ts (whose
+  // state already includes base_ts's updates) up to and including t.
+  if (t <= base_ts) return std::vector<GraphUpdate>{};
+  return ScanUpdates(base_ts + 1, t);
+}
+
+StatusOr<std::vector<GraphUpdate>> TimeStore::ScanUpdates(
+    Timestamp first_ts, Timestamp last_ts) const {
   std::vector<GraphUpdate> diff;
-  if (end <= start) return diff;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = time_index_->NewIterator();
-  std::string probe = TimeKey(start == graph::kInfiniteTime
-                                  ? graph::kInfiniteTime
-                                  : start + 1,
-                              0);
   std::string record;
-  for (it.Seek(probe); it.Valid(); it.Next()) {
+  for (it.Seek(TimeKey(first_ts, 0)); it.Valid(); it.Next()) {
     const Timestamp ts = DecodeBigEndian64(it.key().data());
-    if (ts > end) break;
+    if (ts > last_ts) break;
     const uint64_t offset = DecodeFixed64(it.value().data());
     AION_RETURN_IF_ERROR(log_->Read(offset, &record));
     AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> batch,
@@ -195,13 +227,18 @@ TimeStore::LoadSnapshotFile(const std::string& path) const {
 
 StatusOr<std::shared_ptr<const graph::GraphView>> TimeStore::GetGraphAt(
     Timestamp t) {
+  AION_TRACE_SPAN("timestore.replay", metric_replay_);
   Timestamp base_ts = 0;
   AION_ASSIGN_OR_RETURN(auto base, FindBase(t, &base_ts));
   if (base == nullptr) {
     base = std::make_shared<const graph::MemoryGraph>();
     base_ts = 0;
   }
-  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff, GetDiff(base_ts, t));
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
+                        ReplayRange(base_ts, t));
+  if (metric_replayed_updates_ != nullptr) {
+    metric_replayed_updates_->Add(diff.size());
+  }
   if (diff.empty()) {
     return std::static_pointer_cast<const graph::GraphView>(base);
   }
@@ -212,6 +249,7 @@ StatusOr<std::shared_ptr<const graph::GraphView>> TimeStore::GetGraphAt(
 
 StatusOr<std::unique_ptr<graph::MemoryGraph>> TimeStore::MaterializeGraphAt(
     Timestamp t) {
+  AION_TRACE_SPAN("timestore.replay", metric_replay_);
   Timestamp base_ts = 0;
   AION_ASSIGN_OR_RETURN(auto base, FindBase(t, &base_ts));
   std::unique_ptr<graph::MemoryGraph> graph;
@@ -221,7 +259,11 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> TimeStore::MaterializeGraphAt(
   } else {
     graph = base->Clone();
   }
-  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff, GetDiff(base_ts, t));
+  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
+                        ReplayRange(base_ts, t));
+  if (metric_replayed_updates_ != nullptr) {
+    metric_replayed_updates_->Add(diff.size());
+  }
   AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
   return graph;
 }

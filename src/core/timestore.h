@@ -24,6 +24,7 @@
 #include "graph/graph_view.h"
 #include "graph/memgraph.h"
 #include "graph/update.h"
+#include "obs/metrics.h"
 #include "storage/bptree.h"
 #include "storage/log_file.h"
 #include "util/status.h"
@@ -50,6 +51,9 @@ class TimeStore {
     std::string dir;
     SnapshotPolicy policy;
     size_t index_cache_pages = 512;
+    /// Optional registry for the "timestore.*" instruments (and the page
+    /// caches of the two indexes). Must outlive the TimeStore.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Opens (creating if missing) a TimeStore rooted at options.dir.
@@ -78,11 +82,19 @@ class TimeStore {
   // Retrieval
   // -------------------------------------------------------------------
 
-  /// All updates with start < ts <= end in timestamp order — the difference
-  /// between the two time instances (Table 1 getDiff): applying the result
-  /// onto the graph at `start` yields the graph at `end`.
+  /// All updates with start <= ts < end in timestamp order (Table 1
+  /// getDiff). Half-open [start, end), matching every other interval in the
+  /// temporal API (see core/aion.h "Interval convention").
   StatusOr<std::vector<GraphUpdate>> GetDiff(Timestamp start,
                                              Timestamp end) const;
+
+  /// Snapshot-replay primitive: all updates with base_ts < ts <= t, i.e.
+  /// applying the result onto the graph *at* `base_ts` yields the graph at
+  /// `t`. This is the closed-open complement GetGraphAt/MaterializeGraphAt
+  /// and the fine-grained fallbacks fold forward from a base state; public
+  /// API users want GetDiff.
+  StatusOr<std::vector<GraphUpdate>> ReplayRange(Timestamp base_ts,
+                                                 Timestamp t) const;
 
   /// The graph as of time t (Copy+Log): closest snapshot + forward replay.
   /// Returns a CoW view when replay was needed, or the cached snapshot
@@ -122,6 +134,10 @@ class TimeStore {
   StatusOr<std::shared_ptr<const graph::MemoryGraph>> LoadSnapshotFile(
       const std::string& path) const;
 
+  /// Log scan over the inclusive timestamp range [first_ts, last_ts].
+  StatusOr<std::vector<GraphUpdate>> ScanUpdates(Timestamp first_ts,
+                                                 Timestamp last_ts) const;
+
   Options options_;
   GraphStore* graph_store_ = nullptr;
   std::unique_ptr<storage::LogFile> log_;
@@ -135,6 +151,13 @@ class TimeStore {
   uint64_t ops_since_snapshot_ = 0;
   uint64_t snapshot_bytes_ = 0;
   uint64_t snapshot_counter_ = 0;
+  // Observability (nullptr when Options::metrics was not given).
+  obs::Counter* metric_appends_ = nullptr;
+  obs::Counter* metric_snapshots_written_ = nullptr;
+  obs::Counter* metric_snapshots_due_ = nullptr;
+  obs::Counter* metric_replayed_updates_ = nullptr;
+  obs::Histogram* metric_snapshot_build_ = nullptr;
+  obs::Histogram* metric_replay_ = nullptr;
 };
 
 }  // namespace aion::core

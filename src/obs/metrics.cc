@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace aion::obs {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Summarize();
+  }
+  return snapshot;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+double Micros(uint64_t nanos) { return static_cast<double>(nanos) / 1000.0; }
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[32];
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":%" PRIu64, value);
+    out.append(buf);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":%" PRId64, value);
+    out.append(buf);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, summary] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":{\"count\":%" PRIu64, summary.count);
+    out.append(buf);
+    out.append(",\"mean_us\":");
+    AppendDouble(&out, Micros(static_cast<uint64_t>(summary.Mean())));
+    out.append(",\"p50_us\":");
+    AppendDouble(&out, Micros(summary.p50));
+    out.append(",\"p95_us\":");
+    AppendDouble(&out, Micros(summary.p95));
+    out.append(",\"p99_us\":");
+    AppendDouble(&out, Micros(summary.p99));
+    out.append(",\"max_us\":");
+    AppendDouble(&out, Micros(summary.max));
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace aion::obs

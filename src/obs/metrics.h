@@ -1,0 +1,121 @@
+// Observability: a lock-cheap metrics registry shared by every Aion layer.
+//
+// A MetricsRegistry names three kinds of instruments:
+//   * Counter — monotonically increasing event count (relaxed atomic add);
+//   * Gauge   — last-written value (watermarks, sizes);
+//   * Histogram (util::AtomicLatencyHistogram) — latency distribution in
+//     nanoseconds, aggregated across threads without locks.
+//
+// Lookup by name takes a mutex, so call sites resolve their instruments
+// once (at Open/construction time) and keep the returned pointer; the hot
+// path is then a relaxed atomic operation. Instrument pointers stay valid
+// for the registry's lifetime.
+//
+// Each AionStore owns one registry and threads it down into its stores and
+// indexes; the query engine and server record into the same registry, so
+// `DBMS METRICS`, the METRICS protocol message, and ToJson() all report one
+// coherent per-store breakdown.
+#ifndef AION_OBS_METRICS_H_
+#define AION_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.h"
+
+namespace aion::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (watermarks, queue depths, sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+using Histogram = util::AtomicLatencyHistogram;
+
+/// Point-in-time copy of every instrument in a registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, util::LatencySummary> histograms;
+
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  int64_t gauge(const std::string& name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+  /// "mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..}}}
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. The pointer stays valid for the
+  /// registry's lifetime; resolve once, then record lock-free.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Steady-clock nanoseconds (monotonic; for durations, not wall time).
+uint64_t NowNanos();
+
+/// RAII latency probe: records elapsed nanoseconds into `histogram` (if any)
+/// on destruction.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram)
+      : histogram_(histogram), start_(NowNanos()) {}
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) histogram_->Record(NowNanos() - start_);
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_METRICS_H_

@@ -1,0 +1,61 @@
+#include "obs/trace.h"
+
+#include <functional>
+#include <thread>
+
+namespace aion::obs {
+
+TraceSink& TraceSink::Global() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+TraceSink::TraceSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_ % capacity_] = event;
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const uint64_t live = next_ < capacity_ ? next_ : capacity_;
+  out.reserve(live);
+  for (uint64_t i = next_ - live; i < next_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceSink::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  for (TraceEvent& e : ring_) e = TraceEvent{};
+}
+
+TraceSpan::~TraceSpan() {
+  const uint64_t duration = NowNanos() - start_;
+  if (histogram_ != nullptr) histogram_->Record(duration);
+  TraceSink& sink = TraceSink::Global();
+  if (!sink.enabled()) return;
+  TraceEvent event;
+  event.name = name_;
+  event.start_nanos = start_;
+  event.duration_nanos = duration;
+  event.thread_id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  sink.Record(event);
+}
+
+}  // namespace aion::obs

@@ -1,0 +1,94 @@
+// Observability: lightweight tracing. AION_TRACE_SPAN("timestore.replay")
+// opens an RAII span that, on scope exit, records {name, start, duration,
+// thread} into a fixed-capacity ring buffer (the process-wide TraceSink).
+// Recording is one short critical section over a preallocated ring — no
+// allocation on the hot path once the ring is warm — and can be disabled
+// globally, which reduces a span to two steady_clock reads.
+//
+// A span can additionally feed an obs::Histogram so the same probe drives
+// both the trace timeline and the latency distribution in DBMS METRICS.
+#ifndef AION_OBS_TRACE_H_
+#define AION_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aion::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string from AION_TRACE_SPAN
+  uint64_t start_nanos = 0;    // steady-clock epoch (durations, not wall)
+  uint64_t duration_nanos = 0;
+  uint64_t thread_id = 0;
+};
+
+/// Fixed-capacity ring buffer of completed spans; oldest entries are
+/// overwritten. One process-wide instance (Global) so spans from every
+/// layer interleave into a single timeline.
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static TraceSink& Global();
+
+  explicit TraceSink(size_t capacity = kDefaultCapacity);
+
+  void Record(const TraceEvent& event);
+
+  /// Completed spans, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans recorded since construction/Clear (>= ring occupancy).
+  uint64_t total_recorded() const;
+
+  void Clear();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_ = 0;  // total spans recorded; next slot = next_ % capacity_
+};
+
+/// RAII span. Records into TraceSink::Global() when tracing is enabled and
+/// into `histogram` (if given) unconditionally.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* histogram = nullptr)
+      : name_(name), histogram_(histogram), start_(NowNanos()) {}
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace aion::obs
+
+#define AION_OBS_CONCAT_INNER_(a, b) a##b
+#define AION_OBS_CONCAT_(a, b) AION_OBS_CONCAT_INNER_(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. Optional second
+/// argument: an obs::Histogram* that also receives the duration.
+#define AION_TRACE_SPAN(...) \
+  ::aion::obs::TraceSpan AION_OBS_CONCAT_(aion_trace_span_, \
+                                          __LINE__)(__VA_ARGS__)
+
+#endif  // AION_OBS_TRACE_H_

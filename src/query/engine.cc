@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/bitemporal.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "query/procedures.h"
 
@@ -18,6 +19,20 @@ using util::StatusOr;
 
 QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
     : db_(db), aion_(aion) {
+  if (aion_ != nullptr) {
+    metrics_ = aion_->metrics();
+  } else {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  metric_statements_ = metrics_->counter("query.statements");
+  metric_failures_ = metrics_->counter("query.failures");
+  metric_store_lineage_ = metrics_->counter("query.store.lineage");
+  metric_store_timestore_ = metrics_->counter("query.store.timestore");
+  metric_store_latest_ = metrics_->counter("query.store.latest");
+  metric_parse_ = metrics_->histogram("query.parse_nanos");
+  metric_plan_ = metrics_->histogram("query.plan_nanos");
+  metric_execute_ = metrics_->histogram("query.execute_nanos");
   RegisterBuiltinProcedures();
 }
 
@@ -30,11 +45,28 @@ void QueryEngine::RegisterBuiltinProcedures() {
 }
 
 StatusOr<QueryResult> QueryEngine::Execute(const std::string& text) {
-  AION_ASSIGN_OR_RETURN(Statement stmt, Parse(text));
-  return Execute(stmt);
+  const uint64_t parse_start = obs::NowNanos();
+  StatusOr<Statement> stmt = Parse(text);
+  metric_parse_->Record(obs::NowNanos() - parse_start);
+  if (!stmt.ok()) {
+    // Parse failures never reach Execute(stmt); account for them here so
+    // statements == successes + failures holds.
+    metric_statements_->Add();
+    metric_failures_->Add();
+    return stmt.status();
+  }
+  return Execute(*stmt);
 }
 
 StatusOr<QueryResult> QueryEngine::Execute(const Statement& stmt) {
+  AION_TRACE_SPAN("query.execute", metric_execute_);
+  metric_statements_->Add();
+  StatusOr<QueryResult> result = ExecuteDispatch(stmt);
+  if (!result.ok()) metric_failures_->Add();
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteDispatch(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::kMatch:
       return ExecuteMatch(stmt);
@@ -60,8 +92,7 @@ StatusOr<std::shared_ptr<const GraphView>> QueryEngine::ViewAt(
     // Current graph: a cheap CoW publication of the latest replica when
     // Aion is attached, else a clone of the host's graph.
     if (aion_ != nullptr) {
-      return std::static_pointer_cast<const GraphView>(
-          aion_->graph_store().Latest());
+      return std::static_pointer_cast<const GraphView>(aion_->LatestGraph());
     }
     return std::static_pointer_cast<const GraphView>(
         std::shared_ptr<const graph::MemoryGraph>(db_->CloneCurrent()));
@@ -396,13 +427,26 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
   if (stmt.patterns.empty() || stmt.returns.empty()) {
     return Status::InvalidArgument("MATCH requires a pattern and RETURN");
   }
-  const PlanInfo plan = PlanStatement(stmt, aion_);
-  if (plan.access == PlanInfo::Access::kPointHistory && aion_ != nullptr) {
-    return ExecutePointHistory(stmt, plan);
+  PlanInfo plan;
+  {
+    obs::ScopedLatency plan_latency(metric_plan_);
+    plan = PlanStatement(stmt, aion_);
   }
-  if (plan.access == PlanInfo::Access::kPointLookup && aion_ != nullptr &&
-      stmt.time.kind == TimeSpec::Kind::kAsOf) {
-    // LineageStore point read without snapshot materialization.
+  const bool point_plan =
+      aion_ != nullptr &&
+      (plan.access == PlanInfo::Access::kPointHistory ||
+       (plan.access == PlanInfo::Access::kPointLookup &&
+        stmt.time.kind == TimeSpec::Kind::kAsOf));
+  if (point_plan) {
+    // The point plan routes through AionStore::GetNode: LineageStore when
+    // the cascade can serve the window, TimeStore fallback otherwise.
+    graph::Timestamp start, end;
+    stmt.time.ToWindow(&start, &end);
+    if (aion_->LineageCanServe(std::max(start, end))) {
+      metric_store_lineage_->Add();
+    } else {
+      metric_store_timestore_->Add();
+    }
     return ExecutePointHistory(stmt, plan);
   }
   // Snapshot (or latest) execution.
@@ -412,6 +456,11 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
     return Status::Unimplemented(
         "range queries over patterns: use AS OF per instant or the "
         "temporal procedures (aion.*)");
+  }
+  if (stmt.time.kind == TimeSpec::Kind::kLatest) {
+    metric_store_latest_->Add();
+  } else {
+    metric_store_timestore_->Add();  // AS OF snapshot = TimeStore replay
   }
   AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
                         MatchPatterns(stmt, *view));

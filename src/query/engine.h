@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/aion.h"
+#include "obs/metrics.h"
 #include "query/ast.h"
 #include "query/planner.h"
 #include "query/value.h"
@@ -46,11 +47,17 @@ class QueryEngine {
   txn::GraphDatabase* db() { return db_; }
   core::AionStore* aion() { return aion_; }
 
+  /// The registry the engine records its "query.*" instruments into:
+  /// Aion's own registry when attached (one coherent per-store breakdown),
+  /// else a private one. Valid for the engine's lifetime.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   struct Binding {
     std::map<std::string, Value> values;
   };
 
+  util::StatusOr<QueryResult> ExecuteDispatch(const Statement& stmt);
   util::StatusOr<QueryResult> ExecuteMatch(const Statement& stmt);
   util::StatusOr<QueryResult> ExecuteCreate(const Statement& stmt);
   util::StatusOr<QueryResult> ExecuteMatchSet(const Statement& stmt);
@@ -81,6 +88,18 @@ class QueryEngine {
   txn::GraphDatabase* db_;
   core::AionStore* aion_;
   std::map<std::string, ProcedureFn> procedures_;
+
+  // Observability: per-stage timings plus one StoreChoice outcome per MATCH.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // when aion_ == nullptr
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* metric_statements_ = nullptr;
+  obs::Counter* metric_failures_ = nullptr;
+  obs::Counter* metric_store_lineage_ = nullptr;
+  obs::Counter* metric_store_timestore_ = nullptr;
+  obs::Counter* metric_store_latest_ = nullptr;
+  obs::Histogram* metric_parse_ = nullptr;
+  obs::Histogram* metric_plan_ = nullptr;
+  obs::Histogram* metric_execute_ = nullptr;
 };
 
 }  // namespace aion::query

@@ -5,6 +5,7 @@
 
 #include "algo/incremental.h"
 #include "algo/temporal_paths.h"
+#include "obs/trace.h"
 #include "query/engine.h"
 
 namespace aion::query {
@@ -213,17 +214,18 @@ StatusOr<QueryResult> IncrementalAvg(QueryEngine& engine,
   if (step <= 0) return Status::InvalidArgument("step must be positive");
 
   algo::IncrementalAverage avg(key);
-  // Seed with everything up to `start`.
+  // Seed with everything at ts <= start; each step then advances the state
+  // from "at t" to "at next", i.e. the half-open window [t + 1, next + 1).
   AION_ASSIGN_OR_RETURN(auto seed, engine.aion()->GetDiff(
-                                       0, static_cast<Timestamp>(start)));
+                                       0, static_cast<Timestamp>(start) + 1));
   avg.ApplyDiff(seed);
   QueryResult result;
   result.columns = {"t", "avg", "count"};
   for (int64_t t = start; t < end; t += step) {
     const int64_t next = std::min<int64_t>(t + step, end);
     AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
-                                         static_cast<Timestamp>(t),
-                                         static_cast<Timestamp>(next)));
+                                         static_cast<Timestamp>(t) + 1,
+                                         static_cast<Timestamp>(next) + 1));
     avg.ApplyDiff(diff);
     result.rows.push_back({Value(next), Value(avg.Average()),
                            Value(static_cast<int64_t>(avg.count()))});
@@ -241,15 +243,8 @@ StatusOr<QueryResult> IncrementalBfsProc(QueryEngine& engine,
   AION_ASSIGN_OR_RETURN(int64_t step, IntArg(args, 3));
   if (step <= 0) return Status::InvalidArgument("step must be positive");
 
-  AION_ASSIGN_OR_RETURN(auto graph, engine.aion()->time_store() != nullptr
-                                        ? engine.aion()
-                                              ->time_store()
-                                              ->MaterializeGraphAt(
-                                                  static_cast<Timestamp>(start))
-                                        : util::StatusOr<std::unique_ptr<
-                                              graph::MemoryGraph>>(
-                                              Status::FailedPrecondition(
-                                                  "TimeStore required")));
+  AION_ASSIGN_OR_RETURN(auto graph, engine.aion()->MaterializeGraphAt(
+                                        static_cast<Timestamp>(start)));
   algo::IncrementalBfs bfs(static_cast<graph::NodeId>(source));
   bfs.Recompute(*graph);
   QueryResult result;
@@ -264,9 +259,10 @@ StatusOr<QueryResult> IncrementalBfsProc(QueryEngine& engine,
   result.rows.push_back({Value(start), Value(count_reached())});
   for (int64_t t = start; t < end; t += step) {
     const int64_t next = std::min<int64_t>(t + step, end);
+    // State-at-t -> state-at-next: half-open [t + 1, next + 1).
     AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
-                                         static_cast<Timestamp>(t),
-                                         static_cast<Timestamp>(next)));
+                                         static_cast<Timestamp>(t) + 1,
+                                         static_cast<Timestamp>(next) + 1));
     AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
     bfs.ApplyDiff(*graph, diff);
     result.rows.push_back({Value(next), Value(count_reached())});
@@ -292,12 +288,8 @@ StatusOr<QueryResult> IncrementalPageRankProc(
     pr_options.epsilon = args[3].double_value;
   }
   if (step <= 0) return Status::InvalidArgument("step must be positive");
-  if (engine.aion()->time_store() == nullptr) {
-    return Status::FailedPrecondition("TimeStore required");
-  }
-  AION_ASSIGN_OR_RETURN(auto graph,
-                        engine.aion()->time_store()->MaterializeGraphAt(
-                            static_cast<Timestamp>(start)));
+  AION_ASSIGN_OR_RETURN(auto graph, engine.aion()->MaterializeGraphAt(
+                                        static_cast<Timestamp>(start)));
   algo::IncrementalPageRank pr(pr_options);
   pr.Recompute(*graph);
   QueryResult result;
@@ -308,8 +300,8 @@ StatusOr<QueryResult> IncrementalPageRankProc(
   for (int64_t t = start; t < end; t += step) {
     const int64_t next = std::min<int64_t>(t + step, end);
     AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
-                                         static_cast<Timestamp>(t),
-                                         static_cast<Timestamp>(next)));
+                                         static_cast<Timestamp>(t) + 1,
+                                         static_cast<Timestamp>(next) + 1));
     AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
     pr.ApplyDiff(*graph, diff);
     result.rows.push_back(
@@ -376,6 +368,65 @@ StatusOr<QueryResult> LatestDepartureProc(QueryEngine& engine,
   return result;
 }
 
+// --- observability procedures (DBMS METRICS / DBMS TRACES) ----------------
+
+StatusOr<QueryResult> DbmsMetrics(QueryEngine& engine,
+                                  const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.metrics"));
+  QueryResult result;
+  result.columns = {"name", "kind", "value"};
+  auto add = [&result](const std::string& name, const char* kind,
+                       int64_t value) {
+    result.rows.push_back(
+        {Value(name), Value(std::string(kind)), Value(value)});
+  };
+  obs::MetricsSnapshot snapshot;
+  if (engine.aion() != nullptr) {
+    // Store-level introspection rows first, then every instrument.
+    core::AionStore::Introspection info = engine.aion()->Introspect();
+    add("aion.last_ingested_ts", "gauge",
+        static_cast<int64_t>(info.last_ingested_ts));
+    add("aion.total_bytes", "gauge", static_cast<int64_t>(info.total_bytes));
+    add("aion.latest_ts", "gauge", static_cast<int64_t>(info.latest_ts));
+    add("aion.timestore.enabled", "gauge", info.timestore_enabled ? 1 : 0);
+    add("aion.lineagestore.enabled", "gauge", info.lineage_enabled ? 1 : 0);
+    snapshot = std::move(info.metrics);
+  } else {
+    snapshot = engine.metrics()->Snapshot();  // engine-only registry
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    add(name, "counter", static_cast<int64_t>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    add(name, "gauge", value);
+  }
+  for (const auto& [name, summary] : snapshot.histograms) {
+    add(name + ".count", "histogram", static_cast<int64_t>(summary.count));
+    add(name + ".sum", "histogram", static_cast<int64_t>(summary.sum));
+    add(name + ".p50", "histogram", static_cast<int64_t>(summary.p50));
+    add(name + ".p95", "histogram", static_cast<int64_t>(summary.p95));
+    add(name + ".p99", "histogram", static_cast<int64_t>(summary.p99));
+    add(name + ".max", "histogram", static_cast<int64_t>(summary.max));
+  }
+  return result;
+}
+
+StatusOr<QueryResult> DbmsTraces(QueryEngine& engine,
+                                 const std::vector<Literal>& args) {
+  (void)engine;  // traces are process-wide, not per-store
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.traces"));
+  QueryResult result;
+  result.columns = {"span", "start_nanos", "duration_nanos", "thread"};
+  for (const obs::TraceEvent& event : obs::TraceSink::Global().Snapshot()) {
+    result.rows.push_back(
+        {Value(std::string(event.name)),
+         Value(static_cast<int64_t>(event.start_nanos)),
+         Value(static_cast<int64_t>(event.duration_nanos)),
+         Value(static_cast<int64_t>(event.thread_id))});
+  }
+  return result;
+}
+
 }  // namespace
 
 void RegisterBuiltinAionProcedures(QueryEngine* engine) {
@@ -394,6 +445,8 @@ void RegisterBuiltinAionProcedures(QueryEngine* engine) {
                             EarliestArrivalProc);
   engine->RegisterProcedure("aion.paths.latestDeparture",
                             LatestDepartureProc);
+  engine->RegisterProcedure("dbms.metrics", DbmsMetrics);
+  engine->RegisterProcedure("dbms.traces", DbmsTraces);
 }
 
 }  // namespace aion::query

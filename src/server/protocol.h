@@ -22,6 +22,9 @@ enum class MessageType : uint8_t {
   kSuccess = 3,  // server -> client: end of results (payload: columns)
   kFailure = 4,  // server -> client: error message
   kGoodbye = 5,  // client -> server: close
+  kMetrics = 6,  // client -> server: request a metrics snapshot; the server
+                 // answers with one RECORD holding the registry as a JSON
+                 // string, then SUCCESS with the single column "metrics"
 };
 
 struct Message {

@@ -14,6 +14,16 @@ namespace aion::server {
 using util::Status;
 using util::StatusOr;
 
+BoltLikeServer::BoltLikeServer(query::QueryEngine* engine) : engine_(engine) {
+  obs::MetricsRegistry* metrics = engine_->metrics();
+  metric_connections_ = metrics->counter("server.connections");
+  metric_queries_ = metrics->counter("server.queries");
+  metric_failures_ = metrics->counter("server.failures");
+  metric_metrics_requests_ = metrics->counter("server.metrics_requests");
+  metric_frame_read_ = metrics->histogram("server.frame_read_nanos");
+  metric_handle_ = metrics->histogram("server.handle_nanos");
+}
+
 BoltLikeServer::~BoltLikeServer() { Stop(); }
 
 StatusOr<uint16_t> BoltLikeServer::Start(uint16_t port) {
@@ -80,19 +90,41 @@ void BoltLikeServer::AcceptLoop() {
 }
 
 void BoltLikeServer::ServeConnection(int fd) {
+  metric_connections_->Add();
   while (running_.load()) {
-    auto message = ReadMessage(fd);
+    auto message = [&] {
+      // Wait-for-frame + frame decode; long values here mean idle clients
+      // or slow framing, not slow queries.
+      obs::ScopedLatency frame_latency(metric_frame_read_);
+      return ReadMessage(fd);
+    }();
     if (!message.ok()) break;  // peer gone
     if (message->type == MessageType::kGoodbye) break;
+    if (message->type == MessageType::kMetrics) {
+      metric_metrics_requests_->Add();
+      Message record;
+      record.type = MessageType::kRecord;
+      EncodeRow({query::Value(engine_->metrics()->ToJson())},
+                &record.payload);
+      if (!WriteMessage(fd, record).ok()) break;
+      Message success;
+      success.type = MessageType::kSuccess;
+      EncodeColumns({"metrics"}, &success.payload);
+      if (!WriteMessage(fd, success).ok()) break;
+      continue;
+    }
     if (message->type != MessageType::kRun) {
+      metric_failures_->Add();
       Message failure;
       failure.type = MessageType::kFailure;
       failure.payload = "protocol error: expected RUN";
       (void)WriteMessage(fd, failure);
       break;
     }
+    obs::ScopedLatency handle_latency(metric_handle_);
     auto result = engine_->Execute(message->payload);
     if (!result.ok()) {
+      metric_failures_->Add();
       Message failure;
       failure.type = MessageType::kFailure;
       failure.payload = result.status().ToString();
@@ -100,6 +132,7 @@ void BoltLikeServer::ServeConnection(int fd) {
       continue;
     }
     queries_served_.fetch_add(1);
+    metric_queries_->Add();
     bool io_ok = true;
     for (const auto& row : result->rows) {
       Message record;
@@ -170,6 +203,32 @@ StatusOr<query::QueryResult> BoltLikeClient::Run(const std::string& text) {
                               DecodeColumns(message.payload));
         return result;
       }
+      case MessageType::kFailure:
+        return Status::Aborted("server: " + message.payload);
+      default:
+        return Status::Corruption("unexpected message type");
+    }
+  }
+}
+
+StatusOr<std::string> BoltLikeClient::Metrics() {
+  Message request;
+  request.type = MessageType::kMetrics;
+  AION_RETURN_IF_ERROR(WriteMessage(fd_, request));
+  std::string json;
+  for (;;) {
+    AION_ASSIGN_OR_RETURN(Message message, ReadMessage(fd_));
+    switch (message.type) {
+      case MessageType::kRecord: {
+        AION_ASSIGN_OR_RETURN(auto row, DecodeRow(message.payload));
+        if (row.size() != 1 || !row[0].is_string()) {
+          return Status::Corruption("METRICS row must be one string");
+        }
+        json = row[0].AsString();
+        break;
+      }
+      case MessageType::kSuccess:
+        return json;
       case MessageType::kFailure:
         return Status::Aborted("server: " + message.payload);
       default:

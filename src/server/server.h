@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "query/engine.h"
 #include "util/status.h"
 
@@ -21,8 +22,9 @@ class BoltLikeServer {
  public:
   /// `engine` must outlive the server. Query execution is shared-state
   /// thread-safe (reads via internal store latches, writes via commit
-  /// serialization).
-  explicit BoltLikeServer(query::QueryEngine* engine) : engine_(engine) {}
+  /// serialization). The server records its "server.*" instruments into the
+  /// engine's registry, so a METRICS request reports every layer at once.
+  explicit BoltLikeServer(query::QueryEngine* engine);
   ~BoltLikeServer();
 
   BoltLikeServer(const BoltLikeServer&) = delete;
@@ -50,6 +52,14 @@ class BoltLikeServer {
   std::vector<std::thread> connection_threads_;
   std::mutex threads_mu_;
   std::atomic<uint64_t> queries_served_{0};
+
+  // Observability (resolved once from the engine's registry).
+  obs::Counter* metric_connections_ = nullptr;
+  obs::Counter* metric_queries_ = nullptr;
+  obs::Counter* metric_failures_ = nullptr;
+  obs::Counter* metric_metrics_requests_ = nullptr;
+  obs::Histogram* metric_frame_read_ = nullptr;  // wait + frame decode
+  obs::Histogram* metric_handle_ = nullptr;      // execute + result framing
 };
 
 /// Client side: connects and runs queries synchronously.
@@ -65,6 +75,9 @@ class BoltLikeClient {
 
   /// Sends RUN and collects RECORDs until SUCCESS/FAILURE.
   util::StatusOr<query::QueryResult> Run(const std::string& text);
+
+  /// Sends METRICS and returns the server's metrics snapshot as JSON.
+  util::StatusOr<std::string> Metrics();
 
  private:
   explicit BoltLikeClient(int fd) : fd_(fd) {}

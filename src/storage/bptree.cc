@@ -76,7 +76,9 @@ BpTree::~BpTree() { (void)Flush(); }
 
 StatusOr<std::unique_ptr<BpTree>> BpTree::Open(const std::string& path,
                                                const Options& options) {
-  AION_ASSIGN_OR_RETURN(auto cache, PageCache::Open(path, options.cache_pages));
+  AION_ASSIGN_OR_RETURN(
+      auto cache,
+      PageCache::Open(path, options.cache_pages, options.metrics));
   std::unique_ptr<BpTree> tree(new BpTree(std::move(cache)));
   if (tree->cache_->num_pages() == 0) {
     AION_RETURN_IF_ERROR(tree->InitNew());

@@ -39,6 +39,9 @@ class BpTree {
   struct Options {
     /// Resident frames for this tree's page cache. 8 KiB each.
     size_t cache_pages = 1024;
+    /// Optional registry receiving the page cache's hit/miss/eviction
+    /// counters (see PageCache::Open).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Largest accepted key + value size; guarantees >= 4 entries per page.

@@ -77,12 +77,19 @@ PageCache::~PageCache() {
   (void)FlushAll();
 }
 
-StatusOr<std::unique_ptr<PageCache>> PageCache::Open(const std::string& path,
-                                                     size_t capacity_pages) {
+StatusOr<std::unique_ptr<PageCache>> PageCache::Open(
+    const std::string& path, size_t capacity_pages,
+    obs::MetricsRegistry* metrics) {
   if (capacity_pages < 8) capacity_pages = 8;
   AION_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
-  return std::unique_ptr<PageCache>(
+  std::unique_ptr<PageCache> cache(
       new PageCache(std::move(file), capacity_pages));
+  if (metrics != nullptr) {
+    cache->metric_hits_ = metrics->counter("pagecache.hits");
+    cache->metric_misses_ = metrics->counter("pagecache.misses");
+    cache->metric_evictions_ = metrics->counter("pagecache.evictions");
+  }
+  return cache;
 }
 
 StatusOr<PageHandle> PageCache::Fetch(PageId id) {
@@ -135,11 +142,13 @@ StatusOr<size_t> PageCache::GetFrameFor(PageId id, bool read_from_disk) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    if (metric_hits_ != nullptr) metric_hits_->Add();
     Touch(it->second);
     ++frames_[it->second].pin_count;
     return it->second;
   }
   ++misses_;
+  if (metric_misses_ != nullptr) metric_misses_->Add();
 
   // Find a frame: a recycled free frame, a brand-new frame if under
   // capacity, else evict the LRU victim.
@@ -189,6 +198,7 @@ Status PageCache::EvictOne() {
       frame.page_id = kInvalidPageId;
       free_frames_.push_back(frame_index);
       ++evictions_;
+      if (metric_evictions_ != nullptr) metric_evictions_->Add();
       return Status::OK();
     }
   }

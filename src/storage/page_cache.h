@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/file.h"
 #include "util/status.h"
 
@@ -60,9 +61,13 @@ class PageHandle {
 class PageCache {
  public:
   /// Opens (creating if missing) the file at `path` with room for
-  /// `capacity_pages` resident frames.
-  static StatusOr<std::unique_ptr<PageCache>> Open(const std::string& path,
-                                                   size_t capacity_pages);
+  /// `capacity_pages` resident frames. When `metrics` is given, hit/miss/
+  /// eviction counts are additionally aggregated into the shared
+  /// "pagecache.{hits,misses,evictions}" counters (summed across every
+  /// cache attached to the same registry).
+  static StatusOr<std::unique_ptr<PageCache>> Open(
+      const std::string& path, size_t capacity_pages,
+      obs::MetricsRegistry* metrics = nullptr);
 
   ~PageCache();
 
@@ -127,6 +132,10 @@ class PageCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  // Registry-shared counters (nullptr when metrics are not wired up).
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
 };
 
 }  // namespace aion::storage

@@ -1,10 +1,14 @@
 // Simple count/frequency histograms. GraphStatistics (cardinality
 // estimation, Sec 5.1) tracks label/type frequencies with CountTable;
-// benchmarks report latency distributions with LatencyHistogram.
+// benchmarks report latency distributions with LatencyHistogram; the
+// observability layer (src/obs) aggregates per-thread latencies with
+// AtomicLatencyHistogram.
 #ifndef AION_UTIL_HISTOGRAM_H_
 #define AION_UTIL_HISTOGRAM_H_
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -83,6 +87,95 @@ class LatencyHistogram {
 
  private:
   std::vector<double> samples_;
+};
+
+/// Summary of an AtomicLatencyHistogram at one point in time. Percentiles
+/// are bucket upper bounds (exponential buckets: at most 2x off).
+struct LatencySummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // same unit as the recorded samples (nanoseconds)
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Thread-safe latency histogram with power-of-two buckets: Record() is a
+/// handful of relaxed atomic increments, so concurrent writers (query
+/// threads, the background cascade, server connections) aggregate into one
+/// instance without locks. Unlike LatencyHistogram it keeps no raw samples,
+/// so memory is constant and percentiles are approximate (<= 2x).
+class AtomicLatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;  // bucket i covers [2^(i-1), 2^i)
+
+  void Record(uint64_t sample) {
+    buckets_[BucketFor(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < sample &&
+           !max_.compare_exchange_weak(prev, sample,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  LatencySummary Summarize() const {
+    LatencySummary s;
+    std::array<uint64_t, kBuckets> counts;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.count += counts[i];
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.p50 = PercentileFrom(counts, s.count, 0.50);
+    s.p95 = PercentileFrom(counts, s.count, 0.95);
+    s.p99 = PercentileFrom(counts, s.count, 0.99);
+    return s;
+  }
+
+  void Clear() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t BucketFor(uint64_t sample) {
+    if (sample == 0) return 0;
+    const size_t bit = 64 - static_cast<size_t>(__builtin_clzll(sample));
+    return std::min(bit, kBuckets - 1);
+  }
+
+  static uint64_t PercentileFrom(const std::array<uint64_t, kBuckets>& counts,
+                                 uint64_t total, double p) {
+    if (total == 0) return 0;
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(p * total));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        return i >= 63 ? ~uint64_t{0} : (uint64_t{1} << i);
+      }
+    }
+    return ~uint64_t{0};
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace aion::util

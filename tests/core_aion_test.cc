@@ -117,9 +117,43 @@ TEST_F(AionStoreTest, GetDiffSemantics) {
   ASSERT_TRUE(aion->Ingest(1, {GraphUpdate::AddNode(0)}).ok());
   ASSERT_TRUE(aion->Ingest(2, {GraphUpdate::AddNode(1)}).ok());
   ASSERT_TRUE(aion->Ingest(3, {GraphUpdate::AddNode(2)}).ok());
+  // Half-open [1, 3): start inclusive, end exclusive.
   auto diff = aion->GetDiff(1, 3);
   ASSERT_TRUE(diff.ok());
-  EXPECT_EQ(diff->size(), 2u);
+  ASSERT_EQ(diff->size(), 2u);
+  EXPECT_EQ((*diff)[0].ts, 1u);
+  EXPECT_EQ((*diff)[1].ts, 2u);
+  // Boundary pins: [3, 4) holds exactly the ts-3 update; [t, t) is empty.
+  auto last = aion->GetDiff(3, 4);
+  ASSERT_TRUE(last.ok());
+  ASSERT_EQ(last->size(), 1u);
+  EXPECT_EQ(last->front().ts, 3u);
+  EXPECT_TRUE(aion->GetDiff(3, 3)->empty());
+}
+
+TEST_F(AionStoreTest, OpenValidatesOptions) {
+  {
+    AionStore::Options options;  // dir left empty
+    auto aion = AionStore::Open(options);
+    EXPECT_TRUE(aion.status().IsInvalidArgument())
+        << aion.status().ToString();
+  }
+  {
+    AionStore::Options options;
+    options.dir = dir_ + "/bad_fraction";
+    options.lineage_fraction_threshold = 0.0;
+    EXPECT_TRUE(AionStore::Open(options).status().IsInvalidArgument());
+    options.lineage_fraction_threshold = 1.5;
+    EXPECT_TRUE(AionStore::Open(options).status().IsInvalidArgument());
+    options.lineage_fraction_threshold = -0.3;
+    EXPECT_TRUE(AionStore::Open(options).status().IsInvalidArgument());
+  }
+  {
+    AionStore::Options options;
+    options.dir = dir_ + "/bad_cache";
+    options.index_cache_pages = 0;
+    EXPECT_TRUE(AionStore::Open(options).status().IsInvalidArgument());
+  }
 }
 
 TEST_F(AionStoreTest, ExpandChoosesLineageForSmallFractions) {
@@ -168,7 +202,8 @@ TEST_F(AionStoreTest, ExpandViaTimeStoreMatchesLineage) {
   ASSERT_TRUE(aion->Ingest(2, updates).ok());
   aion->DrainBackground();
 
-  auto via_lineage = aion->lineage_store()->Expand(0, Direction::kBoth, 3, 2);
+  auto via_lineage = aion->ExpandUsing(AionStore::StoreChoice::kLineageStore,
+                                       0, Direction::kBoth, 3, 2);
   ASSERT_TRUE(via_lineage.ok());
   // Force the TimeStore path through the facade internals by comparing
   // against the snapshot-based traversal.
@@ -292,7 +327,7 @@ TEST_F(AionStoreTest, SnapshotPolicyTriggersBackgroundSnapshots) {
     ASSERT_TRUE(aion->Ingest(ts, {GraphUpdate::AddNode(ts)}).ok());
   }
   aion->DrainBackground();
-  EXPECT_GT(aion->time_store()->SnapshotBytes(), 0u);
+  EXPECT_GT(aion->Introspect().timestore_snapshot_bytes, 0u);
 }
 
 TEST_F(AionStoreTest, RecoveryFromHostWal) {
@@ -390,8 +425,98 @@ TEST_F(AionStoreTest, StorageAccounting) {
   }
   ASSERT_TRUE(aion->Flush().ok());
   EXPECT_GT(aion->SizeBytes(), 0u);
-  EXPECT_GT(aion->time_store()->LogBytes(), 0u);
-  EXPECT_GT(aion->lineage_store()->SizeBytes(), 0u);
+  const AionStore::Introspection info = aion->Introspect();
+  EXPECT_GT(info.timestore_log_bytes, 0u);
+  EXPECT_GT(info.lineage_size_bytes, 0u);
+}
+
+TEST_F(AionStoreTest, IntrospectReportsStoreState) {
+  AionStore::Options options;
+  options.lineage_mode = AionStore::LineageMode::kSync;
+  auto aion = OpenAion(options);
+  ASSERT_TRUE(aion->Ingest(1, {GraphUpdate::AddNode(0)}).ok());
+  ASSERT_TRUE(aion->Ingest(2, {GraphUpdate::AddNode(1)}).ok());
+  const AionStore::Introspection info = aion->Introspect();
+  EXPECT_EQ(info.last_ingested_ts, 2u);
+  EXPECT_TRUE(info.timestore_enabled);
+  EXPECT_EQ(info.timestore_last_ts, 2u);
+  EXPECT_EQ(info.timestore_num_updates, 2u);
+  EXPECT_TRUE(info.lineage_enabled);
+  EXPECT_EQ(info.lineage_applied_ts, 2u);
+  EXPECT_EQ(info.latest_ts, 2u);
+  // The embedded metrics snapshot agrees with the store state.
+  EXPECT_EQ(info.metrics.counter("ingest.batches"), 2u);
+  EXPECT_EQ(info.metrics.counter("ingest.updates"), 2u);
+  EXPECT_EQ(info.metrics.gauge("ingest.last_ts"), 2);
+  EXPECT_EQ(info.metrics.gauge("cascade.applied_ts"), 2);
+}
+
+TEST_F(AionStoreTest, MetricsInternallyConsistent) {
+  AionStore::Options options;
+  options.lineage_mode = AionStore::LineageMode::kSync;
+  auto aion = OpenAion(options);
+  for (Timestamp ts = 1; ts <= 20; ++ts) {
+    ASSERT_TRUE(aion->Ingest(ts, {GraphUpdate::AddNode(ts)}).ok());
+  }
+  // Exercise the snapshot path a few times (some hits, some misses).
+  for (Timestamp ts : {5u, 5u, 10u, 10u, 20u}) {
+    ASSERT_TRUE(aion->GetGraphAt(ts).ok());
+  }
+  const obs::MetricsSnapshot snap = aion->metrics()->Snapshot();
+  // Cascade watermark never runs ahead of ingestion.
+  EXPECT_LE(snap.gauge("cascade.applied_ts"), snap.gauge("ingest.last_ts"));
+  EXPECT_EQ(static_cast<Timestamp>(snap.gauge("ingest.last_ts")),
+            aion->last_ingested_ts());
+  // Every GraphStore request is classified as exactly one of hit/miss.
+  EXPECT_EQ(snap.counter("graphstore.requests"),
+            snap.counter("graphstore.hits") +
+                snap.counter("graphstore.misses"));
+  EXPECT_GT(snap.counter("graphstore.requests"), 0u);
+  // Sync mode never falls back to the TimeStore.
+  EXPECT_EQ(snap.counter("fallback.timestore"), 0u);
+  EXPECT_EQ(snap.counter("ingest.batches"), 20u);
+}
+
+TEST_F(AionStoreTest, AsyncLaggingQueryFallsBackAndCounts) {
+  // Build a store whose TimeStore holds history the LineageStore has never
+  // applied: write the TimeStore directly, then open an async AionStore on
+  // top. The fresh cascade watermark (0) lags the recovered log (2), so
+  // point queries must route to the TimeStore — and say so in the metrics.
+  const std::string dir = dir_ + "/fallback";
+  ASSERT_TRUE(storage::CreateDirIfMissing(dir).ok());
+  {
+    GraphStore scratch(size_t{1} << 26);
+    TimeStore::Options ts_options;
+    ts_options.dir = dir + "/timestore";
+    auto ts = TimeStore::Open(ts_options, &scratch);
+    ASSERT_TRUE(ts.ok());
+    bool due = false;
+    GraphUpdate add = GraphUpdate::AddNode(0, {"A"});
+    add.ts = 1;
+    ASSERT_TRUE((*ts)->Append(1, {add}, &due).ok());
+    GraphUpdate set =
+        GraphUpdate::SetNodeProperty(0, "k", graph::PropertyValue(7));
+    set.ts = 2;
+    ASSERT_TRUE((*ts)->Append(2, {set}, &due).ok());
+    ASSERT_TRUE((*ts)->Flush().ok());
+  }
+  AionStore::Options options;
+  options.dir = dir;
+  options.lineage_mode = AionStore::LineageMode::kAsync;
+  auto aion = AionStore::Open(options);
+  ASSERT_TRUE(aion.ok()) << aion.status().ToString();
+  ASSERT_EQ((*aion)->last_ingested_ts(), 2u);
+  ASSERT_FALSE((*aion)->LineageCanServe(2));
+  EXPECT_EQ((*aion)->metrics()->Snapshot().counter("fallback.timestore"),
+            0u);
+  // The query is answered correctly despite the lagging cascade...
+  auto node = (*aion)->GetNode(0, 2, 2);
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+  ASSERT_EQ(node->size(), 1u);
+  EXPECT_EQ((*node)[0].entity.props.Get("k")->AsInt(), 7);
+  // ...and the fallback is recorded.
+  EXPECT_EQ((*aion)->metrics()->Snapshot().counter("fallback.timestore"),
+            1u);
 }
 
 }  // namespace
@@ -438,8 +563,9 @@ TEST_F(AionStoreTest, SnapshotPolicyWritesBoundedSnapshots) {
   aion->DrainBackground();
   // With the single-pending guard, ~100/10 snapshots — not one per commit.
   // Each snapshot of this graph is < 3 KB; 10x that is a safe ceiling.
-  EXPECT_GT(aion->time_store()->SnapshotBytes(), 0u);
-  EXPECT_LT(aion->time_store()->SnapshotBytes(), 60u * 1024u);
+  const AionStore::Introspection info = aion->Introspect();
+  EXPECT_GT(info.timestore_snapshot_bytes, 0u);
+  EXPECT_LT(info.timestore_snapshot_bytes, 60u * 1024u);
 }
 
 }  // namespace

@@ -50,20 +50,59 @@ class TimeStoreTest : public ::testing::Test {
   std::unique_ptr<GraphStore> graph_store_;
 };
 
-TEST_F(TimeStoreTest, GetDiffReturnsHalfOpenExclusiveInclusive) {
+TEST_F(TimeStoreTest, GetDiffReturnsHalfOpenInclusiveExclusive) {
   auto store = OpenStore();
   IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
   IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
   IngestBatch(store.get(), 3, {GraphUpdate::AddNode(2)});
-  auto diff = store->GetDiff(1, 3);  // (1, 3]: ts 2 and 3
+  auto diff = store->GetDiff(1, 3);  // [1, 3): ts 1 and 2
   ASSERT_TRUE(diff.ok());
   ASSERT_EQ(diff->size(), 2u);
-  EXPECT_EQ((*diff)[0].ts, 2u);
-  EXPECT_EQ((*diff)[1].ts, 3u);
+  EXPECT_EQ((*diff)[0].ts, 1u);
+  EXPECT_EQ((*diff)[1].ts, 2u);
   // Empty and full ranges.
   EXPECT_TRUE(store->GetDiff(3, 3)->empty());
   EXPECT_EQ(store->GetDiff(0, 100)->size(), 3u);
   EXPECT_TRUE(store->GetDiff(5, 2)->empty());
+}
+
+TEST_F(TimeStoreTest, GetDiffBoundaryTimestamps) {
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+  IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+  IngestBatch(store.get(), 3, {GraphUpdate::AddNode(2)});
+  // start is inclusive: an update exactly at `start` is returned.
+  auto at_start = store->GetDiff(2, 100);
+  ASSERT_TRUE(at_start.ok());
+  ASSERT_EQ(at_start->size(), 2u);
+  EXPECT_EQ((*at_start)[0].ts, 2u);
+  // end is exclusive: an update exactly at `end` is not.
+  auto before_end = store->GetDiff(0, 3);
+  ASSERT_TRUE(before_end.ok());
+  ASSERT_EQ(before_end->size(), 2u);
+  EXPECT_EQ(before_end->back().ts, 2u);
+  // A width-1 window [t, t+1) isolates a single timestamp.
+  auto single = store->GetDiff(2, 3);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single->size(), 1u);
+  EXPECT_EQ(single->front().ts, 2u);
+}
+
+TEST_F(TimeStoreTest, ReplayRangeIsExclusiveInclusive) {
+  // ReplayRange(base, t) is the snapshot-replay primitive: everything
+  // strictly after `base` up to and including `t` — the documented
+  // exception to the half-open convention.
+  auto store = OpenStore();
+  IngestBatch(store.get(), 1, {GraphUpdate::AddNode(0)});
+  IngestBatch(store.get(), 2, {GraphUpdate::AddNode(1)});
+  IngestBatch(store.get(), 3, {GraphUpdate::AddNode(2)});
+  auto replay = store->ReplayRange(1, 3);  // (1, 3]: ts 2 and 3
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->size(), 2u);
+  EXPECT_EQ((*replay)[0].ts, 2u);
+  EXPECT_EQ((*replay)[1].ts, 3u);
+  EXPECT_TRUE(store->ReplayRange(3, 3)->empty());
+  EXPECT_EQ(store->ReplayRange(0, 3)->size(), 3u);
 }
 
 TEST_F(TimeStoreTest, MultipleUpdatesPerTransaction) {
@@ -71,7 +110,7 @@ TEST_F(TimeStoreTest, MultipleUpdatesPerTransaction) {
   IngestBatch(store.get(), 1,
               {GraphUpdate::AddNode(0), GraphUpdate::AddNode(1),
                GraphUpdate::AddRelationship(0, 0, 1, "R")});
-  auto diff = store->GetDiff(0, 1);
+  auto diff = store->GetDiff(1, 2);
   ASSERT_TRUE(diff.ok());
   EXPECT_EQ(diff->size(), 3u);
   EXPECT_EQ(store->num_updates(), 3u);

@@ -126,9 +126,12 @@ TEST_F(FailureInjectionTest, CrashBeforeLineageFlushRecoversViaFallback) {
                       .ok());
     }
     (*aion)->DrainBackground();
-    // Crash: TimeStore flushed, LineageStore meta NOT flushed (no Flush()).
-    ASSERT_TRUE((*aion)->time_store()->Flush().ok());
+    ASSERT_TRUE((*aion)->Flush().ok());
   }
+  // Crash: TimeStore persisted, but the LineageStore watermark meta was
+  // lost before it hit disk.
+  ASSERT_TRUE(storage::RemoveFileIfExists(options.dir + "/lineagestore/meta")
+                  .ok());
   auto aion = core::AionStore::Open(options);
   ASSERT_TRUE(aion.ok());
   // LineageStore watermark is behind; the store falls back to TimeStore.
@@ -168,7 +171,7 @@ TEST_F(FailureInjectionTest, SnapshotFileCorruptionSurfaces) {
     }
     (*aion)->DrainBackground();
     ASSERT_TRUE((*aion)->Flush().ok());
-    ASSERT_GT((*aion)->time_store()->SnapshotBytes(), 0u);
+    ASSERT_GT((*aion)->Introspect().timestore_snapshot_bytes, 0u);
   }
   // Corrupt every snapshot file's header region.
   for (int i = 0; i < 8; ++i) {

@@ -161,7 +161,8 @@ TEST_P(IntegrationTest, AionAgreesWithTemporalReferenceEverywhere) {
   for (int check = 0; check < 10; ++check) {
     const Timestamp t = 1 + rng.Uniform(last);
     const NodeId n = nodes[rng.Uniform(nodes.size())];
-    auto got = aion_->lineage_store()->Expand(n, Direction::kOutgoing, 2, t);
+    auto got = aion_->ExpandUsing(core::AionStore::StoreChoice::kLineageStore,
+                                  n, Direction::kOutgoing, 2, t);
     ASSERT_TRUE(got.ok());
     // Reference: 1-hop and 2-hop sets via the snapshot.
     auto snapshot = reference.SnapshotAt(t);
@@ -180,7 +181,7 @@ TEST_P(IntegrationTest, AionAgreesWithTemporalReferenceEverywhere) {
 
   // --- Diff replay reconstructs the final graph ----------------------------
   {
-    auto diff = aion_->GetDiff(0, last);
+    auto diff = aion_->GetDiff(0, kInfiniteTime);
     ASSERT_TRUE(diff.ok());
     graph::MemoryGraph replayed;
     ASSERT_TRUE(replayed.ApplyAll(*diff).ok());
@@ -263,8 +264,9 @@ TEST(ConcurrencyStressTest, ReadsRaceBackgroundCascade) {
         const Timestamp t = 1 + rng.Uniform(2000);
         auto node = (*aion)->GetNode(n, t, t);
         ASSERT_TRUE(node.ok()) << node.status().ToString();
-        auto nbrs = (*aion)->lineage_store()->GetLiveNeighbours(
-            n, graph::Direction::kBoth, t);
+        auto nbrs = (*aion)->ExpandUsing(
+            core::AionStore::StoreChoice::kLineageStore, n,
+            graph::Direction::kBoth, 1, t);
         ASSERT_TRUE(nbrs.ok()) << nbrs.status().ToString();
         reads.fetch_add(1);
       }

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace aion::obs {
+namespace {
+
+TEST(MetricsRegistryTest, InstrumentsAreNamedAndStable) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("a.count");
+  EXPECT_EQ(c, registry.counter("a.count"));  // same name, same instrument
+  EXPECT_NE(c, registry.counter("b.count"));
+  c->Add();
+  c->Add(4);
+  EXPECT_EQ(c->value(), 5u);
+
+  Gauge* g = registry.gauge("a.gauge");
+  g->Set(-7);
+  EXPECT_EQ(g->value(), -7);
+  g->Add(10);
+  EXPECT_EQ(g->value(), 3);
+
+  Histogram* h = registry.histogram("a.nanos");
+  h->Record(1000);
+  h->Record(3000);
+  EXPECT_EQ(h->count(), 2u);
+}
+
+TEST(MetricsRegistryTest, CountersAggregateAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("hits");
+  Histogram* h = registry.histogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        h->Record(100);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotCopiesEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("c1")->Add(3);
+  registry.gauge("g1")->Set(42);
+  registry.histogram("h1")->Record(5000);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("c1"), 3u);
+  EXPECT_EQ(snap.gauge("g1"), 42);
+  ASSERT_EQ(snap.histograms.count("h1"), 1u);
+  EXPECT_EQ(snap.histograms.at("h1").count, 1u);
+  // Missing names read as zero (no insertion).
+  EXPECT_EQ(snap.counter("nope"), 0u);
+  EXPECT_EQ(snap.gauge("nope"), 0);
+  // The snapshot is a copy: later activity does not retroactively change it.
+  registry.counter("c1")->Add(100);
+  EXPECT_EQ(snap.counter("c1"), 3u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsWellFormedEnough) {
+  MetricsRegistry registry;
+  registry.counter("x.count")->Add(2);
+  registry.gauge("x.gauge")->Set(-1);
+  registry.histogram("x.nanos")->Record(1500);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.gauge\":-1"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"x.nanos\""), std::string::npos);
+  // Balanced braces, no trailing comma before a closing brace.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(ScopedLatencyTest, RecordsOnDestructionAndToleratesNull) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("scoped");
+  {
+    ScopedLatency probe(h);
+  }
+  EXPECT_EQ(h->count(), 1u);
+  {
+    ScopedLatency no_sink(nullptr);  // must not crash
+  }
+}
+
+TEST(TraceSinkTest, RingBufferKeepsNewestSpans) {
+  TraceSink sink(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    TraceEvent e;
+    e.name = "t";
+    e.start_nanos = i;
+    sink.Record(e);
+  }
+  EXPECT_EQ(sink.total_recorded(), 6u);
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // capacity bound
+  // Oldest first: spans 2..5 survive.
+  EXPECT_EQ(events.front().start_nanos, 2u);
+  EXPECT_EQ(events.back().start_nanos, 5u);
+  sink.Clear();
+  EXPECT_TRUE(sink.Snapshot().empty());
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(TraceSinkTest, DisabledSinkDropsSpans) {
+  TraceSink sink(8);
+  sink.set_enabled(false);
+  TraceEvent e;
+  e.name = "dropped";
+  sink.Record(e);
+  EXPECT_TRUE(sink.Snapshot().empty());
+}
+
+TEST(TraceSpanTest, MacroFeedsGlobalSinkAndHistogram) {
+  TraceSink& global = TraceSink::Global();
+  global.Clear();
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("span.nanos");
+  {
+    AION_TRACE_SPAN("test.span", h);
+  }
+  EXPECT_EQ(h->count(), 1u);
+  const std::vector<TraceEvent> events = global.Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_STREQ(events.back().name, "test.span");
+}
+
+}  // namespace
+}  // namespace aion::obs

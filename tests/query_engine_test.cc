@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "storage/file.h"
@@ -303,6 +304,71 @@ TEST_F(QueryEngineTest, RelationshipVariableBindingAndPredicates) {
   EXPECT_EQ(old_rels.rows[0][0].AsInt(), 1999);
   QueryResult all = Run("MATCH (a)-[r:KNOWS]->(b) RETURN r");
   EXPECT_EQ(all.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace aion::query
+namespace aion::query {
+namespace {
+
+TEST_F(QueryEngineTest, DbmsMetricsProcedureIsConsistent) {
+  Run("CREATE (a:Person {name: 'ada', age: 36})");
+  Run("CREATE (b:Person {name: 'bob', age: 17})");
+  Run("MATCH (p:Person) RETURN p.name");  // latest-graph plan
+  Run("USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) RETURN count(*)");  // snapshot
+
+  QueryResult metrics = Run("CALL dbms.metrics()");
+  ASSERT_EQ(metrics.columns,
+            (std::vector<std::string>{"name", "kind", "value"}));
+  std::map<std::string, int64_t> values;
+  for (const auto& row : metrics.rows) {
+    values[row[0].AsString()] = row[2].AsInt();
+  }
+  // Store introspection rows lead the listing.
+  EXPECT_EQ(values["aion.last_ingested_ts"], 2);
+  EXPECT_EQ(values["aion.timestore.enabled"], 1);
+  EXPECT_EQ(values["aion.lineagestore.enabled"], 1);
+  // Every layer reported non-zero activity into the shared registry.
+  EXPECT_EQ(values["ingest.batches"], 2);
+  EXPECT_GE(values["query.statements"], 4);
+  EXPECT_GT(values["timestore.appends"], 0);
+  EXPECT_GT(values["query.execute_nanos.count"], 0);
+  // Internal consistency: cascade watermark never ahead of ingestion, and
+  // every GraphStore request classified as exactly one of hit/miss.
+  EXPECT_LE(values["cascade.applied_ts"], values["ingest.last_ts"]);
+  EXPECT_EQ(values["graphstore.requests"],
+            values["graphstore.hits"] + values["graphstore.misses"]);
+}
+
+TEST_F(QueryEngineTest, EachMatchRecordsExactlyOneStoreOutcome) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  const obs::MetricsSnapshot before = engine_->metrics()->Snapshot();
+  Run("MATCH (p:Person) RETURN p.name");                              // latest
+  Run("USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) RETURN count(*)");   // time
+  Run("USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) WHERE id(n) = 0 "
+      "RETURN n");                                                    // point
+  const obs::MetricsSnapshot after = engine_->metrics()->Snapshot();
+  auto delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  EXPECT_EQ(delta("query.store.latest") + delta("query.store.timestore") +
+                delta("query.store.lineage"),
+            3u);
+  EXPECT_EQ(delta("query.store.latest"), 1u);
+}
+
+TEST_F(QueryEngineTest, DbmsTracesExposesSpans) {
+  Run("CREATE (a:X)");
+  Run("MATCH (n:X) RETURN count(*)");
+  QueryResult traces = Run("CALL dbms.traces()");
+  ASSERT_EQ(traces.columns,
+            (std::vector<std::string>{"span", "start_nanos",
+                                      "duration_nanos", "thread"}));
+  bool saw_query_span = false;
+  for (const auto& row : traces.rows) {
+    if (row[0].AsString() == "query.execute") saw_query_span = true;
+  }
+  EXPECT_TRUE(saw_query_span);
 }
 
 }  // namespace

@@ -160,6 +160,24 @@ TEST_F(ServerTest, ProcedureOverWire) {
   EXPECT_EQ(stats->rows[0][0].AsInt(), 1);
 }
 
+TEST_F(ServerTest, MetricsMessageReturnsRegistryJson) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Run("CREATE (a:Person {name: 'ada'})").ok());
+  ASSERT_TRUE((*client)->Run("MATCH (p:Person) RETURN p.name").ok());
+  auto json = (*client)->Metrics();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  // The snapshot spans every layer sharing the store's registry: server
+  // framing, query engine stages, and the ingest path the CREATE drove.
+  EXPECT_NE(json->find("\"server.queries\""), std::string::npos);
+  EXPECT_NE(json->find("\"query.statements\""), std::string::npos);
+  EXPECT_NE(json->find("\"ingest.batches\""), std::string::npos);
+  EXPECT_NE(json->find("\"server.frame_read_nanos\""), std::string::npos);
+  // And a metrics request keeps the connection usable.
+  EXPECT_TRUE((*client)->Run("MATCH (p:Person) RETURN count(*)").ok());
+  EXPECT_EQ((*client)->Metrics().ok(), true);
+}
+
 TEST_F(ServerTest, StopUnblocksCleanly) {
   auto client = BoltLikeClient::Connect(port_);
   ASSERT_TRUE(client.ok());
