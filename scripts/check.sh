@@ -1,35 +1,65 @@
 #!/usr/bin/env bash
-# Full local gate: RelWithDebInfo build + tests, then an ASan/UBSan build +
-# tests. src/obs compiles with -Werror (see src/obs/CMakeLists.txt), so any
-# warning in the observability layer fails the build here.
+# Local/CI gate over the CMake presets. src/obs compiles with -Werror (see
+# src/obs/CMakeLists.txt), so any warning in the observability layer fails
+# the build here.
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer pass (RelWithDebInfo build + ctest only)
+# Usage: scripts/check.sh [--fast] [--asan] [--tsan] [--preset NAME]
+#   (no flags)      default preset (RelWithDebInfo) + the asan preset
+#   --fast          default preset only (skip every sanitizer pass)
+#   --asan          asan preset only
+#   --tsan          tsan preset only, restricted to the concurrency tests
+#                   (see TSAN_TEST_FILTER below)
+#   --preset NAME   exactly that preset, full test suite
+#
+# Safe to invoke from any working directory; builds always land in the
+# preset's binaryDir under the repo root. Parallelism: ctest honours
+# CTEST_PARALLEL_LEVEL when exported, else the build's -j value is used.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+# The TSan pass gates the threaded paths, not the whole (slower under the
+# sanitizer) suite: thread-pool plumbing, storage-layer concurrency, and
+# the concurrent temporal reads introduced with the sharded GraphStore.
+TSAN_TEST_FILTER='ThreadPool|StorageConcurrency|ConcurrencyStress'
+TSAN_TEST_FILTER+='|ConcurrentReads|ConcurrentInterning|ConcurrentCommits'
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+CTEST_JOBS="${CTEST_PARALLEL_LEVEL:-${JOBS}}"
+export CTEST_PARALLEL_LEVEL="${CTEST_JOBS}"
 
-echo "== RelWithDebInfo build =="
-cmake --preset default
-cmake --build --preset default -j "${JOBS}"
+run_preset() {
+  local preset="$1"
+  shift
+  echo "== ${preset}: configure + build =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  echo "== ${preset}: ctest (-j ${CTEST_JOBS}) =="
+  ctest --preset "${preset}" -j "${CTEST_JOBS}" "$@"
+}
 
-echo "== ctest (RelWithDebInfo) =="
-ctest --preset default -j "${JOBS}"
-
-if [[ "${FAST}" == "1" ]]; then
-  echo "check.sh: fast mode — sanitizer pass skipped."
-  exit 0
-fi
-
-echo "== ASan/UBSan build =="
-cmake --preset asan
-cmake --build --preset asan -j "${JOBS}"
-
-echo "== ctest (ASan/UBSan) =="
-ctest --preset asan -j "${JOBS}"
+case "${1:-}" in
+  --fast)
+    run_preset default
+    echo "check.sh: fast mode — sanitizer passes skipped."
+    ;;
+  --asan)
+    run_preset asan
+    ;;
+  --tsan)
+    run_preset tsan -R "${TSAN_TEST_FILTER}"
+    ;;
+  --preset)
+    [[ -n "${2:-}" ]] || { echo "check.sh: --preset needs a name" >&2; exit 2; }
+    run_preset "$2"
+    ;;
+  "")
+    run_preset default
+    run_preset asan
+    ;;
+  *)
+    echo "check.sh: unknown flag '$1'" >&2
+    exit 2
+    ;;
+esac
 
 echo "check.sh: all green."

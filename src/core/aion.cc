@@ -1,6 +1,7 @@
 #include "core/aion.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "graph/cow_graph.h"
 #include "obs/trace.h"
@@ -31,6 +32,10 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
     return Status::InvalidArgument(
         "AionStore options: index_cache_pages must be positive");
   }
+  if (options.graphstore_shards == 0) {
+    return Status::InvalidArgument(
+        "AionStore options: graphstore_shards must be positive");
+  }
   AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
   std::unique_ptr<AionStore> store(new AionStore());
   store->options_ = options;
@@ -39,13 +44,23 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   AION_ASSIGN_OR_RETURN(store->string_pool_,
                         storage::StringPool::Open(options.dir + "/strings"));
   store->graph_store_ = std::make_unique<GraphStore>(
-      options.graphstore_capacity_bytes, metrics);
+      options.graphstore_capacity_bytes, metrics, options.graphstore_shards);
+  // Shared reader pool: parallel log decode during replay. Sized before the
+  // TimeStore, which keeps a raw pointer. 0 = auto (at least 2 so the
+  // parallel path is exercised even on small machines).
+  size_t read_threads = options.read_threads;
+  if (read_threads == 0) {
+    read_threads = std::clamp<size_t>(std::thread::hardware_concurrency(),
+                                      size_t{2}, size_t{16});
+  }
+  store->read_pool_ = std::make_unique<util::ThreadPool>(read_threads);
   if (options.enable_timestore) {
     TimeStore::Options ts_options;
     ts_options.dir = options.dir + "/timestore";
     ts_options.policy = options.snapshot_policy;
     ts_options.index_cache_pages = options.index_cache_pages;
     ts_options.metrics = metrics;
+    ts_options.replay_pool = store->read_pool_.get();
     AION_ASSIGN_OR_RETURN(store->time_store_,
                           TimeStore::Open(ts_options, store->graph_store_.get()));
   }
@@ -63,9 +78,12 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   store->metric_ingest_updates_ = metrics->counter("ingest.updates");
   store->metric_cascade_batches_ = metrics->counter("cascade.batches_applied");
   store->metric_fallback_ = metrics->counter("fallback.timestore");
+  store->metric_epoch_reads_ = metrics->counter("aion.epoch_reads");
+  store->metric_epoch_refreshes_ = metrics->counter("aion.epoch_refreshes");
   store->gauge_ingest_last_ts_ = metrics->gauge("ingest.last_ts");
   store->gauge_cascade_applied_ = metrics->gauge("cascade.applied_ts");
   store->metric_commit_latency_ = metrics->histogram("ingest.commit_nanos");
+  store->metric_reader_wait_ = metrics->histogram("aion.reader_wait_nanos");
   // A single background worker keeps the cascade ordered (Sec 5.1).
   store->background_ = std::make_unique<util::ThreadPool>(1);
   // Rebuild the latest replica from history after a restart.
@@ -75,7 +93,8 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
         store->time_store_->MaterializeGraphAt(store->time_store_->last_ts()));
     store->graph_store_->SeedLatest(std::move(latest),
                                     store->time_store_->last_ts());
-    store->last_ingested_ts_ = store->time_store_->last_ts();
+    store->last_ingested_ts_.store(store->time_store_->last_ts(),
+                                   std::memory_order_release);
     // Statistics are in-memory only: rebuild them from the recovered state.
     store->graph_store_->WithLatest([&](const graph::MemoryGraph& g) {
       g.ForEachNode([&](const graph::Node& n) {
@@ -91,10 +110,11 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
       });
     });
   } else if (store->lineage_store_ != nullptr) {
-    store->last_ingested_ts_ = store->lineage_store_->applied_ts();
+    store->last_ingested_ts_.store(store->lineage_store_->applied_ts(),
+                                   std::memory_order_release);
   }
   store->gauge_ingest_last_ts_->Set(
-      static_cast<int64_t>(store->last_ingested_ts_));
+      static_cast<int64_t>(store->last_ingested_ts()));
   store->gauge_cascade_applied_->Set(
       static_cast<int64_t>(store->cascade_applied_ts()));
   return store;
@@ -116,44 +136,48 @@ Status AionStore::Ingest(Timestamp ts,
   for (GraphUpdate& u : stamped) u.ts = ts;
 
   // Latest replica + statistics are maintained synchronously (HTAP-style
-  // snapshot replication, Sec 5.1). Endpoint labels enrich pattern stats,
-  // and relationship deletions get their endpoints resolved from the
+  // snapshot replication, Sec 5.1). The whole batch applies inside one
+  // MutateLatest critical section, so a concurrently pinned epoch can never
+  // observe a half-applied transaction. Endpoint labels enrich pattern
+  // stats, and relationship deletions get their endpoints resolved from the
   // pre-delete state so every downstream consumer (TimeStore log diffs,
   // LineageStore neighbourhood indexes, incremental algorithms) sees them.
-  for (GraphUpdate& u : stamped) {
-    if (u.op == UpdateOp::kAddRelationship) {
-      GraphUpdate annotated = u;
-      graph_store_->WithLatest([&](const graph::MemoryGraph& latest) {
-        if (const graph::Node* src = latest.GetNode(u.src); src != nullptr) {
-          annotated.labels = src->labels;
+  AION_RETURN_IF_ERROR(graph_store_->MutateLatest(
+      ts, [&](graph::MemoryGraph* g) -> Status {
+        for (GraphUpdate& u : stamped) {
+          if (u.op == UpdateOp::kAddRelationship) {
+            GraphUpdate annotated = u;
+            if (const graph::Node* src = g->GetNode(u.src); src != nullptr) {
+              annotated.labels = src->labels;
+            }
+            stats_.Observe(annotated);
+          } else if (u.op == UpdateOp::kDeleteRelationship &&
+                     u.src == graph::kInvalidNodeId) {
+            // Resolve endpoints from the pre-delete state so the
+            // LineageStore's neighbourhood indexes can record the removal
+            // without a lookup.
+            if (const graph::Relationship* rel = g->GetRelationship(u.id);
+                rel != nullptr) {
+              u.src = rel->src;
+              u.tgt = rel->tgt;
+            }
+            stats_.Observe(u);
+          } else {
+            stats_.Observe(u);
+          }
+          AION_RETURN_IF_ERROR(g->Apply(u));
         }
-      });
-      stats_.Observe(annotated);
-    } else if (u.op == UpdateOp::kDeleteRelationship &&
-               u.src == graph::kInvalidNodeId) {
-      // Resolve endpoints from the pre-delete state so the LineageStore's
-      // neighbourhood indexes can record the removal without a lookup.
-      graph_store_->WithLatest([&](const graph::MemoryGraph& latest) {
-        if (const graph::Relationship* rel = latest.GetRelationship(u.id);
-            rel != nullptr) {
-          u.src = rel->src;
-          u.tgt = rel->tgt;
-        }
-      });
-      stats_.Observe(u);
-    } else {
-      stats_.Observe(u);
-    }
-    AION_RETURN_IF_ERROR(graph_store_->ApplyToLatest(u));
-  }
+        return Status::OK();
+      }));
   bool snapshot_due = false;
   if (time_store_ != nullptr) {
     AION_RETURN_IF_ERROR(time_store_->Append(ts, stamped, &snapshot_due));
   }
-  last_ingested_ts_ = std::max(last_ingested_ts_, ts);
+  const Timestamp prev = last_ingested_ts_.load(std::memory_order_relaxed);
+  if (ts > prev) last_ingested_ts_.store(ts, std::memory_order_release);
   metric_ingest_batches_->Add();
   metric_ingest_updates_->Add(stamped.size());
-  gauge_ingest_last_ts_->Set(static_cast<int64_t>(last_ingested_ts_));
+  gauge_ingest_last_ts_->Set(static_cast<int64_t>(last_ingested_ts()));
 
   if (lineage_store_ != nullptr) {
     if (options_.lineage_mode == LineageMode::kSync) {
@@ -182,8 +206,8 @@ Status AionStore::Ingest(Timestamp ts,
 
 void AionStore::MaybeSnapshot(bool due) {
   if (!due || time_store_ == nullptr) return;
-  const auto latest = graph_store_->Latest();
-  const Timestamp ts = graph_store_->latest_ts();
+  Timestamp ts = 0;
+  const auto latest = graph_store_->Latest(&ts);
   AION_CHECK_OK(time_store_->WriteSnapshot(ts, *latest));
   graph_store_->Put(ts, latest);
   snapshot_pending_.store(false);
@@ -193,7 +217,7 @@ void AionStore::DrainBackground() { background_->Wait(); }
 
 Status AionStore::RecoverFrom(const txn::GraphDatabase& db) {
   const Timestamp have =
-      time_store_ != nullptr ? time_store_->last_ts() : last_ingested_ts_;
+      time_store_ != nullptr ? time_store_->last_ts() : last_ingested_ts();
   Status status = Status::OK();
   AION_RETURN_IF_ERROR(db.ReplayUpdatesSince(
       have, [this, &status](const txn::TransactionData& data) {
@@ -226,7 +250,7 @@ uint64_t AionStore::SizeBytes() const {
 bool AionStore::LineageCanServe(Timestamp ts) const {
   if (lineage_store_ == nullptr) return false;
   if (options_.lineage_mode == LineageMode::kSync) return true;
-  return lineage_store_->applied_ts() >= std::min(ts, last_ingested_ts_);
+  return lineage_store_->applied_ts() >= std::min(ts, last_ingested_ts());
 }
 
 AionStore::StoreChoice AionStore::ChooseStoreForExpand(uint32_t hops) const {
@@ -373,6 +397,14 @@ StatusOr<std::shared_ptr<const graph::GraphView>> AionStore::GetGraphAt(
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("global queries require the TimeStore");
   }
+  // Epoch fast path: the pin is at least as new as every completed ingest,
+  // so epoch.ts <= t means no committed update existed in (epoch.ts, t]
+  // when the pin was taken — the pinned graph *is* the graph at t.
+  auto epoch = PinEpoch();
+  if (epoch != nullptr && epoch->graph != nullptr && epoch->ts <= t) {
+    if (metric_epoch_reads_ != nullptr) metric_epoch_reads_->Add();
+    return std::shared_ptr<const graph::GraphView>(epoch->graph);
+  }
   return time_store_->GetGraphAt(t);
 }
 
@@ -496,11 +528,40 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> AionStore::MaterializeGraphAt(
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("global queries require the TimeStore");
   }
+  // Same fast path as GetGraphAt, at the cost of one deep copy (callers
+  // asked for an independent graph).
+  auto epoch = PinEpoch();
+  if (epoch != nullptr && epoch->graph != nullptr && epoch->ts <= t) {
+    if (metric_epoch_reads_ != nullptr) metric_epoch_reads_->Add();
+    return epoch->graph->Clone();
+  }
   return time_store_->MaterializeGraphAt(t);
 }
 
 std::shared_ptr<const graph::MemoryGraph> AionStore::LatestGraph() {
   return graph_store_->Latest();
+}
+
+std::shared_ptr<const AionStore::PinnedEpoch> AionStore::PinEpoch() {
+  obs::ScopedLatency wait(metric_reader_wait_);
+  const Timestamp now_ts = last_ingested_ts_.load(std::memory_order_acquire);
+  {
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    if (epoch_ != nullptr && epoch_->ts >= now_ts) return epoch_;
+  }
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  if (epoch_ == nullptr || epoch_->ts < now_ts) {
+    // Double-checked: the first writer through refreshes, the rest reuse.
+    // Latest() observes at least every ingest that finished before this
+    // call, so the refreshed epoch satisfies epoch.ts >= now_ts.
+    auto fresh = std::make_shared<PinnedEpoch>();
+    Timestamp ts = 0;
+    fresh->graph = graph_store_->Latest(&ts);
+    fresh->ts = ts;
+    epoch_ = std::move(fresh);
+    if (metric_epoch_refreshes_ != nullptr) metric_epoch_refreshes_->Add();
+  }
+  return epoch_;
 }
 
 // ---------------------------------------------------------------------------
@@ -509,7 +570,7 @@ std::shared_ptr<const graph::MemoryGraph> AionStore::LatestGraph() {
 
 AionStore::Introspection AionStore::Introspect() const {
   Introspection info;
-  info.last_ingested_ts = last_ingested_ts_;
+  info.last_ingested_ts = last_ingested_ts();
   info.total_bytes = SizeBytes();
   info.latest_ts = graph_store_->latest_ts();
   info.graphstore_cached_snapshots = graph_store_->cached_snapshots();

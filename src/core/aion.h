@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,12 @@ class AionStore : public txn::TransactionEventListener {
     /// this threshold (Sec 6.3 fixes it at 30%).
     double lineage_fraction_threshold = 0.3;
     size_t index_cache_pages = 512;
+    /// Snapshot-cache shards in the GraphStore (per-shard shared_mutex;
+    /// concurrent GetGraphAt calls on different snapshots never contend).
+    size_t graphstore_shards = GraphStore::kDefaultShards;
+    /// Worker threads of the shared read pool (parallel replay decode).
+    /// 0 = auto: hardware_concurrency clamped to [2, 16].
+    size_t read_threads = 0;
   };
 
   static util::StatusOr<std::unique_ptr<AionStore>> Open(
@@ -180,6 +187,28 @@ class AionStore : public txn::TransactionEventListener {
   std::shared_ptr<const graph::MemoryGraph> LatestGraph();
 
   // -------------------------------------------------------------------
+  // Epoch-pinned reads
+  // -------------------------------------------------------------------
+
+  /// An immutable (timestamp, graph) pair a reader pinned: the graph is the
+  /// commit-boundary state at exactly `ts`. Holding the shared_ptr keeps
+  /// the state alive; ingestion proceeds copy-on-write underneath.
+  struct PinnedEpoch {
+    Timestamp ts = 0;
+    std::shared_ptr<const graph::MemoryGraph> graph;
+  };
+
+  /// Pins the current read epoch: a consistent snapshot at least as new as
+  /// every ingest that completed before this call. Readers never take
+  /// ingest_mu_ (it stays writer-only) — a stale epoch is refreshed from
+  /// the GraphStore's latest replica under a short epoch latch, and
+  /// `GetGraphAt(t)` / `MaterializeGraphAt(t)` with t at or after the
+  /// pinned timestamp are served straight from the pin, off the TimeStore
+  /// path entirely. The wait to acquire a pin is recorded in the
+  /// "aion.reader_wait_nanos" histogram.
+  std::shared_ptr<const PinnedEpoch> PinEpoch();
+
+  // -------------------------------------------------------------------
   // Planner support
   // -------------------------------------------------------------------
 
@@ -247,7 +276,9 @@ class AionStore : public txn::TransactionEventListener {
     return lineage_store_ != nullptr ? lineage_store_->applied_ts() : 0;
   }
 
-  Timestamp last_ingested_ts() const { return last_ingested_ts_; }
+  Timestamp last_ingested_ts() const {
+    return last_ingested_ts_.load(std::memory_order_acquire);
+  }
 
   /// Total temporal storage on disk.
   uint64_t SizeBytes() const;
@@ -276,22 +307,31 @@ class AionStore : public txn::TransactionEventListener {
   Options options_;
   std::unique_ptr<storage::StringPool> string_pool_;
   std::unique_ptr<GraphStore> graph_store_;
+  // Shared reader pool (parallel replay decode). Declared before the
+  // TimeStore, which keeps a raw pointer to it.
+  std::unique_ptr<util::ThreadPool> read_pool_;
   std::unique_ptr<TimeStore> time_store_;
   std::unique_ptr<LineageStore> lineage_store_;
   GraphStatistics stats_;
   std::unique_ptr<util::ThreadPool> background_;  // 1 worker: ordered cascade
-  std::mutex ingest_mu_;
+  std::mutex ingest_mu_;  // writer-only: readers pin epochs instead
   std::atomic<bool> snapshot_pending_{false};
-  Timestamp last_ingested_ts_ = 0;
+  std::atomic<Timestamp> last_ingested_ts_{0};
+  // Published read epoch (lazily refreshed; see PinEpoch).
+  mutable std::shared_mutex epoch_mu_;
+  std::shared_ptr<const PinnedEpoch> epoch_;
 
   // Facade-level instruments (always valid after Open).
   obs::Counter* metric_ingest_batches_ = nullptr;
   obs::Counter* metric_ingest_updates_ = nullptr;
   obs::Counter* metric_cascade_batches_ = nullptr;
   obs::Counter* metric_fallback_ = nullptr;
+  obs::Counter* metric_epoch_reads_ = nullptr;
+  obs::Counter* metric_epoch_refreshes_ = nullptr;
   obs::Gauge* gauge_ingest_last_ts_ = nullptr;
   obs::Gauge* gauge_cascade_applied_ = nullptr;
   obs::Histogram* metric_commit_latency_ = nullptr;
+  obs::Histogram* metric_reader_wait_ = nullptr;
 };
 
 }  // namespace aion::core

@@ -7,143 +7,215 @@ namespace aion::core {
 using graph::MemoryGraph;
 using graph::Timestamp;
 
-GraphStore::GraphStore(size_t capacity_bytes, obs::MetricsRegistry* metrics)
+GraphStore::GraphStore(size_t capacity_bytes, obs::MetricsRegistry* metrics,
+                       size_t num_shards)
     : capacity_bytes_(capacity_bytes),
       latest_(std::make_shared<MemoryGraph>()) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   if (metrics != nullptr) {
     metric_requests_ = metrics->counter("graphstore.requests");
     metric_hits_ = metrics->counter("graphstore.hits");
     metric_misses_ = metrics->counter("graphstore.misses");
     metric_cow_clones_ = metrics->counter("graphstore.cow_clones");
+    for (size_t i = 0; i < num_shards; ++i) {
+      const std::string prefix = "graphstore.shard" + std::to_string(i);
+      shards_[i]->metric_hits = metrics->counter(prefix + ".hits");
+      shards_[i]->metric_misses = metrics->counter(prefix + ".misses");
+    }
   }
 }
 
-util::Status GraphStore::ApplyToLatest(const graph::GraphUpdate& update) {
-  std::lock_guard<std::mutex> lock(mu_);
+GraphStore::Shard& GraphStore::ShardFor(Timestamp ts) {
+  // Timestamps are near-sequential, so mix the bits (splitmix64 finalizer)
+  // before reducing; adjacent snapshots land on different shards.
+  uint64_t x = ts + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return *shards_[x % shards_.size()];
+}
+
+void GraphStore::CountHit(Shard* shard) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_hits_ != nullptr) metric_hits_->Add();
+  if (shard != nullptr && shard->metric_hits != nullptr) {
+    shard->metric_hits->Add();
+  }
+}
+
+void GraphStore::CountMiss(Shard* shard) {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_misses_ != nullptr) metric_misses_->Add();
+  if (shard != nullptr && shard->metric_misses != nullptr) {
+    shard->metric_misses->Add();
+  }
+}
+
+util::Status GraphStore::MutateLatest(
+    Timestamp batch_ts,
+    const std::function<util::Status(MemoryGraph*)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(latest_mu_);
   if (latest_.use_count() > 1) {
     // A published view is still alive somewhere: clone once so the holder
     // keeps its immutable snapshot (copy-on-write). Subsequent updates
     // mutate the fresh copy in place until the next handout escapes.
     latest_ = std::shared_ptr<MemoryGraph>(latest_->Clone());
-    ++cow_clones_;
+    cow_clones_.fetch_add(1, std::memory_order_relaxed);
     if (metric_cow_clones_ != nullptr) metric_cow_clones_->Add();
   }
-  AION_RETURN_IF_ERROR(latest_->Apply(update));
-  latest_ts_ = std::max(latest_ts_, update.ts);
+  AION_RETURN_IF_ERROR(fn(latest_.get()));
+  Timestamp prev = latest_ts_.load(std::memory_order_relaxed);
+  if (batch_ts > prev) latest_ts_.store(batch_ts, std::memory_order_release);
   return util::Status::OK();
+}
+
+util::Status GraphStore::ApplyToLatest(const graph::GraphUpdate& update) {
+  return MutateLatest(update.ts, [&update](MemoryGraph* graph) {
+    return graph->Apply(update);
+  });
 }
 
 void GraphStore::SeedLatest(std::unique_ptr<MemoryGraph> graph,
                             Timestamp ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(latest_mu_);
   latest_ = std::shared_ptr<MemoryGraph>(std::move(graph));
-  latest_ts_ = ts;
+  latest_ts_.store(ts, std::memory_order_release);
 }
 
-std::shared_ptr<const MemoryGraph> GraphStore::Latest() {
-  std::lock_guard<std::mutex> lock(mu_);
+std::shared_ptr<const MemoryGraph> GraphStore::Latest(Timestamp* ts) {
+  std::shared_lock<std::shared_mutex> lock(latest_mu_);
+  if (ts != nullptr) *ts = latest_ts_.load(std::memory_order_relaxed);
   return latest_;
 }
 
 void GraphStore::Put(Timestamp ts,
                      std::shared_ptr<const MemoryGraph> snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry entry;
-  entry.bytes = snapshot->EstimateMemoryBytes();
-  entry.snapshot = std::move(snapshot);
-  entry.last_used = ++use_clock_;
-  auto it = snapshots_.find(ts);
-  if (it != snapshots_.end()) {
-    total_bytes_ -= it->second.bytes;
-    it->second = std::move(entry);
-    total_bytes_ += it->second.bytes;
-  } else {
-    total_bytes_ += entry.bytes;
-    snapshots_.emplace(ts, std::move(entry));
+  Shard& shard = ShardFor(ts);
+  const size_t bytes = snapshot->EstimateMemoryBytes();
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto [it, inserted] = shard.snapshots.try_emplace(ts);
+    if (inserted) {
+      num_snapshots_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    }
+    it->second.snapshot = std::move(snapshot);
+    it->second.bytes = bytes;
+    it->second.last_used.store(Tick(), std::memory_order_relaxed);
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
   EvictIfNeeded();
 }
 
 std::shared_ptr<const MemoryGraph> GraphStore::Get(Timestamp ts) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (metric_requests_ != nullptr) metric_requests_->Add();
-  auto it = snapshots_.find(ts);
-  if (it == snapshots_.end()) {
-    ++misses_;
-    if (metric_misses_ != nullptr) metric_misses_->Add();
+  Shard& shard = ShardFor(ts);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.snapshots.find(ts);
+  if (it == shard.snapshots.end()) {
+    CountMiss(&shard);
     return nullptr;
   }
-  ++hits_;
-  if (metric_hits_ != nullptr) metric_hits_->Add();
-  it->second.last_used = ++use_clock_;
+  CountHit(&shard);
+  it->second.last_used.store(Tick(), std::memory_order_relaxed);
   return it->second.snapshot;
 }
 
 std::shared_ptr<const MemoryGraph> GraphStore::ClosestAtOrBefore(
     Timestamp t, Timestamp* snapshot_ts) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (metric_requests_ != nullptr) metric_requests_->Add();
-  // Candidate from the snapshot cache: largest key <= t.
-  auto it = snapshots_.upper_bound(t);
+  // Candidate from the snapshot cache: largest key <= t across every shard
+  // (each shard visited under its own shared lock, never nested).
   std::shared_ptr<const MemoryGraph> best;
   Timestamp best_ts = 0;
-  if (it != snapshots_.begin()) {
+  Shard* best_shard = nullptr;
+  for (auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    auto it = shard->snapshots.upper_bound(t);
+    if (it == shard->snapshots.begin()) continue;
     --it;
-    best = it->second.snapshot;
-    best_ts = it->first;
+    if (best == nullptr || it->first >= best_ts) {
+      best = it->second.snapshot;
+      best_ts = it->first;
+      best_shard = shard.get();
+    }
   }
   // The latest replica also counts when it is old enough.
-  if (latest_ts_ <= t && latest_ts_ >= best_ts) {
-    *snapshot_ts = latest_ts_;
-    ++hits_;
-    if (metric_hits_ != nullptr) metric_hits_->Add();
-    return latest_;
+  {
+    std::shared_lock<std::shared_mutex> lock(latest_mu_);
+    const Timestamp latest_ts = latest_ts_.load(std::memory_order_relaxed);
+    if (latest_ts <= t && (best == nullptr || latest_ts >= best_ts)) {
+      *snapshot_ts = latest_ts;
+      CountHit(nullptr);
+      return latest_;
+    }
   }
   if (best != nullptr) {
-    it->second.last_used = ++use_clock_;
+    // LRU touch on the winner (re-locked shared; the entry may have been
+    // evicted meanwhile, in which case the handed-out pointer is still
+    // valid and the touch is simply dropped).
+    {
+      std::shared_lock<std::shared_mutex> lock(best_shard->mu);
+      auto it = best_shard->snapshots.find(best_ts);
+      if (it != best_shard->snapshots.end()) {
+        it->second.last_used.store(Tick(), std::memory_order_relaxed);
+      }
+    }
     *snapshot_ts = best_ts;
-    ++hits_;
-    if (metric_hits_ != nullptr) metric_hits_->Add();
+    CountHit(best_shard);
     return best;
   }
-  ++misses_;
-  if (metric_misses_ != nullptr) metric_misses_->Add();
+  CountMiss(nullptr);
   return nullptr;
-}
-
-size_t GraphStore::cached_snapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return snapshots_.size();
-}
-
-size_t GraphStore::cached_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_bytes_;
 }
 
 void GraphStore::PutResult(const std::string& name,
                            std::vector<double> values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(results_mu_);
   results_[name] = std::move(values);
 }
 
 std::optional<std::vector<double>> GraphStore::GetResult(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(results_mu_);
   auto it = results_.find(name);
   if (it == results_.end()) return std::nullopt;
   return it->second;
 }
 
 void GraphStore::EvictIfNeeded() {
-  while (total_bytes_ > capacity_bytes_ && snapshots_.size() > 1) {
-    // Evict the least-recently-used snapshot.
-    auto victim = snapshots_.begin();
-    for (auto it = snapshots_.begin(); it != snapshots_.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
+  // One evictor at a time; victim search takes shard locks one by one, so
+  // concurrent readers only ever wait on their own shard.
+  std::lock_guard<std::mutex> evict_lock(evict_mu_);
+  while (total_bytes_.load(std::memory_order_relaxed) > capacity_bytes_ &&
+         num_snapshots_.load(std::memory_order_relaxed) > 1) {
+    // Globally least-recently-used snapshot across all shards.
+    Shard* victim_shard = nullptr;
+    Timestamp victim_ts = 0;
+    uint64_t victim_used = ~uint64_t{0};
+    for (auto& shard : shards_) {
+      std::shared_lock<std::shared_mutex> lock(shard->mu);
+      for (const auto& [ts, entry] : shard->snapshots) {
+        const uint64_t used = entry.last_used.load(std::memory_order_relaxed);
+        if (used < victim_used) {
+          victim_used = used;
+          victim_ts = ts;
+          victim_shard = shard.get();
+        }
+      }
     }
-    total_bytes_ -= victim->second.bytes;
-    snapshots_.erase(victim);
+    if (victim_shard == nullptr) return;
+    std::unique_lock<std::shared_mutex> lock(victim_shard->mu);
+    auto it = victim_shard->snapshots.find(victim_ts);
+    if (it == victim_shard->snapshots.end()) continue;  // raced with a Put
+    total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    num_snapshots_.fetch_sub(1, std::memory_order_relaxed);
+    victim_shard->snapshots.erase(it);
   }
 }
 

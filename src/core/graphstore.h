@@ -5,14 +5,25 @@
 // pointers; callers layer CowGraph overlays on top instead of copying
 // (Sec 5.2 optimization ii). It also keeps named algorithm results so
 // incremental procedures can reuse prior computations (Sec 5.2).
+//
+// Concurrency: the snapshot cache is sharded — each timestamp hashes to one
+// of N shards, each guarded by its own std::shared_mutex — so concurrent
+// GetGraphAt calls on different snapshots never contend on a single latch.
+// The latest replica has its own shared_mutex: mutation (MutateLatest /
+// ApplyToLatest / SeedLatest) is exclusive and batch-granular, so every
+// handout (Latest / ClosestAtOrBefore) observes a commit-boundary state,
+// never a half-applied transaction. LRU bookkeeping (use clocks, hit/miss
+// tallies, byte totals) is atomic so read paths only ever take shared locks.
 #ifndef AION_CORE_GRAPHSTORE_H_
 #define AION_CORE_GRAPHSTORE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,14 +38,20 @@ namespace aion::core {
 
 class GraphStore {
  public:
+  /// Default snapshot-cache shard count. Shard hit/miss counters are
+  /// registered as "graphstore.shard<i>.{hits,misses}".
+  static constexpr size_t kDefaultShards = 8;
+
   /// `capacity_bytes` bounds the estimated memory of cached snapshots
   /// (the latest graph is excluded from the budget: it is the HTAP replica,
   /// not a cache entry). `metrics`, when given, receives the
   /// "graphstore.{requests,hits,misses,cow_clones}" counters; every lookup
   /// (Get / ClosestAtOrBefore) counts one request and exactly one of
-  /// hit/miss, so requests == hits + misses always holds.
+  /// hit/miss, so requests == hits + misses always holds. `num_shards`
+  /// splits the cache map into independently locked shards (>= 1).
   explicit GraphStore(size_t capacity_bytes,
-                      obs::MetricsRegistry* metrics = nullptr);
+                      obs::MetricsRegistry* metrics = nullptr,
+                      size_t num_shards = kDefaultShards);
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
@@ -43,13 +60,26 @@ class GraphStore {
   // Latest graph (synchronous replica of the host database)
   // -------------------------------------------------------------------
 
-  /// Applies one committed update to the latest graph.
+  /// Runs `fn` against the mutable latest graph under the exclusive latch,
+  /// then advances the replica clock to `batch_ts`. The copy-on-write check
+  /// happens once, before `fn`: if a published view is still alive the
+  /// replica is cloned first, so holders keep their immutable snapshot.
+  /// Because the whole batch applies inside one critical section, readers
+  /// can never observe a half-applied transaction (epoch-pinning soundness).
+  util::Status MutateLatest(
+      graph::Timestamp batch_ts,
+      const std::function<util::Status(graph::MemoryGraph*)>& fn);
+
+  /// Applies one committed update to the latest graph (single-update
+  /// convenience over MutateLatest).
   util::Status ApplyToLatest(const graph::GraphUpdate& update);
 
-  /// The latest graph as an immutable shared snapshot at `latest_ts`.
-  /// Cheap when unchanged since the last call (the replica is published
-  /// copy-on-write: mutation after a handout clones first).
-  std::shared_ptr<const graph::MemoryGraph> Latest();
+  /// The latest graph as an immutable shared snapshot. Cheap when unchanged
+  /// since the last call (the replica is published copy-on-write: mutation
+  /// after a handout clones first). `ts`, when given, receives the replica
+  /// clock consistent with the returned graph.
+  std::shared_ptr<const graph::MemoryGraph> Latest(
+      graph::Timestamp* ts = nullptr);
 
   /// Replaces the latest replica wholesale (recovery: the state at `ts` was
   /// rebuilt from the TimeStore after a restart).
@@ -57,21 +87,19 @@ class GraphStore {
                   graph::Timestamp ts);
 
   graph::Timestamp latest_ts() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return latest_ts_;
+    return latest_ts_.load(std::memory_order_acquire);
   }
 
   /// Runs `fn` on the latest graph without publishing it (no copy-on-write
-  /// cost on the next ApplyToLatest). Used for cheap lookups on the ingest
-  /// path.
+  /// cost on the next mutation). Used for cheap lookups on the ingest path.
   void WithLatest(
       const std::function<void(const graph::MemoryGraph&)>& fn) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(latest_mu_);
     fn(*latest_);
   }
 
   // -------------------------------------------------------------------
-  // Snapshot cache (LRU by estimated bytes)
+  // Snapshot cache (sharded LRU by estimated bytes)
   // -------------------------------------------------------------------
 
   /// Caches `snapshot` as the graph state at `ts`.
@@ -86,11 +114,18 @@ class GraphStore {
   std::shared_ptr<const graph::MemoryGraph> ClosestAtOrBefore(
       graph::Timestamp t, graph::Timestamp* snapshot_ts);
 
-  size_t cached_snapshots() const;
-  size_t cached_bytes() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t cow_clones() const { return cow_clones_; }
+  size_t cached_snapshots() const {
+    return num_snapshots_.load(std::memory_order_relaxed);
+  }
+  size_t cached_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t cow_clones() const {
+    return cow_clones_.load(std::memory_order_relaxed);
+  }
 
   // -------------------------------------------------------------------
   // Algorithm result store (Sec 5.2: intermediate and final results can be
@@ -101,34 +136,55 @@ class GraphStore {
   std::optional<std::vector<double>> GetResult(const std::string& name) const;
 
  private:
-  void EvictIfNeeded();  // callers hold mu_
+  struct Entry {
+    std::shared_ptr<const graph::MemoryGraph> snapshot;
+    size_t bytes = 0;
+    // Global LRU clock value; updated under the shard's *shared* lock, so
+    // it must be atomic (map nodes are stable, the atomic never moves).
+    mutable std::atomic<uint64_t> last_used{0};
+  };
 
-  mutable std::mutex mu_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<graph::Timestamp, Entry> snapshots;  // ordered for floor lookup
+    obs::Counter* metric_hits = nullptr;
+    obs::Counter* metric_misses = nullptr;
+  };
+
+  Shard& ShardFor(graph::Timestamp ts);
+  uint64_t Tick() { return use_clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  void CountHit(Shard* shard);
+  void CountMiss(Shard* shard);
+
+  /// Evicts globally-least-recently-used snapshots until the byte budget
+  /// holds (keeping at least one snapshot overall). Serialized by evict_mu_;
+  /// takes shard locks one at a time, never nested.
+  void EvictIfNeeded();
+
   size_t capacity_bytes_;
 
   // Latest replica, held as a shared pointer so published views are plain
   // copies: a mutation clones only when someone still holds a view
   // (use-count copy-on-write).
+  mutable std::shared_mutex latest_mu_;
   std::shared_ptr<graph::MemoryGraph> latest_;
-  graph::Timestamp latest_ts_ = 0;
+  std::atomic<graph::Timestamp> latest_ts_{0};
 
-  struct Entry {
-    std::shared_ptr<const graph::MemoryGraph> snapshot;
-    size_t bytes = 0;
-    uint64_t last_used = 0;
-  };
-  std::map<graph::Timestamp, Entry> snapshots_;  // ordered for floor lookup
-  size_t total_bytes_ = 0;
-  uint64_t use_clock_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t cow_clones_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex evict_mu_;
+  std::atomic<size_t> total_bytes_{0};
+  std::atomic<size_t> num_snapshots_{0};
+  std::atomic<uint64_t> use_clock_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> cow_clones_{0};
   // Registry-shared counters (nullptr when metrics are not wired up).
   obs::Counter* metric_requests_ = nullptr;
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;
   obs::Counter* metric_cow_clones_ = nullptr;
 
+  mutable std::mutex results_mu_;
   std::unordered_map<std::string, std::vector<double>> results_;
 };
 

@@ -61,6 +61,10 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
         options.metrics->counter("timestore.snapshot_policy_due");
     store->metric_replayed_updates_ =
         options.metrics->counter("timestore.replayed_updates");
+    store->metric_parallel_scans_ =
+        options.metrics->counter("timestore.parallel_scans");
+    store->gauge_parallel_permille_ =
+        options.metrics->gauge("timestore.replay_parallel_permille");
     store->metric_snapshot_build_ =
         options.metrics->histogram("timestore.snapshot_build_nanos");
     store->metric_replay_ =
@@ -71,7 +75,8 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
   auto it = store->time_index_->NewIterator();
   it.SeekToLast();
   if (it.Valid()) {
-    store->last_ts_ = DecodeBigEndian64(it.key().data());
+    store->last_ts_.store(DecodeBigEndian64(it.key().data()),
+                          std::memory_order_relaxed);
     store->seq_ = DecodeBigEndian64(it.key().data() + 8) + 1;
   }
   AION_RETURN_IF_ERROR(it.status());
@@ -80,7 +85,9 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
   for (snap_it.SeekToFirst(); snap_it.Valid(); snap_it.Next()) {
     store->last_snapshot_ts_ = DecodeBigEndian64(snap_it.key().data());
     auto size = storage::FileSize(snap_it.value().ToString());
-    if (size.ok()) store->snapshot_bytes_ += *size;
+    if (size.ok()) {
+      store->snapshot_bytes_.fetch_add(*size, std::memory_order_relaxed);
+    }
     ++store->snapshot_counter_;
   }
   AION_RETURN_IF_ERROR(snap_it.status());
@@ -90,8 +97,8 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
 Status TimeStore::Append(Timestamp ts,
                          const std::vector<GraphUpdate>& updates,
                          bool* snapshot_due) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ts < last_ts_) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (ts < last_ts_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("timestamps must be monotonic");
   }
   std::string payload;
@@ -101,14 +108,17 @@ Status TimeStore::Append(Timestamp ts,
   PutFixed64(&value, offset);
   AION_RETURN_IF_ERROR(time_index_->Put(TimeKey(ts, seq_), value));
   ++seq_;
-  last_ts_ = ts;
-  num_updates_ += updates.size();
-  ops_since_snapshot_ += updates.size();
+  last_ts_.store(ts, std::memory_order_release);
+  num_updates_.fetch_add(updates.size(), std::memory_order_relaxed);
+  const uint64_t ops =
+      ops_since_snapshot_.fetch_add(updates.size(),
+                                    std::memory_order_relaxed) +
+      updates.size();
   if (metric_appends_ != nullptr) metric_appends_->Add();
   if (snapshot_due != nullptr) {
     switch (options_.policy.kind) {
       case SnapshotPolicy::Kind::kOperationBased:
-        *snapshot_due = ops_since_snapshot_ >= options_.policy.every;
+        *snapshot_due = ops >= options_.policy.every;
         break;
       case SnapshotPolicy::Kind::kTimeBased:
         *snapshot_due = ts - last_snapshot_ts_ >= options_.policy.every;
@@ -130,16 +140,16 @@ Status TimeStore::WriteSnapshot(Timestamp ts,
   if (metric_snapshots_written_ != nullptr) metric_snapshots_written_->Add();
   std::string payload;
   graph.EncodeTo(&payload);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const std::string path = options_.dir + "/snapshots/snap_" +
                            std::to_string(ts) + "_" +
                            std::to_string(snapshot_counter_++);
   AION_ASSIGN_OR_RETURN(auto file, storage::RandomAccessFile::Open(path));
   AION_RETURN_IF_ERROR(file->Write(0, payload.data(), payload.size()));
   AION_RETURN_IF_ERROR(snapshot_index_->Put(SnapshotKey(ts), path));
-  snapshot_bytes_ += payload.size();
+  snapshot_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
   last_snapshot_ts_ = ts;
-  ops_since_snapshot_ = 0;
+  ops_since_snapshot_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -161,21 +171,67 @@ StatusOr<std::vector<GraphUpdate>> TimeStore::ReplayRange(Timestamp base_ts,
 
 StatusOr<std::vector<GraphUpdate>> TimeStore::ScanUpdates(
     Timestamp first_ts, Timestamp last_ts) const {
-  std::vector<GraphUpdate> diff;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = time_index_->NewIterator();
-  std::string record;
-  for (it.Seek(TimeKey(first_ts, 0)); it.Valid(); it.Next()) {
-    const Timestamp ts = DecodeBigEndian64(it.key().data());
-    if (ts > last_ts) break;
-    const uint64_t offset = DecodeFixed64(it.value().data());
-    AION_RETURN_IF_ERROR(log_->Read(offset, &record));
-    AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> batch,
-                          graph::DecodeUpdateBatch(record));
-    diff.insert(diff.end(), std::make_move_iterator(batch.begin()),
-                std::make_move_iterator(batch.end()));
+  // Phase 1 — index walk under the shared latch: collect the log offsets of
+  // every record in range. This is the only part that can contend with an
+  // Append; it touches index pages only.
+  std::vector<uint64_t> offsets;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = time_index_->NewIterator();
+    for (it.Seek(TimeKey(first_ts, 0)); it.Valid(); it.Next()) {
+      const Timestamp ts = DecodeBigEndian64(it.key().data());
+      if (ts > last_ts) break;
+      offsets.push_back(DecodeFixed64(it.value().data()));
+    }
+    AION_RETURN_IF_ERROR(it.status());
   }
-  AION_RETURN_IF_ERROR(it.status());
+  if (offsets.empty()) return std::vector<GraphUpdate>{};
+
+  // Phase 2 — latch-free read + decode. Indexed records are immutable (the
+  // log is append-only), so no latch is needed; pread is position-safe.
+  std::vector<std::vector<GraphUpdate>> parts(offsets.size());
+  auto decode_one = [&](size_t i) -> Status {
+    std::string record;
+    AION_RETURN_IF_ERROR(log_->Read(offsets[i], &record));
+    AION_ASSIGN_OR_RETURN(parts[i], graph::DecodeUpdateBatch(record));
+    return Status::OK();
+  };
+  const bool parallel =
+      options_.replay_pool != nullptr &&
+      options_.replay_pool->num_threads() > 1 &&
+      offsets.size() >= options_.parallel_replay_threshold;
+  if (parallel) {
+    std::vector<Status> statuses(offsets.size());
+    options_.replay_pool->ParallelFor(
+        offsets.size(), [&](size_t i) { statuses[i] = decode_one(i); });
+    for (const Status& s : statuses) AION_RETURN_IF_ERROR(s);
+    if (metric_parallel_scans_ != nullptr) metric_parallel_scans_->Add();
+    records_scanned_parallel_.fetch_add(offsets.size(),
+                                        std::memory_order_relaxed);
+  } else {
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      AION_RETURN_IF_ERROR(decode_one(i));
+    }
+  }
+  const uint64_t total =
+      records_scanned_.fetch_add(offsets.size(), std::memory_order_relaxed) +
+      offsets.size();
+  if (gauge_parallel_permille_ != nullptr && total > 0) {
+    gauge_parallel_permille_->Set(static_cast<int64_t>(
+        records_scanned_parallel_.load(std::memory_order_relaxed) * 1000 /
+        total));
+  }
+
+  // Deterministic merge: concatenation in index order reproduces the exact
+  // (ts, seq) sequential order, whichever worker decoded which partition.
+  size_t total_updates = 0;
+  for (const auto& part : parts) total_updates += part.size();
+  std::vector<GraphUpdate> diff;
+  diff.reserve(total_updates);
+  for (auto& part : parts) {
+    diff.insert(diff.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
   return diff;
 }
 
@@ -190,7 +246,7 @@ StatusOr<std::shared_ptr<const graph::MemoryGraph>> TimeStore::FindBase(
   Timestamp disk_ts = 0;
   std::string disk_path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = snapshot_index_->NewIterator();
     it.SeekForPrev(SnapshotKey(t));
     if (it.Valid()) {
@@ -270,11 +326,12 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> TimeStore::MaterializeGraphAt(
 
 uint64_t TimeStore::SizeBytes() const {
   return log_->SizeBytes() + time_index_->SizeBytes() +
-         snapshot_index_->SizeBytes() + snapshot_bytes_;
+         snapshot_index_->SizeBytes() +
+         snapshot_bytes_.load(std::memory_order_relaxed);
 }
 
 Status TimeStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   AION_RETURN_IF_ERROR(time_index_->Flush());
   AION_RETURN_IF_ERROR(snapshot_index_->Flush());
   return Status::OK();

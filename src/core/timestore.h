@@ -11,11 +11,21 @@
 //
 // Retrieval at time t: fetch the closest snapshot at or before t (GraphStore
 // first, then disk) and replay the forward changes from the log (Copy+Log).
+//
+// Concurrency: single-writer / multi-reader behind a std::shared_mutex.
+// Append / WriteSnapshot / Flush take the latch exclusively; scans and
+// snapshot-index lookups take it shared, so concurrent GetGraphAt / GetDiff
+// calls proceed in parallel (the B+Trees' page caches latch internally).
+// Scans only hold the shared latch while walking the time index; the log
+// records themselves are immutable once indexed and are read — and decoded,
+// in parallel across Options::replay_pool for large ranges — with no latch
+// held at all, so a long replay never delays the ingest path.
 #ifndef AION_CORE_TIMESTORE_H_
 #define AION_CORE_TIMESTORE_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +38,7 @@
 #include "storage/bptree.h"
 #include "storage/log_file.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace aion::core {
 
@@ -54,6 +65,12 @@ class TimeStore {
     /// Optional registry for the "timestore.*" instruments (and the page
     /// caches of the two indexes). Must outlive the TimeStore.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional worker pool for parallel log decode during replay. Not
+    /// owned; must outlive the TimeStore. nullptr = always sequential.
+    util::ThreadPool* replay_pool = nullptr;
+    /// Minimum number of log records in a scan before the decode is
+    /// partitioned across replay_pool (below it, sequential is faster).
+    size_t parallel_replay_threshold = 32;
   };
 
   /// Opens (creating if missing) a TimeStore rooted at options.dir.
@@ -107,18 +124,26 @@ class TimeStore {
       Timestamp t);
 
   /// Largest update timestamp appended so far.
-  Timestamp last_ts() const { return last_ts_; }
+  Timestamp last_ts() const {
+    return last_ts_.load(std::memory_order_acquire);
+  }
 
   /// Updates appended since the last snapshot (policy bookkeeping).
-  uint64_t ops_since_snapshot() const { return ops_since_snapshot_; }
+  uint64_t ops_since_snapshot() const {
+    return ops_since_snapshot_.load(std::memory_order_relaxed);
+  }
 
   /// Total updates appended.
-  uint64_t num_updates() const { return num_updates_; }
+  uint64_t num_updates() const {
+    return num_updates_.load(std::memory_order_relaxed);
+  }
 
   /// On-disk footprint: log + indexes + snapshot files.
   uint64_t SizeBytes() const;
   uint64_t LogBytes() const { return log_->SizeBytes(); }
-  uint64_t SnapshotBytes() const { return snapshot_bytes_; }
+  uint64_t SnapshotBytes() const {
+    return snapshot_bytes_.load(std::memory_order_relaxed);
+  }
 
   Status Flush();
 
@@ -134,7 +159,12 @@ class TimeStore {
   StatusOr<std::shared_ptr<const graph::MemoryGraph>> LoadSnapshotFile(
       const std::string& path) const;
 
-  /// Log scan over the inclusive timestamp range [first_ts, last_ts].
+  /// Log scan over the inclusive timestamp range [first_ts, last_ts]:
+  /// offsets are collected from the time index under the shared latch, then
+  /// the records are read and decoded latch-free — partitioned across
+  /// Options::replay_pool when the range is large, with the partitions
+  /// concatenated in index order (a deterministic merge: the result is
+  /// byte-identical to the sequential scan).
   StatusOr<std::vector<GraphUpdate>> ScanUpdates(Timestamp first_ts,
                                                  Timestamp last_ts) const;
 
@@ -143,19 +173,26 @@ class TimeStore {
   std::unique_ptr<storage::LogFile> log_;
   std::unique_ptr<storage::BpTree> time_index_;      // (ts, seq) -> offset
   std::unique_ptr<storage::BpTree> snapshot_index_;  // ts -> file path
-  mutable std::mutex mu_;  // serializes appends and index structure changes
-  Timestamp last_ts_ = 0;
-  Timestamp last_snapshot_ts_ = 0;
-  uint64_t seq_ = 0;
-  uint64_t num_updates_ = 0;
-  uint64_t ops_since_snapshot_ = 0;
-  uint64_t snapshot_bytes_ = 0;
-  uint64_t snapshot_counter_ = 0;
+  // Single-writer/multi-reader latch: exclusive for appends and index
+  // structure changes, shared for index scans.
+  mutable std::shared_mutex mu_;
+  std::atomic<Timestamp> last_ts_{0};
+  Timestamp last_snapshot_ts_ = 0;  // writer-only (exclusive latch)
+  uint64_t seq_ = 0;                // writer-only (exclusive latch)
+  std::atomic<uint64_t> num_updates_{0};
+  std::atomic<uint64_t> ops_since_snapshot_{0};
+  std::atomic<uint64_t> snapshot_bytes_{0};
+  uint64_t snapshot_counter_ = 0;  // writer-only (exclusive latch)
+  // Parallel-replay accounting (mutable: scans are const).
+  mutable std::atomic<uint64_t> records_scanned_{0};
+  mutable std::atomic<uint64_t> records_scanned_parallel_{0};
   // Observability (nullptr when Options::metrics was not given).
   obs::Counter* metric_appends_ = nullptr;
   obs::Counter* metric_snapshots_written_ = nullptr;
   obs::Counter* metric_snapshots_due_ = nullptr;
   obs::Counter* metric_replayed_updates_ = nullptr;
+  obs::Counter* metric_parallel_scans_ = nullptr;
+  obs::Gauge* gauge_parallel_permille_ = nullptr;
   obs::Histogram* metric_snapshot_build_ = nullptr;
   obs::Histogram* metric_replay_ = nullptr;
 };

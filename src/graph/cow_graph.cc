@@ -198,6 +198,11 @@ Status CowGraph::Apply(const GraphUpdate& u) {
 }
 
 Status CowGraph::ApplyAll(const std::vector<GraphUpdate>& updates) {
+  // Pre-size the overlays for replay-sized batches: each update touches at
+  // most one entity plus its adjacency, so this bounds rehashing during the
+  // hot Copy+Log path without overshooting small diffs.
+  node_overlay_.reserve(node_overlay_.size() + updates.size() / 2);
+  rel_overlay_.reserve(rel_overlay_.size() + updates.size() / 2);
   for (const GraphUpdate& u : updates) {
     AION_RETURN_IF_ERROR(Apply(u));
   }

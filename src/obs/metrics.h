@@ -68,6 +68,12 @@ struct MetricsSnapshot {
     auto it = gauges.find(name);
     return it == gauges.end() ? 0 : it->second;
   }
+  /// Samples recorded into the named histogram (0 when absent); convenient
+  /// for asserting "this code path ran" in tests.
+  uint64_t histogram_count(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? 0 : it->second.count;
+  }
 
   /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   /// "mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..}}}

@@ -11,8 +11,11 @@
 //  * out-of-core operation through the bounded PageCache.
 //
 // Concurrency: single-writer / multi-reader, serialized externally by the
-// owning store (LineageStore / TimeStore hold a shared_mutex). Iterators are
-// invalidated by writes.
+// owning store (LineageStore / TimeStore hold a shared_mutex: scans under
+// the shared side, inserts under the exclusive side). Concurrent readers
+// are safe — frame management is serialized inside the PageCache — but
+// iterators are invalidated by writes, so a scan must keep the owning
+// store's shared latch until it finishes walking the leaves.
 //
 // Deletions remove entries without rebalancing (pages may become underfull
 // but never corrupt). Aion's history stores are append-only; deletion exists
@@ -20,6 +23,7 @@
 #ifndef AION_STORAGE_BPTREE_H_
 #define AION_STORAGE_BPTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -68,8 +72,11 @@ class BpTree {
   /// Removes `key`. Returns NotFound if absent.
   Status Delete(Slice key);
 
-  /// Total live entries.
-  uint64_t num_entries() const { return num_entries_; }
+  /// Total live entries. Readable without the owning store's latch (size
+  /// probes from introspection while a writer runs) — hence atomic.
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
   /// Tree height (1 = root is a leaf).
   uint32_t height() const { return height_; }
@@ -189,7 +196,7 @@ class BpTree {
   std::unique_ptr<PageCache> cache_;
   PageId root_ = kInvalidPageId;
   uint32_t height_ = 1;
-  uint64_t num_entries_ = 0;
+  std::atomic<uint64_t> num_entries_{0};
   bool meta_dirty_ = false;
 };
 

@@ -67,12 +67,14 @@ Status RandomAccessFile::Write(uint64_t offset, const char* data, size_t n) {
     }
     done += static_cast<size_t>(w);
   }
-  if (offset + n > size_) size_ = offset + n;
+  if (offset + n > size_.load(std::memory_order_relaxed)) {
+    size_.store(offset + n, std::memory_order_release);
+  }
   return Status::OK();
 }
 
 StatusOr<uint64_t> RandomAccessFile::Append(const char* data, size_t n) {
-  const uint64_t offset = size_;
+  const uint64_t offset = size_.load(std::memory_order_relaxed);
   AION_RETURN_IF_ERROR(Write(offset, data, n));
   return offset;
 }
@@ -86,7 +88,7 @@ Status RandomAccessFile::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return ErrnoStatus("ftruncate " + path_);
   }
-  size_ = size;
+  size_.store(size, std::memory_order_release);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #ifndef AION_STORAGE_FILE_H_
 #define AION_STORAGE_FILE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -44,7 +45,7 @@ class RandomAccessFile {
   Status Sync();
   Status Truncate(uint64_t size);
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
   const std::string& path() const { return path_; }
 
  private:
@@ -53,7 +54,9 @@ class RandomAccessFile {
 
   std::string path_;
   int fd_;
-  uint64_t size_;  // logical size; Append maintains it
+  // Logical size; Append maintains it. Atomic so readers may poll size()
+  // (e.g. a scan bounding itself) while a single writer appends.
+  std::atomic<uint64_t> size_;
 };
 
 /// Filesystem helpers.

@@ -10,6 +10,7 @@
 #ifndef AION_STORAGE_PAGE_CACHE_H_
 #define AION_STORAGE_PAGE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -91,15 +92,19 @@ class PageCache {
   Status Sync();
 
   /// Number of pages in the file (including meta/freed pages).
-  uint64_t num_pages() const { return num_pages_; }
+  uint64_t num_pages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
 
   size_t capacity_pages() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   /// On-disk footprint in bytes.
-  uint64_t SizeBytes() const { return num_pages_ * kPageSize; }
+  uint64_t SizeBytes() const { return num_pages() * kPageSize; }
 
  private:
   friend class PageHandle;
@@ -122,16 +127,18 @@ class PageCache {
   mutable std::mutex mu_;
   std::unique_ptr<RandomAccessFile> file_;
   size_t capacity_;
-  uint64_t num_pages_ = 0;
+  // Mutated under mu_, but read unlocked by num_pages()/SizeBytes()
+  // (size probes from concurrent readers) — hence atomics.
+  std::atomic<uint64_t> num_pages_{0};
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;  // page id -> frame index
   std::list<size_t> lru_;  // front = most recently used, unpinned+pinned
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
   std::vector<PageId> free_pages_;
   std::vector<size_t> free_frames_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   // Registry-shared counters (nullptr when metrics are not wired up).
   obs::Counter* metric_hits_ = nullptr;
   obs::Counter* metric_misses_ = nullptr;

@@ -43,7 +43,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     return;
   }
   std::atomic<size_t> next{0};
-  std::atomic<size_t> remaining{workers};
+  size_t remaining = workers;  // guarded by done_mu
   std::mutex done_mu;
   std::condition_variable done_cv;
   const size_t chunk = (n + workers * 4 - 1) / (workers * 4);
@@ -55,14 +55,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         const size_t end = begin + chunk < n ? begin + chunk : n;
         for (size_t i = begin; i < end; ++i) fn(i);
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      // The decrement must happen under done_mu: were it sequenced before
+      // the lock, the caller could observe zero, return, and destroy the
+      // mutex this worker is about to acquire.
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

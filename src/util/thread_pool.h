@@ -1,7 +1,10 @@
 // Fixed-size worker pool. Used for Aion's background LineageStore cascade
-// (Sec 5.1) and for parallel neighbourhood construction / analytics
-// (Sec 5.2). Tasks are plain std::function<void()>; Wait() drains the queue,
-// which the tests use to make the asynchronous cascade deterministic.
+// (Sec 5.1, one ordered worker), the shared reader pool that parallelizes
+// TimeStore replay decode, and parallel neighbourhood construction /
+// analytics (Sec 5.2). Tasks are plain std::function<void()>; Wait() drains
+// the queue, which the tests use to make the asynchronous cascade
+// deterministic. ParallelFor from several threads at once is safe: each
+// caller tracks completion of its own batch.
 #ifndef AION_UTIL_THREAD_POOL_H_
 #define AION_UTIL_THREAD_POOL_H_
 

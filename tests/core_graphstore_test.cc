@@ -145,5 +145,82 @@ TEST(GraphStoreTest, PutReplacesSameTimestamp) {
   EXPECT_EQ(store.cached_snapshots(), 1u);
 }
 
+TEST(GraphStoreTest, ShardedCacheBehavesLikeOneMap) {
+  // Sharding is an implementation detail: floor lookups, exact lookups and
+  // the global byte budget must be indistinguishable from a single map,
+  // whatever the shard count.
+  for (size_t shards : {size_t{1}, size_t{3}, size_t{16}}) {
+    GraphStore store(1 << 30, nullptr, shards);
+    EXPECT_EQ(store.num_shards(), shards);
+    for (Timestamp ts = 1; ts <= 40; ++ts) {
+      store.Put(ts, GraphWithNodes(ts));
+    }
+    EXPECT_EQ(store.cached_snapshots(), 40u);
+    for (Timestamp ts = 1; ts <= 40; ++ts) {
+      auto hit = store.Get(ts);
+      ASSERT_NE(hit, nullptr) << "shards=" << shards << " ts=" << ts;
+      EXPECT_EQ(hit->NumNodes(), ts);
+    }
+    // Floor semantics across shard boundaries (37 hashes elsewhere than
+    // 35; the scan must still find the max key <= t globally).
+    Timestamp found = 0;
+    auto closest = store.ClosestAtOrBefore(37, &found);
+    ASSERT_NE(closest, nullptr);
+    EXPECT_EQ(found, 37u);
+    EXPECT_EQ(store.Get(1000), nullptr);
+  }
+}
+
+TEST(GraphStoreTest, ShardCountersSumToTotals) {
+  obs::MetricsRegistry metrics;
+  GraphStore store(1 << 30, &metrics, 4);
+  for (Timestamp ts = 1; ts <= 10; ++ts) store.Put(ts, GraphWithNodes(1));
+  for (Timestamp ts = 1; ts <= 10; ++ts) EXPECT_NE(store.Get(ts), nullptr);
+  EXPECT_EQ(store.Get(99), nullptr);
+  const auto snapshot = metrics.Snapshot();
+  uint64_t shard_hits = 0;
+  uint64_t shard_misses = 0;
+  for (size_t i = 0; i < store.num_shards(); ++i) {
+    const std::string prefix = "graphstore.shard" + std::to_string(i);
+    shard_hits += snapshot.counter(prefix + ".hits");
+    shard_misses += snapshot.counter(prefix + ".misses");
+  }
+  EXPECT_EQ(shard_hits, store.hits());
+  EXPECT_EQ(shard_misses, store.misses());
+  EXPECT_EQ(snapshot.counter("graphstore.requests"),
+            store.hits() + store.misses());
+}
+
+TEST(GraphStoreTest, GlobalEvictionSpansShards) {
+  // Budget for ~2 snapshots; entries land on different shards, yet the
+  // byte budget is global, so old entries are evicted wherever they live.
+  GraphStore store(/*capacity_bytes=*/100 * 70, nullptr, 8);
+  for (Timestamp ts = 1; ts <= 6; ++ts) {
+    store.Put(ts, GraphWithNodes(100));
+  }
+  EXPECT_LE(store.cached_snapshots(), 2u);
+  // The newest snapshot always survives (most recently used).
+  EXPECT_NE(store.Get(6), nullptr);
+}
+
+TEST(GraphStoreTest, MutateLatestAppliesBatchAtomically) {
+  GraphStore store(1 << 20);
+  auto before = store.Latest();
+  ASSERT_TRUE(store
+                  .MutateLatest(7,
+                                [](graph::MemoryGraph* g) {
+                                  AION_RETURN_IF_ERROR(
+                                      g->Apply(GraphUpdate::AddNode(0)));
+                                  return g->Apply(GraphUpdate::AddNode(1));
+                                })
+                  .ok());
+  // The pre-mutation handout is untouched (copy-on-write) and the replica
+  // clock advanced to the batch timestamp.
+  EXPECT_EQ(before->NumNodes(), 0u);
+  EXPECT_EQ(store.Latest()->NumNodes(), 2u);
+  EXPECT_EQ(store.latest_ts(), 7u);
+  EXPECT_EQ(store.cow_clones(), 1u);
+}
+
 }  // namespace
 }  // namespace aion::core
