@@ -69,6 +69,7 @@ int main() {
            aion_ms, raph_ms, grad_ms, raph_ms / aion_ms, grad_ms / aion_ms);
     AION_CHECK(aion_nodes == raph_nodes || spec.multigraph);
     (void)grad_nodes;
+    bench::PrintMetricsJson(*loaded.aion, spec.name);
   }
   bench::PrintFooter();
   printf("Expected: Aion < Raphtory < Gradoop; Gradoop worst by roughly an\n"

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Diff two Aion metrics snapshots by instrument names.
+
+The bench binaries emit one line per dataset:
+
+    metrics <label> {"counters":{...},"gauges":{...},"histograms":{...}}
+
+This tool reduces such output (or a raw ToJson() object) to the set of
+instrument names per kind and compares it against a checked-in baseline, so
+CI catches instruments that were accidentally dropped or renamed without
+being sensitive to the values themselves (which vary run to run).
+
+Usage:
+    metrics_diff.py extract BENCH_OUTPUT          # names-only JSON -> stdout
+    metrics_diff.py diff BASELINE CURRENT         # exit 1 on any difference
+
+Both `diff` operands accept any supported format: a names-only baseline
+written by `extract`, raw bench output with `metrics ` lines, or a bare
+registry ToJson() object.
+"""
+
+import json
+import sys
+
+KINDS = ("counters", "gauges", "histograms")
+
+
+def names_from_registry(registry):
+    """{'counters': {...}, ...} -> {'counters': [names], ...}."""
+    return {kind: sorted(registry.get(kind, {})) for kind in KINDS}
+
+
+def load_names(path):
+    """Returns {label: {kind: [names]}} from any supported file format."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+
+    # Bench output: scrape `metrics <label> <json>` lines.
+    scraped = {}
+    for line in text.splitlines():
+        if not line.startswith("metrics "):
+            continue
+        try:
+            _, label, payload = line.split(" ", 2)
+            scraped[label] = names_from_registry(json.loads(payload))
+        except (ValueError, json.JSONDecodeError) as e:
+            sys.exit(f"{path}: malformed metrics line ({e}): {line[:120]}")
+    if scraped:
+        return scraped
+
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: neither metrics lines nor JSON ({e})")
+
+    # Raw registry ToJson(): value dicts under counters/gauges/histograms.
+    if any(kind in doc for kind in KINDS):
+        return {"default": names_from_registry(doc)}
+
+    # Names-only baseline from `extract`: {label: {kind: [names]}}.
+    return {
+        label: {kind: sorted(kinds.get(kind, [])) for kind in KINDS}
+        for label, kinds in doc.items()
+    }
+
+
+def diff_names(baseline, current):
+    """Prints differences; returns True when the name sets diverge."""
+    changed = False
+    for label in sorted(set(baseline) | set(current)):
+        if label not in current:
+            print(f"missing label in current run: {label}")
+            changed = True
+            continue
+        if label not in baseline:
+            print(f"new label not in baseline: {label}")
+            changed = True
+            continue
+        for kind in KINDS:
+            base = set(baseline[label][kind])
+            cur = set(current[label][kind])
+            for name in sorted(base - cur):
+                print(f"{label}: {kind[:-1]} removed: {name}")
+                changed = True
+            for name in sorted(cur - base):
+                print(f"{label}: {kind[:-1]} added: {name}")
+                changed = True
+    return changed
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "extract":
+        print(json.dumps(load_names(argv[2]), indent=2, sort_keys=True))
+        return 0
+    if len(argv) == 4 and argv[1] == "diff":
+        if diff_names(load_names(argv[2]), load_names(argv[3])):
+            print("metrics instrument names diverged from baseline; "
+                  "if intentional, regenerate bench/baseline_metrics.json "
+                  "with `metrics_diff.py extract`.", file=sys.stderr)
+            return 1
+        print("metrics instrument names match baseline")
+        return 0
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,6 +41,15 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   store->options_ = options;
   store->metrics_ = std::make_unique<obs::MetricsRegistry>();
   obs::MetricsRegistry* metrics = store->metrics_.get();
+  {
+    obs::SlowQueryLog::Options slow_options;
+    slow_options.threshold_nanos = options.slow_query_threshold_nanos;
+    slow_options.path = options.slow_query_log_path;
+    if (slow_options.threshold_nanos > 0 && slow_options.path.empty()) {
+      slow_options.path = options.dir + "/slowlog.jsonl";
+    }
+    store->slow_log_ = std::make_unique<obs::SlowQueryLog>(slow_options);
+  }
   AION_ASSIGN_OR_RETURN(store->string_pool_,
                         storage::StringPool::Open(options.dir + "/strings"));
   store->graph_store_ = std::make_unique<GraphStore>(

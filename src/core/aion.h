@@ -42,6 +42,7 @@
 #include "graph/graph_view.h"
 #include "graph/temporal_graph.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "txn/graphdb.h"
 #include "txn/listener.h"
 #include "util/thread_pool.h"
@@ -74,6 +75,12 @@ class AionStore : public txn::TransactionEventListener {
     /// Worker threads of the shared read pool (parallel replay decode).
     /// 0 = auto: hardware_concurrency clamped to [2, 16].
     size_t read_threads = 0;
+    /// Queries at or above this wall time land in the slow-query log
+    /// (JSON lines + CALL dbms.slowlog()). 0 disables the log entirely.
+    uint64_t slow_query_threshold_nanos = 0;
+    /// Slow-query log file. Empty with a non-zero threshold defaults to
+    /// `<dir>/slowlog.jsonl` (in-memory ring only for in-memory stores).
+    std::string slow_query_log_path;
   };
 
   static util::StatusOr<std::unique_ptr<AionStore>> Open(
@@ -270,6 +277,11 @@ class AionStore : public txn::TransactionEventListener {
   /// with every layer underneath (page caches, B+Trees, the three stores).
   obs::MetricsRegistry* metrics() const { return metrics_.get(); }
 
+  /// The slow-query log (never null; disabled unless
+  /// Options::slow_query_threshold_nanos > 0). The query engine records
+  /// into it; CALL dbms.slowlog() reads it back.
+  obs::SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
+
   /// Cascade watermark: highest timestamp the LineageStore has applied
   /// (0 when disabled). Cheap — a single atomic load.
   Timestamp cascade_applied_ts() const {
@@ -304,6 +316,7 @@ class AionStore : public txn::TransactionEventListener {
   // Declared first: every store below holds raw instrument pointers into
   // the registry, so it must outlive them during destruction.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
   Options options_;
   std::unique_ptr<storage::StringPool> string_pool_;
   std::unique_ptr<GraphStore> graph_store_;

@@ -1,5 +1,7 @@
 #include "core/graphstore.h"
 
+#include "obs/query_stats.h"
+
 #include <algorithm>
 
 namespace aion::core {
@@ -41,6 +43,7 @@ GraphStore::Shard& GraphStore::ShardFor(Timestamp ts) {
 
 void GraphStore::CountHit(Shard* shard) {
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::TickGraphStoreHit();
   if (metric_hits_ != nullptr) metric_hits_->Add();
   if (shard != nullptr && shard->metric_hits != nullptr) {
     shard->metric_hits->Add();
@@ -49,6 +52,7 @@ void GraphStore::CountHit(Shard* shard) {
 
 void GraphStore::CountMiss(Shard* shard) {
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::TickGraphStoreMiss();
   if (metric_misses_ != nullptr) metric_misses_->Add();
   if (shard != nullptr && shard->metric_misses != nullptr) {
     shard->metric_misses->Add();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/query_stats.h"
 #include "obs/trace.h"
 #include "storage/file.h"
 #include "util/coding.h"
@@ -294,6 +295,7 @@ StatusOr<std::shared_ptr<const graph::GraphView>> TimeStore::GetGraphAt(
                         ReplayRange(base_ts, t));
   if (metric_replayed_updates_ != nullptr) {
     metric_replayed_updates_->Add(diff.size());
+    obs::TickRecordsReplayed(diff.size());
   }
   if (diff.empty()) {
     return std::static_pointer_cast<const graph::GraphView>(base);
@@ -319,6 +321,7 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> TimeStore::MaterializeGraphAt(
                         ReplayRange(base_ts, t));
   if (metric_replayed_updates_ != nullptr) {
     metric_replayed_updates_->Add(diff.size());
+    obs::TickRecordsReplayed(diff.size());
   }
   AION_RETURN_IF_ERROR(graph->ApplyAll(diff));
   return graph;

@@ -34,6 +34,13 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
   return slot.get();
 }
 
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, histogram] : histograms_) histogram->Clear();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   std::lock_guard<std::mutex> lock(mu_);
@@ -125,6 +132,55 @@ std::string MetricsSnapshot::ToJson() const {
     out.push_back('}');
   }
   out.append("}}");
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "aion_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, value] : counters) {
+    const std::string p = PrometheusName(name);
+    out.append("# TYPE ").append(p).append(" counter\n");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out.append(p).append(buf);
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = PrometheusName(name);
+    out.append("# TYPE ").append(p).append(" gauge\n");
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
+    out.append(p).append(buf);
+  }
+  // Histograms expose as summaries: the registry keeps fixed quantiles, not
+  // cumulative buckets, and summaries carry quantiles natively. Values stay
+  // in the recorded unit (nanoseconds; the instrument names say so).
+  for (const auto& [name, summary] : histograms) {
+    const std::string p = PrometheusName(name);
+    out.append("# TYPE ").append(p).append(" summary\n");
+    std::snprintf(buf, sizeof(buf), "{quantile=\"0.5\"} %" PRIu64 "\n",
+                  summary.p50);
+    out.append(p).append(buf);
+    std::snprintf(buf, sizeof(buf), "{quantile=\"0.95\"} %" PRIu64 "\n",
+                  summary.p95);
+    out.append(p).append(buf);
+    std::snprintf(buf, sizeof(buf), "{quantile=\"0.99\"} %" PRIu64 "\n",
+                  summary.p99);
+    out.append(p).append(buf);
+    std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", summary.sum);
+    out.append(p).append(buf);
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", summary.count);
+    out.append(p).append(buf);
+  }
   return out;
 }
 

@@ -34,6 +34,7 @@ class Counter {
  public:
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> value_{0};
@@ -78,7 +79,17 @@ struct MetricsSnapshot {
   /// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
   /// "mean_us":..,"p50_us":..,"p95_us":..,"p99_us":..,"max_us":..}}}
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters and gauges as
+  /// single samples, histograms as summaries (`{quantile="..."}` +
+  /// `_sum`/`_count`). Instrument names go through PrometheusName().
+  std::string ToPrometheus() const;
 };
+
+/// Prometheus name mangling: "aion_" prefix, then every character outside
+/// [a-zA-Z0-9_] becomes '_' (so "query.parse_nanos" ->
+/// "aion_query_parse_nanos"). Deterministic, shared with tests.
+std::string PrometheusName(const std::string& name);
 
 class MetricsRegistry {
  public:
@@ -94,6 +105,13 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
   std::string ToJson() const { return Snapshot().ToJson(); }
+  std::string ToPrometheus() const { return Snapshot().ToPrometheus(); }
+
+  /// Zeroes every registered instrument in place. Resolved instrument
+  /// pointers stay valid — values reset, nothing is deallocated — so hot
+  /// paths that cached a Counter*/Histogram* keep recording. Lets benches
+  /// and tests measure phases instead of process lifetimes.
+  void Reset();
 
  private:
   mutable std::mutex mu_;

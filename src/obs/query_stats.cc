@@ -1,0 +1,69 @@
+#include "obs/query_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aion::obs {
+
+namespace {
+thread_local QueryStatsScope* tls_scope = nullptr;
+}  // namespace
+
+void QueryStats::Add(const QueryStats& other) {
+  bptree_probes += other.bptree_probes;
+  records_replayed += other.records_replayed;
+  graphstore_hits += other.graphstore_hits;
+  graphstore_misses += other.graphstore_misses;
+  pagecache_hits += other.pagecache_hits;
+  pagecache_misses += other.pagecache_misses;
+}
+
+QueryStats QueryStats::DeltaSince(const QueryStats& since) const {
+  QueryStats d;
+  d.bptree_probes = bptree_probes - since.bptree_probes;
+  d.records_replayed = records_replayed - since.records_replayed;
+  d.graphstore_hits = graphstore_hits - since.graphstore_hits;
+  d.graphstore_misses = graphstore_misses - since.graphstore_misses;
+  d.pagecache_hits = pagecache_hits - since.pagecache_hits;
+  d.pagecache_misses = pagecache_misses - since.pagecache_misses;
+  return d;
+}
+
+bool QueryStats::IsZero() const {
+  return bptree_probes == 0 && records_replayed == 0 &&
+         graphstore_hits == 0 && graphstore_misses == 0 &&
+         pagecache_hits == 0 && pagecache_misses == 0;
+}
+
+std::string QueryStats::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bptree_probes\":%" PRIu64
+                ",\"records_replayed\":%" PRIu64
+                ",\"graphstore_hits\":%" PRIu64
+                ",\"graphstore_misses\":%" PRIu64
+                ",\"pagecache_hits\":%" PRIu64
+                ",\"pagecache_misses\":%" PRIu64 "}",
+                bptree_probes, records_replayed, graphstore_hits,
+                graphstore_misses, pagecache_hits, pagecache_misses);
+  return buf;
+}
+
+QueryStatsScope::QueryStatsScope() : prev_(tls_scope) { tls_scope = this; }
+
+QueryStatsScope::~QueryStatsScope() {
+  tls_scope = prev_;
+  if (prev_ != nullptr) prev_->stats_.Add(stats_);
+}
+
+QueryStats QueryStatsScope::TakeDelta() {
+  QueryStats delta = stats_.DeltaSince(mark_);
+  mark_ = stats_;
+  return delta;
+}
+
+QueryStats* QueryStatsScope::Current() {
+  return tls_scope == nullptr ? nullptr : &tls_scope->stats_;
+}
+
+}  // namespace aion::obs

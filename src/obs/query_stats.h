@@ -1,0 +1,93 @@
+// Per-query attribution of store work. A QueryStatsScope installs a
+// thread-local accumulator for the duration of one query; the core stores
+// (B+Trees, TimeStore replay, GraphStore snapshot cache, PageCache) tick
+// into it through the inline helpers below whenever a scope is active on
+// the calling thread. When no scope is active a tick is one thread-local
+// load plus a branch, so the global counters stay the only cost on paths
+// outside PROFILE / slow-query accounting.
+//
+// Attribution is thread-local by design: work delegated to worker threads
+// (e.g. the TimeStore's parallel replay decode) is not attributed to the
+// query, so per-query sums are a lower bound of the global counter deltas
+// (an invariant the tests pin).
+//
+// Scopes nest: on destruction an inner scope folds its counts into the
+// enclosing scope, so a procedure profiled inside a profiled query
+// attributes to both.
+#ifndef AION_OBS_QUERY_STATS_H_
+#define AION_OBS_QUERY_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aion::obs {
+
+/// Store work attributed to one query (or one operator within it).
+struct QueryStats {
+  uint64_t bptree_probes = 0;      // B+Tree point/seek/scan entries
+  uint64_t records_replayed = 0;   // TimeStore log records decoded
+  uint64_t graphstore_hits = 0;    // snapshot-cache hits
+  uint64_t graphstore_misses = 0;  // snapshot-cache misses
+  uint64_t pagecache_hits = 0;     // resident-frame fetches
+  uint64_t pagecache_misses = 0;   // fetches that read from disk
+
+  void Add(const QueryStats& other);
+  /// Component-wise `this - since` (callers pass an earlier mark of the
+  /// same accumulator, so no underflow).
+  QueryStats DeltaSince(const QueryStats& since) const;
+  bool IsZero() const;
+
+  /// {"bptree_probes":N,...} — the slow-query-log summary payload.
+  std::string ToJson() const;
+};
+
+/// RAII: installs a thread-local QueryStats accumulator. The store tick
+/// helpers below add into the innermost active scope of their thread.
+class QueryStatsScope {
+ public:
+  QueryStatsScope();
+  ~QueryStatsScope();
+
+  QueryStatsScope(const QueryStatsScope&) = delete;
+  QueryStatsScope& operator=(const QueryStatsScope&) = delete;
+
+  const QueryStats& stats() const { return stats_; }
+
+  /// Stats accumulated since the previous TakeDelta (or construction) —
+  /// slices one query's work into per-operator deltas.
+  QueryStats TakeDelta();
+
+  /// The innermost active scope's accumulator on this thread (nullptr when
+  /// none). Exposed for the tick helpers and tests.
+  static QueryStats* Current();
+
+ private:
+  QueryStats stats_;
+  QueryStats mark_;  // snapshot at the last TakeDelta
+  QueryStatsScope* prev_;
+};
+
+// --- store tick points (no-ops without an active scope) -------------------
+
+inline void TickBpTreeProbe() {
+  if (QueryStats* s = QueryStatsScope::Current()) ++s->bptree_probes;
+}
+inline void TickRecordsReplayed(uint64_t n) {
+  if (QueryStats* s = QueryStatsScope::Current()) s->records_replayed += n;
+}
+inline void TickGraphStoreHit() {
+  if (QueryStats* s = QueryStatsScope::Current()) ++s->graphstore_hits;
+}
+inline void TickGraphStoreMiss() {
+  if (QueryStats* s = QueryStatsScope::Current()) ++s->graphstore_misses;
+}
+inline void TickPageCacheHit() {
+  if (QueryStats* s = QueryStatsScope::Current()) ++s->pagecache_hits;
+}
+inline void TickPageCacheMiss() {
+  if (QueryStats* s = QueryStatsScope::Current()) ++s->pagecache_misses;
+}
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_QUERY_STATS_H_

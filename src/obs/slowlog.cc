@@ -1,0 +1,131 @@
+#include "obs/slowlog.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace aion::obs {
+
+namespace {
+
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(const Options& options) : options_(options) {
+  const size_t capacity =
+      options_.ring_capacity == 0 ? 1 : options_.ring_capacity;
+  ring_.resize(capacity);
+  if (enabled() && !options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), "a");
+    if (file_ != nullptr) {
+      std::fseek(file_, 0, SEEK_END);
+      const long pos = std::ftell(file_);
+      file_bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+    }
+  }
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string SlowQueryLog::ToJsonLine(const Entry& entry) {
+  std::string line;
+  char buf[64];
+  line.append("{\"unix_millis\":");
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, entry.unix_millis);
+  line.append(buf);
+  line.append(",\"nanos\":");
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, entry.nanos);
+  line.append(buf);
+  line.append(",\"store\":");
+  AppendEscaped(&line, entry.store);
+  line.append(",\"query\":");
+  AppendEscaped(&line, entry.query);
+  line.append(",\"summary\":");
+  line.append(entry.summary_json.empty() ? "{}" : entry.summary_json);
+  line.push_back('}');
+  return line;
+}
+
+void SlowQueryLog::Record(Entry entry) {
+  if (!enabled() || entry.nanos < options_.threshold_nanos) return;
+  if (entry.unix_millis == 0) entry.unix_millis = UnixMillisNow();
+  const std::string line = ToJsonLine(entry);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_ % ring_.size()] = std::move(entry);
+  ++next_;
+  WriteLine(line);
+}
+
+void SlowQueryLog::WriteLine(const std::string& line) {
+  if (file_ == nullptr) return;
+  if (file_bytes_ + line.size() + 1 > options_.max_file_bytes) {
+    // Rotate: current file becomes `.1` (replacing the previous generation)
+    // and a fresh file takes over. One generation bounds disk use at about
+    // twice max_file_bytes.
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string rotated = options_.path + ".1";
+    std::remove(rotated.c_str());
+    std::rename(options_.path.c_str(), rotated.c_str());
+    file_ = std::fopen(options_.path.c_str(), "a");
+    file_bytes_ = 0;
+    if (file_ == nullptr) return;
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  file_bytes_ += line.size() + 1;
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  const uint64_t capacity = ring_.size();
+  const uint64_t live = next_ < capacity ? next_ : capacity;
+  out.reserve(live);
+  for (uint64_t i = next_ - live; i < next_; ++i) {
+    out.push_back(ring_[i % capacity]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+}  // namespace aion::obs

@@ -1,0 +1,79 @@
+// Slow-query log: queries whose wall time crosses a configurable threshold
+// are recorded as JSON-lines through a small rotating writer, and kept in a
+// bounded in-memory ring surfaced via `CALL dbms.slowlog()`. Disabled by
+// default (threshold 0): Record() is then a no-op, so the log costs nothing
+// until a deployment opts in (AionStore::Options::slow_query_threshold_nanos).
+//
+// Record schema (one JSON object per line, documented in
+// docs/observability.md):
+//   {"unix_millis":..,"nanos":..,"store":"..","query":"..","summary":{...}}
+#ifndef AION_OBS_SLOWLOG_H_
+#define AION_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aion::obs {
+
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Queries at or above this wall time are logged; 0 disables the log.
+    uint64_t threshold_nanos = 0;
+    /// JSON-lines file; empty keeps records in memory only.
+    std::string path;
+    /// When the file exceeds this, it is rotated to `path + ".1"` (one
+    /// generation kept).
+    size_t max_file_bytes = 4u << 20;
+    /// Entries retained for CALL dbms.slowlog() (oldest dropped).
+    size_t ring_capacity = 128;
+  };
+
+  struct Entry {
+    uint64_t unix_millis = 0;  // wall-clock capture time
+    uint64_t nanos = 0;        // query wall time
+    std::string store;         // "lineage" / "timestore" / "latest" / "-"
+    std::string query;         // statement text
+    std::string summary_json;  // QueryStats::ToJson() ("{}" when absent)
+  };
+
+  explicit SlowQueryLog(const Options& options);
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  bool enabled() const { return options_.threshold_nanos > 0; }
+  uint64_t threshold_nanos() const { return options_.threshold_nanos; }
+
+  /// Appends one record (ring + file). No-op when the log is disabled or
+  /// `entry.nanos` is below the threshold, so callers may record
+  /// unconditionally.
+  void Record(Entry entry);
+
+  /// Retained entries, oldest first.
+  std::vector<Entry> Recent() const;
+
+  /// Records accepted since construction (>= ring occupancy).
+  uint64_t total_recorded() const;
+
+  /// One record as a JSON line (no trailing newline). Exposed for tests.
+  static std::string ToJsonLine(const Entry& entry);
+
+ private:
+  void WriteLine(const std::string& line);  // callers hold mu_
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<Entry> ring_;
+  uint64_t next_ = 0;  // total records; next slot = next_ % capacity
+  std::FILE* file_ = nullptr;
+  size_t file_bytes_ = 0;
+};
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_SLOWLOG_H_

@@ -1,9 +1,20 @@
 #include "obs/trace.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <functional>
 #include <thread>
 
 namespace aion::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{0};
+std::atomic<uint64_t> g_next_query_id{0};
+thread_local uint64_t tls_current_span = 0;
+thread_local uint64_t tls_current_query = 0;
+
+}  // namespace
 
 TraceSink& TraceSink::Global() {
   static TraceSink* sink = new TraceSink();
@@ -33,6 +44,34 @@ std::vector<TraceEvent> TraceSink::Snapshot() const {
   return out;
 }
 
+std::string TraceSink::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[";
+  char buf[384];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    // Complete events: ts/dur are doubles in microseconds per the
+    // trace_event spec. pid is constant (one process); tid carries the
+    // recording thread so lanes separate in the viewer.
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"aion\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu64
+        ",\"args\":{\"span_id\":%" PRIu64 ",\"parent_id\":%" PRIu64
+        ",\"query_id\":%" PRIu64 "}}",
+        e.name == nullptr ? "" : e.name,
+        static_cast<double>(e.start_nanos) / 1000.0,
+        static_cast<double>(e.duration_nanos) / 1000.0,
+        e.thread_id % 1000000,  // viewers choke on 64-bit tids
+        e.span_id, e.parent_id, e.query_id);
+    out.append(buf);
+  }
+  out.push_back(']');
+  return out;
+}
+
 uint64_t TraceSink::total_recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_;
@@ -44,7 +83,17 @@ void TraceSink::Clear() {
   for (TraceEvent& e : ring_) e = TraceEvent{};
 }
 
+TraceSpan::TraceSpan(const char* name, Histogram* histogram)
+    : name_(name),
+      histogram_(histogram),
+      start_(NowNanos()),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1),
+      parent_(tls_current_span) {
+  tls_current_span = id_;
+}
+
 TraceSpan::~TraceSpan() {
+  tls_current_span = parent_;
   const uint64_t duration = NowNanos() - start_;
   if (histogram_ != nullptr) histogram_->Record(duration);
   TraceSink& sink = TraceSink::Global();
@@ -55,7 +104,25 @@ TraceSpan::~TraceSpan() {
   event.duration_nanos = duration;
   event.thread_id =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
+  event.span_id = id_;
+  event.parent_id = parent_;
+  event.query_id = tls_current_query;
   sink.Record(event);
+}
+
+uint64_t TraceSpan::CurrentSpanId() { return tls_current_span; }
+
+TraceContext::TraceContext(uint64_t query_id)
+    : id_(query_id), prev_(tls_current_query) {
+  tls_current_query = id_;
+}
+
+TraceContext::~TraceContext() { tls_current_query = prev_; }
+
+uint64_t TraceContext::CurrentQueryId() { return tls_current_query; }
+
+uint64_t TraceContext::NextQueryId() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace aion::obs

@@ -1,9 +1,21 @@
-// Observability: lightweight tracing. AION_TRACE_SPAN("timestore.replay")
+// Observability: hierarchical tracing. AION_TRACE_SPAN("timestore.replay")
 // opens an RAII span that, on scope exit, records {name, start, duration,
-// thread} into a fixed-capacity ring buffer (the process-wide TraceSink).
+// thread, span id, parent span id, query id} into a fixed-capacity ring
+// buffer (the process-wide TraceSink). Parentage is implicit: a span's
+// parent is whatever span was open on the same thread when it was
+// constructed, so the server's per-connection span naturally becomes the
+// parent of every query span executed on that connection, and query spans
+// parent the store spans underneath. A TraceContext additionally stamps the
+// thread's current query id onto every span it covers.
+//
 // Recording is one short critical section over a preallocated ring — no
 // allocation on the hot path once the ring is warm — and can be disabled
-// globally, which reduces a span to two steady_clock reads.
+// globally (the flag is a std::atomic<bool>, safe to toggle while other
+// threads record), which reduces a span to two steady_clock reads.
+//
+// The sink exports the ring as Chrome trace_event JSON
+// (ExportChromeTrace), loadable in chrome://tracing or Perfetto and
+// surfaced as `CALL dbms.trace.export()`.
 //
 // A span can additionally feed an obs::Histogram so the same probe drives
 // both the trace timeline and the latency distribution in DBMS METRICS.
@@ -25,6 +37,9 @@ struct TraceEvent {
   uint64_t start_nanos = 0;    // steady-clock epoch (durations, not wall)
   uint64_t duration_nanos = 0;
   uint64_t thread_id = 0;
+  uint64_t span_id = 0;    // unique per span, > 0
+  uint64_t parent_id = 0;  // enclosing span on the same thread; 0 = root
+  uint64_t query_id = 0;   // innermost TraceContext; 0 = outside any query
 };
 
 /// Fixed-capacity ring buffer of completed spans; oldest entries are
@@ -43,6 +58,12 @@ class TraceSink {
   /// Completed spans, oldest first.
   std::vector<TraceEvent> Snapshot() const;
 
+  /// The ring as a Chrome trace_event JSON array — one complete event
+  /// (`"ph":"X"`) per span with microsecond ts/dur and
+  /// {span_id, parent_id, query_id} in args. Loadable in chrome://tracing
+  /// and Perfetto; format documented in docs/observability.md.
+  std::string ExportChromeTrace() const;
+
   /// Spans recorded since construction/Clear (>= ring occupancy).
   uint64_t total_recorded() const;
 
@@ -57,6 +78,8 @@ class TraceSink {
 
  private:
   const size_t capacity_;
+  // atomic: tests and operators toggle tracing while ingest/query threads
+  // are mid-span; readers must not race the writer.
   std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
@@ -64,20 +87,51 @@ class TraceSink {
 };
 
 /// RAII span. Records into TraceSink::Global() when tracing is enabled and
-/// into `histogram` (if given) unconditionally.
+/// into `histogram` (if given) unconditionally. Nested spans on one thread
+/// form a parent chain via a thread-local current-span register.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name, Histogram* histogram = nullptr)
-      : name_(name), histogram_(histogram), start_(NowNanos()) {}
+  explicit TraceSpan(const char* name, Histogram* histogram = nullptr);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  uint64_t span_id() const { return id_; }
+
+  /// The innermost open span on this thread (0 = none).
+  static uint64_t CurrentSpanId();
+
  private:
   const char* name_;
   Histogram* histogram_;
   uint64_t start_;
+  uint64_t id_;
+  uint64_t parent_;  // restored as the thread's current span on destruction
+};
+
+/// RAII query-id scope: spans opened on this thread while the context is
+/// alive carry `query_id` in their TraceEvent, tying the trace tree to the
+/// statement the engine executed. Contexts nest (procedure sub-queries keep
+/// their caller's id restored afterwards).
+class TraceContext {
+ public:
+  explicit TraceContext(uint64_t query_id);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  uint64_t query_id() const { return id_; }
+
+  static uint64_t CurrentQueryId();
+
+  /// Process-wide monotonic query-id source (starts at 1).
+  static uint64_t NextQueryId();
+
+ private:
+  uint64_t id_;
+  uint64_t prev_;
 };
 
 }  // namespace aion::obs

@@ -156,6 +156,12 @@ struct Statement {
   enum class Kind { kMatch, kCreate, kMatchSet, kMatchDelete, kCall };
   Kind kind = Kind::kMatch;
 
+  /// EXPLAIN/PROFILE prefix. kExplain describes the plan without executing
+  /// (even for writes); kProfile executes and returns per-operator rows,
+  /// store probes, and wall nanos instead of the query's own rows.
+  enum class Mode { kRegular, kExplain, kProfile };
+  Mode mode = Mode::kRegular;
+
   TimeSpec time;                 // USE ... FOR SYSTEM_TIME
   std::vector<PathPattern> patterns;   // MATCH or CREATE patterns
   std::vector<Predicate> predicates;   // WHERE (conjunction)

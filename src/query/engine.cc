@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/bitemporal.h"
+#include "obs/query_stats.h"
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "query/procedures.h"
@@ -16,6 +17,75 @@ using graph::NodeId;
 using graph::Relationship;
 using util::Status;
 using util::StatusOr;
+
+namespace {
+
+/// One finished PROFILE operator: what ran, where, and what it cost.
+struct ProfileStep {
+  std::string op;
+  std::string detail;
+  std::string store;
+  uint64_t rows = 0;
+  obs::QueryStats stats;
+  uint64_t nanos = 0;
+};
+
+class ProfileRecorder {
+ public:
+  void Step(ProfileStep step) { steps_.push_back(std::move(step)); }
+  const std::vector<ProfileStep>& steps() const { return steps_; }
+
+ private:
+  std::vector<ProfileStep> steps_;
+};
+
+// The engine instance is shared across server connection threads, so the
+// active profile and the "which store served the last statement" register
+// are thread-local rather than members.
+thread_local ProfileRecorder* tls_profile = nullptr;
+thread_local const char* tls_last_store = "-";
+
+/// RAII profile stage: when a ProfileRecorder is active on this thread,
+/// measures wall nanos and the QueryStats delta across the enclosed code and
+/// appends one ProfileStep on destruction. Free when PROFILE is not active.
+class ProfileStage {
+ public:
+  ProfileStage(const char* op, std::string detail)
+      : active_(tls_profile != nullptr) {
+    if (!active_) return;
+    op_ = op;
+    detail_ = std::move(detail);
+    if (obs::QueryStats* s = obs::QueryStatsScope::Current()) mark_ = *s;
+    start_ = obs::NowNanos();
+  }
+  ~ProfileStage() {
+    if (!active_) return;
+    ProfileStep step;
+    step.op = op_;
+    step.detail = std::move(detail_);
+    step.store = tls_last_store;
+    step.rows = rows_;
+    if (obs::QueryStats* s = obs::QueryStatsScope::Current()) {
+      step.stats = s->DeltaSince(mark_);
+    }
+    step.nanos = obs::NowNanos() - start_;
+    tls_profile->Step(std::move(step));
+  }
+  ProfileStage(const ProfileStage&) = delete;
+  ProfileStage& operator=(const ProfileStage&) = delete;
+
+  void set_rows(uint64_t rows) { rows_ = rows; }
+
+ private:
+  const bool active_;
+  const char* op_ = nullptr;
+  std::string detail_;
+  obs::QueryStats mark_;
+  uint64_t start_ = 0;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace
 
 QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
     : db_(db), aion_(aion) {
@@ -33,6 +103,7 @@ QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
   metric_parse_ = metrics_->histogram("query.parse_nanos");
   metric_plan_ = metrics_->histogram("query.plan_nanos");
   metric_execute_ = metrics_->histogram("query.execute_nanos");
+  slow_log_ = aion_ != nullptr ? aion_->slow_query_log() : nullptr;
   RegisterBuiltinProcedures();
 }
 
@@ -55,14 +126,104 @@ StatusOr<QueryResult> QueryEngine::Execute(const std::string& text) {
     metric_failures_->Add();
     return stmt.status();
   }
-  return Execute(*stmt);
+  if (slow_log_ == nullptr || !slow_log_->enabled()) return Execute(*stmt);
+  // Slow-log capture needs the statement text, so it lives on this overload
+  // only: time the statement and collect store probes for the summary.
+  obs::QueryStatsScope stats_scope;
+  tls_last_store = "-";
+  const uint64_t start = obs::NowNanos();
+  StatusOr<QueryResult> result = Execute(*stmt);
+  const uint64_t elapsed = obs::NowNanos() - start;
+  if (elapsed >= slow_log_->threshold_nanos()) {
+    obs::SlowQueryLog::Entry entry;
+    entry.nanos = elapsed;
+    entry.store = tls_last_store;
+    entry.query = text;
+    entry.summary_json = stats_scope.stats().ToJson();
+    slow_log_->Record(std::move(entry));
+  }
+  return result;
 }
 
 StatusOr<QueryResult> QueryEngine::Execute(const Statement& stmt) {
+  obs::TraceContext trace_context(obs::TraceContext::NextQueryId());
   AION_TRACE_SPAN("query.execute", metric_execute_);
   metric_statements_->Add();
-  StatusOr<QueryResult> result = ExecuteDispatch(stmt);
+  StatusOr<QueryResult> result =
+      stmt.mode == Statement::Mode::kExplain   ? ExecuteExplain(stmt)
+      : stmt.mode == Statement::Mode::kProfile ? ExecuteProfile(stmt)
+                                               : ExecuteDispatch(stmt);
   if (!result.ok()) metric_failures_->Add();
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteExplain(const Statement& stmt) {
+  Statement inner = stmt;
+  inner.mode = Statement::Mode::kRegular;
+  PlanInfo plan;
+  {
+    obs::ScopedLatency plan_latency(metric_plan_);
+    plan = PlanStatement(inner, aion_);
+  }
+  const std::vector<PlanOperator> ops = DescribePlan(inner, plan, aion_);
+  QueryResult result;
+  result.columns = {"operator", "depth", "detail", "store", "temporal"};
+  for (const PlanOperator& op : ops) {
+    result.rows.push_back({Value(op.op), Value(static_cast<int64_t>(op.depth)),
+                           Value(op.detail), Value(op.store),
+                           Value(op.temporal)});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteProfile(const Statement& stmt) {
+  Statement inner = stmt;
+  inner.mode = Statement::Mode::kRegular;
+  ProfileRecorder recorder;
+  ProfileRecorder* prev_profile = tls_profile;
+  tls_profile = &recorder;
+  StatusOr<QueryResult> executed = Status::Internal("profile did not run");
+  uint64_t total_nanos = 0;
+  obs::QueryStats total_stats;
+  {
+    // The scope must close before we read its totals; the recorder's stages
+    // slice the same accumulator into per-operator deltas.
+    obs::QueryStatsScope stats_scope;
+    const uint64_t start = obs::NowNanos();
+    executed = ExecuteDispatch(inner);
+    total_nanos = obs::NowNanos() - start;
+    total_stats = stats_scope.stats();
+  }
+  tls_profile = prev_profile;
+  if (!executed.ok()) return executed.status();
+
+  QueryResult result;
+  result.columns = {"operator",         "detail",
+                    "store",            "rows",
+                    "bptree_probes",    "records_replayed",
+                    "graphstore_hits",  "graphstore_misses",
+                    "pagecache_hits",   "pagecache_misses",
+                    "nanos"};
+  auto append = [&result](const ProfileStep& step) {
+    result.rows.push_back(
+        {Value(step.op), Value(step.detail), Value(step.store),
+         Value(static_cast<int64_t>(step.rows)),
+         Value(static_cast<int64_t>(step.stats.bptree_probes)),
+         Value(static_cast<int64_t>(step.stats.records_replayed)),
+         Value(static_cast<int64_t>(step.stats.graphstore_hits)),
+         Value(static_cast<int64_t>(step.stats.graphstore_misses)),
+         Value(static_cast<int64_t>(step.stats.pagecache_hits)),
+         Value(static_cast<int64_t>(step.stats.pagecache_misses)),
+         Value(static_cast<int64_t>(step.nanos))});
+  };
+  for (const ProfileStep& step : recorder.steps()) append(step);
+  ProfileStep total;
+  total.op = "Total";
+  total.store = tls_last_store;
+  total.rows = executed->rows.size();
+  total.stats = total_stats;
+  total.nanos = total_nanos;
+  append(total);
   return result;
 }
 
@@ -106,28 +267,36 @@ StatusOr<std::shared_ptr<const GraphView>> QueryEngine::ViewAt(
 
 StatusOr<QueryResult> QueryEngine::ExecutePointHistory(const Statement& stmt,
                                                        const PlanInfo& plan) {
-  graph::Timestamp start, end;
+  graph::Timestamp start = 0, end = 0;
   stmt.time.ToWindow(&start, &end);
-  AION_ASSIGN_OR_RETURN(std::vector<graph::NodeVersion> versions,
-                        aion_->GetNode(plan.anchor_id, start, end));
-  // Bitemporal filter (Sec 4.5): system-time-valid results first, then the
-  // application-time predicate.
-  for (const Predicate& pred : stmt.predicates) {
-    if (pred.kind == Predicate::Kind::kApplicationTime) {
-      versions = core::FilterByApplicationTime(std::move(versions),
-                                               pred.app_a, pred.app_b);
-    }
-  }
-  // Label / property predicates still apply per version.
-  const PathPattern& path = stmt.patterns.front();
   std::vector<Binding> bindings;
-  for (graph::NodeVersion& v : versions) {
-    if (!NodeMatches(path.nodes.front(), v.entity)) continue;
-    Binding binding;
-    binding.values[path.nodes.front().variable] = Value(std::move(v.entity));
-    if (PredicatesHold(stmt, binding)) bindings.push_back(std::move(binding));
+  {
+    ProfileStage stage("NodeHistoryScan",
+                       "node=" + std::to_string(plan.anchor_id));
+    AION_ASSIGN_OR_RETURN(std::vector<graph::NodeVersion> versions,
+                          aion_->GetNode(plan.anchor_id, start, end));
+    // Bitemporal filter (Sec 4.5): system-time-valid results first, then the
+    // application-time predicate.
+    for (const Predicate& pred : stmt.predicates) {
+      if (pred.kind == Predicate::Kind::kApplicationTime) {
+        versions = core::FilterByApplicationTime(std::move(versions),
+                                                 pred.app_a, pred.app_b);
+      }
+    }
+    // Label / property predicates still apply per version.
+    const PathPattern& path = stmt.patterns.front();
+    for (graph::NodeVersion& v : versions) {
+      if (!NodeMatches(path.nodes.front(), v.entity)) continue;
+      Binding binding;
+      binding.values[path.nodes.front().variable] = Value(std::move(v.entity));
+      if (PredicatesHold(stmt, binding)) bindings.push_back(std::move(binding));
+    }
+    stage.set_rows(bindings.size());
   }
-  return Project(stmt, bindings);
+  ProfileStage stage("ProduceResults", "");
+  StatusOr<QueryResult> result = Project(stmt, bindings);
+  if (result.ok()) stage.set_rows(result->rows.size());
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -429,6 +598,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
   }
   PlanInfo plan;
   {
+    ProfileStage plan_stage("Plan", "");
     obs::ScopedLatency plan_latency(metric_plan_);
     plan = PlanStatement(stmt, aion_);
   }
@@ -440,17 +610,18 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
   if (point_plan) {
     // The point plan routes through AionStore::GetNode: LineageStore when
     // the cascade can serve the window, TimeStore fallback otherwise.
-    graph::Timestamp start, end;
+    graph::Timestamp start = 0, end = 0;
     stmt.time.ToWindow(&start, &end);
     if (aion_->LineageCanServe(std::max(start, end))) {
+      tls_last_store = "lineage";
       metric_store_lineage_->Add();
     } else {
+      tls_last_store = "timestore";
       metric_store_timestore_->Add();
     }
     return ExecutePointHistory(stmt, plan);
   }
   // Snapshot (or latest) execution.
-  AION_ASSIGN_OR_RETURN(auto view, ViewAt(stmt.time));
   if (stmt.time.kind != TimeSpec::Kind::kLatest &&
       stmt.time.kind != TimeSpec::Kind::kAsOf) {
     return Status::Unimplemented(
@@ -458,13 +629,37 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
         "temporal procedures (aion.*)");
   }
   if (stmt.time.kind == TimeSpec::Kind::kLatest) {
+    tls_last_store = "latest";
     metric_store_latest_->Add();
   } else {
-    metric_store_timestore_->Add();  // AS OF snapshot = TimeStore replay
+    tls_last_store = "timestore";  // AS OF snapshot = TimeStore replay
+    metric_store_timestore_->Add();
   }
-  AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
-                        MatchPatterns(stmt, *view));
-  return Project(stmt, bindings);
+  StatusOr<std::shared_ptr<const GraphView>> view =
+      Status::Internal("view not resolved");
+  {
+    ProfileStage stage(
+        stmt.time.kind == TimeSpec::Kind::kLatest ? "ViewLatest"
+                                                  : "SnapshotLoad",
+        stmt.time.kind == TimeSpec::Kind::kLatest
+            ? ""
+            : "t=" + std::to_string(stmt.time.a));
+    view = ViewAt(stmt.time);
+  }
+  AION_RETURN_IF_ERROR(view.status());
+  std::vector<Binding> bindings;
+  {
+    ProfileStage stage(plan.anchored_by_id ? "NodeByIdSeek" : "NodeScan",
+                       plan.anchored_by_id
+                           ? "id=" + std::to_string(plan.anchor_id)
+                           : "all nodes");
+    AION_ASSIGN_OR_RETURN(bindings, MatchPatterns(stmt, **view));
+    stage.set_rows(bindings.size());
+  }
+  ProfileStage stage("ProduceResults", "");
+  StatusOr<QueryResult> result = Project(stmt, bindings);
+  if (result.ok()) stage.set_rows(result->rows.size());
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -472,6 +667,8 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
 // ---------------------------------------------------------------------------
 
 StatusOr<QueryResult> QueryEngine::ExecuteCreate(const Statement& stmt) {
+  tls_last_store = "latest";
+  ProfileStage stage("Create", "");
   auto txn = db_->Begin();
   std::map<std::string, NodeId> created;
   for (const PathPattern& path : stmt.patterns) {
@@ -515,6 +712,8 @@ StatusOr<QueryResult> QueryEngine::ExecuteCreate(const Statement& stmt) {
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteMatchSet(const Statement& stmt) {
+  tls_last_store = "latest";
+  ProfileStage stage("SetProperties", "");
   AION_ASSIGN_OR_RETURN(auto view, ViewAt(TimeSpec{}));
   AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
                         MatchPatterns(stmt, *view));
@@ -548,6 +747,8 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatchSet(const Statement& stmt) {
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteMatchDelete(const Statement& stmt) {
+  tls_last_store = "latest";
+  ProfileStage stage(stmt.detach ? "DetachDelete" : "Delete", "");
   AION_ASSIGN_OR_RETURN(auto view, ViewAt(TimeSpec{}));
   AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
                         MatchPatterns(stmt, *view));
@@ -588,11 +789,17 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatchDelete(const Statement& stmt) {
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteCall(const Statement& stmt) {
+  tls_last_store = "-";
   auto it = procedures_.find(stmt.procedure);
   if (it == procedures_.end()) {
     return Status::NotFound("unknown procedure " + stmt.procedure);
   }
-  AION_ASSIGN_OR_RETURN(QueryResult result, it->second(*this, stmt.arguments));
+  QueryResult result;
+  {
+    ProfileStage stage("ProcedureCall", stmt.procedure);
+    AION_ASSIGN_OR_RETURN(result, it->second(*this, stmt.arguments));
+    stage.set_rows(result.rows.size());
+  }
   if (stmt.yields.empty()) return result;
   // Column projection per YIELD.
   std::vector<size_t> indices;

@@ -14,6 +14,7 @@
 
 #include "core/aion.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "query/ast.h"
 #include "query/planner.h"
 #include "query/value.h"
@@ -58,6 +59,11 @@ class QueryEngine {
   };
 
   util::StatusOr<QueryResult> ExecuteDispatch(const Statement& stmt);
+  /// EXPLAIN: renders the plan tree as rows without executing the statement.
+  util::StatusOr<QueryResult> ExecuteExplain(const Statement& stmt);
+  /// PROFILE: executes the statement and returns per-operator rows, store
+  /// probes (attributed via obs::QueryStatsScope), and wall nanos.
+  util::StatusOr<QueryResult> ExecuteProfile(const Statement& stmt);
   util::StatusOr<QueryResult> ExecuteMatch(const Statement& stmt);
   util::StatusOr<QueryResult> ExecuteCreate(const Statement& stmt);
   util::StatusOr<QueryResult> ExecuteMatchSet(const Statement& stmt);
@@ -88,6 +94,7 @@ class QueryEngine {
   txn::GraphDatabase* db_;
   core::AionStore* aion_;
   std::map<std::string, ProcedureFn> procedures_;
+  obs::SlowQueryLog* slow_log_ = nullptr;  // owned by aion_; null without one
 
   // Observability: per-stage timings plus one StoreChoice outcome per MATCH.
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // when aion_ == nullptr

@@ -18,7 +18,7 @@ const std::set<std::string>& Keywords() {
       "IN",    "MATCH",   "WHERE",       "RETURN", "LIMIT",    "CREATE",
       "SET",   "DELETE",  "CALL",        "YIELD",  "COUNT",    "ID",
       "APPLICATION_TIME", "ORDER", "BY",  "DESC",  "ASC",      "TRUE",
-      "FALSE", "NULL",    "DETACH"};
+      "FALSE", "NULL",    "DETACH",      "EXPLAIN", "PROFILE"};
   return *kKeywords;
 }
 

@@ -15,6 +15,11 @@ class Parser {
 
   StatusOr<Statement> ParseStatement() {
     Statement stmt;
+    if (MatchKeyword("EXPLAIN")) {
+      stmt.mode = Statement::Mode::kExplain;
+    } else if (MatchKeyword("PROFILE")) {
+      stmt.mode = Statement::Mode::kProfile;
+    }
     if (PeekKeyword("USE")) {
       AION_RETURN_IF_ERROR(ParseUseClause(&stmt));
     }

@@ -1,5 +1,9 @@
 #include "query/planner.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace aion::query {
 
 PlanInfo PlanStatement(const Statement& stmt, const core::AionStore* aion) {
@@ -51,6 +55,135 @@ PlanInfo PlanStatement(const Statement& stmt, const core::AionStore* aion) {
                      : core::AionStore::StoreChoice::kLineageStore;
   }
   return plan;
+}
+
+std::string DescribeTimeSpec(const TimeSpec& time) {
+  switch (time.kind) {
+    case TimeSpec::Kind::kLatest:
+      return "latest";
+    case TimeSpec::Kind::kAsOf:
+      return "AS OF " + std::to_string(time.a);
+    case TimeSpec::Kind::kFromTo:
+      return "FROM " + std::to_string(time.a) + " TO " +
+             std::to_string(time.b);
+    case TimeSpec::Kind::kBetween:
+      return "BETWEEN " + std::to_string(time.a) + " AND " +
+             std::to_string(time.b);
+    case TimeSpec::Kind::kContainedIn:
+      return "CONTAINED IN (" + std::to_string(time.a) + ", " +
+             std::to_string(time.b) + ")";
+  }
+  return "latest";
+}
+
+std::string DescribeStoreChoice(const Statement& stmt, const PlanInfo& plan,
+                                const core::AionStore* aion) {
+  switch (stmt.kind) {
+    case Statement::Kind::kCreate:
+    case Statement::Kind::kMatchSet:
+    case Statement::Kind::kMatchDelete:
+      return "latest";  // writes run against the host's current graph
+    case Statement::Kind::kCall:
+      return "-";
+    case Statement::Kind::kMatch:
+      break;
+  }
+  if (stmt.time.kind == TimeSpec::Kind::kLatest) return "latest";
+  if (aion == nullptr) return "latest";
+  // Point plans route through AionStore::GetNode: LineageStore when the
+  // cascade covers the window, TimeStore fallback otherwise (same test the
+  // engine applies at execution time).
+  const bool point_plan =
+      plan.access == PlanInfo::Access::kPointHistory ||
+      (plan.access == PlanInfo::Access::kPointLookup &&
+       stmt.time.kind == TimeSpec::Kind::kAsOf);
+  if (point_plan) {
+    graph::Timestamp start = 0, end = 0;
+    stmt.time.ToWindow(&start, &end);
+    return aion->LineageCanServe(std::max(start, end)) ? "lineage"
+                                                       : "timestore";
+  }
+  return "timestore";  // snapshot construction / replay
+}
+
+std::vector<PlanOperator> DescribePlan(const Statement& stmt,
+                                       const PlanInfo& plan,
+                                       const core::AionStore* aion) {
+  const std::string store = DescribeStoreChoice(stmt, plan, aion);
+  const std::string temporal = DescribeTimeSpec(stmt.time);
+  std::vector<PlanOperator> ops;
+  int depth = 0;
+  auto push = [&](std::string op, std::string detail) {
+    ops.push_back({std::move(op), depth++, std::move(detail), store, temporal});
+  };
+
+  std::string columns;
+  for (const ReturnItem& item : stmt.returns) {
+    if (!columns.empty()) columns += ", ";
+    columns += item.ColumnName();
+  }
+  push("ProduceResults", columns);
+
+  switch (stmt.kind) {
+    case Statement::Kind::kCreate: {
+      size_t nodes = 0, rels = 0;
+      for (const PathPattern& path : stmt.patterns) {
+        nodes += path.nodes.size();
+        rels += path.rels.size();
+      }
+      push("Create", std::to_string(nodes) + " nodes, " +
+                         std::to_string(rels) + " rels");
+      return ops;
+    }
+    case Statement::Kind::kCall:
+      push("ProcedureCall", stmt.procedure);
+      return ops;
+    case Statement::Kind::kMatchSet:
+      push("SetProperties", std::to_string(stmt.sets.size()) + " assignments");
+      break;
+    case Statement::Kind::kMatchDelete: {
+      std::string vars;
+      for (const std::string& var : stmt.deletes) {
+        if (!vars.empty()) vars += ", ";
+        vars += var;
+      }
+      push(stmt.detach ? "DetachDelete" : "Delete", vars);
+      break;
+    }
+    case Statement::Kind::kMatch:
+      break;
+  }
+
+  if (!stmt.predicates.empty()) {
+    push("Filter", std::to_string(stmt.predicates.size()) + " predicates");
+  }
+  if (plan.hops > 0) {
+    push("ExpandAll", "hops=" + std::to_string(plan.hops));
+  }
+
+  const bool point_plan =
+      stmt.kind == Statement::Kind::kMatch && aion != nullptr &&
+      (plan.access == PlanInfo::Access::kPointHistory ||
+       (plan.access == PlanInfo::Access::kPointLookup &&
+        stmt.time.kind == TimeSpec::Kind::kAsOf));
+  if (point_plan) {
+    push("NodeHistoryScan", "node=" + std::to_string(plan.anchor_id));
+    return ops;
+  }
+  if (plan.anchored_by_id) {
+    push("NodeByIdSeek", "id=" + std::to_string(plan.anchor_id));
+  } else {
+    const std::string label = stmt.patterns.empty()
+                                  ? std::string()
+                                  : stmt.patterns.front().nodes.front().label;
+    push("NodeScan", label.empty() ? "all nodes" : "label=" + label);
+  }
+  if (stmt.kind == Statement::Kind::kMatch &&
+      stmt.time.kind != TimeSpec::Kind::kLatest) {
+    // Historical snapshots materialize below the scan: checkpoint + replay.
+    push("SnapshotLoad", "t=" + std::to_string(stmt.time.a));
+  }
+  return ops;
 }
 
 }  // namespace aion::query

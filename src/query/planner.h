@@ -35,6 +35,33 @@ struct PlanInfo {
 /// (latest-only execution), in which case the choice defaults to TimeStore.
 PlanInfo PlanStatement(const Statement& stmt, const core::AionStore* aion);
 
+/// One row of an EXPLAIN/PROFILE plan rendering: a pre-order walk of the
+/// operator tree (root first), with `depth` giving the nesting level.
+struct PlanOperator {
+  std::string op;        // "ProduceResults", "Filter", "NodeByIdSeek", ...
+  int depth = 0;         // 0 = root
+  std::string detail;    // operator-specific annotation
+  std::string store;     // "lineage" / "timestore" / "latest" / "-"
+  std::string temporal;  // rendered FOR SYSTEM_TIME clause ("latest", ...)
+};
+
+/// The temporal clause as text: "latest", "AS OF 5", "FROM 1 TO 9",
+/// "BETWEEN 1 AND 9", "CONTAINED IN (1, 9)".
+std::string DescribeTimeSpec(const TimeSpec& time);
+
+/// The store the engine would route this statement to, mirroring
+/// ExecuteMatch's dispatch (including the LineageStore -> TimeStore fallback
+/// when the lineage cascade has not caught up to the window). Writes pin to
+/// "latest"; CALL reports "-".
+std::string DescribeStoreChoice(const Statement& stmt, const PlanInfo& plan,
+                                const core::AionStore* aion);
+
+/// Renders the plan as an operator tree for EXPLAIN/PROFILE. Never executes
+/// the statement.
+std::vector<PlanOperator> DescribePlan(const Statement& stmt,
+                                       const PlanInfo& plan,
+                                       const core::AionStore* aion);
+
 }  // namespace aion::query
 
 #endif  // AION_QUERY_PLANNER_H_

@@ -416,14 +416,59 @@ StatusOr<QueryResult> DbmsTraces(QueryEngine& engine,
   (void)engine;  // traces are process-wide, not per-store
   AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.traces"));
   QueryResult result;
-  result.columns = {"span", "start_nanos", "duration_nanos", "thread"};
+  result.columns = {"span",    "start_nanos", "duration_nanos", "thread",
+                    "span_id", "parent_id",   "query_id"};
   for (const obs::TraceEvent& event : obs::TraceSink::Global().Snapshot()) {
     result.rows.push_back(
         {Value(std::string(event.name)),
          Value(static_cast<int64_t>(event.start_nanos)),
          Value(static_cast<int64_t>(event.duration_nanos)),
-         Value(static_cast<int64_t>(event.thread_id))});
+         Value(static_cast<int64_t>(event.thread_id)),
+         Value(static_cast<int64_t>(event.span_id)),
+         Value(static_cast<int64_t>(event.parent_id)),
+         Value(static_cast<int64_t>(event.query_id))});
   }
+  return result;
+}
+
+StatusOr<QueryResult> DbmsTraceExport(QueryEngine& engine,
+                                      const std::vector<Literal>& args) {
+  (void)engine;
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.trace.export"));
+  QueryResult result;
+  result.columns = {"trace"};
+  result.rows.push_back({Value(obs::TraceSink::Global().ExportChromeTrace())});
+  return result;
+}
+
+StatusOr<QueryResult> DbmsSlowlog(QueryEngine& engine,
+                                  const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.slowlog"));
+  QueryResult result;
+  result.columns = {"unix_millis", "nanos", "store", "query", "summary"};
+  if (engine.aion() == nullptr ||
+      engine.aion()->slow_query_log() == nullptr) {
+    return result;  // no log configured -> empty table
+  }
+  for (obs::SlowQueryLog::Entry& entry :
+       engine.aion()->slow_query_log()->Recent()) {
+    result.rows.push_back(
+        {Value(static_cast<int64_t>(entry.unix_millis)),
+         Value(static_cast<int64_t>(entry.nanos)), Value(std::move(entry.store)),
+         Value(std::move(entry.query)),
+         Value(entry.summary_json.empty() ? std::string("{}")
+                                          : std::move(entry.summary_json))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> DbmsMetricsReset(QueryEngine& engine,
+                                       const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.metrics.reset"));
+  engine.metrics()->Reset();
+  QueryResult result;
+  result.columns = {"reset"};
+  result.rows.push_back({Value(true)});
   return result;
 }
 
@@ -446,7 +491,10 @@ void RegisterBuiltinAionProcedures(QueryEngine* engine) {
   engine->RegisterProcedure("aion.paths.latestDeparture",
                             LatestDepartureProc);
   engine->RegisterProcedure("dbms.metrics", DbmsMetrics);
+  engine->RegisterProcedure("dbms.metrics.reset", DbmsMetricsReset);
   engine->RegisterProcedure("dbms.traces", DbmsTraces);
+  engine->RegisterProcedure("dbms.trace.export", DbmsTraceExport);
+  engine->RegisterProcedure("dbms.slowlog", DbmsSlowlog);
 }
 
 }  // namespace aion::query

@@ -14,6 +14,13 @@
 //   aion.incremental.pagerank(start, end, step)      -> t, iterations
 //   aion.paths.earliestArrival(src, tgt, t1, t2)     -> arrival
 //   aion.paths.latestDeparture(src, tgt, t1, t2)     -> departure
+//
+// Observability built-ins:
+//   dbms.metrics()        -> name, kind, value (every registry instrument)
+//   dbms.metrics.reset()  -> reset (zeroes instruments in place)
+//   dbms.traces()         -> span, start/duration, thread, span/parent/query id
+//   dbms.trace.export()   -> trace (Chrome trace_event JSON, one row)
+//   dbms.slowlog()        -> unix_millis, nanos, store, query, summary
 #ifndef AION_QUERY_PROCEDURES_H_
 #define AION_QUERY_PROCEDURES_H_
 

@@ -25,6 +25,9 @@ enum class MessageType : uint8_t {
   kMetrics = 6,  // client -> server: request a metrics snapshot; the server
                  // answers with one RECORD holding the registry as a JSON
                  // string, then SUCCESS with the single column "metrics"
+  kPrometheus = 7,  // client -> server: request the registry in Prometheus
+                    // text exposition; one RECORD with the text, then
+                    // SUCCESS with the single column "prometheus"
 };
 
 struct Message {

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/trace.h"
 #include "server/protocol.h"
 
 namespace aion::server {
@@ -20,6 +21,7 @@ BoltLikeServer::BoltLikeServer(query::QueryEngine* engine) : engine_(engine) {
   metric_queries_ = metrics->counter("server.queries");
   metric_failures_ = metrics->counter("server.failures");
   metric_metrics_requests_ = metrics->counter("server.metrics_requests");
+  metric_prometheus_requests_ = metrics->counter("server.prometheus_requests");
   metric_frame_read_ = metrics->histogram("server.frame_read_nanos");
   metric_handle_ = metrics->histogram("server.handle_nanos");
 }
@@ -91,6 +93,20 @@ void BoltLikeServer::AcceptLoop() {
 
 void BoltLikeServer::ServeConnection(int fd) {
   metric_connections_->Add();
+  // Connection-lifetime span: query spans executed on this thread nest
+  // under it in the exported trace (their parent_id is this span's id).
+  AION_TRACE_SPAN("server.connection");
+  // One-row snapshot replies (METRICS / PROMETHEUS).
+  auto send_snapshot = [this, fd](std::string body, const char* column) {
+    Message record;
+    record.type = MessageType::kRecord;
+    EncodeRow({query::Value(std::move(body))}, &record.payload);
+    if (!WriteMessage(fd, record).ok()) return false;
+    Message success;
+    success.type = MessageType::kSuccess;
+    EncodeColumns({column}, &success.payload);
+    return WriteMessage(fd, success).ok();
+  };
   while (running_.load()) {
     auto message = [&] {
       // Wait-for-frame + frame decode; long values here mean idle clients
@@ -102,24 +118,25 @@ void BoltLikeServer::ServeConnection(int fd) {
     if (message->type == MessageType::kGoodbye) break;
     if (message->type == MessageType::kMetrics) {
       metric_metrics_requests_->Add();
-      Message record;
-      record.type = MessageType::kRecord;
-      EncodeRow({query::Value(engine_->metrics()->ToJson())},
-                &record.payload);
-      if (!WriteMessage(fd, record).ok()) break;
-      Message success;
-      success.type = MessageType::kSuccess;
-      EncodeColumns({"metrics"}, &success.payload);
-      if (!WriteMessage(fd, success).ok()) break;
+      if (!send_snapshot(engine_->metrics()->ToJson(), "metrics")) break;
+      continue;
+    }
+    if (message->type == MessageType::kPrometheus) {
+      metric_prometheus_requests_->Add();
+      if (!send_snapshot(engine_->metrics()->ToPrometheus(), "prometheus")) {
+        break;
+      }
       continue;
     }
     if (message->type != MessageType::kRun) {
+      // Malformed frame: reply FAILURE but keep the connection alive — a
+      // client that sent one bad message can still issue valid RUNs.
       metric_failures_->Add();
       Message failure;
       failure.type = MessageType::kFailure;
       failure.payload = "protocol error: expected RUN";
-      (void)WriteMessage(fd, failure);
-      break;
+      if (!WriteMessage(fd, failure).ok()) break;
+      continue;
     }
     obs::ScopedLatency handle_latency(metric_handle_);
     auto result = engine_->Execute(message->payload);
@@ -211,30 +228,44 @@ StatusOr<query::QueryResult> BoltLikeClient::Run(const std::string& text) {
   }
 }
 
-StatusOr<std::string> BoltLikeClient::Metrics() {
+namespace {
+
+/// Shared by METRICS and PROMETHEUS: send the request type, read back the
+/// single-string RECORD, and consume the trailing SUCCESS.
+StatusOr<std::string> RequestSnapshot(int fd, MessageType type) {
   Message request;
-  request.type = MessageType::kMetrics;
-  AION_RETURN_IF_ERROR(WriteMessage(fd_, request));
-  std::string json;
+  request.type = type;
+  AION_RETURN_IF_ERROR(WriteMessage(fd, request));
+  std::string body;
   for (;;) {
-    AION_ASSIGN_OR_RETURN(Message message, ReadMessage(fd_));
+    AION_ASSIGN_OR_RETURN(Message message, ReadMessage(fd));
     switch (message.type) {
       case MessageType::kRecord: {
         AION_ASSIGN_OR_RETURN(auto row, DecodeRow(message.payload));
         if (row.size() != 1 || !row[0].is_string()) {
-          return Status::Corruption("METRICS row must be one string");
+          return Status::Corruption("snapshot row must be one string");
         }
-        json = row[0].AsString();
+        body = row[0].AsString();
         break;
       }
       case MessageType::kSuccess:
-        return json;
+        return body;
       case MessageType::kFailure:
         return Status::Aborted("server: " + message.payload);
       default:
         return Status::Corruption("unexpected message type");
     }
   }
+}
+
+}  // namespace
+
+StatusOr<std::string> BoltLikeClient::Metrics() {
+  return RequestSnapshot(fd_, MessageType::kMetrics);
+}
+
+StatusOr<std::string> BoltLikeClient::Prometheus() {
+  return RequestSnapshot(fd_, MessageType::kPrometheus);
 }
 
 }  // namespace aion::server

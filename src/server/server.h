@@ -58,6 +58,7 @@ class BoltLikeServer {
   obs::Counter* metric_queries_ = nullptr;
   obs::Counter* metric_failures_ = nullptr;
   obs::Counter* metric_metrics_requests_ = nullptr;
+  obs::Counter* metric_prometheus_requests_ = nullptr;
   obs::Histogram* metric_frame_read_ = nullptr;  // wait + frame decode
   obs::Histogram* metric_handle_ = nullptr;      // execute + result framing
 };
@@ -78,6 +79,9 @@ class BoltLikeClient {
 
   /// Sends METRICS and returns the server's metrics snapshot as JSON.
   util::StatusOr<std::string> Metrics();
+
+  /// Sends PROMETHEUS and returns the snapshot in text exposition format.
+  util::StatusOr<std::string> Prometheus();
 
  private:
   explicit BoltLikeClient(int fd) : fd_(fd) {}

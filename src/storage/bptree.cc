@@ -1,5 +1,7 @@
 #include "storage/bptree.h"
 
+#include "obs/query_stats.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -260,6 +262,7 @@ StatusOr<PageId> BpTree::DescendToLeaf(Slice key,
 }
 
 StatusOr<std::string> BpTree::Get(Slice key) const {
+  obs::TickBpTreeProbe();
   AION_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key, nullptr));
   AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
   // Scan cells without materializing the whole leaf.
@@ -593,6 +596,7 @@ Status DecodeLeafSlices(const char* page,
 
 Status BpTree::ScanForward(
     Slice target, const std::function<bool(Slice, Slice)>& fn) const {
+  obs::TickBpTreeProbe();
   AION_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(target, nullptr));
   std::vector<std::pair<Slice, Slice>> entries;
   bool first_leaf = true;
@@ -626,6 +630,7 @@ Status BpTree::ScanForward(
 
 Status BpTree::ScanBackward(
     Slice target, const std::function<bool(Slice, Slice)>& fn) const {
+  obs::TickBpTreeProbe();
   AION_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(target, nullptr));
   std::vector<std::pair<Slice, Slice>> entries;
   bool first_leaf = true;
@@ -729,6 +734,7 @@ void BpTree::Iterator::RetreatLeaf() {
 }
 
 void BpTree::Iterator::Seek(Slice target) {
+  obs::TickBpTreeProbe();
   status_ = Status::OK();
   auto leaf_or = tree_->DescendToLeaf(target, nullptr);
   if (!leaf_or.ok()) {
@@ -757,6 +763,7 @@ void BpTree::Iterator::Seek(Slice target) {
 }
 
 void BpTree::Iterator::SeekToFirst() {
+  obs::TickBpTreeProbe();
   status_ = Status::OK();
   // Descend along leftmost children.
   PageId current = tree_->root_;
@@ -797,6 +804,7 @@ void BpTree::Iterator::Prev() {
 }
 
 void BpTree::Iterator::SeekForPrev(Slice target) {
+  obs::TickBpTreeProbe();
   status_ = Status::OK();
   auto leaf_or = tree_->DescendToLeaf(target, nullptr);
   if (!leaf_or.ok()) {
@@ -826,6 +834,7 @@ void BpTree::Iterator::SeekForPrev(Slice target) {
 }
 
 void BpTree::Iterator::SeekToLast() {
+  obs::TickBpTreeProbe();
   status_ = Status::OK();
   // Descend along rightmost children.
   PageId current = tree_->root_;

@@ -1,5 +1,7 @@
 #include "storage/page_cache.h"
 
+#include "obs/query_stats.h"
+
 #include <cstring>
 
 #include "util/logging.h"
@@ -143,12 +145,14 @@ StatusOr<size_t> PageCache::GetFrameFor(PageId id, bool read_from_disk) {
   if (it != page_table_.end()) {
     ++hits_;
     if (metric_hits_ != nullptr) metric_hits_->Add();
+    obs::TickPageCacheHit();
     Touch(it->second);
     ++frames_[it->second].pin_count;
     return it->second;
   }
   ++misses_;
   if (metric_misses_ != nullptr) metric_misses_->Add();
+  obs::TickPageCacheMiss();
 
   // Find a frame: a recycled free frame, a brand-new frame if under
   // capacity, else evict the LRU victim.

@@ -88,6 +88,73 @@ TEST(MetricsRegistryTest, ToJsonIsWellFormedEnough) {
   EXPECT_EQ(json.find(",}"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("r.count");
+  Gauge* g = registry.gauge("r.gauge");
+  Histogram* h = registry.histogram("r.nanos");
+  c->Add(9);
+  g->Set(-3);
+  h->Record(2500);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  // The same resolved pointers keep recording after Reset — nothing was
+  // deallocated or re-registered.
+  c->Add(2);
+  g->Set(5);
+  h->Record(100);
+  EXPECT_EQ(c, registry.counter("r.count"));
+  EXPECT_EQ(g, registry.gauge("r.gauge"));
+  EXPECT_EQ(h, registry.histogram("r.nanos"));
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("r.count"), 2u);
+  EXPECT_EQ(snap.gauge("r.gauge"), 5);
+  EXPECT_EQ(snap.histogram_count("r.nanos"), 1u);
+}
+
+TEST(PrometheusExportTest, NameManglingIsDeterministic) {
+  EXPECT_EQ(PrometheusName("query.parse_nanos"), "aion_query_parse_nanos");
+  EXPECT_EQ(PrometheusName("server.queries"), "aion_server_queries");
+  EXPECT_EQ(PrometheusName("weird-name with spaces"),
+            "aion_weird_name_with_spaces");
+}
+
+TEST(PrometheusExportTest, EveryJsonInstrumentRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("rt.count")->Add(7);
+  registry.counter("rt.other_count")->Add(1);
+  registry.gauge("rt.gauge")->Set(11);
+  registry.histogram("rt.nanos")->Record(1000);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const std::string text = snap.ToPrometheus();
+  // Every instrument name in the JSON snapshot appears (mangled) in the
+  // Prometheus exposition — nothing is silently dropped.
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(text.find(PrometheusName(name)), std::string::npos) << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_NE(text.find(PrometheusName(name)), std::string::npos) << name;
+  }
+  for (const auto& [name, summary] : snap.histograms) {
+    const std::string p = PrometheusName(name);
+    EXPECT_NE(text.find(p + "{quantile=\"0.5\"}"), std::string::npos);
+    EXPECT_NE(text.find(p + "{quantile=\"0.95\"}"), std::string::npos);
+    EXPECT_NE(text.find(p + "{quantile=\"0.99\"}"), std::string::npos);
+    EXPECT_NE(text.find(p + "_sum"), std::string::npos);
+    EXPECT_NE(text.find(p + "_count"), std::string::npos);
+  }
+  // Exposition-format basics: TYPE lines precede samples, counter value
+  // shows up verbatim, and the text ends with a newline.
+  EXPECT_NE(text.find("# TYPE aion_rt_count counter"), std::string::npos);
+  EXPECT_NE(text.find("aion_rt_count 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aion_rt_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aion_rt_nanos summary"), std::string::npos);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST(ScopedLatencyTest, RecordsOnDestructionAndToleratesNull) {
   MetricsRegistry registry;
   Histogram* h = registry.histogram("scoped");

@@ -1,0 +1,168 @@
+// Hierarchical tracing: span parentage, query-id stamping, Chrome
+// trace_event export, and the enabled-flag's thread safety.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aion::obs {
+namespace {
+
+// The global sink is shared across tests in this binary; each test clears
+// it first and keys assertions on its own span names.
+
+TEST(TraceSpanHierarchyTest, NestedSpansFormParentChain) {
+  TraceSink& sink = TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+  uint64_t outer_id = 0;
+  {
+    TraceSpan outer("hier.outer");
+    outer_id = outer.span_id();
+    EXPECT_EQ(TraceSpan::CurrentSpanId(), outer_id);
+    {
+      TraceSpan inner("hier.inner");
+      EXPECT_EQ(TraceSpan::CurrentSpanId(), inner.span_id());
+    }
+    // Destruction restores the enclosing span as the thread's current.
+    EXPECT_EQ(TraceSpan::CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(TraceSpan::CurrentSpanId(), 0u);
+
+  const TraceEvent* outer_event = nullptr;
+  const TraceEvent* inner_event = nullptr;
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "hier.outer") outer_event = &e;
+    if (std::string(e.name) == "hier.inner") inner_event = &e;
+  }
+  ASSERT_NE(outer_event, nullptr);
+  ASSERT_NE(inner_event, nullptr);
+  EXPECT_EQ(outer_event->parent_id, 0u);  // root
+  EXPECT_EQ(inner_event->parent_id, outer_event->span_id);
+  EXPECT_NE(inner_event->span_id, outer_event->span_id);
+}
+
+TEST(TraceSpanHierarchyTest, SiblingsShareAParentButNotAnId) {
+  TraceSink& sink = TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+  {
+    TraceSpan parent("sib.parent");
+    { TraceSpan a("sib.a"); }
+    { TraceSpan b("sib.b"); }
+  }
+  uint64_t parent_id = 0, a_parent = 0, b_parent = 0, a_id = 0, b_id = 0;
+  for (const TraceEvent& e : sink.Snapshot()) {
+    const std::string name(e.name);
+    if (name == "sib.parent") parent_id = e.span_id;
+    if (name == "sib.a") a_parent = e.parent_id, a_id = e.span_id;
+    if (name == "sib.b") b_parent = e.parent_id, b_id = e.span_id;
+  }
+  ASSERT_NE(parent_id, 0u);
+  EXPECT_EQ(a_parent, parent_id);
+  EXPECT_EQ(b_parent, parent_id);
+  EXPECT_NE(a_id, b_id);
+}
+
+TEST(TraceContextTest, StampsQueryIdOnCoveredSpans) {
+  TraceSink& sink = TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+  EXPECT_EQ(TraceContext::CurrentQueryId(), 0u);
+  const uint64_t qid = TraceContext::NextQueryId();
+  {
+    TraceContext context(qid);
+    EXPECT_EQ(TraceContext::CurrentQueryId(), qid);
+    TraceSpan span("ctx.covered");
+  }
+  EXPECT_EQ(TraceContext::CurrentQueryId(), 0u);
+  { TraceSpan span("ctx.uncovered"); }
+
+  uint64_t covered = ~0ull, uncovered = ~0ull;
+  for (const TraceEvent& e : sink.Snapshot()) {
+    if (std::string(e.name) == "ctx.covered") covered = e.query_id;
+    if (std::string(e.name) == "ctx.uncovered") uncovered = e.query_id;
+  }
+  EXPECT_EQ(covered, qid);
+  EXPECT_EQ(uncovered, 0u);
+}
+
+TEST(TraceContextTest, NextQueryIdIsMonotonic) {
+  const uint64_t a = TraceContext::NextQueryId();
+  const uint64_t b = TraceContext::NextQueryId();
+  EXPECT_GT(b, a);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(ChromeTraceExportTest, EmitsCompleteEventsWithSpanArgs) {
+  TraceSink sink(16);
+  TraceEvent e;
+  e.name = "export.span";
+  e.start_nanos = 2500;     // 2.5 us
+  e.duration_nanos = 1500;  // 1.5 us
+  e.thread_id = 7;
+  e.span_id = 11;
+  e.parent_id = 5;
+  e.query_id = 3;
+  sink.Record(e);
+  const std::string json = sink.ExportChromeTrace();
+  // A JSON array of trace_event objects.
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"export.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"parent_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"query_id\":3"), std::string::npos);
+  // Well-formed enough: balanced braces, no trailing commas.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, EmptySinkExportsEmptyArray) {
+  TraceSink sink(4);
+  EXPECT_EQ(sink.ExportChromeTrace(), "[]");
+}
+
+// Named to match scripts/check.sh's TSAN_TEST_FILTER: toggling the enabled
+// flag while other threads record must be race-free (the flag is a
+// std::atomic<bool>).
+TEST(TraceSinkConcurrencyStress, ToggleEnabledWhileRecording) {
+  TraceSink sink(256);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&sink, &stop] {
+      TraceEvent e;
+      e.name = "stress.span";
+      while (!stop.load(std::memory_order_relaxed)) {
+        sink.Record(e);
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    sink.set_enabled(i % 2 == 0);
+    if (i % 100 == 0) (void)sink.Snapshot();
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  sink.set_enabled(true);
+  sink.Record(TraceEvent{"final", 0, 0, 0, 1, 0, 0});
+  EXPECT_GE(sink.total_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace aion::obs

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
+#include "obs/query_stats.h"
 #include "storage/file.h"
 
 namespace aion::query {
@@ -362,13 +364,232 @@ TEST_F(QueryEngineTest, DbmsTracesExposesSpans) {
   Run("MATCH (n:X) RETURN count(*)");
   QueryResult traces = Run("CALL dbms.traces()");
   ASSERT_EQ(traces.columns,
-            (std::vector<std::string>{"span", "start_nanos",
-                                      "duration_nanos", "thread"}));
+            (std::vector<std::string>{"span", "start_nanos", "duration_nanos",
+                                      "thread", "span_id", "parent_id",
+                                      "query_id"}));
   bool saw_query_span = false;
   for (const auto& row : traces.rows) {
-    if (row[0].AsString() == "query.execute") saw_query_span = true;
+    if (row[0].AsString() == "query.execute") {
+      saw_query_span = true;
+      EXPECT_GT(row[4].AsInt(), 0);  // span ids start at 1
+      EXPECT_GT(row[6].AsInt(), 0);  // executed inside a TraceContext
+    }
   }
   EXPECT_TRUE(saw_query_span);
+}
+
+}  // namespace
+}  // namespace aion::query
+namespace aion::query {
+namespace {
+
+// Column order emitted by ExecuteProfile; indices used by the tests below.
+constexpr int kProfOp = 0, kProfStore = 2, kProfRows = 3, kProfNanos = 10;
+
+std::vector<std::string> Operators(const QueryResult& result) {
+  std::vector<std::string> ops;
+  for (const auto& row : result.rows) ops.push_back(row[0].AsString());
+  return ops;
+}
+
+bool Contains(const std::vector<std::string>& ops, const std::string& op) {
+  return std::find(ops.begin(), ops.end(), op) != ops.end();
+}
+
+TEST_F(QueryEngineTest, ExplainDescribesPlanWithoutExecuting) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  QueryResult plan = Run("EXPLAIN MATCH (p:Person) RETURN p.name");
+  ASSERT_EQ(plan.columns, (std::vector<std::string>{"operator", "depth",
+                                                    "detail", "store",
+                                                    "temporal"}));
+  const std::vector<std::string> ops = Operators(plan);
+  EXPECT_TRUE(Contains(ops, "ProduceResults"));
+  EXPECT_TRUE(Contains(ops, "NodeScan"));
+  // Depths increase down the pre-order tree.
+  EXPECT_EQ(plan.rows.front()[1].AsInt(), 0);
+  EXPECT_GT(plan.rows.back()[1].AsInt(), 0);
+  // Every row carries the store and temporal columns.
+  for (const auto& row : plan.rows) {
+    EXPECT_EQ(row[3].AsString(), "latest");
+    EXPECT_EQ(row[4].AsString(), "latest");
+  }
+}
+
+TEST_F(QueryEngineTest, ExplainWriteDoesNotExecuteIt) {
+  QueryResult plan = Run("EXPLAIN CREATE (g:Ghost {name: 'boo'})");
+  EXPECT_TRUE(Contains(Operators(plan), "Create"));
+  // The CREATE was planned, not run: no Ghost node exists.
+  EXPECT_EQ(Run("MATCH (g:Ghost) RETURN count(*)").rows[0][0].AsInt(), 0);
+}
+
+TEST_F(QueryEngineTest, ExplainShowsTemporalPlanAndStoreChoice) {
+  Run("CREATE (a:Person {name: 'ada'})");  // ts 1
+  QueryResult snap =
+      Run("EXPLAIN USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) "
+          "RETURN count(*)");
+  EXPECT_TRUE(Contains(Operators(snap), "SnapshotLoad"));
+  EXPECT_EQ(snap.rows.front()[3].AsString(), "timestore");
+  EXPECT_EQ(snap.rows.front()[4].AsString(), "AS OF 1");
+
+  QueryResult point =
+      Run("EXPLAIN USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) "
+          "WHERE id(n) = 0 RETURN n");
+  EXPECT_TRUE(Contains(Operators(point), "NodeHistoryScan"));
+  EXPECT_EQ(point.rows.front()[3].AsString(), "lineage");
+}
+
+TEST_F(QueryEngineTest, ProfileAnnotatesLatestGraphPlan) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  Run("CREATE (b:Person {name: 'bob'})");
+  QueryResult profile = Run("PROFILE MATCH (p:Person) RETURN p.name");
+  ASSERT_EQ(profile.columns,
+            (std::vector<std::string>{
+                "operator", "detail", "store", "rows", "bptree_probes",
+                "records_replayed", "graphstore_hits", "graphstore_misses",
+                "pagecache_hits", "pagecache_misses", "nanos"}));
+  const std::vector<std::string> ops = Operators(profile);
+  EXPECT_TRUE(Contains(ops, "NodeScan"));
+  EXPECT_TRUE(Contains(ops, "ProduceResults"));
+  ASSERT_EQ(profile.rows.back()[kProfOp].AsString(), "Total");
+  const auto& total = profile.rows.back();
+  EXPECT_EQ(total[kProfStore].AsString(), "latest");
+  EXPECT_EQ(total[kProfRows].AsInt(), 2);  // PROFILE really executed
+  EXPECT_GT(total[kProfNanos].AsInt(), 0);
+  // Per-operator nanos are sane: each stage is bounded by the total.
+  for (const auto& row : profile.rows) {
+    EXPECT_GE(row[kProfNanos].AsInt(), 0);
+    EXPECT_LE(row[kProfNanos].AsInt(), total[kProfNanos].AsInt());
+  }
+}
+
+TEST_F(QueryEngineTest, ProfileRoutesToTimeStoreAndLineage) {
+  Run("CREATE (a:Person {name: 'ada'})");  // ts 1
+  Run("CREATE (b:City {name: 'berlin'})");  // ts 2
+
+  // Snapshot plan: reconstructed through the TimeStore.
+  QueryResult snap = Run(
+      "PROFILE USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) RETURN count(*)");
+  EXPECT_TRUE(Contains(Operators(snap), "SnapshotLoad"));
+  EXPECT_EQ(snap.rows.back()[kProfStore].AsString(), "timestore");
+  EXPECT_EQ(snap.rows.back()[kProfRows].AsInt(), 1);
+
+  // Point-history plan: served by the LineageStore (sync cascade).
+  QueryResult point = Run(
+      "PROFILE USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) WHERE id(n) = 0 "
+      "RETURN n");
+  EXPECT_TRUE(Contains(Operators(point), "NodeHistoryScan"));
+  EXPECT_EQ(point.rows.back()[kProfStore].AsString(), "lineage");
+  EXPECT_EQ(point.rows.back()[kProfRows].AsInt(), 1);
+}
+
+TEST_F(QueryEngineTest, ProfileAttributionNeverExceedsGlobalDeltas) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  Run("CREATE (b:Person {name: 'bob'})");
+  const obs::MetricsSnapshot before = engine_->metrics()->Snapshot();
+  obs::QueryStats attributed;
+  auto accumulate = [&](const QueryResult& profile) {
+    const auto& total = profile.rows.back();
+    ASSERT_EQ(total[kProfOp].AsString(), "Total");
+    attributed.bptree_probes += total[4].AsInt();
+    attributed.records_replayed += total[5].AsInt();
+    attributed.graphstore_hits += total[6].AsInt();
+    attributed.graphstore_misses += total[7].AsInt();
+    attributed.pagecache_hits += total[8].AsInt();
+    attributed.pagecache_misses += total[9].AsInt();
+  };
+  accumulate(Run("PROFILE MATCH (p:Person) RETURN p.name"));
+  accumulate(Run(
+      "PROFILE USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) RETURN count(*)"));
+  accumulate(Run(
+      "PROFILE USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) WHERE id(n) = 0 "
+      "RETURN n"));
+  const obs::MetricsSnapshot after = engine_->metrics()->Snapshot();
+  auto delta = [&](const char* name) {
+    return after.counter(name) - before.counter(name);
+  };
+  // Thread-local attribution can only undercount the global registry
+  // (worker-thread replay is intentionally unattributed), never overcount.
+  EXPECT_LE(attributed.graphstore_hits + attributed.graphstore_misses,
+            delta("graphstore.hits") + delta("graphstore.misses"));
+  EXPECT_LE(attributed.records_replayed, delta("timestore.replayed_updates"));
+  EXPECT_LE(attributed.pagecache_hits, delta("pagecache.hits"));
+  EXPECT_LE(attributed.pagecache_misses, delta("pagecache.misses"));
+}
+
+TEST_F(QueryEngineTest, DbmsMetricsResetZeroesTheRegistry) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  Run("MATCH (p:Person) RETURN p.name");
+  EXPECT_GT(engine_->metrics()->Snapshot().counter("query.statements"), 0u);
+  QueryResult reset = Run("CALL dbms.metrics.reset()");
+  ASSERT_EQ(reset.columns, std::vector<std::string>{"reset"});
+  // The reset call itself runs after the wipe, so at most a couple of
+  // statements have ticked since.
+  EXPECT_LE(engine_->metrics()->Snapshot().counter("query.statements"), 2u);
+  // Resolved pointers stayed valid: new queries keep recording.
+  Run("MATCH (p:Person) RETURN p.name");
+  EXPECT_GT(engine_->metrics()->Snapshot().counter("query.statements"), 0u);
+}
+
+TEST_F(QueryEngineTest, DbmsTraceExportIsChromeLoadableJson) {
+  Run("CREATE (a:X)");
+  Run("MATCH (n:X) RETURN count(*)");
+  QueryResult exported = Run("CALL dbms.trace.export()");
+  ASSERT_EQ(exported.columns, std::vector<std::string>{"trace"});
+  ASSERT_EQ(exported.NumRows(), 1u);
+  const std::string json = exported.rows[0][0].AsString();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("query.execute"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(QueryEngineTest, SlowlogEmptyWhenDisabled) {
+  Run("CREATE (a:Person {name: 'ada'})");
+  Run("MATCH (p:Person) RETURN p.name");
+  EXPECT_FALSE(aion_->slow_query_log()->enabled());
+  QueryResult slowlog = Run("CALL dbms.slowlog()");
+  ASSERT_EQ(slowlog.columns,
+            (std::vector<std::string>{"unix_millis", "nanos", "store",
+                                      "query", "summary"}));
+  EXPECT_EQ(slowlog.NumRows(), 0u);
+}
+
+TEST_F(QueryEngineTest, SlowlogCapturesQueriesAboveThreshold) {
+  // A second store with a 1ns threshold: every statement qualifies.
+  core::AionStore::Options options;
+  options.dir = dir_ + "/slow_aion";
+  options.lineage_mode = core::AionStore::LineageMode::kSync;
+  options.slow_query_threshold_nanos = 1;
+  auto slow_aion = core::AionStore::Open(options);
+  ASSERT_TRUE(slow_aion.ok());
+  auto db = txn::GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterListener(slow_aion->get());
+  QueryEngine engine(db->get(), slow_aion->get());
+  ASSERT_TRUE(engine.Execute("CREATE (a:Person {name: 'ada'})").ok());
+  ASSERT_TRUE(engine.Execute("MATCH (p:Person) RETURN p.name").ok());
+  ASSERT_TRUE(
+      engine.Execute("USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) "
+                     "WHERE id(n) = 0 RETURN n")
+          .ok());
+
+  auto slowlog = engine.Execute("CALL dbms.slowlog()");
+  ASSERT_TRUE(slowlog.ok());
+  ASSERT_GE(slowlog->NumRows(), 3u);
+  std::map<std::string, std::string> store_by_query;
+  for (const auto& row : slowlog->rows) {
+    EXPECT_GT(row[1].AsInt(), 0);  // recorded wall time
+    store_by_query[row[3].AsString()] = row[2].AsString();
+  }
+  EXPECT_EQ(store_by_query["MATCH (p:Person) RETURN p.name"], "latest");
+  EXPECT_EQ(store_by_query["USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) "
+                           "WHERE id(n) = 0 RETURN n"],
+            "lineage");
+  // The JSON-lines file exists alongside the store directory.
+  EXPECT_GT(slow_aion->get()->slow_query_log()->total_recorded(), 0u);
 }
 
 }  // namespace

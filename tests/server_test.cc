@@ -2,9 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
 #include "server/protocol.h"
 #include "storage/file.h"
 
@@ -176,6 +183,90 @@ TEST_F(ServerTest, MetricsMessageReturnsRegistryJson) {
   // And a metrics request keeps the connection usable.
   EXPECT_TRUE((*client)->Run("MATCH (p:Person) RETURN count(*)").ok());
   EXPECT_EQ((*client)->Metrics().ok(), true);
+}
+
+TEST_F(ServerTest, MalformedFrameTicksFailureAndKeepsConnection) {
+  const uint64_t failures_before =
+      engine_->metrics()->Snapshot().counter("server.failures");
+  // Raw socket: send a frame whose type byte matches no known message.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  Message bogus;
+  bogus.type = static_cast<MessageType>(99);
+  bogus.payload = "not a real message";
+  ASSERT_TRUE(WriteMessage(fd, bogus).ok());
+  auto reply = ReadMessage(fd);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, MessageType::kFailure);
+  EXPECT_NE(reply->payload.find("protocol error"), std::string::npos);
+  // The connection survived the bad frame: a valid RUN still works.
+  Message run;
+  run.type = MessageType::kRun;
+  run.payload = "CREATE (n:AfterBadFrame)";
+  ASSERT_TRUE(WriteMessage(fd, run).ok());
+  for (;;) {  // RECORDs stream ahead of the terminal SUCCESS
+    auto after = ReadMessage(fd);
+    ASSERT_TRUE(after.ok());
+    ASSERT_NE(after->type, MessageType::kFailure);
+    if (after->type == MessageType::kSuccess) break;
+  }
+  ::close(fd);
+  EXPECT_GT(engine_->metrics()->Snapshot().counter("server.failures"),
+            failures_before);
+}
+
+TEST_F(ServerTest, PrometheusMessageReturnsExposition) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Run("CREATE (a:Person {name: 'ada'})").ok());
+  auto text = (*client)->Prometheus();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE aion_server_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("aion_query_statements"), std::string::npos);
+  EXPECT_NE(text->find("# TYPE aion_server_frame_read_nanos summary"),
+            std::string::npos);
+  // No raw dotted names leak through the mangler.
+  EXPECT_EQ(text->find("server.queries"), std::string::npos);
+  // The request is counted and the connection stays usable.
+  EXPECT_GE(engine_->metrics()->Snapshot().counter(
+                "server.prometheus_requests"),
+            1u);
+  EXPECT_TRUE((*client)->Run("MATCH (n) RETURN count(*)").ok());
+}
+
+TEST_F(ServerTest, QuerySpansNestUnderConnectionSpan) {
+  obs::TraceSink& sink = obs::TraceSink::Global();
+  sink.Clear();
+  sink.set_enabled(true);
+  {
+    auto client = BoltLikeClient::Connect(port_);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Run("CREATE (a:Nested)").ok());
+  }  // Goodbye closes the connection; its span completes on the server.
+  // The connection span only records once the server worker finishes, so
+  // poll briefly.
+  uint64_t connection_span = 0;
+  uint64_t query_parent = 0;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    connection_span = 0;
+    query_parent = 0;
+    for (const obs::TraceEvent& e : sink.Snapshot()) {
+      const std::string name(e.name);
+      if (name == "server.connection") connection_span = e.span_id;
+      if (name == "query.execute") query_parent = e.parent_id;
+    }
+    if (connection_span != 0 && query_parent != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_NE(connection_span, 0u);
+  EXPECT_EQ(query_parent, connection_span);
 }
 
 TEST_F(ServerTest, StopUnblocksCleanly) {
