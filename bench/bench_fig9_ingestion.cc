@@ -7,6 +7,16 @@
 // LineageStore costs ~40% (composite-key B+Tree updates dominate) — which
 // is exactly why Aion defaults to synchronous TimeStore + asynchronous
 // LineageStore cascade (Sec 5.1, Sec 6.4).
+// Extended here with the two write-path experiments the batched API adds:
+//  * batched vs per-call direct ingestion (WriteBatch/IngestBatch against
+//    one Ingest() per update);
+//  * multi-writer group commit (sync_commits on real disk): throughput per
+//    writer count and the fsyncs-per-commit ratio.
+// Results are also written as JSON to $AION_BENCH_JSON_OUT (default
+// ./BENCH_fig9.json) so CI can archive before/after numbers.
+#include <cstdlib>
+#include <thread>
+
 #include "bench/bench_common.h"
 #include "txn/graphdb.h"
 
@@ -44,6 +54,87 @@ double IngestThroughput(const workload::Workload& w,
   return static_cast<double>(w.updates.size()) / timer.Seconds();
 }
 
+/// Direct AionStore load, one Ingest() call per update. Updates/second.
+double PerCallThroughput(const workload::Workload& w) {
+  bench::TempDir dir("aion_fig9_percall_");
+  core::AionStore::Options options;
+  options.dir = dir.path() + "/aion";
+  options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kDisabled;
+  auto aion = core::AionStore::Open(options);
+  AION_CHECK(aion.ok());
+  bench::Timer timer;
+  for (const graph::GraphUpdate& u : w.updates) {
+    AION_CHECK_OK((*aion)->Ingest(u.ts, {u}));
+  }
+  (*aion)->DrainBackground();
+  return static_cast<double>(w.updates.size()) / timer.Seconds();
+}
+
+/// Direct AionStore load through WriteBatch/IngestBatch. Updates/second.
+double BatchedThroughput(const workload::Workload& w, size_t chunk) {
+  bench::TempDir dir("aion_fig9_batched_");
+  core::AionStore::Options options;
+  options.dir = dir.path() + "/aion";
+  options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kDisabled;
+  auto aion = core::AionStore::Open(options);
+  AION_CHECK(aion.ok());
+  bench::Timer timer;
+  core::WriteBatch batch;
+  for (const graph::GraphUpdate& u : w.updates) {
+    batch.Add(u.ts, u);
+    if (batch.num_transactions() >= chunk) {
+      AION_CHECK_OK((*aion)->IngestBatch(std::move(batch)));
+      batch.Clear();
+    }
+  }
+  AION_CHECK_OK((*aion)->IngestBatch(std::move(batch)));
+  (*aion)->DrainBackground();
+  return static_cast<double>(w.updates.size()) / timer.Seconds();
+}
+
+struct GroupCommitPoint {
+  size_t writers = 0;
+  double commits_per_sec = 0;
+  double fsyncs_per_commit = 0;
+  double mean_group_size = 0;
+};
+
+/// `writers` concurrent committers against a durable host database with
+/// sync_commits on: every group costs a real fsync, so grouping is the
+/// only way throughput scales past one writer.
+GroupCommitPoint GroupCommitThroughput(size_t writers,
+                                       size_t commits_per_writer) {
+  bench::TempDir dir("aion_fig9_group_");
+  txn::GraphDatabase::Options options;
+  options.data_dir = dir.path() + "/db";
+  options.sync_commits = true;
+  options.group_commit_max_wait_micros = 200;
+  auto db = txn::GraphDatabase::Open(options);
+  AION_CHECK(db.ok());
+  bench::Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < writers; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < commits_per_writer; ++i) {
+        auto txn = (*db)->Begin();
+        txn->CreateNode({"W"});
+        AION_CHECK(txn->Commit().ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = timer.Seconds();
+  GroupCommitPoint point;
+  point.writers = writers;
+  const double commits = static_cast<double>((*db)->CommitCount());
+  point.commits_per_sec = commits / seconds;
+  point.fsyncs_per_commit =
+      static_cast<double>((*db)->WalSyncCount()) / commits;
+  point.mean_group_size =
+      commits / static_cast<double>((*db)->GroupCommitRounds());
+  return point;
+}
+
 }  // namespace
 
 int main() {
@@ -53,6 +144,15 @@ int main() {
       scale);
   printf("%-12s %10s %10s %10s %10s\n", "Dataset", "baseline", "TS+LS",
          "LS", "TS");
+
+  std::string json = "{\n  \"figure\": \"fig9\",\n";
+  {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "  \"scale\": %g,\n", scale);
+    json += buf;
+  }
+  json += "  \"modes\": {\n";
+  bool first_dataset = true;
 
   const std::vector<workload::DatasetSpec> datasets = {
       workload::Dblp(scale), workload::WikiTalk(scale),
@@ -92,9 +192,78 @@ int main() {
     printf("%-12s %10.2f %10.2f %10.2f %10.2f   (baseline: %.0f ups/s)\n",
            spec.name.c_str(), 1.0, ts_ls / baseline, ls_only / baseline,
            ts_only / baseline, baseline);
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "%s    \"%s\": {\"baseline_ups\": %.0f, \"ts_ls\": %.3f, "
+             "\"ls\": %.3f, \"ts\": %.3f}",
+             first_dataset ? "" : ",\n", spec.name.c_str(), baseline,
+             ts_ls / baseline, ls_only / baseline, ts_only / baseline);
+    json += buf;
+    first_dataset = false;
   }
+  json += "\n  },\n";
   bench::PrintFooter();
   printf("Expected: TS close to 1.0 (<15%% overhead); TS+LS and LS\n"
          "substantially lower (~0.6) due to composite-key index updates.\n");
+
+  // --- Batched vs per-call direct ingestion -------------------------------
+  printf("\nBatched ingest (WriteBatch/IngestBatch vs one Ingest per "
+         "update, %s):\n",
+         datasets.front().name.c_str());
+  {
+    workload::Workload w = workload::Generate(datasets.front());
+    PerCallThroughput(w);  // warm-up
+    const double per_call =
+        std::max(PerCallThroughput(w), PerCallThroughput(w));
+    const double batched =
+        std::max(BatchedThroughput(w, 1024), BatchedThroughput(w, 1024));
+    printf("  per-call: %10.0f ups/s\n  batched:  %10.0f ups/s  "
+           "(%.1fx)\n",
+           per_call, batched, batched / per_call);
+    char buf[192];
+    snprintf(buf, sizeof(buf),
+             "  \"batched_ingest\": {\"per_call_ups\": %.0f, "
+             "\"batched_ups\": %.0f, \"speedup\": %.2f},\n",
+             per_call, batched, batched / per_call);
+    json += buf;
+  }
+
+  // --- Group commit scaling (sync_commits, real fsyncs) -------------------
+  printf("\nGroup commit (durable host db, sync_commits=true, 200 "
+         "commits/writer):\n");
+  printf("  %8s %14s %18s %16s\n", "writers", "commits/s", "fsyncs/commit",
+         "mean group size");
+  json += "  \"group_commit\": [\n";
+  {
+    bool first = true;
+    for (size_t writers : {1, 2, 4, 8}) {
+      const GroupCommitPoint p = GroupCommitThroughput(writers, 200);
+      printf("  %8zu %14.0f %18.3f %16.2f\n", p.writers, p.commits_per_sec,
+             p.fsyncs_per_commit, p.mean_group_size);
+      char buf[192];
+      snprintf(buf, sizeof(buf),
+               "%s    {\"writers\": %zu, \"commits_per_sec\": %.0f, "
+               "\"fsyncs_per_commit\": %.3f, \"mean_group_size\": %.2f}",
+               first ? "" : ",\n", p.writers, p.commits_per_sec,
+               p.fsyncs_per_commit, p.mean_group_size);
+      json += buf;
+      first = false;
+    }
+  }
+  json += "\n  ]\n}\n";
+  bench::PrintFooter();
+  printf("Expected: batched >= 3x per-call; multi-writer throughput above\n"
+         "1-writer with fsyncs/commit well under 1.\n");
+
+  const char* out_env = std::getenv("AION_BENCH_JSON_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_fig9.json";
+  if (FILE* out = fopen(out_path.c_str(), "w")) {
+    fputs(json.c_str(), out);
+    fclose(out);
+    printf("wrote %s\n", out_path.c_str());
+  } else {
+    printf("could not write %s\n", out_path.c_str());
+  }
   return 0;
 }

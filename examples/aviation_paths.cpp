@@ -79,9 +79,9 @@ int main() {
                    [](const GraphUpdate& a, const GraphUpdate& b) {
                      return a.ts < b.ts;
                    });
-  for (const GraphUpdate& event : events) {
-    AION_CHECK_OK(aion.Ingest(event.ts, {event}));
-  }
+  aion::core::WriteBatch schedule;
+  schedule.AddStream(events);
+  AION_CHECK_OK(aion.IngestBatch(std::move(schedule)));
   aion.DrainBackground();
 
   // Extract the temporal LPG and run the single-scan path algorithms.

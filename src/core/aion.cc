@@ -16,6 +16,9 @@ using util::Status;
 using util::StatusOr;
 
 AionStore::~AionStore() {
+  // Drain the cascade before the snapshot worker: a queued cascade item may
+  // still mark a snapshot due, never the other way around.
+  cascade_.reset();
   if (background_ != nullptr) background_->Wait();
 }
 
@@ -35,6 +38,14 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   if (options.graphstore_shards == 0) {
     return Status::InvalidArgument(
         "AionStore options: graphstore_shards must be positive");
+  }
+  if (options.cascade_workers == 0 || options.cascade_workers > 64) {
+    return Status::InvalidArgument(
+        "AionStore options: cascade_workers must be in [1, 64]");
+  }
+  if (options.cascade_queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "AionStore options: cascade_queue_capacity must be positive");
   }
   AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
   std::unique_ptr<AionStore> store(new AionStore());
@@ -85,6 +96,7 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   }
   store->metric_ingest_batches_ = metrics->counter("ingest.batches");
   store->metric_ingest_updates_ = metrics->counter("ingest.updates");
+  store->metric_bulk_ingests_ = metrics->counter("ingest.bulk_ingests");
   store->metric_cascade_batches_ = metrics->counter("cascade.batches_applied");
   store->metric_fallback_ = metrics->counter("fallback.timestore");
   store->metric_epoch_reads_ = metrics->counter("aion.epoch_reads");
@@ -93,8 +105,40 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   store->gauge_cascade_applied_ = metrics->gauge("cascade.applied_ts");
   store->metric_commit_latency_ = metrics->histogram("ingest.commit_nanos");
   store->metric_reader_wait_ = metrics->histogram("aion.reader_wait_nanos");
-  // A single background worker keeps the cascade ordered (Sec 5.1).
+  // Cascade instruments resolve in every mode so the exported metric name
+  // set does not depend on LineageMode.
+  obs::Gauge* cascade_depth = metrics->gauge("cascade.queue_depth");
+  obs::Counter* cascade_enqueued = metrics->counter("cascade.enqueued");
+  obs::Counter* cascade_backpressure =
+      metrics->counter("cascade.backpressure_events");
+  obs::Counter* cascade_shard_tasks = metrics->counter("cascade.shard_tasks");
+  obs::Histogram* cascade_wait =
+      metrics->histogram("cascade.enqueue_wait_nanos");
+  // A single background worker writes snapshots; the commit->LineageStore
+  // cascade (Sec 5.1) runs on its own sharded pipeline below.
   store->background_ = std::make_unique<util::ThreadPool>(1);
+  if (store->lineage_store_ != nullptr &&
+      options.lineage_mode == LineageMode::kAsync) {
+    CascadePipeline::Options cascade_options;
+    cascade_options.workers = options.cascade_workers;
+    cascade_options.queue_capacity = options.cascade_queue_capacity;
+    cascade_options.initial_applied_ts = store->lineage_store_->applied_ts();
+    cascade_options.queue_depth = cascade_depth;
+    cascade_options.applied_ts_gauge = store->gauge_cascade_applied_;
+    cascade_options.enqueued = cascade_enqueued;
+    cascade_options.batches_applied = store->metric_cascade_batches_;
+    cascade_options.backpressure_events = cascade_backpressure;
+    cascade_options.shard_tasks = cascade_shard_tasks;
+    cascade_options.enqueue_wait_nanos = cascade_wait;
+    LineageStore* lineage = store->lineage_store_.get();
+    store->cascade_ = std::make_unique<CascadePipeline>(
+        cascade_options,
+        [lineage](const std::vector<GraphUpdate>& part) {
+          // Fail-stop, matching the previous background worker: losing
+          // lineage history silently is worse than stopping.
+          AION_CHECK_OK(lineage->ApplyAll(part));
+        });
+  }
   // Rebuild the latest replica from history after a restart.
   if (store->time_store_ != nullptr && store->time_store_->last_ts() > 0) {
     AION_ASSIGN_OR_RETURN(
@@ -131,19 +175,72 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
 
 void AionStore::AfterCommit(const txn::TransactionData& data) {
   // Fail-stop on the commit path: a temporal-storage failure here would
-  // silently lose history otherwise.
-  AION_CHECK_OK(Ingest(data.commit_ts, data.updates));
+  // silently lose history otherwise. The listener always blocks on a full
+  // cascade queue — surfacing backpressure here would abort the process.
+  std::vector<WriteBatch::TxnGroup> groups(1);
+  groups[0].ts = data.commit_ts;
+  groups[0].updates = data.updates;
+  AION_CHECK_OK(IngestGroups(std::move(groups), /*force_block=*/true));
 }
 
 Status AionStore::Ingest(Timestamp ts,
                          const std::vector<GraphUpdate>& updates) {
+  std::vector<WriteBatch::TxnGroup> groups(1);
+  groups[0].ts = ts;
+  groups[0].updates = updates;
+  return IngestGroups(std::move(groups), /*force_block=*/false);
+}
+
+Status AionStore::IngestBatch(WriteBatch&& batch) {
+  if (batch.empty()) return Status::OK();
+  AION_RETURN_IF_ERROR(
+      IngestGroups(std::move(batch).Release(), /*force_block=*/false));
+  metric_bulk_ingests_->Add();
+  return Status::OK();
+}
+
+Status AionStore::IngestGroups(std::vector<WriteBatch::TxnGroup> groups,
+                               bool force_block) {
   AION_TRACE_SPAN("aion.ingest");
   obs::ScopedLatency commit_latency(metric_commit_latency_);
+  if (groups.empty()) return Status::OK();
+  {
+    Timestamp prev_ts = 0;
+    for (const WriteBatch::TxnGroup& g : groups) {
+      if (g.updates.empty()) {
+        return Status::InvalidArgument("WriteBatch transaction is empty");
+      }
+      if (g.ts < prev_ts) {
+        return Status::InvalidArgument(
+            "WriteBatch timestamps must be nondecreasing");
+      }
+      prev_ts = g.ts;
+    }
+  }
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  // Stamp defensively (direct-ingest callers may pass unstamped updates).
-  std::vector<GraphUpdate> stamped = updates;
-  for (GraphUpdate& u : stamped) u.ts = ts;
+  const bool async_cascade = cascade_ != nullptr;
 
+  // Reserve the cascade slot before touching any store: a backpressure
+  // failure must leave the TimeStore, GraphStore and statistics exactly as
+  // they were, so the caller can retry the whole batch.
+  if (async_cascade) {
+    if (force_block ||
+        options_.cascade_backpressure == CascadeBackpressure::kBlock) {
+      cascade_->ReserveBlocking();
+    } else if (!cascade_->TryReserve()) {
+      return Status::Backpressure(
+          "cascade queue is full (" +
+          std::to_string(options_.cascade_queue_capacity) +
+          " items); retry or use CascadeBackpressure::kBlock");
+    }
+  }
+  // From here on a failure must release the reservation.
+  auto fail = [&](Status s) {
+    if (async_cascade) cascade_->CancelReservation();
+    return s;
+  };
+
+  const Timestamp batch_last_ts = groups.back().ts;
   // Latest replica + statistics are maintained synchronously (HTAP-style
   // snapshot replication, Sec 5.1). The whole batch applies inside one
   // MutateLatest critical section, so a concurrently pinned epoch can never
@@ -151,57 +248,63 @@ Status AionStore::Ingest(Timestamp ts,
   // stats, and relationship deletions get their endpoints resolved from the
   // pre-delete state so every downstream consumer (TimeStore log diffs,
   // LineageStore neighbourhood indexes, incremental algorithms) sees them.
-  AION_RETURN_IF_ERROR(graph_store_->MutateLatest(
-      ts, [&](graph::MemoryGraph* g) -> Status {
-        for (GraphUpdate& u : stamped) {
-          if (u.op == UpdateOp::kAddRelationship) {
-            GraphUpdate annotated = u;
-            if (const graph::Node* src = g->GetNode(u.src); src != nullptr) {
-              annotated.labels = src->labels;
+  size_t total_updates = 0;
+  Status mutate = graph_store_->MutateLatest(
+      batch_last_ts, [&](graph::MemoryGraph* g) -> Status {
+        for (WriteBatch::TxnGroup& group : groups) {
+          // Stamp defensively (direct-ingest callers may pass unstamped
+          // updates).
+          for (GraphUpdate& u : group.updates) {
+            u.ts = group.ts;
+            if (u.op == UpdateOp::kAddRelationship) {
+              GraphUpdate annotated = u;
+              if (const graph::Node* src = g->GetNode(u.src);
+                  src != nullptr) {
+                annotated.labels = src->labels;
+              }
+              stats_.Observe(annotated);
+            } else if (u.op == UpdateOp::kDeleteRelationship &&
+                       u.src == graph::kInvalidNodeId) {
+              if (const graph::Relationship* rel = g->GetRelationship(u.id);
+                  rel != nullptr) {
+                u.src = rel->src;
+                u.tgt = rel->tgt;
+              }
+              stats_.Observe(u);
+            } else {
+              stats_.Observe(u);
             }
-            stats_.Observe(annotated);
-          } else if (u.op == UpdateOp::kDeleteRelationship &&
-                     u.src == graph::kInvalidNodeId) {
-            // Resolve endpoints from the pre-delete state so the
-            // LineageStore's neighbourhood indexes can record the removal
-            // without a lookup.
-            if (const graph::Relationship* rel = g->GetRelationship(u.id);
-                rel != nullptr) {
-              u.src = rel->src;
-              u.tgt = rel->tgt;
-            }
-            stats_.Observe(u);
-          } else {
-            stats_.Observe(u);
+            AION_RETURN_IF_ERROR(g->Apply(u));
           }
-          AION_RETURN_IF_ERROR(g->Apply(u));
+          total_updates += group.updates.size();
         }
         return Status::OK();
-      }));
+      });
+  if (!mutate.ok()) return fail(std::move(mutate));
+
   bool snapshot_due = false;
   if (time_store_ != nullptr) {
-    AION_RETURN_IF_ERROR(time_store_->Append(ts, stamped, &snapshot_due));
+    Status append = time_store_->AppendBatch(groups, &snapshot_due);
+    if (!append.ok()) return fail(std::move(append));
   }
   const Timestamp prev = last_ingested_ts_.load(std::memory_order_relaxed);
-  if (ts > prev) last_ingested_ts_.store(ts, std::memory_order_release);
-  metric_ingest_batches_->Add();
-  metric_ingest_updates_->Add(stamped.size());
+  if (batch_last_ts > prev) {
+    last_ingested_ts_.store(batch_last_ts, std::memory_order_release);
+  }
+  metric_ingest_batches_->Add(groups.size());
+  metric_ingest_updates_->Add(total_updates);
   gauge_ingest_last_ts_->Set(static_cast<int64_t>(last_ingested_ts()));
 
-  if (lineage_store_ != nullptr) {
-    if (options_.lineage_mode == LineageMode::kSync) {
-      AION_RETURN_IF_ERROR(lineage_store_->ApplyAll(stamped));
+  if (async_cascade) {
+    cascade_->EnqueueReserved(std::move(groups));
+  } else if (lineage_store_ != nullptr) {
+    // kSync: the cascade runs inside the commit path (TS+LS of Fig 9).
+    for (const WriteBatch::TxnGroup& group : groups) {
+      AION_RETURN_IF_ERROR(lineage_store_->ApplyAll(group.updates));
       metric_cascade_batches_->Add();
-      gauge_cascade_applied_->Set(
-          static_cast<int64_t>(lineage_store_->applied_ts()));
-    } else {
-      background_->Submit([this, batch = stamped]() {
-        AION_CHECK_OK(lineage_store_->ApplyAll(batch));
-        metric_cascade_batches_->Add();
-        gauge_cascade_applied_->Set(
-            static_cast<int64_t>(lineage_store_->applied_ts()));
-      });
     }
+    gauge_cascade_applied_->Set(
+        static_cast<int64_t>(lineage_store_->applied_ts()));
   }
   if (snapshot_due && time_store_ != nullptr &&
       !snapshot_pending_.exchange(true)) {
@@ -222,17 +325,37 @@ void AionStore::MaybeSnapshot(bool due) {
   snapshot_pending_.store(false);
 }
 
-void AionStore::DrainBackground() { background_->Wait(); }
+void AionStore::DrainBackground() {
+  if (cascade_ != nullptr) cascade_->Drain();
+  background_->Wait();
+}
 
 Status AionStore::RecoverFrom(const txn::GraphDatabase& db) {
   const Timestamp have =
       time_store_ != nullptr ? time_store_->last_ts() : last_ingested_ts();
+  // Replay in chunks so recovery enjoys the batched write path (one log
+  // write + one sorted index load per chunk) without buffering the whole
+  // history in memory.
+  constexpr size_t kReplayChunk = 256;
   Status status = Status::OK();
+  std::vector<WriteBatch::TxnGroup> chunk;
+  chunk.reserve(kReplayChunk);
+  auto flush_chunk = [&] {
+    if (!status.ok() || chunk.empty()) return;
+    status = IngestGroups(std::move(chunk), /*force_block=*/true);
+    chunk.clear();
+    chunk.reserve(kReplayChunk);
+  };
   AION_RETURN_IF_ERROR(db.ReplayUpdatesSince(
-      have, [this, &status](const txn::TransactionData& data) {
+      have, [&](const txn::TransactionData& data) {
         if (!status.ok()) return;
-        status = Ingest(data.commit_ts, data.updates);
+        WriteBatch::TxnGroup group;
+        group.ts = data.commit_ts;
+        group.updates = data.updates;
+        chunk.push_back(std::move(group));
+        if (chunk.size() >= kReplayChunk) flush_chunk();
       }));
+  flush_chunk();
   return status;
 }
 
@@ -259,7 +382,7 @@ uint64_t AionStore::SizeBytes() const {
 bool AionStore::LineageCanServe(Timestamp ts) const {
   if (lineage_store_ == nullptr) return false;
   if (options_.lineage_mode == LineageMode::kSync) return true;
-  return lineage_store_->applied_ts() >= std::min(ts, last_ingested_ts());
+  return cascade_applied_ts() >= std::min(ts, last_ingested_ts());
 }
 
 AionStore::StoreChoice AionStore::ChooseStoreForExpand(uint32_t hops) const {
@@ -597,7 +720,7 @@ AionStore::Introspection AionStore::Introspect() const {
   }
   if (lineage_store_ != nullptr) {
     info.lineage_enabled = true;
-    info.lineage_applied_ts = lineage_store_->applied_ts();
+    info.lineage_applied_ts = cascade_applied_ts();
     info.lineage_num_records = lineage_store_->num_records();
     info.lineage_size_bytes = lineage_store_->SizeBytes();
   }

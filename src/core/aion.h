@@ -35,10 +35,12 @@
 #include <string>
 #include <vector>
 
+#include "core/cascade.h"
 #include "core/graphstore.h"
 #include "core/lineagestore.h"
 #include "core/statistics.h"
 #include "core/timestore.h"
+#include "core/write_batch.h"
 #include "graph/graph_view.h"
 #include "graph/temporal_graph.h"
 #include "obs/metrics.h"
@@ -56,6 +58,13 @@ class AionStore : public txn::TransactionEventListener {
     kAsync,     // default: background cascade off the commit path
     kSync,      // updated inside the commit path (TS+LS of Fig 9)
     kDisabled,  // TimeStore only
+  };
+
+  /// What a committer experiences when the bounded commit->cascade queue is
+  /// full (LineageMode::kAsync only).
+  enum class CascadeBackpressure {
+    kBlock,  // default: the committer blocks until a slot frees up
+    kFail,   // the ingest fails fast with util::Status::Backpressure
   };
 
   struct Options {
@@ -81,6 +90,18 @@ class AionStore : public txn::TransactionEventListener {
     /// Slow-query log file. Empty with a non-zero threshold defaults to
     /// `<dir>/slowlog.jsonl` (in-memory ring only for in-memory stores).
     std::string slow_query_log_path;
+    /// Serial shard executors of the asynchronous cascade pipeline: updates
+    /// are routed by entity-id hash, so same-entity updates apply in commit
+    /// order while disjoint entities proceed in parallel. Must be in
+    /// [1, 64]; 1 reproduces the single-ordered-worker cascade.
+    size_t cascade_workers = 2;
+    /// Capacity of the bounded commit->cascade queue, in items (one item =
+    /// one Ingest transaction or one IngestBatch). Occupancy is exported as
+    /// the cascade.queue_depth gauge. Must be positive.
+    size_t cascade_queue_capacity = 1024;
+    /// Full-queue policy for direct Ingest/IngestBatch callers. The
+    /// after-commit listener path always blocks (it must not fail).
+    CascadeBackpressure cascade_backpressure = CascadeBackpressure::kBlock;
   };
 
   static util::StatusOr<std::unique_ptr<AionStore>> Open(
@@ -100,9 +121,20 @@ class AionStore : public txn::TransactionEventListener {
   void AfterCommit(const txn::TransactionData& data) override;
 
   /// Direct ingestion for embedded use without a host database. Timestamps
-  /// must be monotonic.
+  /// must be monotonic. This is a thin single-transaction wrapper over the
+  /// batched write path — loaders ingesting more than one transaction
+  /// should build a WriteBatch and call IngestBatch instead.
   util::Status Ingest(Timestamp ts,
                       const std::vector<graph::GraphUpdate>& updates);
+
+  /// Batched ingestion: every transaction group in the batch commits in
+  /// order with one GraphStore mutation, one TimeStore append (single log
+  /// write + sorted B+Tree batch-load) and one cascade enqueue for the
+  /// whole batch. Group timestamps must be nondecreasing and >= the
+  /// TimeStore watermark. With CascadeBackpressure::kFail and a full
+  /// cascade queue, returns util::Status::Backpressure *before* touching
+  /// any store (the batch can simply be retried).
+  util::Status IngestBatch(WriteBatch&& batch);
 
   /// Blocks until the background cascade (LineageStore, snapshots) caught
   /// up with everything ingested so far.
@@ -282,11 +314,20 @@ class AionStore : public txn::TransactionEventListener {
   /// into it; CALL dbms.slowlog() reads it back.
   obs::SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
 
-  /// Cascade watermark: highest timestamp the LineageStore has applied
-  /// (0 when disabled). Cheap — a single atomic load.
+  /// Cascade watermark: highest timestamp whose transaction the
+  /// LineageStore has *fully* applied (0 when disabled). In async mode the
+  /// pipeline's ordered watermark is authoritative — it only advances once
+  /// every shard of a transaction (and all earlier transactions) applied.
+  /// Cheap — a single atomic load.
   Timestamp cascade_applied_ts() const {
+    if (cascade_ != nullptr) return cascade_->applied_ts();
     return lineage_store_ != nullptr ? lineage_store_->applied_ts() : 0;
   }
+
+  /// The async cascade pipeline (nullptr in kSync/kDisabled modes). Exposed
+  /// for tests and benchmarks: pause/resume make queue overflow — and thus
+  /// backpressure — deterministic.
+  CascadePipeline* cascade_for_testing() const { return cascade_.get(); }
 
   Timestamp last_ingested_ts() const {
     return last_ingested_ts_.load(std::memory_order_acquire);
@@ -297,6 +338,12 @@ class AionStore : public txn::TransactionEventListener {
 
  private:
   AionStore() = default;
+
+  /// The shared write path: validates, stamps and applies a sequence of
+  /// transaction groups. `force_block` overrides CascadeBackpressure::kFail
+  /// (the after-commit listener must never observe backpressure).
+  util::Status IngestGroups(std::vector<WriteBatch::TxnGroup> groups,
+                            bool force_block);
 
   void ApplyToLineage(const std::vector<graph::GraphUpdate>& updates);
   void MaybeSnapshot(bool due);
@@ -326,7 +373,11 @@ class AionStore : public txn::TransactionEventListener {
   std::unique_ptr<TimeStore> time_store_;
   std::unique_ptr<LineageStore> lineage_store_;
   GraphStatistics stats_;
-  std::unique_ptr<util::ThreadPool> background_;  // 1 worker: ordered cascade
+  std::unique_ptr<util::ThreadPool> background_;  // snapshot writer
+  // Async commit->LineageStore pipeline (LineageMode::kAsync only).
+  // Declared after lineage_store_: destroyed first, draining in-flight
+  // applies while the store is still alive.
+  std::unique_ptr<CascadePipeline> cascade_;
   std::mutex ingest_mu_;  // writer-only: readers pin epochs instead
   std::atomic<bool> snapshot_pending_{false};
   std::atomic<Timestamp> last_ingested_ts_{0};
@@ -337,6 +388,7 @@ class AionStore : public txn::TransactionEventListener {
   // Facade-level instruments (always valid after Open).
   obs::Counter* metric_ingest_batches_ = nullptr;
   obs::Counter* metric_ingest_updates_ = nullptr;
+  obs::Counter* metric_bulk_ingests_ = nullptr;
   obs::Counter* metric_cascade_batches_ = nullptr;
   obs::Counter* metric_fallback_ = nullptr;
   obs::Counter* metric_epoch_reads_ = nullptr;

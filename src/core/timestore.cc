@@ -56,6 +56,8 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
       BpTree::Open(options.dir + "/snapshot_index.bpt", tree_options));
   if (options.metrics != nullptr) {
     store->metric_appends_ = options.metrics->counter("timestore.appends");
+    store->metric_batch_appends_ =
+        options.metrics->counter("timestore.batch_appends");
     store->metric_snapshots_written_ =
         options.metrics->counter("timestore.snapshots_written");
     store->metric_snapshots_due_ =
@@ -123,6 +125,71 @@ Status TimeStore::Append(Timestamp ts,
         break;
       case SnapshotPolicy::Kind::kTimeBased:
         *snapshot_due = ts - last_snapshot_ts_ >= options_.policy.every;
+        break;
+      case SnapshotPolicy::Kind::kDisabled:
+        *snapshot_due = false;
+        break;
+    }
+    if (*snapshot_due && metric_snapshots_due_ != nullptr) {
+      metric_snapshots_due_->Add();
+    }
+  }
+  return Status::OK();
+}
+
+Status TimeStore::AppendBatch(const std::vector<WriteBatch::TxnGroup>& groups,
+                              bool* snapshot_due) {
+  if (groups.empty()) {
+    if (snapshot_due != nullptr) *snapshot_due = false;
+    return Status::OK();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Timestamp prev = last_ts_.load(std::memory_order_relaxed);
+  for (const WriteBatch::TxnGroup& g : groups) {
+    if (g.ts < prev) {
+      return Status::InvalidArgument("timestamps must be monotonic");
+    }
+    prev = g.ts;
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(groups.size());
+  size_t total_updates = 0;
+  for (const WriteBatch::TxnGroup& g : groups) {
+    std::string payload;
+    graph::EncodeUpdateBatch(g.updates, &payload);
+    payloads.push_back(std::move(payload));
+    total_updates += g.updates.size();
+  }
+  std::vector<uint64_t> offsets;
+  AION_RETURN_IF_ERROR(log_->AppendBatch(payloads, &offsets).status());
+  // (ts, seq) keys are strictly increasing (seq always advances), so this
+  // takes AppendSorted's amortized tail-load path.
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    std::string value;
+    PutFixed64(&value, offsets[i]);
+    entries.emplace_back(TimeKey(groups[i].ts, seq_), std::move(value));
+    ++seq_;
+  }
+  AION_RETURN_IF_ERROR(time_index_->AppendSorted(entries));
+  const Timestamp batch_last = groups.back().ts;
+  last_ts_.store(batch_last, std::memory_order_release);
+  num_updates_.fetch_add(total_updates, std::memory_order_relaxed);
+  const uint64_t ops =
+      ops_since_snapshot_.fetch_add(total_updates,
+                                    std::memory_order_relaxed) +
+      total_updates;
+  if (metric_appends_ != nullptr) metric_appends_->Add(groups.size());
+  if (metric_batch_appends_ != nullptr) metric_batch_appends_->Add();
+  if (snapshot_due != nullptr) {
+    switch (options_.policy.kind) {
+      case SnapshotPolicy::Kind::kOperationBased:
+        *snapshot_due = ops >= options_.policy.every;
+        break;
+      case SnapshotPolicy::Kind::kTimeBased:
+        *snapshot_due = batch_last - last_snapshot_ts_ >=
+                        options_.policy.every;
         break;
       case SnapshotPolicy::Kind::kDisabled:
         *snapshot_due = false;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/graphstore.h"
+#include "core/write_batch.h"
 #include "graph/cow_graph.h"
 #include "graph/graph_view.h"
 #include "graph/memgraph.h"
@@ -91,6 +92,13 @@ class TimeStore {
   /// snapshot policy asks for a new snapshot.
   Status Append(Timestamp ts, const std::vector<GraphUpdate>& updates,
                 bool* snapshot_due);
+
+  /// Bulk form of Append: every transaction group keeps its own log record
+  /// and (ts, seq) index entry, but the whole batch costs one log write and
+  /// one sorted B+Tree batch-load. Group timestamps must be nondecreasing
+  /// and >= last_ts().
+  Status AppendBatch(const std::vector<WriteBatch::TxnGroup>& groups,
+                     bool* snapshot_due);
 
   /// Writes `graph` to disk as the snapshot at `ts` and indexes it.
   Status WriteSnapshot(Timestamp ts, const graph::MemoryGraph& graph);
@@ -188,6 +196,7 @@ class TimeStore {
   mutable std::atomic<uint64_t> records_scanned_parallel_{0};
   // Observability (nullptr when Options::metrics was not given).
   obs::Counter* metric_appends_ = nullptr;
+  obs::Counter* metric_batch_appends_ = nullptr;
   obs::Counter* metric_snapshots_written_ = nullptr;
   obs::Counter* metric_snapshots_due_ = nullptr;
   obs::Counter* metric_replayed_updates_ = nullptr;

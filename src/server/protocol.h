@@ -28,6 +28,10 @@ enum class MessageType : uint8_t {
   kPrometheus = 7,  // client -> server: request the registry in Prometheus
                     // text exposition; one RECORD with the text, then
                     // SUCCESS with the single column "prometheus"
+  kIngest = 8,  // client -> server: one transaction's updates as an
+                // EncodeUpdateBatch payload; the server commits them
+                // atomically and answers one RECORD holding the commit
+                // timestamp, then SUCCESS with the single column "ts"
 };
 
 struct Message {

@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "obs/trace.h"
 #include "server/protocol.h"
 
@@ -22,6 +24,8 @@ BoltLikeServer::BoltLikeServer(query::QueryEngine* engine) : engine_(engine) {
   metric_failures_ = metrics->counter("server.failures");
   metric_metrics_requests_ = metrics->counter("server.metrics_requests");
   metric_prometheus_requests_ = metrics->counter("server.prometheus_requests");
+  metric_ingest_batches_ = metrics->counter("server.ingest_batches");
+  metric_ingest_updates_ = metrics->counter("server.ingest_updates");
   metric_frame_read_ = metrics->histogram("server.frame_read_nanos");
   metric_handle_ = metrics->histogram("server.handle_nanos");
 }
@@ -69,6 +73,10 @@ void BoltLikeServer::Stop() {
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(threads_mu_);
+    // Unblock workers parked in read(): without this, joining a connection
+    // whose client is idle but still connected deadlocks. The worker owns
+    // the close(); it deregisters the fd under this mutex first.
+    for (int conn_fd : connection_fds_) ::shutdown(conn_fd, SHUT_RDWR);
     workers.swap(connection_threads_);
   }
   for (std::thread& t : workers) {
@@ -86,6 +94,7 @@ void BoltLikeServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_fds_.push_back(fd);
     connection_threads_.emplace_back(
         [this, fd] { ServeConnection(fd); });
   }
@@ -128,6 +137,42 @@ void BoltLikeServer::ServeConnection(int fd) {
       }
       continue;
     }
+    if (message->type == MessageType::kIngest) {
+      obs::ScopedLatency handle_latency(metric_handle_);
+      auto fail = [this, fd](const std::string& why) {
+        metric_failures_->Add();
+        Message failure;
+        failure.type = MessageType::kFailure;
+        failure.payload = why;
+        return WriteMessage(fd, failure).ok();
+      };
+      auto updates = graph::DecodeUpdateBatch(message->payload);
+      if (!updates.ok()) {
+        // Malformed batch: the frame itself was well-formed, so the
+        // connection stays usable.
+        if (!fail("ingest: " + updates.status().ToString())) break;
+        continue;
+      }
+      auto txn = engine_->db()->Begin();
+      for (graph::GraphUpdate& u : *updates) txn->Add(std::move(u));
+      const size_t num_updates = txn->num_updates();
+      auto ts = txn->Commit();
+      if (!ts.ok()) {
+        if (!fail("ingest: " + ts.status().ToString())) break;
+        continue;
+      }
+      metric_ingest_batches_->Add();
+      metric_ingest_updates_->Add(num_updates);
+      Message record;
+      record.type = MessageType::kRecord;
+      EncodeRow({query::Value(static_cast<int64_t>(*ts))}, &record.payload);
+      if (!WriteMessage(fd, record).ok()) break;
+      Message success;
+      success.type = MessageType::kSuccess;
+      EncodeColumns({"ts"}, &success.payload);
+      if (!WriteMessage(fd, success).ok()) break;
+      continue;
+    }
     if (message->type != MessageType::kRun) {
       // Malformed frame: reply FAILURE but keep the connection alive — a
       // client that sent one bad message can still issue valid RUNs.
@@ -165,6 +210,12 @@ void BoltLikeServer::ServeConnection(int fd) {
     success.type = MessageType::kSuccess;
     EncodeColumns(result->columns, &success.payload);
     if (!WriteMessage(fd, success).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
   }
   ::close(fd);
 }
@@ -259,6 +310,34 @@ StatusOr<std::string> RequestSnapshot(int fd, MessageType type) {
 }
 
 }  // namespace
+
+StatusOr<graph::Timestamp> BoltLikeClient::IngestBatch(
+    const std::vector<graph::GraphUpdate>& updates) {
+  Message ingest;
+  ingest.type = MessageType::kIngest;
+  graph::EncodeUpdateBatch(updates, &ingest.payload);
+  AION_RETURN_IF_ERROR(WriteMessage(fd_, ingest));
+  graph::Timestamp ts = 0;
+  for (;;) {
+    AION_ASSIGN_OR_RETURN(Message message, ReadMessage(fd_));
+    switch (message.type) {
+      case MessageType::kRecord: {
+        AION_ASSIGN_OR_RETURN(auto row, DecodeRow(message.payload));
+        if (row.size() != 1 || !row[0].is_int()) {
+          return Status::Corruption("ingest row must be one int");
+        }
+        ts = static_cast<graph::Timestamp>(row[0].AsInt());
+        break;
+      }
+      case MessageType::kSuccess:
+        return ts;
+      case MessageType::kFailure:
+        return Status::Aborted("server: " + message.payload);
+      default:
+        return Status::Corruption("unexpected message type");
+    }
+  }
+}
 
 StatusOr<std::string> BoltLikeClient::Metrics() {
   return RequestSnapshot(fd_, MessageType::kMetrics);

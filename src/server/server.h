@@ -50,6 +50,10 @@ class BoltLikeServer {
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
   std::vector<std::thread> connection_threads_;
+  // Live connection sockets; Stop() shuts them down to unblock workers
+  // parked in read(). Workers deregister before closing, so Stop never
+  // touches a reused fd. Guarded by threads_mu_.
+  std::vector<int> connection_fds_;
   std::mutex threads_mu_;
   std::atomic<uint64_t> queries_served_{0};
 
@@ -59,6 +63,8 @@ class BoltLikeServer {
   obs::Counter* metric_failures_ = nullptr;
   obs::Counter* metric_metrics_requests_ = nullptr;
   obs::Counter* metric_prometheus_requests_ = nullptr;
+  obs::Counter* metric_ingest_batches_ = nullptr;
+  obs::Counter* metric_ingest_updates_ = nullptr;
   obs::Histogram* metric_frame_read_ = nullptr;  // wait + frame decode
   obs::Histogram* metric_handle_ = nullptr;      // execute + result framing
 };
@@ -76,6 +82,12 @@ class BoltLikeClient {
 
   /// Sends RUN and collects RECORDs until SUCCESS/FAILURE.
   util::StatusOr<query::QueryResult> Run(const std::string& text);
+
+  /// Sends INGEST: commits `updates` as one transaction on the server and
+  /// returns its commit timestamp. Bulk loaders amortize framing and
+  /// round-trips by batching many updates per call.
+  util::StatusOr<graph::Timestamp> IngestBatch(
+      const std::vector<graph::GraphUpdate>& updates);
 
   /// Sends METRICS and returns the server's metrics snapshot as JSON.
   util::StatusOr<std::string> Metrics();

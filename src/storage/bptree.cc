@@ -449,6 +449,97 @@ Status BpTree::Put(Slice key, Slice value) {
   return Status::OK();
 }
 
+Status BpTree::AppendSorted(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  if (entries.empty()) return Status::OK();
+  for (const auto& [key, value] : entries) {
+    if (key.size() + value.size() > kMaxEntrySize) {
+      return Status::InvalidArgument("entry too large for B+Tree page");
+    }
+  }
+  bool tail_append = true;
+  for (size_t i = 1; i < entries.size() && tail_append; ++i) {
+    if (Slice(entries[i - 1].first).Compare(Slice(entries[i].first)) >= 0) {
+      tail_append = false;
+    }
+  }
+  if (tail_append && num_entries() > 0) {
+    Iterator it = NewIterator();
+    it.SeekToLast();
+    AION_RETURN_IF_ERROR(it.status());
+    if (!it.Valid() || Slice(entries.front().first).Compare(it.key()) <= 0) {
+      tail_append = false;
+    }
+  }
+  if (!tail_append) {
+    for (const auto& [key, value] : entries) {
+      AION_RETURN_IF_ERROR(Put(key, value));
+    }
+    return Status::OK();
+  }
+
+  // Every key lands strictly beyond the current maximum: fill the rightmost
+  // leaf in memory, sealing and chaining a fresh leaf whenever it overflows.
+  std::vector<PageId> path;
+  AION_ASSIGN_OR_RETURN(PageId leaf_id,
+                        DescendToLeaf(entries.front().first, &path));
+  LeafImage image;
+  {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    AION_RETURN_IF_ERROR(DecodeLeaf(page.data(), &image));
+  }
+  for (const auto& [key, value] : entries) {
+    LeafEntry entry;
+    entry.key = key;
+    entry.value = value;
+    image.entries.push_back(std::move(entry));
+    if (image.EncodedSize() > kPagePayload) {
+      // The new entry starts a fresh rightmost leaf; seal the full one.
+      LeafImage right;
+      right.prev = leaf_id;
+      right.next = image.next;
+      right.entries.push_back(std::move(image.entries.back()));
+      image.entries.pop_back();
+      PageId right_id;
+      {
+        AION_ASSIGN_OR_RETURN(PageHandle right_page,
+                              cache_->Allocate(&right_id));
+        EncodeLeaf(right, right_page.data());
+        right_page.MarkDirty();
+      }
+      if (right.next != kInvalidPageId) {
+        AION_ASSIGN_OR_RETURN(PageHandle succ, cache_->Fetch(right.next));
+        WriteU64(succ.data() + 16, right_id);
+        succ.MarkDirty();
+      }
+      image.next = right_id;
+      {
+        AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+        EncodeLeaf(image, page.data());
+        page.MarkDirty();
+      }
+      // Re-descend before each separator insert: a parent split from the
+      // previous round invalidates the cached path. Only internal pages are
+      // read, so the in-memory leaf image stays authoritative.
+      path.clear();
+      AION_RETURN_IF_ERROR(
+          DescendToLeaf(right.entries.front().key, &path).status());
+      AION_RETURN_IF_ERROR(
+          InsertIntoParents(&path, right.entries.front().key, right_id));
+      leaf_id = right_id;
+      image = std::move(right);
+    }
+  }
+  {
+    AION_ASSIGN_OR_RETURN(PageHandle page, cache_->Fetch(leaf_id));
+    EncodeLeaf(image, page.data());
+    page.MarkDirty();
+  }
+  num_entries_.fetch_add(entries.size(), std::memory_order_relaxed);
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
 Status BpTree::InsertIntoParents(std::vector<PageId>* path,
                                  std::string sep_key, PageId new_child) {
   while (true) {

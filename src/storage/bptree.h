@@ -66,6 +66,14 @@ class BpTree {
   /// Inserts `key` -> `value`, replacing any existing value for `key`.
   Status Put(Slice key, Slice value);
 
+  /// Bulk insert. When `entries` is strictly ascending and every key sorts
+  /// after the current maximum (the append pattern of time- and id-ordered
+  /// indexes), the rightmost leaf is filled in memory and sealed page by
+  /// page — one descent per produced page instead of one per key. Any other
+  /// input falls back to per-key Put, so the call is always correct.
+  Status AppendSorted(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+
   /// Returns the value stored under `key`, or NotFound.
   StatusOr<std::string> Get(Slice key) const;
 

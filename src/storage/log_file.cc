@@ -46,6 +46,61 @@ StatusOr<uint64_t> LogFile::Append(util::Slice payload) {
   return file_->Append(framed.data(), framed.size());
 }
 
+StatusOr<uint64_t> LogFile::AppendBatch(
+    const std::vector<std::string>& payloads, std::vector<uint64_t>* offsets) {
+  if (payloads.empty()) return file_->size();
+  size_t total = 0;
+  for (const std::string& p : payloads) total += 8 + p.size();
+  std::string framed;
+  framed.reserve(total);
+  std::vector<uint64_t> relative;
+  relative.reserve(payloads.size());
+  for (const std::string& p : payloads) {
+    relative.push_back(framed.size());
+    util::PutFixed32(&framed, static_cast<uint32_t>(p.size()));
+    util::PutFixed32(&framed, Crc32c(p.data(), p.size()));
+    framed.append(p);
+  }
+  AION_ASSIGN_OR_RETURN(uint64_t base,
+                        file_->Append(framed.data(), framed.size()));
+  if (offsets != nullptr) {
+    offsets->clear();
+    offsets->reserve(relative.size());
+    for (uint64_t r : relative) offsets->push_back(base + r);
+  }
+  return base;
+}
+
+StatusOr<uint64_t> LogFile::RecoverTail() {
+  uint64_t offset = 0;
+  std::string payload;
+  while (offset < file_->size()) {
+    StatusOr<uint64_t> next = ReadNext(offset, &payload);
+    if (next.ok()) {
+      offset = *next;
+      continue;
+    }
+    // Only an *incomplete* record is a torn write (the crash interrupted
+    // the append): fewer than 8 header bytes left, or a frame whose
+    // payload extends past EOF. A complete frame with a bad checksum is
+    // mid-log corruption — truncating it would silently drop committed
+    // transactions, so surface it instead.
+    const uint64_t remaining = file_->size() - offset;
+    bool torn = remaining < 8;
+    if (!torn) {
+      char header[8];
+      AION_RETURN_IF_ERROR(file_->Read(offset, 8, header));
+      torn = offset + 8 + util::DecodeFixed32(header) > file_->size();
+    }
+    if (!torn) return next.status();
+    break;
+  }
+  if (offset < file_->size()) {
+    AION_RETURN_IF_ERROR(file_->Truncate(offset));
+  }
+  return offset;
+}
+
 Status LogFile::Read(uint64_t offset, std::string* payload) const {
   return ReadNext(offset, payload).status();
 }

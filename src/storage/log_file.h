@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/file.h"
 #include "util/slice.h"
@@ -32,6 +33,19 @@ class LogFile {
 
   /// Appends one record; returns the offset to pass to Read later.
   StatusOr<uint64_t> Append(util::Slice payload);
+
+  /// Appends every payload as its own framed record with a single write
+  /// syscall (group commit / bulk ingest). Returns the offset of the first
+  /// record; when `offsets` is non-null it receives one offset per payload.
+  StatusOr<uint64_t> AppendBatch(const std::vector<std::string>& payloads,
+                                 std::vector<uint64_t>* offsets);
+
+  /// Scans from offset 0 and drops a torn suffix: an *incomplete* final
+  /// record (a partially persisted tail after a crash mid-append) is
+  /// truncated away. A complete record with a checksum mismatch is mid-log
+  /// corruption and fails with Corruption instead — truncating there would
+  /// silently drop committed records. Returns the recovered end offset.
+  StatusOr<uint64_t> RecoverTail();
 
   /// Reads the record at `offset` into `*payload`. Verifies the checksum.
   Status Read(uint64_t offset, std::string* payload) const;

@@ -1,6 +1,7 @@
 #include "txn/graphdb.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/cow_graph.h"
 #include "txn/record_store.h"
@@ -72,7 +73,7 @@ StatusOr<Timestamp> Transaction::Commit() {
     return Status::FailedPrecondition("transaction already finished");
   }
   done_ = true;
-  return db_->CommitBatch(&updates_);
+  return db_->CommitBatch(std::move(updates_));
 }
 
 void Transaction::Abort() {
@@ -86,12 +87,22 @@ void Transaction::Abort() {
 
 StatusOr<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
     const Options& options) {
+  if (options.group_commit_max_batch == 0) {
+    return Status::InvalidArgument("group_commit_max_batch must be >= 1");
+  }
+  if (options.group_commit_max_wait_micros > 1'000'000) {
+    return Status::InvalidArgument(
+        "group_commit_max_wait_micros must be <= 1'000'000 (1 s)");
+  }
   std::unique_ptr<GraphDatabase> db(new GraphDatabase());
   db->options_ = options;
   if (!options.data_dir.empty()) {
     AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.data_dir));
     AION_ASSIGN_OR_RETURN(db->wal_,
                           storage::LogFile::Open(options.data_dir + "/wal"));
+    // A crash mid-append can leave a torn record at the tail; drop it (and
+    // anything after it) before replaying the good prefix.
+    AION_RETURN_IF_ERROR(db->wal_->RecoverTail().status());
     // Recovery: load the checkpoint (if any), then replay the WAL tail.
     Timestamp checkpoint_ts = 0;
     const std::string store_dir = options.data_dir + "/store";
@@ -147,43 +158,121 @@ StatusOr<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
 }
 
 StatusOr<Timestamp> GraphDatabase::CommitBatch(
-    std::vector<GraphUpdate>* updates) {
-  if (updates->empty()) {
+    std::vector<GraphUpdate>&& updates) {
+  if (updates.empty()) {
     return Status::InvalidArgument("empty transaction");
   }
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  const Timestamp ts = clock_.load() + 1;
-  for (GraphUpdate& u : *updates) u.ts = ts;
+  PendingCommit req;
+  req.updates = std::move(updates);
 
-  // Validate against the current graph through a CoW overlay: either the
-  // whole batch is applicable, or the commit fails with the graph untouched.
-  {
-    // Non-owning aliasing pointer; safe because commits are serialized and
-    // writers are the only mutators.
-    std::shared_ptr<const graph::MemoryGraph> current_view(
-        std::shared_ptr<void>(), current_.get());
-    graph::CowGraph validation(current_view);
-    AION_RETURN_IF_ERROR(validation.ApplyAll(*updates));
+  std::unique_lock<std::mutex> lock(group_mu_);
+  commit_queue_.push_back(&req);
+  // Wake a leader parked in its accumulation window so it can recheck the
+  // group size.
+  group_cv_.notify_all();
+  // Park until a leader commits this request, or until this committer is at
+  // the head of the queue with no leader running — then it becomes leader.
+  group_cv_.wait(lock, [&] {
+    return req.done || (!leader_active_ && !commit_queue_.empty() &&
+                        commit_queue_.front() == &req);
+  });
+  if (!req.done) {
+    leader_active_ = true;
+    const size_t max_batch = options_.group_commit_max_batch;
+    if (options_.group_commit_max_wait_micros > 0 &&
+        commit_queue_.size() < max_batch) {
+      // Accumulation window: trade a bounded latency hit for batching.
+      group_cv_.wait_for(
+          lock,
+          std::chrono::microseconds(options_.group_commit_max_wait_micros),
+          [&] { return commit_queue_.size() >= max_batch; });
+    }
+    std::vector<PendingCommit*> group;
+    group.reserve(std::min(max_batch, commit_queue_.size()));
+    while (!commit_queue_.empty() && group.size() < max_batch) {
+      group.push_back(commit_queue_.front());
+      commit_queue_.pop_front();
+    }
+    lock.unlock();
+    ProcessCommitGroup(group);
+    lock.lock();
+    leader_active_ = false;
+    for (PendingCommit* p : group) p->done = true;
+    group_cv_.notify_all();
   }
+  group_cv_.wait(lock, [&] { return req.done; });
+  if (!req.status.ok()) return req.status;
+  return req.ts;
+}
 
-  // Durability before visibility.
+void GraphDatabase::ProcessCommitGroup(
+    const std::vector<PendingCommit*>& group) {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+
+  // Validate every transaction against the current graph through one CoW
+  // overlay, assigning consecutive commit timestamps to the accepted ones.
+  // A transaction that fails validation fails alone; the overlay may hold
+  // its partial effects, so it is rebuilt from the accepted prefix.
+  Timestamp next_ts = clock_.load();
+  // Non-owning aliasing pointer; safe because commits are serialized and
+  // writers are the only mutators.
+  std::shared_ptr<const graph::MemoryGraph> current_view(
+      std::shared_ptr<void>(), current_.get());
+  auto overlay = std::make_unique<graph::CowGraph>(current_view);
+  std::vector<PendingCommit*> accepted;
+  accepted.reserve(group.size());
+  for (PendingCommit* p : group) {
+    const Timestamp ts = next_ts + 1;
+    for (GraphUpdate& u : p->updates) u.ts = ts;
+    Status s = overlay->ApplyAll(p->updates);
+    if (!s.ok()) {
+      p->status = std::move(s);
+      overlay = std::make_unique<graph::CowGraph>(current_view);
+      for (PendingCommit* a : accepted) {
+        AION_CHECK_OK(overlay->ApplyAll(a->updates));
+      }
+      continue;
+    }
+    p->ts = ts;
+    next_ts = ts;
+    accepted.push_back(p);
+  }
+  if (accepted.empty()) return;
+
+  // Durability before visibility: one WAL write and at most one fsync cover
+  // the whole group, but every transaction keeps its own record so replay
+  // and RecoverFrom observe per-transaction boundaries.
   if (wal_ != nullptr) {
-    std::string payload;
-    graph::EncodeUpdateBatch(*updates, &payload);
-    AION_RETURN_IF_ERROR(wal_->Append(payload).status());
-    if (options_.sync_commits) {
-      AION_RETURN_IF_ERROR(wal_->Sync());
+    std::vector<std::string> payloads;
+    payloads.reserve(accepted.size());
+    for (PendingCommit* p : accepted) {
+      std::string payload;
+      graph::EncodeUpdateBatch(p->updates, &payload);
+      payloads.push_back(std::move(payload));
+    }
+    Status s = wal_->AppendBatch(payloads, nullptr).status();
+    if (s.ok() && options_.sync_commits) {
+      wal_syncs_.fetch_add(1, std::memory_order_relaxed);
+      s = wal_->Sync();
+    }
+    if (!s.ok()) {
+      for (PendingCommit* p : accepted) p->status = s;
+      return;
     }
   }
 
   // Apply (validated above, so failures here are invariant violations).
+  // One write-lock acquisition for the group: readers see whole
+  // transactions, never a prefix of one.
   {
     std::unique_lock<std::shared_mutex> write_lock(mu_);
-    for (const GraphUpdate& u : *updates) {
-      AION_CHECK_OK(current_->Apply(u));
+    for (const PendingCommit* p : accepted) {
+      for (const GraphUpdate& u : p->updates) {
+        AION_CHECK_OK(current_->Apply(u));
+      }
     }
   }
-  clock_.store(ts);
+  clock_.store(next_ts);
 
   // Raw updates (loaders that manage ids themselves) must advance the id
   // allocators so later CreateNode/CreateRelationship calls don't collide.
@@ -193,22 +282,31 @@ StatusOr<Timestamp> GraphDatabase::CommitBatch(
            !counter->compare_exchange_weak(current, floor)) {
     }
   };
-  for (const GraphUpdate& u : *updates) {
-    if (graph::IsNodeOp(u.op)) {
-      raise_to(&next_node_id_, u.id + 1);
-    } else {
-      raise_to(&next_rel_id_, u.id + 1);
-      if (u.src != graph::kInvalidNodeId) raise_to(&next_node_id_, u.src + 1);
-      if (u.tgt != graph::kInvalidNodeId) raise_to(&next_node_id_, u.tgt + 1);
+  for (const PendingCommit* p : accepted) {
+    for (const GraphUpdate& u : p->updates) {
+      if (graph::IsNodeOp(u.op)) {
+        raise_to(&next_node_id_, u.id + 1);
+      } else {
+        raise_to(&next_rel_id_, u.id + 1);
+        if (u.src != graph::kInvalidNodeId) {
+          raise_to(&next_node_id_, u.src + 1);
+        }
+        if (u.tgt != graph::kInvalidNodeId) {
+          raise_to(&next_node_id_, u.tgt + 1);
+        }
+      }
     }
   }
+  commits_.fetch_add(accepted.size(), std::memory_order_relaxed);
+  commit_rounds_.fetch_add(1, std::memory_order_relaxed);
 
   // After-commit phase: listeners observe transactions in commit order.
-  TransactionData data{ts, *updates};
-  for (TransactionEventListener* l : listeners_) {
-    l->AfterCommit(data);
+  for (const PendingCommit* p : accepted) {
+    TransactionData data{p->ts, p->updates};
+    for (TransactionEventListener* l : listeners_) {
+      l->AfterCommit(data);
+    }
   }
-  return ts;
 }
 
 Status GraphDatabase::Checkpoint() {

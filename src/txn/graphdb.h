@@ -17,6 +17,8 @@
 #define AION_TXN_GRAPHDB_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -96,9 +98,17 @@ class GraphDatabase {
   struct Options {
     /// Directory for the WAL. Empty = in-memory database (no durability).
     std::string data_dir;
-    /// fdatasync the WAL on every commit (off by default; group commit and
-    /// OS page cache semantics are fine for the experiments).
+    /// fdatasync the WAL on every commit group (off by default; group
+    /// commit and OS page cache semantics are fine for the experiments).
     bool sync_commits = false;
+    /// Group commit: the leader drains up to this many queued transactions
+    /// into one WAL append (+ one fsync when sync_commits). 1 disables
+    /// grouping. Must be >= 1.
+    size_t group_commit_max_batch = 64;
+    /// When > 0 the leader waits up to this long for followers to fill the
+    /// group before committing (latency traded for batching). 0 = commit
+    /// whatever is queued immediately. Must be <= 1'000'000 (1 s).
+    uint64_t group_commit_max_wait_micros = 0;
   };
 
   /// Opens the database, replaying any existing WAL (crash recovery).
@@ -171,12 +181,41 @@ class GraphDatabase {
   NodeId PeekNextNodeId() const { return next_node_id_.load(); }
   RelId PeekNextRelId() const { return next_rel_id_.load(); }
 
+  /// Committed transactions since Open.
+  uint64_t CommitCount() const {
+    return commits_.load(std::memory_order_relaxed);
+  }
+  /// Leader rounds since Open; CommitCount / GroupCommitRounds is the mean
+  /// group size.
+  uint64_t GroupCommitRounds() const {
+    return commit_rounds_.load(std::memory_order_relaxed);
+  }
+  /// WAL fdatasync calls since Open (one per group when sync_commits).
+  uint64_t WalSyncCount() const {
+    return wal_syncs_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Transaction;
 
+  /// One committer's seat in the group-commit queue. `ts`, `status` and
+  /// `done` are written by the leader and read by the owning committer,
+  /// both under group_mu_.
+  struct PendingCommit {
+    std::vector<GraphUpdate> updates;
+    Timestamp ts = 0;
+    Status status;
+    bool done = false;
+  };
+
   GraphDatabase() : current_(std::make_unique<graph::MemoryGraph>()) {}
 
-  StatusOr<Timestamp> CommitBatch(std::vector<GraphUpdate>* updates);
+  StatusOr<Timestamp> CommitBatch(std::vector<GraphUpdate>&& updates);
+
+  /// Leader path: validates, timestamps, WAL-appends (one write + at most
+  /// one fsync) and applies a whole group. Runs under commit_mu_ but not
+  /// group_mu_, so new committers can enqueue meanwhile.
+  void ProcessCommitGroup(const std::vector<PendingCommit*>& group);
 
   NodeId AllocateNodeId() { return next_node_id_.fetch_add(1); }
   RelId AllocateRelId() { return next_rel_id_.fetch_add(1); }
@@ -184,12 +223,19 @@ class GraphDatabase {
   Options options_;
   mutable std::shared_mutex mu_;  // guards current_
   std::unique_ptr<graph::MemoryGraph> current_;
-  std::mutex commit_mu_;  // serializes commits (WAL + listener ordering)
+  std::mutex commit_mu_;  // held by the leader for WAL + apply + listeners
+  std::mutex group_mu_;   // guards the group-commit queue and leader flag
+  std::condition_variable group_cv_;
+  std::deque<PendingCommit*> commit_queue_;
+  bool leader_active_ = false;
   std::unique_ptr<storage::LogFile> wal_;
   std::vector<TransactionEventListener*> listeners_;
   std::atomic<Timestamp> clock_{0};
   std::atomic<NodeId> next_node_id_{0};
   std::atomic<RelId> next_rel_id_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> commit_rounds_{0};
+  std::atomic<uint64_t> wal_syncs_{0};
 };
 
 }  // namespace aion::txn

@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kBackpressure:
+      return "Backpressure";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : int {
   kUnimplemented = 8,
   kAborted = 9,
   kInternal = 10,
+  kBackpressure = 11,
 };
 
 /// Result of an operation that can fail. Cheap to copy in the OK case
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Backpressure(std::string msg = "") {
+    return Status(StatusCode::kBackpressure, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -85,6 +89,7 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBackpressure() const { return code_ == StatusCode::kBackpressure; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

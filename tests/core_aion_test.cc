@@ -219,10 +219,11 @@ TEST_F(AionStoreTest, ExpandViaTimeStoreMatchesLineage) {
 
 TEST_F(AionStoreTest, GetGraphSeries) {
   auto aion = OpenAion();
+  WriteBatch batch;
   for (Timestamp ts = 1; ts <= 10; ++ts) {
-    ASSERT_TRUE(
-        aion->Ingest(ts, {GraphUpdate::AddNode(ts - 1)}).ok());
+    batch.Add(ts, GraphUpdate::AddNode(ts - 1));
   }
+  ASSERT_TRUE(aion->IngestBatch(std::move(batch)).ok());
   auto series = aion->GetGraph(2, 10, 4);  // t = 2, 6, 10
   ASSERT_TRUE(series.ok());
   ASSERT_EQ(series->size(), 3u);
@@ -420,9 +421,11 @@ TEST_F(AionStoreTest, BitemporalFiltering) {
 
 TEST_F(AionStoreTest, StorageAccounting) {
   auto aion = OpenAion();
+  WriteBatch batch;
   for (Timestamp ts = 1; ts <= 50; ++ts) {
-    ASSERT_TRUE(aion->Ingest(ts, {GraphUpdate::AddNode(ts)}).ok());
+    batch.Add(ts, GraphUpdate::AddNode(ts));
   }
+  ASSERT_TRUE(aion->IngestBatch(std::move(batch)).ok());
   ASSERT_TRUE(aion->Flush().ok());
   EXPECT_GT(aion->SizeBytes(), 0u);
   const AionStore::Introspection info = aion->Introspect();

@@ -23,19 +23,18 @@ class PlannerTest : public ::testing::Test {
     ASSERT_TRUE(aion.ok());
     aion_ = std::move(*aion);
     // 100 nodes (30 labelled Hot), ring of 100 rels -> avg degree 1.
-    std::vector<graph::GraphUpdate> updates;
+    // One batched ingest, two transactions (ts 1 = nodes, ts 2 = rels).
+    core::WriteBatch batch;
     for (graph::NodeId i = 0; i < 100; ++i) {
-      updates.push_back(graph::GraphUpdate::AddNode(
-          i, i < 30 ? std::vector<std::string>{"Hot"}
-                    : std::vector<std::string>{}));
+      batch.Add(1, graph::GraphUpdate::AddNode(
+                       i, i < 30 ? std::vector<std::string>{"Hot"}
+                                 : std::vector<std::string>{}));
     }
-    ASSERT_TRUE(aion_->Ingest(1, updates).ok());
-    updates.clear();
     for (graph::RelId i = 0; i < 100; ++i) {
-      updates.push_back(
-          graph::GraphUpdate::AddRelationship(i, i, (i + 1) % 100, "R"));
+      batch.Add(2,
+                graph::GraphUpdate::AddRelationship(i, i, (i + 1) % 100, "R"));
     }
-    ASSERT_TRUE(aion_->Ingest(2, updates).ok());
+    ASSERT_TRUE(aion_->IngestBatch(std::move(batch)).ok());
   }
   void TearDown() override { (void)storage::RemoveDirRecursively(dir_); }
 

@@ -120,6 +120,40 @@ TEST_F(ServerTest, TemporalQueryOverWire) {
   EXPECT_EQ(at1->rows[0][0].AsInt(), 1);
 }
 
+TEST_F(ServerTest, IngestBatchOverWire) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  // One INGEST frame = one committed transaction: the updates flow through
+  // the host database (db-managed ids via raw updates) and into Aion via
+  // the commit listener.
+  std::vector<graph::GraphUpdate> updates;
+  for (graph::NodeId i = 0; i < 50; ++i) {
+    updates.push_back(graph::GraphUpdate::AddNode(i, {"Bulk"}));
+  }
+  auto ts = (*client)->IngestBatch(updates);
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+  EXPECT_EQ(*ts, 1u);
+  EXPECT_EQ(db_->NumNodes(), 50u);
+  aion_->DrainBackground();
+  EXPECT_EQ(aion_->last_ingested_ts(), *ts);
+
+  // The batch is queryable like any other commit.
+  auto rows = (*client)->Run("MATCH (n:Bulk) RETURN n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->NumRows(), 50u);
+
+  // An invalid batch (missing endpoint) fails atomically and keeps the
+  // connection alive.
+  auto bad = (*client)->IngestBatch(
+      {graph::GraphUpdate::AddRelationship(0, 0, 424242, "BAD")});
+  EXPECT_TRUE(bad.status().IsAborted());
+  EXPECT_EQ(db_->NumRelationships(), 0u);
+  auto again = (*client)->IngestBatch(
+      {graph::GraphUpdate::AddRelationship(0, 1, 2, "OK")});
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(db_->NumRelationships(), 1u);
+}
+
 TEST_F(ServerTest, FailureDoesNotKillConnection) {
   auto client = BoltLikeClient::Connect(port_);
   ASSERT_TRUE(client.ok());
@@ -272,6 +306,10 @@ TEST_F(ServerTest, QuerySpansNestUnderConnectionSpan) {
 TEST_F(ServerTest, StopUnblocksCleanly) {
   auto client = BoltLikeClient::Connect(port_);
   ASSERT_TRUE(client.ok());
+  // Complete one round-trip first so the connection worker provably exists
+  // and is parked in read() when Stop runs — Stop must shut the socket
+  // down to unblock it, not just flip the running flag.
+  ASSERT_TRUE((*client)->Run("MATCH (n) RETURN count(*)").ok());
   server_->Stop();
   // Further queries fail with an I/O error rather than hanging.
   auto result = (*client)->Run("MATCH (n) RETURN count(*)");

@@ -28,6 +28,9 @@ TEST(StatusTest, AllConstructorsMapToPredicates) {
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Backpressure("x").IsBackpressure());
+  EXPECT_EQ(Status::Backpressure("queue full").ToString(),
+            "Backpressure: queue full");
 }
 
 TEST(StatusTest, EmptyMessageToString) {
