@@ -92,6 +92,57 @@ double BatchedThroughput(const workload::Workload& w, size_t chunk) {
   return static_cast<double>(w.updates.size()) / timer.Seconds();
 }
 
+struct FlightOverheadPoint {
+  double off_ups = 0;
+  double on_ups = 0;
+  double overhead_pct = 0;
+  uint64_t samples = 0;
+};
+
+/// Batched direct ingest with the flight recorder disabled vs sampling at
+/// `period_millis`. The sampler snapshots every instrument off the ingest
+/// path, so its cost should be statistical noise (<1% at the default
+/// period) — this measures it instead of assuming it.
+FlightOverheadPoint FlightOverhead(const workload::Workload& w,
+                                   uint64_t period_millis) {
+  auto run = [&](uint64_t period, uint64_t* samples_out) -> double {
+    bench::TempDir dir("aion_fig9_flight_");
+    core::AionStore::Options options;
+    options.dir = dir.path() + "/aion";
+    options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kDisabled;
+    options.flight_sample_period_millis = period;
+    auto aion = core::AionStore::Open(options);
+    AION_CHECK(aion.ok());
+    bench::Timer timer;
+    core::WriteBatch batch;
+    for (const graph::GraphUpdate& u : w.updates) {
+      batch.Add(u.ts, u);
+      if (batch.num_transactions() >= 1024) {
+        AION_CHECK_OK((*aion)->IngestBatch(std::move(batch)));
+        batch.Clear();
+      }
+    }
+    AION_CHECK_OK((*aion)->IngestBatch(std::move(batch)));
+    (*aion)->DrainBackground();
+    const double seconds = timer.Seconds();
+    if (samples_out != nullptr) {
+      *samples_out =
+          (*aion)->metrics()->Snapshot().counter("flight.samples");
+    }
+    return static_cast<double>(w.updates.size()) / seconds;
+  };
+  FlightOverheadPoint point;
+  run(0, nullptr);  // warm-up
+  point.off_ups = std::max(run(0, nullptr), run(0, nullptr));
+  uint64_t samples_a = 0, samples_b = 0;
+  const double on_a = run(period_millis, &samples_a);
+  const double on_b = run(period_millis, &samples_b);
+  point.on_ups = std::max(on_a, on_b);
+  point.samples = std::max(samples_a, samples_b);
+  point.overhead_pct = (point.off_ups - point.on_ups) / point.off_ups * 100.0;
+  return point;
+}
+
 struct GroupCommitPoint {
   size_t writers = 0;
   double commits_per_sec = 0;
@@ -225,6 +276,26 @@ int main() {
              "  \"batched_ingest\": {\"per_call_ups\": %.0f, "
              "\"batched_ups\": %.0f, \"speedup\": %.2f},\n",
              per_call, batched, batched / per_call);
+    json += buf;
+  }
+
+  // --- Flight recorder sampling overhead ----------------------------------
+  printf("\nFlight recorder overhead (batched ingest, default 500ms "
+         "sampling period):\n");
+  {
+    workload::Workload w = workload::Generate(datasets.front());
+    const FlightOverheadPoint p = FlightOverhead(w, 500);
+    printf("  sampler off: %10.0f ups/s\n  sampler on:  %10.0f ups/s  "
+           "(%.2f%% overhead, %llu samples)\n",
+           p.off_ups, p.on_ups, p.overhead_pct,
+           static_cast<unsigned long long>(p.samples));
+    char buf[224];
+    snprintf(buf, sizeof(buf),
+             "  \"flight_recorder\": {\"period_millis\": 500, "
+             "\"off_ups\": %.0f, \"on_ups\": %.0f, \"overhead_pct\": %.2f, "
+             "\"samples\": %llu},\n",
+             p.off_ups, p.on_ups, p.overhead_pct,
+             static_cast<unsigned long long>(p.samples));
     json += buf;
   }
 

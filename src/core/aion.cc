@@ -16,6 +16,10 @@ using util::Status;
 using util::StatusOr;
 
 AionStore::~AionStore() {
+  // Observability loops first: their probes read the cascade and the
+  // stores, so they must stop before anything underneath tears down.
+  if (watchdog_ != nullptr) watchdog_->Stop();
+  if (flight_ != nullptr) flight_->Stop();
   // Drain the cascade before the snapshot worker: a queued cascade item may
   // still mark a snapshot due, never the other way around.
   cascade_.reset();
@@ -46,6 +50,15 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   if (options.cascade_queue_capacity == 0) {
     return Status::InvalidArgument(
         "AionStore options: cascade_queue_capacity must be positive");
+  }
+  if (options.flight_ring_capacity == 0) {
+    return Status::InvalidArgument(
+        "AionStore options: flight_ring_capacity must be positive");
+  }
+  if (!(options.health_min_snapshot_hit_rate >= 0.0) ||
+      options.health_min_snapshot_hit_rate > 1.0) {
+    return Status::InvalidArgument(
+        "AionStore options: health_min_snapshot_hit_rate must be in [0, 1]");
   }
   AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
   std::unique_ptr<AionStore> store(new AionStore());
@@ -103,6 +116,7 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   store->metric_epoch_refreshes_ = metrics->counter("aion.epoch_refreshes");
   store->gauge_ingest_last_ts_ = metrics->gauge("ingest.last_ts");
   store->gauge_cascade_applied_ = metrics->gauge("cascade.applied_ts");
+  store->gauge_watermark_lag_ = metrics->gauge("cascade.watermark_lag_nanos");
   store->metric_commit_latency_ = metrics->histogram("ingest.commit_nanos");
   store->metric_reader_wait_ = metrics->histogram("aion.reader_wait_nanos");
   // Cascade instruments resolve in every mode so the exported metric name
@@ -170,7 +184,98 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
       static_cast<int64_t>(store->last_ingested_ts()));
   store->gauge_cascade_applied_->Set(
       static_cast<int64_t>(store->cascade_applied_ts()));
+
+  // Flight recorder: continuous metric history, ring-bounded.
+  {
+    obs::FlightRecorder::Options flight_options;
+    flight_options.period_millis = options.flight_sample_period_millis;
+    flight_options.capacity = options.flight_ring_capacity;
+    store->flight_ =
+        std::make_unique<obs::FlightRecorder>(metrics, flight_options);
+  }
+
+  // Health watchdog: store-level checks. Probes refresh the gauges they
+  // derive from, so /metrics and dbms.health() report the same numbers.
+  {
+    obs::HealthWatchdog::Options health_options;
+    health_options.period_millis = options.health_check_period_millis;
+    store->watchdog_ =
+        std::make_unique<obs::HealthWatchdog>(metrics, health_options);
+    AionStore* s = store.get();
+    store->watchdog_->AddCheck(
+        "cascade.watermark_lag",
+        [s] { return static_cast<double>(s->CascadeWatermarkLagNanos()); },
+        static_cast<double>(options.health_max_watermark_lag_nanos),
+        obs::HealthWatchdog::Direction::kAbove);
+    obs::Counter* gs_requests = metrics->counter("graphstore.requests");
+    obs::Counter* gs_hits = metrics->counter("graphstore.hits");
+    store->watchdog_->AddCheck(
+        "graphstore.hit_rate",
+        [gs_requests, gs_hits] {
+          const uint64_t requests = gs_requests->value();
+          if (requests == 0) return 1.0;  // a cold cache is not a fault
+          return static_cast<double>(gs_hits->value()) /
+                 static_cast<double>(requests);
+        },
+        options.health_min_snapshot_hit_rate,
+        obs::HealthWatchdog::Direction::kBelow);
+    // Backpressure rate: counter delta over the wall time since the last
+    // evaluation (state lives in the closure; a Reset() rewinds the counter
+    // below `prev`, which reads as rate 0 for one evaluation).
+    auto bp_state = std::make_shared<std::pair<uint64_t, uint64_t>>(
+        uint64_t{0}, obs::NowNanos());
+    store->watchdog_->AddCheck(
+        "cascade.backpressure_rate",
+        [bp = cascade_backpressure, bp_state] {
+          const uint64_t now = obs::NowNanos();
+          const uint64_t count = bp->value();
+          const auto [prev_count, prev_nanos] = *bp_state;
+          *bp_state = {count, now};
+          if (count < prev_count || now <= prev_nanos) return 0.0;
+          return static_cast<double>(count - prev_count) /
+                 (static_cast<double>(now - prev_nanos) / 1e9);
+        },
+        options.health_max_backpressure_per_sec,
+        obs::HealthWatchdog::Direction::kAbove);
+    // Dump-on-fault: preserve the minutes leading up to a degradation.
+    obs::FlightRecorder* flight = store->flight_.get();
+    const std::string dump_path = options.dir + "/flight_degraded.json";
+    store->watchdog_->OnDegraded(
+        [flight, dump_path](const obs::HealthReport&) {
+          flight->SampleNow();  // capture the degraded instant itself
+          // Best-effort: a failed dump must not escalate the degradation.
+          const util::Status dumped = flight->DumpToFile(dump_path);
+          (void)dumped;
+        });
+  }
+  store->flight_->Start();
+  store->watchdog_->Start();
   return store;
+}
+
+void AionStore::AttachHostDatabase(txn::GraphDatabase* db) {
+  if (db == nullptr) return;
+  db->AttachMetrics(metrics_.get());
+  watchdog_->AddCheck(
+      "txn.commit_queue_age",
+      [db] { return static_cast<double>(db->CommitQueueAgeNanos()); },
+      static_cast<double>(options_.health_max_commit_queue_age_nanos),
+      obs::HealthWatchdog::Direction::kAbove);
+  obs::Histogram* wal_sync = metrics_->histogram("txn.wal_sync_nanos");
+  watchdog_->AddCheck(
+      "txn.wal_sync_p99",
+      [wal_sync] {
+        return static_cast<double>(wal_sync->Summarize().p99);
+      },
+      static_cast<double>(options_.health_max_wal_sync_p99_nanos),
+      obs::HealthWatchdog::Direction::kAbove);
+}
+
+uint64_t AionStore::CascadeWatermarkLagNanos() const {
+  const uint64_t lag =
+      cascade_ != nullptr ? cascade_->WatermarkLagNanos() : 0;
+  gauge_watermark_lag_->Set(static_cast<int64_t>(lag));
+  return lag;
 }
 
 void AionStore::AfterCommit(const txn::TransactionData& data) {

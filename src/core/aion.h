@@ -43,8 +43,10 @@
 #include "core/write_batch.h"
 #include "graph/graph_view.h"
 #include "graph/temporal_graph.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
+#include "obs/timeseries.h"
 #include "txn/graphdb.h"
 #include "txn/listener.h"
 #include "util/thread_pool.h"
@@ -102,6 +104,36 @@ class AionStore : public txn::TransactionEventListener {
     /// Full-queue policy for direct Ingest/IngestBatch callers. The
     /// after-commit listener path always blocks (it must not fail).
     CascadeBackpressure cascade_backpressure = CascadeBackpressure::kBlock;
+
+    // ----- Flight recorder (see obs/timeseries.h) -----
+
+    /// Background metric-sampling period. 0 disables the sampler (the ring
+    /// still exists; SampleNow/dbms.flight() work on demand).
+    uint64_t flight_sample_period_millis = 500;
+    /// Flight-recorder ring capacity in samples. Must be positive.
+    size_t flight_ring_capacity = 256;
+
+    // ----- Health watchdog (see obs/health.h) -----
+
+    /// Background health-evaluation period. 0 disables the background loop
+    /// (dbms.health() and /healthz still evaluate on demand).
+    uint64_t health_check_period_millis = 1000;
+    /// Degraded when the oldest enqueued-but-unapplied cascade transaction
+    /// is older than this (ingest-to-visible lag).
+    uint64_t health_max_watermark_lag_nanos = 10'000'000'000;  // 10 s
+    /// Degraded when the oldest queued group-commit seat is older than this
+    /// (requires AttachHostDatabase).
+    uint64_t health_max_commit_queue_age_nanos = 5'000'000'000;  // 5 s
+    /// Degraded when WAL fsync p99 exceeds this (requires
+    /// AttachHostDatabase; the check is moot unless sync_commits).
+    uint64_t health_max_wal_sync_p99_nanos = 1'000'000'000;  // 1 s
+    /// Degraded when the snapshot-cache hit rate falls below this. The
+    /// default 0.0 never fails (a cold cache is not a fault); raise it for
+    /// cache-dependent deployments.
+    double health_min_snapshot_hit_rate = 0.0;
+    /// Degraded when cascade backpressure events exceed this rate
+    /// (events/second, measured between evaluations).
+    double health_max_backpressure_per_sec = 100.0;
   };
 
   static util::StatusOr<std::unique_ptr<AionStore>> Open(
@@ -314,6 +346,27 @@ class AionStore : public txn::TransactionEventListener {
   /// into it; CALL dbms.slowlog() reads it back.
   obs::SlowQueryLog* slow_query_log() const { return slow_log_.get(); }
 
+  /// The flight recorder (never null). Background sampling runs when
+  /// Options::flight_sample_period_millis > 0; the ring serves
+  /// CALL dbms.flight() and GET /debug/flight either way.
+  obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// The health watchdog (never null). Store-level checks (watermark lag,
+  /// snapshot-cache hit rate, backpressure rate) register at Open;
+  /// host-database checks join via AttachHostDatabase.
+  obs::HealthWatchdog* health_watchdog() const { return watchdog_.get(); }
+
+  /// Registers host-database health checks (group-commit queue age, WAL
+  /// fsync p99) against `db` and shares this store's metric registry with
+  /// it (txn.* instruments). `db` must outlive this store. Idempotent;
+  /// called by the query engine when it fronts both layers.
+  void AttachHostDatabase(txn::GraphDatabase* db);
+
+  /// Ingest-to-visible lag, measured at the cascade (0 in kSync/kDisabled
+  /// modes): wall-clock age of the oldest enqueued-but-unapplied
+  /// transaction. Refreshes the cascade.watermark_lag_nanos gauge.
+  uint64_t CascadeWatermarkLagNanos() const;
+
   /// Cascade watermark: highest timestamp whose transaction the
   /// LineageStore has *fully* applied (0 when disabled). In async mode the
   /// pipeline's ordered watermark is authoritative — it only advances once
@@ -378,6 +431,11 @@ class AionStore : public txn::TransactionEventListener {
   // Declared after lineage_store_: destroyed first, draining in-flight
   // applies while the store is still alive.
   std::unique_ptr<CascadePipeline> cascade_;
+  // Observability loops: their probes read cascade_ and the stores, so
+  // they are declared after them (destroyed first) and additionally stopped
+  // explicitly at the top of ~AionStore, before cascade_ resets.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::HealthWatchdog> watchdog_;
   std::mutex ingest_mu_;  // writer-only: readers pin epochs instead
   std::atomic<bool> snapshot_pending_{false};
   std::atomic<Timestamp> last_ingested_ts_{0};
@@ -395,6 +453,7 @@ class AionStore : public txn::TransactionEventListener {
   obs::Counter* metric_epoch_refreshes_ = nullptr;
   obs::Gauge* gauge_ingest_last_ts_ = nullptr;
   obs::Gauge* gauge_cascade_applied_ = nullptr;
+  obs::Gauge* gauge_watermark_lag_ = nullptr;  // cascade.watermark_lag_nanos
   obs::Histogram* metric_commit_latency_ = nullptr;
   obs::Histogram* metric_reader_wait_ = nullptr;
 };

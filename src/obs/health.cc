@@ -1,0 +1,143 @@
+#include "obs/health.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace aion::obs {
+
+namespace {
+
+uint64_t UnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{\"healthy\":";
+  out.append(healthy ? "true" : "false");
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ",\"unix_millis\":%" PRIu64, unix_millis);
+  out.append(buf);
+  out.append(",\"checks\":[");
+  bool first = true;
+  for (const HealthCheck& check : checks) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"").append(check.name).append("\",\"value\":");
+    AppendDouble(&out, check.value);
+    out.append(",\"threshold\":");
+    AppendDouble(&out, check.threshold);
+    out.append(",\"ok\":").append(check.ok ? "true" : "false");
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+HealthWatchdog::HealthWatchdog(MetricsRegistry* registry, Options options)
+    : registry_(registry),
+      options_(options),
+      metric_degraded_(registry->gauge("health.degraded")),
+      metric_checks_failed_(registry->gauge("health.checks_failed")),
+      metric_evaluations_(registry->counter("health.evaluations")) {}
+
+HealthWatchdog::~HealthWatchdog() { Stop(); }
+
+void HealthWatchdog::AddCheck(const std::string& name,
+                              std::function<double()> probe, double threshold,
+                              Direction direction) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Check& check : checks_) {
+    if (check.name == name) {
+      check.probe = std::move(probe);
+      check.threshold = threshold;
+      check.direction = direction;
+      return;
+    }
+  }
+  checks_.push_back({name, std::move(probe), threshold, direction});
+}
+
+void HealthWatchdog::OnDegraded(
+    std::function<void(const HealthReport&)> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_ = std::move(callback);
+}
+
+HealthReport HealthWatchdog::Evaluate() {
+  HealthReport report;
+  report.unix_millis = UnixMillis();
+  std::function<void(const HealthReport&)> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t failed = 0;
+    for (const Check& check : checks_) {
+      HealthCheck result;
+      result.name = check.name;
+      result.value = check.probe();
+      result.threshold = check.threshold;
+      result.ok = check.direction == Direction::kAbove
+                      ? result.value <= check.threshold
+                      : result.value >= check.threshold;
+      if (!result.ok) {
+        report.healthy = false;
+        ++failed;
+      }
+      report.checks.push_back(std::move(result));
+    }
+    metric_degraded_->Set(report.healthy ? 0 : 1);
+    metric_checks_failed_->Set(failed);
+    metric_evaluations_->Add(1);
+    if (was_healthy_ && !report.healthy && callback_) fire = callback_;
+    was_healthy_ = report.healthy;
+  }
+  // Fire outside mu_ so the callback may call back into the watchdog (or
+  // take long dumping the flight ring) without blocking evaluations.
+  if (fire) fire(report);
+  return report;
+}
+
+void HealthWatchdog::Start() {
+  if (running_ || options_.period_millis == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = false;
+  }
+  evaluator_ = std::thread([this] { EvaluateLoop(); });
+  running_ = true;
+}
+
+void HealthWatchdog::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  evaluator_.join();
+  running_ = false;
+}
+
+void HealthWatchdog::EvaluateLoop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_) {
+    lock.unlock();
+    Evaluate();
+    lock.lock();
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_millis),
+                      [this] { return stop_; });
+  }
+}
+
+}  // namespace aion::obs

@@ -1,0 +1,116 @@
+// Health watchdog: turns raw instruments into a single healthy/degraded
+// verdict. Each check pairs a probe (a callable that measures the current
+// value — refreshing the backing gauge so clients see measured data, not
+// client-side derivations) with a threshold and a direction; the watchdog
+// evaluates all checks on demand (`CALL dbms.health()`, GET /healthz) or on
+// a background period, maintains the `health.degraded` gauge, and fires a
+// callback on the healthy-to-degraded transition (AionStore uses it to dump
+// the flight recorder, preserving the minutes leading up to the fault).
+#ifndef AION_OBS_HEALTH_H_
+#define AION_OBS_HEALTH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aion::obs {
+
+/// Result of one check at one evaluation.
+struct HealthCheck {
+  std::string name;
+  double value = 0;
+  double threshold = 0;
+  bool ok = true;
+};
+
+/// Result of evaluating every registered check.
+struct HealthReport {
+  bool healthy = true;
+  uint64_t unix_millis = 0;
+  std::vector<HealthCheck> checks;
+
+  /// {"healthy":true,"unix_millis":..,"checks":[{"name":..,"value":..,
+  /// "threshold":..,"ok":..},...]}
+  std::string ToJson() const;
+};
+
+class HealthWatchdog {
+ public:
+  /// A check fails when the probed value crosses its threshold in the
+  /// stated direction.
+  enum class Direction {
+    kAbove,  // fail when value > threshold (lags, ages, latencies, rates)
+    kBelow,  // fail when value < threshold (hit rates)
+  };
+
+  struct Options {
+    /// Background evaluation period. 0 disables the background thread;
+    /// Evaluate() still works on demand.
+    uint64_t period_millis = 1000;
+  };
+
+  /// `registry` must outlive the watchdog; it receives `health.degraded`,
+  /// `health.checks_failed`, and `health.evaluations`.
+  HealthWatchdog(MetricsRegistry* registry, Options options);
+  ~HealthWatchdog();
+
+  HealthWatchdog(const HealthWatchdog&) = delete;
+  HealthWatchdog& operator=(const HealthWatchdog&) = delete;
+
+  /// Registers (or replaces, by name) a check. `probe` is called on every
+  /// evaluation from the evaluating thread; it must be safe to call
+  /// concurrently with the system under observation and should refresh any
+  /// gauge it derives from so exports stay consistent with health output.
+  void AddCheck(const std::string& name, std::function<double()> probe,
+                double threshold, Direction direction);
+
+  /// Callback fired once per healthy-to-degraded transition (from the
+  /// evaluating thread). Replace-only; pass nullptr to clear.
+  void OnDegraded(std::function<void(const HealthReport&)> callback);
+
+  /// Runs every probe and returns the verdict. Updates health.* metrics and
+  /// fires the degraded callback on transition. Thread-safe.
+  HealthReport Evaluate();
+
+  /// Starts/stops the background evaluation loop (no-op when
+  /// period_millis == 0 or already in the requested state).
+  void Start();
+  void Stop();
+
+ private:
+  struct Check {
+    std::string name;
+    std::function<double()> probe;
+    double threshold = 0;
+    Direction direction = Direction::kAbove;
+  };
+
+  void EvaluateLoop();
+
+  MetricsRegistry* registry_;
+  const Options options_;
+  Gauge* metric_degraded_;        // health.degraded (0 or 1)
+  Gauge* metric_checks_failed_;   // health.checks_failed
+  Counter* metric_evaluations_;   // health.evaluations
+
+  std::mutex mu_;                 // guards checks_, callback_, was_healthy_
+  std::vector<Check> checks_;
+  std::function<void(const HealthReport&)> callback_;
+  bool was_healthy_ = true;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  std::thread evaluator_;
+  bool running_ = false;
+};
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_HEALTH_H_

@@ -161,20 +161,23 @@ std::string MetricsSnapshot::ToPrometheus() const {
     std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
     out.append(p).append(buf);
   }
-  // Histograms expose as summaries: the registry keeps fixed quantiles, not
-  // cumulative buckets, and summaries carry quantiles natively. Values stay
-  // in the recorded unit (nanoseconds; the instrument names say so).
+  // Histograms expose as real Prometheus histogram families: cumulative
+  // `_bucket{le="..."}` samples (power-of-two upper bounds from the atomic
+  // histogram, trailing +Inf equals _count), then `_sum` and `_count`.
+  // Values stay in the recorded unit (nanoseconds; the instrument names say
+  // so).
   for (const auto& [name, summary] : histograms) {
     const std::string p = PrometheusName(name);
-    out.append("# TYPE ").append(p).append(" summary\n");
-    std::snprintf(buf, sizeof(buf), "{quantile=\"0.5\"} %" PRIu64 "\n",
-                  summary.p50);
-    out.append(p).append(buf);
-    std::snprintf(buf, sizeof(buf), "{quantile=\"0.95\"} %" PRIu64 "\n",
-                  summary.p95);
-    out.append(p).append(buf);
-    std::snprintf(buf, sizeof(buf), "{quantile=\"0.99\"} %" PRIu64 "\n",
-                  summary.p99);
+    out.append("# TYPE ").append(p).append(" histogram\n");
+    for (const util::LatencySummary::Bucket& bucket : summary.buckets) {
+      if (bucket.le == ~uint64_t{0}) continue;  // folded into +Inf below
+      std::snprintf(buf, sizeof(buf),
+                    "_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", bucket.le,
+                    bucket.cumulative_count);
+      out.append(p).append(buf);
+    }
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  summary.count);
     out.append(p).append(buf);
     std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", summary.sum);
     out.append(p).append(buf);

@@ -81,8 +81,10 @@ struct MetricsSnapshot {
   std::string ToJson() const;
 
   /// Prometheus text exposition (version 0.0.4): counters and gauges as
-  /// single samples, histograms as summaries (`{quantile="..."}` +
-  /// `_sum`/`_count`). Instrument names go through PrometheusName().
+  /// single samples, histograms as real histogram families — cumulative
+  /// `_bucket{le="..."}` samples with power-of-two upper bounds, a trailing
+  /// `le="+Inf"` bucket equal to `_count`, then `_sum`/`_count`. Instrument
+  /// names go through PrometheusName().
   std::string ToPrometheus() const;
 };
 

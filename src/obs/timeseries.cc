@@ -1,0 +1,139 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace aion::obs {
+
+namespace {
+
+uint64_t UnixMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(MetricsRegistry* registry, Options options)
+    : registry_(registry),
+      options_(options),
+      metric_samples_(registry->counter("flight.samples")),
+      metric_sample_ns_(registry->histogram("flight.sample_nanos")) {
+  ring_.reserve(options_.capacity);
+}
+
+FlightRecorder::~FlightRecorder() { Stop(); }
+
+void FlightRecorder::Start() {
+  if (running_ || options_.period_millis == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = false;
+  }
+  sampler_ = std::thread([this] { SampleLoop(); });
+  running_ = true;
+}
+
+void FlightRecorder::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  sampler_.join();
+  running_ = false;
+}
+
+void FlightRecorder::SampleLoop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_) {
+    // Sample first so short-lived recorders still capture one point, then
+    // sleep. wait_for wakes early on Stop().
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_millis),
+                      [this] { return stop_; });
+  }
+}
+
+void FlightRecorder::SampleNow() {
+  const uint64_t start = NowNanos();
+  FlightSample sample;
+  sample.unix_millis = UnixMillis();
+  sample.snapshot = registry_->Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < options_.capacity) {
+      ring_.push_back(std::move(sample));
+    } else {
+      ring_[next_ % options_.capacity] = std::move(sample);
+    }
+    ++next_;
+  }
+  metric_samples_->Add(1);
+  metric_sample_ns_->Record(NowNanos() - start);
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<FlightSample> FlightRecorder::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightSample> out;
+  out.reserve(ring_.size());
+  // Once the ring wraps, the oldest sample sits at next_ % capacity.
+  const size_t start = ring_.size() < options_.capacity
+                           ? 0
+                           : next_ % options_.capacity;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightSample> samples = Samples();
+  std::string out = "{\"period_millis\":";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, options_.period_millis);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf), ",\"capacity\":%zu", options_.capacity);
+  out.append(buf);
+  out.append(",\"samples\":[");
+  bool first = true;
+  for (const FlightSample& sample : samples) {
+    if (!first) out.push_back(',');
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"unix_millis\":%" PRIu64,
+                  sample.unix_millis);
+    out.append(buf);
+    out.append(",\"metrics\":");
+    out.append(sample.snapshot.ToJson());
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+util::Status FlightRecorder::DumpToFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IOError("flight dump: cannot open " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok) {
+    return util::Status::IOError("flight dump: short write to " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace aion::obs

@@ -1,0 +1,100 @@
+// Flight recorder: a background sampler that snapshots every instrument in
+// a MetricsRegistry into a fixed-size time-series ring. Where the registry
+// answers "what are the totals now?", the ring answers "what were they over
+// the last few minutes?" — enough to reconstruct rates and spot regressions
+// after the fact (ingest-to-visible lag spikes, backpressure bursts) without
+// an external scraper. The ring is exported as JSON via `CALL dbms.flight()`
+// and the HTTP endpoint `/debug/flight`, and can be dumped to disk on demand
+// or when the health watchdog flips to degraded.
+#ifndef AION_OBS_TIMESERIES_H_
+#define AION_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace aion::obs {
+
+/// One ring slot: a full registry snapshot plus when it was taken.
+struct FlightSample {
+  uint64_t unix_millis = 0;  // wall clock, for correlating with logs
+  MetricsSnapshot snapshot;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Sampling period. 0 disables the background thread entirely (samples
+    /// can still be taken explicitly with SampleNow).
+    uint64_t period_millis = 500;
+    /// Ring capacity in samples. At the default period, 256 samples cover
+    /// ~2 minutes of history for a few hundred KB.
+    size_t capacity = 256;
+  };
+
+  /// `registry` must outlive the recorder. The recorder registers its own
+  /// instruments (`flight.samples`, `flight.sample_nanos`) into the sampled
+  /// registry, so sampling cost shows up in the data it records.
+  FlightRecorder(MetricsRegistry* registry, Options options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Starts the background sampler (no-op when period_millis == 0 or
+  /// already running).
+  void Start();
+
+  /// Stops and joins the background sampler. Safe to call repeatedly; the
+  /// ring's contents survive.
+  void Stop();
+
+  /// Takes one sample synchronously (also used by the background thread).
+  /// Deterministic handle for tests and for "snapshot before dump".
+  void SampleNow();
+
+  /// Samples currently held (<= capacity).
+  size_t size() const;
+
+  /// Oldest-to-newest copy of the ring.
+  std::vector<FlightSample> Samples() const;
+
+  /// {"period_millis":..,"capacity":..,"samples":[{"unix_millis":..,
+  /// "metrics":{...}},...]} — samples oldest first, each carrying the full
+  /// MetricsSnapshot::ToJson() payload.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path` (truncating). Used for on-demand dumps and
+  /// by the degraded-health hook.
+  util::Status DumpToFile(const std::string& path) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void SampleLoop();
+
+  MetricsRegistry* registry_;
+  const Options options_;
+  Counter* metric_samples_;       // flight.samples
+  Histogram* metric_sample_ns_;   // flight.sample_nanos
+
+  mutable std::mutex mu_;         // guards ring_ and next_
+  std::vector<FlightSample> ring_;
+  size_t next_ = 0;               // total samples taken; ring_[next_ % cap]
+
+  std::mutex wake_mu_;            // guards stop_ for the cv
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  std::thread sampler_;
+  bool running_ = false;
+};
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_TIMESERIES_H_

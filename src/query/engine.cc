@@ -104,6 +104,9 @@ QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
   metric_plan_ = metrics_->histogram("query.plan_nanos");
   metric_execute_ = metrics_->histogram("query.execute_nanos");
   slow_log_ = aion_ != nullptr ? aion_->slow_query_log() : nullptr;
+  // Fronting both layers: host txn.* health checks join Aion's watchdog
+  // and the host records into Aion's registry.
+  if (aion_ != nullptr && db_ != nullptr) aion_->AttachHostDatabase(db_);
   RegisterBuiltinProcedures();
 }
 

@@ -462,6 +462,35 @@ StatusOr<QueryResult> DbmsSlowlog(QueryEngine& engine,
   return result;
 }
 
+StatusOr<QueryResult> DbmsHealth(QueryEngine& engine,
+                                 const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.health"));
+  const obs::HealthReport report =
+      engine.aion()->health_watchdog()->Evaluate();
+  QueryResult result;
+  result.columns = {"check", "value", "threshold", "ok"};
+  // The overall verdict first, then per-check detail.
+  result.rows.push_back({Value(std::string("overall")),
+                         Value(report.healthy ? 1.0 : 0.0), Value(0.0),
+                         Value(report.healthy)});
+  for (const obs::HealthCheck& check : report.checks) {
+    result.rows.push_back({Value(check.name), Value(check.value),
+                           Value(check.threshold), Value(check.ok)});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> DbmsFlight(QueryEngine& engine,
+                                 const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.flight"));
+  QueryResult result;
+  result.columns = {"flight"};
+  result.rows.push_back({Value(engine.aion()->flight_recorder()->ToJson())});
+  return result;
+}
+
 StatusOr<QueryResult> DbmsMetricsReset(QueryEngine& engine,
                                        const std::vector<Literal>& args) {
   AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.metrics.reset"));
@@ -492,6 +521,8 @@ void RegisterBuiltinAionProcedures(QueryEngine* engine) {
                             LatestDepartureProc);
   engine->RegisterProcedure("dbms.metrics", DbmsMetrics);
   engine->RegisterProcedure("dbms.metrics.reset", DbmsMetricsReset);
+  engine->RegisterProcedure("dbms.health", DbmsHealth);
+  engine->RegisterProcedure("dbms.flight", DbmsFlight);
   engine->RegisterProcedure("dbms.traces", DbmsTraces);
   engine->RegisterProcedure("dbms.trace.export", DbmsTraceExport);
   engine->RegisterProcedure("dbms.slowlog", DbmsSlowlog);

@@ -21,6 +21,8 @@
 //   dbms.traces()         -> span, start/duration, thread, span/parent/query id
 //   dbms.trace.export()   -> trace (Chrome trace_event JSON, one row)
 //   dbms.slowlog()        -> unix_millis, nanos, store, query, summary
+//   dbms.health()         -> check, value, threshold, ok ("overall" first)
+//   dbms.flight()         -> flight (flight-recorder ring JSON, one row)
 #ifndef AION_QUERY_PROCEDURES_H_
 #define AION_QUERY_PROCEDURES_H_
 

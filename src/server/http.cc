@@ -1,0 +1,153 @@
+#include "server/http.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace aion::server {
+
+using util::StatusOr;
+
+namespace {
+
+// Request heads beyond this are rejected (no legitimate GET for our three
+// routes comes close).
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* ReasonFor(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+void SendResponse(int fd, int status, const std::string& content_type,
+                  const std::string& body) {
+  std::string response = "HTTP/1.0 " + std::to_string(status) + " " +
+                         ReasonFor(status) + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (n <= 0) return;  // peer gone; the listener closes the fd
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the end of the request head (CRLFCRLF). Returns false on
+/// disconnect, oversized head, or malformed framing.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->find("\r\n\r\n") == std::string::npos) {
+    if (head->size() > kMaxRequestBytes) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+ObservabilityHttpServer::ObservabilityHttpServer(query::QueryEngine* engine)
+    : ObservabilityHttpServer(
+          engine->metrics(),
+          engine->aion() != nullptr ? engine->aion()->health_watchdog()
+                                    : nullptr,
+          engine->aion() != nullptr ? engine->aion()->flight_recorder()
+                                    : nullptr) {}
+
+ObservabilityHttpServer::ObservabilityHttpServer(obs::MetricsRegistry* metrics,
+                                                 obs::HealthWatchdog* watchdog,
+                                                 obs::FlightRecorder* flight)
+    : metrics_(metrics), watchdog_(watchdog), flight_(flight) {
+  if (metrics_ != nullptr) {
+    metric_requests_ = metrics_->counter("http.requests");
+    metric_bad_requests_ = metrics_->counter("http.bad_requests");
+  }
+}
+
+ObservabilityHttpServer::~ObservabilityHttpServer() { Stop(); }
+
+StatusOr<uint16_t> ObservabilityHttpServer::Start(uint16_t port) {
+  return listener_.Start(port, [this](int fd) { ServeConnection(fd); });
+}
+
+void ObservabilityHttpServer::ServeConnection(int fd) {
+  // HTTP/1.0, one request per connection: read the head, route, respond.
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) {
+    if (metric_bad_requests_ != nullptr) metric_bad_requests_->Add();
+    return;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_requests_ != nullptr) metric_requests_->Add();
+
+  // "METHOD SP PATH SP VERSION CRLF ..." — we only need the first two.
+  const size_t method_end = head.find(' ');
+  if (method_end == std::string::npos) {
+    SendResponse(fd, 400, "text/plain", "malformed request line\n");
+    return;
+  }
+  const std::string method = head.substr(0, method_end);
+  const size_t path_end = head.find_first_of(" \r\n", method_end + 1);
+  if (path_end == std::string::npos) {
+    SendResponse(fd, 400, "text/plain", "malformed request line\n");
+    return;
+  }
+  std::string path = head.substr(method_end + 1, path_end - method_end - 1);
+  const size_t query_pos = path.find('?');
+  if (query_pos != std::string::npos) path.resize(query_pos);
+
+  if (method != "GET") {
+    SendResponse(fd, 405, "text/plain", "GET only\n");
+    return;
+  }
+
+  if (path == "/metrics") {
+    // Evaluate first so probe-derived gauges (watermark lag, commit-queue
+    // age) are current in the exposition.
+    if (watchdog_ != nullptr) watchdog_->Evaluate();
+    const std::string body =
+        metrics_ != nullptr ? metrics_->ToPrometheus() : std::string();
+    SendResponse(fd, 200, "text/plain; version=0.0.4", body);
+    return;
+  }
+  if (path == "/healthz") {
+    if (watchdog_ == nullptr) {
+      SendResponse(fd, 200, "application/json",
+                   "{\"healthy\":true,\"checks\":[]}");
+      return;
+    }
+    const obs::HealthReport report = watchdog_->Evaluate();
+    SendResponse(fd, report.healthy ? 200 : 503, "application/json",
+                 report.ToJson());
+    return;
+  }
+  if (path == "/debug/flight") {
+    if (flight_ == nullptr) {
+      SendResponse(fd, 404, "text/plain", "no flight recorder\n");
+      return;
+    }
+    SendResponse(fd, 200, "application/json", flight_->ToJson());
+    return;
+  }
+  SendResponse(fd, 404, "text/plain", "unknown path\n");
+}
+
+}  // namespace aion::server

@@ -1,0 +1,71 @@
+// ObservabilityHttpServer: a minimal embedded HTTP/1.0 endpoint (GET only,
+// one request per connection) so curl, Prometheus, and Grafana can see the
+// system with zero client code:
+//   GET /metrics       -> 200, Prometheus text exposition of every
+//                         instrument (health probes refresh their gauges
+//                         first, so derived signals are current);
+//   GET /healthz       -> 200 when every watchdog check passes, 503 when
+//                         degraded; body is the HealthReport JSON either way;
+//   GET /debug/flight  -> 200, the flight recorder's ring as JSON.
+// Runs on its own port next to the bolt-like listener and shares its
+// TcpListener shutdown path (parked accept/read threads are unblocked on
+// Stop).
+#ifndef AION_SERVER_HTTP_H_
+#define AION_SERVER_HTTP_H_
+
+#include <cstdint>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "query/engine.h"
+#include "server/listener.h"
+#include "util/status.h"
+
+namespace aion::server {
+
+class ObservabilityHttpServer {
+ public:
+  /// Serves `engine`'s registry, and — when the engine fronts an AionStore —
+  /// its health watchdog and flight recorder. Without one, /healthz reports
+  /// healthy (no checks) and /debug/flight is 404.
+  explicit ObservabilityHttpServer(query::QueryEngine* engine);
+
+  /// Raw wiring for tests and embedded use; any pointer may be null
+  /// (`metrics` null makes /metrics an empty exposition).
+  ObservabilityHttpServer(obs::MetricsRegistry* metrics,
+                          obs::HealthWatchdog* watchdog,
+                          obs::FlightRecorder* flight);
+
+  ~ObservabilityHttpServer();
+
+  ObservabilityHttpServer(const ObservabilityHttpServer&) = delete;
+  ObservabilityHttpServer& operator=(const ObservabilityHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving. Returns the
+  /// bound port.
+  util::StatusOr<uint16_t> Start(uint16_t port = 0);
+
+  /// Stops the listener, unparking and joining all connection threads.
+  void Stop() { listener_.Stop(); }
+
+  uint16_t port() const { return listener_.port(); }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void ServeConnection(int fd);
+
+  obs::MetricsRegistry* metrics_;
+  obs::HealthWatchdog* watchdog_;
+  obs::FlightRecorder* flight_;
+  TcpListener listener_;
+  std::atomic<uint64_t> requests_served_{0};
+
+  // Observability of the endpoint itself (null without a registry).
+  obs::Counter* metric_requests_ = nullptr;       // http.requests
+  obs::Counter* metric_bad_requests_ = nullptr;   // http.bad_requests
+};
+
+}  // namespace aion::server
+
+#endif  // AION_SERVER_HTTP_H_

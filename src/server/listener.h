@@ -1,0 +1,66 @@
+// TcpListener: the accept-loop / worker-thread / shutdown machinery shared
+// by the bolt-like server and the HTTP observability endpoint. One instance
+// owns a listening socket on 127.0.0.1, runs a thread-per-connection serve
+// callback, and tears everything down on Stop(): the listener socket is shut
+// down to unpark accept(), and every live connection fd is shut down to
+// unpark workers blocked in read() — so neither protocol can leak parked
+// threads on shutdown.
+#ifndef AION_SERVER_LISTENER_H_
+#define AION_SERVER_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aion::server {
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral), starts accepting, and serves
+  /// each accepted connection by calling `serve(fd)` on a dedicated thread
+  /// (TCP_NODELAY set). The listener owns the fd: it deregisters and closes
+  /// it after `serve` returns; `serve` must not close it. Returns the bound
+  /// port.
+  util::StatusOr<uint16_t> Start(uint16_t port, std::function<void(int)> serve);
+
+  /// Stops accepting, shuts down the listener and every live connection fd
+  /// (unparking workers blocked in read()), and joins all threads. Safe to
+  /// call repeatedly.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start and Stop. Serve loops use this to exit
+  /// promptly once shutdown begins.
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+
+  std::function<void(int)> serve_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  // Live connection sockets; Stop() shuts them down to unblock workers
+  // parked in read(). The wrapper thread deregisters the fd under
+  // threads_mu_ before closing, so Stop never touches a reused fd.
+  std::vector<int> connection_fds_;
+  std::mutex threads_mu_;
+};
+
+}  // namespace aion::server
+
+#endif  // AION_SERVER_LISTENER_H_

@@ -33,71 +33,7 @@ BoltLikeServer::BoltLikeServer(query::QueryEngine* engine) : engine_(engine) {
 BoltLikeServer::~BoltLikeServer() { Stop(); }
 
 StatusOr<uint16_t> BoltLikeServer::Start(uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::IOError(std::string("bind: ") + strerror(errno));
-  }
-  if (::listen(listen_fd_, 128) != 0) {
-    return Status::IOError(std::string("listen: ") + strerror(errno));
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
-    return Status::IOError(std::string("getsockname: ") + strerror(errno));
-  }
-  port_ = ntohs(addr.sin_port);
-  running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return port_;
-}
-
-void BoltLikeServer::Stop() {
-  if (!running_.exchange(false)) return;
-  // Closing the listener unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    // Unblock workers parked in read(): without this, joining a connection
-    // whose client is idle but still connected deadlocks. The worker owns
-    // the close(); it deregisters the fd under this mutex first.
-    for (int conn_fd : connection_fds_) ::shutdown(conn_fd, SHUT_RDWR);
-    workers.swap(connection_threads_);
-  }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
-  }
-}
-
-void BoltLikeServer::AcceptLoop() {
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back(
-        [this, fd] { ServeConnection(fd); });
-  }
+  return listener_.Start(port, [this](int fd) { ServeConnection(fd); });
 }
 
 void BoltLikeServer::ServeConnection(int fd) {
@@ -116,7 +52,7 @@ void BoltLikeServer::ServeConnection(int fd) {
     EncodeColumns({column}, &success.payload);
     return WriteMessage(fd, success).ok();
   };
-  while (running_.load()) {
+  while (listener_.running()) {
     auto message = [&] {
       // Wait-for-frame + frame decode; long values here mean idle clients
       // or slow framing, not slow queries.
@@ -211,13 +147,8 @@ void BoltLikeServer::ServeConnection(int fd) {
     EncodeColumns(result->columns, &success.payload);
     if (!WriteMessage(fd, success).ok()) break;
   }
-  {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    connection_fds_.erase(
-        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
-        connection_fds_.end());
-  }
-  ::close(fd);
+  // The TcpListener owns the fd: it deregisters and closes it once this
+  // returns.
 }
 
 // ---------------------------------------------------------------------------

@@ -9,11 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "query/engine.h"
+#include "server/listener.h"
 #include "util/status.h"
 
 namespace aion::server {
@@ -34,27 +34,19 @@ class BoltLikeServer {
   /// the bound port.
   util::StatusOr<uint16_t> Start(uint16_t port = 0);
 
-  /// Stops accepting, closes the listener, and joins all workers.
-  void Stop();
+  /// Stops accepting, closes the listener, and joins all workers (shared
+  /// TcpListener shutdown path: parked accept/read threads are unblocked
+  /// via socket shutdown, same as the HTTP endpoint).
+  void Stop() { listener_.Stop(); }
 
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return listener_.port(); }
   uint64_t queries_served() const { return queries_served_.load(); }
 
  private:
-  void AcceptLoop();
   void ServeConnection(int fd);
 
   query::QueryEngine* engine_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  // Live connection sockets; Stop() shuts them down to unblock workers
-  // parked in read(). Workers deregister before closing, so Stop never
-  // touches a reused fd. Guarded by threads_mu_.
-  std::vector<int> connection_fds_;
-  std::mutex threads_mu_;
+  TcpListener listener_;
   std::atomic<uint64_t> queries_served_{0};
 
   // Observability (resolved once from the engine's registry).

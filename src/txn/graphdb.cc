@@ -164,6 +164,7 @@ StatusOr<Timestamp> GraphDatabase::CommitBatch(
   }
   PendingCommit req;
   req.updates = std::move(updates);
+  req.enqueue_nanos = obs::NowNanos();
 
   std::unique_lock<std::mutex> lock(group_mu_);
   commit_queue_.push_back(&req);
@@ -253,6 +254,7 @@ void GraphDatabase::ProcessCommitGroup(
     Status s = wal_->AppendBatch(payloads, nullptr).status();
     if (s.ok() && options_.sync_commits) {
       wal_syncs_.fetch_add(1, std::memory_order_relaxed);
+      obs::ScopedLatency sync_latency(metric_wal_sync_);
       s = wal_->Sync();
     }
     if (!s.ok()) {
@@ -307,6 +309,28 @@ void GraphDatabase::ProcessCommitGroup(
       l->AfterCommit(data);
     }
   }
+}
+
+void GraphDatabase::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  metric_wal_sync_ = registry->histogram("txn.wal_sync_nanos");
+  metric_commit_queue_age_ = registry->gauge("txn.commit_queue_age_nanos");
+}
+
+uint64_t GraphDatabase::CommitQueueAgeNanos() {
+  uint64_t age = 0;
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    if (!commit_queue_.empty()) {
+      const uint64_t now = obs::NowNanos();
+      const uint64_t enqueued = commit_queue_.front()->enqueue_nanos;
+      age = now > enqueued ? now - enqueued : 0;
+    }
+  }
+  if (metric_commit_queue_age_ != nullptr) {
+    metric_commit_queue_age_->Set(static_cast<int64_t>(age));
+  }
+  return age;
 }
 
 Status GraphDatabase::Checkpoint() {

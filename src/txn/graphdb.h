@@ -28,6 +28,7 @@
 
 #include "graph/memgraph.h"
 #include "graph/update.h"
+#include "obs/metrics.h"
 #include "storage/log_file.h"
 #include "txn/listener.h"
 #include "util/status.h"
@@ -195,6 +196,18 @@ class GraphDatabase {
     return wal_syncs_.load(std::memory_order_relaxed);
   }
 
+  /// Resolves txn.* instruments (txn.wal_sync_nanos histogram,
+  /// txn.commit_queue_age_nanos gauge) from `registry`, which must outlive
+  /// the database. Call during setup (AionStore does, when it shares its
+  /// registry with the host); null-safe to skip.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Group-commit queue age, measured: wall-clock nanoseconds the oldest
+  /// queued-but-uncommitted transaction has been waiting, 0 when the queue
+  /// is empty. Also refreshes the txn.commit_queue_age_nanos gauge when
+  /// metrics are attached.
+  uint64_t CommitQueueAgeNanos();
+
  private:
   friend class Transaction;
 
@@ -206,6 +219,7 @@ class GraphDatabase {
     Timestamp ts = 0;
     Status status;
     bool done = false;
+    uint64_t enqueue_nanos = 0;  // when this seat joined the queue
   };
 
   GraphDatabase() : current_(std::make_unique<graph::MemoryGraph>()) {}
@@ -236,6 +250,11 @@ class GraphDatabase {
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> commit_rounds_{0};
   std::atomic<uint64_t> wal_syncs_{0};
+
+  // Observability (resolved once in AttachMetrics; null when not attached).
+  obs::Histogram* metric_wal_sync_ = nullptr;       // txn.wal_sync_nanos
+  // txn.commit_queue_age_nanos
+  obs::Gauge* metric_commit_queue_age_ = nullptr;
 };
 
 }  // namespace aion::txn

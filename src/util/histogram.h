@@ -92,12 +92,23 @@ class LatencyHistogram {
 /// Summary of an AtomicLatencyHistogram at one point in time. Percentiles
 /// are bucket upper bounds (exponential buckets: at most 2x off).
 struct LatencySummary {
+  /// One exposition bucket: `cumulative_count` samples had a value <= `le`
+  /// (upper bound inclusive, Prometheus `le` semantics).
+  struct Bucket {
+    uint64_t le = 0;
+    uint64_t cumulative_count = 0;
+  };
+
   uint64_t count = 0;
   uint64_t sum = 0;  // same unit as the recorded samples (nanoseconds)
   uint64_t max = 0;
   uint64_t p50 = 0;
   uint64_t p95 = 0;
   uint64_t p99 = 0;
+  /// Cumulative power-of-two buckets up to the highest occupied one (empty
+  /// when no samples): le = 2^i - 1 for bucket i, the overflow bucket is
+  /// ~uint64_t{0} (+Inf). The trailing implicit +Inf bucket equals `count`.
+  std::vector<Bucket> buckets;
 
   double Mean() const {
     return count == 0 ? 0.0
@@ -131,15 +142,31 @@ class AtomicLatencyHistogram {
   LatencySummary Summarize() const {
     LatencySummary s;
     std::array<uint64_t, kBuckets> counts;
+    size_t highest = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
       counts[i] = buckets_[i].load(std::memory_order_relaxed);
       s.count += counts[i];
+      if (counts[i] > 0) highest = i;
     }
     s.sum = sum_.load(std::memory_order_relaxed);
     s.max = max_.load(std::memory_order_relaxed);
     s.p50 = PercentileFrom(counts, s.count, 0.50);
     s.p95 = PercentileFrom(counts, s.count, 0.95);
     s.p99 = PercentileFrom(counts, s.count, 0.99);
+    if (s.count > 0) {
+      // Cumulative exposition buckets up to the highest occupied one; bucket
+      // i covers [2^(i-1), 2^i), so its inclusive upper bound (Prometheus
+      // `le`) is 2^i - 1. The overflow bucket folds into +Inf (max
+      // uint64_t here; rendered as le="+Inf" by callers).
+      s.buckets.reserve(highest + 1);
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i <= highest; ++i) {
+        cumulative += counts[i];
+        const uint64_t le =
+            i >= kBuckets - 1 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+        s.buckets.push_back({le, cumulative});
+      }
+    }
     return s;
   }
 

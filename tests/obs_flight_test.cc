@@ -1,0 +1,158 @@
+// FlightRecorder: ring bounds, oldest-first ordering, JSON shape, disk
+// dumps, interaction with MetricsRegistry::Reset, and the background
+// sampler lifecycle.
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/file.h"
+
+namespace aion::obs {
+namespace {
+
+FlightRecorder::Options ManualOptions(size_t capacity) {
+  FlightRecorder::Options options;
+  options.period_millis = 0;  // no background thread; SampleNow drives it
+  options.capacity = capacity;
+  return options;
+}
+
+TEST(FlightRecorderTest, RingIsBoundedAndKeepsNewestOldestFirst) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("flight_test.ticks");
+  FlightRecorder flight(&registry, ManualOptions(4));
+  for (int i = 0; i < 7; ++i) {
+    c->Add();
+    flight.SampleNow();
+  }
+  EXPECT_EQ(flight.size(), 4u);  // capacity bound
+  const std::vector<FlightSample> samples = flight.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Samples 4..7 survive, oldest first: counter values 4, 5, 6, 7.
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].snapshot.counter("flight_test.ticks"), 4 + i);
+  }
+}
+
+TEST(FlightRecorderTest, SamplesCarryEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.counter("k.count")->Add(3);
+  registry.gauge("k.gauge")->Set(-5);
+  registry.histogram("k.nanos")->Record(1000);
+  FlightRecorder flight(&registry, ManualOptions(8));
+  flight.SampleNow();
+  const std::vector<FlightSample> samples = flight.Samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].snapshot.counter("k.count"), 3u);
+  EXPECT_EQ(samples[0].snapshot.gauge("k.gauge"), -5);
+  EXPECT_EQ(samples[0].snapshot.histogram_count("k.nanos"), 1u);
+  EXPECT_GT(samples[0].unix_millis, 0u);
+  // The recorder's own instruments land in the sampled registry, so its
+  // overhead is visible in the data it records.
+  EXPECT_EQ(registry.Snapshot().counter("flight.samples"), 1u);
+}
+
+TEST(FlightRecorderTest, ToJsonIsWellFormedEnough) {
+  MetricsRegistry registry;
+  registry.counter("j.count")->Add(1);
+  FlightRecorder flight(&registry, ManualOptions(2));
+  flight.SampleNow();
+  flight.SampleNow();
+  const std::string json = flight.ToJson();
+  EXPECT_NE(json.find("\"period_millis\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+  EXPECT_NE(json.find("\"unix_millis\""), std::string::npos);
+  EXPECT_NE(json.find("\"j.count\":1"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFileWritesTheRing) {
+  auto dir = storage::MakeTempDir("aion_flight_test_");
+  ASSERT_TRUE(dir.ok());
+  MetricsRegistry registry;
+  registry.counter("d.count")->Add(9);
+  FlightRecorder flight(&registry, ManualOptions(4));
+  flight.SampleNow();
+  const std::string path = *dir + "/flight.json";
+  ASSERT_TRUE(flight.DumpToFile(path).ok());
+  std::ifstream in(path);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, flight.ToJson());
+  EXPECT_NE(contents.find("\"d.count\":9"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RegistryResetZeroesLaterSamplesButKeepsRing) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("reset.count");
+  FlightRecorder flight(&registry, ManualOptions(8));
+  c->Add(42);
+  flight.SampleNow();
+  registry.Reset();
+  flight.SampleNow();
+  // The ring is history: Reset does not rewrite already-taken samples, and
+  // the next sample observes the zeroed registry. (A sample's own
+  // flight.samples counter reflects samples taken *before* it — the
+  // snapshot precedes the increment.)
+  const std::vector<FlightSample> samples = flight.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].snapshot.counter("reset.count"), 42u);
+  EXPECT_EQ(samples[1].snapshot.counter("reset.count"), 0u);
+  EXPECT_EQ(samples[1].snapshot.counter("flight.samples"), 0u);  // zeroed
+  // Sampling keeps working against the same resolved instruments, and the
+  // recorder's counter restarts from the reset.
+  c->Add(5);
+  flight.SampleNow();
+  const std::vector<FlightSample> after = flight.Samples();
+  EXPECT_EQ(after.back().snapshot.counter("reset.count"), 5u);
+  EXPECT_EQ(after.back().snapshot.counter("flight.samples"), 1u);
+}
+
+TEST(FlightRecorderTest, BackgroundSamplerFillsTheRing) {
+  MetricsRegistry registry;
+  FlightRecorder::Options options;
+  options.period_millis = 5;
+  options.capacity = 64;
+  FlightRecorder flight(&registry, options);
+  flight.Start();
+  // The loop samples immediately, so one sample exists almost at once;
+  // poll briefly for a couple more.
+  for (int i = 0; i < 200 && flight.size() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  flight.Stop();
+  const size_t after_stop = flight.size();
+  EXPECT_GE(after_stop, 2u);
+  // Stopped means stopped: no more samples arrive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(flight.size(), after_stop);
+  // Stop is idempotent and Start works again.
+  flight.Stop();
+  flight.Start();
+  flight.Stop();
+}
+
+TEST(FlightRecorderTest, ZeroPeriodDisablesBackgroundSampling) {
+  MetricsRegistry registry;
+  FlightRecorder flight(&registry, ManualOptions(4));
+  flight.Start();  // no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(flight.size(), 0u);
+  flight.SampleNow();  // manual sampling still works
+  EXPECT_EQ(flight.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aion::obs

@@ -1,0 +1,185 @@
+// HealthWatchdog: check registration and replacement, threshold direction
+// semantics, degraded/recovered transitions, the health.* metrics, and the
+// once-per-transition degraded callback.
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aion::obs {
+namespace {
+
+HealthWatchdog::Options ManualOptions() {
+  HealthWatchdog::Options options;
+  options.period_millis = 0;  // no background thread; Evaluate drives it
+  return options;
+}
+
+TEST(HealthWatchdogTest, NoChecksMeansHealthy) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  const HealthReport report = watchdog.Evaluate();
+  EXPECT_TRUE(report.healthy);
+  EXPECT_TRUE(report.checks.empty());
+  EXPECT_GT(report.unix_millis, 0u);
+  EXPECT_EQ(registry.Snapshot().gauge("health.degraded"), 0);
+  EXPECT_EQ(registry.Snapshot().counter("health.evaluations"), 1u);
+}
+
+TEST(HealthWatchdogTest, AboveFailsOnlyStrictlyAboveThreshold) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  double value = 0;
+  watchdog.AddCheck("lag", [&] { return value; }, 10.0,
+                    HealthWatchdog::Direction::kAbove);
+  value = 10.0;  // at the threshold: still ok
+  EXPECT_TRUE(watchdog.Evaluate().healthy);
+  value = 10.5;  // above: degraded
+  const HealthReport report = watchdog.Evaluate();
+  EXPECT_FALSE(report.healthy);
+  ASSERT_EQ(report.checks.size(), 1u);
+  EXPECT_EQ(report.checks[0].name, "lag");
+  EXPECT_DOUBLE_EQ(report.checks[0].value, 10.5);
+  EXPECT_DOUBLE_EQ(report.checks[0].threshold, 10.0);
+  EXPECT_FALSE(report.checks[0].ok);
+}
+
+TEST(HealthWatchdogTest, BelowFailsOnlyStrictlyBelowThreshold) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  double hit_rate = 1.0;
+  watchdog.AddCheck("hit_rate", [&] { return hit_rate; }, 0.5,
+                    HealthWatchdog::Direction::kBelow);
+  hit_rate = 0.5;  // at the threshold: still ok
+  EXPECT_TRUE(watchdog.Evaluate().healthy);
+  hit_rate = 0.4;  // below: degraded
+  EXPECT_FALSE(watchdog.Evaluate().healthy);
+}
+
+TEST(HealthWatchdogTest, AddCheckReplacesByName) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  watchdog.AddCheck("x", [] { return 100.0; }, 1.0,
+                    HealthWatchdog::Direction::kAbove);
+  EXPECT_FALSE(watchdog.Evaluate().healthy);
+  // Same name, laxer threshold: the old check is gone, not shadowed.
+  watchdog.AddCheck("x", [] { return 100.0; }, 1000.0,
+                    HealthWatchdog::Direction::kAbove);
+  const HealthReport report = watchdog.Evaluate();
+  EXPECT_TRUE(report.healthy);
+  ASSERT_EQ(report.checks.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.checks[0].threshold, 1000.0);
+}
+
+TEST(HealthWatchdogTest, MetricsTrackDegradedStateAndFailedCount) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  double a = 0, b = 0;
+  watchdog.AddCheck("a", [&] { return a; }, 1.0,
+                    HealthWatchdog::Direction::kAbove);
+  watchdog.AddCheck("b", [&] { return b; }, 1.0,
+                    HealthWatchdog::Direction::kAbove);
+  watchdog.Evaluate();
+  EXPECT_EQ(registry.Snapshot().gauge("health.degraded"), 0);
+  EXPECT_EQ(registry.Snapshot().gauge("health.checks_failed"), 0);
+  a = 2;
+  b = 2;
+  watchdog.Evaluate();
+  EXPECT_EQ(registry.Snapshot().gauge("health.degraded"), 1);
+  EXPECT_EQ(registry.Snapshot().gauge("health.checks_failed"), 2);
+  a = 0;
+  b = 0;
+  watchdog.Evaluate();
+  EXPECT_EQ(registry.Snapshot().gauge("health.degraded"), 0);
+  EXPECT_EQ(registry.Snapshot().gauge("health.checks_failed"), 0);
+  EXPECT_EQ(registry.Snapshot().counter("health.evaluations"), 3u);
+}
+
+TEST(HealthWatchdogTest, DegradedCallbackFiresOncePerTransition) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  double value = 0;
+  watchdog.AddCheck("v", [&] { return value; }, 1.0,
+                    HealthWatchdog::Direction::kAbove);
+  std::vector<HealthReport> fired;
+  watchdog.OnDegraded([&](const HealthReport& r) { fired.push_back(r); });
+  watchdog.Evaluate();  // healthy: no callback
+  EXPECT_TRUE(fired.empty());
+  value = 5;
+  watchdog.Evaluate();  // healthy -> degraded: fires once
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_FALSE(fired[0].healthy);
+  ASSERT_EQ(fired[0].checks.size(), 1u);
+  EXPECT_DOUBLE_EQ(fired[0].checks[0].value, 5.0);
+  watchdog.Evaluate();  // still degraded: no re-fire
+  EXPECT_EQ(fired.size(), 1u);
+  value = 0;
+  watchdog.Evaluate();  // recovered: no callback either
+  EXPECT_EQ(fired.size(), 1u);
+  value = 5;
+  watchdog.Evaluate();  // a fresh transition fires again
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(HealthWatchdogTest, CallbackMayReenterTheWatchdog) {
+  // The callback runs outside the watchdog mutex, so a hook that calls back
+  // into health (or anything that evaluates) must not deadlock.
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  double value = 5;
+  watchdog.AddCheck("v", [&] { return value; }, 1.0,
+                    HealthWatchdog::Direction::kAbove);
+  std::atomic<int> reentered{0};
+  watchdog.OnDegraded([&](const HealthReport&) {
+    watchdog.Evaluate();
+    reentered.fetch_add(1);
+  });
+  watchdog.Evaluate();
+  EXPECT_EQ(reentered.load(), 1);
+}
+
+TEST(HealthWatchdogTest, ReportJsonShape) {
+  MetricsRegistry registry;
+  HealthWatchdog watchdog(&registry, ManualOptions());
+  watchdog.AddCheck("shape", [] { return 3.5; }, 2.0,
+                    HealthWatchdog::Direction::kAbove);
+  const std::string json = watchdog.Evaluate().ToJson();
+  EXPECT_NE(json.find("\"healthy\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"checks\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shape\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+}
+
+TEST(HealthWatchdogTest, BackgroundLoopEvaluatesAndStops) {
+  MetricsRegistry registry;
+  HealthWatchdog::Options options;
+  options.period_millis = 5;
+  HealthWatchdog watchdog(&registry, options);
+  std::atomic<uint64_t> probes{0};
+  watchdog.AddCheck("bg",
+                    [&] {
+                      probes.fetch_add(1);
+                      return 0.0;
+                    },
+                    1.0, HealthWatchdog::Direction::kAbove);
+  watchdog.Start();
+  for (int i = 0; i < 200 && probes.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  watchdog.Stop();
+  EXPECT_GE(probes.load(), 2u);
+  const uint64_t after_stop = probes.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(probes.load(), after_stop);
+  watchdog.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace aion::obs

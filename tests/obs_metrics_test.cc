@@ -139,9 +139,8 @@ TEST(PrometheusExportTest, EveryJsonInstrumentRoundTrips) {
   }
   for (const auto& [name, summary] : snap.histograms) {
     const std::string p = PrometheusName(name);
-    EXPECT_NE(text.find(p + "{quantile=\"0.5\"}"), std::string::npos);
-    EXPECT_NE(text.find(p + "{quantile=\"0.95\"}"), std::string::npos);
-    EXPECT_NE(text.find(p + "{quantile=\"0.99\"}"), std::string::npos);
+    EXPECT_NE(text.find(p + "_bucket{le=\""), std::string::npos);
+    EXPECT_NE(text.find(p + "_bucket{le=\"+Inf\"}"), std::string::npos);
     EXPECT_NE(text.find(p + "_sum"), std::string::npos);
     EXPECT_NE(text.find(p + "_count"), std::string::npos);
   }
@@ -150,9 +149,63 @@ TEST(PrometheusExportTest, EveryJsonInstrumentRoundTrips) {
   EXPECT_NE(text.find("# TYPE aion_rt_count counter"), std::string::npos);
   EXPECT_NE(text.find("aion_rt_count 7"), std::string::npos);
   EXPECT_NE(text.find("# TYPE aion_rt_gauge gauge"), std::string::npos);
-  EXPECT_NE(text.find("# TYPE aion_rt_nanos summary"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aion_rt_nanos histogram"), std::string::npos);
   ASSERT_FALSE(text.empty());
   EXPECT_EQ(text.back(), '\n');
+}
+
+// Parses the histogram family out of the exposition and checks real
+// Prometheus histogram semantics: cumulative buckets are monotone
+// nondecreasing in le order, and the +Inf bucket equals _count.
+TEST(PrometheusExportTest, HistogramFamiliesParse) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("parse.nanos");
+  // Samples spread across several power-of-two buckets, plus a huge one
+  // that lands in the overflow (+Inf-only) region.
+  h->Record(1);
+  h->Record(3);
+  h->Record(3);
+  h->Record(1000);
+  h->Record(~uint64_t{0});
+  const std::string text = registry.ToPrometheus();
+
+  const std::string bucket_prefix = "aion_parse_nanos_bucket{le=\"";
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (le, cumulative)
+  uint64_t inf_count = 0;
+  bool saw_inf = false;
+  size_t pos = 0;
+  while ((pos = text.find(bucket_prefix, pos)) != std::string::npos) {
+    pos += bucket_prefix.size();
+    const size_t le_end = text.find('"', pos);
+    ASSERT_NE(le_end, std::string::npos);
+    const std::string le = text.substr(pos, le_end - pos);
+    const size_t value_start = text.find("} ", le_end);
+    ASSERT_NE(value_start, std::string::npos);
+    const uint64_t cumulative =
+        std::stoull(text.substr(value_start + 2));
+    if (le == "+Inf") {
+      saw_inf = true;
+      inf_count = cumulative;
+    } else {
+      buckets.emplace_back(std::stoull(le), cumulative);
+    }
+  }
+  ASSERT_TRUE(saw_inf);
+  ASSERT_FALSE(buckets.empty());
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GT(buckets[i].first, buckets[i - 1].first);        // le ascending
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second);      // cumulative
+  }
+  // +Inf is the grand total and caps every finite bucket.
+  EXPECT_EQ(inf_count, 5u);
+  EXPECT_GE(inf_count, buckets.back().second);
+  const size_t sum_pos = text.find("aion_parse_nanos_sum ");
+  const size_t count_pos = text.find("aion_parse_nanos_count ");
+  ASSERT_NE(sum_pos, std::string::npos);
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_EQ(std::stoull(text.substr(
+                count_pos + std::string("aion_parse_nanos_count ").size())),
+            5u);
 }
 
 TEST(ScopedLatencyTest, RecordsOnDestructionAndToleratesNull) {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,60 @@ TEST(SlowQueryLogTest, RotatesWhenFileExceedsLimit) {
   EXPECT_TRUE(current.good());
   // Every record survives in the ring even across file rotation.
   EXPECT_EQ(log.total_recorded(), 32u);
+}
+
+TEST(SlowQueryLogTest, RotationKeepsNewestEntriesInCurrentFile) {
+  auto dir = storage::MakeTempDir("aion_slowlog_test_");
+  ASSERT_TRUE(dir.ok());
+  const std::string path = *dir + "/slow.jsonl";
+  SlowQueryLog::Options options;
+  options.threshold_nanos = 1;
+  options.path = path;
+  options.max_file_bytes = 256;
+  SlowQueryLog log(options);
+  constexpr int kRecords = 64;
+  for (int i = 0; i < kRecords; ++i) {
+    log.Record(MakeEntry(
+        10, "marker_" + std::to_string(i) + " padding padding padding"));
+  }
+  const auto read_all = [](const std::string& p) {
+    std::ifstream in(p);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string current = read_all(path);
+  // Rollover keeps the newest entries: the last record always lands in the
+  // current file, and the very first one has rotated out of it.
+  EXPECT_NE(current.find("marker_" + std::to_string(kRecords - 1)),
+            std::string::npos);
+  EXPECT_EQ(current.find("\"marker_0 "), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, RotationBoundsFileCount) {
+  auto dir = storage::MakeTempDir("aion_slowlog_test_");
+  ASSERT_TRUE(dir.ok());
+  const std::string path = *dir + "/slow.jsonl";
+  SlowQueryLog::Options options;
+  options.threshold_nanos = 1;
+  options.path = path;
+  options.max_file_bytes = 128;  // tiny: rotation happens many times
+  SlowQueryLog log(options);
+  for (int i = 0; i < 256; ++i) {
+    log.Record(MakeEntry(10, "bounded " + std::to_string(i)));
+  }
+  // Repeated rollover replaces the single rotated generation instead of
+  // accumulating numbered files: path and path.1 exist, path.2 never does.
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_TRUE(std::ifstream(path + ".1").good());
+  EXPECT_FALSE(std::ifstream(path + ".2").good());
+  // Both live files respect the size bound (plus at most one record of
+  // slack from the line that triggered the rollover).
+  const auto file_size = [](const std::string& p) {
+    std::ifstream in(p, std::ios::ate | std::ios::binary);
+    return static_cast<size_t>(in.tellg());
+  };
+  EXPECT_LE(file_size(path), options.max_file_bytes + 256);
+  EXPECT_LE(file_size(path + ".1"), options.max_file_bytes + 256);
 }
 
 }  // namespace

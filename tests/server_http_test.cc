@@ -1,0 +1,294 @@
+// ObservabilityHttpServer: the embedded GET-only HTTP/1.0 endpoint. Covers
+// /metrics (Prometheus text with histogram families), /healthz (200/503
+// tracking the watchdog), /debug/flight, the error paths (404, 405), the
+// degraded-and-recover acceptance scenario driven by a stalled cascade
+// worker, and Stop() unparking connections.
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/aion.h"
+#include "query/engine.h"
+#include "storage/file.h"
+#include "txn/graphdb.h"
+
+namespace aion::server {
+namespace {
+
+struct HttpResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+// Minimal HTTP/1.0 client: one request, read to EOF (the server closes).
+HttpResponse HttpGet(uint16_t port, const std::string& request_line) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return response;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return response;
+  }
+  const std::string request = request_line + "\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.0 200 OK\r\n<headers>\r\n\r\n<body>"
+  if (raw.size() > 12 && raw.compare(0, 5, "HTTP/") == 0) {
+    response.status = std::atoi(raw.c_str() + 9);
+  }
+  const size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    response.headers = raw.substr(0, split);
+    response.body = raw.substr(split + 4);
+  }
+  return response;
+}
+
+TEST(ObservabilityHttpTest, MetricsEndpointServesPrometheusText) {
+  obs::MetricsRegistry registry;
+  registry.counter("http_test.count")->Add(3);
+  registry.histogram("http_test.nanos")->Record(1000);
+  ObservabilityHttpServer server(&registry, nullptr, nullptr);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  const HttpResponse response = HttpGet(*port, "GET /metrics HTTP/1.0");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers.find("text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.headers.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(response.body.find("aion_http_test_count 3"), std::string::npos);
+  EXPECT_NE(response.body.find("aion_http_test_nanos_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ObservabilityHttpTest, HealthzTracksWatchdogVerdict) {
+  obs::MetricsRegistry registry;
+  obs::HealthWatchdog::Options options;
+  options.period_millis = 0;
+  obs::HealthWatchdog watchdog(&registry, options);
+  double value = 0;
+  watchdog.AddCheck("probe", [&] { return value; }, 1.0,
+                    obs::HealthWatchdog::Direction::kAbove);
+  ObservabilityHttpServer server(&registry, &watchdog, nullptr);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  HttpResponse response = HttpGet(*port, "GET /healthz HTTP/1.0");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"healthy\":true"), std::string::npos);
+  value = 5;  // every /healthz request re-evaluates: flips immediately
+  response = HttpGet(*port, "GET /healthz HTTP/1.0");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("\"healthy\":false"), std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"probe\""), std::string::npos);
+  value = 0;
+  response = HttpGet(*port, "GET /healthz HTTP/1.0");
+  EXPECT_EQ(response.status, 200);
+  server.Stop();
+}
+
+TEST(ObservabilityHttpTest, HealthzWithoutWatchdogIsHealthy) {
+  obs::MetricsRegistry registry;
+  ObservabilityHttpServer server(&registry, nullptr, nullptr);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const HttpResponse response = HttpGet(*port, "GET /healthz HTTP/1.0");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"healthy\":true"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ObservabilityHttpTest, FlightEndpointServesRingJson) {
+  obs::MetricsRegistry registry;
+  registry.counter("ring.count")->Add(7);
+  obs::FlightRecorder::Options options;
+  options.period_millis = 0;
+  options.capacity = 8;
+  obs::FlightRecorder flight(&registry, options);
+  flight.SampleNow();
+  ObservabilityHttpServer server(&registry, nullptr, &flight);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const HttpResponse response = HttpGet(*port, "GET /debug/flight HTTP/1.0");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(response.body.find("\"samples\":["), std::string::npos);
+  EXPECT_NE(response.body.find("\"ring.count\":7"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ObservabilityHttpTest, ErrorPaths) {
+  obs::MetricsRegistry registry;
+  ObservabilityHttpServer server(&registry, nullptr, nullptr);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  EXPECT_EQ(HttpGet(*port, "GET /nope HTTP/1.0").status, 404);
+  // No flight recorder attached: /debug/flight is 404, not a crash.
+  EXPECT_EQ(HttpGet(*port, "GET /debug/flight HTTP/1.0").status, 404);
+  EXPECT_EQ(HttpGet(*port, "POST /metrics HTTP/1.0").status, 405);
+  // A query string is ignored, not treated as part of the path.
+  EXPECT_EQ(HttpGet(*port, "GET /healthz?verbose=1 HTTP/1.0").status, 200);
+  EXPECT_GE(server.requests_served(), 4u);
+  server.Stop();
+}
+
+TEST(ObservabilityHttpTest, StopUnparksConnections) {
+  obs::MetricsRegistry registry;
+  ObservabilityHttpServer server(&registry, nullptr, nullptr);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  // Open a connection and send nothing: the worker parks in recv waiting
+  // for the request head. Stop must shut the socket down to unpark it.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(*port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Stop();  // joins the parked worker; hangs forever if it leaks
+  char buf[16];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);  // peer closed or reset
+  ::close(fd);
+}
+
+// Acceptance scenario: a stalled cascade worker degrades health — visible
+// through both CALL dbms.health() and GET /healthz — and recovery restores
+// both. The stall is injected by pausing the cascade pipeline with a
+// watermark-lag threshold small enough that the paused queue trips it.
+TEST(ObservabilityHttpTest, StalledCascadeDegradesHealthThenRecovers) {
+  auto dir = storage::MakeTempDir("aion_http_accept_");
+  ASSERT_TRUE(dir.ok());
+  auto db = txn::GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  core::AionStore::Options options;
+  options.dir = *dir + "/aion";
+  options.lineage_mode = core::AionStore::LineageMode::kAsync;
+  // Deterministic health: no background loops, tiny lag tolerance (1ms —
+  // generous against scheduler noise, tiny against a deliberate stall).
+  options.flight_sample_period_millis = 0;
+  options.health_check_period_millis = 0;
+  options.health_max_watermark_lag_nanos = 1'000'000;
+  auto aion = core::AionStore::Open(options);
+  ASSERT_TRUE(aion.ok()) << aion.status().ToString();
+  (*db)->RegisterListener(aion->get());
+  query::QueryEngine engine(db->get(), aion->get());
+
+  ObservabilityHttpServer server(&engine);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  const auto overall_ok = [&] {
+    auto result = engine.Execute("CALL dbms.health()");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok() || result->rows.empty()) return false;
+    EXPECT_EQ(result->rows[0][0].AsString(), "overall");
+    return result->rows[0][3].AsBool();
+  };
+
+  // Healthy to start: nothing ingested, no lag.
+  EXPECT_TRUE(overall_ok());
+  EXPECT_EQ(HttpGet(*port, "GET /healthz HTTP/1.0").status, 200);
+
+  // Stall the cascade, ingest, and let the enqueued transaction age past
+  // the threshold: health flips to degraded.
+  core::CascadePipeline* cascade = (*aion)->cascade_for_testing();
+  ASSERT_NE(cascade, nullptr);
+  cascade->PauseForTesting();
+  ASSERT_TRUE(engine.Execute("CREATE (n:Stalled {v: 1})").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT((*aion)->CascadeWatermarkLagNanos(),
+            options.health_max_watermark_lag_nanos);
+  EXPECT_FALSE(overall_ok());
+  const HttpResponse degraded = HttpGet(*port, "GET /healthz HTTP/1.0");
+  EXPECT_EQ(degraded.status, 503);
+  EXPECT_NE(degraded.body.find("\"name\":\"cascade.watermark_lag\""),
+            std::string::npos);
+  // The degraded gauge is exported (the /metrics probe refresh keeps it
+  // consistent with the verdict /healthz just returned).
+  const HttpResponse metrics = HttpGet(*port, "GET /metrics HTTP/1.0");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("aion_health_degraded 1"), std::string::npos);
+  EXPECT_NE(metrics.body.find("aion_cascade_watermark_lag_nanos"),
+            std::string::npos);
+
+  // Recovery: resume the cascade, drain, and both surfaces flip back.
+  cascade->ResumeForTesting();
+  (*aion)->DrainBackground();
+  EXPECT_EQ((*aion)->CascadeWatermarkLagNanos(), 0u);
+  EXPECT_TRUE(overall_ok());
+  EXPECT_EQ(HttpGet(*port, "GET /healthz HTTP/1.0").status, 200);
+  const HttpResponse recovered = HttpGet(*port, "GET /metrics HTTP/1.0");
+  EXPECT_NE(recovered.body.find("aion_health_degraded 0"),
+            std::string::npos);
+
+  // dbms.flight() works over the same engine and carries the ring.
+  auto flight = engine.Execute("CALL dbms.flight()");
+  ASSERT_TRUE(flight.ok()) << flight.status().ToString();
+  EXPECT_NE(flight->rows[0][0].AsString().find("\"samples\":["),
+            std::string::npos);
+
+  server.Stop();
+  (void)storage::RemoveDirRecursively(*dir);
+}
+
+// The engine-backed constructor wires the registry through: queries drive
+// server-side instruments that then show up in /metrics.
+TEST(ObservabilityHttpTest, EngineBackedMetricsReflectQueries) {
+  auto dir = storage::MakeTempDir("aion_http_engine_");
+  ASSERT_TRUE(dir.ok());
+  auto db = txn::GraphDatabase::OpenInMemory();
+  ASSERT_TRUE(db.ok());
+  core::AionStore::Options options;
+  options.dir = *dir + "/aion";
+  options.lineage_mode = core::AionStore::LineageMode::kSync;
+  options.flight_sample_period_millis = 0;
+  options.health_check_period_millis = 0;
+  auto aion = core::AionStore::Open(options);
+  ASSERT_TRUE(aion.ok());
+  (*db)->RegisterListener(aion->get());
+  query::QueryEngine engine(db->get(), aion->get());
+  ASSERT_TRUE(engine.Execute("CREATE (n:Wired)").ok());
+
+  ObservabilityHttpServer server(&engine);
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  const HttpResponse response = HttpGet(*port, "GET /metrics HTTP/1.0");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("aion_query_statements"), std::string::npos);
+  EXPECT_NE(response.body.find("aion_ingest_batches"), std::string::npos);
+  // http.requests counts itself (resolved from the same registry).
+  const HttpResponse again = HttpGet(*port, "GET /metrics HTTP/1.0");
+  EXPECT_NE(again.body.find("aion_http_requests"), std::string::npos);
+  server.Stop();
+  (void)storage::RemoveDirRecursively(*dir);
+}
+
+}  // namespace
+}  // namespace aion::server

@@ -264,7 +264,7 @@ TEST_F(ServerTest, PrometheusMessageReturnsExposition) {
   EXPECT_NE(text->find("# TYPE aion_server_queries counter"),
             std::string::npos);
   EXPECT_NE(text->find("aion_query_statements"), std::string::npos);
-  EXPECT_NE(text->find("# TYPE aion_server_frame_read_nanos summary"),
+  EXPECT_NE(text->find("# TYPE aion_server_frame_read_nanos histogram"),
             std::string::npos);
   // No raw dotted names leak through the mangler.
   EXPECT_EQ(text->find("server.queries"), std::string::npos);
