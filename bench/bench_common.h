@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +107,23 @@ inline void PrintFooter() {
 inline void PrintMetricsJson(const core::AionStore& aion,
                              const std::string& label) {
   printf("metrics %s %s\n", label.c_str(), aion.metrics()->ToJson().c_str());
+}
+
+/// Writes a figure's machine-readable summary to $AION_BENCH_JSON_OUT
+/// (default `default_name` in the working directory). The checked-in
+/// BENCH_*.json files at the repo root are these summaries at the default
+/// scale; CI's soak and smoke jobs upload fresh ones as artifacts.
+inline void WriteBenchJson(const std::string& json,
+                           const std::string& default_name) {
+  const char* out_env = std::getenv("AION_BENCH_JSON_OUT");
+  const std::string out_path = out_env != nullptr ? out_env : default_name;
+  if (FILE* out = fopen(out_path.c_str(), "w")) {
+    fputs(json.c_str(), out);
+    fclose(out);
+    printf("wrote %s\n", out_path.c_str());
+  } else {
+    printf("could not write %s\n", out_path.c_str());
+  }
 }
 
 /// Iterations helper: benchmarks pick operation counts relative to dataset

@@ -20,6 +20,9 @@ int main() {
   printf("%-12s %14s %18s %12s\n", "Dataset", "Aion (1e5/s)",
          "Raphtory (1e5/s)", "Raph/Aion");
 
+  std::string json = "{\n  \"figure\": \"fig6\",\n  \"scale\": " +
+                     std::to_string(scale) + ",\n  \"datasets\": {\n";
+  bool first = true;
   for (const workload::DatasetSpec& spec : workload::AllDatasets(scale)) {
     workload::Workload w = workload::Generate(spec);
 
@@ -60,10 +63,20 @@ int main() {
            raph_tput / aion_tput, aion_hits, raph_hits,
            static_cast<unsigned long long>(
                raphtory.dropped_parallel_edges()));
+    char buf[192];
+    snprintf(buf, sizeof(buf),
+             "%s    \"%s\": {\"aion_ops\": %.0f, \"raphtory_ops\": %.0f, "
+             "\"raph_over_aion\": %.2f}",
+             first ? "" : ",\n", spec.name.c_str(), aion_tput, raph_tput,
+             raph_tput / aion_tput);
+    json += buf;
+    first = false;
     bench::PrintMetricsJson(*loaded.aion, spec.name);
   }
+  json += "\n  }\n}\n";
   bench::PrintFooter();
   printf("Expected: both systems within the same order of magnitude;\n"
          "Raphtory ahead on small graphs, Aion closing as history grows.\n");
+  bench::WriteBenchJson(json, "BENCH_fig6.json");
   return 0;
 }

@@ -22,6 +22,9 @@ int main() {
   printf("%-12s %12s %14s %14s %10s %10s\n", "Dataset", "Aion(ms)",
          "Raphtory(ms)", "Gradoop(ms)", "Raph/Aion", "Grad/Aion");
 
+  std::string json = "{\n  \"figure\": \"fig7\",\n  \"scale\": " +
+                     std::to_string(scale) + ",\n  \"datasets\": {\n";
+  bool first = true;
   for (const workload::DatasetSpec& spec : workload::AllDatasets(scale)) {
     workload::Workload w = workload::Generate(spec);
 
@@ -69,10 +72,21 @@ int main() {
            aion_ms, raph_ms, grad_ms, raph_ms / aion_ms, grad_ms / aion_ms);
     AION_CHECK(aion_nodes == raph_nodes || spec.multigraph);
     (void)grad_nodes;
+    char buf[224];
+    snprintf(buf, sizeof(buf),
+             "%s    \"%s\": {\"aion_ms\": %.3f, \"raphtory_ms\": %.3f, "
+             "\"gradoop_ms\": %.3f, \"raph_over_aion\": %.2f, "
+             "\"grad_over_aion\": %.2f}",
+             first ? "" : ",\n", spec.name.c_str(), aion_ms, raph_ms,
+             grad_ms, raph_ms / aion_ms, grad_ms / aion_ms);
+    json += buf;
+    first = false;
     bench::PrintMetricsJson(*loaded.aion, spec.name);
   }
+  json += "\n  }\n}\n";
   bench::PrintFooter();
   printf("Expected: Aion < Raphtory < Gradoop; Gradoop worst by roughly an\n"
          "order of magnitude (all-history scan + dangling-edge join).\n");
+  bench::WriteBenchJson(json, "BENCH_fig7.json");
   return 0;
 }

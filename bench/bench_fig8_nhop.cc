@@ -27,6 +27,10 @@ int main() {
       workload::Pokec(scale), workload::LiveJournal(scale)};
   const uint32_t hop_counts[] = {1, 2, 4, 8};
 
+  std::string json = "{\n  \"figure\": \"fig8\",\n  \"scale\": " +
+                     std::to_string(scale) + ",\n  \"series\": [\n";
+  bool first = true;
+
   for (const workload::DatasetSpec& spec : datasets) {
     workload::Workload w = workload::Generate(spec);
 
@@ -93,15 +97,26 @@ int main() {
       const double time_tput = static_cast<double>(runs) / timer.Seconds();
 
       const auto choice = loaded.aion->ChooseStoreForExpand(hops);
+      const char* choice_name =
+          choice == core::AionStore::StoreChoice::kLineageStore ? "Lineage"
+                                                                : "Time";
       printf("%-12s(%u)   %14.2f %14.2f %14.2f %9s\n", spec.name.c_str(),
-             hops, raph_tput, lineage_tput, time_tput,
-             choice == core::AionStore::StoreChoice::kLineageStore
-                 ? "Lineage"
-                 : "Time");
+             hops, raph_tput, lineage_tput, time_tput, choice_name);
+      char buf[256];
+      snprintf(buf, sizeof(buf),
+               "%s    {\"dataset\": \"%s\", \"hops\": %u, "
+               "\"raphtory_ops\": %.2f, \"lineage_ops\": %.2f, "
+               "\"timestore_ops\": %.2f, \"choice\": \"%s\"}",
+               first ? "" : ",\n", spec.name.c_str(), hops, raph_tput,
+               lineage_tput, time_tput, choice_name);
+      json += buf;
+      first = false;
     }
   }
+  json += "\n  ]\n}\n";
   bench::PrintFooter();
   printf("Expected: fine-grained stores dominate at 1-2 hops; TimeStore\n"
          "levels out for deep expansions, matching the 30%% heuristic.\n");
+  bench::WriteBenchJson(json, "BENCH_fig8.json");
   return 0;
 }

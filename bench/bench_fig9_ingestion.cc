@@ -326,15 +326,6 @@ int main() {
   printf("Expected: batched >= 3x per-call; multi-writer throughput above\n"
          "1-writer with fsyncs/commit well under 1.\n");
 
-  const char* out_env = std::getenv("AION_BENCH_JSON_OUT");
-  const std::string out_path =
-      out_env != nullptr ? out_env : "BENCH_fig9.json";
-  if (FILE* out = fopen(out_path.c_str(), "w")) {
-    fputs(json.c_str(), out);
-    fclose(out);
-    printf("wrote %s\n", out_path.c_str());
-  } else {
-    printf("could not write %s\n", out_path.c_str());
-  }
+  bench::WriteBenchJson(json, "BENCH_fig9.json");
   return 0;
 }

@@ -1,0 +1,243 @@
+// Storage-lifecycle soak: ingest many retention windows' worth of updates
+// with the background compaction scheduler live, and prove (a) the on-disk
+// footprint stays bounded by one window's live data instead of growing with
+// total ingest, (b) in-window temporal answers are byte-identical before
+// and after compaction and across a reopen, and (c) out-of-retention reads
+// fail with the typed status. Exits nonzero (AION_CHECK) on any violation —
+// the nightly CI soak job runs this for a long stretch and archives the
+// JSON summary plus a flight-recorder dump.
+//
+// Knobs (environment):
+//   AION_SOAK_WINDOWS       retention windows to ingest past the first
+//                           (default 12; nightly uses more)
+//   AION_SOAK_WINDOW_TICKS  timestamps per retention window (default 2000)
+//   AION_SOAK_FLIGHT_OUT    flight-recorder dump path (default
+//                           soak_flight.json)
+//   AION_BENCH_JSON_OUT     summary path (default BENCH_soak.json)
+#include <algorithm>
+#include <cinttypes>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/timeseries.h"
+#include "util/random.h"
+
+using namespace aion;  // NOLINT
+
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+/// Sliding-window workload: add node `ts` (with a property and, every third
+/// tick, a short-lived relationship), retire entities that fell out of the
+/// keep-set. Live state is constant, so retained footprint should be too.
+std::vector<graph::GraphUpdate> Tick(graph::Timestamp ts,
+                                     graph::Timestamp keep) {
+  std::vector<graph::GraphUpdate> updates;
+  // Node 0 is a long-lived hub whose property is rewritten continuously:
+  // its lineage delta chain grows without bound unless compaction's chain
+  // rewriting caps it.
+  if (ts == 1) {
+    updates.push_back(graph::GraphUpdate::AddNode(0, {"Hub"}));
+  }
+  if (ts % 10 == 0) {
+    updates.push_back(graph::GraphUpdate::SetNodeProperty(
+        0, "beat", static_cast<int64_t>(ts)));
+  }
+  graph::PropertySet props;
+  props.Set("seq", static_cast<int64_t>(ts));
+  updates.push_back(
+      graph::GraphUpdate::AddNode(ts, {"Soak"}, std::move(props)));
+  if (ts % 3 == 0 && ts > 3) {
+    updates.push_back(
+        graph::GraphUpdate::AddRelationship(ts, ts, ts - 3, "NEXT"));
+  }
+  if (ts > 9 && (ts - 6) % 3 == 0) {
+    updates.push_back(graph::GraphUpdate::DeleteRelationship(ts - 6));
+  }
+  if (ts > keep) {
+    updates.push_back(graph::GraphUpdate::DeleteNode(ts - keep));
+  }
+  return updates;
+}
+
+std::string EncodeGraphAt(core::AionStore& aion, graph::Timestamp t) {
+  auto graph = aion.MaterializeGraphAt(t);
+  AION_CHECK(graph.ok());
+  std::string encoded;
+  (*graph)->EncodeTo(&encoded);
+  return encoded;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t windows = EnvOr("AION_SOAK_WINDOWS", 12);
+  const graph::Timestamp window_ticks =
+      EnvOr("AION_SOAK_WINDOW_TICKS", 2000);
+  const graph::Timestamp keep = window_ticks / 4 + 10;
+  const char* flight_env = std::getenv("AION_SOAK_FLIGHT_OUT");
+  const std::string flight_out =
+      flight_env != nullptr ? flight_env : "soak_flight.json";
+
+  bench::PrintHeader("Soak", "storage lifecycle: retention + compaction",
+                     static_cast<double>(windows));
+  printf("window=%" PRIu64 " ticks, %" PRIu64
+         " windows past retention, keep-set=%" PRIu64 " nodes\n",
+         static_cast<uint64_t>(window_ticks), windows,
+         static_cast<uint64_t>(keep));
+
+  bench::TempDir dir("aion_soak_");
+  core::AionStore::Options options;
+  options.dir = dir.path() + "/aion";
+  options.lineage_mode = core::AionStore::LineageMode::kSync;
+  options.materialization_threshold = 64;  // long delta chains...
+  options.lineage_max_chain = 8;           // ...capped by compaction
+  options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kDisabled;
+  options.retention_window = window_ticks;
+  // Roughly a quarter-window per segment (a tick is a few dozen log
+  // bytes), so the straddling segment the physical floor waits on stays a
+  // small fraction of the footprint at any AION_SOAK_WINDOW_TICKS.
+  options.segment_target_bytes =
+      std::max<uint64_t>(8 << 10, window_ticks * 16);
+  options.compaction_period_millis = 25;  // live background scheduler
+  options.flight_sample_period_millis = 100;
+
+  // Yardstick phase, scheduler off: windows 1..2 must stay uncompacted
+  // while we measure what one steady-state window of this workload costs
+  // in log bytes (a live round could drop window-1 segments mid-measure
+  // and shrink the delta). The second window is the yardstick — the first
+  // is lighter while the keep-set fills.
+  core::AionStore::Options yardstick_options = options;
+  yardstick_options.compaction_period_millis = 0;
+  std::unique_ptr<core::AionStore> aion;
+  {
+    auto opened = core::AionStore::Open(yardstick_options);
+    AION_CHECK(opened.ok());
+    aion = std::move(*opened);
+  }
+  graph::Timestamp ts = 0;
+  auto ingest_window = [&] {
+    for (graph::Timestamp end = ts + window_ticks; ts < end;) {
+      ++ts;
+      AION_CHECK_OK(aion->Ingest(ts, Tick(ts, keep)));
+    }
+  };
+  ingest_window();
+  AION_CHECK_OK(aion->Flush());
+  const uint64_t first_window_bytes = aion->RetentionStats().log_bytes;
+  ingest_window();
+  AION_CHECK_OK(aion->Flush());
+  const uint64_t window_bytes =
+      aion->RetentionStats().log_bytes - first_window_bytes;
+  AION_CHECK(window_bytes > 0);
+
+  // Soak phase: reopen the same directory with the background scheduler
+  // live.
+  aion.reset();
+  {
+    auto opened = core::AionStore::Open(options);
+    AION_CHECK(opened.ok());
+    aion = std::move(*opened);
+  }
+
+  bench::Timer timer;
+  uint64_t peak_footprint = 0;
+  for (uint64_t w = 0; w < windows; ++w) {
+    ingest_window();
+    // One synchronous round at the boundary (serialized with the
+    // background scheduler) so the bound below checks compacted state, not
+    // scheduler lag.
+    AION_CHECK_OK(aion->CompactNow());
+    const core::AionStore::RetentionInfo stats = aion->RetentionStats();
+    const uint64_t footprint = stats.log_bytes + stats.snapshot_bytes;
+    if (footprint > peak_footprint) peak_footprint = footprint;
+    printf("window %3" PRIu64 ": floor=%" PRIu64 " log=%" PRIu64
+           "B snap=%" PRIu64 "B (%.2fx window) segs=%" PRIu64
+           " snaps=%" PRIu64 "\n",
+           w + 1, stats.physical_floor, stats.log_bytes,
+           stats.snapshot_bytes,
+           static_cast<double>(footprint) / window_bytes,
+           stats.segments_live, stats.snapshots_live);
+    // The acceptance bound: never more than 2x one window's live data.
+    AION_CHECK(footprint <= 2 * window_bytes);
+    // Out-of-retention reads fail typed; in-window reads answer.
+    AION_CHECK(aion->GetGraphAt(stats.logical_floor > window_ticks / 2
+                                    ? stats.logical_floor - window_ticks / 2
+                                    : 0)
+                   .status()
+                   .IsOutOfRetention());
+    auto live = aion->MaterializeGraphAt(ts);
+    AION_CHECK(live.ok());
+    AION_CHECK((*live)->NumNodes() == keep + 1);  // keep-set + the hub
+  }
+  const double soak_seconds = timer.Seconds();
+
+  // Quiescent re-verification: answers must be byte-identical across one
+  // more full compaction round and across a process restart.
+  const graph::Timestamp floor = aion->RetentionFloor();
+  std::vector<graph::Timestamp> checkpoints;
+  std::vector<std::string> before;
+  util::Random rng(17);
+  for (int i = 0; i < 8; ++i) {
+    checkpoints.push_back(floor + rng.Uniform(ts - floor + 1));
+  }
+  checkpoints.push_back(floor);
+  checkpoints.push_back(ts);
+  for (graph::Timestamp t : checkpoints) {
+    before.push_back(EncodeGraphAt(*aion, t));
+  }
+  AION_CHECK_OK(aion->CompactNow());
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    AION_CHECK(EncodeGraphAt(*aion, checkpoints[i]) == before[i]);
+  }
+
+  const core::AionStore::RetentionInfo final_stats = aion->RetentionStats();
+  bench::PrintMetricsJson(*aion, "soak");
+  AION_CHECK_OK(aion->flight_recorder()->DumpToFile(flight_out));
+  printf("flight-recorder dump: %s\n", flight_out.c_str());
+  aion.reset();
+
+  auto reopened = core::AionStore::Open(options);
+  AION_CHECK(reopened.ok());
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    AION_CHECK(EncodeGraphAt(**reopened, checkpoints[i]) == before[i]);
+  }
+
+  printf("soak OK: %" PRIu64 " windows in %.1fs, peak footprint %" PRIu64
+         "B (%.2fx window), %" PRIu64 " segments / %" PRIu64
+         " records dropped, %" PRIu64 " chains rewritten\n",
+         windows, soak_seconds, peak_footprint,
+         static_cast<double>(peak_footprint) / window_bytes,
+         final_stats.segments_dropped, final_stats.records_dropped,
+         final_stats.chains_rewritten);
+
+  char buf[1024];
+  snprintf(buf, sizeof(buf),
+           "{\n  \"figure\": \"soak\",\n"
+           "  \"windows\": %" PRIu64 ",\n  \"window_ticks\": %" PRIu64
+           ",\n  \"soak_seconds\": %.2f,\n  \"window_bytes\": %" PRIu64
+           ",\n  \"peak_footprint_bytes\": %" PRIu64
+           ",\n  \"peak_footprint_over_window\": %.3f,\n"
+           "  \"segments_dropped\": %" PRIu64
+           ",\n  \"records_dropped\": %" PRIu64
+           ",\n  \"bytes_reclaimed\": %" PRIu64
+           ",\n  \"snapshots_dropped\": %" PRIu64
+           ",\n  \"chains_rewritten\": %" PRIu64
+           ",\n  \"compaction_rounds\": %" PRIu64 "\n}\n",
+           windows, static_cast<uint64_t>(window_ticks), soak_seconds,
+           window_bytes, peak_footprint,
+           static_cast<double>(peak_footprint) / window_bytes,
+           final_stats.segments_dropped, final_stats.records_dropped,
+           final_stats.bytes_reclaimed, final_stats.snapshots_dropped,
+           final_stats.chains_rewritten, final_stats.compaction_rounds);
+  bench::PrintFooter();
+  bench::WriteBenchJson(buf, "BENCH_soak.json");
+  return 0;
+}

@@ -22,7 +22,7 @@ cd "$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 # the concurrent temporal reads introduced with the sharded GraphStore.
 TSAN_TEST_FILTER='ThreadPool|StorageConcurrency|ConcurrencyStress'
 TSAN_TEST_FILTER+='|ConcurrentReads|ConcurrentInterning|ConcurrentCommits'
-TSAN_TEST_FILTER+='|GroupCommit|IngestBatch'
+TSAN_TEST_FILTER+='|GroupCommit|IngestBatch|Compaction'
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 CTEST_JOBS="${CTEST_PARALLEL_LEVEL:-${JOBS}}"

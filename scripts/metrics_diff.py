@@ -13,10 +13,17 @@ being sensitive to the values themselves (which vary run to run).
 Usage:
     metrics_diff.py extract BENCH_OUTPUT          # names-only JSON -> stdout
     metrics_diff.py diff BASELINE CURRENT         # exit 1 on any difference
+    metrics_diff.py require SNAPSHOT NAME...      # exit 1 on a missing name
 
 Both `diff` operands accept any supported format: a names-only baseline
 written by `extract`, raw bench output with `metrics ` lines, or a bare
 registry ToJson() object.
+
+`require` asserts that every listed instrument name exists (in any kind, in
+every label) of the snapshot; a NAME ending in "." or "*" matches as a
+prefix. CI uses it to pin down instrument families a PR introduces — e.g.
+`require bench.out 'compaction.*'` fails the build if the storage-lifecycle
+instruments stop being registered.
 """
 
 import json
@@ -88,9 +95,33 @@ def diff_names(baseline, current):
     return changed
 
 
+def require_names(snapshot, required):
+    """Prints missing instruments; returns True when any requirement fails."""
+    failed = False
+    for label in sorted(snapshot):
+        present = set()
+        for kind in KINDS:
+            present.update(snapshot[label][kind])
+        for req in required:
+            if req.endswith(("*", ".")):
+                prefix = req.rstrip("*")
+                if not any(name.startswith(prefix) for name in present):
+                    print(f"{label}: no instrument with prefix {prefix!r}")
+                    failed = True
+            elif req not in present:
+                print(f"{label}: required instrument missing: {req}")
+                failed = True
+    return failed
+
+
 def main(argv):
     if len(argv) == 3 and argv[1] == "extract":
         print(json.dumps(load_names(argv[2]), indent=2, sort_keys=True))
+        return 0
+    if len(argv) >= 4 and argv[1] == "require":
+        if require_names(load_names(argv[2]), argv[3:]):
+            return 1
+        print(f"all {len(argv) - 3} required instrument name(s) present")
         return 0
     if len(argv) == 4 and argv[1] == "diff":
         if diff_names(load_names(argv[2]), load_names(argv[3])):

@@ -16,7 +16,10 @@ using util::Status;
 using util::StatusOr;
 
 AionStore::~AionStore() {
-  // Observability loops first: their probes read the cascade and the
+  // The compaction scheduler mutates both stores; stop it before anything
+  // else so no round overlaps teardown.
+  if (scheduler_ != nullptr) scheduler_->Stop();
+  // Observability loops next: their probes read the cascade and the
   // stores, so they must stop before anything underneath tears down.
   if (watchdog_ != nullptr) watchdog_->Stop();
   if (flight_ != nullptr) flight_->Stop();
@@ -92,6 +95,8 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
     ts_options.dir = options.dir + "/timestore";
     ts_options.policy = options.snapshot_policy;
     ts_options.index_cache_pages = options.index_cache_pages;
+    ts_options.target_segment_bytes = options.segment_target_bytes;
+    ts_options.crash_point = options.compaction_crash_point;
     ts_options.metrics = metrics;
     ts_options.replay_pool = store->read_pool_.get();
     AION_ASSIGN_OR_RETURN(store->time_store_,
@@ -119,6 +124,19 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   store->gauge_watermark_lag_ = metrics->gauge("cascade.watermark_lag_nanos");
   store->metric_commit_latency_ = metrics->histogram("ingest.commit_nanos");
   store->metric_reader_wait_ = metrics->histogram("aion.reader_wait_nanos");
+  // Lifecycle instruments resolve in every configuration so the exported
+  // metric name set does not depend on the retention settings.
+  store->metric_compaction_bytes_ =
+      metrics->counter("compaction.bytes_reclaimed");
+  store->metric_compaction_segments_ =
+      metrics->counter("compaction.segments_dropped");
+  store->metric_compaction_records_ =
+      metrics->counter("compaction.records_dropped");
+  store->metric_compaction_snapshots_ =
+      metrics->counter("compaction.snapshots_dropped");
+  store->metric_chain_rewrites_ = metrics->counter("compaction.chain_rewrites");
+  store->gauge_logical_floor_ = metrics->gauge("compaction.logical_floor");
+  store->gauge_physical_floor_ = metrics->gauge("compaction.physical_floor");
   // Cascade instruments resolve in every mode so the exported metric name
   // set does not depend on LineageMode.
   obs::Gauge* cascade_depth = metrics->gauge("cascade.queue_depth");
@@ -237,6 +255,25 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
         },
         options.health_max_backpressure_per_sec,
         obs::HealthWatchdog::Direction::kAbove);
+    // Compaction lag: how far the physical floor (data actually dropped)
+    // trails the logical retention floor (where queries are gated). With
+    // unbounded retention both floors are 0 and the check always passes.
+    const double max_floor_lag =
+        options.health_max_retention_lag > 0
+            ? static_cast<double>(options.health_max_retention_lag)
+            : 2.0 * static_cast<double>(options.retention_window);
+    store->watchdog_->AddCheck(
+        "compaction.floor_lag",
+        [s] {
+          const Timestamp logical = s->RetentionFloor();
+          const Timestamp physical = s->time_store_ != nullptr
+                                         ? s->time_store_->compaction_floor()
+                                         : logical;
+          return logical > physical
+                     ? static_cast<double>(logical - physical)
+                     : 0.0;
+        },
+        max_floor_lag, obs::HealthWatchdog::Direction::kAbove);
     // Dump-on-fault: preserve the minutes leading up to a degradation.
     obs::FlightRecorder* flight = store->flight_.get();
     const std::string dump_path = options.dir + "/flight_degraded.json";
@@ -248,9 +285,90 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
           (void)dumped;
         });
   }
+  // Storage-lifecycle pacemaker. Constructed in every configuration (so
+  // CompactNow and the compaction.* instruments always work); the
+  // background thread only spins up with a non-zero period.
+  {
+    CompactionScheduler::Options sched_options;
+    sched_options.period_millis = options.compaction_period_millis;
+    AionStore* s = store.get();
+    store->scheduler_ = std::make_unique<CompactionScheduler>(
+        metrics, sched_options, [s] { return s->CompactionRound(); });
+  }
   store->flight_->Start();
   store->watchdog_->Start();
+  store->scheduler_->Start();
   return store;
+}
+
+util::Status AionStore::CompactNow() { return scheduler_->RunOnce(); }
+
+Timestamp AionStore::RetentionFloor() const {
+  if (options_.retention_window == 0) return 0;
+  const Timestamp last = last_ingested_ts();
+  return last > options_.retention_window
+             ? last - options_.retention_window
+             : 0;
+}
+
+Status AionStore::CheckRetention(Timestamp earliest) const {
+  if (options_.retention_window == 0) return Status::OK();
+  const Timestamp floor = RetentionFloor();
+  if (earliest < floor) {
+    return Status::OutOfRetention(
+        "timestamp " + std::to_string(earliest) +
+        " is below the retention floor " + std::to_string(floor) +
+        " (window " + std::to_string(options_.retention_window) + ")");
+  }
+  return Status::OK();
+}
+
+Status AionStore::CompactionRound() {
+  TimeStore::CompactionResult round;
+  const Timestamp logical_floor = RetentionFloor();
+  if (time_store_ != nullptr) {
+    if (logical_floor > 0) {
+      AION_RETURN_IF_ERROR(time_store_->CompactUpTo(logical_floor, &round));
+    }
+    // No-op when snapshot GC is disabled and nothing was ever compacted.
+    AION_RETURN_IF_ERROR(time_store_->GcSnapshots(
+        options_.snapshot_keep_replay_records, &round));
+  }
+  if (lineage_store_ != nullptr && options_.lineage_max_chain > 0) {
+    AION_ASSIGN_OR_RETURN(
+        LineageStore::ChainCompaction chains,
+        lineage_store_->CompactChains(options_.lineage_max_chain,
+                                      options_.lineage_rewrites_per_round));
+    metric_chain_rewrites_->Add(chains.records_rewritten);
+  }
+  metric_compaction_bytes_->Add(round.bytes_reclaimed);
+  metric_compaction_segments_->Add(round.segments_dropped);
+  metric_compaction_records_->Add(round.records_dropped);
+  metric_compaction_snapshots_->Add(round.snapshots_dropped);
+  gauge_logical_floor_->Set(static_cast<int64_t>(logical_floor));
+  gauge_physical_floor_->Set(static_cast<int64_t>(
+      time_store_ != nullptr ? time_store_->compaction_floor() : 0));
+  return Status::OK();
+}
+
+AionStore::RetentionInfo AionStore::RetentionStats() const {
+  RetentionInfo info;
+  info.retention_window = options_.retention_window;
+  info.logical_floor = RetentionFloor();
+  info.compaction_rounds = scheduler_->rounds();
+  if (time_store_ != nullptr) {
+    info.physical_floor = time_store_->compaction_floor();
+    info.segments_live = time_store_->NumSegments();
+    info.segments_dropped = time_store_->total_segments_dropped();
+    info.records_dropped = time_store_->total_records_dropped();
+    info.bytes_reclaimed = time_store_->total_bytes_reclaimed();
+    info.snapshots_live = time_store_->NumSnapshots();
+    info.snapshots_dropped = time_store_->total_snapshots_dropped();
+    info.log_bytes = time_store_->LogBytes();
+    info.snapshot_bytes = time_store_->SnapshotBytes();
+  }
+  info.chains_rewritten = metric_chain_rewrites_->value();
+  return info;
 }
 
 void AionStore::AttachHostDatabase(txn::GraphDatabase* db) {
@@ -503,29 +621,60 @@ AionStore::StoreChoice AionStore::ChooseStoreForExpand(uint32_t hops) const {
 // Table 1 API
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Retention semantics at the facade: history strictly below the floor is
+/// never reported, so a version that began before the floor reports the
+/// floor as its start — regardless of which store served the query and of
+/// whether compaction already dropped the prefix physically. This is what
+/// keeps in-window results byte-identical before and after compaction.
+template <typename Versions>
+void ClampVersionsToFloor(Timestamp floor, Versions* versions) {
+  if (floor == 0) return;
+  for (auto& v : *versions) {
+    if (v.interval.start < floor) v.interval.start = floor;
+  }
+}
+
+}  // namespace
+
 StatusOr<std::vector<NodeVersion>> AionStore::GetNode(graph::NodeId id,
                                                       Timestamp start,
                                                       Timestamp end) {
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   if (LineageCanServe(std::max(start, end))) {
-    return lineage_store_->GetNode(id, start, end);
+    AION_ASSIGN_OR_RETURN(std::vector<NodeVersion> versions,
+                          lineage_store_->GetNode(id, start, end));
+    ClampVersionsToFloor(RetentionFloor(), &versions);
+    return versions;
   }
   if (time_store_ != nullptr) {
     // Lagging cascade or disabled LineageStore: fall back to the TimeStore
     // at a performance penalty (Sec 5.1).
     CountFallback();
-    return NodeHistoryViaTimeStore(id, start, end);
+    AION_ASSIGN_OR_RETURN(std::vector<NodeVersion> versions,
+                          NodeHistoryViaTimeStore(id, start, end));
+    ClampVersionsToFloor(RetentionFloor(), &versions);
+    return versions;
   }
   return Status::FailedPrecondition("no temporal store can serve the query");
 }
 
 StatusOr<std::vector<RelationshipVersion>> AionStore::GetRelationship(
     graph::RelId id, Timestamp start, Timestamp end) {
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   if (LineageCanServe(std::max(start, end))) {
-    return lineage_store_->GetRelationship(id, start, end);
+    AION_ASSIGN_OR_RETURN(std::vector<RelationshipVersion> versions,
+                          lineage_store_->GetRelationship(id, start, end));
+    ClampVersionsToFloor(RetentionFloor(), &versions);
+    return versions;
   }
   if (time_store_ != nullptr) {
     CountFallback();
-    return RelHistoryViaTimeStore(id, start, end);
+    AION_ASSIGN_OR_RETURN(std::vector<RelationshipVersion> versions,
+                          RelHistoryViaTimeStore(id, start, end));
+    ClampVersionsToFloor(RetentionFloor(), &versions);
+    return versions;
   }
   return Status::FailedPrecondition("no temporal store can serve the query");
 }
@@ -533,39 +682,56 @@ StatusOr<std::vector<RelationshipVersion>> AionStore::GetRelationship(
 StatusOr<std::vector<std::vector<RelationshipVersion>>>
 AionStore::GetRelationships(graph::NodeId id, Direction direction,
                             Timestamp start, Timestamp end) {
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   if (LineageCanServe(std::max(start, end))) {
-    return lineage_store_->GetRelationships(id, direction, start, end);
+    AION_ASSIGN_OR_RETURN(
+        std::vector<std::vector<RelationshipVersion>> histories,
+        lineage_store_->GetRelationships(id, direction, start, end));
+    for (auto& history : histories) {
+      ClampVersionsToFloor(RetentionFloor(), &history);
+    }
+    return histories;
   }
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("no temporal store can serve the query");
   }
-  // TimeStore fallback: filter the update log for relationships incident to
-  // the node (expensive; the documented penalty of the lagging cascade).
+  // TimeStore fallback: find the relationships incident to the node in the
+  // seeded base graph and the surviving log, then reconstruct each history
+  // (expensive; the documented penalty of the lagging cascade). No entity
+  // filter here: kDeleteRelationship records carry no endpoints, so a
+  // bloom-pruned scan could miss segments this node's history lives in.
   CountFallback();
   const Timestamp scan_last =
       end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
                    : end;
-  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
-                        time_store_->ReplayRange(0, scan_last));
-  std::vector<graph::RelId> order;
-  std::vector<std::vector<RelationshipVersion>> result;
-  // Track incident relationship ids.
+  AION_ASSIGN_OR_RETURN(TimeStore::SeededUpdates seeded,
+                        time_store_->SeededReplay(scan_last, nullptr));
+  // Incident relationship ids, in id order: deterministic no matter how
+  // the base-snapshot/log split shifts underneath (compaction moves the
+  // boundary; the result set must not move with it).
   std::map<graph::RelId, bool> incident;
-  for (const GraphUpdate& u : all) {
-    if (u.op == UpdateOp::kAddRelationship &&
-        (u.src == id || u.tgt == id)) {
-      const bool matches =
-          direction == Direction::kBoth ||
-          (direction == Direction::kOutgoing && u.src == id) ||
-          (direction == Direction::kIncoming && u.tgt == id);
-      if (matches && incident.emplace(u.id, true).second) {
-        order.push_back(u.id);
-      }
-    }
+  auto consider = [&](graph::RelId rel, graph::NodeId src,
+                      graph::NodeId tgt) {
+    if (src != id && tgt != id) return;
+    const bool matches =
+        direction == Direction::kBoth ||
+        (direction == Direction::kOutgoing && src == id) ||
+        (direction == Direction::kIncoming && tgt == id);
+    if (matches) incident.emplace(rel, true);
+  };
+  if (seeded.base != nullptr) {
+    seeded.base->ForEachRelationship([&](const graph::Relationship& r) {
+      consider(r.id, r.src, r.tgt);
+    });
   }
-  for (graph::RelId rel : order) {
+  for (const GraphUpdate& u : seeded.updates) {
+    if (u.op == UpdateOp::kAddRelationship) consider(u.id, u.src, u.tgt);
+  }
+  std::vector<std::vector<RelationshipVersion>> result;
+  for (const auto& [rel, unused] : incident) {
     AION_ASSIGN_OR_RETURN(std::vector<RelationshipVersion> history,
                           RelHistoryViaTimeStore(rel, start, end));
+    ClampVersionsToFloor(RetentionFloor(), &history);
     if (!history.empty()) result.push_back(std::move(history));
   }
   return result;
@@ -573,6 +739,7 @@ AionStore::GetRelationships(graph::NodeId id, Direction direction,
 
 StatusOr<std::vector<std::vector<graph::Node>>> AionStore::Expand(
     graph::NodeId id, Direction direction, uint32_t hops, Timestamp t) {
+  AION_RETURN_IF_ERROR(CheckRetention(t));
   const StoreChoice choice = ChooseStoreForExpand(hops);
   if (choice == StoreChoice::kLineageStore && LineageCanServe(t)) {
     return lineage_store_->Expand(id, direction, hops, t);
@@ -592,6 +759,7 @@ StatusOr<std::vector<std::vector<graph::Node>>> AionStore::Expand(
 StatusOr<std::vector<std::vector<graph::Node>>> AionStore::ExpandUsing(
     StoreChoice store, graph::NodeId id, Direction direction, uint32_t hops,
     Timestamp t) {
+  AION_RETURN_IF_ERROR(CheckRetention(t));
   if (store == StoreChoice::kLineageStore) {
     if (lineage_store_ == nullptr) {
       return Status::FailedPrecondition("LineageStore is disabled");
@@ -609,6 +777,7 @@ StatusOr<std::vector<AionStore::TimedExpansion>> AionStore::ExpandOverTime(
     Timestamp end, Timestamp step) {
   if (step == 0) return Status::InvalidArgument("step must be positive");
   if (end < start) return Status::InvalidArgument("end before start");
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   std::vector<TimedExpansion> out;
   for (Timestamp t = start; t <= end;) {
     TimedExpansion expansion;
@@ -626,6 +795,7 @@ StatusOr<std::vector<GraphUpdate>> AionStore::GetDiff(Timestamp start,
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("getDiff requires the TimeStore");
   }
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   return time_store_->GetDiff(start, end);
 }
 
@@ -634,6 +804,9 @@ StatusOr<std::shared_ptr<const graph::GraphView>> AionStore::GetGraphAt(
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("global queries require the TimeStore");
   }
+  // Gate before the epoch fast path: the pinned latest graph could serve a
+  // below-floor t, but results must not depend on which path answers.
+  AION_RETURN_IF_ERROR(CheckRetention(t));
   // Epoch fast path: the pin is at least as new as every completed ingest,
   // so epoch.ts <= t means no committed update existed in (epoch.ts, t]
   // when the pin was taken — the pinned graph *is* the graph at t.
@@ -664,6 +837,7 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> AionStore::GetWindow(
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("getWindow requires the TimeStore");
   }
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   AION_ASSIGN_OR_RETURN(auto window, time_store_->MaterializeGraphAt(start));
   AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> diff,
                         time_store_->GetDiff(start, end));
@@ -701,6 +875,7 @@ StatusOr<std::unique_ptr<graph::TemporalGraph>> AionStore::GetTemporalGraph(
     return Status::FailedPrecondition(
         "getTemporalGraph requires the TimeStore");
   }
+  AION_RETURN_IF_ERROR(CheckRetention(start));
   AION_ASSIGN_OR_RETURN(auto base, time_store_->MaterializeGraphAt(start));
   auto temporal = std::make_unique<graph::TemporalGraph>();
   Status status = Status::OK();
@@ -735,6 +910,7 @@ StatusOr<std::unique_ptr<graph::TemporalGraph>> AionStore::GetTemporalGraph(
 
 StatusOr<std::optional<graph::Node>> AionStore::GetNodeAt(graph::NodeId id,
                                                           Timestamp t) {
+  AION_RETURN_IF_ERROR(CheckRetention(t));
   if (LineageCanServe(t)) return lineage_store_->GetNodeAt(id, t);
   if (time_store_ != nullptr) {
     CountFallback();
@@ -748,6 +924,7 @@ StatusOr<std::optional<graph::Node>> AionStore::GetNodeAt(graph::NodeId id,
 
 StatusOr<std::optional<graph::Relationship>> AionStore::GetRelationshipAt(
     graph::RelId id, Timestamp t) {
+  AION_RETURN_IF_ERROR(CheckRetention(t));
   if (LineageCanServe(t)) return lineage_store_->GetRelationshipAt(id, t);
   if (time_store_ != nullptr) {
     CountFallback();
@@ -765,6 +942,7 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> AionStore::MaterializeGraphAt(
   if (time_store_ == nullptr) {
     return Status::FailedPrecondition("global queries require the TimeStore");
   }
+  AION_RETURN_IF_ERROR(CheckRetention(t));
   // Same fast path as GetGraphAt, at the cost of one deep copy (callers
   // asked for an independent graph).
   auto epoch = PinEpoch();
@@ -846,16 +1024,27 @@ void AionStore::CountFallback() {
 namespace {
 
 /// Folds an entity's update stream into versions overlapping [start, end).
+/// The stream may be seeded: `seed_state`/`seed_live` is the entity's state
+/// in the compaction-floor base snapshot at `base_ts`, and `updates` then
+/// only covers (base_ts, ...]. An unseeded call passes base_ts 0 and
+/// seed_live false (fold from the empty graph, the pre-compaction path).
 template <typename Entity, typename Matches, typename Fold>
 std::vector<graph::Versioned<Entity>> FoldUpdates(
     const std::vector<GraphUpdate>& updates, Timestamp start, Timestamp end,
-    Matches&& matches, Fold&& fold) {
+    Timestamp base_ts, Entity seed_state, bool seed_live, Matches&& matches,
+    Fold&& fold) {
   if (end <= start) end = start == graph::kInfiniteTime ? start : start + 1;
   std::vector<graph::Versioned<Entity>> out;
-  Entity state{};
-  bool live = false;
+  Entity state = std::move(seed_state);
+  bool live = seed_live;
   bool have_cur = false;
   graph::Versioned<Entity> cur;
+  if (live) {
+    // The base state is a version in force since (at least) base_ts; its
+    // true start may predate the floor, which history no longer records.
+    cur = {{base_ts, graph::kInfiniteTime}, state};
+    have_cur = true;
+  }
   for (const GraphUpdate& u : updates) {
     if (!matches(u)) continue;
     if (u.ts >= end) {
@@ -907,12 +1096,26 @@ StatusOr<std::vector<NodeVersion>> AionStore::NodeHistoryViaTimeStore(
   const Timestamp scan_end =
       end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
                    : end;
-  // (0, scan_end]: the update at scan_end (= end) closes the last version's
-  // interval inside FoldUpdates, so the inclusive upper bound is deliberate.
-  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
-                        time_store_->ReplayRange(0, scan_end));
+  // Base + (base_ts, scan_end]: the update at scan_end (= end) closes the
+  // last version's interval inside FoldUpdates, so the inclusive upper
+  // bound is deliberate. The bloom-key filter lets the scan skip whole
+  // segments this node provably never touched; the surviving updates may
+  // still include other entities (segment granularity) — `matches` drops
+  // them.
+  const std::vector<uint64_t> filter = {NodeBloomKey(id)};
+  AION_ASSIGN_OR_RETURN(TimeStore::SeededUpdates seeded,
+                        time_store_->SeededReplay(scan_end, &filter));
+  graph::Node seed_state{};
+  bool seed_live = false;
+  if (seeded.base != nullptr) {
+    if (const graph::Node* n = seeded.base->GetNode(id); n != nullptr) {
+      seed_state = *n;
+      seed_live = true;
+    }
+  }
   return FoldUpdates<graph::Node>(
-      all, start, end,
+      seeded.updates, start, end, seeded.base_ts, std::move(seed_state),
+      seed_live,
       [id](const GraphUpdate& u) {
         return graph::IsNodeOp(u.op) && u.id == id;
       },
@@ -951,10 +1154,21 @@ StatusOr<std::vector<RelationshipVersion>> AionStore::RelHistoryViaTimeStore(
   const Timestamp scan_end =
       end <= start ? (start == graph::kInfiniteTime ? start : start + 1)
                    : end;
-  AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> all,
-                        time_store_->ReplayRange(0, scan_end));
+  const std::vector<uint64_t> filter = {RelBloomKey(id)};
+  AION_ASSIGN_OR_RETURN(TimeStore::SeededUpdates seeded,
+                        time_store_->SeededReplay(scan_end, &filter));
+  graph::Relationship seed_state{};
+  bool seed_live = false;
+  if (seeded.base != nullptr) {
+    if (const graph::Relationship* r = seeded.base->GetRelationship(id);
+        r != nullptr) {
+      seed_state = *r;
+      seed_live = true;
+    }
+  }
   return FoldUpdates<graph::Relationship>(
-      all, start, end,
+      seeded.updates, start, end, seeded.base_ts, std::move(seed_state),
+      seed_live,
       [id](const GraphUpdate& u) {
         return !graph::IsNodeOp(u.op) && u.id == id;
       },

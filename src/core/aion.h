@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/cascade.h"
+#include "core/compaction.h"
 #include "core/graphstore.h"
 #include "core/lineagestore.h"
 #include "core/statistics.h"
@@ -134,6 +135,43 @@ class AionStore : public txn::TransactionEventListener {
     /// Degraded when cascade backpressure events exceed this rate
     /// (events/second, measured between evaluations).
     double health_max_backpressure_per_sec = 100.0;
+
+    // ----- Storage lifecycle (retention + compaction; see ARCHITECTURE.md)
+
+    /// Retention window in timestamp ticks: temporal queries reaching below
+    /// `last_ingested_ts - retention_window` fail with
+    /// util::Status::OutOfRetention, and compaction rounds fold everything
+    /// below that logical floor into one snapshot, dropping the subsumed
+    /// log segments. 0 = unbounded retention (no gating, no segment drops).
+    Timestamp retention_window = 0;
+    /// Background compaction-round period. 0 disables the background
+    /// thread; rounds then only run via CompactNow().
+    uint64_t compaction_period_millis = 0;
+    /// Seal a TimeStore log segment once it reaches this many bytes. Sealed
+    /// segments are the unit of retention-driven compaction; smaller
+    /// segments track the retention floor more tightly at the cost of more
+    /// files and manifest commits.
+    uint64_t segment_target_bytes = 8ull << 20;
+    /// Keep-vs-reconstruct snapshot GC (Khurana-style cost model): a
+    /// snapshot is dropped when replaying forward from its predecessor
+    /// costs at most this many log records. 0 disables snapshot GC (the
+    /// floor snapshot and the newest snapshot are always kept regardless).
+    uint64_t snapshot_keep_replay_records = 0;
+    /// Rewrite a LineageStore delta chain as a fully materialized record
+    /// once it grows this long (compaction rounds only; complements the
+    /// ingest-time materialization_threshold for entities whose threshold
+    /// was raised or whose chains predate it). 0 disables chain rewriting.
+    uint32_t lineage_max_chain = 0;
+    /// At most this many chain records are rewritten per compaction round
+    /// (bounds the LineageStore exclusive-latch hold). 0 = unlimited.
+    size_t lineage_rewrites_per_round = 256;
+    /// Degraded when the physical compaction floor lags the logical
+    /// retention floor by more than this many ticks (compaction cannot keep
+    /// up, or never runs). 0 = auto: 2 x retention_window.
+    Timestamp health_max_retention_lag = 0;
+    /// Test-only: crash injection inside TimeStore::CompactUpTo.
+    TimeStore::CompactionCrashPoint compaction_crash_point =
+        TimeStore::CompactionCrashPoint::kNone;
   };
 
   static util::StatusOr<std::unique_ptr<AionStore>> Open(
@@ -389,6 +427,41 @@ class AionStore : public txn::TransactionEventListener {
   /// Total temporal storage on disk.
   uint64_t SizeBytes() const;
 
+  // -------------------------------------------------------------------
+  // Storage lifecycle (retention + compaction)
+  // -------------------------------------------------------------------
+
+  /// Runs one full compaction round synchronously: advances the physical
+  /// floor to the current logical retention floor (merging cold segments
+  /// into a snapshot and dropping them), garbage-collects snapshots under
+  /// the keep-vs-reconstruct cost model, and rewrites over-long
+  /// LineageStore delta chains. Serialized against the background
+  /// scheduler; safe to call concurrently with ingest and queries.
+  util::Status CompactNow();
+
+  /// The logical retention floor: `last_ingested_ts - retention_window`,
+  /// clamped at 0. Temporal queries reaching strictly below it fail with
+  /// util::Status::OutOfRetention. Always 0 when retention is unbounded.
+  Timestamp RetentionFloor() const;
+
+  /// Point-in-time lifecycle accounting (CALL dbms.compaction()).
+  struct RetentionInfo {
+    Timestamp retention_window = 0;  // 0 = unbounded
+    Timestamp logical_floor = 0;     // where queries are gated
+    Timestamp physical_floor = 0;    // where data is actually gone
+    uint64_t compaction_rounds = 0;
+    uint64_t segments_live = 0;
+    uint64_t segments_dropped = 0;  // lifetime totals from here down
+    uint64_t records_dropped = 0;
+    uint64_t bytes_reclaimed = 0;
+    uint64_t snapshots_live = 0;
+    uint64_t snapshots_dropped = 0;
+    uint64_t chains_rewritten = 0;
+    uint64_t log_bytes = 0;
+    uint64_t snapshot_bytes = 0;
+  };
+  RetentionInfo RetentionStats() const;
+
  private:
   AionStore() = default;
 
@@ -400,6 +473,16 @@ class AionStore : public txn::TransactionEventListener {
 
   void ApplyToLineage(const std::vector<graph::GraphUpdate>& updates);
   void MaybeSnapshot(bool due);
+
+  /// One storage-lifecycle round (the CompactionScheduler's RoundFn).
+  util::Status CompactionRound();
+
+  /// OutOfRetention when `earliest` reaches strictly below the logical
+  /// retention floor; OK otherwise (and always OK with unbounded
+  /// retention). Every temporal query gates on this before touching any
+  /// store — including the epoch fast path, so results never depend on
+  /// whether compaction already caught up.
+  util::Status CheckRetention(Timestamp earliest) const;
 
   /// TimeStore-based fallbacks for fine-grained queries.
   util::StatusOr<std::vector<NodeVersion>> NodeHistoryViaTimeStore(
@@ -436,6 +519,10 @@ class AionStore : public txn::TransactionEventListener {
   // explicitly at the top of ~AionStore, before cascade_ resets.
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::unique_ptr<obs::HealthWatchdog> watchdog_;
+  // Storage-lifecycle pacemaker. Its rounds touch both stores and the
+  // metrics, so it is declared last (destroyed first) and additionally
+  // stopped explicitly at the very top of ~AionStore.
+  std::unique_ptr<CompactionScheduler> scheduler_;
   std::mutex ingest_mu_;  // writer-only: readers pin epochs instead
   std::atomic<bool> snapshot_pending_{false};
   std::atomic<Timestamp> last_ingested_ts_{0};
@@ -456,6 +543,15 @@ class AionStore : public txn::TransactionEventListener {
   obs::Gauge* gauge_watermark_lag_ = nullptr;  // cascade.watermark_lag_nanos
   obs::Histogram* metric_commit_latency_ = nullptr;
   obs::Histogram* metric_reader_wait_ = nullptr;
+  // Lifecycle instruments (registered unconditionally so the exported
+  // metric name set does not depend on the retention configuration).
+  obs::Counter* metric_compaction_bytes_ = nullptr;
+  obs::Counter* metric_compaction_segments_ = nullptr;
+  obs::Counter* metric_compaction_records_ = nullptr;
+  obs::Counter* metric_compaction_snapshots_ = nullptr;
+  obs::Counter* metric_chain_rewrites_ = nullptr;
+  obs::Gauge* gauge_logical_floor_ = nullptr;
+  obs::Gauge* gauge_physical_floor_ = nullptr;
 };
 
 }  // namespace aion::core

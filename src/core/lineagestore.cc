@@ -633,6 +633,115 @@ Status LineageStore::ApplyUnlocked(const GraphUpdate& u) {
   return Status::OK();
 }
 
+StatusOr<LineageStore::ChainCompaction> LineageStore::CompactChains(
+    uint32_t max_chain, size_t max_rewrites) {
+  ChainCompaction result;
+  if (max_chain == 0) return result;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+
+  // One pass per tree: fold each entity's records forward in key order,
+  // counting the consecutive-delta run; when the run reaches max_chain,
+  // plan replacing that delta with the full state it folds to. Rewrites
+  // are applied after the scan (the iterator must not observe writes).
+  struct Plan {
+    std::string key;
+    std::string value;
+    uint64_t id;
+  };
+  auto compact_tree = [&](BpTree* tree,
+                          std::unordered_map<uint64_t, uint32_t>* chains,
+                          bool is_node) -> Status {
+    std::vector<Plan> plans;
+    uint64_t cur_id = ~0ull;
+    graph::Node node;
+    graph::Relationship rel;
+    bool live = false;
+    bool skip_id = false;  // no usable base state: never rewrite this id
+    uint32_t run = 0;
+    Status inner = Status::OK();
+    AION_RETURN_IF_ERROR(tree->ScanForward(
+        EntityKey(0, 0, 0), [&](Slice key, Slice value) {
+          if (max_rewrites != 0 &&
+              result.records_rewritten + plans.size() >= max_rewrites) {
+            return false;
+          }
+          ++result.records_scanned;
+          const uint64_t id = KeyId(key);
+          if (id != cur_id) {
+            cur_id = id;
+            live = false;
+            skip_id = false;
+            run = 0;
+          }
+          auto rec = codec_->Decode(&value);
+          if (!rec.ok()) {
+            inner = rec.status();
+            return false;
+          }
+          if (rec->deleted) {
+            live = false;
+            run = 0;
+            return true;
+          }
+          if (!rec->delta) {
+            // Full record: replaces the state, resets the chain.
+            bool l = true;
+            if (is_node) {
+              node = graph::Node{};
+              inner = RecordCodec::FoldNode(*rec, &node, &l);
+            } else {
+              rel = graph::Relationship{};
+              inner = RecordCodec::FoldRelationship(*rec, &rel, &l);
+            }
+            if (!inner.ok()) return false;
+            live = true;
+            skip_id = false;
+            run = 0;
+            return true;
+          }
+          if (!live || skip_id) {
+            // Delta without a reachable base (shouldn't happen in a healthy
+            // store): leave the id untouched rather than guess.
+            skip_id = true;
+            return true;
+          }
+          bool l = live;
+          if (is_node) {
+            inner = RecordCodec::FoldNode(*rec, &node, &l);
+          } else {
+            inner = RecordCodec::FoldRelationship(*rec, &rel, &l);
+          }
+          if (!inner.ok()) return false;
+          live = l;
+          if (++run >= max_chain) {
+            const TemporalRecord full =
+                is_node ? RecordCodec::FullNode(node, rec->ts)
+                        : RecordCodec::FullRelationship(rel, rec->ts);
+            Plan p;
+            p.key = key.ToString();
+            p.id = id;
+            inner = codec_->Encode(full, &p.value);
+            if (!inner.ok()) return false;
+            plans.push_back(std::move(p));
+            run = 0;
+          }
+          return true;
+        }));
+    AION_RETURN_IF_ERROR(inner);
+    for (const Plan& p : plans) {
+      AION_RETURN_IF_ERROR(tree->Put(p.key, p.value));
+      // The id's delta-since-full count changed; recount lazily on the
+      // next write to it.
+      chains->erase(p.id);
+      ++result.records_rewritten;
+    }
+    return Status::OK();
+  };
+  AION_RETURN_IF_ERROR(compact_tree(nodes_.get(), &node_chains_, true));
+  AION_RETURN_IF_ERROR(compact_tree(rels_.get(), &rel_chains_, false));
+  return result;
+}
+
 Status LineageStore::ApplyAll(const std::vector<GraphUpdate>& updates) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (const GraphUpdate& u : updates) {

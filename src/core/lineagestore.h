@@ -121,6 +121,26 @@ class LineageStore {
   StatusOr<std::optional<graph::Relationship>> GetRelationshipAt(
       graph::RelId id, Timestamp t) const;
 
+  // -------------------------------------------------------------------
+  // Lifecycle maintenance
+  // -------------------------------------------------------------------
+
+  struct ChainCompaction {
+    uint64_t records_scanned = 0;
+    uint64_t records_rewritten = 0;
+  };
+
+  /// Rewrites over-long delta chains in place: scanning the node and
+  /// relationship indexes in key order, every `max_chain`-th consecutive
+  /// delta record is replaced — same key, same timestamp — by the fully
+  /// materialized state it folds to. Query results are byte-identical
+  /// (the full record equals the fold of the chain it subsumes);
+  /// reconstruction walks just get shorter. At most `max_rewrites`
+  /// records are rewritten per call (0 = unlimited) to bound the
+  /// exclusive-latch hold. No-op when `max_chain` is 0.
+  StatusOr<ChainCompaction> CompactChains(uint32_t max_chain,
+                                          size_t max_rewrites);
+
   /// Highest update timestamp applied (the cascade watermark). Read by
   /// query threads concurrently with the background cascade.
   Timestamp applied_ts() const { return applied_ts_.load(); }

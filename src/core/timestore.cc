@@ -1,6 +1,8 @@
 #include "core/timestore.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "obs/query_stats.h"
 #include "obs/trace.h"
@@ -11,7 +13,9 @@
 namespace aion::core {
 
 using storage::BpTree;
-using storage::LogFile;
+using storage::RecordInfo;
+using storage::RecordLoc;
+using storage::SegmentedLog;
 using util::DecodeBigEndian64;
 using util::DecodeFixed64;
 using util::PutBigEndian64;
@@ -33,7 +37,36 @@ std::string SnapshotKey(Timestamp ts) {
   return key;
 }
 
+/// Time-index values address records as (segment id, offset in segment).
+std::string LocValue(const RecordLoc& loc) {
+  std::string value;
+  PutFixed64(&value, loc.segment_id);
+  PutFixed64(&value, loc.offset);
+  return value;
+}
+
+RecordLoc DecodeLoc(Slice value) {
+  RecordLoc loc;
+  loc.segment_id = DecodeFixed64(value.data());
+  loc.offset = DecodeFixed64(value.data() + 8);
+  return loc;
+}
+
 }  // namespace
+
+void CollectBloomKeys(const std::vector<GraphUpdate>& updates,
+                      std::vector<uint64_t>* keys) {
+  for (const GraphUpdate& u : updates) {
+    if (graph::IsNodeOp(u.op)) {
+      keys->push_back(NodeBloomKey(u.id));
+      continue;
+    }
+    keys->push_back(RelBloomKey(u.id));
+    // Endpoint nodes see this relationship in expansion queries.
+    if (u.src != graph::kInvalidNodeId) keys->push_back(NodeBloomKey(u.src));
+    if (u.tgt != graph::kInvalidNodeId) keys->push_back(NodeBloomKey(u.tgt));
+  }
+}
 
 StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
                                                      GraphStore* graph_store) {
@@ -43,8 +76,22 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
   std::unique_ptr<TimeStore> store(new TimeStore());
   store->options_ = options;
   store->graph_store_ = graph_store;
-  AION_ASSIGN_OR_RETURN(store->log_,
-                        LogFile::Open(options.dir + "/updates.log"));
+
+  SegmentedLog::Options seg_options;
+  seg_options.dir = options.dir + "/segments";
+  seg_options.target_segment_bytes = options.target_segment_bytes;
+  seg_options.bloom_bits = options.bloom_bits;
+  seg_options.probe = [](Slice payload, uint64_t* ts,
+                         std::vector<uint64_t>* keys) -> Status {
+    AION_ASSIGN_OR_RETURN(std::vector<GraphUpdate> updates,
+                          graph::DecodeUpdateBatch(payload));
+    *ts = updates.empty() ? 0 : updates.front().ts;
+    CollectBloomKeys(updates, keys);
+    return Status::OK();
+  };
+  AION_ASSIGN_OR_RETURN(store->segments_,
+                        SegmentedLog::Open(std::move(seg_options)));
+
   BpTree::Options tree_options;
   tree_options.cache_pages = options.index_cache_pages;
   tree_options.metrics = options.metrics;
@@ -66,6 +113,8 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
         options.metrics->counter("timestore.replayed_updates");
     store->metric_parallel_scans_ =
         options.metrics->counter("timestore.parallel_scans");
+    store->metric_segments_skipped_ =
+        options.metrics->counter("timestore.segments_skipped");
     store->gauge_parallel_permille_ =
         options.metrics->gauge("timestore.replay_parallel_permille");
     store->metric_snapshot_build_ =
@@ -74,15 +123,8 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
         options.metrics->histogram("timestore.replay_nanos");
   }
 
-  // Recover clock/sequence from the tail of the time index.
-  auto it = store->time_index_->NewIterator();
-  it.SeekToLast();
-  if (it.Valid()) {
-    store->last_ts_.store(DecodeBigEndian64(it.key().data()),
-                          std::memory_order_relaxed);
-    store->seq_ = DecodeBigEndian64(it.key().data() + 8) + 1;
-  }
-  AION_RETURN_IF_ERROR(it.status());
+  AION_RETURN_IF_ERROR(store->RecoverIndexes());
+
   // Recover snapshot accounting.
   auto snap_it = store->snapshot_index_->NewIterator();
   for (snap_it.SeekToFirst(); snap_it.Valid(); snap_it.Next()) {
@@ -97,6 +139,66 @@ StatusOr<std::unique_ptr<TimeStore>> TimeStore::Open(const Options& options,
   return store;
 }
 
+Status TimeStore::RecoverIndexes() {
+  // A crash between compaction's manifest swap and its index deletions
+  // leaves (ts, seq) entries pointing into dropped segments; a crash
+  // mid-append can leave an index tail pointing past the recovered end of
+  // the active segment. Both kinds are dangling: reap them.
+  const Timestamp floor = segments_->floor_ts();
+  const uint64_t active_id = segments_->active_segment_id();
+  AION_ASSIGN_OR_RETURN(std::shared_ptr<storage::LogFile> active,
+                        segments_->Handle(active_id));
+  const uint64_t active_end = active->end_offset();
+  std::vector<std::string> dead;
+  {
+    auto it = time_index_->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      const Timestamp ts = DecodeBigEndian64(it.key().data());
+      const RecordLoc loc = DecodeLoc(it.value());
+      const bool dangling =
+          ts < floor || !segments_->HasSegment(loc.segment_id) ||
+          (loc.segment_id == active_id && loc.offset >= active_end);
+      if (dangling) dead.push_back(it.key().ToString());
+    }
+    AION_RETURN_IF_ERROR(it.status());
+  }
+  for (const std::string& key : dead) {
+    AION_RETURN_IF_ERROR(time_index_->Delete(key));
+  }
+
+  // Reap snapshot files a crash orphaned between the file write and its
+  // index insert. Index entries are authoritative; unreferenced files are
+  // garbage.
+  std::unordered_set<std::string> referenced;
+  {
+    auto it = snapshot_index_->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      referenced.insert(it.value().ToString());
+    }
+    AION_RETURN_IF_ERROR(it.status());
+  }
+  const std::string snap_dir = options_.dir + "/snapshots";
+  AION_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        storage::ListDir(snap_dir));
+  for (const std::string& name : names) {
+    const std::string path = snap_dir + "/" + name;
+    if (referenced.count(path) == 0) {
+      AION_RETURN_IF_ERROR(storage::RemoveFileIfExists(path));
+    }
+  }
+
+  // Recover clock/sequence from the (now clean) tail of the time index.
+  auto it = time_index_->NewIterator();
+  it.SeekToLast();
+  if (it.Valid()) {
+    last_ts_.store(DecodeBigEndian64(it.key().data()),
+                   std::memory_order_relaxed);
+    seq_ = DecodeBigEndian64(it.key().data() + 8) + 1;
+  }
+  AION_RETURN_IF_ERROR(it.status());
+  return Status::OK();
+}
+
 Status TimeStore::Append(Timestamp ts,
                          const std::vector<GraphUpdate>& updates,
                          bool* snapshot_due) {
@@ -106,10 +208,12 @@ Status TimeStore::Append(Timestamp ts,
   }
   std::string payload;
   graph::EncodeUpdateBatch(updates, &payload);
-  AION_ASSIGN_OR_RETURN(uint64_t offset, log_->Append(payload));
-  std::string value;
-  PutFixed64(&value, offset);
-  AION_RETURN_IF_ERROR(time_index_->Put(TimeKey(ts, seq_), value));
+  RecordInfo info;
+  info.ts = ts;
+  CollectBloomKeys(updates, &info.keys);
+  AION_ASSIGN_OR_RETURN(RecordLoc loc,
+                        segments_->Append(Slice(payload), info));
+  AION_RETURN_IF_ERROR(time_index_->Put(TimeKey(ts, seq_), LocValue(loc)));
   ++seq_;
   last_ts_.store(ts, std::memory_order_release);
   num_updates_.fetch_add(updates.size(), std::memory_order_relaxed);
@@ -152,24 +256,28 @@ Status TimeStore::AppendBatch(const std::vector<WriteBatch::TxnGroup>& groups,
     prev = g.ts;
   }
   std::vector<std::string> payloads;
+  std::vector<RecordInfo> infos;
   payloads.reserve(groups.size());
+  infos.reserve(groups.size());
   size_t total_updates = 0;
   for (const WriteBatch::TxnGroup& g : groups) {
     std::string payload;
     graph::EncodeUpdateBatch(g.updates, &payload);
     payloads.push_back(std::move(payload));
+    RecordInfo info;
+    info.ts = g.ts;
+    CollectBloomKeys(g.updates, &info.keys);
+    infos.push_back(std::move(info));
     total_updates += g.updates.size();
   }
-  std::vector<uint64_t> offsets;
-  AION_RETURN_IF_ERROR(log_->AppendBatch(payloads, &offsets).status());
+  std::vector<RecordLoc> locs;
+  AION_RETURN_IF_ERROR(segments_->AppendBatch(payloads, infos, &locs));
   // (ts, seq) keys are strictly increasing (seq always advances), so this
   // takes AppendSorted's amortized tail-load path.
   std::vector<std::pair<std::string, std::string>> entries;
   entries.reserve(groups.size());
   for (size_t i = 0; i < groups.size(); ++i) {
-    std::string value;
-    PutFixed64(&value, offsets[i]);
-    entries.emplace_back(TimeKey(groups[i].ts, seq_), std::move(value));
+    entries.emplace_back(TimeKey(groups[i].ts, seq_), LocValue(locs[i]));
     ++seq_;
   }
   AION_RETURN_IF_ERROR(time_index_->AppendSorted(entries));
@@ -221,6 +329,187 @@ Status TimeStore::WriteSnapshot(Timestamp ts,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------
+// Retention / compaction
+// ---------------------------------------------------------------------
+
+Status TimeStore::SealColdActive(Timestamp floor) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return segments_->SealActiveIfColderThan(floor);
+}
+
+Status TimeStore::CompactUpTo(Timestamp floor, CompactionResult* result) {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  result->floor_ts = segments_->floor_ts();
+  if (floor == 0 || floor <= result->floor_ts) return Status::OK();
+
+  // A stalled ingest can leave cold records in the active segment; seal it
+  // so they become droppable too.
+  AION_RETURN_IF_ERROR(SealColdActive(floor));
+
+  const std::vector<uint64_t> victims = segments_->SealedBefore(floor);
+  if (victims.empty()) return Status::OK();
+
+  // Step 1 — make the floor snapshot durable before anything is dropped.
+  // The snapshot at exactly `floor` subsumes every victim record; once it
+  // (and its index entry) hit disk, dropping the segments loses nothing.
+  const bool have_floor_snap = [&] {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return snapshot_index_->Get(SnapshotKey(floor)).ok();
+  }();
+  if (!have_floor_snap) {
+    AION_ASSIGN_OR_RETURN(std::unique_ptr<graph::MemoryGraph> graph,
+                          MaterializeGraphAt(floor));
+    std::shared_ptr<const graph::MemoryGraph> shared(std::move(graph));
+    AION_RETURN_IF_ERROR(WriteSnapshot(floor, *shared));
+    graph_store_->Put(floor, shared);
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    AION_RETURN_IF_ERROR(snapshot_index_->Flush());
+    AION_RETURN_IF_ERROR(snapshot_index_->Sync());
+  }
+  if (options_.crash_point == CompactionCrashPoint::kAfterSnapshotWrite) {
+    // Simulated crash: the snapshot exists but nothing was dropped and the
+    // floor did not move. The next round simply redoes the swap.
+    return Status::OK();
+  }
+
+  // Step 2 — the atomic swap. Under the exclusive latch (no scan can be
+  // between its index walk and handle pinning): commit the manifest
+  // without the victims, then delete their (ts, seq) index entries.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const std::unordered_set<uint64_t> victim_set(victims.begin(),
+                                                victims.end());
+  uint64_t victim_bytes = 0;
+  for (const storage::SegmentMeta& meta : segments_->SealedSegments()) {
+    if (victim_set.count(meta.id) > 0) victim_bytes += meta.bytes;
+  }
+  std::vector<std::string> dead;
+  {
+    auto it = time_index_->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      const Timestamp ts = DecodeBigEndian64(it.key().data());
+      if (ts >= floor) break;
+      if (victim_set.count(DecodeLoc(it.value()).segment_id) > 0) {
+        dead.push_back(it.key().ToString());
+      }
+    }
+    AION_RETURN_IF_ERROR(it.status());
+  }
+  const bool unlink =
+      options_.crash_point != CompactionCrashPoint::kAfterManifestSwap;
+  AION_RETURN_IF_ERROR(segments_->DropSegments(victims, floor, unlink));
+  if (options_.crash_point == CompactionCrashPoint::kAfterManifestSwap) {
+    // Simulated crash: the manifest no longer references the victims but
+    // their index entries dangle and their files remain. Reopen reaps both.
+    return Status::OK();
+  }
+  for (const std::string& key : dead) {
+    AION_RETURN_IF_ERROR(time_index_->Delete(key));
+  }
+
+  result->segments_dropped += victims.size();
+  result->records_dropped += dead.size();
+  result->bytes_reclaimed += victim_bytes;
+  result->floor_ts = floor;
+  total_segments_dropped_.fetch_add(victims.size(),
+                                    std::memory_order_relaxed);
+  total_records_dropped_.fetch_add(dead.size(), std::memory_order_relaxed);
+  total_bytes_reclaimed_.fetch_add(victim_bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TimeStore::GcSnapshots(uint64_t keep_replay_records,
+                              CompactionResult* result) {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  const Timestamp floor = segments_->floor_ts();
+  if (keep_replay_records == 0 && floor == 0) return Status::OK();
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  struct Snap {
+    Timestamp ts;
+    std::string path;
+  };
+  std::vector<Snap> snaps;
+  {
+    auto it = snapshot_index_->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      snaps.push_back(
+          Snap{DecodeBigEndian64(it.key().data()), it.value().ToString()});
+    }
+    AION_RETURN_IF_ERROR(it.status());
+  }
+  if (snaps.empty()) return Status::OK();
+
+  // Counts time-index records in (after, upto], stopping early once past
+  // `limit` (the cost model only needs "cheap or not").
+  auto replay_cost = [&](Timestamp after, Timestamp upto,
+                         uint64_t limit) -> StatusOr<uint64_t> {
+    uint64_t count = 0;
+    auto it = time_index_->NewIterator();
+    for (it.Seek(TimeKey(after + 1, 0)); it.Valid(); it.Next()) {
+      if (DecodeBigEndian64(it.key().data()) > upto) break;
+      if (++count > limit) break;
+    }
+    AION_RETURN_IF_ERROR(it.status());
+    return count;
+  };
+
+  std::vector<Snap> drop;
+  Timestamp prev_kept = 0;
+  bool have_prev = false;
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const Snap& s = snaps[i];
+    // Below the floor the log records are gone: the snapshot can no longer
+    // seed a correct replay and must go. The floor snapshot itself is the
+    // permanent base for everything above it; the newest snapshot bounds
+    // worst-case replay for fresh queries. Both are always kept.
+    if (s.ts < floor) {
+      drop.push_back(s);
+      continue;
+    }
+    const bool is_floor = s.ts == floor;
+    const bool is_newest = i + 1 == snaps.size();
+    if (is_floor || is_newest || !have_prev ||
+        keep_replay_records == 0) {
+      prev_kept = s.ts;
+      have_prev = true;
+      continue;
+    }
+    AION_ASSIGN_OR_RETURN(uint64_t cost,
+                          replay_cost(prev_kept, s.ts, keep_replay_records));
+    if (cost <= keep_replay_records) {
+      drop.push_back(s);  // cheaper to rebuild from prev_kept than to keep
+    } else {
+      prev_kept = s.ts;
+    }
+  }
+
+  for (const Snap& s : drop) {
+    AION_RETURN_IF_ERROR(snapshot_index_->Delete(SnapshotKey(s.ts)));
+    auto size = storage::FileSize(s.path);
+    AION_RETURN_IF_ERROR(storage::RemoveFileIfExists(s.path));
+    if (size.ok()) {
+      snapshot_bytes_.fetch_sub(std::min(*size, SnapshotBytes()),
+                                std::memory_order_relaxed);
+      result->bytes_reclaimed += *size;
+      total_bytes_reclaimed_.fetch_add(*size, std::memory_order_relaxed);
+    }
+  }
+  result->snapshots_dropped += drop.size();
+  total_snapshots_dropped_.fetch_add(drop.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t TimeStore::NumSnapshots() const {
+  return snapshot_index_->num_entries();
+}
+
+// ---------------------------------------------------------------------
+// Retrieval
+// ---------------------------------------------------------------------
+
 StatusOr<std::vector<GraphUpdate>> TimeStore::GetDiff(Timestamp start,
                                                       Timestamp end) const {
   // Half-open [start, end): the common interval convention of the temporal
@@ -237,53 +526,100 @@ StatusOr<std::vector<GraphUpdate>> TimeStore::ReplayRange(Timestamp base_ts,
   return ScanUpdates(base_ts + 1, t);
 }
 
+StatusOr<TimeStore::SeededUpdates> TimeStore::SeededReplay(
+    Timestamp t, const std::vector<uint64_t>* entity_filter) {
+  SeededUpdates out;
+  const Timestamp floor = segments_->floor_ts();
+  if (floor == 0 || t < floor) {
+    // Nothing compacted (or the caller is below the floor, which the
+    // retention gate rejects upstream): full history from the empty graph.
+    if (t >= 1) {
+      AION_ASSIGN_OR_RETURN(out.updates, ScanUpdates(1, t, entity_filter));
+    }
+    return out;
+  }
+  // Records below the floor are gone; the floor snapshot stands in for
+  // them. It always exists: CompactUpTo makes it durable before dropping.
+  AION_ASSIGN_OR_RETURN(out.base, LoadSnapshotAt(floor));
+  out.base_ts = floor;
+  if (t > floor) {
+    AION_ASSIGN_OR_RETURN(out.updates,
+                          ScanUpdates(floor + 1, t, entity_filter));
+  }
+  return out;
+}
+
 StatusOr<std::vector<GraphUpdate>> TimeStore::ScanUpdates(
-    Timestamp first_ts, Timestamp last_ts) const {
-  // Phase 1 — index walk under the shared latch: collect the log offsets of
-  // every record in range. This is the only part that can contend with an
-  // Append; it touches index pages only.
-  std::vector<uint64_t> offsets;
+    Timestamp first_ts, Timestamp last_ts,
+    const std::vector<uint64_t>* entity_filter) const {
+  // Phase 1 — index walk under the shared latch: collect the record
+  // locations of every entry in range and pin a handle per segment. The
+  // latch excludes a concurrent compaction swap, and a pinned handle keeps
+  // its file readable even if the segment is dropped and unlinked right
+  // after the latch is released. Fence keys and bloom filters prune whole
+  // segments when the caller asked about specific entities.
+  std::vector<RecordLoc> locs;
+  std::unordered_map<uint64_t, std::shared_ptr<storage::LogFile>> handles;
+  uint64_t skipped = 0;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
+    std::unordered_map<uint64_t, bool> include;
     auto it = time_index_->NewIterator();
     for (it.Seek(TimeKey(first_ts, 0)); it.Valid(); it.Next()) {
       const Timestamp ts = DecodeBigEndian64(it.key().data());
       if (ts > last_ts) break;
-      offsets.push_back(DecodeFixed64(it.value().data()));
+      const RecordLoc loc = DecodeLoc(it.value());
+      auto cached = include.find(loc.segment_id);
+      if (cached == include.end()) {
+        const bool in = segments_->MightContain(loc.segment_id, first_ts,
+                                                last_ts, entity_filter);
+        cached = include.emplace(loc.segment_id, in).first;
+        if (!in) ++skipped;
+      }
+      if (!cached->second) continue;
+      if (handles.count(loc.segment_id) == 0) {
+        AION_ASSIGN_OR_RETURN(handles[loc.segment_id],
+                              segments_->Handle(loc.segment_id));
+      }
+      locs.push_back(loc);
     }
     AION_RETURN_IF_ERROR(it.status());
   }
-  if (offsets.empty()) return std::vector<GraphUpdate>{};
+  if (skipped > 0 && metric_segments_skipped_ != nullptr) {
+    metric_segments_skipped_->Add(skipped);
+  }
+  if (locs.empty()) return std::vector<GraphUpdate>{};
 
   // Phase 2 — latch-free read + decode. Indexed records are immutable (the
   // log is append-only), so no latch is needed; pread is position-safe.
-  std::vector<std::vector<GraphUpdate>> parts(offsets.size());
+  std::vector<std::vector<GraphUpdate>> parts(locs.size());
   auto decode_one = [&](size_t i) -> Status {
     std::string record;
-    AION_RETURN_IF_ERROR(log_->Read(offsets[i], &record));
+    AION_RETURN_IF_ERROR(
+        handles[locs[i].segment_id]->Read(locs[i].offset, &record));
     AION_ASSIGN_OR_RETURN(parts[i], graph::DecodeUpdateBatch(record));
     return Status::OK();
   };
   const bool parallel =
       options_.replay_pool != nullptr &&
       options_.replay_pool->num_threads() > 1 &&
-      offsets.size() >= options_.parallel_replay_threshold;
+      locs.size() >= options_.parallel_replay_threshold;
   if (parallel) {
-    std::vector<Status> statuses(offsets.size());
+    std::vector<Status> statuses(locs.size());
     options_.replay_pool->ParallelFor(
-        offsets.size(), [&](size_t i) { statuses[i] = decode_one(i); });
+        locs.size(), [&](size_t i) { statuses[i] = decode_one(i); });
     for (const Status& s : statuses) AION_RETURN_IF_ERROR(s);
     if (metric_parallel_scans_ != nullptr) metric_parallel_scans_->Add();
-    records_scanned_parallel_.fetch_add(offsets.size(),
+    records_scanned_parallel_.fetch_add(locs.size(),
                                         std::memory_order_relaxed);
   } else {
-    for (size_t i = 0; i < offsets.size(); ++i) {
+    for (size_t i = 0; i < locs.size(); ++i) {
       AION_RETURN_IF_ERROR(decode_one(i));
     }
   }
   const uint64_t total =
-      records_scanned_.fetch_add(offsets.size(), std::memory_order_relaxed) +
-      offsets.size();
+      records_scanned_.fetch_add(locs.size(), std::memory_order_relaxed) +
+      locs.size();
   if (gauge_parallel_permille_ != nullptr && total > 0) {
     gauge_parallel_permille_->Set(static_cast<int64_t>(
         records_scanned_parallel_.load(std::memory_order_relaxed) * 1000 /
@@ -324,6 +660,10 @@ StatusOr<std::shared_ptr<const graph::MemoryGraph>> TimeStore::FindBase(
     AION_RETURN_IF_ERROR(it.status());
   }
 
+  // Once anything was compacted a floor snapshot exists, so for t >= floor
+  // the disk pick is >= floor — and the memory pick only wins when it is
+  // at least as fresh, which keeps every replay range above the floor
+  // (i.e. fully backed by retained log records).
   if (mem != nullptr && (disk_path.empty() || mem_ts >= disk_ts)) {
     *base_ts = mem_ts;
     return mem;
@@ -337,6 +677,23 @@ StatusOr<std::shared_ptr<const graph::MemoryGraph>> TimeStore::FindBase(
   }
   *base_ts = 0;
   return std::shared_ptr<const graph::MemoryGraph>(nullptr);
+}
+
+StatusOr<std::shared_ptr<const graph::MemoryGraph>> TimeStore::LoadSnapshotAt(
+    Timestamp ts) {
+  // The in-memory cache may already hold the exact state.
+  Timestamp mem_ts = 0;
+  std::shared_ptr<const graph::MemoryGraph> mem =
+      graph_store_->ClosestAtOrBefore(ts, &mem_ts);
+  if (mem != nullptr && mem_ts == ts) return mem;
+  std::string path;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    AION_ASSIGN_OR_RETURN(path, snapshot_index_->Get(SnapshotKey(ts)));
+  }
+  AION_ASSIGN_OR_RETURN(auto snapshot, LoadSnapshotFile(path));
+  graph_store_->Put(ts, snapshot);
+  return snapshot;
 }
 
 StatusOr<std::shared_ptr<const graph::MemoryGraph>>
@@ -395,7 +752,7 @@ StatusOr<std::unique_ptr<graph::MemoryGraph>> TimeStore::MaterializeGraphAt(
 }
 
 uint64_t TimeStore::SizeBytes() const {
-  return log_->SizeBytes() + time_index_->SizeBytes() +
+  return segments_->SizeBytes() + time_index_->SizeBytes() +
          snapshot_index_->SizeBytes() +
          snapshot_bytes_.load(std::memory_order_relaxed);
 }

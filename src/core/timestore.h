@@ -1,9 +1,11 @@
 // TimeStore (Sec 4.3): snapshot-based temporal storage indexing graph
 // updates by time. Components:
-//  * a single append-only log of all graph changes, ordered by monotonically
-//    increasing transaction timestamps (a WAL with no retention policy);
-//  * a B+Tree indexing log entries by (timestamp, sequence) -> log offset,
-//    giving O(log n) time-based lookups and range scans (Table 2 row 1);
+//  * an append-only log of all graph changes, ordered by monotonically
+//    increasing transaction timestamps, split across rolling segment files
+//    (storage::SegmentedLog) so retention can drop whole cold segments;
+//  * a B+Tree indexing log entries by (timestamp, sequence) ->
+//    (segment, offset), giving O(log n) time-based lookups and range scans
+//    (Table 2 row 1);
 //  * eagerly created snapshots on disk under a user-defined policy
 //    (operation-based by default), indexed by a second B+Tree
 //    timestamp -> snapshot file (Table 2 row 2);
@@ -12,19 +14,33 @@
 // Retrieval at time t: fetch the closest snapshot at or before t (GraphStore
 // first, then disk) and replay the forward changes from the log (Copy+Log).
 //
+// Retention (this file's lifecycle half): CompactUpTo(floor) materializes a
+// snapshot at exactly `floor`, then atomically drops every sealed segment
+// whose records all lie strictly below `floor` — the snapshot subsumes
+// them. Each sealed segment carries fence keys (min/max record timestamp)
+// and a bloom filter over the entity keys it touches, so temporal scans
+// skip segments that provably hold nothing of interest. GcSnapshots applies
+// a keep-vs-reconstruct cost model (Khurana-style): a snapshot whose
+// reconstruction from its predecessor needs only a few log records is
+// cheaper to rebuild on demand than to keep on disk.
+//
 // Concurrency: single-writer / multi-reader behind a std::shared_mutex.
 // Append / WriteSnapshot / Flush take the latch exclusively; scans and
 // snapshot-index lookups take it shared, so concurrent GetGraphAt / GetDiff
 // calls proceed in parallel (the B+Trees' page caches latch internally).
-// Scans only hold the shared latch while walking the time index; the log
-// records themselves are immutable once indexed and are read — and decoded,
-// in parallel across Options::replay_pool for large ranges — with no latch
-// held at all, so a long replay never delays the ingest path.
+// Scans resolve their segment handles while still holding the shared latch,
+// which pins the underlying files: compaction may drop and unlink a segment
+// concurrently, but an in-flight scan keeps reading its pinned handle (the
+// fd outlives the unlink). The records themselves are immutable once
+// indexed and are read — and decoded, in parallel across
+// Options::replay_pool for large ranges — with no latch held at all, so a
+// long replay never delays the ingest path.
 #ifndef AION_CORE_TIMESTORE_H_
 #define AION_CORE_TIMESTORE_H_
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -37,7 +53,7 @@
 #include "graph/update.h"
 #include "obs/metrics.h"
 #include "storage/bptree.h"
-#include "storage/log_file.h"
+#include "storage/segmented_log.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -57,12 +73,42 @@ struct SnapshotPolicy {
   uint64_t every = 100000;
 };
 
+/// Entity keys for the per-segment bloom filters. Node and relationship id
+/// spaces overlap, so tag the low bit to keep them distinct.
+inline uint64_t NodeBloomKey(uint64_t id) { return id << 1; }
+inline uint64_t RelBloomKey(uint64_t id) { return (id << 1) | 1; }
+
+/// Appends the bloom keys of every entity `updates` touches: the update's
+/// own node/relationship id, plus endpoint node ids for relationship adds.
+void CollectBloomKeys(const std::vector<GraphUpdate>& updates,
+                      std::vector<uint64_t>* keys);
+
 class TimeStore {
  public:
+  /// Test-only crash injection for the compaction path: return early at a
+  /// chosen point, simulating a crash between the two halves of the atomic
+  /// swap. Recovery at the next Open must converge to the same state.
+  enum class CompactionCrashPoint {
+    kNone,
+    /// After the floor snapshot is written and indexed, before the manifest
+    /// swap: nothing was dropped, the floor did not advance.
+    kAfterSnapshotWrite,
+    /// After the manifest swap, before the (ts, seq) index deletions and
+    /// file unlinks: the index holds dangling entries and orphan segment
+    /// files remain on disk until reopen cleans them.
+    kAfterManifestSwap,
+  };
+
   struct Options {
     std::string dir;
     SnapshotPolicy policy;
     size_t index_cache_pages = 512;
+    /// Seal a log segment once it reaches this many bytes; sealed segments
+    /// are the unit of retention-driven compaction.
+    uint64_t target_segment_bytes = 8ull << 20;
+    /// Per-segment bloom filter size; 0 = auto (~10 bits per distinct key).
+    uint64_t bloom_bits = 0;
+    CompactionCrashPoint crash_point = CompactionCrashPoint::kNone;
     /// Optional registry for the "timestore.*" instruments (and the page
     /// caches of the two indexes). Must outlive the TimeStore.
     obs::MetricsRegistry* metrics = nullptr;
@@ -104,6 +150,62 @@ class TimeStore {
   Status WriteSnapshot(Timestamp ts, const graph::MemoryGraph& graph);
 
   // -------------------------------------------------------------------
+  // Retention / compaction lifecycle
+  // -------------------------------------------------------------------
+
+  struct CompactionResult {
+    uint64_t segments_dropped = 0;
+    uint64_t records_dropped = 0;
+    uint64_t bytes_reclaimed = 0;
+    uint64_t snapshots_dropped = 0;
+    /// The physical compaction floor after the call.
+    Timestamp floor_ts = 0;
+  };
+
+  /// Merges every cold sealed segment (all records strictly below `floor`)
+  /// into a materialized snapshot at exactly `floor`, then atomically drops
+  /// the segments and their (ts, seq) index entries. The swap is crash-safe:
+  /// the snapshot is durable before the manifest commit, and a crash at any
+  /// point leaves either the old segment set or the new one, never a mix
+  /// (reopen reaps dangling index entries and orphan files). In-flight
+  /// scans keep their pinned segment handles. No-op when `floor` is 0 or
+  /// does not advance the current physical floor.
+  Status CompactUpTo(Timestamp floor, CompactionResult* result);
+
+  /// Garbage-collects snapshots the keep-vs-reconstruct cost model marks as
+  /// cheaper to rebuild: a snapshot is dropped when replaying forward from
+  /// its predecessor costs at most `keep_replay_records` log records.
+  /// Snapshots below the compaction floor are always dropped (they can no
+  /// longer serve as replay bases), while the snapshot at exactly the floor
+  /// and the newest snapshot are always kept. No-op when
+  /// `keep_replay_records` is 0 and the floor is 0.
+  Status GcSnapshots(uint64_t keep_replay_records, CompactionResult* result);
+
+  /// Seals the active segment if every record in it is strictly below
+  /// `floor`, making a cold tail eligible for the next compaction round.
+  Status SealColdActive(Timestamp floor);
+
+  /// Physical compaction floor: all records with ts < floor are gone.
+  Timestamp compaction_floor() const { return segments_->floor_ts(); }
+
+  uint64_t NumSegments() const { return segments_->NumSegments(); }
+  uint64_t NumSnapshots() const;
+
+  /// Lifetime compaction totals (for RetentionStats).
+  uint64_t total_segments_dropped() const {
+    return total_segments_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_records_dropped() const {
+    return total_records_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes_reclaimed() const {
+    return total_bytes_reclaimed_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_snapshots_dropped() const {
+    return total_snapshots_dropped_.load(std::memory_order_relaxed);
+  }
+
+  // -------------------------------------------------------------------
   // Retrieval
   // -------------------------------------------------------------------
 
@@ -120,6 +222,21 @@ class TimeStore {
   /// API users want GetDiff.
   StatusOr<std::vector<GraphUpdate>> ReplayRange(Timestamp base_ts,
                                                  Timestamp t) const;
+
+  /// A replay that survives compaction: the base graph at `base_ts` (the
+  /// floor snapshot when records below the floor were dropped, otherwise
+  /// the empty graph at 0) plus the updates in (base_ts, t]. Single-entity
+  /// folds pass their bloom keys as `entity_filter` so whole segments can
+  /// be skipped; the updates may then include records for other entities
+  /// (segment granularity), which the caller's fold ignores.
+  struct SeededUpdates {
+    Timestamp base_ts = 0;
+    /// nullptr = empty graph at ts 0 (nothing compacted yet).
+    std::shared_ptr<const graph::MemoryGraph> base;
+    std::vector<GraphUpdate> updates;
+  };
+  StatusOr<SeededUpdates> SeededReplay(
+      Timestamp t, const std::vector<uint64_t>* entity_filter);
 
   /// The graph as of time t (Copy+Log): closest snapshot + forward replay.
   /// Returns a CoW view when replay was needed, or the cached snapshot
@@ -146,9 +263,9 @@ class TimeStore {
     return num_updates_.load(std::memory_order_relaxed);
   }
 
-  /// On-disk footprint: log + indexes + snapshot files.
+  /// On-disk footprint: log segments + indexes + snapshot files.
   uint64_t SizeBytes() const;
-  uint64_t LogBytes() const { return log_->SizeBytes(); }
+  uint64_t LogBytes() const { return segments_->SizeBytes(); }
   uint64_t SnapshotBytes() const {
     return snapshot_bytes_.load(std::memory_order_relaxed);
   }
@@ -158,32 +275,48 @@ class TimeStore {
  private:
   TimeStore() = default;
 
+  /// Drops index entries and snapshot files left dangling by a crash
+  /// mid-compaction, then recovers last_ts_/seq_ from the index tail.
+  Status RecoverIndexes();
+
   /// Finds the best base snapshot at or before t. Prefers the GraphStore;
   /// falls back to disk. Returns nullptr when none exists (base = empty
-  /// graph at ts 0).
+  /// graph at ts 0). Never returns a base below the compaction floor: the
+  /// floor snapshot always exists once anything was compacted, and the
+  /// in-memory cache only wins when at least as fresh as the disk pick.
   StatusOr<std::shared_ptr<const graph::MemoryGraph>> FindBase(
       Timestamp t, Timestamp* base_ts);
+
+  /// Loads (and caches in the GraphStore) the snapshot at exactly `ts`.
+  StatusOr<std::shared_ptr<const graph::MemoryGraph>> LoadSnapshotAt(
+      Timestamp ts);
 
   StatusOr<std::shared_ptr<const graph::MemoryGraph>> LoadSnapshotFile(
       const std::string& path) const;
 
   /// Log scan over the inclusive timestamp range [first_ts, last_ts]:
-  /// offsets are collected from the time index under the shared latch, then
-  /// the records are read and decoded latch-free — partitioned across
-  /// Options::replay_pool when the range is large, with the partitions
-  /// concatenated in index order (a deterministic merge: the result is
-  /// byte-identical to the sequential scan).
-  StatusOr<std::vector<GraphUpdate>> ScanUpdates(Timestamp first_ts,
-                                                 Timestamp last_ts) const;
+  /// record locations are collected from the time index — and their
+  /// segment handles pinned, with fence/bloom pruning against
+  /// `entity_filter` — under the shared latch, then the records are read
+  /// and decoded latch-free — partitioned across Options::replay_pool when
+  /// the range is large, with the partitions concatenated in index order
+  /// (a deterministic merge: the result is byte-identical to the
+  /// sequential scan).
+  StatusOr<std::vector<GraphUpdate>> ScanUpdates(
+      Timestamp first_ts, Timestamp last_ts,
+      const std::vector<uint64_t>* entity_filter = nullptr) const;
 
   Options options_;
   GraphStore* graph_store_ = nullptr;
-  std::unique_ptr<storage::LogFile> log_;
-  std::unique_ptr<storage::BpTree> time_index_;      // (ts, seq) -> offset
+  std::unique_ptr<storage::SegmentedLog> segments_;
+  std::unique_ptr<storage::BpTree> time_index_;  // (ts, seq) -> (seg, off)
   std::unique_ptr<storage::BpTree> snapshot_index_;  // ts -> file path
   // Single-writer/multi-reader latch: exclusive for appends and index
   // structure changes, shared for index scans.
   mutable std::shared_mutex mu_;
+  // Serializes compaction rounds against each other (they interleave
+  // shared- and exclusive-latch phases, so mu_ alone is not enough).
+  std::mutex compact_mu_;
   std::atomic<Timestamp> last_ts_{0};
   Timestamp last_snapshot_ts_ = 0;  // writer-only (exclusive latch)
   uint64_t seq_ = 0;                // writer-only (exclusive latch)
@@ -191,6 +324,11 @@ class TimeStore {
   std::atomic<uint64_t> ops_since_snapshot_{0};
   std::atomic<uint64_t> snapshot_bytes_{0};
   uint64_t snapshot_counter_ = 0;  // writer-only (exclusive latch)
+  // Lifetime compaction totals.
+  std::atomic<uint64_t> total_segments_dropped_{0};
+  std::atomic<uint64_t> total_records_dropped_{0};
+  std::atomic<uint64_t> total_bytes_reclaimed_{0};
+  std::atomic<uint64_t> total_snapshots_dropped_{0};
   // Parallel-replay accounting (mutable: scans are const).
   mutable std::atomic<uint64_t> records_scanned_{0};
   mutable std::atomic<uint64_t> records_scanned_parallel_{0};
@@ -201,6 +339,7 @@ class TimeStore {
   obs::Counter* metric_snapshots_due_ = nullptr;
   obs::Counter* metric_replayed_updates_ = nullptr;
   obs::Counter* metric_parallel_scans_ = nullptr;
+  obs::Counter* metric_segments_skipped_ = nullptr;
   obs::Gauge* gauge_parallel_permille_ = nullptr;
   obs::Histogram* metric_snapshot_build_ = nullptr;
   obs::Histogram* metric_replay_ = nullptr;

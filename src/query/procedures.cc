@@ -491,6 +491,42 @@ StatusOr<QueryResult> DbmsFlight(QueryEngine& engine,
   return result;
 }
 
+StatusOr<QueryResult> DbmsCompaction(QueryEngine& engine,
+                                     const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.compaction"));
+  const core::AionStore::RetentionInfo info = engine.aion()->RetentionStats();
+  QueryResult result;
+  result.columns = {"stat", "value"};
+  auto add = [&result](const char* stat, uint64_t value) {
+    result.rows.push_back(
+        {Value(std::string(stat)), Value(static_cast<int64_t>(value))});
+  };
+  add("retention_window", info.retention_window);
+  add("logical_floor", info.logical_floor);
+  add("physical_floor", info.physical_floor);
+  add("compaction_rounds", info.compaction_rounds);
+  add("segments_live", info.segments_live);
+  add("segments_dropped", info.segments_dropped);
+  add("records_dropped", info.records_dropped);
+  add("bytes_reclaimed", info.bytes_reclaimed);
+  add("snapshots_live", info.snapshots_live);
+  add("snapshots_dropped", info.snapshots_dropped);
+  add("chains_rewritten", info.chains_rewritten);
+  add("log_bytes", info.log_bytes);
+  add("snapshot_bytes", info.snapshot_bytes);
+  return result;
+}
+
+StatusOr<QueryResult> DbmsCompactionRun(QueryEngine& engine,
+                                        const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireAion(engine));
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.compaction.run"));
+  AION_RETURN_IF_ERROR(engine.aion()->CompactNow());
+  // Report the post-round accounting so the caller sees what the round did.
+  return DbmsCompaction(engine, args);
+}
+
 StatusOr<QueryResult> DbmsMetricsReset(QueryEngine& engine,
                                        const std::vector<Literal>& args) {
   AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.metrics.reset"));
@@ -522,6 +558,8 @@ void RegisterBuiltinAionProcedures(QueryEngine* engine) {
   engine->RegisterProcedure("dbms.metrics", DbmsMetrics);
   engine->RegisterProcedure("dbms.metrics.reset", DbmsMetricsReset);
   engine->RegisterProcedure("dbms.health", DbmsHealth);
+  engine->RegisterProcedure("dbms.compaction", DbmsCompaction);
+  engine->RegisterProcedure("dbms.compaction.run", DbmsCompactionRun);
   engine->RegisterProcedure("dbms.flight", DbmsFlight);
   engine->RegisterProcedure("dbms.traces", DbmsTraces);
   engine->RegisterProcedure("dbms.trace.export", DbmsTraceExport);

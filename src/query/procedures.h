@@ -23,6 +23,8 @@
 //   dbms.slowlog()        -> unix_millis, nanos, store, query, summary
 //   dbms.health()         -> check, value, threshold, ok ("overall" first)
 //   dbms.flight()         -> flight (flight-recorder ring JSON, one row)
+//   dbms.compaction()     -> stat, value (storage-lifecycle ledger)
+//   dbms.compaction.run() -> stat, value (one synchronous round, then ledger)
 #ifndef AION_QUERY_PROCEDURES_H_
 #define AION_QUERY_PROCEDURES_H_
 

@@ -106,6 +106,16 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
 Status RemoveDirRecursively(const std::string& path) {
   std::error_code ec;
   std::filesystem::remove_all(path, ec);
@@ -116,6 +126,17 @@ Status RemoveDirRecursively(const std::string& path) {
 bool FileExists(const std::string& path) {
   std::error_code ec;
   return std::filesystem::exists(path, ec);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(path, ec);
+  if (ec) return Status::IOError("list " + path + ": " + ec.message());
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
 }
 
 StatusOr<uint64_t> FileSize(const std::string& path) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -62,9 +63,14 @@ class RandomAccessFile {
 /// Filesystem helpers.
 Status CreateDirIfMissing(const std::string& path);
 Status RemoveFileIfExists(const std::string& path);
+/// Atomically replaces `to` with `from` (POSIX rename semantics).
+Status RenameFile(const std::string& from, const std::string& to);
 Status RemoveDirRecursively(const std::string& path);
 bool FileExists(const std::string& path);
 StatusOr<uint64_t> FileSize(const std::string& path);
+
+/// Names (not paths) of the entries directly inside directory `path`.
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
 
 /// Creates a fresh unique directory under the system temp dir with the given
 /// prefix; used by tests and benchmarks.

@@ -1,5 +1,6 @@
 #include "storage/log_file.h"
 
+#include <algorithm>
 #include <array>
 
 #include "util/coding.h"
@@ -75,6 +76,23 @@ StatusOr<uint64_t> LogFile::RecoverTail() {
   uint64_t offset = 0;
   std::string payload;
   while (offset < file_->size()) {
+    // A zero-extended tail is torn, not a record: Crc32c of an empty
+    // payload is 0, so 8+ trailing zero bytes would otherwise parse as a
+    // valid empty record. A crash in the middle of a pwrite (e.g. mid
+    // compaction-manifest commit) can leave exactly that — the filesystem
+    // extends the file before the data lands. If everything from here to
+    // EOF is zero, nothing was ever committed here: truncate. A genuine
+    // empty record *followed by data* never hits this path.
+    if (file_->size() - offset >= 8) {
+      char header[8];
+      AION_RETURN_IF_ERROR(file_->Read(offset, 8, header));
+      bool header_zero = true;
+      for (char c : header) header_zero = header_zero && c == 0;
+      if (header_zero) {
+        AION_ASSIGN_OR_RETURN(bool tail_zero, IsZeroToEof(offset + 8));
+        if (tail_zero) break;  // truncate the zero run below
+      }
+    }
     StatusOr<uint64_t> next = ReadNext(offset, &payload);
     if (next.ok()) {
       offset = *next;
@@ -99,6 +117,20 @@ StatusOr<uint64_t> LogFile::RecoverTail() {
     AION_RETURN_IF_ERROR(file_->Truncate(offset));
   }
   return offset;
+}
+
+StatusOr<bool> LogFile::IsZeroToEof(uint64_t offset) const {
+  char buf[4096];
+  while (offset < file_->size()) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(sizeof(buf), file_->size() - offset));
+    AION_RETURN_IF_ERROR(file_->Read(offset, n, buf));
+    for (size_t i = 0; i < n; ++i) {
+      if (buf[i] != 0) return false;
+    }
+    offset += n;
+  }
+  return true;
 }
 
 Status LogFile::Read(uint64_t offset, std::string* payload) const {

@@ -42,9 +42,12 @@ class LogFile {
 
   /// Scans from offset 0 and drops a torn suffix: an *incomplete* final
   /// record (a partially persisted tail after a crash mid-append) is
-  /// truncated away. A complete record with a checksum mismatch is mid-log
-  /// corruption and fails with Corruption instead — truncating there would
-  /// silently drop committed records. Returns the recovered end offset.
+  /// truncated away, as is an all-zero tail (a crash mid-pwrite can leave a
+  /// zero-extended file whose 8 zero header bytes would otherwise parse as
+  /// a valid empty record, since Crc32c of "" is 0). A complete record with
+  /// a checksum mismatch is mid-log corruption and fails with Corruption
+  /// instead — truncating there would silently drop committed records.
+  /// Returns the recovered end offset.
   StatusOr<uint64_t> RecoverTail();
 
   /// Reads the record at `offset` into `*payload`. Verifies the checksum.
@@ -79,6 +82,9 @@ class LogFile {
  private:
   explicit LogFile(std::unique_ptr<RandomAccessFile> file)
       : file_(std::move(file)) {}
+
+  /// True when every byte from `offset` to EOF is zero (torn-tail probe).
+  StatusOr<bool> IsZeroToEof(uint64_t offset) const;
 
   std::unique_ptr<RandomAccessFile> file_;
 };

@@ -1,0 +1,127 @@
+#include "storage/manifest.h"
+
+#include <algorithm>
+
+#include "storage/file.h"
+#include "util/coding.h"
+
+namespace aion::storage {
+
+namespace {
+
+// Rewrite the manifest down to one record once it exceeds this many times
+// the size of a single encoded state (with a floor so tiny states don't
+// trigger a rewrite every few commits).
+constexpr uint64_t kRewriteFactor = 8;
+constexpr uint64_t kRewriteMinBytes = 4096;
+
+std::string TempPath(const std::string& path) { return path + ".tmp"; }
+
+}  // namespace
+
+void Manifest::Encode(const ManifestState& state, std::string* dst) {
+  util::PutFixed64(dst, state.floor_ts);
+  util::PutFixed64(dst, state.next_segment_id);
+  util::PutFixed64(dst, state.active_segment_id);
+  util::PutFixed32(dst, static_cast<uint32_t>(state.sealed.size()));
+  for (const SegmentMeta& seg : state.sealed) {
+    util::PutFixed64(dst, seg.id);
+    util::PutFixed64(dst, seg.min_ts);
+    util::PutFixed64(dst, seg.max_ts);
+    util::PutFixed64(dst, seg.records);
+    util::PutFixed64(dst, seg.bytes);
+    util::PutLengthPrefixedSlice(dst, util::Slice(seg.bloom));
+  }
+}
+
+StatusOr<ManifestState> Manifest::Decode(util::Slice input) {
+  ManifestState state;
+  if (input.size() < 28) {
+    return Status::Corruption("manifest record too short");
+  }
+  state.floor_ts = util::DecodeFixed64(input.data());
+  state.next_segment_id = util::DecodeFixed64(input.data() + 8);
+  state.active_segment_id = util::DecodeFixed64(input.data() + 16);
+  const uint32_t count = util::DecodeFixed32(input.data() + 24);
+  input.RemovePrefix(28);
+  state.sealed.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (input.size() < 40) {
+      return Status::Corruption("manifest segment entry truncated");
+    }
+    SegmentMeta seg;
+    seg.id = util::DecodeFixed64(input.data());
+    seg.min_ts = util::DecodeFixed64(input.data() + 8);
+    seg.max_ts = util::DecodeFixed64(input.data() + 16);
+    seg.records = util::DecodeFixed64(input.data() + 24);
+    seg.bytes = util::DecodeFixed64(input.data() + 32);
+    input.RemovePrefix(40);
+    util::Slice bloom;
+    if (!util::GetLengthPrefixedSlice(&input, &bloom)) {
+      return Status::Corruption("manifest bloom filter truncated");
+    }
+    seg.bloom.assign(bloom.data(), bloom.size());
+    state.sealed.push_back(std::move(seg));
+  }
+  if (!input.empty()) {
+    return Status::Corruption("trailing bytes in manifest record");
+  }
+  return state;
+}
+
+StatusOr<std::unique_ptr<Manifest>> Manifest::Open(const std::string& path) {
+  // A leftover side file from a rewrite that crashed before its rename is
+  // dead weight — the manifest at `path` is still the current version.
+  AION_RETURN_IF_ERROR(RemoveFileIfExists(TempPath(path)));
+  AION_ASSIGN_OR_RETURN(auto log, LogFile::Open(path));
+  AION_ASSIGN_OR_RETURN(uint64_t end, log->RecoverTail());
+  auto manifest =
+      std::unique_ptr<Manifest>(new Manifest(path, std::move(log)));
+  // Replay every intact version; the last one wins. A record that fails to
+  // decode is corruption (its checksum passed, so it was fully committed).
+  Status decode_status = Status::OK();
+  AION_RETURN_IF_ERROR(manifest->log_->Scan(
+      0, end, [&](uint64_t /*offset*/, util::Slice payload) {
+        StatusOr<ManifestState> state = Decode(payload);
+        if (!state.ok()) {
+          decode_status = state.status();
+          return false;
+        }
+        manifest->state_ = *std::move(state);
+        return true;
+      }));
+  AION_RETURN_IF_ERROR(decode_status);
+  return manifest;
+}
+
+Status Manifest::Commit(const ManifestState& state) {
+  std::string encoded;
+  Encode(state, &encoded);
+  AION_RETURN_IF_ERROR(log_->Append(util::Slice(encoded)).status());
+  AION_RETURN_IF_ERROR(log_->Sync());
+  state_ = state;
+  const uint64_t threshold =
+      std::max(kRewriteMinBytes, kRewriteFactor * encoded.size());
+  if (log_->SizeBytes() > threshold) {
+    // The commit above is already durable; a failed rewrite only means the
+    // manifest stays fat. But a rename that succeeded while the reopen
+    // failed must be surfaced: log_ would still write to the unlinked old
+    // inode, silently dropping every later commit.
+    AION_RETURN_IF_ERROR(RewriteTo(encoded));
+  }
+  return Status::OK();
+}
+
+Status Manifest::RewriteTo(const std::string& encoded) {
+  const std::string tmp = TempPath(path_);
+  AION_RETURN_IF_ERROR(RemoveFileIfExists(tmp));
+  AION_ASSIGN_OR_RETURN(auto side, LogFile::Open(tmp));
+  AION_RETURN_IF_ERROR(side->Append(util::Slice(encoded)).status());
+  AION_RETURN_IF_ERROR(side->Sync());
+  side.reset();  // close before renaming over the live manifest
+  AION_RETURN_IF_ERROR(RenameFile(tmp, path_));
+  AION_ASSIGN_OR_RETURN(log_, LogFile::Open(path_));
+  return Status::OK();
+}
+
+}  // namespace aion::storage

@@ -1,0 +1,93 @@
+// The segmented log's manifest: a tiny append-only log (LogFile framing)
+// whose records each carry a *complete* encoded copy of the segment set —
+// the compaction floor, the active segment, and every sealed segment's
+// fence keys, record/byte counts and serialized bloom filter.
+//
+// Writing a new version is a single Append + Sync; recovery replays the
+// file (after RecoverTail drops a torn suffix) and the last intact record
+// wins. That makes "drop these segments and advance the retention floor"
+// an atomic swap: a crash mid-commit leaves the previous version current,
+// and the dropped segments are still referenced, still on disk, and still
+// serve queries after reopen.
+#ifndef AION_STORAGE_MANIFEST_H_
+#define AION_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/log_file.h"
+#include "util/status.h"
+
+namespace aion::storage {
+
+/// Metadata of one sealed (immutable) log segment.
+struct SegmentMeta {
+  uint64_t id = 0;
+  /// Fence keys: the smallest and largest record timestamp in the segment.
+  uint64_t min_ts = 0;
+  uint64_t max_ts = 0;
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  /// Serialized BloomFilter bit array over the segment's entity keys
+  /// (empty = no filter, never skip).
+  std::string bloom;
+};
+
+/// One complete manifest version. Sealed segments are ordered by id, which
+/// is also time order (appends are monotonic).
+struct ManifestState {
+  /// Records with ts < floor_ts have been compacted away (subsumed by a
+  /// snapshot at floor_ts). 0 = nothing compacted yet.
+  uint64_t floor_ts = 0;
+  uint64_t next_segment_id = 1;
+  uint64_t active_segment_id = 0;  // 0 = none yet
+  std::vector<SegmentMeta> sealed;
+};
+
+class Manifest {
+ public:
+  /// Opens (creating if missing) the manifest at `path`, recovering a torn
+  /// tail and replaying to the last intact version. A fresh manifest starts
+  /// with a default ManifestState (no segments).
+  static StatusOr<std::unique_ptr<Manifest>> Open(const std::string& path);
+
+  Manifest(const Manifest&) = delete;
+  Manifest& operator=(const Manifest&) = delete;
+
+  const ManifestState& state() const { return state_; }
+
+  /// Atomically publishes `state` as the new current version (append +
+  /// fdatasync). On failure the previous version stays current.
+  ///
+  /// The append-only file would otherwise grow by one full-state record per
+  /// commit, so once it bloats well past the size of a single record Commit
+  /// compacts it: the current record is written alone to a side file which
+  /// is fsynced and atomically renamed over the manifest. A crash anywhere
+  /// in that sequence leaves either the old multi-record file or the new
+  /// single-record file — both decode to the same current version.
+  Status Commit(const ManifestState& state);
+
+  uint64_t SizeBytes() const { return log_->SizeBytes(); }
+
+  /// Wire format helpers (exposed for tests).
+  static void Encode(const ManifestState& state, std::string* dst);
+  static StatusOr<ManifestState> Decode(util::Slice input);
+
+ private:
+  Manifest(std::string path, std::unique_ptr<LogFile> log)
+      : path_(std::move(path)), log_(std::move(log)) {}
+
+  /// Replaces the on-disk manifest with a single record holding `encoded`
+  /// via write-temp + rename, then reopens the log at the new (small) file.
+  Status RewriteTo(const std::string& encoded);
+
+  std::string path_;
+  std::unique_ptr<LogFile> log_;
+  ManifestState state_;
+};
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_MANIFEST_H_

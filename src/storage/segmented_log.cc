@@ -1,0 +1,343 @@
+#include "storage/segmented_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aion::storage {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kSegmentPrefix[] = "seg_";
+constexpr char kSegmentSuffix[] = ".log";
+
+/// Parses "seg_<id>.log" → id; returns 0 (never a valid id) otherwise.
+uint64_t ParseSegmentName(const std::string& name) {
+  const size_t prefix_len = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix_len = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return 0;
+  if (name.compare(0, prefix_len, kSegmentPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSegmentSuffix) !=
+      0) {
+    return 0;
+  }
+  uint64_t id = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    id = id * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string SegmentedLog::SegmentPath(uint64_t id) const {
+  return options_.dir + "/" + kSegmentPrefix + std::to_string(id) +
+         kSegmentSuffix;
+}
+
+StatusOr<std::unique_ptr<SegmentedLog>> SegmentedLog::Open(Options options) {
+  AION_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
+  auto log =
+      std::unique_ptr<SegmentedLog>(new SegmentedLog(std::move(options)));
+  std::lock_guard<std::mutex> lock(log->mu_);
+  AION_ASSIGN_OR_RETURN(
+      log->manifest_,
+      Manifest::Open(log->options_.dir + "/" + kManifestName));
+
+  ManifestState state = log->manifest_->state();
+  if (state.active_segment_id == 0) {
+    // Fresh log: materialize segment 1 before publishing it so the
+    // manifest never references a file that was never created.
+    state.active_segment_id = state.next_segment_id++;
+    AION_RETURN_IF_ERROR(
+        LogFile::Open(log->SegmentPath(state.active_segment_id)).status());
+    AION_RETURN_IF_ERROR(log->manifest_->Commit(state));
+  }
+
+  for (const SegmentMeta& meta : state.sealed) {
+    const std::string path = log->SegmentPath(meta.id);
+    if (!FileExists(path)) {
+      return Status::Corruption("sealed segment missing: " + path);
+    }
+    SealedSeg seg;
+    seg.meta = meta;
+    AION_ASSIGN_OR_RETURN(auto file, LogFile::Open(path));
+    seg.log = std::move(file);
+    seg.bloom = BloomFilter::FromBytes(meta.bloom);
+    log->sealed_.emplace(meta.id, std::move(seg));
+  }
+
+  log->active_id_ = state.active_segment_id;
+  AION_RETURN_IF_ERROR(log->OpenActiveLocked());
+  AION_RETURN_IF_ERROR(log->RemoveOrphansLocked());
+  return log;
+}
+
+Status SegmentedLog::OpenActiveLocked() {
+  AION_ASSIGN_OR_RETURN(auto file, LogFile::Open(SegmentPath(active_id_)));
+  active_ = std::move(file);
+  AION_ASSIGN_OR_RETURN(uint64_t end, active_->RecoverTail());
+  active_min_ts_ = ~0ull;
+  active_max_ts_ = 0;
+  active_records_ = 0;
+  active_opaque_ = false;
+  active_keys_.clear();
+  if (end == 0) return Status::OK();
+  // Rebuild the fence/bloom accumulators from the surviving records.
+  // Without a probe fn the segment's contents are opaque: count records
+  // but leave the fences wide open so it is never pruned.
+  Status probe_status = Status::OK();
+  AION_RETURN_IF_ERROR(active_->Scan(
+      0, end, [&](uint64_t /*offset*/, util::Slice payload) {
+        ++active_records_;
+        if (!options_.probe) {
+          active_opaque_ = true;
+          return true;
+        }
+        uint64_t ts = 0;
+        std::vector<uint64_t> keys;
+        probe_status = options_.probe(payload, &ts, &keys);
+        if (!probe_status.ok()) return false;
+        active_min_ts_ = std::min(active_min_ts_, ts);
+        active_max_ts_ = std::max(active_max_ts_, ts);
+        for (uint64_t k : keys) active_keys_.insert(k);
+        return true;
+      }));
+  return probe_status;
+}
+
+Status SegmentedLog::RemoveOrphansLocked() {
+  // A crash between DropSegments' manifest commit and its unlinks (or
+  // between creating a new segment file and committing the roll) leaves
+  // segment files the manifest no longer (or does not yet) reference.
+  AION_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ListDir(options_.dir));
+  for (const std::string& name : names) {
+    const uint64_t id = ParseSegmentName(name);
+    if (id == 0) continue;
+    if (id == active_id_ || sealed_.count(id) > 0) continue;
+    AION_RETURN_IF_ERROR(RemoveFileIfExists(options_.dir + "/" + name));
+  }
+  return Status::OK();
+}
+
+Status SegmentedLog::RollLocked() {
+  if (active_records_ == 0) return Status::OK();
+  // Sealed data must be durable before the manifest calls it sealed.
+  AION_RETURN_IF_ERROR(active_->Sync());
+
+  SegmentMeta meta;
+  meta.id = active_id_;
+  meta.min_ts = active_opaque_ ? 0 : active_min_ts_;
+  meta.max_ts = active_opaque_ ? ~0ull : active_max_ts_;
+  meta.records = active_records_;
+  meta.bytes = active_->SizeBytes();
+  BloomFilter bloom{64};
+  if (!active_opaque_ && !active_keys_.empty()) {
+    const uint64_t bits = options_.bloom_bits != 0
+                              ? options_.bloom_bits
+                              : active_keys_.size() * 10;
+    bloom = BloomFilter(bits);
+    for (uint64_t k : active_keys_) bloom.Add(k);
+    meta.bloom = bloom.bytes();
+  }
+
+  ManifestState state = manifest_->state();
+  state.sealed.push_back(meta);
+  const uint64_t new_id = state.next_segment_id++;
+  state.active_segment_id = new_id;
+
+  // Create the new segment file first, then publish: a crash in between
+  // leaves an orphan file (cleaned at reopen), never a missing one.
+  AION_ASSIGN_OR_RETURN(auto new_file, LogFile::Open(SegmentPath(new_id)));
+  AION_RETURN_IF_ERROR(manifest_->Commit(state));
+
+  SealedSeg seg;
+  seg.meta = meta;
+  seg.log = active_;
+  seg.bloom = BloomFilter::FromBytes(meta.bloom);
+  sealed_.emplace(meta.id, std::move(seg));
+
+  active_ = std::move(new_file);
+  active_id_ = new_id;
+  active_min_ts_ = ~0ull;
+  active_max_ts_ = 0;
+  active_records_ = 0;
+  active_opaque_ = false;
+  active_keys_.clear();
+  return Status::OK();
+}
+
+StatusOr<RecordLoc> SegmentedLog::Append(util::Slice payload,
+                                         const RecordInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AION_ASSIGN_OR_RETURN(uint64_t offset, active_->Append(payload));
+  RecordLoc loc{active_id_, offset};
+  active_min_ts_ = std::min(active_min_ts_, info.ts);
+  active_max_ts_ = std::max(active_max_ts_, info.ts);
+  ++active_records_;
+  for (uint64_t k : info.keys) active_keys_.insert(k);
+  if (active_->SizeBytes() >= options_.target_segment_bytes) {
+    AION_RETURN_IF_ERROR(RollLocked());
+  }
+  return loc;
+}
+
+Status SegmentedLog::AppendBatch(const std::vector<std::string>& payloads,
+                                 const std::vector<RecordInfo>& info,
+                                 std::vector<RecordLoc>* locs) {
+  if (payloads.size() != info.size()) {
+    return Status::InvalidArgument("payloads/info size mismatch");
+  }
+  if (locs != nullptr) locs->clear();
+  if (payloads.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> offsets;
+  AION_RETURN_IF_ERROR(active_->AppendBatch(payloads, &offsets).status());
+  if (locs != nullptr) {
+    locs->reserve(offsets.size());
+    for (uint64_t off : offsets) locs->push_back(RecordLoc{active_id_, off});
+  }
+  for (const RecordInfo& r : info) {
+    active_min_ts_ = std::min(active_min_ts_, r.ts);
+    active_max_ts_ = std::max(active_max_ts_, r.ts);
+    ++active_records_;
+    for (uint64_t k : r.keys) active_keys_.insert(k);
+  }
+  if (active_->SizeBytes() >= options_.target_segment_bytes) {
+    AION_RETURN_IF_ERROR(RollLocked());
+  }
+  return Status::OK();
+}
+
+Status SegmentedLog::Read(const RecordLoc& loc, std::string* payload) const {
+  AION_ASSIGN_OR_RETURN(std::shared_ptr<LogFile> log, Handle(loc.segment_id));
+  return log->Read(loc.offset, payload);
+}
+
+StatusOr<std::shared_ptr<LogFile>> SegmentedLog::Handle(
+    uint64_t segment_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (segment_id == active_id_) return active_;
+  auto it = sealed_.find(segment_id);
+  if (it == sealed_.end()) {
+    return Status::NotFound("segment " + std::to_string(segment_id) +
+                            " is not live");
+  }
+  return it->second.log;
+}
+
+bool SegmentedLog::MightContain(uint64_t segment_id, uint64_t first_ts,
+                                uint64_t last_ts,
+                                const std::vector<uint64_t>* keys) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (segment_id == active_id_) {
+    if (active_records_ == 0) return false;
+    if (active_opaque_) return true;
+    if (active_max_ts_ < first_ts || active_min_ts_ > last_ts) return false;
+    if (keys == nullptr || keys->empty()) return true;
+    for (uint64_t k : *keys) {
+      if (active_keys_.count(k) > 0) return true;
+    }
+    return false;
+  }
+  auto it = sealed_.find(segment_id);
+  if (it == sealed_.end()) return false;
+  const SealedSeg& seg = it->second;
+  if (seg.meta.max_ts < first_ts || seg.meta.min_ts > last_ts) return false;
+  if (keys == nullptr || keys->empty()) return true;
+  if (seg.meta.bloom.empty()) return true;  // no filter: cannot rule out
+  for (uint64_t k : *keys) {
+    if (seg.bloom.MightContain(k)) return true;
+  }
+  return false;
+}
+
+Status SegmentedLog::SealActive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RollLocked();
+}
+
+Status SegmentedLog::SealActiveIfColderThan(uint64_t floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_records_ == 0 || active_opaque_) return Status::OK();
+  if (active_max_ts_ >= floor) return Status::OK();
+  return RollLocked();
+}
+
+bool SegmentedLog::HasSegment(uint64_t segment_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_id == active_id_ || sealed_.count(segment_id) > 0;
+}
+
+std::vector<uint64_t> SegmentedLog::SealedBefore(uint64_t floor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  for (const auto& [id, seg] : sealed_) {
+    if (seg.meta.records > 0 && seg.meta.max_ts < floor) ids.push_back(id);
+  }
+  return ids;
+}
+
+Status SegmentedLog::DropSegments(const std::vector<uint64_t>& ids,
+                                  uint64_t new_floor, bool unlink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ManifestState state = manifest_->state();
+  state.floor_ts = std::max(state.floor_ts, new_floor);
+  state.sealed.erase(
+      std::remove_if(state.sealed.begin(), state.sealed.end(),
+                     [&](const SegmentMeta& m) {
+                       return std::find(ids.begin(), ids.end(), m.id) !=
+                              ids.end();
+                     }),
+      state.sealed.end());
+  AION_RETURN_IF_ERROR(manifest_->Commit(state));
+  // The drop is durable; unlinking is best-effort cleanup (a crash here
+  // leaves orphans that RemoveOrphansLocked reaps at reopen). Readers
+  // holding a Handle keep a valid fd past the unlink.
+  for (uint64_t id : ids) {
+    sealed_.erase(id);
+    if (unlink) {
+      AION_RETURN_IF_ERROR(RemoveFileIfExists(SegmentPath(id)));
+    }
+  }
+  return Status::OK();
+}
+
+Status SegmentedLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_->Sync();
+}
+
+uint64_t SegmentedLog::floor_ts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_->state().floor_ts;
+}
+
+uint64_t SegmentedLog::active_segment_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_id_;
+}
+
+uint64_t SegmentedLog::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = manifest_->SizeBytes() + active_->SizeBytes();
+  for (const auto& [id, seg] : sealed_) total += seg.meta.bytes;
+  return total;
+}
+
+uint64_t SegmentedLog::NumSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_.size() + 1;
+}
+
+std::vector<SegmentMeta> SegmentedLog::SealedSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentMeta> metas;
+  metas.reserve(sealed_.size());
+  for (const auto& [id, seg] : sealed_) metas.push_back(seg.meta);
+  return metas;
+}
+
+}  // namespace aion::storage

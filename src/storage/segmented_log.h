@@ -1,0 +1,168 @@
+// A log of CRC-framed records split across rolling segment files
+// (`seg_<id>.log`), with a crash-safe Manifest tracking the live segment
+// set. This is the storage half of the retention/compaction lifecycle:
+//
+//  - Appends go to the single *active* segment; when it crosses
+//    `target_segment_bytes` it is sealed (fence keys + bloom filter
+//    recorded in the manifest) and a fresh segment becomes active.
+//  - Sealed segments are immutable. Temporal scans can skip a sealed
+//    segment entirely when its [min_ts, max_ts] fences miss the scan
+//    range or its bloom filter rules out every entity of interest.
+//  - Compaction drops whole sealed segments with one atomic manifest
+//    commit (`DropSegments`); readers that already hold a segment Handle
+//    keep a valid open fd even after the file is unlinked, so in-flight
+//    scans never observe a segment vanishing.
+#ifndef AION_STORAGE_SEGMENTED_LOG_H_
+#define AION_STORAGE_SEGMENTED_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/log_file.h"
+#include "storage/manifest.h"
+#include "util/bloom.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace aion::storage {
+
+using util::BloomFilter;
+
+/// Stable address of one record: which segment, and the offset within it.
+struct RecordLoc {
+  uint64_t segment_id = 0;
+  uint64_t offset = 0;
+};
+
+/// Per-record metadata the log needs to maintain segment fences and bloom
+/// filters: the record's timestamp and the entity keys it touches.
+struct RecordInfo {
+  uint64_t ts = 0;
+  std::vector<uint64_t> keys;
+};
+
+class SegmentedLog {
+ public:
+  /// Extracts (ts, entity keys) from an encoded payload; used at reopen to
+  /// rebuild the active segment's fences and bloom accumulator.
+  using ProbeFn = std::function<Status(util::Slice payload, uint64_t* ts,
+                                       std::vector<uint64_t>* keys)>;
+
+  struct Options {
+    std::string dir;
+    /// Seal the active segment once it reaches this many bytes.
+    uint64_t target_segment_bytes = 8ull << 20;
+    /// Bloom filter size for sealed segments; 0 = auto-size at ~10 bits
+    /// per distinct key.
+    uint64_t bloom_bits = 0;
+    /// Optional; without it a reopened active segment cannot be pruned
+    /// (fences stay wide open) but remains fully correct.
+    ProbeFn probe;
+  };
+
+  /// Opens (creating if missing) the segmented log in `options.dir`.
+  /// Recovers the manifest, re-opens every live segment, recovers the
+  /// active segment's torn tail, and unlinks orphaned segment files left
+  /// by a crash between a manifest commit and its unlinks.
+  static StatusOr<std::unique_ptr<SegmentedLog>> Open(Options options);
+
+  SegmentedLog(const SegmentedLog&) = delete;
+  SegmentedLog& operator=(const SegmentedLog&) = delete;
+
+  /// Appends one record to the active segment, rolling it afterwards if it
+  /// crossed the target size.
+  StatusOr<RecordLoc> Append(util::Slice payload, const RecordInfo& info);
+
+  /// Appends every payload as its own record with a single write syscall
+  /// (group commit). `info` must parallel `payloads`. When `locs` is
+  /// non-null it receives one location per payload.
+  Status AppendBatch(const std::vector<std::string>& payloads,
+                     const std::vector<RecordInfo>& info,
+                     std::vector<RecordLoc>* locs);
+
+  /// Reads the record at `loc`, verifying its checksum.
+  Status Read(const RecordLoc& loc, std::string* payload) const;
+
+  /// Returns an open handle to segment `segment_id`. The handle stays
+  /// readable even if the segment is dropped and unlinked afterwards.
+  StatusOr<std::shared_ptr<LogFile>> Handle(uint64_t segment_id) const;
+
+  /// False when segment `segment_id` provably holds no record in
+  /// [first_ts, last_ts] touching any of `keys` (fence check, then bloom).
+  /// `keys` may be null/empty to ask about timestamps alone. Unknown
+  /// segments report false (nothing to scan).
+  bool MightContain(uint64_t segment_id, uint64_t first_ts, uint64_t last_ts,
+                    const std::vector<uint64_t>* keys) const;
+
+  /// Seals the active segment now (no-op when it holds no records), so a
+  /// cold tail becomes eligible for compaction.
+  Status SealActive();
+
+  /// Seals the active segment only when every record in it is strictly
+  /// below `floor` (no-op when empty, opaque, or still warm).
+  Status SealActiveIfColderThan(uint64_t floor);
+
+  /// True when `segment_id` is live (sealed or active).
+  bool HasSegment(uint64_t segment_id) const;
+
+  /// Ids of sealed segments whose records all lie strictly below `floor`.
+  std::vector<uint64_t> SealedBefore(uint64_t floor) const;
+
+  /// Atomically removes `ids` from the live set and advances the
+  /// compaction floor to `new_floor` (one manifest commit), then unlinks
+  /// the segment files when `unlink` is true. Open handles keep working.
+  Status DropSegments(const std::vector<uint64_t>& ids, uint64_t new_floor,
+                      bool unlink);
+
+  /// Durably flushes the active segment.
+  Status Sync();
+
+  uint64_t floor_ts() const;
+  uint64_t active_segment_id() const;
+  /// Total bytes across live segment files plus the manifest.
+  uint64_t SizeBytes() const;
+  /// Live segment count (sealed + active).
+  uint64_t NumSegments() const;
+  std::vector<SegmentMeta> SealedSegments() const;
+
+ private:
+  struct SealedSeg {
+    SegmentMeta meta;
+    std::shared_ptr<LogFile> log;
+    BloomFilter bloom{64};
+  };
+
+  explicit SegmentedLog(Options options) : options_(std::move(options)) {}
+
+  std::string SegmentPath(uint64_t id) const;
+  Status OpenActiveLocked();
+  Status RollLocked();
+  Status RemoveOrphansLocked();
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<Manifest> manifest_;
+  std::map<uint64_t, SealedSeg> sealed_;
+
+  // Active segment and its fence/bloom accumulators.
+  std::shared_ptr<LogFile> active_;
+  uint64_t active_id_ = 0;
+  uint64_t active_min_ts_ = ~0ull;
+  uint64_t active_max_ts_ = 0;
+  uint64_t active_records_ = 0;
+  // True when the active segment was reopened without a probe fn, so its
+  // record set is unknown and it must never be pruned.
+  bool active_opaque_ = false;
+  std::unordered_set<uint64_t> active_keys_;
+};
+
+}  // namespace aion::storage
+
+#endif  // AION_STORAGE_SEGMENTED_LOG_H_

@@ -1,0 +1,81 @@
+// A fixed-size bloom filter over 64-bit keys, used as a per-segment entity
+// filter in the segmented update log: temporal scans that look for a single
+// entity's history can skip whole log segments whose filter excludes the
+// entity. Double hashing (Kirsch-Mitzenmacher) derives all probe positions
+// from two mixes of the key, so adds and probes are branch-light.
+//
+// The bit array serializes as raw bytes (see bytes()/FromBytes), which the
+// segment manifest persists alongside each sealed segment's fence keys.
+#ifndef AION_UTIL_BLOOM_H_
+#define AION_UTIL_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace aion::util {
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class BloomFilter {
+ public:
+  /// Probes per key. ~10 bits/key with 6 probes gives a ~1% false-positive
+  /// rate; oversized filters only get better.
+  static constexpr size_t kNumProbes = 6;
+
+  /// An empty filter with at least 64 bits (rounded up to whole bytes).
+  explicit BloomFilter(size_t bits = 64)
+      : data_((bits < 64 ? 64 : bits + 7) / 8, '\0') {}
+
+  /// Rehydrates a filter from serialized bytes() output.
+  static BloomFilter FromBytes(std::string bytes) {
+    BloomFilter filter;
+    if (!bytes.empty()) filter.data_ = std::move(bytes);
+    return filter;
+  }
+
+  void Add(uint64_t key) {
+    uint64_t h = Mix64(key);
+    const uint64_t delta = Mix64(h ^ 0xa5a5a5a5a5a5a5a5ull) | 1;
+    const uint64_t bits = data_.size() * 8;
+    for (size_t i = 0; i < kNumProbes; ++i) {
+      const uint64_t bit = h % bits;
+      data_[bit / 8] |= static_cast<char>(1u << (bit % 8));
+      h += delta;
+    }
+  }
+
+  /// False means definitely absent; true means possibly present.
+  bool MightContain(uint64_t key) const {
+    uint64_t h = Mix64(key);
+    const uint64_t delta = Mix64(h ^ 0xa5a5a5a5a5a5a5a5ull) | 1;
+    const uint64_t bits = data_.size() * 8;
+    for (size_t i = 0; i < kNumProbes; ++i) {
+      const uint64_t bit = h % bits;
+      if ((data_[bit / 8] & static_cast<char>(1u << (bit % 8))) == 0) {
+        return false;
+      }
+      h += delta;
+    }
+    return true;
+  }
+
+  /// The raw bit array; pass to FromBytes to rebuild the filter.
+  const std::string& bytes() const { return data_; }
+
+  size_t size_bits() const { return data_.size() * 8; }
+
+ private:
+  std::string data_;
+};
+
+}  // namespace aion::util
+
+#endif  // AION_UTIL_BLOOM_H_

@@ -30,6 +30,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kBackpressure:
       return "Backpressure";
+    case StatusCode::kOutOfRetention:
+      return "OutOfRetention";
   }
   return "Unknown";
 }

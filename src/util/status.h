@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kAborted = 9,
   kInternal = 10,
   kBackpressure = 11,
+  kOutOfRetention = 12,
 };
 
 /// Result of an operation that can fail. Cheap to copy in the OK case
@@ -75,6 +76,9 @@ class Status {
   static Status Backpressure(std::string msg = "") {
     return Status(StatusCode::kBackpressure, std::move(msg));
   }
+  static Status OutOfRetention(std::string msg = "") {
+    return Status(StatusCode::kOutOfRetention, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -90,6 +94,9 @@ class Status {
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsBackpressure() const { return code_ == StatusCode::kBackpressure; }
+  bool IsOutOfRetention() const {
+    return code_ == StatusCode::kOutOfRetention;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

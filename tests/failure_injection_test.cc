@@ -78,10 +78,10 @@ TEST_F(FailureInjectionTest, TimeStoreLogCorruptionSurfaces) {
     }
     ASSERT_TRUE((*aion)->Flush().ok());
   }
-  // Flip a payload byte in the middle of the update log. Either Open fails
-  // loudly (the startup replay hits the checksum) or the first read does —
-  // never a silently wrong answer.
-  CorruptFile(options.dir + "/timestore/updates.log", 120, 0x3c);
+  // Flip a payload byte in the middle of the first update-log segment.
+  // Either Open fails loudly (the startup replay hits the checksum) or the
+  // first read does — never a silently wrong answer.
+  CorruptFile(options.dir + "/timestore/segments/seg_1.log", 120, 0x3c);
   auto aion = core::AionStore::Open(options);
   if (!aion.ok()) {
     EXPECT_TRUE(aion.status().IsCorruption());

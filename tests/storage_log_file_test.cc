@@ -197,5 +197,126 @@ TEST_F(LogFileTest, TruncatedTailDetected) {
   EXPECT_FALSE((*log)->Read(offset, &payload).ok());
 }
 
+TEST_F(LogFileTest, RecoverTailDropsTornSuffix) {
+  const std::string path = dir_ + "/log";
+  uint64_t keep_end = 0;
+  {
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("committed one").ok());
+    ASSERT_TRUE((*log)->Append("committed two").ok());
+    keep_end = (*log)->end_offset();
+    ASSERT_TRUE((*log)->Append("torn by the crash").ok());
+  }
+  // Crash mid-append: the final record lost its last 4 bytes.
+  {
+    auto file = RandomAccessFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Truncate((*file)->size() - 4).ok());
+  }
+  auto log = LogFile::Open(path);
+  ASSERT_TRUE(log.ok());
+  auto end = (*log)->RecoverTail();
+  ASSERT_TRUE(end.ok()) << end.status().ToString();
+  EXPECT_EQ(*end, keep_end);
+  // The committed prefix survives and appends continue cleanly.
+  std::string payload;
+  ASSERT_TRUE((*log)->Read(0, &payload).ok());
+  EXPECT_EQ(payload, "committed one");
+  ASSERT_TRUE((*log)->Append("post recovery").ok());
+}
+
+TEST_F(LogFileTest, RecoverTailDropsZeroExtendedTail) {
+  // A crash mid-pwrite can leave a zero-extended file. The dangerous
+  // lengths: 8 bytes parses as a valid empty record (crc32("") == 0), 11 is
+  // a torn header+payload, 64 is several fake empty records. All must be
+  // recognized as a torn tail — truncated, not Corruption — exactly what a
+  // tail torn mid-compaction-manifest write leaves behind.
+  for (const uint64_t zeros : {uint64_t{8}, uint64_t{11}, uint64_t{64}}) {
+    const std::string path =
+        dir_ + "/log_zeros_" + std::to_string(zeros);
+    uint64_t keep_end = 0;
+    {
+      auto log = LogFile::Open(path);
+      ASSERT_TRUE(log.ok());
+      ASSERT_TRUE((*log)->Append("real record").ok());
+      keep_end = (*log)->end_offset();
+      ASSERT_TRUE((*log)->Sync().ok());
+    }
+    {
+      auto file = RandomAccessFile::Open(path);
+      ASSERT_TRUE(file.ok());
+      const std::string zero_bytes(zeros, '\0');
+      ASSERT_TRUE(
+          (*file)->Write((*file)->size(), zero_bytes.data(), zeros).ok());
+    }
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto end = (*log)->RecoverTail();
+    ASSERT_TRUE(end.ok()) << "zeros=" << zeros << ": "
+                          << end.status().ToString();
+    EXPECT_EQ(*end, keep_end) << "zeros=" << zeros;
+    std::string payload;
+    ASSERT_TRUE((*log)->Read(0, &payload).ok());
+    EXPECT_EQ(payload, "real record");
+  }
+}
+
+TEST_F(LogFileTest, RecoverTailKeepsEmptyRecordFollowedByData) {
+  // An empty record is 8 zero bytes; mid-log it must be preserved (only an
+  // all-zero *tail* is torn).
+  const std::string path = dir_ + "/log";
+  uint64_t empty_off = 0;
+  uint64_t keep_end = 0;
+  {
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    auto off = (*log)->Append("");
+    ASSERT_TRUE(off.ok());
+    empty_off = *off;
+    ASSERT_TRUE((*log)->Append("data after the empty record").ok());
+    keep_end = (*log)->end_offset();
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  auto log = LogFile::Open(path);
+  ASSERT_TRUE(log.ok());
+  auto end = (*log)->RecoverTail();
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, keep_end);
+  std::string payload = "junk";
+  ASSERT_TRUE((*log)->Read(empty_off, &payload).ok());
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(LogFileTest, RecoverTailRejectsMidLogCorruption) {
+  // A *complete* record with a bad checksum is corruption, never a torn
+  // tail: truncating would silently drop the committed records behind it.
+  const std::string path = dir_ + "/log";
+  uint64_t second_off = 0;
+  {
+    auto log = LogFile::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("first").ok());
+    auto off = (*log)->Append("second record, corrupted");
+    ASSERT_TRUE(off.ok());
+    second_off = *off;
+    ASSERT_TRUE((*log)->Append("third, still committed").ok());
+    ASSERT_TRUE((*log)->Sync().ok());
+  }
+  {
+    auto file = RandomAccessFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    char byte;
+    ASSERT_TRUE((*file)->Read(second_off + 9, 1, &byte).ok());
+    byte ^= 0x20;
+    ASSERT_TRUE((*file)->Write(second_off + 9, &byte, 1).ok());
+  }
+  auto log = LogFile::Open(path);
+  ASSERT_TRUE(log.ok());
+  auto end = (*log)->RecoverTail();
+  ASSERT_FALSE(end.ok());
+  EXPECT_TRUE(end.status().IsCorruption());
+}
+
 }  // namespace
 }  // namespace aion::storage
