@@ -1,0 +1,174 @@
+// Workload replay — the capture file (src/obs/capture.h) turned into a
+// regression benchmark. Phase 1 records a scripted mixed workload
+// (latest-store matches, temporal point reads across both temporal routes,
+// incremental procedures) against a freshly loaded store with capture
+// enabled. Phase 2 rebuilds an identical store and re-executes the capture
+// in order, asserting row-for-row identical results and reporting per-route
+// latency deltas between the captured run and the replay. A route whose
+// replay drifts far from its captured latency is a regression (or an
+// environment change) localized to that store's read path.
+#include <cinttypes>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/capture.h"
+#include "query/engine.h"
+#include "txn/graphdb.h"
+
+using namespace aion;  // NOLINT
+
+namespace {
+
+struct RouteTotals {
+  uint64_t statements = 0;
+  uint64_t rows = 0;
+  uint64_t captured_nanos = 0;
+  uint64_t replayed_nanos = 0;
+};
+
+// The scripted workload: deterministic, read-only (the store is preloaded
+// by direct ingestion, so transactional CREATEs would collide with loaded
+// node ids), touching every read route.
+std::vector<std::string> ScriptedWorkload(const workload::Workload& w) {
+  std::vector<std::string> statements;
+  statements.push_back("MATCH (p:Person) RETURN p.name");
+  statements.push_back("MATCH (n) RETURN count(*)");
+  // Temporal point reads spread over ids and history; the planner routes
+  // recent timestamps and old ones differently (timestore vs lineage),
+  // which is exactly the per-route split the report breaks out.
+  const size_t num_points =
+      bench::OpsFor(w.num_nodes, /*lo=*/64, /*hi=*/512);
+  for (size_t i = 0; i < num_points; ++i) {
+    const uint64_t id = (i * 7919) % std::max<size_t>(1, w.num_nodes);
+    const graph::Timestamp t =
+        1 + (i * 104729) % std::max<graph::Timestamp>(1, w.max_ts);
+    statements.push_back("USE gdb FOR SYSTEM_TIME AS OF " +
+                         std::to_string(t) + " MATCH (n) WHERE id(n) = " +
+                         std::to_string(id) + " RETURN n");
+  }
+  // Procedures: window scans and the incremental loop.
+  const graph::Timestamp half = w.max_ts / 2;
+  const graph::Timestamp step =
+      std::max<graph::Timestamp>(1, (w.max_ts - half) / 16);
+  statements.push_back("CALL aion.diffCount(0, " + std::to_string(w.max_ts) +
+                       ")");
+  statements.push_back("CALL aion.incremental.avg('w', " +
+                       std::to_string(half) + ", " +
+                       std::to_string(w.max_ts) + ", " +
+                       std::to_string(step) + ")");
+  return statements;
+}
+
+struct Instance {
+  bench::LoadedAion loaded;
+  std::unique_ptr<txn::GraphDatabase> db;
+  std::unique_ptr<query::QueryEngine> engine;
+};
+
+Instance MakeInstance(const workload::Workload& w,
+                      const std::string& capture_path) {
+  Instance instance;
+  core::AionStore::Options options;
+  options.capture_path = capture_path;
+  instance.loaded = bench::LoadAion(w, options, "aion_replay_");
+  auto db = txn::GraphDatabase::OpenInMemory();
+  AION_CHECK(db.ok());
+  instance.db = std::move(*db);
+  instance.db->RegisterListener(instance.loaded.aion.get());
+  instance.engine = std::make_unique<query::QueryEngine>(
+      instance.db.get(), instance.loaded.aion.get());
+  return instance;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = workload::BenchScaleFromEnv(0.001);
+  bench::PrintHeader("Replay",
+                     "captured workload replayed against a rebuilt store",
+                     scale);
+
+  workload::Workload w = workload::Generate(workload::Dblp(scale), "w");
+  bench::TempDir capture_dir("aion_replay_capture_");
+  const std::string capture_path = capture_dir.path() + "/capture.jsonl";
+
+  // --- record -------------------------------------------------------------
+  const std::vector<std::string> script = ScriptedWorkload(w);
+  {
+    Instance recording = MakeInstance(w, capture_path);
+    AION_CHECK(recording.engine->capture()->enabled());
+    for (const std::string& statement : script) {
+      auto result = recording.engine->Execute(statement);
+      AION_CHECK(result.ok());
+    }
+    AION_CHECK(recording.engine->capture()->total_recorded() ==
+               script.size());
+  }
+  auto records = obs::WorkloadCapture::ReadFile(capture_path);
+  AION_CHECK(records.ok());
+  AION_CHECK(records->size() == script.size());
+
+  // --- replay -------------------------------------------------------------
+  Instance replaying = MakeInstance(w, /*capture_path=*/"");
+  std::map<std::string, RouteTotals> routes;
+  bool rows_match = true;
+  for (const obs::WorkloadCapture::Record& record : *records) {
+    bench::Timer timer;
+    auto result = replaying.engine->Execute(record.text);
+    AION_CHECK(result.ok());
+    const uint64_t replayed_nanos =
+        static_cast<uint64_t>(timer.Seconds() * 1e9);
+    if (result->rows.size() != record.rows) {
+      rows_match = false;
+      printf("ROW MISMATCH: captured %" PRIu64 " replayed %zu for %s\n",
+             record.rows, result->rows.size(), record.text.c_str());
+    }
+    RouteTotals& totals = routes[record.route];
+    totals.statements += 1;
+    totals.rows += record.rows;
+    totals.captured_nanos += record.nanos;
+    totals.replayed_nanos += replayed_nanos;
+  }
+
+  printf("%-10s %10s %10s %14s %14s %8s\n", "route", "stmts", "rows",
+         "captured_ms", "replayed_ms", "delta");
+  std::string routes_json;
+  for (const auto& [route, totals] : routes) {
+    const double captured_ms = totals.captured_nanos / 1e6;
+    const double replayed_ms = totals.replayed_nanos / 1e6;
+    const double delta_pct =
+        totals.captured_nanos > 0
+            ? 100.0 * (static_cast<double>(totals.replayed_nanos) -
+                       static_cast<double>(totals.captured_nanos)) /
+                  static_cast<double>(totals.captured_nanos)
+            : 0.0;
+    printf("%-10s %10" PRIu64 " %10" PRIu64 " %14.3f %14.3f %+7.1f%%\n",
+           route.c_str(), totals.statements, totals.rows, captured_ms,
+           replayed_ms, delta_pct);
+    if (!routes_json.empty()) routes_json += ",";
+    char buf[256];
+    snprintf(buf, sizeof(buf),
+             "{\"route\":\"%s\",\"statements\":%" PRIu64
+             ",\"rows\":%" PRIu64 ",\"captured_nanos\":%" PRIu64
+             ",\"replayed_nanos\":%" PRIu64 ",\"delta_pct\":%.2f}",
+             route.c_str(), totals.statements, totals.rows,
+             totals.captured_nanos, totals.replayed_nanos, delta_pct);
+    routes_json += buf;
+  }
+  bench::PrintFooter();
+  printf("rows_match: %s (%zu statements replayed)\n",
+         rows_match ? "yes" : "NO", records->size());
+  printf("Expected: every statement replays with an identical row count;\n"
+         "per-route deltas reflect machine noise, not behavior drift.\n");
+
+  char header[160];
+  snprintf(header, sizeof(header),
+           "{\"bench\":\"replay\",\"scale\":%g,\"statements\":%zu,"
+           "\"rows_match\":%s,\"routes\":[",
+           scale, records->size(), rows_match ? "true" : "false");
+  bench::WriteBenchJson(std::string(header) + routes_json + "]}\n",
+                        "BENCH_replay.json");
+  return rows_match ? 0 : 1;
+}

@@ -18,11 +18,12 @@ set -euo pipefail
 cd "$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 # The TSan pass gates the threaded paths, not the whole (slower under the
-# sanitizer) suite: thread-pool plumbing, storage-layer concurrency, and
-# the concurrent temporal reads introduced with the sharded GraphStore.
+# sanitizer) suite: thread-pool plumbing, storage-layer concurrency, the
+# concurrent temporal reads introduced with the sharded GraphStore, and
+# cross-thread query cancellation (kill / server Stop sweeps).
 TSAN_TEST_FILTER='ThreadPool|StorageConcurrency|ConcurrencyStress'
 TSAN_TEST_FILTER+='|ConcurrentReads|ConcurrentInterning|ConcurrentCommits'
-TSAN_TEST_FILTER+='|GroupCommit|IngestBatch|Compaction'
+TSAN_TEST_FILTER+='|GroupCommit|IngestBatch|Compaction|Cancel'
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 CTEST_JOBS="${CTEST_PARALLEL_LEVEL:-${JOBS}}"

@@ -63,6 +63,10 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
     return Status::InvalidArgument(
         "AionStore options: health_min_snapshot_hit_rate must be in [0, 1]");
   }
+  if (options.workload_max_sessions == 0) {
+    return Status::InvalidArgument(
+        "AionStore options: workload_max_sessions must be positive");
+  }
   AION_RETURN_IF_ERROR(storage::CreateDirIfMissing(options.dir));
   std::unique_ptr<AionStore> store(new AionStore());
   store->options_ = options;
@@ -76,6 +80,16 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
       slow_options.path = options.dir + "/slowlog.jsonl";
     }
     store->slow_log_ = std::make_unique<obs::SlowQueryLog>(slow_options);
+  }
+  {
+    obs::WorkloadRegistry::Options workload_options;
+    workload_options.max_sessions = options.workload_max_sessions;
+    store->workload_ =
+        std::make_unique<obs::WorkloadRegistry>(metrics, workload_options);
+    obs::WorkloadCapture::Options capture_options;
+    capture_options.path = options.capture_path;
+    capture_options.max_file_bytes = options.capture_max_file_bytes;
+    store->capture_ = std::make_unique<obs::WorkloadCapture>(capture_options);
   }
   AION_ASSIGN_OR_RETURN(store->string_pool_,
                         storage::StringPool::Open(options.dir + "/strings"));
@@ -274,6 +288,20 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
                      : 0.0;
         },
         max_floor_lag, obs::HealthWatchdog::Direction::kAbove);
+    // Longest-running statement: the probe refreshes the
+    // workload.longest_running_nanos gauge. A threshold of 0 disables the
+    // check (runaway scans are a policy question, not always a fault), so
+    // the gauge-refreshing probe registers only when opted in.
+    if (options.health_max_query_runtime_nanos > 0) {
+      obs::WorkloadRegistry* workload = store->workload_.get();
+      store->watchdog_->AddCheck(
+          "workload.longest_running_nanos",
+          [workload] {
+            return static_cast<double>(workload->LongestRunningNanos());
+          },
+          static_cast<double>(options.health_max_query_runtime_nanos),
+          obs::HealthWatchdog::Direction::kAbove);
+    }
     // Dump-on-fault: preserve the minutes leading up to a degradation.
     obs::FlightRecorder* flight = store->flight_.get();
     const std::string dump_path = options.dir + "/flight_degraded.json";

@@ -44,10 +44,12 @@
 #include "core/write_batch.h"
 #include "graph/graph_view.h"
 #include "graph/temporal_graph.h"
+#include "obs/capture.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
 #include "obs/timeseries.h"
+#include "obs/workload_registry.h"
 #include "txn/graphdb.h"
 #include "txn/listener.h"
 #include "util/thread_pool.h"
@@ -135,6 +137,22 @@ class AionStore : public txn::TransactionEventListener {
     /// Degraded when cascade backpressure events exceed this rate
     /// (events/second, measured between evaluations).
     double health_max_backpressure_per_sec = 100.0;
+
+    // ----- Workload observatory (see obs/workload_registry.h) -----
+
+    /// Per-session accounting entries retained by the workload registry
+    /// (least-recently-active sessions evicted beyond this). Must be
+    /// positive.
+    size_t workload_max_sessions = 256;
+    /// Degraded when any single statement has been running longer than
+    /// this. 0 disables the check (long analytical scans are legitimate in
+    /// many deployments).
+    uint64_t health_max_query_runtime_nanos = 0;
+    /// Workload-capture file (JSON lines, one completed statement per
+    /// line; see obs/capture.h). Empty disables capture.
+    std::string capture_path;
+    /// Rotate the capture file to `.1` beyond this size.
+    size_t capture_max_file_bytes = 64u << 20;
 
     // ----- Storage lifecycle (retention + compaction; see ARCHITECTURE.md)
 
@@ -394,6 +412,17 @@ class AionStore : public txn::TransactionEventListener {
   /// host-database checks join via AttachHostDatabase.
   obs::HealthWatchdog* health_watchdog() const { return watchdog_.get(); }
 
+  /// The workload registry (never null): live queries, cooperative
+  /// cancellation, per-session accounting. The query engine registers every
+  /// statement; CALL dbms.queries()/dbms.sessions() and GET /debug/queries
+  /// read it back.
+  obs::WorkloadRegistry* workload_registry() const { return workload_.get(); }
+
+  /// The workload capture (never null; disabled unless
+  /// Options::capture_path is set). The query engine appends every
+  /// completed statement; bench_replay re-executes the file.
+  obs::WorkloadCapture* workload_capture() const { return capture_.get(); }
+
   /// Registers host-database health checks (group-commit queue age, WAL
   /// fsync p99) against `db` and shares this store's metric registry with
   /// it (txn.* instruments). `db` must outlive this store. Idempotent;
@@ -500,6 +529,8 @@ class AionStore : public txn::TransactionEventListener {
   // the registry, so it must outlive them during destruction.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
+  std::unique_ptr<obs::WorkloadRegistry> workload_;
+  std::unique_ptr<obs::WorkloadCapture> capture_;
   Options options_;
   std::unique_ptr<storage::StringPool> string_pool_;
   std::unique_ptr<GraphStore> graph_store_;

@@ -6,6 +6,7 @@
 
 #include "obs/query_stats.h"
 #include "obs/trace.h"
+#include "obs/workload_registry.h"
 #include "storage/file.h"
 #include "util/coding.h"
 #include "util/logging.h"
@@ -566,6 +567,12 @@ StatusOr<std::vector<GraphUpdate>> TimeStore::ScanUpdates(
     std::unordered_map<uint64_t, bool> include;
     auto it = time_index_->NewIterator();
     for (it.Seek(TimeKey(first_ts, 0)); it.Valid(); it.Next()) {
+      // Cooperative kill check once per indexed record, so a killed query
+      // parked inside a large scan stops within one row boundary (and
+      // releases the shared latch promptly).
+      if (obs::CancellationRequested()) {
+        return Status::Cancelled("query killed");
+      }
       const Timestamp ts = DecodeBigEndian64(it.key().data());
       if (ts > last_ts) break;
       const RecordLoc loc = DecodeLoc(it.value());
@@ -587,6 +594,9 @@ StatusOr<std::vector<GraphUpdate>> TimeStore::ScanUpdates(
   }
   if (skipped > 0 && metric_segments_skipped_ != nullptr) {
     metric_segments_skipped_->Add(skipped);
+  }
+  if (obs::CancellationRequested()) {
+    return Status::Cancelled("query killed");
   }
   if (locs.empty()) return std::vector<GraphUpdate>{};
 
@@ -613,7 +623,13 @@ StatusOr<std::vector<GraphUpdate>> TimeStore::ScanUpdates(
     records_scanned_parallel_.fetch_add(locs.size(),
                                         std::memory_order_relaxed);
   } else {
+    // ParallelFor workers do not see this thread's ActiveQueryScope, so the
+    // parallel path runs a phase to completion; the sequential path checks
+    // per record.
     for (size_t i = 0; i < locs.size(); ++i) {
+      if (obs::CancellationRequested()) {
+        return Status::Cancelled("query killed");
+      }
       AION_RETURN_IF_ERROR(decode_one(i));
     }
   }

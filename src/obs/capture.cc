@@ -1,0 +1,230 @@
+#include "obs/capture.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aion::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+/// Finds `"key":` at top level of the line and returns the index just past
+/// the colon, or std::string::npos. Keys never appear inside our escaped
+/// string values with the surrounding quote+colon shape intact, so a plain
+/// substring search on `"key":` is unambiguous for this schema.
+size_t FindValue(const std::string& line, const char* key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool ParseU64At(const std::string& line, const char* key, uint64_t* out) {
+  const size_t at = FindValue(line, key);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtoull(line.c_str() + at, &end, 10);
+  return end != line.c_str() + at;
+}
+
+bool ParseStringAt(const std::string& line, const char* key,
+                   std::string* out) {
+  size_t at = FindValue(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return false;
+  }
+  ++at;
+  out->clear();
+  while (at < line.size() && line[at] != '"') {
+    char c = line[at];
+    if (c == '\\' && at + 1 < line.size()) {
+      ++at;
+      switch (line[at]) {
+        case 'n':
+          c = '\n';
+          break;
+        case 'u': {
+          if (at + 4 >= line.size()) return false;
+          const unsigned long v = std::strtoul(
+              line.substr(at + 1, 4).c_str(), nullptr, 16);
+          c = static_cast<char>(v);
+          at += 4;
+          break;
+        }
+        default:
+          c = line[at];  // \" and \\ map to the raw character
+      }
+    }
+    out->push_back(c);
+    ++at;
+  }
+  return at < line.size();
+}
+
+}  // namespace
+
+WorkloadCapture::WorkloadCapture(const Options& options) : options_(options) {
+  if (enabled()) {
+    file_ = std::fopen(options_.path.c_str(), "a");
+    if (file_ != nullptr) {
+      std::fseek(file_, 0, SEEK_END);
+      const long pos = std::ftell(file_);
+      file_bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+    }
+  }
+}
+
+WorkloadCapture::~WorkloadCapture() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string WorkloadCapture::ToJsonLine(const Record& record) {
+  std::string line;
+  line.append("{\"unix_millis\":");
+  AppendU64(&line, record.unix_millis);
+  line.append(",\"query_id\":");
+  AppendU64(&line, record.query_id);
+  line.append(",\"session_id\":");
+  AppendU64(&line, record.session_id);
+  line.append(",\"nanos\":");
+  AppendU64(&line, record.nanos);
+  line.append(",\"rows\":");
+  AppendU64(&line, record.rows);
+  line.append(",\"ok\":");
+  line.append(record.ok ? "true" : "false");
+  line.append(",\"store\":");
+  AppendEscaped(&line, record.route);
+  line.append(",\"query\":");
+  AppendEscaped(&line, record.text);
+  line.append(",\"params\":{}");
+  line.push_back('}');
+  return line;
+}
+
+util::StatusOr<WorkloadCapture::Record> WorkloadCapture::ParseJsonLine(
+    const std::string& line) {
+  Record record;
+  if (!ParseU64At(line, "unix_millis", &record.unix_millis) ||
+      !ParseU64At(line, "query_id", &record.query_id) ||
+      !ParseU64At(line, "session_id", &record.session_id) ||
+      !ParseU64At(line, "nanos", &record.nanos) ||
+      !ParseU64At(line, "rows", &record.rows) ||
+      !ParseStringAt(line, "store", &record.route) ||
+      !ParseStringAt(line, "query", &record.text)) {
+    return util::Status::Corruption("capture: malformed record: " + line);
+  }
+  const size_t ok_at = FindValue(line, "ok");
+  if (ok_at == std::string::npos) {
+    return util::Status::Corruption("capture: malformed record: " + line);
+  }
+  record.ok = line.compare(ok_at, 4, "true") == 0;
+  return record;
+}
+
+util::StatusOr<std::vector<WorkloadCapture::Record>> WorkloadCapture::ReadFile(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return util::Status::IOError("capture: cannot open " + path);
+  }
+  std::vector<Record> records;
+  std::string line;
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') {
+      if (!line.empty()) {
+        auto parsed = ParseJsonLine(line);
+        if (!parsed.ok()) {
+          std::fclose(file);
+          return parsed.status();
+        }
+        records.push_back(std::move(parsed).value());
+        line.clear();
+      }
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(file);
+  if (!line.empty()) {
+    // Tolerate a torn final line (process died mid-write): skip it.
+    auto parsed = ParseJsonLine(line);
+    if (parsed.ok()) records.push_back(std::move(parsed).value());
+  }
+  return records;
+}
+
+void WorkloadCapture::Append(Record record) {
+  if (!enabled()) return;
+  if (record.unix_millis == 0) {
+    record.unix_millis = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  const std::string line = ToJsonLine(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  WriteLine(line);
+}
+
+void WorkloadCapture::WriteLine(const std::string& line) {
+  if (file_ == nullptr) return;
+  if (file_bytes_ + line.size() + 1 > options_.max_file_bytes) {
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string rotated = options_.path + ".1";
+    std::remove(rotated.c_str());
+    std::rename(options_.path.c_str(), rotated.c_str());
+    file_ = std::fopen(options_.path.c_str(), "a");
+    file_bytes_ = 0;
+    if (file_ == nullptr) return;
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  file_bytes_ += line.size() + 1;
+}
+
+uint64_t WorkloadCapture::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace aion::obs

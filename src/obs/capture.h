@@ -1,0 +1,85 @@
+// Workload capture: an opt-in rotating JSON-lines record of every completed
+// statement — text, params, store route, timing, row count — modeled on the
+// slow-query log writer but unconditional (no threshold): the point is a
+// faithful trace of the workload, replayable as a regression benchmark via
+// bench_replay. Disabled by default (empty path): Record() is then a no-op.
+//
+// Record schema (one JSON object per line, documented in
+// docs/observability.md):
+//   {"unix_millis":..,"query_id":..,"session_id":..,"nanos":..,"rows":..,
+//    "ok":true,"store":"..","query":"..","params":{}}
+//
+// `params` is reserved for future parameterized statements and is always
+// `{}` today; replay tooling must tolerate (and preserve) it.
+#ifndef AION_OBS_CAPTURE_H_
+#define AION_OBS_CAPTURE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aion::obs {
+
+class WorkloadCapture {
+ public:
+  struct Options {
+    /// JSON-lines file; empty disables capture entirely.
+    std::string path;
+    /// When the file exceeds this, it is rotated to `path + ".1"` (one
+    /// generation kept).
+    size_t max_file_bytes = 64u << 20;
+  };
+
+  struct Record {
+    uint64_t unix_millis = 0;  // wall-clock completion time
+    uint64_t query_id = 0;
+    uint64_t session_id = 0;
+    uint64_t nanos = 0;  // statement wall time
+    uint64_t rows = 0;
+    bool ok = true;
+    std::string route;  // "lineage" / "timestore" / "latest" / "-"
+    std::string text;   // statement text
+  };
+
+  explicit WorkloadCapture(const Options& options);
+  ~WorkloadCapture();
+
+  WorkloadCapture(const WorkloadCapture&) = delete;
+  WorkloadCapture& operator=(const WorkloadCapture&) = delete;
+
+  bool enabled() const { return !options_.path.empty(); }
+
+  /// Appends one record (unix_millis filled from the wall clock when 0).
+  /// No-op when disabled, so callers may record unconditionally.
+  void Append(Record record);
+
+  /// Records accepted since construction.
+  uint64_t total_recorded() const;
+
+  /// One record as a JSON line (no trailing newline).
+  static std::string ToJsonLine(const Record& record);
+
+  /// Parses a line produced by ToJsonLine. Not a general JSON parser — it
+  /// understands exactly the capture schema (and ignores unknown keys).
+  static util::StatusOr<Record> ParseJsonLine(const std::string& line);
+
+  /// Reads every record from a capture file, oldest first.
+  static util::StatusOr<std::vector<Record>> ReadFile(const std::string& path);
+
+ private:
+  void WriteLine(const std::string& line);  // callers hold mu_
+
+  const Options options_;
+  mutable std::mutex mu_;
+  uint64_t total_ = 0;
+  std::FILE* file_ = nullptr;
+  size_t file_bytes_ = 0;
+};
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_CAPTURE_H_

@@ -67,6 +67,12 @@ std::string SlowQueryLog::ToJsonLine(const Entry& entry) {
   line.append("{\"unix_millis\":");
   std::snprintf(buf, sizeof(buf), "%" PRIu64, entry.unix_millis);
   line.append(buf);
+  line.append(",\"query_id\":");
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, entry.query_id);
+  line.append(buf);
+  line.append(",\"session_id\":");
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, entry.session_id);
+  line.append(buf);
   line.append(",\"nanos\":");
   std::snprintf(buf, sizeof(buf), "%" PRIu64, entry.nanos);
   line.append(buf);

@@ -6,7 +6,10 @@
 //
 // Record schema (one JSON object per line, documented in
 // docs/observability.md):
-//   {"unix_millis":..,"nanos":..,"store":"..","query":"..","summary":{...}}
+//   {"unix_millis":..,"query_id":..,"session_id":..,"nanos":..,
+//    "store":"..","query":"..","summary":{...}}
+// `query_id` matches the TraceContext id carried by dbms.traces() spans and
+// workload-capture records, so slow entries join against both.
 #ifndef AION_OBS_SLOWLOG_H_
 #define AION_OBS_SLOWLOG_H_
 
@@ -34,6 +37,8 @@ class SlowQueryLog {
 
   struct Entry {
     uint64_t unix_millis = 0;  // wall-clock capture time
+    uint64_t query_id = 0;     // obs::TraceContext id (0 when untracked)
+    uint64_t session_id = 0;   // connection session (0 = embedded)
     uint64_t nanos = 0;        // query wall time
     std::string store;         // "lineage" / "timestore" / "latest" / "-"
     std::string query;         // statement text

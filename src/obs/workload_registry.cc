@@ -1,0 +1,358 @@
+#include "obs/workload_registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace aion::obs {
+
+namespace {
+
+uint64_t UnixMillisNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+thread_local WorkloadRegistry::RunningQuery* tls_active_query = nullptr;
+thread_local uint64_t tls_session_id = 0;
+
+}  // namespace
+
+WorkloadRegistry::WorkloadRegistry(MetricsRegistry* metrics)
+    : WorkloadRegistry(metrics, Options()) {}
+
+WorkloadRegistry::WorkloadRegistry(MetricsRegistry* metrics,
+                                   const Options& options)
+    : options_(options),
+      anchor_unix_millis_(UnixMillisNow()),
+      anchor_nanos_(NowNanos()) {
+  if (metrics != nullptr) {
+    gauge_active_ = metrics->gauge("workload.active_queries");
+    gauge_longest_ = metrics->gauge("workload.longest_running_nanos");
+    metric_registered_ = metrics->counter("workload.registered");
+    metric_completed_ = metrics->counter("workload.completed");
+    metric_failures_ = metrics->counter("workload.failures");
+    metric_cancelled_ = metrics->counter("workload.cancelled");
+    gauge_sessions_ = metrics->gauge("session.tracked");
+    metric_session_queries_ = metrics->counter("session.queries");
+    metric_session_rows_ = metrics->counter("session.rows");
+  }
+}
+
+std::shared_ptr<WorkloadRegistry::RunningQuery> WorkloadRegistry::Register(
+    uint64_t query_id, uint64_t session_id, const std::string& text,
+    uint64_t start_nanos) {
+  if (!enabled()) return nullptr;
+  if (start_nanos == 0) start_nanos = NowNanos();
+  auto fill = [&](RunningQuery* query) {
+    query->query_id = query_id;
+    query->session_id = session_id;
+    query->text = text;  // reuses a recycled entry's capacity
+    query->start_nanos = start_nanos;
+    query->start_unix_millis =
+        anchor_unix_millis_ + (start_nanos - anchor_nanos_) / 1000000;
+  };
+  std::shared_ptr<RunningQuery> query;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Recycle a finished entry once the pool holds the only reference (a
+    // snapshot or kill handle taken before Finish may still pin it).
+    if (!pool_.empty() && pool_.back().use_count() == 1) {
+      query = std::move(pool_.back());
+      pool_.pop_back();
+      query->route.store("-", std::memory_order_relaxed);
+      query->rows.store(0, std::memory_order_relaxed);
+      query->cancel.store(false, std::memory_order_relaxed);
+      fill(query.get());
+      running_.push_back(query.get());
+      ++pending_registered_;
+      return query;
+    }
+  }
+  query = std::make_shared<RunningQuery>();
+  fill(query.get());
+  std::lock_guard<std::mutex> lock(mu_);
+  running_.push_back(query.get());
+  ++pending_registered_;
+  return query;
+}
+
+void WorkloadRegistry::Finish(std::shared_ptr<RunningQuery> query, bool ok,
+                              bool cancelled, uint64_t wall_nanos,
+                              uint64_t rows) {
+  if (query == nullptr) return;
+  constexpr size_t kPoolCap = 64;
+  const uint64_t session_id = query->session_id;
+  // Finish runs right after the statement's end-of-execution timestamp was
+  // taken, so start + wall is "now" to well under a microsecond — close
+  // enough for session eviction order without a third clock read.
+  const uint64_t finished_nanos = query->start_nanos + wall_nanos;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i] != query.get()) continue;
+    running_[i] = running_.back();
+    running_.pop_back();
+    if (pool_.size() < kPoolCap) pool_.push_back(std::move(query));
+    break;
+  }
+  ++pending_completed_;
+  if (!ok) ++pending_failures_;
+  if (cancelled) ++pending_cancelled_;
+
+  SessionAccount* account = last_account_;
+  if (account == nullptr || last_session_id_ != session_id) {
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      if (sessions_.size() >= options_.max_sessions) {
+        // Evict the least-recently-active session to stay bounded.
+        auto victim = sessions_.begin();
+        for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
+          if (cand->second->last_active_nanos <
+              victim->second->last_active_nanos) {
+            victim = cand;
+          }
+        }
+        sessions_.erase(victim);
+      }
+      it = sessions_.emplace(session_id, std::make_unique<SessionAccount>())
+               .first;
+    }
+    account = it->second.get();
+    last_account_ = account;
+    last_session_id_ = session_id;
+  }
+  account->queries += 1;
+  account->rows += rows;
+  account->wall_nanos += wall_nanos;
+  if (!ok) account->failures += 1;
+  if (cancelled) account->cancelled += 1;
+  account->last_active_nanos = finished_nanos;
+  account->latency.Record(wall_nanos);
+  ++pending_session_queries_;
+  pending_session_rows_ += rows;
+  if (++unflushed_ >= kFlushEvery) FlushInstrumentsLocked();
+}
+
+void WorkloadRegistry::FlushInstrumentsLocked() const {
+  unflushed_ = 0;
+  if (metric_registered_ != nullptr && pending_registered_ != 0) {
+    metric_registered_->Add(pending_registered_);
+  }
+  if (metric_completed_ != nullptr && pending_completed_ != 0) {
+    metric_completed_->Add(pending_completed_);
+  }
+  if (metric_failures_ != nullptr && pending_failures_ != 0) {
+    metric_failures_->Add(pending_failures_);
+  }
+  if (metric_cancelled_ != nullptr && pending_cancelled_ != 0) {
+    metric_cancelled_->Add(pending_cancelled_);
+  }
+  if (metric_session_queries_ != nullptr && pending_session_queries_ != 0) {
+    metric_session_queries_->Add(pending_session_queries_);
+  }
+  if (metric_session_rows_ != nullptr && pending_session_rows_ != 0) {
+    metric_session_rows_->Add(pending_session_rows_);
+  }
+  pending_registered_ = pending_completed_ = pending_failures_ = 0;
+  pending_cancelled_ = pending_session_queries_ = pending_session_rows_ = 0;
+  if (gauge_active_ != nullptr) {
+    gauge_active_->Set(static_cast<int64_t>(running_.size()));
+  }
+  if (gauge_sessions_ != nullptr) {
+    gauge_sessions_->Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+bool WorkloadRegistry::Cancel(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& query : running_) {
+    if (query->query_id != query_id) continue;
+    query->cancel.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+size_t WorkloadRegistry::CancelAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& query : running_) {
+    query->cancel.store(true, std::memory_order_relaxed);
+  }
+  return running_.size();
+}
+
+std::vector<WorkloadRegistry::QueryInfo> WorkloadRegistry::Queries() const {
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushInstrumentsLocked();
+  std::vector<QueryInfo> out;
+  out.reserve(running_.size());
+  for (const auto& query : running_) {
+    QueryInfo info;
+    info.query_id = query->query_id;
+    info.session_id = query->session_id;
+    info.text = query->text;
+    info.route = query->route.load(std::memory_order_relaxed);
+    info.start_unix_millis = query->start_unix_millis;
+    info.elapsed_nanos =
+        now > query->start_nanos ? now - query->start_nanos : 0;
+    info.rows = query->rows.load(std::memory_order_relaxed);
+    info.cancel_requested = query->cancel.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryInfo& a, const QueryInfo& b) {
+              return a.query_id < b.query_id;
+            });
+  return out;
+}
+
+std::vector<WorkloadRegistry::SessionInfo> WorkloadRegistry::Sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushInstrumentsLocked();
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, account] : sessions_) {
+    SessionInfo info;
+    info.session_id = id;
+    info.queries = account->queries;
+    info.rows = account->rows;
+    info.wall_nanos = account->wall_nanos;
+    info.failures = account->failures;
+    info.cancelled = account->cancelled;
+    info.latency = account->latency.Summarize();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+uint64_t WorkloadRegistry::LongestRunningNanos() const {
+  const uint64_t now = NowNanos();
+  uint64_t longest = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushInstrumentsLocked();
+    for (const auto& query : running_) {
+      const uint64_t elapsed =
+          now > query->start_nanos ? now - query->start_nanos : 0;
+      longest = std::max(longest, elapsed);
+    }
+  }
+  if (gauge_longest_ != nullptr) {
+    gauge_longest_->Set(static_cast<int64_t>(longest));
+  }
+  return longest;
+}
+
+std::string WorkloadRegistry::ToJson() const {
+  const std::vector<QueryInfo> queries = Queries();
+  const std::vector<SessionInfo> sessions = Sessions();
+  std::string out = "{\"active\":[";
+  bool first = true;
+  for (const QueryInfo& q : queries) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"query_id\":");
+    AppendU64(&out, q.query_id);
+    out.append(",\"session_id\":");
+    AppendU64(&out, q.session_id);
+    out.append(",\"query\":");
+    AppendEscaped(&out, q.text);
+    out.append(",\"store\":");
+    AppendEscaped(&out, q.route);
+    out.append(",\"start_unix_millis\":");
+    AppendU64(&out, q.start_unix_millis);
+    out.append(",\"elapsed_nanos\":");
+    AppendU64(&out, q.elapsed_nanos);
+    out.append(",\"rows\":");
+    AppendU64(&out, q.rows);
+    out.append(",\"cancel_requested\":");
+    out.append(q.cancel_requested ? "true" : "false");
+    out.push_back('}');
+  }
+  out.append("],\"sessions\":[");
+  first = true;
+  for (const SessionInfo& s : sessions) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"session_id\":");
+    AppendU64(&out, s.session_id);
+    out.append(",\"queries\":");
+    AppendU64(&out, s.queries);
+    out.append(",\"rows\":");
+    AppendU64(&out, s.rows);
+    out.append(",\"wall_nanos\":");
+    AppendU64(&out, s.wall_nanos);
+    out.append(",\"failures\":");
+    AppendU64(&out, s.failures);
+    out.append(",\"cancelled\":");
+    AppendU64(&out, s.cancelled);
+    out.append(",\"p99_nanos\":");
+    AppendU64(&out, s.latency.p99);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+size_t WorkloadRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushInstrumentsLocked();
+  return running_.size();
+}
+
+ActiveQueryScope::ActiveQueryScope(WorkloadRegistry::RunningQuery* query)
+    : prev_(tls_active_query) {
+  if (query != nullptr) tls_active_query = query;
+}
+
+ActiveQueryScope::~ActiveQueryScope() { tls_active_query = prev_; }
+
+WorkloadRegistry::RunningQuery* ActiveQueryScope::Current() {
+  return tls_active_query;
+}
+
+SessionScope::SessionScope(uint64_t session_id) : prev_(tls_session_id) {
+  tls_session_id = session_id;
+}
+
+SessionScope::~SessionScope() { tls_session_id = prev_; }
+
+uint64_t SessionScope::CurrentSessionId() { return tls_session_id; }
+
+}  // namespace aion::obs

@@ -1,0 +1,282 @@
+// Workload observatory: the live-query registry. Every statement entering
+// query::Engine registers a RunningQuery for the duration of its execution
+// — query id (shared with obs::TraceContext, so dbms.queries() joins
+// against dbms.traces() and the slow-query log), session id, statement
+// text, the store route the planner picked, start time, rows produced, and
+// a cooperative cancel flag the operators check at row boundaries. On
+// completion the query deregisters into a bounded per-session accounting
+// table (queries run, rows, wall nanos, failures, latency percentiles via
+// util::LatencySummary).
+//
+// Surfaces: CALL dbms.queries() / dbms.queries.kill(id) / dbms.sessions(),
+// GET /debug/queries on the observability HTTP endpoint, and the
+// workload.* / session.* instruments (sampled by the flight recorder like
+// every other instrument in the registry).
+//
+// Cancellation is cooperative and thread-local, like obs::QueryStatsScope:
+// an ActiveQueryScope installs the running query on the executing thread,
+// and CancellationRequested() — one thread-local load, one relaxed atomic
+// load — is checked at operator row boundaries (pattern-match frames,
+// history-version loops, TimeStore scan iterations). A killed query
+// surfaces util::Status::Cancelled, never a partial result. Work delegated
+// to worker threads (parallel replay decode) does not see the scope; the
+// calling thread re-checks between phases, which bounds the cancellation
+// latency at one such phase.
+#ifndef AION_OBS_WORKLOAD_REGISTRY_H_
+#define AION_OBS_WORKLOAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/histogram.h"
+
+namespace aion::obs {
+
+class WorkloadRegistry {
+ public:
+  struct Options {
+    /// Per-session accounting entries retained; the least-recently-active
+    /// session is evicted beyond this. Must be positive.
+    size_t max_sessions = 256;
+  };
+
+  /// One statement currently executing. Shared between the executing thread
+  /// (route/rows updates, cancel checks) and observers (dbms.queries(),
+  /// kill, /debug/queries), so the mutable fields are atomics; `route`
+  /// only ever holds static strings ("lineage"/"timestore"/"latest"/"-").
+  struct RunningQuery {
+    uint64_t query_id = 0;
+    uint64_t session_id = 0;
+    std::string text;
+    uint64_t start_unix_millis = 0;
+    uint64_t start_nanos = 0;  // steady clock; elapsed = NowNanos() - this
+    std::atomic<const char*> route{"-"};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<bool> cancel{false};
+  };
+
+  /// Point-in-time copy of one running query (dbms.queries() rows).
+  struct QueryInfo {
+    uint64_t query_id = 0;
+    uint64_t session_id = 0;
+    std::string text;
+    std::string route;
+    uint64_t start_unix_millis = 0;
+    uint64_t elapsed_nanos = 0;
+    uint64_t rows = 0;
+    bool cancel_requested = false;
+  };
+
+  /// Accumulated per-session accounting (dbms.sessions() rows).
+  struct SessionInfo {
+    uint64_t session_id = 0;
+    uint64_t queries = 0;
+    uint64_t rows = 0;
+    uint64_t wall_nanos = 0;
+    uint64_t failures = 0;
+    uint64_t cancelled = 0;
+    util::LatencySummary latency;  // per-statement wall nanos
+  };
+
+  /// `metrics` may be null (no instruments; the registry still works).
+  explicit WorkloadRegistry(MetricsRegistry* metrics = nullptr);
+  WorkloadRegistry(MetricsRegistry* metrics, const Options& options);
+
+  WorkloadRegistry(const WorkloadRegistry&) = delete;
+  WorkloadRegistry& operator=(const WorkloadRegistry&) = delete;
+
+  /// Registers a statement as running. Returns null when disabled (callers
+  /// treat a null handle as "not tracked"). Session 0 is the embedded
+  /// (connection-less) session. `start_nanos` lets a caller that just read
+  /// the steady clock (the engine times parsing right before registering)
+  /// donate that timestamp instead of paying a second clock read; 0 means
+  /// "read the clock here".
+  std::shared_ptr<RunningQuery> Register(uint64_t query_id,
+                                         uint64_t session_id,
+                                         const std::string& text,
+                                         uint64_t start_nanos = 0);
+
+  /// Deregisters `query` and folds its totals into the session table.
+  /// `cancelled` marks statements that surfaced util::Status::Cancelled
+  /// (counted separately from other failures). Takes the handle by value
+  /// (move it in): the registry recycles the entry once all other
+  /// references drop. Callers must keep the handle alive from Register
+  /// until Finish — the live table holds raw pointers.
+  void Finish(std::shared_ptr<RunningQuery> query, bool ok, bool cancelled,
+              uint64_t wall_nanos, uint64_t rows);
+
+  /// Requests cooperative cancellation of one running query. Returns false
+  /// when no query with that id is running.
+  bool Cancel(uint64_t query_id);
+
+  /// Cancels every running query (server shutdown). Returns how many were
+  /// flagged.
+  size_t CancelAll();
+
+  /// Live queries, ordered by query id.
+  std::vector<QueryInfo> Queries() const;
+
+  /// Per-session accounting, ordered by session id.
+  std::vector<SessionInfo> Sessions() const;
+
+  /// Wall nanos of the oldest running query (0 when idle). Refreshes the
+  /// workload.longest_running_nanos gauge, so the health watchdog probe and
+  /// /metrics report the same number.
+  uint64_t LongestRunningNanos() const;
+
+  /// {"active":[...],"sessions":[...]} for GET /debug/queries.
+  std::string ToJson() const;
+
+  /// Issues a session id for a new connection (ids start at 1; 0 = the
+  /// embedded session).
+  uint64_t NextSessionId() {
+    return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Disabling makes Register return null — statements run untracked and
+  /// unkillable (benchmarks measuring registry overhead toggle this).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  size_t active_count() const;
+
+ private:
+  struct SessionAccount {
+    uint64_t queries = 0;
+    uint64_t rows = 0;
+    uint64_t wall_nanos = 0;
+    uint64_t failures = 0;
+    uint64_t cancelled = 0;
+    uint64_t last_active_nanos = 0;  // eviction order
+    // Plain-counter histogram: only ever touched under mu_, so Record()
+    // costs no locked read-modify-writes on the Finish hot path.
+    util::BucketLatencyHistogram latency;
+  };
+
+  const Options options_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_session_id_{1};
+  // Wall-clock anchor: start_unix_millis derives from the steady clock
+  // against this pair, so Register costs no system_clock call.
+  uint64_t anchor_unix_millis_ = 0;
+  uint64_t anchor_nanos_ = 0;
+  mutable std::mutex mu_;
+  // Register/Finish sit on the per-statement hot path, so the live set is
+  // a small vector of raw pointers (swap-pop erase, no refcount traffic —
+  // ownership stays with the caller's handle until Finish) and finished
+  // RunningQuery objects are pooled for reuse. An entry is recycled only
+  // once the pool holds the sole reference, so observer snapshots and
+  // late kill handles stay valid.
+  std::vector<RunningQuery*> running_;
+  std::vector<std::shared_ptr<RunningQuery>> pool_;
+  std::map<uint64_t, std::unique_ptr<SessionAccount>> sessions_;
+  // Memo of the last session looked up in Finish (guarded by mu_): the
+  // embedded session funnels every statement through session 0, so this
+  // skips the map walk on the hot path. Only read on a same-session hit,
+  // so an evicted entry is overwritten before it could dangle.
+  SessionAccount* last_account_ = nullptr;
+  uint64_t last_session_id_ = 0;
+
+  // Instrument updates are batched: the hot path bumps these plain tallies
+  // under mu_ and they fold into the counters/gauges every kFlushEvery
+  // statements or whenever any read API runs. /metrics may therefore lag
+  // the live table by up to kFlushEvery statements; dbms.queries(),
+  // dbms.sessions() and /debug/queries always read live state.
+  void FlushInstrumentsLocked() const;
+  static constexpr uint64_t kFlushEvery = 64;
+  mutable uint64_t unflushed_ = 0;
+  mutable uint64_t pending_registered_ = 0;
+  mutable uint64_t pending_completed_ = 0;
+  mutable uint64_t pending_failures_ = 0;
+  mutable uint64_t pending_cancelled_ = 0;
+  mutable uint64_t pending_session_queries_ = 0;
+  mutable uint64_t pending_session_rows_ = 0;
+
+  // Instruments (null without a metrics registry).
+  Gauge* gauge_active_ = nullptr;           // workload.active_queries
+  Gauge* gauge_longest_ = nullptr;          // workload.longest_running_nanos
+  Counter* metric_registered_ = nullptr;    // workload.registered
+  Counter* metric_completed_ = nullptr;     // workload.completed
+  Counter* metric_failures_ = nullptr;      // workload.failures
+  Counter* metric_cancelled_ = nullptr;     // workload.cancelled
+  Gauge* gauge_sessions_ = nullptr;         // session.tracked
+  Counter* metric_session_queries_ = nullptr;  // session.queries
+  Counter* metric_session_rows_ = nullptr;     // session.rows
+};
+
+/// RAII: installs `query` as this thread's running query so the engine's
+/// operators and the stores underneath can check the cancel flag and update
+/// route/rows without plumbing a handle through every signature. Scopes
+/// nest (a procedure executing a sub-statement keeps attributing to the
+/// outer registered query). Null-safe: a null query makes the scope a
+/// no-op.
+class ActiveQueryScope {
+ public:
+  explicit ActiveQueryScope(WorkloadRegistry::RunningQuery* query);
+  ~ActiveQueryScope();
+
+  ActiveQueryScope(const ActiveQueryScope&) = delete;
+  ActiveQueryScope& operator=(const ActiveQueryScope&) = delete;
+
+  /// The innermost active running query on this thread (null when none).
+  static WorkloadRegistry::RunningQuery* Current();
+
+ private:
+  WorkloadRegistry::RunningQuery* prev_;
+};
+
+/// RAII: tags statements executed on this thread with a session id (server
+/// connections; 0 = embedded). Read by the engine at registration time.
+class SessionScope {
+ public:
+  explicit SessionScope(uint64_t session_id);
+  ~SessionScope();
+
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+  static uint64_t CurrentSessionId();
+
+ private:
+  uint64_t prev_;
+};
+
+// --- cooperative cancellation tick points ---------------------------------
+
+/// True when the query running on this thread was killed. One thread-local
+/// load plus one relaxed atomic load — free enough for per-row checks.
+inline bool CancellationRequested() {
+  WorkloadRegistry::RunningQuery* q = ActiveQueryScope::Current();
+  return q != nullptr && q->cancel.load(std::memory_order_relaxed);
+}
+
+/// Publishes the store route of the statement running on this thread.
+/// `route` must be a static string.
+inline void SetCurrentQueryRoute(const char* route) {
+  if (WorkloadRegistry::RunningQuery* q = ActiveQueryScope::Current()) {
+    q->route.store(route, std::memory_order_relaxed);
+  }
+}
+
+/// Counts rows produced by the statement running on this thread (live
+/// progress in dbms.queries(); the final count lands at Finish). Only the
+/// executing thread writes `rows`, so a load+store replaces the locked
+/// read-modify-write — observers just need a torn-free relaxed read.
+inline void TickCurrentQueryRows(uint64_t n = 1) {
+  if (WorkloadRegistry::RunningQuery* q = ActiveQueryScope::Current()) {
+    q->rows.store(q->rows.load(std::memory_order_relaxed) + n,
+                  std::memory_order_relaxed);
+  }
+}
+
+}  // namespace aion::obs
+
+#endif  // AION_OBS_WORKLOAD_REGISTRY_H_

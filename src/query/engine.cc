@@ -1,6 +1,7 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "core/bitemporal.h"
@@ -44,6 +45,14 @@ class ProfileRecorder {
 // are thread-local rather than members.
 thread_local ProfileRecorder* tls_profile = nullptr;
 thread_local const char* tls_last_store = "-";
+
+/// Publishes the store route of the running statement: the thread-local
+/// register feeding PROFILE/slowlog/capture, plus the live RunningQuery so
+/// dbms.queries() shows where a statement is executing while it runs.
+void SetRoute(const char* store) {
+  tls_last_store = store;
+  obs::SetCurrentQueryRoute(store);
+}
 
 /// RAII profile stage: when a ProfileRecorder is active on this thread,
 /// measures wall nanos and the QueryStats delta across the enclosed code and
@@ -104,6 +113,13 @@ QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
   metric_plan_ = metrics_->histogram("query.plan_nanos");
   metric_execute_ = metrics_->histogram("query.execute_nanos");
   slow_log_ = aion_ != nullptr ? aion_->slow_query_log() : nullptr;
+  if (aion_ != nullptr) {
+    workload_ = aion_->workload_registry();
+    capture_ = aion_->workload_capture();
+  } else {
+    own_workload_ = std::make_unique<obs::WorkloadRegistry>(metrics_);
+    workload_ = own_workload_.get();
+  }
   // Fronting both layers: host txn.* health checks join Aion's watchdog
   // and the host records into Aion's registry.
   if (aion_ != nullptr && db_ != nullptr) aion_->AttachHostDatabase(db_);
@@ -121,7 +137,8 @@ void QueryEngine::RegisterBuiltinProcedures() {
 StatusOr<QueryResult> QueryEngine::Execute(const std::string& text) {
   const uint64_t parse_start = obs::NowNanos();
   StatusOr<Statement> stmt = Parse(text);
-  metric_parse_->Record(obs::NowNanos() - parse_start);
+  const uint64_t parse_end = obs::NowNanos();
+  metric_parse_->Record(parse_end - parse_start);
   if (!stmt.ok()) {
     // Parse failures never reach Execute(stmt); account for them here so
     // statements == successes + failures holds.
@@ -129,27 +146,68 @@ StatusOr<QueryResult> QueryEngine::Execute(const std::string& text) {
     metric_failures_->Add();
     return stmt.status();
   }
-  if (slow_log_ == nullptr || !slow_log_->enabled()) return Execute(*stmt);
-  // Slow-log capture needs the statement text, so it lives on this overload
-  // only: time the statement and collect store probes for the summary.
-  obs::QueryStatsScope stats_scope;
+  // The workload observatory, slowlog and capture all need the statement
+  // text, so they live on this overload only. The registration id doubles
+  // as the trace-context id (Execute(stmt) below reuses the ambient id), so
+  // dbms.queries(), dbms.traces(), the slowlog and capture output all join
+  // on one query_id.
+  const uint64_t query_id = obs::TraceContext::NextQueryId();
+  const uint64_t session_id = obs::SessionScope::CurrentSessionId();
+  obs::TraceContext trace_context(query_id);
+  // Donate the post-parse timestamp as the start time — execution begins
+  // here, and it saves the registry its own clock read.
+  std::shared_ptr<obs::WorkloadRegistry::RunningQuery> running =
+      workload_->Register(query_id, session_id, text, parse_end);
+  obs::ActiveQueryScope query_scope(running.get());
+  const bool slow = slow_log_ != nullptr && slow_log_->enabled();
+  const bool capturing = capture_ != nullptr && capture_->enabled();
+  if (running == nullptr && !slow && !capturing) return Execute(*stmt);
+  // The stats scope exists for the slowlog's summary column; when only the
+  // registry (or capture) is on, skip it so store probes stay unattributed
+  // and cheap.
+  std::optional<obs::QueryStatsScope> stats_scope;
+  if (slow) stats_scope.emplace();
   tls_last_store = "-";
-  const uint64_t start = obs::NowNanos();
+  // Registration already stamped the start; re-reading the clock here
+  // would only add skew between dbms.queries() elapsed and the slowlog.
+  const uint64_t start =
+      running != nullptr ? running->start_nanos : obs::NowNanos();
   StatusOr<QueryResult> result = Execute(*stmt);
   const uint64_t elapsed = obs::NowNanos() - start;
-  if (elapsed >= slow_log_->threshold_nanos()) {
+  const uint64_t rows = result.ok() ? result->rows.size() : 0;
+  workload_->Finish(std::move(running), result.ok(),
+                    result.status().IsCancelled(), elapsed, rows);
+  if (slow && elapsed >= slow_log_->threshold_nanos()) {
     obs::SlowQueryLog::Entry entry;
+    entry.query_id = query_id;
+    entry.session_id = session_id;
     entry.nanos = elapsed;
     entry.store = tls_last_store;
     entry.query = text;
-    entry.summary_json = stats_scope.stats().ToJson();
+    entry.summary_json = stats_scope->stats().ToJson();
     slow_log_->Record(std::move(entry));
+  }
+  if (capturing) {
+    obs::WorkloadCapture::Record record;
+    record.query_id = query_id;
+    record.session_id = session_id;
+    record.nanos = elapsed;
+    record.rows = rows;
+    record.ok = result.ok();
+    record.route = tls_last_store;
+    record.text = text;
+    capture_->Append(std::move(record));
   }
   return result;
 }
 
 StatusOr<QueryResult> QueryEngine::Execute(const Statement& stmt) {
-  obs::TraceContext trace_context(obs::TraceContext::NextQueryId());
+  // Reuse the ambient query id when the text overload (or a procedure
+  // re-entering the engine) already opened one, so nested execution keeps
+  // attributing to the registered statement.
+  const uint64_t ambient = obs::TraceContext::CurrentQueryId();
+  obs::TraceContext trace_context(
+      ambient != 0 ? ambient : obs::TraceContext::NextQueryId());
   AION_TRACE_SPAN("query.execute", metric_execute_);
   metric_statements_->Add();
   StatusOr<QueryResult> result =
@@ -289,6 +347,9 @@ StatusOr<QueryResult> QueryEngine::ExecutePointHistory(const Statement& stmt,
     // Label / property predicates still apply per version.
     const PathPattern& path = stmt.patterns.front();
     for (graph::NodeVersion& v : versions) {
+      if (obs::CancellationRequested()) {
+        return Status::Cancelled("query killed");
+      }
       if (!NodeMatches(path.nodes.front(), v.entity)) continue;
       Binding binding;
       binding.values[path.nodes.front().variable] = Value(std::move(v.entity));
@@ -426,6 +487,10 @@ Status QueryEngine::MatchPath(const PathPattern& path, const GraphView& view,
   }
 
   while (!stack.empty()) {
+    // Operator-row boundary: one kill check per pattern frame.
+    if (obs::CancellationRequested()) {
+      return Status::Cancelled("query killed");
+    }
     Frame frame = std::move(stack.back());
     stack.pop_back();
     if (frame.next_rel == path.rels.size()) {
@@ -546,9 +611,13 @@ StatusOr<QueryResult> QueryEngine::Project(
   if (stmt.returns.size() == 1 &&
       stmt.returns[0].kind == ReturnItem::Kind::kCountStar) {
     result.rows.push_back({Value(static_cast<int64_t>(bindings.size()))});
+    obs::TickCurrentQueryRows();
     return result;
   }
   for (const Binding& binding : bindings) {
+    if (obs::CancellationRequested()) {
+      return Status::Cancelled("query killed");
+    }
     std::vector<Value> row;
     for (const ReturnItem& item : stmt.returns) {
       auto it = binding.values.find(item.variable);
@@ -590,6 +659,7 @@ StatusOr<QueryResult> QueryEngine::Project(
       }
     }
     result.rows.push_back(std::move(row));
+    obs::TickCurrentQueryRows();
     if (stmt.limit.has_value() && result.rows.size() >= *stmt.limit) break;
   }
   return result;
@@ -616,10 +686,10 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
     graph::Timestamp start = 0, end = 0;
     stmt.time.ToWindow(&start, &end);
     if (aion_->LineageCanServe(std::max(start, end))) {
-      tls_last_store = "lineage";
+      SetRoute("lineage");
       metric_store_lineage_->Add();
     } else {
-      tls_last_store = "timestore";
+      SetRoute("timestore");
       metric_store_timestore_->Add();
     }
     return ExecutePointHistory(stmt, plan);
@@ -632,10 +702,10 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
         "temporal procedures (aion.*)");
   }
   if (stmt.time.kind == TimeSpec::Kind::kLatest) {
-    tls_last_store = "latest";
+    SetRoute("latest");
     metric_store_latest_->Add();
   } else {
-    tls_last_store = "timestore";  // AS OF snapshot = TimeStore replay
+    SetRoute("timestore");  // AS OF snapshot = TimeStore replay
     metric_store_timestore_->Add();
   }
   StatusOr<std::shared_ptr<const GraphView>> view =
@@ -670,7 +740,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
 // ---------------------------------------------------------------------------
 
 StatusOr<QueryResult> QueryEngine::ExecuteCreate(const Statement& stmt) {
-  tls_last_store = "latest";
+  SetRoute("latest");
   ProfileStage stage("Create", "");
   auto txn = db_->Begin();
   std::map<std::string, NodeId> created;
@@ -715,7 +785,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteCreate(const Statement& stmt) {
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteMatchSet(const Statement& stmt) {
-  tls_last_store = "latest";
+  SetRoute("latest");
   ProfileStage stage("SetProperties", "");
   AION_ASSIGN_OR_RETURN(auto view, ViewAt(TimeSpec{}));
   AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
@@ -750,7 +820,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatchSet(const Statement& stmt) {
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteMatchDelete(const Statement& stmt) {
-  tls_last_store = "latest";
+  SetRoute("latest");
   ProfileStage stage(stmt.detach ? "DetachDelete" : "Delete", "");
   AION_ASSIGN_OR_RETURN(auto view, ViewAt(TimeSpec{}));
   AION_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
@@ -792,7 +862,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatchDelete(const Statement& stmt) {
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteCall(const Statement& stmt) {
-  tls_last_store = "-";
+  SetRoute("-");
   auto it = procedures_.find(stmt.procedure);
   if (it == procedures_.end()) {
     return Status::NotFound("unknown procedure " + stmt.procedure);
@@ -802,6 +872,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteCall(const Statement& stmt) {
     ProfileStage stage("ProcedureCall", stmt.procedure);
     AION_ASSIGN_OR_RETURN(result, it->second(*this, stmt.arguments));
     stage.set_rows(result.rows.size());
+    obs::TickCurrentQueryRows(result.rows.size());
   }
   if (stmt.yields.empty()) return result;
   // Column projection per YIELD.

@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "core/aion.h"
+#include "obs/capture.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
+#include "obs/workload_registry.h"
 #include "query/ast.h"
 #include "query/planner.h"
 #include "query/value.h"
@@ -52,6 +54,17 @@ class QueryEngine {
   /// Aion's own registry when attached (one coherent per-store breakdown),
   /// else a private one. Valid for the engine's lifetime.
   obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// The workload registry every Execute(text) statement registers with
+  /// (never null): Aion's when attached, else a private one. The server
+  /// cancels through it on Stop(); dbms.queries()/dbms.sessions() and
+  /// GET /debug/queries read it.
+  obs::WorkloadRegistry* workload() const { return workload_; }
+
+  /// The workload capture (owned by aion_; null without one or when
+  /// Options::capture_path is empty — check enabled() before relying on
+  /// output).
+  obs::WorkloadCapture* capture() const { return capture_; }
 
  private:
   struct Binding {
@@ -95,6 +108,9 @@ class QueryEngine {
   core::AionStore* aion_;
   std::map<std::string, ProcedureFn> procedures_;
   obs::SlowQueryLog* slow_log_ = nullptr;  // owned by aion_; null without one
+  std::unique_ptr<obs::WorkloadRegistry> own_workload_;  // when aion_ == null
+  obs::WorkloadRegistry* workload_ = nullptr;
+  obs::WorkloadCapture* capture_ = nullptr;  // owned by aion_; may be null
 
   // Observability: per-stage timings plus one StoreChoice outcome per MATCH.
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // when aion_ == nullptr

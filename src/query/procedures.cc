@@ -445,7 +445,9 @@ StatusOr<QueryResult> DbmsSlowlog(QueryEngine& engine,
                                   const std::vector<Literal>& args) {
   AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.slowlog"));
   QueryResult result;
-  result.columns = {"unix_millis", "nanos", "store", "query", "summary"};
+  result.columns = {"unix_millis", "query_id", "session_id",
+                    "nanos",       "store",    "query",
+                    "summary"};
   if (engine.aion() == nullptr ||
       engine.aion()->slow_query_log() == nullptr) {
     return result;  // no log configured -> empty table
@@ -454,10 +456,61 @@ StatusOr<QueryResult> DbmsSlowlog(QueryEngine& engine,
        engine.aion()->slow_query_log()->Recent()) {
     result.rows.push_back(
         {Value(static_cast<int64_t>(entry.unix_millis)),
+         Value(static_cast<int64_t>(entry.query_id)),
+         Value(static_cast<int64_t>(entry.session_id)),
          Value(static_cast<int64_t>(entry.nanos)), Value(std::move(entry.store)),
          Value(std::move(entry.query)),
          Value(entry.summary_json.empty() ? std::string("{}")
                                           : std::move(entry.summary_json))});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> DbmsQueries(QueryEngine& engine,
+                                  const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.queries"));
+  QueryResult result;
+  result.columns = {"query_id", "session_id",    "query", "store",
+                    "elapsed_nanos", "rows", "cancel_requested"};
+  for (obs::WorkloadRegistry::QueryInfo& info :
+       engine.workload()->Queries()) {
+    result.rows.push_back({Value(static_cast<int64_t>(info.query_id)),
+                           Value(static_cast<int64_t>(info.session_id)),
+                           Value(std::move(info.text)),
+                           Value(std::move(info.route)),
+                           Value(static_cast<int64_t>(info.elapsed_nanos)),
+                           Value(static_cast<int64_t>(info.rows)),
+                           Value(info.cancel_requested)});
+  }
+  return result;
+}
+
+StatusOr<QueryResult> DbmsQueriesKill(QueryEngine& engine,
+                                      const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireArgs(args, 1, "dbms.queries.kill"));
+  AION_ASSIGN_OR_RETURN(int64_t id, IntArg(args, 0));
+  const bool killed = engine.workload()->Cancel(static_cast<uint64_t>(id));
+  QueryResult result;
+  result.columns = {"query_id", "killed"};
+  result.rows.push_back({Value(id), Value(killed)});
+  return result;
+}
+
+StatusOr<QueryResult> DbmsSessions(QueryEngine& engine,
+                                   const std::vector<Literal>& args) {
+  AION_RETURN_IF_ERROR(RequireArgs(args, 0, "dbms.sessions"));
+  QueryResult result;
+  result.columns = {"session_id", "queries",   "rows",     "wall_nanos",
+                    "failures",   "cancelled", "p99_nanos"};
+  for (const obs::WorkloadRegistry::SessionInfo& info :
+       engine.workload()->Sessions()) {
+    result.rows.push_back({Value(static_cast<int64_t>(info.session_id)),
+                           Value(static_cast<int64_t>(info.queries)),
+                           Value(static_cast<int64_t>(info.rows)),
+                           Value(static_cast<int64_t>(info.wall_nanos)),
+                           Value(static_cast<int64_t>(info.failures)),
+                           Value(static_cast<int64_t>(info.cancelled)),
+                           Value(static_cast<int64_t>(info.latency.p99))});
   }
   return result;
 }
@@ -564,6 +617,9 @@ void RegisterBuiltinAionProcedures(QueryEngine* engine) {
   engine->RegisterProcedure("dbms.traces", DbmsTraces);
   engine->RegisterProcedure("dbms.trace.export", DbmsTraceExport);
   engine->RegisterProcedure("dbms.slowlog", DbmsSlowlog);
+  engine->RegisterProcedure("dbms.queries", DbmsQueries);
+  engine->RegisterProcedure("dbms.queries.kill", DbmsQueriesKill);
+  engine->RegisterProcedure("dbms.sessions", DbmsSessions);
 }
 
 }  // namespace aion::query

@@ -70,12 +70,17 @@ ObservabilityHttpServer::ObservabilityHttpServer(query::QueryEngine* engine)
           engine->aion() != nullptr ? engine->aion()->health_watchdog()
                                     : nullptr,
           engine->aion() != nullptr ? engine->aion()->flight_recorder()
-                                    : nullptr) {}
+                                    : nullptr,
+          engine->workload()) {}
 
 ObservabilityHttpServer::ObservabilityHttpServer(obs::MetricsRegistry* metrics,
                                                  obs::HealthWatchdog* watchdog,
-                                                 obs::FlightRecorder* flight)
-    : metrics_(metrics), watchdog_(watchdog), flight_(flight) {
+                                                 obs::FlightRecorder* flight,
+                                                 obs::WorkloadRegistry* workload)
+    : metrics_(metrics),
+      watchdog_(watchdog),
+      flight_(flight),
+      workload_(workload) {
   if (metrics_ != nullptr) {
     metric_requests_ = metrics_->counter("http.requests");
     metric_bad_requests_ = metrics_->counter("http.bad_requests");
@@ -145,6 +150,14 @@ void ObservabilityHttpServer::ServeConnection(int fd) {
       return;
     }
     SendResponse(fd, 200, "application/json", flight_->ToJson());
+    return;
+  }
+  if (path == "/debug/queries") {
+    if (workload_ == nullptr) {
+      SendResponse(fd, 404, "text/plain", "no workload registry\n");
+      return;
+    }
+    SendResponse(fd, 200, "application/json", workload_->ToJson());
     return;
   }
   SendResponse(fd, 404, "text/plain", "unknown path\n");

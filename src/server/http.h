@@ -6,7 +6,9 @@
 //                         first, so derived signals are current);
 //   GET /healthz       -> 200 when every watchdog check passes, 503 when
 //                         degraded; body is the HealthReport JSON either way;
-//   GET /debug/flight  -> 200, the flight recorder's ring as JSON.
+//   GET /debug/flight  -> 200, the flight recorder's ring as JSON;
+//   GET /debug/queries -> 200, the workload registry's live queries and
+//                         per-session accounting as JSON.
 // Runs on its own port next to the bolt-like listener and shares its
 // TcpListener shutdown path (parked accept/read threads are unblocked on
 // Stop).
@@ -18,6 +20,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "obs/workload_registry.h"
 #include "query/engine.h"
 #include "server/listener.h"
 #include "util/status.h"
@@ -32,10 +35,12 @@ class ObservabilityHttpServer {
   explicit ObservabilityHttpServer(query::QueryEngine* engine);
 
   /// Raw wiring for tests and embedded use; any pointer may be null
-  /// (`metrics` null makes /metrics an empty exposition).
+  /// (`metrics` null makes /metrics an empty exposition, `workload` null
+  /// makes /debug/queries a 404).
   ObservabilityHttpServer(obs::MetricsRegistry* metrics,
                           obs::HealthWatchdog* watchdog,
-                          obs::FlightRecorder* flight);
+                          obs::FlightRecorder* flight,
+                          obs::WorkloadRegistry* workload = nullptr);
 
   ~ObservabilityHttpServer();
 
@@ -58,6 +63,7 @@ class ObservabilityHttpServer {
   obs::MetricsRegistry* metrics_;
   obs::HealthWatchdog* watchdog_;
   obs::FlightRecorder* flight_;
+  obs::WorkloadRegistry* workload_;
   TcpListener listener_;
   std::atomic<uint64_t> requests_served_{0};
 

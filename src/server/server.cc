@@ -36,11 +36,25 @@ StatusOr<uint16_t> BoltLikeServer::Start(uint16_t port) {
   return listener_.Start(port, [this](int fd) { ServeConnection(fd); });
 }
 
+void BoltLikeServer::Stop() {
+  // Cancel before closing sockets: TcpListener::Stop joins the connection
+  // threads, and a worker deep inside a long TimeStore scan never touches
+  // its (already shut down) socket until the statement finishes. The cancel
+  // flag gets it to the next operator-row boundary instead. A statement
+  // arriving in the tiny window after this sweep runs to completion — the
+  // loop below exits on `listener_.running()` before reading another frame.
+  engine_->workload()->CancelAll();
+  listener_.Stop();
+}
+
 void BoltLikeServer::ServeConnection(int fd) {
   metric_connections_->Add();
   // Connection-lifetime span: query spans executed on this thread nest
   // under it in the exported trace (their parent_id is this span's id).
   AION_TRACE_SPAN("server.connection");
+  // One workload session per connection: every statement this thread
+  // executes is attributed to it (dbms.sessions(), slowlog, capture).
+  obs::SessionScope session(engine_->workload()->NextSessionId());
   // One-row snapshot replies (METRICS / PROMETHEUS).
   auto send_snapshot = [this, fd](std::string body, const char* column) {
     Message record;

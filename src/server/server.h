@@ -34,10 +34,13 @@ class BoltLikeServer {
   /// the bound port.
   util::StatusOr<uint16_t> Start(uint16_t port = 0);
 
-  /// Stops accepting, closes the listener, and joins all workers (shared
-  /// TcpListener shutdown path: parked accept/read threads are unblocked
-  /// via socket shutdown, same as the HTTP endpoint).
-  void Stop() { listener_.Stop(); }
+  /// Stops accepting, cancels every in-flight registered query (so a worker
+  /// parked inside a long scan or replay reaches its next row boundary and
+  /// returns instead of blocking teardown), then closes the listener and
+  /// joins all workers (shared TcpListener shutdown path: parked
+  /// accept/read threads are unblocked via socket shutdown, same as the
+  /// HTTP endpoint).
+  void Stop();
 
   uint16_t port() const { return listener_.port(); }
   uint64_t queries_served() const { return queries_served_.load(); }

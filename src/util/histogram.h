@@ -116,40 +116,68 @@ struct LatencySummary {
   }
 };
 
-/// Thread-safe latency histogram with power-of-two buckets: Record() is a
-/// handful of relaxed atomic increments, so concurrent writers (query
-/// threads, the background cascade, server connections) aggregate into one
-/// instance without locks. Unlike LatencyHistogram it keeps no raw samples,
-/// so memory is constant and percentiles are approximate (<= 2x).
-class AtomicLatencyHistogram {
+namespace hist_detail {
+// Counter accessors letting BasicLatencyHistogram share its bucket and
+// summary logic between the atomic (concurrent writers) and plain
+// (externally serialized, no locked read-modify-writes) instantiations.
+inline uint64_t CounterRead(const std::atomic<uint64_t>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+inline uint64_t CounterRead(uint64_t v) { return v; }
+inline void CounterAdd(std::atomic<uint64_t>& v, uint64_t n) {
+  v.fetch_add(n, std::memory_order_relaxed);
+}
+inline void CounterAdd(uint64_t& v, uint64_t n) { v += n; }
+inline void CounterMax(std::atomic<uint64_t>& v, uint64_t sample) {
+  uint64_t prev = v.load(std::memory_order_relaxed);
+  while (prev < sample &&
+         !v.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+  }
+}
+inline void CounterMax(uint64_t& v, uint64_t sample) {
+  if (sample > v) v = sample;
+}
+inline void CounterSet(std::atomic<uint64_t>& v, uint64_t n) {
+  v.store(n, std::memory_order_relaxed);
+}
+inline void CounterSet(uint64_t& v, uint64_t n) { v = n; }
+}  // namespace hist_detail
+
+/// Latency histogram with power-of-two buckets; keeps no raw samples, so
+/// memory is constant and percentiles are approximate (<= 2x). Instantiated
+/// as AtomicLatencyHistogram (relaxed atomic counters — concurrent writers
+/// such as query threads, the background cascade and server connections
+/// aggregate into one instance without locks) and BucketLatencyHistogram
+/// (plain counters for single-writer or externally locked use — Record()
+/// is plain arithmetic, no locked read-modify-writes).
+template <typename CounterT>
+class BasicLatencyHistogram {
  public:
   static constexpr size_t kBuckets = 64;  // bucket i covers [2^(i-1), 2^i)
 
   void Record(uint64_t sample) {
-    buckets_[BucketFor(sample)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(sample, std::memory_order_relaxed);
-    uint64_t prev = max_.load(std::memory_order_relaxed);
-    while (prev < sample &&
-           !max_.compare_exchange_weak(prev, sample,
-                                       std::memory_order_relaxed)) {
-    }
+    using hist_detail::CounterAdd;
+    using hist_detail::CounterMax;
+    CounterAdd(buckets_[BucketFor(sample)], 1);
+    CounterAdd(count_, 1);
+    CounterAdd(sum_, sample);
+    CounterMax(max_, sample);
   }
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const { return hist_detail::CounterRead(count_); }
+  uint64_t sum() const { return hist_detail::CounterRead(sum_); }
 
   LatencySummary Summarize() const {
     LatencySummary s;
     std::array<uint64_t, kBuckets> counts;
     size_t highest = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
-      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      counts[i] = hist_detail::CounterRead(buckets_[i]);
       s.count += counts[i];
       if (counts[i] > 0) highest = i;
     }
-    s.sum = sum_.load(std::memory_order_relaxed);
-    s.max = max_.load(std::memory_order_relaxed);
+    s.sum = hist_detail::CounterRead(sum_);
+    s.max = hist_detail::CounterRead(max_);
     s.p50 = PercentileFrom(counts, s.count, 0.50);
     s.p95 = PercentileFrom(counts, s.count, 0.95);
     s.p99 = PercentileFrom(counts, s.count, 0.99);
@@ -171,10 +199,10 @@ class AtomicLatencyHistogram {
   }
 
   void Clear() {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) hist_detail::CounterSet(b, 0);
+    hist_detail::CounterSet(count_, 0);
+    hist_detail::CounterSet(sum_, 0);
+    hist_detail::CounterSet(max_, 0);
   }
 
  private:
@@ -199,11 +227,14 @@ class AtomicLatencyHistogram {
     return ~uint64_t{0};
   }
 
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-  std::atomic<uint64_t> max_{0};
+  std::array<CounterT, kBuckets> buckets_{};
+  CounterT count_{0};
+  CounterT sum_{0};
+  CounterT max_{0};
 };
+
+using AtomicLatencyHistogram = BasicLatencyHistogram<std::atomic<uint64_t>>;
+using BucketLatencyHistogram = BasicLatencyHistogram<uint64_t>;
 
 }  // namespace aion::util
 

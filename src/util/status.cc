@@ -32,6 +32,8 @@ const char* CodeName(StatusCode code) {
       return "Backpressure";
     case StatusCode::kOutOfRetention:
       return "OutOfRetention";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kInternal = 10,
   kBackpressure = 11,
   kOutOfRetention = 12,
+  kCancelled = 13,
 };
 
 /// Result of an operation that can fail. Cheap to copy in the OK case
@@ -79,6 +80,9 @@ class Status {
   static Status OutOfRetention(std::string msg = "") {
     return Status(StatusCode::kOutOfRetention, std::move(msg));
   }
+  static Status Cancelled(std::string msg = "") {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -97,6 +101,7 @@ class Status {
   bool IsOutOfRetention() const {
     return code_ == StatusCode::kOutOfRetention;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -18,6 +18,8 @@ namespace {
 SlowQueryLog::Entry MakeEntry(uint64_t nanos, const std::string& query) {
   SlowQueryLog::Entry entry;
   entry.unix_millis = 1700000000000ull;
+  entry.query_id = 77;
+  entry.session_id = 3;
   entry.nanos = nanos;
   entry.store = "timestore";
   entry.query = query;
@@ -68,6 +70,8 @@ TEST(SlowQueryLogTest, ToJsonLineShape) {
   const std::string line = SlowQueryLog::ToJsonLine(entry);
   EXPECT_EQ(line.find('\n'), std::string::npos);
   EXPECT_NE(line.find("\"unix_millis\":1700000000000"), std::string::npos);
+  EXPECT_NE(line.find("\"query_id\":77"), std::string::npos);
+  EXPECT_NE(line.find("\"session_id\":3"), std::string::npos);
   EXPECT_NE(line.find("\"nanos\":4242"), std::string::npos);
   EXPECT_NE(line.find("\"store\":\"timestore\""), std::string::npos);
   // Quotes inside the statement must be escaped.

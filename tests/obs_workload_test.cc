@@ -1,0 +1,262 @@
+// WorkloadRegistry and WorkloadCapture unit coverage: register/finish
+// accounting, cancellation flags, session eviction, JSON shapes, and the
+// capture file round trip that bench_replay depends on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/capture.h"
+#include "obs/metrics.h"
+#include "obs/workload_registry.h"
+#include "storage/file.h"
+
+namespace aion::obs {
+namespace {
+
+TEST(WorkloadRegistryTest, RegisterFinishAccountsIntoSession) {
+  MetricsRegistry metrics;
+  WorkloadRegistry registry(&metrics);
+  auto q = registry.Register(7, 3, "MATCH (n) RETURN n");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(registry.active_count(), 1u);
+
+  auto live = registry.Queries();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].query_id, 7u);
+  EXPECT_EQ(live[0].session_id, 3u);
+  EXPECT_EQ(live[0].text, "MATCH (n) RETURN n");
+  EXPECT_EQ(live[0].route, "-");
+  EXPECT_FALSE(live[0].cancel_requested);
+
+  registry.Finish(q, /*ok=*/true, /*cancelled=*/false, /*wall_nanos=*/1000,
+                  /*rows=*/5);
+  EXPECT_EQ(registry.active_count(), 0u);
+  auto sessions = registry.Sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].session_id, 3u);
+  EXPECT_EQ(sessions[0].queries, 1u);
+  EXPECT_EQ(sessions[0].rows, 5u);
+  EXPECT_EQ(sessions[0].wall_nanos, 1000u);
+  EXPECT_EQ(sessions[0].failures, 0u);
+  EXPECT_EQ(sessions[0].cancelled, 0u);
+  EXPECT_GT(sessions[0].latency.p99, 0u);
+}
+
+TEST(WorkloadRegistryTest, CancelSetsFlagAndCountsSeparately) {
+  WorkloadRegistry registry;
+  auto q = registry.Register(1, 0, "CALL aion.window(0, 10)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_FALSE(q->cancel.load());
+  EXPECT_TRUE(registry.Cancel(1));
+  EXPECT_TRUE(q->cancel.load());
+  EXPECT_FALSE(registry.Cancel(99));  // unknown id
+
+  registry.Finish(q, /*ok=*/false, /*cancelled=*/true, 500, 0);
+  auto sessions = registry.Sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].failures, 1u);
+  EXPECT_EQ(sessions[0].cancelled, 1u);
+}
+
+TEST(WorkloadRegistryTest, CancelAllFlagsEveryRunningQuery) {
+  WorkloadRegistry registry;
+  auto a = registry.Register(1, 0, "a");
+  auto b = registry.Register(2, 0, "b");
+  EXPECT_EQ(registry.CancelAll(), 2u);
+  EXPECT_TRUE(a->cancel.load());
+  EXPECT_TRUE(b->cancel.load());
+}
+
+TEST(WorkloadRegistryTest, DisabledRegistryReturnsNullAndFinishTolerates) {
+  WorkloadRegistry registry;
+  registry.set_enabled(false);
+  auto q = registry.Register(1, 0, "x");
+  EXPECT_EQ(q, nullptr);
+  registry.Finish(q, true, false, 1, 1);  // null handle: no-op
+  EXPECT_EQ(registry.active_count(), 0u);
+  EXPECT_TRUE(registry.Sessions().empty());
+}
+
+TEST(WorkloadRegistryTest, SessionTableEvictsLeastRecentlyActive) {
+  WorkloadRegistry::Options options;
+  options.max_sessions = 2;
+  WorkloadRegistry registry(nullptr, options);
+  for (uint64_t session = 1; session <= 3; ++session) {
+    auto q = registry.Register(session, session, "q");
+    registry.Finish(q, true, false, 10, 1);
+  }
+  auto sessions = registry.Sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  // Session 1 was the least recently active; 2 and 3 survive.
+  EXPECT_EQ(sessions[0].session_id, 2u);
+  EXPECT_EQ(sessions[1].session_id, 3u);
+}
+
+TEST(WorkloadRegistryTest, LongestRunningNanosTracksOldest) {
+  WorkloadRegistry registry;
+  EXPECT_EQ(registry.LongestRunningNanos(), 0u);
+  auto q = registry.Register(1, 0, "long");
+  EXPECT_GT(registry.LongestRunningNanos(), 0u);
+  registry.Finish(q, true, false, 1, 0);
+  EXPECT_EQ(registry.LongestRunningNanos(), 0u);
+}
+
+TEST(WorkloadRegistryTest, ToJsonShape) {
+  WorkloadRegistry registry;
+  auto q = registry.Register(5, 2, "MATCH (n) WHERE n.name = \"x\" RETURN n");
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"active\":["), std::string::npos);
+  EXPECT_NE(json.find("\"query_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"session_id\":2"), std::string::npos);
+  // Quotes in the statement must be escaped.
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);
+  registry.Finish(q, true, false, 100, 1);
+  json = registry.ToJson();
+  EXPECT_NE(json.find("\"active\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"sessions\":[{\"session_id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_nanos\":"), std::string::npos);
+}
+
+TEST(WorkloadRegistryTest, ActiveQueryScopeNestsAndRestores) {
+  WorkloadRegistry::RunningQuery outer;
+  WorkloadRegistry::RunningQuery inner;
+  EXPECT_EQ(ActiveQueryScope::Current(), nullptr);
+  EXPECT_FALSE(CancellationRequested());
+  {
+    ActiveQueryScope outer_scope(&outer);
+    EXPECT_EQ(ActiveQueryScope::Current(), &outer);
+    {
+      // A null inner scope keeps the outer query active (procedure
+      // re-entry with the registry disabled).
+      ActiveQueryScope noop(nullptr);
+      EXPECT_EQ(ActiveQueryScope::Current(), &outer);
+      ActiveQueryScope inner_scope(&inner);
+      EXPECT_EQ(ActiveQueryScope::Current(), &inner);
+      SetCurrentQueryRoute("timestore");
+      TickCurrentQueryRows(3);
+    }
+    EXPECT_EQ(ActiveQueryScope::Current(), &outer);
+    outer.cancel.store(true);
+    EXPECT_TRUE(CancellationRequested());
+  }
+  EXPECT_EQ(ActiveQueryScope::Current(), nullptr);
+  EXPECT_STREQ(inner.route.load(), "timestore");
+  EXPECT_EQ(inner.rows.load(), 3u);
+}
+
+TEST(WorkloadRegistryTest, SessionScopeNestsAndRestores) {
+  EXPECT_EQ(SessionScope::CurrentSessionId(), 0u);
+  {
+    SessionScope session(7);
+    EXPECT_EQ(SessionScope::CurrentSessionId(), 7u);
+    {
+      SessionScope nested(8);
+      EXPECT_EQ(SessionScope::CurrentSessionId(), 8u);
+    }
+    EXPECT_EQ(SessionScope::CurrentSessionId(), 7u);
+  }
+  EXPECT_EQ(SessionScope::CurrentSessionId(), 0u);
+}
+
+TEST(WorkloadRegistryTest, NextSessionIdStartsAtOne) {
+  WorkloadRegistry registry;
+  EXPECT_EQ(registry.NextSessionId(), 1u);
+  EXPECT_EQ(registry.NextSessionId(), 2u);
+}
+
+// --- capture ---------------------------------------------------------------
+
+WorkloadCapture::Record MakeRecord() {
+  WorkloadCapture::Record r;
+  r.unix_millis = 1700000000000ull;
+  r.query_id = 42;
+  r.session_id = 2;
+  r.nanos = 123456;
+  r.rows = 9;
+  r.ok = true;
+  r.route = "timestore";
+  r.text = "MATCH (n) WHERE n.name = \"ada\"\nRETURN n";
+  return r;
+}
+
+TEST(WorkloadCaptureTest, JsonLineRoundTrip) {
+  const WorkloadCapture::Record r = MakeRecord();
+  const std::string line = WorkloadCapture::ToJsonLine(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"params\":{}"), std::string::npos);
+  auto parsed = WorkloadCapture::ParseJsonLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->unix_millis, r.unix_millis);
+  EXPECT_EQ(parsed->query_id, r.query_id);
+  EXPECT_EQ(parsed->session_id, r.session_id);
+  EXPECT_EQ(parsed->nanos, r.nanos);
+  EXPECT_EQ(parsed->rows, r.rows);
+  EXPECT_EQ(parsed->ok, r.ok);
+  EXPECT_EQ(parsed->route, r.route);
+  EXPECT_EQ(parsed->text, r.text);
+}
+
+TEST(WorkloadCaptureTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(WorkloadCapture::ParseJsonLine("").ok());
+  EXPECT_FALSE(WorkloadCapture::ParseJsonLine("not json").ok());
+  EXPECT_FALSE(WorkloadCapture::ParseJsonLine("{\"query_id\":1}").ok());
+}
+
+TEST(WorkloadCaptureTest, DisabledCaptureIsNoop) {
+  WorkloadCapture capture(WorkloadCapture::Options{});
+  EXPECT_FALSE(capture.enabled());
+  capture.Append(MakeRecord());
+  EXPECT_EQ(capture.total_recorded(), 0u);
+}
+
+TEST(WorkloadCaptureTest, AppendAndReadFileBack) {
+  auto dir = storage::MakeTempDir("aion_capture_");
+  ASSERT_TRUE(dir.ok());
+  const std::string path = *dir + "/capture.jsonl";
+  {
+    WorkloadCapture::Options options;
+    options.path = path;
+    WorkloadCapture capture(options);
+    ASSERT_TRUE(capture.enabled());
+    for (uint64_t i = 0; i < 10; ++i) {
+      WorkloadCapture::Record r = MakeRecord();
+      r.query_id = i + 1;
+      r.unix_millis = 0;  // filled from the wall clock
+      capture.Append(std::move(r));
+    }
+    EXPECT_EQ(capture.total_recorded(), 10u);
+  }
+  auto records = WorkloadCapture::ReadFile(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*records)[i].query_id, i + 1);
+    EXPECT_GT((*records)[i].unix_millis, 0u);
+    EXPECT_EQ((*records)[i].text, MakeRecord().text);
+  }
+  (void)storage::RemoveDirRecursively(*dir);
+}
+
+TEST(WorkloadCaptureTest, RotatesWhenFileExceedsBudget) {
+  auto dir = storage::MakeTempDir("aion_capture_rot_");
+  ASSERT_TRUE(dir.ok());
+  const std::string path = *dir + "/capture.jsonl";
+  WorkloadCapture::Options options;
+  options.path = path;
+  options.max_file_bytes = 256;  // a few records per generation
+  WorkloadCapture capture(options);
+  for (int i = 0; i < 64; ++i) capture.Append(MakeRecord());
+  EXPECT_EQ(capture.total_recorded(), 64u);
+  auto current = WorkloadCapture::ReadFile(path);
+  ASSERT_TRUE(current.ok());
+  auto rotated = WorkloadCapture::ReadFile(path + ".1");
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_GT(rotated->size(), 0u);
+  EXPECT_LT(current->size() + rotated->size(), 64u);  // older gens dropped
+  (void)storage::RemoveDirRecursively(*dir);
+}
+
+}  // namespace
+}  // namespace aion::obs

@@ -552,8 +552,8 @@ TEST_F(QueryEngineTest, SlowlogEmptyWhenDisabled) {
   EXPECT_FALSE(aion_->slow_query_log()->enabled());
   QueryResult slowlog = Run("CALL dbms.slowlog()");
   ASSERT_EQ(slowlog.columns,
-            (std::vector<std::string>{"unix_millis", "nanos", "store",
-                                      "query", "summary"}));
+            (std::vector<std::string>{"unix_millis", "query_id", "session_id",
+                                      "nanos", "store", "query", "summary"}));
   EXPECT_EQ(slowlog.NumRows(), 0u);
 }
 
@@ -581,8 +581,10 @@ TEST_F(QueryEngineTest, SlowlogCapturesQueriesAboveThreshold) {
   ASSERT_GE(slowlog->NumRows(), 3u);
   std::map<std::string, std::string> store_by_query;
   for (const auto& row : slowlog->rows) {
-    EXPECT_GT(row[1].AsInt(), 0);  // recorded wall time
-    store_by_query[row[3].AsString()] = row[2].AsString();
+    EXPECT_GT(row[1].AsInt(), 0);  // query_id joins dbms.traces()/capture
+    EXPECT_EQ(row[2].AsInt(), 0);  // embedded session
+    EXPECT_GT(row[3].AsInt(), 0);  // recorded wall time
+    store_by_query[row[5].AsString()] = row[4].AsString();
   }
   EXPECT_EQ(store_by_query["MATCH (p:Person) RETURN p.name"], "latest");
   EXPECT_EQ(store_by_query["USE gdb FOR SYSTEM_TIME AS OF 1 MATCH (n) "

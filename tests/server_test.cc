@@ -316,5 +316,37 @@ TEST_F(ServerTest, StopUnblocksCleanly) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST_F(ServerTest, StopCancelsInFlightQueries) {
+  auto client = BoltLikeClient::Connect(port_);
+  ASSERT_TRUE(client.ok());
+  // A statement with far more cancellation points than any test should
+  // finish: without the CancelAll sweep in Stop, joining the connection
+  // worker would block until the statement completes.
+  util::StatusOr<query::QueryResult> result =
+      util::Status::Internal("did not run");
+  std::thread runner([&] {
+    result = (*client)->Run("CALL aion.incremental.avg('x', 0, 2000000, 1)");
+  });
+  // Wait until the statement is registered as running on the server.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    if (engine_->workload()->active_count() > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(engine_->workload()->active_count(), 0u);
+  const auto stop_at = std::chrono::steady_clock::now();
+  server_->Stop();
+  const auto stop_took = std::chrono::steady_clock::now() - stop_at;
+  // Stop returned once the worker hit its next row boundary — well under
+  // the minutes the full statement would take.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(stop_took)
+                .count(),
+            5000);
+  runner.join();
+  // The client never sees a partial result: either the server relayed the
+  // typed failure or the teardown dropped the connection first.
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(engine_->workload()->active_count(), 0u);
+}
+
 }  // namespace
 }  // namespace aion::server

@@ -1,0 +1,103 @@
+// Capture → replay round trip: a workload captured on one store replays on
+// a second store built from the same history and produces identical row
+// counts — the invariant bench_replay turns into a regression benchmark.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aion.h"
+#include "obs/capture.h"
+#include "query/engine.h"
+#include "storage/file.h"
+#include "txn/graphdb.h"
+
+namespace aion::query {
+namespace {
+
+// One engine over one store; `capture_path` opts the store into workload
+// capture.
+struct Harness {
+  std::unique_ptr<core::AionStore> aion;
+  std::unique_ptr<txn::GraphDatabase> db;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+Harness MakeHarness(const std::string& dir, const std::string& capture_path) {
+  Harness h;
+  core::AionStore::Options options;
+  options.dir = dir;
+  options.lineage_mode = core::AionStore::LineageMode::kSync;
+  options.capture_path = capture_path;
+  auto aion = core::AionStore::Open(options);
+  EXPECT_TRUE(aion.ok());
+  h.aion = std::move(*aion);
+  // Identical history on every harness: properties over three timestamps.
+  for (graph::Timestamp ts = 1; ts <= 3; ++ts) {
+    EXPECT_TRUE(h.aion
+                    ->Ingest(ts, {graph::GraphUpdate::AddNode(ts, {"Person"}),
+                                  graph::GraphUpdate::SetNodeProperty(
+                                      ts, "w", graph::PropertyValue(
+                                                   static_cast<int64_t>(ts)))})
+                    .ok());
+  }
+  auto db = txn::GraphDatabase::OpenInMemory();
+  EXPECT_TRUE(db.ok());
+  h.db = std::move(*db);
+  h.db->RegisterListener(h.aion.get());
+  h.engine = std::make_unique<QueryEngine>(h.db.get(), h.aion.get());
+  return h;
+}
+
+TEST(WorkloadReplayTest, CapturedWorkloadReplaysWithIdenticalRowCounts) {
+  auto dir = storage::MakeTempDir("aion_replay_");
+  ASSERT_TRUE(dir.ok());
+  const std::string capture_path = *dir + "/capture.jsonl";
+
+  const std::vector<std::string> workload = {
+      "MATCH (p:Person) RETURN p.w",
+      "USE gdb FOR SYSTEM_TIME AS OF 2 MATCH (n) WHERE id(n) = 1 RETURN n",
+      "CALL aion.incremental.avg('w', 0, 3, 1)",
+      "CALL aion.diffCount(0, 3)",
+      "MATCH (n) RETURN count(*)",
+  };
+
+  // Record: run the scripted workload with capture on.
+  {
+    Harness capturing = MakeHarness(*dir + "/a", capture_path);
+    ASSERT_TRUE(capturing.engine->capture() != nullptr);
+    ASSERT_TRUE(capturing.engine->capture()->enabled());
+    for (const std::string& statement : workload) {
+      auto result = capturing.engine->Execute(statement);
+      ASSERT_TRUE(result.ok()) << statement << ": "
+                               << result.status().ToString();
+    }
+    EXPECT_EQ(capturing.engine->capture()->total_recorded(),
+              workload.size());
+  }
+
+  auto records = obs::WorkloadCapture::ReadFile(capture_path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), workload.size());
+
+  // Replay: the same statements, in capture order, against a fresh store
+  // with the same history — row for row.
+  Harness replaying = MakeHarness(*dir + "/b", "");
+  EXPECT_FALSE(replaying.engine->capture() != nullptr &&
+               replaying.engine->capture()->enabled());
+  for (size_t i = 0; i < records->size(); ++i) {
+    const obs::WorkloadCapture::Record& record = (*records)[i];
+    EXPECT_EQ(record.text, workload[i]);
+    EXPECT_GT(record.query_id, 0u);
+    auto result = replaying.engine->Execute(record.text);
+    ASSERT_TRUE(result.ok()) << record.text << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->rows.size(), record.rows)
+        << "row count diverged replaying: " << record.text;
+  }
+  (void)storage::RemoveDirRecursively(*dir);
+}
+
+}  // namespace
+}  // namespace aion::query
