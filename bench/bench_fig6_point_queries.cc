@@ -98,6 +98,66 @@ std::string RegistryOverheadJson(double scale) {
   return buf;
 }
 
+// ISSUE 10: the engine's point and history paths across the morsel
+// dispatcher's worker-count sweep. Single-core machine — the numbers
+// document that parallel dispatch does not regress these paths rather than
+// demonstrating core scaling; byte-identical results at every width are
+// enforced by the ParallelExec test suite.
+std::string WorkerSweepJson(double scale) {
+  workload::Workload w = workload::Generate(workload::Dblp(scale), "w");
+  core::AionStore::Options options;
+  options.lineage_mode = core::AionStore::LineageMode::kSync;
+  options.snapshot_policy.kind = core::SnapshotPolicy::Kind::kDisabled;
+  bench::LoadedAion loaded = bench::LoadAion(w, options);
+  auto db = txn::GraphDatabase::OpenInMemory();
+  AION_CHECK(db.ok());
+  query::QueryEngine engine(db->get(), loaded.aion.get());
+
+  const size_t ops = bench::OpsFor(w.num_nodes, 500, 2000);
+  util::Random rng(23);
+  std::vector<std::string> points, histories;
+  points.reserve(ops);
+  histories.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    const std::string id = std::to_string(rng.Uniform(w.num_nodes));
+    points.push_back("USE gdb FOR SYSTEM_TIME AS OF " +
+                     std::to_string(1 + rng.Uniform(w.max_ts)) +
+                     " MATCH (n) WHERE id(n) = " + id + " RETURN n");
+    histories.push_back("USE gdb FOR SYSTEM_TIME BETWEEN 1 AND " +
+                        std::to_string(w.max_ts) +
+                        " MATCH (n) WHERE id(n) = " + id + " RETURN n");
+  }
+  for (const std::string& s : points) AION_CHECK(engine.Execute(s).ok());
+  for (const std::string& s : histories) AION_CHECK(engine.Execute(s).ok());
+
+  std::string sweep = "[";
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    query::ExecOptions exec;
+    exec.morsel_size = 32;
+    exec.max_workers = workers;
+    exec.min_parallel_items = 64;
+    engine.set_exec_options(exec);
+    bench::Timer timer;
+    for (const std::string& s : points) AION_CHECK(engine.Execute(s).ok());
+    const double point_ops = static_cast<double>(ops) / timer.Seconds();
+    timer.Reset();
+    for (const std::string& s : histories) {
+      AION_CHECK(engine.Execute(s).ok());
+    }
+    const double history_ops = static_cast<double>(ops) / timer.Seconds();
+    printf("worker sweep %zu: point %.0f ops/s, history %.0f ops/s\n",
+           workers, point_ops, history_ops);
+    char buf[112];
+    snprintf(buf, sizeof(buf),
+             "%s{\"workers\": %zu, \"point_ops\": %.0f, "
+             "\"history_ops\": %.0f}",
+             workers == 1 ? "" : ", ", workers, point_ops, history_ops);
+    sweep += buf;
+  }
+  sweep += "]";
+  return sweep;
+}
+
 }  // namespace
 
 int main() {
@@ -162,7 +222,7 @@ int main() {
     bench::PrintMetricsJson(*loaded.aion, spec.name);
   }
   json += "\n  },\n  \"registry_overhead\": " + RegistryOverheadJson(scale) +
-          "\n}\n";
+          ",\n  \"worker_sweep\": " + WorkerSweepJson(scale) + "\n}\n";
   bench::PrintFooter();
   printf("Expected: both systems within the same order of magnitude;\n"
          "Raphtory ahead on small graphs, Aion closing as history grows.\n");

@@ -23,7 +23,7 @@ cd "$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 # cross-thread query cancellation (kill / server Stop sweeps).
 TSAN_TEST_FILTER='ThreadPool|StorageConcurrency|ConcurrencyStress'
 TSAN_TEST_FILTER+='|ConcurrentReads|ConcurrentInterning|ConcurrentCommits'
-TSAN_TEST_FILTER+='|GroupCommit|IngestBatch|Compaction|Cancel'
+TSAN_TEST_FILTER+='|GroupCommit|IngestBatch|Compaction|Cancel|ParallelExec'
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 CTEST_JOBS="${CTEST_PARALLEL_LEVEL:-${JOBS}}"

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/workload_registry.h"
+
 namespace aion::algo {
+
+namespace {
+
+/// Cooperative-cancel poll for the scan loops, amortized to one check per
+/// 1024 iterations. The algorithms return plain values, so cancellation is
+/// an early exit with a partial result — callers driven from a statement
+/// (src/query/procedures.cc) re-check after the call and surface
+/// util::Status::Cancelled instead of the partial value.
+inline bool CancelledEvery1024(size_t i) {
+  return (i & 1023u) == 0 && obs::CancellationRequested();
+}
+
+}  // namespace
 
 using graph::kInfiniteTime;
 using graph::NodeId;
@@ -13,6 +28,7 @@ using graph::Timestamp;
 std::vector<TemporalEdge> CollectTemporalEdges(const TemporalGraph& g) {
   std::vector<TemporalEdge> edges;
   for (graph::RelId id = 0; id < g.RelCapacity(); ++id) {
+    if (CancelledEvery1024(id)) return edges;
     for (const graph::RelationshipVersion& v :
          g.RelationshipHistory(id, 0, kInfiniteTime)) {
       if (v.interval.end == kInfiniteTime) continue;  // never arrives
@@ -35,7 +51,9 @@ std::vector<Timestamp> EarliestArrival(const TemporalGraph& g, NodeId source,
             });
   // One pass in departure order (Wu et al. single-scan): an edge is usable
   // once its source is reachable by its departure time.
-  for (const TemporalEdge& e : edges) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (CancelledEvery1024(i)) break;
+    const TemporalEdge& e = edges[i];
     if (e.departure < t_start || e.arrival > t_end) continue;
     if (ea[e.src] <= e.departure && e.arrival < ea[e.tgt]) {
       ea[e.tgt] = e.arrival;
@@ -58,7 +76,9 @@ std::vector<Timestamp> LatestDeparture(const TemporalGraph& g, NodeId target,
             });
   // One pass in reverse arrival order: an edge is usable if the journey can
   // continue from its target after arriving.
-  for (const TemporalEdge& e : edges) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (CancelledEvery1024(i)) break;
+    const TemporalEdge& e = edges[i];
     if (e.departure < t_start || e.arrival > t_end) continue;
     if (e.arrival <= ld[e.tgt] && e.departure > ld[e.src]) {
       ld[e.src] = e.departure;
@@ -88,6 +108,7 @@ Timestamp FastestPathDuration(const TemporalGraph& g, NodeId source,
                    departures.end());
   Timestamp best = kInfiniteTime;
   for (Timestamp start : departures) {
+    if (obs::CancellationRequested()) break;  // one check per restart
     const std::vector<Timestamp> ea = EarliestArrival(g, source, start, t_end);
     if (ea[target] != kInfiniteTime) {
       best = std::min(best, ea[target] - start);
@@ -114,6 +135,7 @@ uint32_t ShortestTemporalPathHops(const TemporalGraph& g, NodeId source,
   const uint32_t max_hops =
       static_cast<uint32_t>(std::min<size_t>(g.NodeCapacity(), edges.size()));
   for (uint32_t hop = 1; hop <= max_hops; ++hop) {
+    if (obs::CancellationRequested()) break;  // one check per hop layer
     bool changed = false;
     std::vector<Timestamp> next = arrive;
     for (const TemporalEdge& e : edges) {

@@ -151,6 +151,25 @@ StatusOr<std::unique_ptr<AionStore>> AionStore::Open(const Options& options) {
   store->metric_chain_rewrites_ = metrics->counter("compaction.chain_rewrites");
   store->gauge_logical_floor_ = metrics->gauge("compaction.logical_floor");
   store->gauge_physical_floor_ = metrics->gauge("compaction.physical_floor");
+  // Parallel-executor instruments resolve here (not just in the query
+  // engine) so the exec.* name-set exists in every store's export — the
+  // bench-smoke metrics_diff gate pins it.
+  metrics->counter("exec.morsels_dispatched");
+  metrics->counter("exec.parallel_queries");
+  metrics->counter("exec.sequential_queries");
+  metrics->gauge("exec.parallel_fraction_permille");
+  {
+    CsrCache::Options csr_options;
+    csr_options.capacity_bytes = options.csr_cache_capacity_bytes;
+    CsrCache::Instruments csr_instruments;
+    csr_instruments.hits = metrics->counter("exec.csr_cache_hits");
+    csr_instruments.misses = metrics->counter("exec.csr_cache_misses");
+    csr_instruments.builds = metrics->counter("exec.csr_cache_builds");
+    csr_instruments.evictions = metrics->counter("exec.csr_cache_evictions");
+    csr_instruments.bytes = metrics->gauge("exec.csr_cache_bytes");
+    store->csr_cache_ =
+        std::make_unique<CsrCache>(csr_options, csr_instruments);
+  }
   // Cascade instruments resolve in every mode so the exported metric name
   // set does not depend on LineageMode.
   obs::Gauge* cascade_depth = metrics->gauge("cascade.queue_depth");
@@ -376,6 +395,11 @@ Status AionStore::CompactionRound() {
   gauge_logical_floor_->Set(static_cast<int64_t>(logical_floor));
   gauge_physical_floor_->Set(static_cast<int64_t>(
       time_store_ != nullptr ? time_store_->compaction_floor() : 0));
+  // Projections of history below the logical floor must not outlive the
+  // data they were built from (a cache hit would resurrect dropped state).
+  if (csr_cache_ != nullptr && logical_floor > 0) {
+    csr_cache_->EvictBelow(logical_floor);
+  }
   return Status::OK();
 }
 
@@ -640,6 +664,18 @@ AionStore::StoreChoice AionStore::ChooseStoreForExpand(uint32_t hops) const {
   if (lineage_store_ == nullptr) return StoreChoice::kTimeStore;
   if (time_store_ == nullptr) return StoreChoice::kLineageStore;
   const double fraction = stats_.EstimateExpandFraction(hops);
+  // Cost-based routing once both routes have been measured enough times:
+  // estimated touched nodes x measured nanos-per-node, plus the TimeStore's
+  // snapshot-materialization term. Until then (fresh store, routes never
+  // exercised) the Sec 6.3 fraction heuristic decides, unchanged.
+  if (cost_model_.confident()) {
+    const double est_nodes =
+        fraction * static_cast<double>(std::max<int64_t>(stats_.num_nodes(), 1));
+    return cost_model_.EstimateLineageCost(est_nodes) <=
+                   cost_model_.EstimateTimeStoreCost(est_nodes)
+               ? StoreChoice::kLineageStore
+               : StoreChoice::kTimeStore;
+  }
   return fraction < options_.lineage_fraction_threshold
              ? StoreChoice::kLineageStore
              : StoreChoice::kTimeStore;
@@ -765,18 +801,44 @@ AionStore::GetRelationships(graph::NodeId id, Direction direction,
   return result;
 }
 
+namespace {
+
+size_t CountExpansionNodes(const std::vector<std::vector<graph::Node>>& hops) {
+  size_t nodes = 0;
+  for (const std::vector<graph::Node>& level : hops) nodes += level.size();
+  return nodes;
+}
+
+}  // namespace
+
 StatusOr<std::vector<std::vector<graph::Node>>> AionStore::Expand(
     graph::NodeId id, Direction direction, uint32_t hops, Timestamp t) {
   AION_RETURN_IF_ERROR(CheckRetention(t));
   const StoreChoice choice = ChooseStoreForExpand(hops);
+  // Both routes are timed end to end: each execution is a cost-model
+  // observation, so routing converges to measured behaviour.
   if (choice == StoreChoice::kLineageStore && LineageCanServe(t)) {
-    return lineage_store_->Expand(id, direction, hops, t);
+    const uint64_t start = obs::NowNanos();
+    StatusOr<std::vector<std::vector<graph::Node>>> result =
+        lineage_store_->Expand(id, direction, hops, t);
+    if (result.ok()) {
+      cost_model_.ObserveLineageExpand(obs::NowNanos() - start,
+                                       CountExpansionNodes(*result));
+    }
+    return result;
   }
   if (time_store_ != nullptr) {
     // Either the heuristic picked the TimeStore or the cascade is lagging;
     // only the latter counts as a fallback.
     if (choice == StoreChoice::kLineageStore) CountFallback();
-    return ExpandViaTimeStore(id, direction, hops, t);
+    const uint64_t start = obs::NowNanos();
+    StatusOr<std::vector<std::vector<graph::Node>>> result =
+        ExpandViaTimeStore(id, direction, hops, t);
+    if (result.ok()) {
+      cost_model_.ObserveTimeStoreExpand(obs::NowNanos() - start,
+                                         CountExpansionNodes(*result));
+    }
+    return result;
   }
   if (lineage_store_ != nullptr) {
     return lineage_store_->Expand(id, direction, hops, t);
@@ -844,6 +906,32 @@ StatusOr<std::shared_ptr<const graph::GraphView>> AionStore::GetGraphAt(
     return std::shared_ptr<const graph::GraphView>(epoch->graph);
   }
   return time_store_->GetGraphAt(t);
+}
+
+StatusOr<std::shared_ptr<const graph::CsrGraph>> AionStore::ProjectCsrAt(
+    Timestamp t, const std::string& weight_property) {
+  AION_RETURN_IF_ERROR(CheckRetention(t));
+  // Key normalization: when the pinned epoch serves t (no ingest landed in
+  // (epoch.ts, t]), every such t maps to the epoch's timestamp — repeated
+  // analytics at "now-ish" instants share one cache entry.
+  Timestamp key_ts = t;
+  std::shared_ptr<const graph::GraphView> pinned;
+  auto epoch = PinEpoch();
+  if (epoch != nullptr && epoch->graph != nullptr && epoch->ts <= t) {
+    key_ts = epoch->ts;
+    pinned = epoch->graph;
+  }
+  return csr_cache_->GetOrBuild(
+      key_ts, weight_property,
+      [&]() -> StatusOr<std::shared_ptr<const graph::CsrGraph>> {
+        std::shared_ptr<const graph::GraphView> view = pinned;
+        if (view == nullptr) {
+          AION_ASSIGN_OR_RETURN(view, GetGraphAt(t));
+        }
+        return std::shared_ptr<const graph::CsrGraph>(
+            std::make_shared<graph::CsrGraph>(
+                graph::CsrGraph::Build(*view, weight_property)));
+      });
 }
 
 StatusOr<std::vector<std::shared_ptr<const graph::GraphView>>>
@@ -1239,6 +1327,11 @@ StatusOr<std::vector<std::vector<graph::Node>>> AionStore::ExpandViaTimeStore(
     std::map<graph::NodeId, bool> visited_this_hop;
     std::vector<graph::NodeId> next;
     for (graph::NodeId cid : queue) {
+      // Row boundary of the GraphStore expansion loop: a killed statement
+      // must not traverse the whole frontier to completion.
+      if (obs::CancellationRequested()) {
+        return Status::Cancelled("query killed");
+      }
       view->ForEachRel(cid, direction, [&](graph::RelId rel_id) {
         const graph::Relationship* rel = view->GetRelationship(rel_id);
         if (rel == nullptr) return;

@@ -37,6 +37,8 @@
 
 #include "core/cascade.h"
 #include "core/compaction.h"
+#include "core/cost_model.h"
+#include "core/csr_cache.h"
 #include "core/graphstore.h"
 #include "core/lineagestore.h"
 #include "core/statistics.h"
@@ -190,6 +192,13 @@ class AionStore : public txn::TransactionEventListener {
     /// Test-only: crash injection inside TimeStore::CompactUpTo.
     TimeStore::CompactionCrashPoint compaction_crash_point =
         TimeStore::CompactionCrashPoint::kNone;
+
+    // ----- Parallel execution (see query/exec.h, core/csr_cache.h) -----
+
+    /// Byte budget of the pinned-snapshot CSR projection cache backing
+    /// ProjectCsrAt (repeated analytics over one snapshot skip
+    /// re-materialization). 0 disables caching: every call rebuilds.
+    size_t csr_cache_capacity_bytes = 256u << 20;
   };
 
   static util::StatusOr<std::unique_ptr<AionStore>> Open(
@@ -313,6 +322,19 @@ class AionStore : public txn::TransactionEventListener {
   /// shared snapshot (cheap; copy-on-write on the next ingest).
   std::shared_ptr<const graph::MemoryGraph> LatestGraph();
 
+  /// The CSR projection of the graph at time t, served from the
+  /// byte-budgeted projection cache when possible. Requests at or after
+  /// the pinned epoch's timestamp all share the epoch's cache entry, so
+  /// repeated analytics on a live store still hit as long as no ingest
+  /// landed in between. `weight_property` selects a weighted projection
+  /// (part of the cache key); empty = structural.
+  util::StatusOr<std::shared_ptr<const graph::CsrGraph>> ProjectCsrAt(
+      Timestamp t, const std::string& weight_property = "");
+
+  /// The projection cache (never null; effectively disabled when
+  /// Options::csr_cache_capacity_bytes is 0).
+  CsrCache* csr_cache() const { return csr_cache_.get(); }
+
   // -------------------------------------------------------------------
   // Epoch-pinned reads
   // -------------------------------------------------------------------
@@ -341,8 +363,16 @@ class AionStore : public txn::TransactionEventListener {
 
   enum class StoreChoice { kLineageStore, kTimeStore };
 
-  /// The store the heuristic picks for an n-hop expansion.
+  /// The store picked for an n-hop expansion: measured operator costs once
+  /// the cost model is confident (both routes observed >= kMinSamples
+  /// times), the Sec 6.3 accessed-fraction heuristic until then.
   StoreChoice ChooseStoreForExpand(uint32_t hops) const;
+
+  /// The measured-cost model behind ChooseStoreForExpand. Fed by timed
+  /// Expand executions and PROFILE's SnapshotLoad stage; tests and
+  /// dbms.costmodel() read it.
+  OperatorCostModel* cost_model() { return &cost_model_; }
+  const OperatorCostModel& cost_model() const { return cost_model_; }
 
   /// Expand with an explicit store choice, bypassing the cardinality
   /// heuristic and the lag fallback (benchmarks, plan pinning). Fails with
@@ -422,6 +452,10 @@ class AionStore : public txn::TransactionEventListener {
   /// Options::capture_path is set). The query engine appends every
   /// completed statement; bench_replay re-executes the file.
   obs::WorkloadCapture* workload_capture() const { return capture_.get(); }
+
+  /// The shared reader pool (parallel replay decode, morsel-driven query
+  /// execution). Never null after Open.
+  util::ThreadPool* read_pool() const { return read_pool_.get(); }
 
   /// Registers host-database health checks (group-commit queue age, WAL
   /// fsync p99) against `db` and shares this store's metric registry with
@@ -540,6 +574,9 @@ class AionStore : public txn::TransactionEventListener {
   std::unique_ptr<TimeStore> time_store_;
   std::unique_ptr<LineageStore> lineage_store_;
   GraphStatistics stats_;
+  // Measured-cost store routing + the pinned-snapshot projection cache.
+  OperatorCostModel cost_model_;
+  std::unique_ptr<CsrCache> csr_cache_;
   std::unique_ptr<util::ThreadPool> background_;  // snapshot writer
   // Async commit->LineageStore pipeline (LineageMode::kAsync only).
   // Declared after lineage_store_: destroyed first, draining in-flight

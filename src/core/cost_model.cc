@@ -1,0 +1,90 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aion::core {
+
+void OperatorCostModel::ObserveLineageExpand(uint64_t nanos, uint64_t nodes) {
+  const double per_node =
+      static_cast<double>(nanos) / static_cast<double>(std::max<uint64_t>(nodes, 1));
+  std::lock_guard<std::mutex> lock(mu_);
+  lineage_per_node_.Observe(per_node);
+}
+
+void OperatorCostModel::ObserveTimeStoreExpand(uint64_t nanos,
+                                               uint64_t nodes) {
+  const double per_node =
+      static_cast<double>(nanos) / static_cast<double>(std::max<uint64_t>(nodes, 1));
+  std::lock_guard<std::mutex> lock(mu_);
+  timestore_per_node_.Observe(per_node);
+}
+
+void OperatorCostModel::ObserveSnapshotLoad(uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_load_.Observe(static_cast<double>(nanos));
+}
+
+bool OperatorCostModel::confident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineage_per_node_.samples >= kMinSamples &&
+         timestore_per_node_.samples >= kMinSamples;
+}
+
+double OperatorCostModel::lineage_nanos_per_node() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineage_per_node_.value;
+}
+
+double OperatorCostModel::timestore_nanos_per_node() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timestore_per_node_.value;
+}
+
+double OperatorCostModel::snapshot_load_nanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_load_.value;
+}
+
+uint64_t OperatorCostModel::lineage_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineage_per_node_.samples;
+}
+
+uint64_t OperatorCostModel::timestore_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timestore_per_node_.samples;
+}
+
+double OperatorCostModel::EstimateLineageCost(double est_nodes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return est_nodes * lineage_per_node_.value;
+}
+
+double OperatorCostModel::EstimateTimeStoreCost(double est_nodes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The snapshot-load EWMA is a refinement on top of the measured
+  // whole-route per-node cost: when the epoch fast path serves GetGraphAt
+  // the load is nearly free and the per-node figure already reflects that,
+  // so the fixed term only contributes once samples exist.
+  return est_nodes * timestore_per_node_.value + snapshot_load_.value;
+}
+
+std::string OperatorCostModel::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"lineage_nanos_per_node\":" << lineage_per_node_.value
+      << ",\"lineage_samples\":" << lineage_per_node_.samples
+      << ",\"timestore_nanos_per_node\":" << timestore_per_node_.value
+      << ",\"timestore_samples\":" << timestore_per_node_.samples
+      << ",\"snapshot_load_nanos\":" << snapshot_load_.value
+      << ",\"confident\":"
+      << (lineage_per_node_.samples >= kMinSamples &&
+                  timestore_per_node_.samples >= kMinSamples
+              ? "true"
+              : "false")
+      << "}";
+  return out.str();
+}
+
+}  // namespace aion::core

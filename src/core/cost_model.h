@@ -1,0 +1,77 @@
+// Cost-based store routing (ISSUE 10 / Sec 6.3): the planner's
+// LineageStore-vs-TimeStore choice starts from the paper's 30%
+// accessed-fraction heuristic, then graduates to measured costs once enough
+// executions have been observed. The model keeps an EWMA of per-node
+// expansion nanos for each store (fed by timed AionStore::Expand runs) and
+// of snapshot-load nanos (fed by PROFILE's SnapshotLoad stage), and
+// estimates a candidate route's cost as
+//     est_nodes(hops) * nanos_per_node(store) [+ snapshot_load for the
+//     TimeStore, which must materialize the graph at t first]
+// where est_nodes comes from the statistics module's cardinality
+// estimation. Until both stores have kMinSamples observations the model
+// reports !confident() and AionStore::ChooseStoreForExpand falls back to
+// the fraction heuristic — fresh stores behave exactly as before.
+#ifndef AION_CORE_COST_MODEL_H_
+#define AION_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace aion::core {
+
+class OperatorCostModel {
+ public:
+  /// Observations per store before the model overrides the heuristic.
+  static constexpr uint64_t kMinSamples = 8;
+
+  /// One measured LineageStore n-hop expansion: `nanos` wall time touching
+  /// `nodes` result nodes (hop levels summed; 0-node runs still count as
+  /// one node so the per-unit cost stays finite).
+  void ObserveLineageExpand(uint64_t nanos, uint64_t nodes);
+
+  /// One measured TimeStore-route expansion. `nanos` covers the whole
+  /// route, including the GetGraphAt materialization it needs.
+  void ObserveTimeStoreExpand(uint64_t nanos, uint64_t nodes);
+
+  /// One measured snapshot materialization (PROFILE SnapshotLoad stage or
+  /// a timed GetGraphAt). Sharpens the TimeStore estimate's fixed cost.
+  void ObserveSnapshotLoad(uint64_t nanos);
+
+  /// True once both expansion routes have kMinSamples observations — the
+  /// point where measured costs replace the fraction heuristic.
+  bool confident() const;
+
+  double lineage_nanos_per_node() const;
+  double timestore_nanos_per_node() const;
+  double snapshot_load_nanos() const;
+  uint64_t lineage_samples() const;
+  uint64_t timestore_samples() const;
+
+  /// Estimated cost (nanos) of expanding to `est_nodes` nodes per route.
+  double EstimateLineageCost(double est_nodes) const;
+  double EstimateTimeStoreCost(double est_nodes) const;
+
+  /// {"lineage_nanos_per_node":...} — dbms.costmodel() payload.
+  std::string ToJson() const;
+
+ private:
+  // EWMA with alpha 1/4: recent executions dominate, one outlier does not.
+  struct Ewma {
+    double value = 0.0;
+    uint64_t samples = 0;
+    void Observe(double x) {
+      ++samples;
+      value = samples == 1 ? x : value + 0.25 * (x - value);
+    }
+  };
+
+  mutable std::mutex mu_;
+  Ewma lineage_per_node_;
+  Ewma timestore_per_node_;
+  Ewma snapshot_load_;
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_COST_MODEL_H_

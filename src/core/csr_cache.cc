@@ -1,0 +1,109 @@
+#include "core/csr_cache.h"
+
+namespace aion::core {
+
+using util::StatusOr;
+
+CsrCache::CsrCache(const Options& options, const Instruments& instruments)
+    : options_(options), instruments_(instruments) {}
+
+StatusOr<std::shared_ptr<const graph::CsrGraph>> CsrCache::GetOrBuild(
+    graph::Timestamp ts, const std::string& signature,
+    const Builder& builder) {
+  const Key key{ts, signature};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      if (instruments_.hits != nullptr) instruments_.hits->Add();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.csr;
+    }
+    ++misses_;
+    if (instruments_.misses != nullptr) instruments_.misses->Add();
+  }
+
+  // Build outside the lock: a multi-second projection of a large snapshot
+  // must not serialize against hits on other keys.
+  AION_ASSIGN_OR_RETURN(std::shared_ptr<const graph::CsrGraph> built,
+                        builder());
+  if (instruments_.builds != nullptr) instruments_.builds->Add();
+  if (built == nullptr || options_.capacity_bytes == 0) return built;
+
+  const size_t bytes = built->SizeBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent miss built the same key first; keep the resident copy
+    // (callers compare identical projections, so either copy is correct).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.csr;
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.csr = built;
+  entry.bytes = bytes;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_ += bytes;
+  EvictOverBudgetLocked();
+  if (instruments_.bytes != nullptr) {
+    instruments_.bytes->Set(static_cast<int64_t>(bytes_));
+  }
+  return built;
+}
+
+size_t CsrCache::EvictBelow(graph::Timestamp floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first < floor) {
+      auto victim = it++;
+      RemoveLocked(victim);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0 && instruments_.bytes != nullptr) {
+    instruments_.bytes->Set(static_cast<int64_t>(bytes_));
+  }
+  return dropped;
+}
+
+void CsrCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!entries_.empty()) RemoveLocked(entries_.begin());
+  if (instruments_.bytes != nullptr) instruments_.bytes->Set(0);
+}
+
+CsrCache::Stats CsrCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void CsrCache::EvictOverBudgetLocked() {
+  while (bytes_ > options_.capacity_bytes && entries_.size() > 1) {
+    // Never evict the just-inserted head: a single over-budget projection
+    // still serves repeated hits until something newer displaces it.
+    auto it = entries_.find(lru_.back());
+    RemoveLocked(it);
+  }
+}
+
+void CsrCache::RemoveLocked(std::map<Key, Entry>::iterator it) {
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++evictions_;
+  if (instruments_.evictions != nullptr) instruments_.evictions->Add();
+}
+
+}  // namespace aion::core

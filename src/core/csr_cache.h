@@ -1,0 +1,111 @@
+// Pinned-snapshot CSR projection cache (ISSUE 10): repeated analytics over
+// the same epoch-pinned snapshot skip re-materializing the CSR projection.
+// Entries are keyed by (snapshot timestamp, pattern signature) — the
+// signature encodes everything that changes the projection's shape (today:
+// the weight property; an empty signature is the unweighted structural
+// projection). Eviction is LRU under a byte budget accounted with
+// CsrGraph::SizeBytes, and compaction calls EvictBelow with the retention
+// floor so projections of dropped history cannot outlive the data they
+// were built from.
+//
+// Concurrency: lookups and inserts take one mutex; builds run OUTSIDE the
+// lock, so a slow projection never blocks hits on other keys. Two threads
+// missing the same key concurrently both build — the second insert is
+// dropped in favour of the first (both callers get a valid projection and
+// the budget is charged once).
+#ifndef AION_CORE_CSR_CACHE_H_
+#define AION_CORE_CSR_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "graph/csr.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace aion::core {
+
+class CsrCache {
+ public:
+  struct Options {
+    /// Byte budget across all cached projections. 0 disables caching
+    /// entirely (every GetOrBuild builds and nothing is retained).
+    size_t capacity_bytes = 256u << 20;
+  };
+
+  /// Instruments (all nullable): exec.csr_cache_hits / _misses / _builds /
+  /// _evictions counters and the exec.csr_cache_bytes gauge.
+  struct Instruments {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* builds = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Gauge* bytes = nullptr;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+
+  using Builder = std::function<
+      util::StatusOr<std::shared_ptr<const graph::CsrGraph>>()>;
+
+  CsrCache(const Options& options, const Instruments& instruments);
+
+  CsrCache(const CsrCache&) = delete;
+  CsrCache& operator=(const CsrCache&) = delete;
+
+  /// The projection for (ts, signature): cached (LRU touch) or built via
+  /// `builder` outside the lock, then inserted (evicting LRU entries over
+  /// budget). Builder failures are returned verbatim and cache nothing.
+  util::StatusOr<std::shared_ptr<const graph::CsrGraph>> GetOrBuild(
+      graph::Timestamp ts, const std::string& signature,
+      const Builder& builder);
+
+  /// Drops every projection with ts < floor (compaction: history below the
+  /// physical floor is gone; its projections must not serve hits). Returns
+  /// how many entries were dropped.
+  size_t EvictBelow(graph::Timestamp floor);
+
+  void Clear();
+
+  Stats GetStats() const;
+
+ private:
+  using Key = std::pair<graph::Timestamp, std::string>;
+
+  struct Entry {
+    std::shared_ptr<const graph::CsrGraph> csr;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_it;  // position in lru_ (front = hottest)
+  };
+
+  /// Evicts least-recently-used entries until bytes_ <= capacity. Caller
+  /// holds mu_.
+  void EvictOverBudgetLocked();
+  void RemoveLocked(std::map<Key, Entry>::iterator it);
+
+  const Options options_;
+  const Instruments instruments_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace aion::core
+
+#endif  // AION_CORE_CSR_CACHE_H_

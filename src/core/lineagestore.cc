@@ -6,6 +6,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "obs/workload_registry.h"
 #include "storage/file.h"
 #include "util/coding.h"
 #include "util/logging.h"
@@ -478,6 +479,11 @@ StatusOr<std::vector<std::vector<graph::Node>>> LineageStore::Expand(
     std::map<graph::NodeId, bool> visited_this_hop;
     const size_t qsize = queue.size();
     for (size_t i = 0; i < qsize; ++i) {
+      // Row boundary of the expansion loop: the frontier grows roughly
+      // degree^hop, so a killed statement must bail per item, not per hop.
+      if (obs::CancellationRequested()) {
+        return Status::Cancelled("query killed");
+      }
       const graph::NodeId cid = queue.front();
       queue.pop_front();
       AION_ASSIGN_OR_RETURN(std::vector<LiveNeighbour> nbrs,

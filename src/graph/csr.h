@@ -52,6 +52,18 @@ class CsrGraph {
     return map_.sparse_to_dense[sparse];
   }
 
+  /// Heap footprint of the projection (arrays + id maps) — the unit the
+  /// projection cache's byte budget is accounted in.
+  size_t SizeBytes() const {
+    return map_.dense_to_sparse.capacity() * sizeof(NodeId) +
+           map_.sparse_to_dense.capacity() * sizeof(uint32_t) +
+           offsets_.capacity() * sizeof(uint64_t) +
+           targets_.capacity() * sizeof(uint32_t) +
+           weights_.capacity() * sizeof(double) +
+           in_offsets_.capacity() * sizeof(uint64_t) +
+           in_targets_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   DenseIdMap map_;
   std::vector<uint64_t> offsets_;     // size num_nodes + 1

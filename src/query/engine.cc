@@ -85,6 +85,14 @@ class ProfileStage {
 
   void set_rows(uint64_t rows) { rows_ = rows; }
 
+  /// Appends execution facts discovered while the stage ran (e.g. morsel
+  /// dispatch shape). No-op when PROFILE is not active.
+  void append_detail(const std::string& text) {
+    if (!active_ || text.empty()) return;
+    if (!detail_.empty()) detail_ += " ";
+    detail_ += text;
+  }
+
  private:
   const bool active_;
   const char* op_ = nullptr;
@@ -93,6 +101,42 @@ class ProfileStage {
   uint64_t start_ = 0;
   uint64_t rows_ = 0;
 };
+
+// Morsel-dispatch shape of the statement executing on this thread, folded
+// across MatchPath calls (multi-pattern statements dispatch once per path)
+// so the enclosing PROFILE stage can annotate itself. Worker busy nanos are
+// display-only: stage wall time stays the coordinator's dispatch-to-merge
+// interval, preserving `Total >= sum(steps)`.
+struct DispatchNote {
+  bool valid = false;
+  bool parallel = false;
+  size_t morsels = 0;
+  size_t workers = 0;
+  uint64_t worker_busy_nanos = 0;
+};
+thread_local DispatchNote tls_dispatch;
+
+void NoteDispatch(const MorselDriver::Outcome& outcome) {
+  if (tls_profile == nullptr) return;  // the note only feeds PROFILE detail
+  tls_dispatch.valid = true;
+  tls_dispatch.parallel |= outcome.parallel;
+  tls_dispatch.morsels += outcome.morsels;
+  tls_dispatch.workers = std::max(tls_dispatch.workers, outcome.workers);
+  tls_dispatch.worker_busy_nanos += outcome.worker_busy_nanos;
+}
+
+std::string TakeDispatchDetail() {
+  if (!tls_dispatch.valid) return "";
+  std::string text = "morsels=" + std::to_string(tls_dispatch.morsels) +
+                     " workers=" +
+                     std::to_string(std::max<size_t>(tls_dispatch.workers, 1));
+  if (tls_dispatch.parallel) {
+    text += " worker_busy_nanos=" +
+            std::to_string(tls_dispatch.worker_busy_nanos);
+  }
+  tls_dispatch = DispatchNote{};
+  return text;
+}
 
 }  // namespace
 
@@ -112,6 +156,15 @@ QueryEngine::QueryEngine(txn::GraphDatabase* db, core::AionStore* aion)
   metric_parse_ = metrics_->histogram("query.parse_nanos");
   metric_plan_ = metrics_->histogram("query.plan_nanos");
   metric_execute_ = metrics_->histogram("query.execute_nanos");
+  exec_instruments_.morsels_dispatched =
+      metrics_->counter("exec.morsels_dispatched");
+  exec_instruments_.parallel_queries =
+      metrics_->counter("exec.parallel_queries");
+  exec_instruments_.sequential_queries =
+      metrics_->counter("exec.sequential_queries");
+  exec_instruments_.parallel_fraction =
+      metrics_->gauge("exec.parallel_fraction_permille");
+  exec_pool_ = aion_ != nullptr ? aion_->read_pool() : nullptr;
   slow_log_ = aion_ != nullptr ? aion_->slow_query_log() : nullptr;
   if (aion_ != nullptr) {
     workload_ = aion_->workload_registry();
@@ -344,18 +397,35 @@ StatusOr<QueryResult> QueryEngine::ExecutePointHistory(const Statement& stmt,
                                                  pred.app_a, pred.app_b);
       }
     }
-    // Label / property predicates still apply per version.
+    // Label / property predicates still apply per version, morselized over
+    // the version list (slot merge in morsel order keeps version order).
     const PathPattern& path = stmt.patterns.front();
-    for (graph::NodeVersion& v : versions) {
-      if (obs::CancellationRequested()) {
-        return Status::Cancelled("query killed");
-      }
-      if (!NodeMatches(path.nodes.front(), v.entity)) continue;
-      Binding binding;
-      binding.values[path.nodes.front().variable] = Value(std::move(v.entity));
-      if (PredicatesHold(stmt, binding)) bindings.push_back(std::move(binding));
+    MorselDriver driver(exec_pool_, exec_options_, exec_instruments_);
+    std::vector<std::vector<Binding>> slots(
+        driver.NumMorsels(versions.size()));
+    util::StatusOr<MorselDriver::Outcome> outcome = driver.Run(
+        versions.size(),
+        [&](size_t morsel, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            if (driver.cancelled()) return Status::Cancelled("query killed");
+            graph::NodeVersion& v = versions[i];
+            if (!NodeMatches(path.nodes.front(), v.entity)) continue;
+            Binding binding;
+            binding.values[path.nodes.front().variable] =
+                Value(std::move(v.entity));
+            if (PredicatesHold(stmt, binding)) {
+              slots[morsel].push_back(std::move(binding));
+            }
+          }
+          return Status::OK();
+        });
+    AION_RETURN_IF_ERROR(outcome.status());
+    NoteDispatch(*outcome);
+    for (std::vector<Binding>& slot : slots) {
+      for (Binding& binding : slot) bindings.push_back(std::move(binding));
     }
     stage.set_rows(bindings.size());
+    if (tls_profile != nullptr) stage.append_detail(TakeDispatchDetail());
   }
   ProfileStage stage("ProduceResults", "");
   StatusOr<QueryResult> result = Project(stmt, bindings);
@@ -447,7 +517,10 @@ bool QueryEngine::PredicatesHold(const Statement& stmt,
 Status QueryEngine::MatchPath(const PathPattern& path, const GraphView& view,
                               const Statement& stmt,
                               std::vector<Binding>* out) {
-  // Seed candidates for the first node.
+  // Seed candidates for the first node. Collection stays sequential:
+  // ForEachNode's iteration order (base order, then overlay-only nodes on
+  // CoW views) is the ordering contract for the result set, and the filter
+  // is cheap relative to per-seed expansion.
   std::vector<Node> seeds;
   NodeId anchor = graph::kInvalidNodeId;
   for (const Predicate& pred : stmt.predicates) {
@@ -462,11 +535,49 @@ Status QueryEngine::MatchPath(const PathPattern& path, const GraphView& view,
       seeds.push_back(*node);
     }
   } else {
+    size_t scanned = 0;
+    bool killed = false;
     view.ForEachNode([&](const Node& node) {
+      if (killed) return;
+      if ((++scanned & 1023u) == 0 && obs::CancellationRequested()) {
+        killed = true;
+        return;
+      }
       if (NodeMatches(path.nodes.front(), node)) seeds.push_back(node);
     });
+    if (killed) return Status::Cancelled("query killed");
   }
 
+  // Morsel dispatch: each morsel expands a contiguous slice of seeds into
+  // its own output slot; the merge walks slots in morsel-index order, so
+  // results are byte-identical at any worker count (seed order forward,
+  // depth-first order within each seed).
+  MorselDriver driver(exec_pool_, exec_options_, exec_instruments_);
+  std::vector<std::vector<Binding>> slots(driver.NumMorsels(seeds.size()));
+  util::StatusOr<MorselDriver::Outcome> outcome = driver.Run(
+      seeds.size(), [&](size_t morsel, size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          AION_RETURN_IF_ERROR(ExpandSeed(path, view, stmt,
+                                          std::move(seeds[i]), driver,
+                                          &slots[morsel]));
+        }
+        return Status::OK();
+      });
+  AION_RETURN_IF_ERROR(outcome.status());
+  NoteDispatch(*outcome);
+  size_t total = out->size();
+  for (const std::vector<Binding>& slot : slots) total += slot.size();
+  out->reserve(total);
+  for (std::vector<Binding>& slot : slots) {
+    for (Binding& binding : slot) out->push_back(std::move(binding));
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::ExpandSeed(const PathPattern& path, const GraphView& view,
+                               const Statement& stmt, Node seed,
+                               const MorselDriver& driver,
+                               std::vector<Binding>* out) const {
   // Depth-first extension along the path.
   struct Frame {
     Binding binding;
@@ -474,7 +585,7 @@ Status QueryEngine::MatchPath(const PathPattern& path, const GraphView& view,
     size_t next_rel;
   };
   std::vector<Frame> stack;
-  for (Node& seed : seeds) {
+  {
     Frame frame;
     const NodeId id = seed.id;
     if (!path.nodes.front().variable.empty()) {
@@ -487,8 +598,10 @@ Status QueryEngine::MatchPath(const PathPattern& path, const GraphView& view,
   }
 
   while (!stack.empty()) {
-    // Operator-row boundary: one kill check per pattern frame.
-    if (obs::CancellationRequested()) {
+    // Operator-row boundary: one kill check per pattern frame. The driver
+    // carries the coordinator's cancel flag, so the check works on pool
+    // workers (which have no ActiveQueryScope of their own).
+    if (driver.cancelled()) {
       return Status::Cancelled("query killed");
     }
     Frame frame = std::move(stack.back());
@@ -717,7 +830,15 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
         stmt.time.kind == TimeSpec::Kind::kLatest
             ? ""
             : "t=" + std::to_string(stmt.time.a));
+    const uint64_t view_start = obs::NowNanos();
     view = ViewAt(stmt.time);
+    // Snapshot-load wall time is a cost-model observation (the same number
+    // PROFILE reports for this stage) — it sharpens the TimeStore route's
+    // fixed cost in ChooseStoreForExpand.
+    if (aion_ != nullptr && view.ok() &&
+        stmt.time.kind == TimeSpec::Kind::kAsOf) {
+      aion_->cost_model()->ObserveSnapshotLoad(obs::NowNanos() - view_start);
+    }
   }
   AION_RETURN_IF_ERROR(view.status());
   std::vector<Binding> bindings;
@@ -728,6 +849,7 @@ StatusOr<QueryResult> QueryEngine::ExecuteMatch(const Statement& stmt) {
                            : "all nodes");
     AION_ASSIGN_OR_RETURN(bindings, MatchPatterns(stmt, **view));
     stage.set_rows(bindings.size());
+    if (tls_profile != nullptr) stage.append_detail(TakeDispatchDetail());
   }
   ProfileStage stage("ProduceResults", "");
   StatusOr<QueryResult> result = Project(stmt, bindings);

@@ -18,6 +18,7 @@
 #include "obs/slowlog.h"
 #include "obs/workload_registry.h"
 #include "query/ast.h"
+#include "query/exec.h"
 #include "query/planner.h"
 #include "query/value.h"
 #include "txn/graphdb.h"
@@ -66,6 +67,12 @@ class QueryEngine {
   /// output).
   obs::WorkloadCapture* capture() const { return capture_; }
 
+  /// Morsel-dispatch tuning (see query/exec.h). Not thread-safe against
+  /// concurrent Execute calls — set before serving traffic (tests and
+  /// benchmarks sweep max_workers through this).
+  void set_exec_options(const ExecOptions& options) { exec_options_ = options; }
+  const ExecOptions& exec_options() const { return exec_options_; }
+
  private:
   struct Binding {
     std::map<std::string, Value> values;
@@ -92,6 +99,13 @@ class QueryEngine {
       const Statement& stmt, const graph::GraphView& view);
   util::Status MatchPath(const PathPattern& path, const graph::GraphView& view,
                          const Statement& stmt, std::vector<Binding>* out);
+  /// Depth-first extension of one seed node along `path`; the per-morsel
+  /// unit of work (runs on pool workers — must only touch `out` and
+  /// const engine state).
+  util::Status ExpandSeed(const PathPattern& path,
+                          const graph::GraphView& view, const Statement& stmt,
+                          graph::Node seed, const MorselDriver& driver,
+                          std::vector<Binding>* out) const;
   bool NodeMatches(const NodePattern& pattern, const graph::Node& node) const;
   bool PredicatesHold(const Statement& stmt, const Binding& binding) const;
 
@@ -123,6 +137,12 @@ class QueryEngine {
   obs::Histogram* metric_parse_ = nullptr;
   obs::Histogram* metric_plan_ = nullptr;
   obs::Histogram* metric_execute_ = nullptr;
+
+  // Morsel-driven parallel dispatch (query/exec.h): scan/expand/history
+  // operators fan out onto Aion's read pool (null pool = sequential).
+  ExecOptions exec_options_;
+  ExecInstruments exec_instruments_;
+  util::ThreadPool* exec_pool_ = nullptr;
 };
 
 }  // namespace aion::query

@@ -1,0 +1,160 @@
+#include "query/exec.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "obs/query_stats.h"
+
+namespace aion::query {
+
+using util::Status;
+using util::StatusOr;
+
+MorselDriver::MorselDriver(util::ThreadPool* pool, const ExecOptions& options,
+                           const ExecInstruments& instruments)
+    : pool_(pool), options_(options), instruments_(instruments) {
+  obs::WorkloadRegistry::RunningQuery* running =
+      obs::ActiveQueryScope::Current();
+  cancel_flag_ = running != nullptr ? &running->cancel : nullptr;
+}
+
+namespace {
+
+/// Refreshes exec.parallel_fraction_permille from the two mode counters.
+void UpdateParallelFraction(const ExecInstruments& instruments) {
+  if (instruments.parallel_fraction == nullptr ||
+      instruments.parallel_queries == nullptr ||
+      instruments.sequential_queries == nullptr) {
+    return;
+  }
+  const uint64_t parallel = instruments.parallel_queries->value();
+  const uint64_t total = parallel + instruments.sequential_queries->value();
+  if (total == 0) return;
+  instruments.parallel_fraction->Set(
+      static_cast<int64_t>(parallel * 1000 / total));
+}
+
+}  // namespace
+
+StatusOr<MorselDriver::Outcome> MorselDriver::Run(size_t n,
+                                                  const MorselBody& body) {
+  Outcome outcome;
+  if (n == 0) return outcome;
+  const size_t morsel_size = std::max<size_t>(options_.morsel_size, 1);
+  const size_t morsels = (n + morsel_size - 1) / morsel_size;
+  outcome.morsels = morsels;
+  size_t width = options_.max_workers != 0
+                     ? options_.max_workers
+                     : (pool_ != nullptr ? pool_->num_threads() + 1 : 1);
+  width = std::min(width, morsels);
+  const bool parallel =
+      pool_ != nullptr && width > 1 && n >= options_.min_parallel_items;
+
+  if (instruments_.morsels_dispatched != nullptr) {
+    instruments_.morsels_dispatched->Add(morsels);
+  }
+  if (!parallel) {
+    if (instruments_.sequential_queries != nullptr) {
+      instruments_.sequential_queries->Add();
+    }
+    UpdateParallelFraction(instruments_);
+    outcome.workers = 1;
+    for (size_t m = 0; m < morsels; ++m) {
+      if (cancelled()) return Status::Cancelled("query killed");
+      const size_t begin = m * morsel_size;
+      AION_RETURN_IF_ERROR(
+          body(m, begin, std::min(n, begin + morsel_size)));
+    }
+    return outcome;
+  }
+
+  outcome.parallel = true;
+  if (instruments_.parallel_queries != nullptr) {
+    instruments_.parallel_queries->Add();
+  }
+  UpdateParallelFraction(instruments_);
+
+  // Shared dispatch state. Stack-allocated: Run() always waits for every
+  // helper task before returning, so references stay valid.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> busy_nanos{0};
+    std::atomic<size_t> touched{0};
+    std::mutex mu;
+    Status first_error = Status::OK();
+    obs::QueryStats worker_stats;  // folded by the coordinator at merge
+    size_t outstanding = 0;
+    std::condition_variable done;
+  } shared;
+
+  // Morsel claim loop. The coordinator's store ticks flow into its ambient
+  // QueryStatsScope directly; helpers run each morsel under a private scope
+  // (a pool worker has no enclosing scope to fold into) and publish the
+  // accumulated stats for the coordinator to re-attribute.
+  auto work = [&](bool coordinator) {
+    const uint64_t start = obs::NowNanos();
+    bool touched = false;
+    obs::QueryStats local;
+    while (!cancelled()) {
+      const size_t m = shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsels) break;
+      touched = true;
+      const size_t begin = m * morsel_size;
+      const size_t end = std::min(n, begin + morsel_size);
+      Status status = Status::OK();
+      if (coordinator) {
+        status = body(m, begin, end);
+      } else {
+        obs::QueryStatsScope scope;
+        status = body(m, begin, end);
+        local.Add(scope.stats());
+      }
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (shared.first_error.ok()) shared.first_error = std::move(status);
+        stop_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (touched) {
+      shared.touched.fetch_add(1, std::memory_order_relaxed);
+      shared.busy_nanos.fetch_add(obs::NowNanos() - start,
+                                  std::memory_order_relaxed);
+    }
+    if (!local.IsZero()) {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.worker_stats.Add(local);
+    }
+  };
+
+  const size_t helpers = width - 1;
+  shared.outstanding = helpers;
+  for (size_t i = 0; i < helpers; ++i) {
+    pool_->Submit([&work, &shared] {
+      work(false);
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (--shared.outstanding == 0) shared.done.notify_all();
+    });
+  }
+  work(true);
+  {
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.done.wait(lock, [&shared] { return shared.outstanding == 0; });
+  }
+
+  // Re-attribute helper store work to the dispatching statement before the
+  // enclosing ProfileStage closes.
+  if (obs::QueryStats* current = obs::QueryStatsScope::Current()) {
+    current->Add(shared.worker_stats);
+  }
+  outcome.workers = shared.touched.load(std::memory_order_relaxed);
+  outcome.worker_busy_nanos =
+      shared.busy_nanos.load(std::memory_order_relaxed);
+
+  if (!shared.first_error.ok()) return shared.first_error;
+  if (cancelled()) return Status::Cancelled("query killed");
+  return outcome;
+}
+
+}  // namespace aion::query

@@ -1,0 +1,122 @@
+// Morsel-driven parallel query execution (ROADMAP item 5): the engine's
+// row-producing operators (node scans, pattern expansion, history-version
+// folding) split their input domain into fixed-size work units ("morsels")
+// and dispatch them onto AionStore's shared read pool. Workers execute
+// against immutable, epoch-pinned snapshot views, so they never touch the
+// ingest mutex; the coordinator merges per-morsel outputs in morsel-index
+// order, which makes results byte-identical at any worker count — including
+// the inline sequential path, which runs the exact same morsel bodies in
+// the exact same order.
+//
+// Observability contracts the driver enforces (see docs/ARCHITECTURE.md):
+//   * Cancellation: workers carry no ActiveQueryScope. The driver captures
+//     the coordinator's RunningQuery once and exposes its cancel flag via
+//     cancelled(); morsel bodies poll it at row boundaries. A killed query
+//     surfaces util::Status::Cancelled from Run().
+//   * Store-work attribution: each morsel runs under its own thread-local
+//     obs::QueryStatsScope; the driver folds every morsel's stats into the
+//     coordinator's scope *before* Run() returns, so an enclosing PROFILE
+//     stage sees all worker work attributed to the dispatching operator.
+//   * Row accounting: workers never call obs::TickCurrentQueryRows — the
+//     RunningQuery row register is single-writer by design. Bodies count
+//     into per-morsel outputs; the coordinator ticks once after the merge.
+//   * PROFILE time: an operator's wall nanos are the coordinator's
+//     dispatch-to-merge interval. Per-worker busy nanos are summed into
+//     Outcome::worker_busy_nanos for display only, never added to any
+//     stage, so `parent >= sum(children)` holds under parallel dispatch.
+#ifndef AION_QUERY_EXEC_H_
+#define AION_QUERY_EXEC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/workload_registry.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace aion::query {
+
+/// Tuning knobs for morsel dispatch. Exposed on QueryEngine so tests and
+/// benchmarks can sweep worker counts deterministically.
+struct ExecOptions {
+  /// Items per morsel (seeds per scan unit / versions per history unit).
+  /// Must be positive.
+  size_t morsel_size = 64;
+  /// Upper bound on concurrent workers, including the coordinator, which
+  /// always participates. 0 = the read pool's width + 1; 1 = sequential.
+  size_t max_workers = 0;
+  /// Inputs smaller than this run inline — dispatch overhead would dominate.
+  size_t min_parallel_items = 128;
+};
+
+/// Instruments the driver ticks (resolved once by the engine; the same
+/// names are registered in AionStore::Open so the exec.* name-set exists in
+/// every store). All pointers may be null.
+struct ExecInstruments {
+  obs::Counter* morsels_dispatched = nullptr;  // exec.morsels_dispatched
+  obs::Counter* parallel_queries = nullptr;    // exec.parallel_queries
+  obs::Counter* sequential_queries = nullptr;  // exec.sequential_queries
+  obs::Gauge* parallel_fraction = nullptr;  // exec.parallel_fraction_permille
+};
+
+/// One dispatch over [0, n): partitions the domain into ceil(n/morsel_size)
+/// morsels and runs `body(morsel_index, begin, end)` for each. Bodies for
+/// distinct morsels may run concurrently on pool workers (plus the
+/// coordinator); bodies must only write state owned by their morsel index.
+class MorselDriver {
+ public:
+  /// What one Run() did, for PROFILE annotation.
+  struct Outcome {
+    bool parallel = false;
+    size_t morsels = 0;
+    size_t workers = 0;  // tasks that actually touched a morsel
+    uint64_t worker_busy_nanos = 0;
+  };
+
+  using MorselBody =
+      std::function<util::Status(size_t morsel, size_t begin, size_t end)>;
+
+  /// `pool` may be null (always sequential).
+  MorselDriver(util::ThreadPool* pool, const ExecOptions& options,
+               const ExecInstruments& instruments);
+
+  MorselDriver(const MorselDriver&) = delete;
+  MorselDriver& operator=(const MorselDriver&) = delete;
+
+  /// Runs `body` over every morsel of [0, n). Parallel when a pool is
+  /// available, max_workers != 1 and n >= min_parallel_items; inline (same
+  /// bodies, same order) otherwise. Returns the first body error (morsels
+  /// already running drain; queued morsels are skipped), Cancelled when the
+  /// coordinator's query was killed, OK otherwise.
+  util::StatusOr<Outcome> Run(size_t n, const MorselBody& body);
+
+  /// True when the dispatching query was killed (or a sibling morsel
+  /// failed). Morsel bodies poll this at row boundaries; one relaxed load.
+  bool cancelled() const {
+    return stop_.load(std::memory_order_relaxed) ||
+           (cancel_flag_ != nullptr &&
+            cancel_flag_->load(std::memory_order_relaxed));
+  }
+
+  size_t NumMorsels(size_t n) const {
+    const size_t size = options_.morsel_size > 0 ? options_.morsel_size : 1;
+    return (n + size - 1) / size;
+  }
+
+ private:
+  util::ThreadPool* pool_;
+  const ExecOptions options_;
+  const ExecInstruments instruments_;
+  /// The coordinator's kill flag, captured at construction (workers have no
+  /// ActiveQueryScope of their own). Null when the statement is untracked.
+  const std::atomic<bool>* cancel_flag_;
+  /// Set on the first body failure so sibling morsels stop early.
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace aion::query
+
+#endif  // AION_QUERY_EXEC_H_

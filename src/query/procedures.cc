@@ -6,6 +6,7 @@
 #include "algo/incremental.h"
 #include "algo/temporal_paths.h"
 #include "obs/trace.h"
+#include "obs/workload_registry.h"
 #include "query/engine.h"
 
 namespace aion::query {
@@ -222,6 +223,7 @@ StatusOr<QueryResult> IncrementalAvg(QueryEngine& engine,
   QueryResult result;
   result.columns = {"t", "avg", "count"};
   for (int64_t t = start; t < end; t += step) {
+    if (obs::CancellationRequested()) return Status::Cancelled("query killed");
     const int64_t next = std::min<int64_t>(t + step, end);
     AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
                                          static_cast<Timestamp>(t) + 1,
@@ -258,6 +260,7 @@ StatusOr<QueryResult> IncrementalBfsProc(QueryEngine& engine,
   };
   result.rows.push_back({Value(start), Value(count_reached())});
   for (int64_t t = start; t < end; t += step) {
+    if (obs::CancellationRequested()) return Status::Cancelled("query killed");
     const int64_t next = std::min<int64_t>(t + step, end);
     // State-at-t -> state-at-next: half-open [t + 1, next + 1).
     AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
@@ -298,6 +301,7 @@ StatusOr<QueryResult> IncrementalPageRankProc(
       {Value(start), Value(static_cast<int64_t>(pr.last_iterations())),
        Value(int64_t{0})});
   for (int64_t t = start; t < end; t += step) {
+    if (obs::CancellationRequested()) return Status::Cancelled("query killed");
     const int64_t next = std::min<int64_t>(t + step, end);
     AION_ASSIGN_OR_RETURN(auto diff, engine.aion()->GetDiff(
                                          static_cast<Timestamp>(t) + 1,
@@ -327,6 +331,9 @@ StatusOr<QueryResult> EarliestArrivalProc(QueryEngine& engine,
                                         static_cast<graph::NodeId>(src),
                                         static_cast<Timestamp>(t1),
                                         static_cast<Timestamp>(t2));
+  // The algorithm exits early with a partial vector when the query is
+  // killed; surface the cancellation instead of the partial answer.
+  if (obs::CancellationRequested()) return Status::Cancelled("query killed");
   QueryResult result;
   result.columns = {"arrival"};
   const graph::NodeId target = static_cast<graph::NodeId>(tgt);
@@ -356,6 +363,9 @@ StatusOr<QueryResult> LatestDepartureProc(QueryEngine& engine,
                                         static_cast<graph::NodeId>(tgt),
                                         static_cast<Timestamp>(t1),
                                         static_cast<Timestamp>(t2));
+  // The algorithm exits early with a partial vector when the query is
+  // killed; surface the cancellation instead of the partial answer.
+  if (obs::CancellationRequested()) return Status::Cancelled("query killed");
   QueryResult result;
   result.columns = {"departure"};
   const graph::NodeId source = static_cast<graph::NodeId>(src);

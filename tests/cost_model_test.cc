@@ -1,0 +1,142 @@
+// Cost-based store routing (ISSUE 10): the model defers to the Sec 6.3
+// fraction heuristic until both expansion routes have kMinSamples measured
+// executions, then routes by estimated nanos. The integration half seeds a
+// live store's model through the public accessor and asserts the routing
+// decision flips with the measurements.
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/aion.h"
+#include "storage/file.h"
+
+namespace aion::core {
+namespace {
+
+TEST(CostModelTest, NotConfidentUntilBothRoutesHaveMinSamples) {
+  OperatorCostModel model;
+  EXPECT_FALSE(model.confident());
+  for (uint64_t i = 0; i < OperatorCostModel::kMinSamples; ++i) {
+    model.ObserveLineageExpand(1000, 10);
+  }
+  // One route alone is not enough.
+  EXPECT_FALSE(model.confident());
+  for (uint64_t i = 0; i + 1 < OperatorCostModel::kMinSamples; ++i) {
+    model.ObserveTimeStoreExpand(1000, 10);
+  }
+  EXPECT_FALSE(model.confident());
+  model.ObserveTimeStoreExpand(1000, 10);
+  EXPECT_TRUE(model.confident());
+  EXPECT_EQ(model.lineage_samples(), OperatorCostModel::kMinSamples);
+  EXPECT_EQ(model.timestore_samples(), OperatorCostModel::kMinSamples);
+}
+
+TEST(CostModelTest, EwmaTracksPerNodeCostAndZeroNodeRunsStayFinite) {
+  OperatorCostModel model;
+  model.ObserveLineageExpand(1000, 10);  // 100 nanos/node seeds the EWMA
+  EXPECT_DOUBLE_EQ(model.lineage_nanos_per_node(), 100.0);
+  model.ObserveLineageExpand(2000, 10);  // 200/node, alpha 1/4 -> 125
+  EXPECT_DOUBLE_EQ(model.lineage_nanos_per_node(), 125.0);
+  // A 0-node expansion counts as one node, so the per-unit cost cannot
+  // divide by zero.
+  model.ObserveLineageExpand(400, 0);
+  EXPECT_GT(model.lineage_nanos_per_node(), 0.0);
+}
+
+TEST(CostModelTest, TimeStoreEstimateCarriesSnapshotLoadTerm) {
+  OperatorCostModel model;
+  model.ObserveLineageExpand(1000, 10);    // 100 nanos/node
+  model.ObserveTimeStoreExpand(500, 10);   // 50 nanos/node
+  model.ObserveSnapshotLoad(100000);       // but a heavy fixed cost
+  // Small expansions: the snapshot load dominates and lineage wins.
+  EXPECT_LT(model.EstimateLineageCost(10),
+            model.EstimateTimeStoreCost(10));
+  // Large expansions: the cheaper per-node rate amortizes the load.
+  EXPECT_GT(model.EstimateLineageCost(100000),
+            model.EstimateTimeStoreCost(100000));
+}
+
+TEST(CostModelTest, ToJsonCarriesEveryField) {
+  OperatorCostModel model;
+  model.ObserveLineageExpand(1000, 10);
+  const std::string json = model.ToJson();
+  EXPECT_NE(json.find("lineage_nanos_per_node"), std::string::npos);
+  EXPECT_NE(json.find("timestore_nanos_per_node"), std::string::npos);
+  EXPECT_NE(json.find("snapshot_load_nanos"), std::string::npos);
+}
+
+class CostRoutingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_costroute_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    AionStore::Options options;
+    options.dir = dir_ + "/aion";
+    options.lineage_mode = AionStore::LineageMode::kSync;
+    auto aion = AionStore::Open(options);
+    ASSERT_TRUE(aion.ok());
+    aion_ = std::move(*aion);
+    // A small chain so expansions of any hop count are well-defined.
+    std::vector<graph::GraphUpdate> updates;
+    for (graph::NodeId i = 0; i < 16; ++i) {
+      updates.push_back(graph::GraphUpdate::AddNode(i));
+    }
+    for (graph::RelId r = 0; r + 1 < 16; ++r) {
+      updates.push_back(
+          graph::GraphUpdate::AddRelationship(r, r, r + 1, "NEXT"));
+    }
+    ASSERT_TRUE(aion_->Ingest(1, updates).ok());
+  }
+
+  void TearDown() override {
+    aion_.reset();
+    (void)storage::RemoveDirRecursively(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<AionStore> aion_;
+};
+
+TEST_F(CostRoutingTest, FreshStoreUsesFractionHeuristic) {
+  // No observations yet: small hop counts stay on the LineageStore, deep
+  // expansions go to the TimeStore — the pre-ISSUE-10 behaviour.
+  EXPECT_FALSE(aion_->cost_model()->confident());
+  EXPECT_EQ(aion_->ChooseStoreForExpand(1),
+            AionStore::StoreChoice::kLineageStore);
+}
+
+TEST_F(CostRoutingTest, MeasuredCostsOverrideHeuristicBothWays) {
+  OperatorCostModel* model = aion_->cost_model();
+  // Seed: lineage 10x cheaper per node, negligible snapshot cost.
+  for (uint64_t i = 0; i < OperatorCostModel::kMinSamples; ++i) {
+    model->ObserveLineageExpand(100, 10);     // 10 nanos/node
+    model->ObserveTimeStoreExpand(1000, 10);  // 100 nanos/node
+  }
+  ASSERT_TRUE(model->confident());
+  EXPECT_EQ(aion_->ChooseStoreForExpand(1),
+            AionStore::StoreChoice::kLineageStore);
+  // Flip the measurements: EWMA with alpha 1/4 converges past the
+  // crossover within a handful of observations.
+  for (int i = 0; i < 64; ++i) {
+    model->ObserveLineageExpand(100000, 10);  // 10000 nanos/node
+    model->ObserveTimeStoreExpand(100, 10);   // 10 nanos/node
+  }
+  EXPECT_EQ(aion_->ChooseStoreForExpand(1),
+            AionStore::StoreChoice::kTimeStore);
+}
+
+TEST_F(CostRoutingTest, ExpandFeedsTheCostModel) {
+  const uint64_t before = aion_->cost_model()->lineage_samples() +
+                          aion_->cost_model()->timestore_samples();
+  auto levels = aion_->Expand(0, graph::Direction::kOutgoing, 2, 1);
+  ASSERT_TRUE(levels.ok()) << levels.status().ToString();
+  EXPECT_GT(aion_->cost_model()->lineage_samples() +
+                aion_->cost_model()->timestore_samples(),
+            before);
+}
+
+}  // namespace
+}  // namespace aion::core

@@ -1,0 +1,221 @@
+// Pinned-snapshot CSR projection cache (ISSUE 10): LRU under a byte
+// budget, compaction-driven EvictBelow, and the AionStore::ProjectCsrAt
+// integration — repeated analytics over one snapshot must hit, and a
+// cached projection must be indistinguishable from a fresh build.
+#include "core/csr_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/aion.h"
+#include "graph/csr.h"
+#include "graph/memgraph.h"
+#include "storage/file.h"
+
+namespace aion::core {
+namespace {
+
+/// A tiny projection to populate cache entries with; `nodes` scales the
+/// footprint so eviction tests can size entries against the budget.
+std::shared_ptr<const graph::CsrGraph> MakeCsr(size_t nodes) {
+  graph::MemoryGraph g;
+  for (graph::NodeId i = 0; i < nodes; ++i) {
+    EXPECT_TRUE(g.Apply(graph::GraphUpdate::AddNode(i)).ok());
+  }
+  for (graph::RelId r = 0; r + 1 < nodes; ++r) {
+    EXPECT_TRUE(
+        g.Apply(graph::GraphUpdate::AddRelationship(r, r, r + 1, "NEXT"))
+            .ok());
+  }
+  return std::make_shared<graph::CsrGraph>(graph::CsrGraph::Build(g));
+}
+
+CsrCache::Builder BuilderFor(size_t nodes, int* builds = nullptr) {
+  return [nodes, builds]() -> util::StatusOr<
+                               std::shared_ptr<const graph::CsrGraph>> {
+    if (builds != nullptr) ++*builds;
+    return MakeCsr(nodes);
+  };
+}
+
+TEST(CsrCacheTest, SecondLookupHitsWithoutRebuilding) {
+  CsrCache cache(CsrCache::Options{}, CsrCache::Instruments{});
+  int builds = 0;
+  auto first = cache.GetOrBuild(10, "", BuilderFor(8, &builds));
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrBuild(10, "", BuilderFor(8, &builds));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first->get(), second->get());  // the same resident projection
+  const CsrCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(CsrCacheTest, SignatureAndTimestampBothKeyTheCache) {
+  CsrCache cache(CsrCache::Options{}, CsrCache::Instruments{});
+  int builds = 0;
+  ASSERT_TRUE(cache.GetOrBuild(10, "", BuilderFor(8, &builds)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(10, "weight", BuilderFor(8, &builds)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(11, "", BuilderFor(8, &builds)).ok());
+  EXPECT_EQ(builds, 3);
+  EXPECT_EQ(cache.GetStats().entries, 3u);
+}
+
+TEST(CsrCacheTest, LruEvictionRespectsByteBudgetAndRecency) {
+  // Budget fits roughly two of the three projections; the least recently
+  // touched one goes.
+  const size_t one = MakeCsr(64)->SizeBytes();
+  CsrCache::Options options;
+  options.capacity_bytes = one * 2 + one / 2;
+  CsrCache cache(options, CsrCache::Instruments{});
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(64)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(2, "", BuilderFor(64)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(64)).ok());  // touch ts=1
+  ASSERT_TRUE(cache.GetOrBuild(3, "", BuilderFor(64)).ok());  // evicts ts=2
+  const CsrCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, options.capacity_bytes);
+  int builds = 0;
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(64, &builds)).ok());
+  EXPECT_EQ(builds, 0);  // survivor still resident
+  ASSERT_TRUE(cache.GetOrBuild(2, "", BuilderFor(64, &builds)).ok());
+  EXPECT_EQ(builds, 1);  // the evicted key rebuilds
+}
+
+TEST(CsrCacheTest, OversizedEntryStillServesButDoesNotAccumulate) {
+  // A single projection larger than the whole budget: the cache keeps at
+  // most that one entry (never evicts the just-inserted head into nothing).
+  const size_t one = MakeCsr(64)->SizeBytes();
+  CsrCache::Options options;
+  options.capacity_bytes = one / 2;
+  CsrCache cache(options, CsrCache::Instruments{});
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(64)).ok());
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+  ASSERT_TRUE(cache.GetOrBuild(2, "", BuilderFor(64)).ok());
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(CsrCacheTest, EvictBelowDropsProjectionsOfCompactedHistory) {
+  CsrCache cache(CsrCache::Options{}, CsrCache::Instruments{});
+  ASSERT_TRUE(cache.GetOrBuild(5, "", BuilderFor(8)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(10, "", BuilderFor(8)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(20, "", BuilderFor(8)).ok());
+  EXPECT_EQ(cache.EvictBelow(15), 2u);
+  const CsrCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  int builds = 0;
+  ASSERT_TRUE(cache.GetOrBuild(20, "", BuilderFor(8, &builds)).ok());
+  EXPECT_EQ(builds, 0);  // entries at/above the floor survive
+}
+
+TEST(CsrCacheTest, ZeroCapacityBuildsEveryTimeAndRetainsNothing) {
+  CsrCache::Options options;
+  options.capacity_bytes = 0;
+  CsrCache cache(options, CsrCache::Instruments{});
+  int builds = 0;
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(8, &builds)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(8, &builds)).ok());
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(CsrCacheTest, BuilderFailureCachesNothing) {
+  CsrCache cache(CsrCache::Options{}, CsrCache::Instruments{});
+  auto failing = []() -> util::StatusOr<
+                          std::shared_ptr<const graph::CsrGraph>> {
+    return util::Status::Internal("projection failed");
+  };
+  EXPECT_FALSE(cache.GetOrBuild(1, "", failing).ok());
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  int builds = 0;
+  ASSERT_TRUE(cache.GetOrBuild(1, "", BuilderFor(8, &builds)).ok());
+  EXPECT_EQ(builds, 1);
+}
+
+TEST(CsrCacheTest, ConcurrentMissesOnOneKeyConvergeToOneEntry) {
+  CsrCache cache(CsrCache::Options{}, CsrCache::Instruments{});
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&cache] {
+      for (int round = 0; round < 50; ++round) {
+        auto got = cache.GetOrBuild(42, "", BuilderFor(8));
+        ASSERT_TRUE(got.ok());
+        ASSERT_NE(got->get(), nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+class ProjectCsrAtTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = storage::MakeTempDir("aion_projcsr_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+    AionStore::Options options;
+    options.dir = dir_ + "/aion";
+    options.lineage_mode = AionStore::LineageMode::kSync;
+    auto aion = AionStore::Open(options);
+    ASSERT_TRUE(aion.ok());
+    aion_ = std::move(*aion);
+    std::vector<graph::GraphUpdate> updates;
+    for (graph::NodeId i = 0; i < 32; ++i) {
+      updates.push_back(graph::GraphUpdate::AddNode(i));
+    }
+    for (graph::RelId r = 0; r + 1 < 32; ++r) {
+      updates.push_back(
+          graph::GraphUpdate::AddRelationship(r, r, r + 1, "NEXT"));
+    }
+    ASSERT_TRUE(aion_->Ingest(1, updates).ok());
+    ASSERT_TRUE(aion_->Ingest(2, {graph::GraphUpdate::AddNode(100)}).ok());
+  }
+
+  void TearDown() override {
+    aion_.reset();
+    (void)storage::RemoveDirRecursively(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<AionStore> aion_;
+};
+
+TEST_F(ProjectCsrAtTest, RepeatedProjectionsAtOneSnapshotHit) {
+  ASSERT_NE(aion_->csr_cache(), nullptr);
+  auto first = aion_->ProjectCsrAt(2);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = aion_->ProjectCsrAt(2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_GE(aion_->csr_cache()->GetStats().hits, 1u);
+}
+
+TEST_F(ProjectCsrAtTest, CachedProjectionMatchesFreshBuild) {
+  auto cached = aion_->ProjectCsrAt(1);
+  ASSERT_TRUE(cached.ok());
+  auto view = aion_->GetGraphAt(1);
+  ASSERT_TRUE(view.ok());
+  const graph::CsrGraph fresh = graph::CsrGraph::Build(**view);
+  EXPECT_EQ((*cached)->num_nodes(), fresh.num_nodes());
+  EXPECT_EQ((*cached)->num_edges(), fresh.num_edges());
+}
+
+TEST_F(ProjectCsrAtTest, WeightSignatureProjectsSeparately) {
+  auto unweighted = aion_->ProjectCsrAt(2);
+  ASSERT_TRUE(unweighted.ok());
+  auto weighted = aion_->ProjectCsrAt(2, "weight");
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_NE(unweighted->get(), weighted->get());
+}
+
+}  // namespace
+}  // namespace aion::core
